@@ -1,0 +1,158 @@
+//! AND-tree balancing.
+//!
+//! The analogue of ABC's `balance`: maximal multi-input AND trees (chains
+//! of non-complemented, single-fanout AND nodes) are collected and rebuilt
+//! as minimum-depth trees, combining the two lowest-level operands first
+//! (Huffman-style). The pass never increases the AND count of a tree and
+//! usually reduces depth.
+
+use crate::{Aig, Lit};
+
+/// One balancing pass. Returns an equivalent graph whose depth is at most
+/// the input's; if balancing would increase size or depth, the input is
+/// returned unchanged.
+pub fn balance(aig: &Aig) -> Aig {
+    let fanouts = aig.fanout_counts();
+    let mut new = Aig::new(aig.n_inputs());
+    for i in 0..aig.n_inputs() {
+        new.set_input_name(i, aig.input_name(i).to_string());
+    }
+    let mut map: Vec<Lit> = Vec::with_capacity(aig.n_nodes());
+    map.push(Lit::FALSE);
+    for i in 0..aig.n_inputs() {
+        map.push(new.input(i));
+    }
+    for id in aig.and_nodes() {
+        // Collect the maximal AND tree rooted here: expand fanins that are
+        // non-complemented single-fanout AND nodes.
+        let mut leaves: Vec<Lit> = Vec::new();
+        let mut stack = vec![Lit::new(id, false)];
+        while let Some(l) = stack.pop() {
+            let n = l.node();
+            if !l.is_complement() && aig.is_and(n) && (n == id || fanouts[n.0 as usize] == 1) {
+                let (f0, f1) = aig.fanins(n);
+                stack.push(f0);
+                stack.push(f1);
+            } else {
+                leaves.push(l);
+            }
+        }
+        // Map leaves into the new graph and combine lowest-level first.
+        let mut mapped: Vec<Lit> = leaves
+            .iter()
+            .map(|l| map[l.node().0 as usize].xor_sign(l.is_complement()))
+            .collect();
+        debug_assert_eq!(map.len(), id.0 as usize);
+        while mapped.len() > 1 {
+            mapped.sort_by_key(|l| std::cmp::Reverse(new.level(l.node())));
+            let a = mapped.pop().expect("len > 1");
+            let b = mapped.pop().expect("len > 1");
+            let ab = new.and(a, b);
+            mapped.push(ab);
+        }
+        map.push(mapped.pop().unwrap_or(Lit::TRUE));
+    }
+    for (name, lit) in aig.outputs() {
+        let l = map[lit.node().0 as usize].xor_sign(lit.is_complement());
+        new.add_output(name.clone(), l);
+    }
+    let new = new.compact();
+    if new.depth() <= aig.depth() && new.n_ands() <= aig.n_ands() {
+        new
+    } else {
+        aig.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(aig: &Aig) -> Aig {
+        let out = balance(aig);
+        assert!(aig.equivalent(&out), "balance changed the function");
+        assert!(out.depth() <= aig.depth(), "balance increased depth");
+        assert!(out.n_ands() <= aig.n_ands(), "balance grew the graph");
+        out
+    }
+
+    #[test]
+    fn chain_becomes_tree() {
+        // a·(b·(c·(d·(e·f)))) — depth 5 chain.
+        let mut g = Aig::new(6);
+        let mut acc = g.input(5);
+        for i in (0..5).rev() {
+            let x = g.input(i);
+            acc = g.and(x, acc);
+        }
+        g.add_output("f", acc);
+        assert_eq!(g.depth(), 5);
+        let out = check(&g);
+        assert_eq!(out.depth(), 3, "6-input AND balances to depth 3");
+        assert_eq!(out.n_ands(), 5);
+    }
+
+    #[test]
+    fn respects_complemented_boundaries() {
+        // ¬(a·b)·(c·d): the complemented edge must not be flattened.
+        let mut g = Aig::new(4);
+        let a = g.input(0);
+        let b = g.input(1);
+        let c = g.input(2);
+        let d = g.input(3);
+        let ab = g.and(a, b);
+        let cd = g.and(c, d);
+        let f = g.and(!ab, cd);
+        g.add_output("f", f);
+        check(&g);
+    }
+
+    #[test]
+    fn respects_fanout_boundaries() {
+        // Shared sub-tree (a·b) feeds two outputs: must stay shared.
+        let mut g = Aig::new(3);
+        let a = g.input(0);
+        let b = g.input(1);
+        let c = g.input(2);
+        let ab = g.and(a, b);
+        let f = g.and(ab, c);
+        g.add_output("f", f);
+        g.add_output("g", ab);
+        let out = check(&g);
+        assert_eq!(out.n_ands(), 2);
+    }
+
+    #[test]
+    fn balances_or_trees_via_demorgan() {
+        // OR chains appear as complemented AND chains and balance the
+        // same way one level in.
+        let mut g = Aig::new(8);
+        let mut acc = g.input(0);
+        for i in 1..8 {
+            let x = g.input(i);
+            acc = g.or(acc, x);
+        }
+        g.add_output("f", acc);
+        let out = check(&g);
+        assert_eq!(out.depth(), 3, "8-input OR balances to depth 3");
+    }
+
+    #[test]
+    fn unbalanced_skewed_levels() {
+        // Leaves at different levels: Huffman pairing minimizes depth.
+        let mut g = Aig::new(5);
+        let a = g.input(0);
+        let b = g.input(1);
+        let c = g.input(2);
+        let d = g.input(3);
+        let e = g.input(4);
+        let ab = g.xor(a, b); // level 2 operand
+        let f1 = g.and(ab, c);
+        let f2 = g.and(f1, d);
+        let f3 = g.and(f2, e);
+        g.add_output("f", f3);
+        let out = check(&g);
+        // xor (depth 2) + pairing c,d,e first: total depth 4 or less.
+        assert!(out.depth() <= 4, "depth {}", out.depth());
+    }
+}

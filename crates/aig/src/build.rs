@@ -1,0 +1,272 @@
+//! Constructing factored AIG logic from truth tables.
+//!
+//! The builder mirrors ABC's SOP-based node construction: compute an
+//! irredundant cover ([`mvf_logic::isop`]) for the function and its
+//! complement, pick the cheaper polarity, then build a *factored form* of
+//! the cover using weak-division factoring (most-frequent-literal
+//! division). Large functions fall back to Shannon decomposition.
+
+use mvf_logic::{isop, Cube, Sop, TruthTable};
+
+use crate::{Aig, Lit};
+
+/// Builds `tt` over the given leaf literals and returns the output literal.
+///
+/// `leaves[i]` supplies variable `i` of the table.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() != tt.n_vars()`.
+pub fn tt_to_aig(aig: &mut Aig, tt: &TruthTable, leaves: &[Lit]) -> Lit {
+    assert_eq!(leaves.len(), tt.n_vars(), "leaf count must match arity");
+    if tt.is_zero() {
+        return Lit::FALSE;
+    }
+    if tt.is_one() {
+        return Lit::TRUE;
+    }
+    // Single-literal cases.
+    for (v, &leaf) in leaves.iter().enumerate() {
+        let x = TruthTable::var(v, tt.n_vars());
+        if *tt == x {
+            return leaf;
+        }
+        if *tt == x.not() {
+            return !leaf;
+        }
+    }
+    // Shannon fallback for wide supports keeps the ISOP sizes in check.
+    let support = tt.support();
+    if support.len() > 8 {
+        let v = most_binate_var(tt, &support);
+        let f1 = tt.cofactor(v, true);
+        let f0 = tt.cofactor(v, false);
+        let hi = tt_to_aig(aig, &f1, leaves);
+        let lo = tt_to_aig(aig, &f0, leaves);
+        return aig.mux(leaves[v], hi, lo);
+    }
+    // Pick the cheaper polarity by literal count.
+    let pos = isop(tt, tt);
+    let neg_tt = tt.not();
+    let neg = isop(&neg_tt, &neg_tt);
+    let (cover, complemented) = if cover_cost(&neg) < cover_cost(&pos) {
+        (neg, true)
+    } else {
+        (pos, false)
+    };
+    let lit = build_factored(aig, cover.cubes(), leaves);
+    lit.xor_sign(complemented)
+}
+
+fn cover_cost(s: &Sop) -> usize {
+    s.n_literals() + s.n_cubes()
+}
+
+/// The variable on which the cover splits most evenly (used by the
+/// Shannon fallback).
+fn most_binate_var(tt: &TruthTable, support: &[usize]) -> usize {
+    let half = tt.n_minterms() / 2;
+    *support
+        .iter()
+        .min_by_key(|&&v| {
+            let ones = tt.cofactor(v, true).count_ones();
+            ones.abs_diff(half)
+        })
+        .expect("non-empty support")
+}
+
+/// Weak-division factoring of a cube cover.
+fn build_factored(aig: &mut Aig, cubes: &[Cube], leaves: &[Lit]) -> Lit {
+    assert!(!cubes.is_empty(), "empty cover is constant 0 and handled earlier");
+    if cubes.len() == 1 {
+        return build_cube(aig, &cubes[0], leaves);
+    }
+    // Find the most frequent literal across cubes.
+    let mut best: Option<((usize, bool), usize)> = None;
+    for pol in [true, false] {
+        for v in 0..leaves.len() {
+            let count = cubes
+                .iter()
+                .filter(|c| {
+                    let mask = if pol { c.pos_mask() } else { c.neg_mask() };
+                    mask & (1 << v) != 0
+                })
+                .count();
+            if count >= 2 && best.map_or(true, |(_, c)| count > c) {
+                best = Some(((v, pol), count));
+            }
+        }
+    }
+    let Some(((var, pol), _)) = best else {
+        // No sharable literal: plain balanced OR of the cubes.
+        let lits: Vec<Lit> = cubes.iter().map(|c| build_cube(aig, c, leaves)).collect();
+        return aig.or_many(&lits);
+    };
+    // Divide: f = l·(quotient) + remainder.
+    let mut quotient: Vec<Cube> = Vec::new();
+    let mut remainder: Vec<Cube> = Vec::new();
+    for c in cubes {
+        let mask = if pol { c.pos_mask() } else { c.neg_mask() };
+        if mask & (1 << var) != 0 {
+            quotient.push(remove_literal(c, var, pol));
+        } else {
+            remainder.push(*c);
+        }
+    }
+    let l = leaves[var].xor_sign(!pol);
+    let q = build_factored(aig, &quotient, leaves);
+    let lq = aig.and(l, q);
+    if remainder.is_empty() {
+        lq
+    } else {
+        let r = build_factored(aig, &remainder, leaves);
+        aig.or(lq, r)
+    }
+}
+
+fn remove_literal(c: &Cube, var: usize, pol: bool) -> Cube {
+    let mut out = Cube::new();
+    for (v, p) in c.literals() {
+        if v == var && p == pol {
+            continue;
+        }
+        out = if p { out.with_pos(v) } else { out.with_neg(v) };
+    }
+    out
+}
+
+fn build_cube(aig: &mut Aig, c: &Cube, leaves: &[Lit]) -> Lit {
+    let lits: Vec<Lit> = c
+        .literals()
+        .into_iter()
+        .map(|(v, pol)| leaves[v].xor_sign(!pol))
+        .collect();
+    aig.and_many(&lits)
+}
+
+/// Builds a multiplexer tree selecting among `data` literals with
+/// binary-encoded `sel` literals (`sel[0]` is the LSB).
+///
+/// Out-of-range select values return the last data literal.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn mux_tree(aig: &mut Aig, sel: &[Lit], data: &[Lit]) -> Lit {
+    assert!(!data.is_empty(), "mux tree needs at least one data input");
+    if data.len() == 1 || sel.is_empty() {
+        return data[0];
+    }
+    let half = 1usize << (sel.len() - 1);
+    let top = *sel.last().expect("non-empty select");
+    if data.len() <= half {
+        return mux_tree(aig, &sel[..sel.len() - 1], data);
+    }
+    let lo = mux_tree(aig, &sel[..sel.len() - 1], &data[..half]);
+    let hi = mux_tree(aig, &sel[..sel.len() - 1], &data[half..]);
+    aig.mux(top, hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(tt: &TruthTable) -> usize {
+        let n = tt.n_vars();
+        let mut aig = Aig::new(n);
+        let leaves: Vec<Lit> = (0..n).map(|i| aig.input(i)).collect();
+        let f = tt_to_aig(&mut aig, tt, &leaves);
+        aig.add_output("f", f);
+        assert_eq!(&aig.output_functions()[0], tt, "roundtrip mismatch");
+        aig.n_ands()
+    }
+
+    #[test]
+    fn constants_and_literals_cost_nothing() {
+        assert_eq!(roundtrip(&TruthTable::zero(3)), 0);
+        assert_eq!(roundtrip(&TruthTable::one(3)), 0);
+        assert_eq!(roundtrip(&TruthTable::var(1, 3)), 0);
+        assert_eq!(roundtrip(&TruthTable::var(2, 3).not()), 0);
+    }
+
+    #[test]
+    fn simple_gates() {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        assert_eq!(roundtrip(&a.and(&b)), 1);
+        assert_eq!(roundtrip(&a.or(&b)), 1);
+        assert_eq!(roundtrip(&a.and(&b).not()), 1);
+        assert_eq!(roundtrip(&a.xor(&b)), 3);
+    }
+
+    #[test]
+    fn factoring_shares_literals() {
+        // f = a·b + a·c + a·d: factored as a·(b + c + d) = 3 ANDs.
+        let a = TruthTable::var(0, 4);
+        let b = TruthTable::var(1, 4);
+        let c = TruthTable::var(2, 4);
+        let d = TruthTable::var(3, 4);
+        let f = a.and(&b).or(&a.and(&c)).or(&a.and(&d));
+        let n = roundtrip(&f);
+        assert!(n <= 3, "factored form should need <= 3 ANDs, got {n}");
+    }
+
+    #[test]
+    fn all_3var_functions_roundtrip() {
+        for bits in 0..256u64 {
+            let tt = TruthTable::from_word(3, bits).unwrap();
+            roundtrip(&tt);
+        }
+    }
+
+    #[test]
+    fn random_6var_functions_roundtrip() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..30 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let tt = TruthTable::from_word(6, state).unwrap();
+            roundtrip(&tt);
+        }
+    }
+
+    #[test]
+    fn wide_function_uses_shannon() {
+        // 10-var parity forces the Shannon path (support > 8).
+        let tt = TruthTable::from_fn(10, |m| m.count_ones() % 2 == 1);
+        roundtrip(&tt);
+    }
+
+    #[test]
+    fn mux_tree_semantics() {
+        let mut aig = Aig::new(6);
+        let data: Vec<Lit> = (0..4).map(|i| aig.input(i)).collect();
+        let sel: Vec<Lit> = (4..6).map(|i| aig.input(i)).collect();
+        let f = mux_tree(&mut aig, &sel, &data);
+        aig.add_output("f", f);
+        let tt = &aig.output_functions()[0];
+        for m in 0..64usize {
+            let s = (m >> 4) & 3;
+            let expect = (m >> s) & 1 == 1;
+            assert_eq!(tt.get(m), expect, "m={m:b}");
+        }
+    }
+
+    #[test]
+    fn mux_tree_partial_data() {
+        // 3 data inputs with 2 select bits: select = 3 falls back to the
+        // last entry of the upper half.
+        let mut aig = Aig::new(5);
+        let data: Vec<Lit> = (0..3).map(|i| aig.input(i)).collect();
+        let sel: Vec<Lit> = (3..5).map(|i| aig.input(i)).collect();
+        let f = mux_tree(&mut aig, &sel, &data);
+        aig.add_output("f", f);
+        let tt = &aig.output_functions()[0];
+        for m in 0..32usize {
+            let s = ((m >> 3) & 3).min(2);
+            let expect = (m >> s) & 1 == 1;
+            assert_eq!(tt.get(m), expect, "m={m:b}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Whole-circuit collapse and resynthesis.
+//!
+//! The analogue of ABC's `collapse; sop; fx` flow: compute the exact truth
+//! table of every output, rebuild each from scratch through the factored
+//! ISOP builder into one fresh graph (sharing structure via the structural
+//! hash), and keep the result only if it is smaller. Effective on circuits
+//! whose outputs share logic in ways the local passes cannot see, and
+//! always sound because the rebuild starts from the exact functions.
+
+use crate::{build, Aig, Lit};
+
+/// One collapse-and-resynthesize pass.
+///
+/// Circuits with more than [`mvf_logic::MAX_VARS`] inputs are returned
+/// unchanged (the exhaustive collapse would not fit a truth table).
+pub fn collapse(aig: &Aig) -> Aig {
+    if aig.n_inputs() > mvf_logic::MAX_VARS {
+        return aig.clone();
+    }
+    let functions = aig.output_functions();
+    let mut new = Aig::new(aig.n_inputs());
+    for i in 0..aig.n_inputs() {
+        new.set_input_name(i, aig.input_name(i).to_string());
+    }
+    let leaves: Vec<Lit> = (0..aig.n_inputs()).map(|i| new.input(i)).collect();
+    for ((name, _), tt) in aig.outputs().iter().zip(&functions) {
+        let lit = build::tt_to_aig(&mut new, tt, &leaves);
+        new.add_output(name.clone(), lit);
+    }
+    let new = new.compact();
+    if new.n_ands() < aig.n_ands() {
+        new
+    } else {
+        aig.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapse_rebuilds_bloated_logic() {
+        // Build a·b three equivalent ways and OR them together: 1 AND after
+        // collapse.
+        let mut g = Aig::new(2);
+        let a = g.input(0);
+        let b = g.input(1);
+        let x = g.and(a, b);
+        let y = {
+            let na = g.or(!a, !b);
+            !na
+        };
+        let z = {
+            let t1 = g.and(a, b);
+            let t2 = g.and(t1, a);
+            t2
+        };
+        let xy = g.or(x, y);
+        let f = g.or(xy, z);
+        g.add_output("f", f);
+        let out = collapse(&g);
+        assert!(out.equivalent(&g));
+        assert_eq!(out.n_ands(), 1);
+    }
+
+    #[test]
+    fn collapse_never_grows() {
+        let mut g = Aig::new(3);
+        let a = g.input(0);
+        let b = g.input(1);
+        let c = g.input(2);
+        let f = g.xor(a, b);
+        let h = g.and(f, c);
+        g.add_output("h", h);
+        let out = collapse(&g);
+        assert!(out.equivalent(&g));
+        assert!(out.n_ands() <= g.n_ands());
+    }
+
+    #[test]
+    fn collapse_keeps_io_contract() {
+        let mut g = Aig::new(2);
+        g.set_input_name(1, "special");
+        let a = g.input(0);
+        let b = g.input(1);
+        let f = g.or(a, b);
+        g.add_output("first", f);
+        g.add_output("second", !f);
+        let out = collapse(&g);
+        assert_eq!(out.n_inputs(), 2);
+        assert_eq!(out.input_name(1), "special");
+        assert_eq!(out.outputs()[0].0, "first");
+        assert_eq!(out.outputs()[1].0, "second");
+        assert!(out.equivalent(&g));
+    }
+
+    #[test]
+    fn collapse_skips_wide_circuits() {
+        let g = Aig::new(17);
+        let out = collapse(&g);
+        assert_eq!(out.n_inputs(), 17);
+    }
+}

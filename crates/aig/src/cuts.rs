@@ -1,0 +1,310 @@
+//! k-feasible cut enumeration and cut-function computation.
+//!
+//! A *cut* of node `n` is a set of nodes (leaves) such that every path from
+//! `n` to a primary input passes through a leaf. Cuts with at most `k`
+//! leaves are the candidate cones considered by the rewriting and
+//! refactoring passes.
+
+use std::collections::HashMap;
+
+use mvf_logic::TruthTable;
+
+use crate::{Aig, NodeId};
+
+/// A cut: sorted leaf node ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cut {
+    leaves: Vec<u32>,
+}
+
+impl Cut {
+    /// The leaf node ids, ascending.
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// `true` iff the cut has no leaves (constant cone).
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        let mut leaves = Vec::with_capacity(k + 1);
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            let next = match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    a
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!(),
+            };
+            if leaves.len() == k {
+                return None;
+            }
+            leaves.push(next);
+        }
+        Some(Cut { leaves })
+    }
+
+    /// `true` iff `self`'s leaves are a subset of `other`'s.
+    fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+/// Enumerates up to `max_cuts` k-feasible cuts per node.
+///
+/// The result is indexed by node id. Every node's cut list contains the
+/// trivial cut `{node}` last, so it can be used as a fallback.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    assert!(k > 0, "cut size must be positive");
+    let n_nodes = aig.n_nodes();
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n_nodes];
+    // Constant node: single empty cut.
+    cuts[0] = vec![Cut { leaves: vec![] }];
+    for i in 0..aig.n_inputs() {
+        cuts[i + 1] = vec![Cut { leaves: vec![i as u32 + 1] }];
+    }
+    for id in aig.and_nodes() {
+        let (f0, f1) = aig.fanins(id);
+        let c0 = cuts[f0.node().0 as usize].clone();
+        let c1 = cuts[f1.node().0 as usize].clone();
+        let mut merged: Vec<Cut> = Vec::new();
+        for a in &c0 {
+            for b in &c1 {
+                if let Some(c) = a.merge(b, k) {
+                    if !merged.contains(&c) {
+                        merged.push(c);
+                    }
+                }
+            }
+        }
+        // Drop dominated cuts (a cut whose leaves are a superset of
+        // another's carries no extra information).
+        let mut kept: Vec<Cut> = Vec::new();
+        merged.sort_by_key(Cut::len);
+        for c in merged {
+            if !kept.iter().any(|k2| k2.dominates(&c)) {
+                kept.push(c);
+            }
+        }
+        // Keep the widest cut even when truncating: the refactoring pass
+        // wants the largest collapsible cone.
+        let widest = kept.last().cloned();
+        kept.truncate(max_cuts.saturating_sub(1).max(1));
+        if let Some(w) = widest {
+            if !kept.contains(&w) {
+                kept.push(w);
+            }
+        }
+        kept.push(Cut { leaves: vec![id.0] });
+        cuts[id.0 as usize] = kept;
+    }
+    cuts
+}
+
+/// Computes the function of `root` over the cut's leaves: variable `i`
+/// corresponds to `leaves[i]`.
+///
+/// # Panics
+///
+/// Panics if the leaf set is not a valid cut of `root` (the traversal
+/// would reach a primary input or the constant node not in the leaves) or
+/// has more than [`mvf_logic::MAX_VARS`] leaves.
+pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[u32]) -> TruthTable {
+    let k = leaves.len();
+    let mut memo: HashMap<u32, TruthTable> = HashMap::new();
+    for (i, &l) in leaves.iter().enumerate() {
+        memo.insert(l, TruthTable::var(i, k));
+    }
+    if !memo.contains_key(&0) {
+        memo.insert(0, TruthTable::zero(k));
+    }
+    // Iterative post-order evaluation.
+    let mut stack = vec![root.0];
+    while let Some(&id) = stack.last() {
+        if memo.contains_key(&id) {
+            stack.pop();
+            continue;
+        }
+        assert!(
+            aig.is_and(NodeId(id)),
+            "leaf set is not a cut: reached non-AND node {id}"
+        );
+        let (f0, f1) = aig.fanins(NodeId(id));
+        let n0 = f0.node().0;
+        let n1 = f1.node().0;
+        let m0 = memo.get(&n0).cloned();
+        let m1 = memo.get(&n1).cloned();
+        match (m0, m1) {
+            (Some(t0), Some(t1)) => {
+                stack.pop();
+                let t0 = if f0.is_complement() { t0.not() } else { t0 };
+                let t1 = if f1.is_complement() { t1.not() } else { t1 };
+                memo.insert(id, t0.and(&t1));
+            }
+            (m0, m1) => {
+                if m0.is_none() {
+                    stack.push(n0);
+                }
+                if m1.is_none() {
+                    stack.push(n1);
+                }
+            }
+        }
+    }
+    memo.remove(&root.0).expect("root evaluated")
+}
+
+/// Number of AND nodes in the cone of `root` above the cut leaves.
+///
+/// This is the upper bound on nodes freed if the cone is replaced.
+pub fn cone_size(aig: &Aig, root: NodeId, leaves: &[u32]) -> usize {
+    let mut seen: Vec<u32> = Vec::new();
+    let mut stack = vec![root.0];
+    let mut count = 0usize;
+    while let Some(id) = stack.pop() {
+        if leaves.contains(&id) || seen.contains(&id) {
+            continue;
+        }
+        seen.push(id);
+        if aig.is_and(NodeId(id)) {
+            count += 1;
+            let (f0, f1) = aig.fanins(NodeId(id));
+            stack.push(f0.node().0);
+            stack.push(f1.node().0);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aig() -> (Aig, NodeId) {
+        // f = (a·b)·(b·c): reconvergent on b.
+        let mut g = Aig::new(3);
+        let a = g.input(0);
+        let b = g.input(1);
+        let c = g.input(2);
+        let ab = g.and(a, b);
+        let bc = g.and(b, c);
+        let f = g.and(ab, bc);
+        g.add_output("f", f);
+        (g, f.node())
+    }
+
+    #[test]
+    fn trivial_cuts_present() {
+        let (g, root) = sample_aig();
+        let cuts = enumerate_cuts(&g, 4, 8);
+        let root_cuts = &cuts[root.0 as usize];
+        assert!(root_cuts.iter().any(|c| c.leaves() == [root.0]));
+    }
+
+    #[test]
+    fn finds_the_three_leaf_cut() {
+        let (g, root) = sample_aig();
+        let cuts = enumerate_cuts(&g, 4, 8);
+        let root_cuts = &cuts[root.0 as usize];
+        // The cut {a, b, c} = node ids {1, 2, 3} must be found.
+        assert!(
+            root_cuts.iter().any(|c| c.leaves() == [1, 2, 3]),
+            "cuts: {root_cuts:?}"
+        );
+    }
+
+    #[test]
+    fn cut_function_on_reconvergence() {
+        let (g, root) = sample_aig();
+        let f = cut_function(&g, root, &[1, 2, 3]);
+        // f = a·b·c over (a, b, c) = vars (0, 1, 2).
+        for m in 0..8usize {
+            assert_eq!(f.get(m), m == 7);
+        }
+    }
+
+    #[test]
+    fn cut_function_with_complemented_edges() {
+        let mut g = Aig::new(2);
+        let a = g.input(0);
+        let b = g.input(1);
+        let f = g.or(a, !b);
+        let t = cut_function(&g, f.node(), &[1, 2]);
+        // or returns complemented AND internally: check underlying node
+        // function is ¬a · b, i.e. f-literal complement handled by caller.
+        for m in 0..4usize {
+            let (av, bv) = (m & 1 == 1, m & 2 == 2);
+            assert_eq!(t.get(m), !(av || !bv));
+        }
+    }
+
+    #[test]
+    fn k_limits_cut_width() {
+        // 6-input AND tree: with k = 4 no cut may exceed 4 leaves.
+        let mut g = Aig::new(6);
+        let lits: Vec<_> = (0..6).map(|i| g.input(i)).collect();
+        let f = g.and_many(&lits);
+        g.add_output("f", f);
+        let cuts = enumerate_cuts(&g, 4, 16);
+        for (id, node_cuts) in cuts.iter().enumerate() {
+            for c in node_cuts {
+                assert!(c.len() <= 4, "node {id} cut {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cone_size_counts_inner_ands() {
+        let (g, root) = sample_aig();
+        assert_eq!(cone_size(&g, root, &[1, 2, 3]), 3);
+        // Cone over its own fanins counts only the root.
+        let (f0, f1) = g.fanins(root);
+        assert_eq!(cone_size(&g, root, &[f0.node().0, f1.node().0]), 1);
+    }
+
+    #[test]
+    fn dominated_cuts_are_pruned() {
+        let (g, root) = sample_aig();
+        let cuts = enumerate_cuts(&g, 4, 16);
+        let root_cuts = &cuts[root.0 as usize];
+        for (i, a) in root_cuts.iter().enumerate() {
+            for (j, b) in root_cuts.iter().enumerate() {
+                if i != j && a.leaves() != [root.0] {
+                    assert!(
+                        !a.dominates(b) || a == b,
+                        "dominated cut kept: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! An and-inverter-graph (AIG) logic-synthesis engine.
+//!
+//! This crate is the workspace's substitute for the ABC synthesis system
+//! the paper drives with a script of `rewrite`, `refactor` and `balance`
+//! commands. It provides:
+//!
+//! * [`Aig`] — an and-inverter graph with structural hashing and
+//!   complemented edges, the classical subject data structure.
+//! * [`build`] — construction of factored logic from truth tables
+//!   (ISOP + weak-division factoring, Shannon decomposition fallback).
+//! * [`cuts`] — k-feasible cut enumeration with cut functions.
+//! * [`rewrite`] — DAG-aware cut rewriting over NPN classes ([`rewrite::rewrite`]).
+//! * [`refactor`] — larger-cone refactoring through ISOP ([`refactor::refactor`]).
+//! * [`balance`] — AND-tree balancing for depth ([`balance::balance`]).
+//! * [`collapse`] — whole-circuit resynthesis ([`collapse::collapse`]).
+//! * [`Script`] — an ABC-style synthesis script runner with equivalence
+//!   checking after every pass.
+//!
+//! # Example
+//!
+//! ```
+//! use mvf_aig::{Aig, Script};
+//!
+//! // Build (a·b)·(a·c) + redundant logic, then optimize.
+//! let mut aig = Aig::new(3);
+//! let (a, b, c) = (aig.input(0), aig.input(1), aig.input(2));
+//! let ab = aig.and(a, b);
+//! let ac = aig.and(a, c);
+//! let f = aig.and(ab, ac);
+//! aig.add_output("f", f);
+//! let optimized = Script::standard().run(&aig);
+//! assert!(optimized.n_ands() <= aig.n_ands());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aig;
+pub mod balance;
+pub mod collapse;
+pub mod build;
+pub mod cuts;
+pub mod refactor;
+pub mod rewrite;
+mod script;
+mod simulate;
+
+pub use aig::{Aig, Lit, NodeId};
+pub use script::{Pass, Script};

@@ -1,0 +1,365 @@
+//! DAG-aware cut rewriting over NPN classes.
+//!
+//! This is the workspace's analogue of ABC's `rewrite` command: every AND
+//! node's 4-feasible cuts are matched against a cache of pre-optimized
+//! implementations of their NPN class; a cone is replaced when the
+//! replacement adds fewer nodes (counting structural-hash reuse) than the
+//! cone holds. The pass rebuilds into a fresh graph and is kept only if it
+//! reduces the AND count, so it is monotone by construction.
+
+use std::collections::HashMap;
+
+use mvf_logic::npn::{npn_canonical, NpnTransform};
+use mvf_logic::TruthTable;
+
+use crate::cuts::{cut_function, enumerate_cuts};
+use crate::{build, Aig, Lit};
+
+/// A cached implementation of a canonical function: a miniature AIG over
+/// the canonical variables plus its output literal.
+#[derive(Debug, Clone)]
+pub(crate) struct Recipe {
+    aig: Aig,
+    out: Lit,
+}
+
+impl Recipe {
+    pub(crate) fn build(tt: &TruthTable) -> Recipe {
+        let n = tt.n_vars();
+        let mut aig = Aig::new(n);
+        let leaves: Vec<Lit> = (0..n).map(|i| aig.input(i)).collect();
+        let out = build::tt_to_aig(&mut aig, tt, &leaves);
+        aig.add_output("f", out);
+        let aig = aig.compact();
+        let out = aig.outputs()[0].1;
+        Recipe { aig, out }
+    }
+
+    /// Copies the recipe into `target` using the given leaf literals;
+    /// returns the output literal.
+    pub(crate) fn paste(&self, target: &mut Aig, leaves: &[Lit]) -> Lit {
+        let mut map: Vec<Lit> = Vec::with_capacity(self.aig.n_nodes());
+        map.push(Lit::FALSE);
+        for i in 0..self.aig.n_inputs() {
+            map.push(leaves[i]);
+        }
+        for id in self.aig.and_nodes() {
+            let (f0, f1) = self.aig.fanins(id);
+            let a = map[f0.node().0 as usize].xor_sign(f0.is_complement());
+            let b = map[f1.node().0 as usize].xor_sign(f1.is_complement());
+            debug_assert_eq!(map.len(), id.0 as usize);
+            map.push(target.and(a, b));
+        }
+        map[self.out.node().0 as usize].xor_sign(self.out.is_complement())
+    }
+
+    /// Counts how many new nodes [`Recipe::paste`] would create, without
+    /// mutating `target`. Also returns the output literal the paste would
+    /// produce when every node hash-hits (`None` if any node is new).
+    pub(crate) fn probe(&self, target: &Aig, leaves: &[Lit]) -> (usize, Option<Lit>) {
+        // `None` marks a virtual (not-yet-existing) node.
+        let mut map: Vec<Option<Lit>> = Vec::with_capacity(self.aig.n_nodes());
+        map.push(Some(Lit::FALSE));
+        for i in 0..self.aig.n_inputs() {
+            map.push(Some(leaves[i]));
+        }
+        let mut added = 0usize;
+        for id in self.aig.and_nodes() {
+            let (f0, f1) = self.aig.fanins(id);
+            let a = map[f0.node().0 as usize].map(|l| l.xor_sign(f0.is_complement()));
+            let b = map[f1.node().0 as usize].map(|l| l.xor_sign(f1.is_complement()));
+            debug_assert_eq!(map.len(), id.0 as usize);
+            let found = match (a, b) {
+                (Some(a), Some(b)) => target.find_and(a, b),
+                _ => None,
+            };
+            if found.is_none() {
+                added += 1;
+            }
+            map.push(found);
+        }
+        let out = map[self.out.node().0 as usize].map(|l| l.xor_sign(self.out.is_complement()));
+        (added, out)
+    }
+}
+
+/// Shared per-pass caches: NPN canonicalization and canonical recipes.
+#[derive(Default)]
+pub(crate) struct RewriteCache {
+    npn: HashMap<TruthTable, (TruthTable, NpnTransform)>,
+    recipes: HashMap<TruthTable, Recipe>,
+}
+
+impl RewriteCache {
+    pub(crate) fn canonical(&mut self, f: &TruthTable) -> (TruthTable, NpnTransform) {
+        self.npn
+            .entry(f.clone())
+            .or_insert_with(|| npn_canonical(f))
+            .clone()
+    }
+
+    pub(crate) fn recipe(&mut self, canon: &TruthTable) -> &Recipe {
+        self.recipes
+            .entry(canon.clone())
+            .or_insert_with(|| Recipe::build(canon))
+    }
+}
+
+/// Instantiation order of cut leaves for a canonical recipe: recipe input
+/// `j` must receive actual leaf `pinv[j]`, complemented per the transform.
+pub(crate) fn transformed_leaves(t: &NpnTransform, actual: &[Lit]) -> (Vec<Lit>, bool) {
+    let inv = t.inverse();
+    let n = actual.len();
+    let mut out = Vec::with_capacity(n);
+    for j in 0..n {
+        let src = inv.perm[j];
+        let neg = t.input_neg & (1 << src) != 0;
+        out.push(actual[src].xor_sign(neg));
+    }
+    (out, t.output_neg)
+}
+
+/// One rewriting pass. Returns an equivalent graph with at most as many
+/// AND nodes as the input.
+pub fn rewrite(aig: &Aig) -> Aig {
+    let mut cache = RewriteCache::default();
+    rewrite_with_cache(aig, &mut cache)
+}
+
+/// Number of cone nodes above `leaves` that would really be freed if
+/// `root` were re-expressed: nodes all of whose fanouts lie inside the
+/// freed set (an MFFC restricted to the cut).
+pub(crate) fn exclusive_cone_size(
+    aig: &Aig,
+    root: crate::NodeId,
+    leaves: &[u32],
+    fanouts: &[u32],
+    refs_inside: &mut Vec<u32>,
+) -> usize {
+    // Collect cone nodes (excluding leaves).
+    let mut cone: Vec<u32> = Vec::new();
+    let mut stack = vec![root.0];
+    while let Some(id) = stack.pop() {
+        if leaves.contains(&id) || cone.contains(&id) {
+            continue;
+        }
+        if aig.is_and(crate::NodeId(id)) {
+            cone.push(id);
+            let (f0, f1) = aig.fanins(crate::NodeId(id));
+            stack.push(f0.node().0);
+            stack.push(f1.node().0);
+        }
+    }
+    // Count, per cone node, how many of its fanout references come from
+    // freed nodes; a node is freed when that count reaches its total
+    // fanout. Iterate from the root downward (cone is in DFS order, but a
+    // fixpoint loop is simplest and the cones are tiny).
+    refs_inside.clear();
+    refs_inside.resize(aig.n_nodes(), 0);
+    let mut freed: Vec<u32> = vec![root.0];
+    let mut frontier = vec![root.0];
+    while let Some(id) = frontier.pop() {
+        let (f0, f1) = aig.fanins(crate::NodeId(id));
+        for child in [f0.node().0, f1.node().0] {
+            if !cone.contains(&child) || freed.contains(&child) {
+                continue;
+            }
+            refs_inside[child as usize] += 1;
+            if refs_inside[child as usize] == fanouts[child as usize] {
+                freed.push(child);
+                frontier.push(child);
+            }
+        }
+    }
+    freed.len()
+}
+
+pub(crate) fn rewrite_with_cache(aig: &Aig, cache: &mut RewriteCache) -> Aig {
+    let cuts = enumerate_cuts(aig, 4, 8);
+    let fanouts = aig.fanout_counts();
+    let mut refs_scratch = Vec::new();
+    let mut new = Aig::new(aig.n_inputs());
+    for i in 0..aig.n_inputs() {
+        new.set_input_name(i, aig.input_name(i).to_string());
+    }
+    let mut map: Vec<Lit> = Vec::with_capacity(aig.n_nodes());
+    map.push(Lit::FALSE);
+    for i in 0..aig.n_inputs() {
+        map.push(new.input(i));
+    }
+    for id in aig.and_nodes() {
+        let (f0, f1) = aig.fanins(id);
+        let a = map[f0.node().0 as usize].xor_sign(f0.is_complement());
+        let b = map[f1.node().0 as usize].xor_sign(f1.is_complement());
+        let naive = new.and(a, b);
+        debug_assert_eq!(map.len(), id.0 as usize);
+        map.push(naive);
+
+        // Try to improve with a cut-based replacement.
+        let mut best: Option<(usize, Lit)> = None;
+        for cut in &cuts[id.0 as usize] {
+            if cut.len() < 2 || cut.leaves() == [id.0] || cut.leaves().contains(&0) {
+                continue;
+            }
+            let mut f = cut_function(aig, id, cut.leaves());
+            let mut leaf_ids: Vec<u32> = cut.leaves().to_vec();
+            // Support reduction: drop leaves the function ignores.
+            let support = f.support();
+            if support.len() < leaf_ids.len() {
+                f = f.project(&support);
+                leaf_ids = support.iter().map(|&v| leaf_ids[v]).collect();
+            }
+            if leaf_ids.is_empty() {
+                continue;
+            }
+            let actual: Vec<Lit> = leaf_ids.iter().map(|&l| map[l as usize]).collect();
+            let (canon, t) = cache.canonical(&f);
+            let (leaves, out_neg) = transformed_leaves(&t, &actual);
+            let recipe = cache.recipe(&canon);
+            let (cost, probed_out) = recipe.probe(&new, &leaves);
+            // A candidate that resolves to the node we already have is a
+            // no-op; skip it so it cannot displace real improvements.
+            if probed_out.map(|l| l.xor_sign(out_neg)) == Some(map[id.0 as usize]) {
+                continue;
+            }
+            let freed =
+                exclusive_cone_size(aig, id, cut.leaves(), &fanouts, &mut refs_scratch);
+            // Zero-cost candidates reuse existing structure and never add
+            // nodes, so they are always worth taking even when the freed
+            // estimate is conservative.
+            if cost < freed || cost == 0 {
+                let score = (freed + 1).saturating_sub(cost);
+                if best.as_ref().map_or(true, |(s, _)| score > *s) {
+                    let recipe = recipe.clone();
+                    let lit = recipe.paste(&mut new, &leaves).xor_sign(out_neg);
+                    best = Some((score, lit));
+                }
+            }
+        }
+        if let Some((_, lit)) = best {
+            map[id.0 as usize] = lit;
+        }
+    }
+    for (name, lit) in aig.outputs() {
+        let l = map[lit.node().0 as usize].xor_sign(lit.is_complement());
+        new.add_output(name.clone(), l);
+    }
+    let new = new.compact();
+    if new.n_ands() < aig.n_ands() {
+        new
+    } else {
+        aig.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_rewrite(aig: &Aig) -> Aig {
+        let out = rewrite(aig);
+        assert!(aig.equivalent(&out), "rewrite changed the function");
+        assert!(out.n_ands() <= aig.n_ands(), "rewrite grew the graph");
+        out
+    }
+
+    #[test]
+    fn removes_redundant_structure() {
+        // f = (a·b)·(a·(b·c)) == a·b·c: naive structure has 4 ANDs.
+        let mut g = Aig::new(3);
+        let a = g.input(0);
+        let b = g.input(1);
+        let c = g.input(2);
+        let ab = g.and(a, b);
+        let bc = g.and(b, c);
+        let abc = g.and(a, bc);
+        let f = g.and(ab, abc);
+        g.add_output("f", f);
+        assert_eq!(g.n_ands(), 4);
+        let out = check_rewrite(&g);
+        assert!(out.n_ands() <= 2, "a·b·c needs 2 ANDs, got {}", out.n_ands());
+    }
+
+    #[test]
+    fn rewrite_is_identity_on_optimal_graphs() {
+        let mut g = Aig::new(2);
+        let a = g.input(0);
+        let b = g.input(1);
+        let f = g.xor(a, b);
+        g.add_output("f", f);
+        let out = check_rewrite(&g);
+        assert_eq!(out.n_ands(), 3);
+    }
+
+    #[test]
+    fn rewrite_mux_structures() {
+        // Double mux selecting same data collapses; one greedy pass must
+        // shrink it, and the full script reaches the 3-AND optimum.
+        let mut g = Aig::new(3);
+        let s = g.input(0);
+        let a = g.input(1);
+        let b = g.input(2);
+        let m1 = g.mux(s, a, b);
+        let m2 = g.mux(s, m1, b); // equivalent to m1
+        g.add_output("f", m2);
+        let once = check_rewrite(&g);
+        assert!(once.n_ands() < g.n_ands(), "got {}", once.n_ands());
+        let full = crate::Script::standard().run(&g);
+        assert!(full.equivalent(&g));
+        assert!(full.n_ands() <= 3, "script got {}", full.n_ands());
+    }
+
+    #[test]
+    fn recipe_paste_probe_agree() {
+        let f = TruthTable::from_fn(4, |m| (m * 11) % 3 == 1);
+        let recipe = Recipe::build(&f);
+        let mut target = Aig::new(4);
+        let leaves: Vec<Lit> = (0..4).map(|i| target.input(i)).collect();
+        let (probed, _) = recipe.probe(&target, &leaves);
+        let before = target.n_ands();
+        let out = recipe.paste(&mut target, &leaves);
+        assert_eq!(target.n_ands() - before, probed, "probe must predict paste");
+        // Second paste is free: everything hash-hits and the probe
+        // resolves the output literal exactly.
+        assert_eq!(recipe.probe(&target, &leaves), (0, Some(out)));
+        let out2 = recipe.paste(&mut target, &leaves);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn transformed_leaves_semantics() {
+        // For any transform and function, pasting the canonical recipe on
+        // transformed leaves must reproduce the original function.
+        let f = TruthTable::from_fn(3, |m| [0, 1, 1, 0, 1, 0, 0, 0][m] == 1);
+        let (canon, t) = npn_canonical(&f);
+        let recipe = Recipe::build(&canon);
+        let mut aig = Aig::new(3);
+        let actual: Vec<Lit> = (0..3).map(|i| aig.input(i)).collect();
+        let (leaves, out_neg) = transformed_leaves(&t, &actual);
+        let lit = recipe.paste(&mut aig, &leaves).xor_sign(out_neg);
+        aig.add_output("f", lit);
+        assert_eq!(aig.output_functions()[0], f);
+    }
+
+    #[test]
+    fn rewrite_large_random_graph() {
+        // A deterministic random 8-input graph: rewrite must preserve the
+        // function and never grow.
+        let mut g = Aig::new(8);
+        let mut lits: Vec<Lit> = (0..8).map(|i| g.input(i)).collect();
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..120 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (state >> 16) as usize % lits.len();
+            let j = (state >> 32) as usize % lits.len();
+            let inv = (state >> 48) & 1 == 1;
+            let a = lits[i];
+            let b = if inv { !lits[j] } else { lits[j] };
+            let f = g.and(a, b);
+            lits.push(f);
+        }
+        let f = *lits.last().expect("non-empty");
+        g.add_output("f", f);
+        check_rewrite(&g);
+    }
+}

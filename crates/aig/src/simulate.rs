@@ -1,0 +1,76 @@
+//! Exhaustive truth-table simulation of an [`Aig`].
+
+use mvf_logic::TruthTable;
+
+use crate::{Aig, NodeId};
+
+/// Computes the truth table of every node over the primary inputs.
+///
+/// # Panics
+///
+/// Panics if the graph has more inputs than [`mvf_logic::MAX_VARS`].
+pub(crate) fn simulate_nodes(aig: &Aig) -> Vec<TruthTable> {
+    let n = aig.n_inputs();
+    assert!(
+        n <= mvf_logic::MAX_VARS,
+        "exhaustive simulation limited to {} inputs",
+        mvf_logic::MAX_VARS
+    );
+    let mut tts: Vec<TruthTable> = Vec::with_capacity(aig.n_nodes());
+    tts.push(TruthTable::zero(n)); // constant node
+    for i in 0..n {
+        tts.push(TruthTable::var(i, n));
+    }
+    for id in (n as u32 + 1..aig.n_nodes() as u32).map(NodeId) {
+        if !aig.is_and(id) {
+            // Defensive: non-AND nodes beyond the inputs cannot occur.
+            tts.push(TruthTable::zero(n));
+            continue;
+        }
+        let (f0, f1) = aig.fanins(id);
+        let t0 = &tts[f0.node().0 as usize];
+        let t0 = if f0.is_complement() { t0.not() } else { t0.clone() };
+        let t1 = &tts[f1.node().0 as usize];
+        let t1 = if f1.is_complement() { t1.not() } else { t1.clone() };
+        tts.push(t0.and(&t1));
+    }
+    tts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_matches_manual_eval() {
+        let mut g = Aig::new(3);
+        let a = g.input(0);
+        let b = g.input(1);
+        let c = g.input(2);
+        let ab = g.and(a, !b);
+        let f = g.or(ab, c);
+        g.add_output("f", f);
+        let fs = g.output_functions();
+        for m in 0..8usize {
+            let (av, bv, cv) = (m & 1 == 1, m & 2 == 2, m & 4 == 4);
+            assert_eq!(fs[0].get(m), (av && !bv) || cv);
+        }
+    }
+
+    #[test]
+    fn simulation_of_wide_graph() {
+        // 10-input parity via xor chain: exercises multi-word tables.
+        let mut g = Aig::new(10);
+        let mut acc = g.input(0);
+        for i in 1..10 {
+            let x = g.input(i);
+            acc = g.xor(acc, x);
+        }
+        g.add_output("parity", acc);
+        let f = &g.output_functions()[0];
+        for m in [0usize, 1, 0b1010101010, 0b1111111111, 0x155] {
+            assert_eq!(f.get(m), m.count_ones() % 2 == 1, "m={m:b}");
+        }
+        assert_eq!(f.count_ones(), 512);
+    }
+}

@@ -1,0 +1,268 @@
+//! The adversary of the paper's §I: plausibility testing of viable
+//! functions against a camouflaged netlist.
+//!
+//! The attacker has imaged the delayered chip, identified every cell
+//! (including the camouflaged look-alikes and their plausible-function
+//! sets) and knows a list of viable functions. For each viable function
+//! she asks: *is there a doping configuration under which the circuit
+//! implements it?* — an ∃∀ query ([14]'s QBF formulation) decided here by
+//! input-unrolled SAT over the configuration selectors ([`is_plausible`]).
+//!
+//! Because the designer is also free to permute I/O pins, the adversary
+//! must consider a function plausible if **some** input/output
+//! interpretation works ([`is_plausible_any_io`]).
+//!
+//! [`random_camouflage`] builds the paper's strawman — camouflage every
+//! gate of a single-function circuit — whose plausible set, while
+//! exponentially large, almost never contains the *other* viable
+//! functions. The integration tests demonstrate exactly that separation.
+//!
+//! # Example
+//!
+//! ```
+//! use mvf_attack::{is_plausible, random_camouflage};
+//! use mvf_cells::{CamoLibrary, Library};
+//! use mvf_sboxes::optimal_sboxes;
+//!
+//! let lib = Library::standard();
+//! let camo = CamoLibrary::from_library(&lib);
+//! let f0 = &optimal_sboxes()[0];
+//! let circuit = random_camouflage(f0, &lib, &camo)?;
+//! // The true function is always plausible for its own camouflaged
+//! // netlist.
+//! assert!(is_plausible(&circuit, &lib, &camo, f0));
+//! # Ok::<(), mvf_attack::AttackError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::VectorFunction;
+use mvf_netlist::{CellRef, Netlist};
+use mvf_sat::{encode_netlist, Lit};
+
+/// Errors from attack-model construction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// Building the reference circuit failed.
+    Build(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Build(e) => write!(f, "building attack target failed: {e}"),
+        }
+    }
+}
+
+impl Error for AttackError {}
+
+/// Decides whether `candidate` is plausible for the camouflaged netlist
+/// under the *fixed* (identity) pin interpretation: does some doping
+/// configuration make the circuit equal `candidate` on every input?
+///
+/// # Panics
+///
+/// Panics if the candidate's shape does not match the netlist.
+pub fn is_plausible(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    candidate: &VectorFunction,
+) -> bool {
+    assert_eq!(candidate.n_inputs(), nl.inputs().len(), "input arity mismatch");
+    assert_eq!(candidate.n_outputs(), nl.outputs().len(), "output arity mismatch");
+    let mut cnf = encode_netlist(nl, lib, camo);
+    let mut assumptions = Vec::new();
+    for (m, row) in cnf.row_outputs.iter().enumerate() {
+        let want = candidate.eval(m);
+        for (o, &v) in row.iter().enumerate() {
+            assumptions.push(Lit::with_polarity(v, (want >> o) & 1 == 1));
+        }
+    }
+    cnf.solver.solve_with(&assumptions)
+}
+
+/// Decides plausibility under the paper's interpretation freedom: the
+/// adversary does not know which wire carries which logical signal, so
+/// `candidate` is plausible if it is plausible under **some** input and
+/// output permutation.
+///
+/// The search re-uses one encoding and tries permutations as assumption
+/// sets, so the cost is `n_in! · n_out!` incremental SAT calls — fine for
+/// the 4-bit blocks of the paper.
+pub fn is_plausible_any_io(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    candidate: &VectorFunction,
+) -> bool {
+    let n_in = nl.inputs().len();
+    let n_out = nl.outputs().len();
+    assert_eq!(candidate.n_inputs(), n_in, "input arity mismatch");
+    assert_eq!(candidate.n_outputs(), n_out, "output arity mismatch");
+    let mut cnf = encode_netlist(nl, lib, camo);
+    for in_perm in mvf_logic::npn::all_permutations(n_in) {
+        let permuted_in = match candidate.permute_inputs(&in_perm) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        for out_perm in mvf_logic::npn::all_permutations(n_out) {
+            let permuted = match permuted_in.permute_outputs(&out_perm) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let mut assumptions = Vec::new();
+            for (m, row) in cnf.row_outputs.iter().enumerate() {
+                let want = permuted.eval(m);
+                for (o, &v) in row.iter().enumerate() {
+                    assumptions.push(Lit::with_polarity(v, (want >> o) & 1 == 1));
+                }
+            }
+            if cnf.solver.solve_with(&assumptions) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Builds the paper's baseline: synthesize a *single* function, map it to
+/// the standard library, then blindly replace every gate with its
+/// camouflaged look-alike. The result has exponentially many plausible
+/// functions — but, as the paper argues, almost surely not the *other*
+/// viable functions.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Build`] if synthesis or mapping fails.
+pub fn random_camouflage(
+    function: &VectorFunction,
+    lib: &Library,
+    camo: &CamoLibrary,
+) -> Result<Netlist, AttackError> {
+    let funcs = vec![function.clone()];
+    let assignment = mvf_merge::PinAssignment::identity(&funcs);
+    let merged = mvf_merge::build_merged(&funcs, &assignment)
+        .map_err(|e| AttackError::Build(e.to_string()))?;
+    let synthesized = mvf_aig::Script::fast().run(&merged.aig);
+    let subject = mvf_netlist::subject_graph::from_aig(&synthesized, lib);
+    let plain = mvf_techmap::map_standard(&subject, lib, &mvf_techmap::MapOptions::default())
+        .map_err(|e| AttackError::Build(e.to_string()))?;
+    // Replace every gate by the look-alike camouflaged variant.
+    let mut out = Netlist::new(format!("{}_randcamo", plain.name()));
+    let mut net_map = std::collections::HashMap::new();
+    for &pi in plain.inputs() {
+        net_map.insert(pi, out.add_input(plain.net_name(pi).to_string()));
+    }
+    for cid in plain.topo_cells() {
+        let c = plain.cell(cid);
+        let pins: Vec<_> = c.inputs.iter().map(|p| net_map[p]).collect();
+        let cell_ref = match c.cell {
+            CellRef::Std(id) => {
+                let name = lib.cell(id).name().to_string();
+                match camo.iter().find(|(_, cc)| cc.name() == name) {
+                    Some((camo_id, _)) => CellRef::Camo(camo_id),
+                    None => CellRef::Std(id), // tie cells stay standard
+                }
+            }
+            CellRef::Camo(id) => CellRef::Camo(id),
+        };
+        let (_, y) = out.add_cell(c.name.clone(), cell_ref, pins);
+        net_map.insert(c.output, y);
+    }
+    for (name, net) in plain.outputs() {
+        out.add_output(name.clone(), net_map[net]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvf_sboxes::optimal_sboxes;
+
+    fn setup() -> (Library, CamoLibrary) {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        (lib, camo)
+    }
+
+    #[test]
+    fn true_function_is_plausible_for_its_own_circuit() {
+        let (lib, camo) = setup();
+        let f0 = &optimal_sboxes()[0];
+        let circuit = random_camouflage(f0, &lib, &camo).unwrap();
+        assert!(is_plausible(&circuit, &lib, &camo, f0));
+    }
+
+    #[test]
+    fn random_camouflage_does_not_cover_other_viable_functions() {
+        // The paper's core observation (§I): random camouflaging leaves
+        // the other viable functions implausible, so the adversary rules
+        // them out without resolving a single cell.
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let mut ruled_out = 0;
+        for other in &boxes[1..4] {
+            if !is_plausible(&circuit, &lib, &camo, other) {
+                ruled_out += 1;
+            }
+        }
+        assert!(
+            ruled_out >= 2,
+            "random camouflage should rule out most other S-boxes ({ruled_out}/3 ruled out)"
+        );
+    }
+
+    #[test]
+    fn designed_circuit_keeps_all_viable_functions_plausible() {
+        // The flow's guarantee, checked through the adversary's own
+        // decision procedure.
+        let (lib, camo) = setup();
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let assignment = mvf_merge::PinAssignment::identity(&funcs);
+        let merged = mvf_merge::build_merged(&funcs, &assignment).unwrap();
+        let synthesized = mvf_aig::Script::fast().run(&merged.aig);
+        let subject = mvf_netlist::subject_graph::from_aig(&synthesized, &lib);
+        let mapped = mvf_techmap::map_camouflage(
+            &subject,
+            &lib,
+            &camo,
+            &merged.select_indices,
+            &mvf_techmap::CamoMapOptions::default(),
+        )
+        .unwrap();
+        for (j, f) in merged.functions.iter().enumerate() {
+            assert!(
+                is_plausible(&mapped.netlist, &lib, &camo, f),
+                "viable function {j} must be plausible"
+            );
+        }
+    }
+
+    #[test]
+    fn io_permutation_freedom_widens_plausibility() {
+        let (lib, camo) = setup();
+        let f0 = &optimal_sboxes()[0];
+        let circuit = random_camouflage(f0, &lib, &camo).unwrap();
+        // A pin-permuted variant of the true function: implausible under
+        // the identity interpretation, plausible when the adversary
+        // searches interpretations.
+        let permuted = f0
+            .permute_inputs(&[1, 0, 2, 3])
+            .unwrap()
+            .permute_outputs(&[0, 1, 3, 2])
+            .unwrap();
+        if !is_plausible(&circuit, &lib, &camo, &permuted) {
+            assert!(is_plausible_any_io(&circuit, &lib, &camo, &permuted));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Ablations for the design choices called out in DESIGN.md:
+//!
+//! * camouflage-mapper subtree depth bound (the paper's "depth < 3");
+//! * allowing standard cells for select-independent cones;
+//! * GA operators: full GA vs mutation-only vs random search.
+//!
+//! Results are printed as small tables before the timing section.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvf::FlowConfig;
+use mvf_aig::Script;
+use mvf_cells::{CamoLibrary, Library};
+use mvf_ga::{GaConfig, GeneticAlgorithm};
+use mvf_merge::{build_merged, PinAssignment};
+use mvf_netlist::subject_graph;
+use mvf_techmap::{map_camouflage, CamoMapOptions};
+
+fn depth_ablation() {
+    println!("\n--- Ablation: camo-mapper subtree depth bound (PRESENT x4) ---");
+    println!("{:<8} {:>12} {:>10}", "depth", "area (GE)", "cells");
+    let functions = mvf_sboxes::optimal_sboxes()[..4].to_vec();
+    let merged = build_merged(&functions, &PinAssignment::identity(&functions)).unwrap();
+    let synthesized = Script::fast().run(&merged.aig);
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let subject = subject_graph::from_aig(&synthesized, &lib);
+    for depth in [2usize, 3, 4, 5, 6] {
+        let opts = CamoMapOptions { max_depth: depth, ..CamoMapOptions::default() };
+        match map_camouflage(&subject, &lib, &camo, &merged.select_indices, &opts) {
+            Ok(m) => println!(
+                "{:<8} {:>12.1} {:>10}",
+                depth,
+                m.netlist.area_ge(&lib, Some(&camo)),
+                m.netlist.n_cells()
+            ),
+            Err(e) => println!("{depth:<8} unmappable: {e}"),
+        }
+    }
+}
+
+fn standard_cells_ablation() {
+    println!("\n--- Ablation: standard cells for select-independent cones (PRESENT x4) ---");
+    let functions = mvf_sboxes::optimal_sboxes()[..4].to_vec();
+    let merged = build_merged(&functions, &PinAssignment::identity(&functions)).unwrap();
+    let synthesized = Script::fast().run(&merged.aig);
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let subject = subject_graph::from_aig(&synthesized, &lib);
+    for allow in [true, false] {
+        let opts = CamoMapOptions { allow_standard_cells: allow, ..CamoMapOptions::default() };
+        let m = map_camouflage(&subject, &lib, &camo, &merged.select_indices, &opts)
+            .expect("mappable");
+        let n_camo = m.witness.cells.len();
+        println!(
+            "allow_standard_cells={:<5} area {:>8.1} GE, {} cells ({} camouflaged)",
+            allow,
+            m.netlist.area_ge(&lib, Some(&camo)),
+            m.netlist.n_cells(),
+            n_camo
+        );
+    }
+}
+
+fn ga_operator_ablation() {
+    println!("\n--- Ablation: GA operators (PRESENT x4, tiny budget) ---");
+    let functions = mvf_sboxes::optimal_sboxes()[..4].to_vec();
+    let flow_cfg = FlowConfig::default();
+    let lib = Library::standard();
+    let fitness = |a: &PinAssignment| {
+        mvf::synthesized_area_ge(&functions, a, &flow_cfg.script, &lib, &flow_cfg.map)
+            .unwrap_or(f64::INFINITY)
+    };
+    let base = GaConfig { population: 8, generations: 4, seed: 77, ..GaConfig::default() };
+    for (label, crossover_rate, mutation_rate) in
+        [("full GA", 0.7, 0.4), ("mutation-only", 0.0, 1.0), ("crossover-only", 1.0, 0.0)]
+    {
+        let cfg = GaConfig { crossover_rate, mutation_rate, ..base.clone() };
+        let engine = GeneticAlgorithm::new(cfg);
+        let res = engine.run(
+            |rng| mvf::random_assignment(&functions, rng),
+            |g, rng| {
+                let j = rand::Rng::gen_range(rng, 0..g.input_perms.len());
+                mvf_ga::permutation::swap_mutation(&mut g.input_perms[j], rng);
+            },
+            |a, b, rng| {
+                let mut child = a.clone();
+                for (cp, bp) in child.input_perms.iter_mut().zip(&b.input_perms) {
+                    *cp = mvf_ga::permutation::pmx(cp, bp, rng);
+                }
+                child
+            },
+            fitness,
+        );
+        println!("{label:<15} best {:>7.1} GE in {} evals", res.best_fitness, res.evaluations);
+    }
+    let budget = GeneticAlgorithm::new(base).evaluation_budget();
+    let rs = mvf_ga::random_search(budget, 99, |rng| mvf::random_assignment(&functions, rng), fitness);
+    println!("{:<15} best {:>7.1} GE in {} evals", "random search", rs.best_fitness, budget);
+}
+
+fn bench(c: &mut Criterion) {
+    depth_ablation();
+    standard_cells_ablation();
+    ga_operator_ablation();
+
+    // Time the camouflage mapper itself at the default depth.
+    let functions = mvf_sboxes::optimal_sboxes()[..4].to_vec();
+    let merged = build_merged(&functions, &PinAssignment::identity(&functions)).unwrap();
+    let synthesized = Script::fast().run(&merged.aig);
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let subject = subject_graph::from_aig(&synthesized, &lib);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("camo_map_present4", |b| {
+        b.iter(|| {
+            map_camouflage(
+                &subject,
+                &lib,
+                &camo,
+                &merged.select_indices,
+                &CamoMapOptions::default(),
+            )
+            .expect("mappable")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates **Fig. 4**: the random-pin-assignment area distribution
+//! (4a) and the GA trajectory against the random average/best lines (4b),
+//! for the 8-merged-PRESENT-S-box workload the paper plots.
+//!
+//! Series are printed before the timing section.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvf::{random_assignment, synthesized_area_ge, Fig4Data};
+use mvf_bench::bench_flow;
+use mvf_ga::GeneticAlgorithm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_fig4() -> Fig4Data {
+    let flow = bench_flow();
+    let functions = mvf_sboxes::optimal_sboxes()[..8].to_vec();
+    let budget = GeneticAlgorithm::new(flow.config().ga.clone()).evaluation_budget();
+    let baseline = flow.random_baseline(&functions, budget, 0xF16);
+    let result = flow.run(&functions).expect("flow succeeds");
+    Fig4Data {
+        random_samples: baseline.samples,
+        random_avg: baseline.avg_area_ge,
+        random_best: baseline.best_area_ge,
+        ga_history: result.ga_history,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("=== Regenerating Fig. 4 (8 merged PRESENT S-boxes) ===");
+    let data = regenerate_fig4();
+    println!("\n{data}");
+    let last = data.ga_history.last().expect("history");
+    println!(
+        "GA best {:.0} GE vs best random {:.0} GE ({})",
+        last.best_so_far,
+        data.random_best,
+        if last.best_so_far <= data.random_best {
+            "GA surpasses best random, as in the paper"
+        } else {
+            "increase the budget (MVF_GA_GENS) to see the crossover"
+        }
+    );
+
+    // Component timing: the per-individual cost that dominates both
+    // search arms.
+    let flow = bench_flow();
+    let functions = mvf_sboxes::optimal_sboxes()[..8].to_vec();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("fitness_eval_present8", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let a = random_assignment(&functions, &mut rng);
+            synthesized_area_ge(
+                &functions,
+                &a,
+                &flow.config().script,
+                flow.library(),
+                &flow.config().map,
+            )
+            .expect("fitness")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

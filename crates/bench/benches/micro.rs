@@ -1,0 +1,102 @@
+//! Component microbenchmarks: synthesis passes, technology mapping, NPN
+//! canonicalization, merged-circuit construction, exhaustive validation
+//! and the SAT-based plausibility attack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvf_aig::Script;
+use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::npn::npn_canonical;
+use mvf_logic::TruthTable;
+use mvf_merge::{build_merged, PinAssignment};
+use mvf_netlist::subject_graph;
+use mvf_techmap::{map_camouflage, map_standard, CamoMapOptions, MapOptions};
+
+fn bench(c: &mut Criterion) {
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let functions = mvf_sboxes::optimal_sboxes()[..4].to_vec();
+    let merged = build_merged(&functions, &PinAssignment::identity(&functions)).unwrap();
+    let synthesized = Script::fast().run(&merged.aig);
+    let subject = subject_graph::from_aig(&synthesized, &lib);
+
+    c.bench_function("merge_present4", |b| {
+        b.iter(|| build_merged(&functions, &PinAssignment::identity(&functions)).unwrap())
+    });
+
+    c.bench_function("synthesis_fast_present4", |b| {
+        b.iter(|| Script::fast().run(&merged.aig))
+    });
+
+    c.bench_function("synthesis_standard_present4", |b| {
+        b.iter(|| Script::standard().run(&merged.aig))
+    });
+
+    c.bench_function("map_standard_present4", |b| {
+        b.iter(|| map_standard(&subject, &lib, &MapOptions::default()).unwrap())
+    });
+
+    c.bench_function("map_camouflage_present4", |b| {
+        b.iter(|| {
+            map_camouflage(
+                &subject,
+                &lib,
+                &camo,
+                &merged.select_indices,
+                &CamoMapOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    let mapped = map_camouflage(
+        &subject,
+        &lib,
+        &camo,
+        &merged.select_indices,
+        &CamoMapOptions::default(),
+    )
+    .unwrap();
+
+    c.bench_function("validate_mapped_present4", |b| {
+        b.iter(|| mvf_sim::validate_mapped(&mapped, &lib, &camo, &merged.functions).unwrap())
+    });
+
+    let mut group = c.benchmark_group("attack");
+    group.sample_size(10);
+    group.bench_function("sat_plausibility_present4", |b| {
+        b.iter(|| {
+            assert!(mvf_attack::is_plausible(
+                &mapped.netlist,
+                &lib,
+                &camo,
+                &merged.functions[0]
+            ))
+        })
+    });
+    group.finish();
+
+    c.bench_function("npn_canonical_4var", |b| {
+        let tts: Vec<TruthTable> = (0..32u64)
+            .map(|i| TruthTable::from_word(4, i.wrapping_mul(0x9E3779B97F4A7C15)).unwrap())
+            .collect();
+        b.iter(|| {
+            for t in &tts {
+                criterion::black_box(npn_canonical(t));
+            }
+        })
+    });
+
+    c.bench_function("isop_6var", |b| {
+        let tts: Vec<TruthTable> = (0..16u64)
+            .map(|i| TruthTable::from_word(6, i.wrapping_mul(0xD1B54A32D192ED03)).unwrap())
+            .collect();
+        b.iter(|| {
+            for t in &tts {
+                criterion::black_box(mvf_logic::isop(t, t));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

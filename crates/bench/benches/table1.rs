@@ -1,0 +1,75 @@
+//! Regenerates **Table I**: area comparison for merged S-box circuits —
+//! random-assignment average/best, GA, GA+TM, and the improvement of
+//! GA+TM over the best random assignment.
+//!
+//! The table is printed before the timing section. Scale the search
+//! budget with `MVF_GA_POP` / `MVF_GA_GENS` or `MVF_PAPER_SCALE=1`
+//! (see `mvf-bench` docs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvf::{random_assignment, synthesized_area_ge, Table1, Table1Row};
+use mvf_bench::{bench_flow, table1_workloads};
+use mvf_ga::GeneticAlgorithm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate_table1() -> Table1 {
+    let flow = bench_flow();
+    let mut table = Table1::default();
+    for w in table1_workloads() {
+        let budget = GeneticAlgorithm::new(flow.config().ga.clone()).evaluation_budget();
+        // Random baseline with the same evaluation budget as the GA.
+        let baseline = flow.random_baseline(&w.functions, budget, 0xBA5E + w.n as u64);
+        let result = flow.run(&w.functions).expect("flow succeeds");
+        table.rows.push(Table1Row {
+            circuit: w.family.to_string(),
+            n_sboxes: w.n,
+            random_avg: baseline.avg_area_ge,
+            random_best: baseline.best_area_ge,
+            ga: result.synthesized_area_ge,
+            ga_tm: result.mapped_area_ge,
+        });
+        eprintln!(
+            "  [{} x{}] random avg {:.0} / best {:.0} | GA {:.0} | GA+TM {:.0} | impr {:.0}%",
+            w.family,
+            w.n,
+            baseline.avg_area_ge,
+            baseline.best_area_ge,
+            result.synthesized_area_ge,
+            result.mapped_area_ge,
+            table.rows.last().expect("row").improvement_pct()
+        );
+    }
+    table
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("=== Regenerating Table I (env knobs: MVF_GA_POP/MVF_GA_GENS/MVF_PAPER_SCALE) ===");
+    let table = regenerate_table1();
+    println!("\n{table}");
+
+    // Component timing: one fitness evaluation per workload family/size.
+    let flow = bench_flow();
+    let mut group = c.benchmark_group("table1_fitness_eval");
+    group.sample_size(10);
+    for w in table1_workloads() {
+        group.bench_function(format!("{}_{}", w.family, w.n), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let a = random_assignment(&w.functions, &mut rng);
+                synthesized_area_ge(
+                    &w.functions,
+                    &a,
+                    &flow.config().script,
+                    flow.library(),
+                    &flow.config().map,
+                )
+                .expect("fitness")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Shared helpers for the benchmark harness that regenerates the paper's
+//! tables and figures.
+//!
+//! Budgets are environment-tunable so the default `cargo bench` finishes
+//! in minutes while `MVF_PAPER_SCALE=1` reproduces the paper's evaluation
+//! budget (9726 fitness evaluations per workload):
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MVF_GA_POP` | GA population | 8 |
+//! | `MVF_GA_GENS` | GA generations | 5 |
+//! | `MVF_PAPER_SCALE` | population 24 / generations ~415 as in the paper | off |
+
+use mvf::{Flow, FlowConfig};
+use mvf_logic::VectorFunction;
+
+/// A named workload: family label and the merged S-boxes.
+pub struct Workload {
+    /// "PRESENT" or "DES".
+    pub family: &'static str,
+    /// Number of merged S-boxes.
+    pub n: usize,
+    /// The viable functions.
+    pub functions: Vec<VectorFunction>,
+}
+
+/// The seven Table I workloads: PRESENT 2/4/8/16 and DES 2/4/8.
+pub fn table1_workloads() -> Vec<Workload> {
+    let opt = mvf_sboxes::optimal_sboxes();
+    let des = mvf_sboxes::des_sboxes();
+    let mut w = Vec::new();
+    for n in [2usize, 4, 8, 16] {
+        w.push(Workload { family: "PRESENT", n, functions: opt[..n].to_vec() });
+    }
+    for n in [2usize, 4, 8] {
+        w.push(Workload { family: "DES", n, functions: des[..n].to_vec() });
+    }
+    w
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The benchmark flow configuration, honoring the env knobs.
+pub fn bench_config() -> FlowConfig {
+    let mut config = FlowConfig::default();
+    if std::env::var_os("MVF_PAPER_SCALE").is_some() {
+        // The paper evaluates 9726 individuals; with elitism 2 this is
+        // population 24 + 442 generations of 22 children.
+        config.ga.population = 24;
+        config.ga.generations = 442;
+    } else {
+        config.ga.population = env_usize("MVF_GA_POP", 8);
+        config.ga.generations = env_usize("MVF_GA_GENS", 5);
+    }
+    config
+}
+
+/// Builds the flow for benchmarking.
+pub fn bench_flow() -> Flow {
+    Flow::new(bench_config())
+}

@@ -1,0 +1,459 @@
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+use mvf_logic::{npn::all_permutations, TruthTable};
+
+use crate::{CellKind, LibCellId, Library};
+
+/// The doping state of one input pin of a camouflaged cell.
+///
+/// A look-alike cell is programmed at the doping level: each pin's
+/// transistors can be left functional or silently stuck so the pin reads a
+/// constant. All three states are indistinguishable under imaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinState {
+    /// The pin behaves normally.
+    Active,
+    /// The pin is internally stuck at 0.
+    Stuck0,
+    /// The pin is internally stuck at 1.
+    Stuck1,
+}
+
+/// Identifier of a cell within a [`CamoLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CamoCellId(pub u32);
+
+/// A camouflaged look-alike cell.
+///
+/// The cell is visually identical to its nominal base cell, has the same
+/// area, and can implement any function in its **plausible set** — the
+/// closure of the nominal function under cofactoring with respect to every
+/// subset of inputs and every polarity (paper §II, Fig. 1).
+#[derive(Debug, Clone)]
+pub struct CamoCell {
+    base: LibCellId,
+    kind: CellKind,
+    name: String,
+    n_inputs: usize,
+    area_ge: f64,
+    nominal: TruthTable,
+    /// Distinct plausible functions, sorted for determinism.
+    plausible: Vec<TruthTable>,
+    /// Plausible set additionally closed under input permutation, for the
+    /// O(1) pre-filter used by the matcher.
+    perm_closed: HashSet<TruthTable>,
+}
+
+impl CamoCell {
+    fn from_lib_cell(base: LibCellId, lib: &Library) -> Self {
+        let cell = lib.cell(base);
+        let nominal = cell.function().clone();
+        let plausible = cofactor_closure(&nominal);
+        let mut perm_closed = HashSet::new();
+        let perms = all_permutations(nominal.n_vars());
+        for f in &plausible {
+            for p in &perms {
+                perm_closed.insert(f.permute(p).expect("valid permutation"));
+            }
+        }
+        CamoCell {
+            base,
+            kind: cell.kind(),
+            name: cell.name().to_string(),
+            n_inputs: cell.n_inputs(),
+            area_ge: cell.area_ge(),
+            nominal,
+            plausible,
+            perm_closed,
+        }
+    }
+
+    /// The id of the look-alike base cell in the standard library.
+    pub fn base(&self) -> LibCellId {
+        self.base
+    }
+
+    /// The base cell's gate family.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The base cell's name (a camouflaged cell is indistinguishable from
+    /// it, so it shares the name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of input pins.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Area in gate equivalents — identical to the base cell's, which is
+    /// the entire point of a look-alike.
+    pub fn area_ge(&self) -> f64 {
+        self.area_ge
+    }
+
+    /// The nominal (undoped) function.
+    pub fn nominal(&self) -> &TruthTable {
+        &self.nominal
+    }
+
+    /// The distinct plausible functions, in deterministic order.
+    pub fn plausible(&self) -> &[TruthTable] {
+        &self.plausible
+    }
+
+    /// The function realized by a doping configuration.
+    ///
+    /// Stuck pins are cofactored out; the result still has full pin arity
+    /// but no longer depends on stuck pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.len() != n_inputs`.
+    pub fn config_function(&self, config: &[PinState]) -> TruthTable {
+        assert_eq!(config.len(), self.n_inputs, "config arity mismatch");
+        let mut f = self.nominal.clone();
+        for (pin, &st) in config.iter().enumerate() {
+            match st {
+                PinState::Active => {}
+                PinState::Stuck0 => f = f.cofactor(pin, false),
+                PinState::Stuck1 => f = f.cofactor(pin, true),
+            }
+        }
+        f
+    }
+
+    /// Finds a doping configuration realizing `f` over the cell pins, if
+    /// one exists.
+    pub fn config_for(&self, f: &TruthTable) -> Option<Vec<PinState>> {
+        if f.n_vars() != self.n_inputs {
+            return None;
+        }
+        let states = [PinState::Active, PinState::Stuck0, PinState::Stuck1];
+        let mut config = vec![PinState::Active; self.n_inputs];
+        let total = 3usize.pow(self.n_inputs as u32);
+        for code in 0..total {
+            let mut c = code;
+            for slot in config.iter_mut() {
+                *slot = states[c % 3];
+                c /= 3;
+            }
+            if &self.config_function(&config) == f {
+                return Some(config.clone());
+            }
+        }
+        None
+    }
+
+    /// `true` iff `f` (over the cell pins, same arity) is plausible.
+    pub fn is_plausible(&self, f: &TruthTable) -> bool {
+        self.plausible.contains(f)
+    }
+
+    /// Checks whether all `required` functions (over `self.n_inputs`
+    /// variables, where variable `v` is subtree leaf `v`) can be made
+    /// plausible simultaneously under a single pin assignment.
+    ///
+    /// Returns the permutation `perm` (leaf `v` connects to pin `perm[v]`)
+    /// if one exists. This is the containment test of Alg. 1, line 8:
+    /// `plausiblefunctions(g) ⊇ F(ts)` modulo pin ordering.
+    pub fn covers(&self, required: &[TruthTable]) -> Option<Vec<usize>> {
+        if required.is_empty() {
+            return Some((0..self.n_inputs).collect());
+        }
+        if required[0].n_vars() != self.n_inputs {
+            return None;
+        }
+        // Quick reject: every function must be in the permutation-closed set.
+        if !required.iter().all(|f| self.perm_closed.contains(f)) {
+            return None;
+        }
+        // Find one permutation that works for all of them simultaneously.
+        'perm: for perm in all_permutations(self.n_inputs) {
+            for f in required {
+                let g = f.permute(&perm).expect("valid permutation");
+                if !self.plausible.contains(&g) {
+                    continue 'perm;
+                }
+            }
+            return Some(perm);
+        }
+        None
+    }
+}
+
+/// Closure of `f` under cofactoring on every input × polarity.
+fn cofactor_closure(f: &TruthTable) -> Vec<TruthTable> {
+    let mut seen: BTreeSet<TruthTable> = BTreeSet::new();
+    let mut stack = vec![f.clone()];
+    while let Some(g) = stack.pop() {
+        if !seen.insert(g.clone()) {
+            continue;
+        }
+        for v in 0..f.n_vars() {
+            for val in [false, true] {
+                let c = g.cofactor(v, val);
+                if !seen.contains(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// A library of camouflaged look-alike cells, one per logic cell of a base
+/// [`Library`] (tie cells are not camouflaged — they are already
+/// constants). The camouflaged buffer is included: its plausible set
+/// {A, 0, 1} absorbs select-gated wires.
+#[derive(Debug, Clone)]
+pub struct CamoLibrary {
+    cells: Vec<CamoCell>,
+}
+
+impl CamoLibrary {
+    /// Derives the camouflaged variants of every logic cell in `lib`
+    /// (everything except the tie cells).
+    pub fn from_library(lib: &Library) -> Self {
+        let mut cells = Vec::new();
+        for (id, cell) in lib.iter() {
+            match cell.kind() {
+                CellKind::Tie0 | CellKind::Tie1 => continue,
+                _ => cells.push(CamoCell::from_lib_cell(id, lib)),
+            }
+        }
+        CamoLibrary { cells }
+    }
+
+    /// Number of camouflaged cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` iff the library has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn cell(&self, id: CamoCellId) -> &CamoCell {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Looks a cell up by (base-cell) name.
+    pub fn cell_by_name(&self, name: &str) -> Option<&CamoCell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CamoCellId, &CamoCell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CamoCellId(i as u32), c))
+    }
+
+    /// Cells with exactly `n` input pins.
+    pub fn cells_with_arity(&self, n: usize) -> impl Iterator<Item = (CamoCellId, &CamoCell)> {
+        self.iter().filter(move |(_, c)| c.n_inputs == n)
+    }
+}
+
+impl fmt::Display for CamoCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "camo-{} ({} plausible fns)", self.name, self.plausible.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camo(name: &str) -> CamoCell {
+        let lib = Library::standard();
+        CamoLibrary::from_library(&lib)
+            .cell_by_name(name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+            .clone()
+    }
+
+    #[test]
+    fn fig1b_nand2_plausible_set() {
+        // The paper's Fig. 1b: camo NAND2 ∈ {¬(AB), ¬A, ¬B, 0, 1}.
+        let cell = camo("NAND2");
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let expect: BTreeSet<TruthTable> = [
+            a.and(&b).not(),
+            a.not(),
+            b.not(),
+            TruthTable::zero(2),
+            TruthTable::one(2),
+        ]
+        .into_iter()
+        .collect();
+        let got: BTreeSet<TruthTable> = cell.plausible().iter().cloned().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn and2_plausible_set() {
+        let cell = camo("AND2");
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        // Both pins stuck at 1 realizes constant 1, so the closure holds
+        // five functions, mirroring Fig. 1b's five for NAND2.
+        let expect: BTreeSet<TruthTable> = [
+            a.and(&b),
+            a.clone(),
+            b.clone(),
+            TruthTable::zero(2),
+            TruthTable::one(2),
+        ]
+        .into_iter()
+        .collect();
+        let got: BTreeSet<TruthTable> = cell.plausible().iter().cloned().collect();
+        assert_eq!(got, expect);
+        // AND2 can realize a bare wire to either pin: the mux-absorption
+        // property Phase III exploits.
+        assert!(cell.is_plausible(&a));
+        assert!(cell.is_plausible(&b));
+    }
+
+    #[test]
+    fn inv_plausible_set() {
+        let cell = camo("INV");
+        assert_eq!(cell.plausible().len(), 3); // ¬A, 0, 1
+        assert!(cell.is_plausible(&TruthTable::var(0, 1).not()));
+        assert!(cell.is_plausible(&TruthTable::zero(1)));
+        assert!(cell.is_plausible(&TruthTable::one(1)));
+    }
+
+    #[test]
+    fn config_function_matches_cofactors() {
+        let cell = camo("NAND2");
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        assert_eq!(
+            cell.config_function(&[PinState::Active, PinState::Stuck1]),
+            a.not()
+        );
+        assert_eq!(
+            cell.config_function(&[PinState::Stuck0, PinState::Active]),
+            TruthTable::one(2)
+        );
+        assert_eq!(
+            cell.config_function(&[PinState::Stuck1, PinState::Stuck1]),
+            TruthTable::zero(2)
+        );
+        assert_eq!(
+            cell.config_function(&[PinState::Active, PinState::Active]),
+            a.and(&b).not()
+        );
+    }
+
+    #[test]
+    fn config_for_finds_every_plausible_function() {
+        for name in ["NAND2", "NOR3", "AND4", "OR2", "INV"] {
+            let cell = camo(name);
+            for f in cell.plausible() {
+                let cfg = cell
+                    .config_for(f)
+                    .unwrap_or_else(|| panic!("{name}: no config for {f:?}"));
+                assert_eq!(&cell.config_function(&cfg), f);
+            }
+        }
+    }
+
+    #[test]
+    fn config_for_rejects_non_plausible() {
+        let cell = camo("NAND2");
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        assert!(cell.config_for(&a.xor(&b)).is_none());
+        assert!(cell.config_for(&a.and(&b)).is_none()); // AND is not plausible for NAND
+    }
+
+    #[test]
+    fn covers_mux_requirement_with_and2() {
+        // A 2:1 mux under select abstraction requires {leaf0, leaf1}.
+        let need = vec![TruthTable::var(0, 2), TruthTable::var(1, 2)];
+        let cell = camo("AND2");
+        assert!(cell.covers(&need).is_some());
+        // NAND2 cannot: its plausible set has only inverted literals.
+        assert!(camo("NAND2").covers(&need).is_none());
+        // OR2 can as well ({A+B, A, B, 1} ⊇ {A, B}).
+        assert!(camo("OR2").covers(&need).is_some());
+    }
+
+    #[test]
+    fn covers_finds_consistent_permutation() {
+        // Require {¬leaf1} only: NAND2 covers it by wiring leaf1 to a pin
+        // and sticking the other pin at 1.
+        let need = vec![TruthTable::var(1, 2).not()];
+        let cell = camo("NAND2");
+        let perm = cell.covers(&need).expect("should cover");
+        let g = need[0].permute(&perm).unwrap();
+        assert!(cell.is_plausible(&g));
+    }
+
+    #[test]
+    fn covers_rejects_mixed_impossible_sets() {
+        // {A·B, A+B} requires both AND and OR plausible in one cell: none
+        // of the doping variants provides that.
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let need = vec![a.and(&b), a.or(&b)];
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        for (_, cell) in camo.cells_with_arity(2) {
+            assert!(cell.covers(&need).is_none(), "{} unexpectedly covers", cell.name());
+        }
+    }
+
+    #[test]
+    fn library_skips_ties_only() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        assert!(camo.cell_by_name("TIE0").is_none());
+        assert!(camo.cell_by_name("TIE1").is_none());
+        assert_eq!(camo.len(), 14); // INV + BUF + 12 multi-input gates
+    }
+
+    #[test]
+    fn buf_plausible_set_absorbs_select_gating() {
+        let cell = camo("BUF");
+        let a = TruthTable::var(0, 1);
+        let got: BTreeSet<TruthTable> = cell.plausible().iter().cloned().collect();
+        let expect: BTreeSet<TruthTable> =
+            [a, TruthTable::zero(1), TruthTable::one(1)].into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn plausible_sets_are_cofactor_closed() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        for (_, cell) in camo.iter() {
+            for f in cell.plausible() {
+                for v in 0..cell.n_inputs() {
+                    for val in [false, true] {
+                        assert!(
+                            cell.is_plausible(&f.cofactor(v, val)),
+                            "{} not closed",
+                            cell.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

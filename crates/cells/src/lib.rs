@@ -1,0 +1,40 @@
+//! Standard-cell and camouflaged-cell libraries.
+//!
+//! The paper's setting (§II) uses doping-programmable look-alike cells: by
+//! silently sticking any subset of a nominal cell's inputs at 0 or 1, the
+//! fabricated cell implements any *cofactor* of its nominal function — while
+//! remaining visually identical to the nominal cell under delayering and
+//! imaging. The set of functions reachable this way is the cell's
+//! **plausible-function set** (Fig. 1b: a camouflaged NAND2 may implement
+//! `¬(A·B)`, `¬A`, `¬B`, `0` or `1`).
+//!
+//! This crate provides:
+//!
+//! * [`CellKind`] / [`LibCell`] / [`Library`] — the base standard-cell
+//!   library the synthesizer maps to (INV, BUF, NAND/NOR/AND/OR with 2–4
+//!   inputs, tie cells), with areas in gate equivalents (GE, NAND2 ≡ 1.0).
+//! * [`CamoCell`] / [`CamoLibrary`] — camouflaged look-alike variants whose
+//!   plausible sets are the cofactor closure of the nominal function, and
+//!   the pin-permutation matcher used by the camouflage technology mapper
+//!   (Alg. 1 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use mvf_cells::{CamoLibrary, Library};
+//!
+//! let lib = Library::standard();
+//! let camo = CamoLibrary::from_library(&lib);
+//! let nand2 = camo.cell_by_name("NAND2").expect("NAND2 exists");
+//! // Fig. 1b: exactly five plausible functions.
+//! assert_eq!(nand2.plausible().len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod camo;
+mod library;
+
+pub use camo::{CamoCell, CamoCellId, CamoLibrary, PinState};
+pub use library::{CellKind, LibCell, LibCellId, Library};

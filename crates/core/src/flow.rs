@@ -1,0 +1,370 @@
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use mvf_aig::Script;
+use mvf_cells::{CamoLibrary, Library};
+use mvf_ga::permutation::{pmx, random_permutation, swap_mutation};
+use mvf_ga::{GaConfig, GenStats, GeneticAlgorithm};
+use mvf_logic::VectorFunction;
+use mvf_merge::{build_merged, MergedCircuit, PinAssignment};
+use mvf_netlist::subject_graph;
+use mvf_techmap::{map_camouflage, map_standard, CamoMapOptions, CamoMappedCircuit, MapOptions};
+
+/// Errors from the end-to-end flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Merged-circuit construction failed.
+    Merge(mvf_merge::MergeError),
+    /// Technology mapping failed.
+    Map(mvf_techmap::MapError),
+    /// Final validation failed — this would be a flow bug.
+    Validation(mvf_sim::ValidationError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Merge(e) => write!(f, "merge: {e}"),
+            FlowError::Map(e) => write!(f, "map: {e}"),
+            FlowError::Validation(e) => write!(f, "validation: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<mvf_merge::MergeError> for FlowError {
+    fn from(e: mvf_merge::MergeError) -> Self {
+        FlowError::Merge(e)
+    }
+}
+
+impl From<mvf_techmap::MapError> for FlowError {
+    fn from(e: mvf_techmap::MapError) -> Self {
+        FlowError::Map(e)
+    }
+}
+
+impl From<mvf_sim::ValidationError> for FlowError {
+    fn from(e: mvf_sim::ValidationError) -> Self {
+        FlowError::Validation(e)
+    }
+}
+
+/// Configuration of the three-phase flow.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Synthesis script (used for fitness evaluation and the final
+    /// circuit alike, as in the paper's single ABC script).
+    pub script: Script,
+    /// Genetic-algorithm settings (Phase II).
+    pub ga: GaConfig,
+    /// Plain-mapping options (area fitness).
+    pub map: MapOptions,
+    /// Camouflage-mapping options (Phase III).
+    pub camo_map: CamoMapOptions,
+    /// Validate the final circuit exhaustively (ModelSim substitute).
+    pub validate: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            script: Script::fast(),
+            ga: GaConfig::default(),
+            map: MapOptions::default(),
+            camo_map: CamoMapOptions::default(),
+            validate: true,
+        }
+    }
+}
+
+/// Output of [`Flow::run`].
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The best pin assignment found by the GA.
+    pub assignment: PinAssignment,
+    /// The merged circuit for that assignment (synthesized).
+    pub merged: MergedCircuit,
+    /// Phase-II area: GE after synthesis + standard mapping ("GA" in
+    /// Table I).
+    pub synthesized_area_ge: f64,
+    /// The camouflage-mapped circuit ("GA+TM" in Table I).
+    pub mapped: CamoMappedCircuit,
+    /// Its GE area.
+    pub mapped_area_ge: f64,
+    /// GA statistics per generation (Fig. 4b).
+    pub ga_history: Vec<GenStats>,
+    /// Total fitness evaluations spent by the GA.
+    pub evaluations: usize,
+}
+
+/// Random-search baseline over pin assignments (Fig. 4a / Table I
+/// "Random" columns).
+#[derive(Debug, Clone)]
+pub struct RandomBaseline {
+    /// Mean sampled area.
+    pub avg_area_ge: f64,
+    /// Best sampled area.
+    pub best_area_ge: f64,
+    /// The best assignment found.
+    pub best_assignment: PinAssignment,
+    /// Every sampled area (histogram data for Fig. 4a).
+    pub samples: Vec<f64>,
+}
+
+/// Draws a uniformly random pin assignment for the given functions.
+pub fn random_assignment(functions: &[VectorFunction], rng: &mut StdRng) -> PinAssignment {
+    PinAssignment {
+        input_perms: functions
+            .iter()
+            .map(|f| random_permutation(f.n_inputs(), rng))
+            .collect(),
+        output_perms: functions
+            .iter()
+            .map(|f| random_permutation(f.n_outputs(), rng))
+            .collect(),
+    }
+}
+
+/// The Phase-II fitness: merge under `assignment`, synthesize with
+/// `script`, map onto the standard library and return the GE area.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] if merging or mapping fails.
+pub fn synthesized_area_ge(
+    functions: &[VectorFunction],
+    assignment: &PinAssignment,
+    script: &Script,
+    lib: &Library,
+    map: &MapOptions,
+) -> Result<f64, FlowError> {
+    let merged = build_merged(functions, assignment)?;
+    let synthesized = script.run(&merged.aig);
+    let subject = subject_graph::from_aig(&synthesized, lib);
+    let mapped = map_standard(&subject, lib, map)?;
+    Ok(mapped.area_ge(lib, None))
+}
+
+/// The end-to-end obfuscation flow (Phases I–III).
+#[derive(Debug, Clone)]
+pub struct Flow {
+    config: FlowConfig,
+    lib: Library,
+    camo: CamoLibrary,
+}
+
+impl Flow {
+    /// Creates a flow over the standard library and its camouflaged
+    /// variants.
+    pub fn new(config: FlowConfig) -> Self {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        Flow { config, lib, camo }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// The standard library in use.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// The camouflaged library in use.
+    pub fn camo_library(&self) -> &CamoLibrary {
+        &self.camo
+    }
+
+    fn fitness(&self, functions: &[VectorFunction], a: &PinAssignment) -> f64 {
+        synthesized_area_ge(functions, a, &self.config.script, &self.lib, &self.config.map)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Runs Phases I–III on the viable functions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] on merge/map failure, or a validation error
+    /// if the mapped circuit cannot realize every viable function (which
+    /// would indicate a bug, and is checked exhaustively when
+    /// `config.validate` is set).
+    pub fn run(&self, functions: &[VectorFunction]) -> Result<FlowResult, FlowError> {
+        // Phase II: GA over pin assignments (Phase I runs inside the
+        // fitness function on every evaluation).
+        let engine = GeneticAlgorithm::new(self.config.ga.clone());
+        let ga = engine.run(
+            |rng| random_assignment(functions, rng),
+            |g, rng| mutate_assignment(g, rng),
+            |a, b, rng| crossover_assignment(a, b, rng),
+            |g| self.fitness(functions, g),
+        );
+        self.finish(functions, ga.best_genome, ga.history, ga.evaluations)
+    }
+
+    /// Completes the flow for a fixed assignment (used for baselines and
+    /// for [`Flow::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flow::run`].
+    pub fn finish(
+        &self,
+        functions: &[VectorFunction],
+        assignment: PinAssignment,
+        ga_history: Vec<GenStats>,
+        evaluations: usize,
+    ) -> Result<FlowResult, FlowError> {
+        let mut merged = build_merged(functions, &assignment)?;
+        merged.aig = self.config.script.run(&merged.aig);
+        let subject = subject_graph::from_aig(&merged.aig, &self.lib);
+        let plain = map_standard(&subject, &self.lib, &self.config.map)?;
+        let synthesized_area = plain.area_ge(&self.lib, None);
+        let mapped = map_camouflage(
+            &subject,
+            &self.lib,
+            &self.camo,
+            &merged.select_indices,
+            &self.config.camo_map,
+        )?;
+        let mapped_area = mapped.netlist.area_ge(&self.lib, Some(&self.camo));
+        if self.config.validate {
+            mvf_sim::validate_mapped(&mapped, &self.lib, &self.camo, &merged.functions)?;
+        }
+        Ok(FlowResult {
+            assignment,
+            merged,
+            synthesized_area_ge: synthesized_area,
+            mapped,
+            mapped_area_ge: mapped_area,
+            ga_history,
+            evaluations,
+        })
+    }
+
+    /// Runs the equal-budget random baseline: `n_evals` random pin
+    /// assignments evaluated with the same fitness as the GA.
+    pub fn random_baseline(
+        &self,
+        functions: &[VectorFunction],
+        n_evals: usize,
+        seed: u64,
+    ) -> RandomBaseline {
+        let rs = mvf_ga::random_search(
+            n_evals,
+            seed,
+            |rng| random_assignment(functions, rng),
+            |g| self.fitness(functions, g),
+        );
+        RandomBaseline {
+            avg_area_ge: rs.avg_fitness,
+            best_area_ge: rs.best_fitness,
+            best_assignment: rs.best_genome,
+            samples: rs.samples,
+        }
+    }
+}
+
+/// Mutation: swap two pins in one random permutation of the genotype.
+fn mutate_assignment(g: &mut PinAssignment, rng: &mut StdRng) {
+    let n = g.input_perms.len();
+    // Function 0's pins can stay fixed (a global relabeling is free), but
+    // keeping all functions mutable matches the paper's genotype.
+    let j = rng.gen_range(0..n);
+    if rng.gen_bool(0.5) {
+        swap_mutation(&mut g.input_perms[j], rng);
+    } else {
+        swap_mutation(&mut g.output_perms[j], rng);
+    }
+}
+
+/// Crossover: per-function PMX on input and output permutations.
+fn crossover_assignment(
+    a: &PinAssignment,
+    b: &PinAssignment,
+    rng: &mut StdRng,
+) -> PinAssignment {
+    let input_perms = a
+        .input_perms
+        .iter()
+        .zip(&b.input_perms)
+        .map(|(x, y)| if rng.gen_bool(0.5) { pmx(x, y, rng) } else { x.clone() })
+        .collect();
+    let output_perms = a
+        .output_perms
+        .iter()
+        .zip(&b.output_perms)
+        .map(|(x, y)| if rng.gen_bool(0.5) { pmx(x, y, rng) } else { x.clone() })
+        .collect();
+    PinAssignment { input_perms, output_perms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvf_sboxes::optimal_sboxes;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fitness_is_finite_and_positive() {
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let flow = Flow::new(FlowConfig::default());
+        let a = PinAssignment::identity(&funcs);
+        let area = flow.fitness(&funcs, &a);
+        assert!(area.is_finite() && area > 0.0, "area = {area}");
+    }
+
+    #[test]
+    fn mutation_and_crossover_keep_assignments_valid() {
+        let funcs = optimal_sboxes()[..4].to_vec();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = random_assignment(&funcs, &mut rng);
+        let b = random_assignment(&funcs, &mut rng);
+        for _ in 0..50 {
+            mutate_assignment(&mut a, &mut rng);
+            let c = crossover_assignment(&a, &b, &mut rng);
+            // Validity is enforced by build_merged; it must not error.
+            build_merged(&funcs, &c).expect("valid child");
+        }
+        build_merged(&funcs, &a).expect("valid mutant");
+    }
+
+    #[test]
+    fn small_flow_end_to_end() {
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let mut config = FlowConfig::default();
+        config.ga.population = 6;
+        config.ga.generations = 2;
+        config.ga.seed = 7;
+        let flow = Flow::new(config);
+        let result = flow.run(&funcs).expect("flow succeeds");
+        assert!(result.mapped_area_ge > 0.0);
+        assert!(
+            result.mapped_area_ge <= result.synthesized_area_ge,
+            "TM must not grow area: {} vs {}",
+            result.mapped_area_ge,
+            result.synthesized_area_ge
+        );
+        assert_eq!(result.ga_history.len(), 3);
+        // The mapped netlist has no select inputs.
+        assert_eq!(result.mapped.netlist.inputs().len(), 4);
+    }
+
+    #[test]
+    fn baseline_matches_sample_statistics() {
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let flow = Flow::new(FlowConfig::default());
+        let base = flow.random_baseline(&funcs, 5, 3);
+        assert_eq!(base.samples.len(), 5);
+        let min = base.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((base.best_area_ge - min).abs() < 1e-9);
+        assert!(base.best_area_ge <= base.avg_area_ge);
+    }
+}

@@ -1,0 +1,58 @@
+//! **MVF** — design automation for obfuscated circuits with multiple
+//! viable functions.
+//!
+//! A from-scratch Rust reproduction of Keshavarz, Paar and Holcomb,
+//! *"Design Automation for Obfuscated Circuits with Multiple Viable
+//! Functions"* (DATE 2017). Given a set of viable functions the adversary
+//! already suspects, the flow produces a camouflaged circuit in which
+//! **every** viable function remains plausible, at minimum area:
+//!
+//! 1. **Phase I** ([`mvf_merge`]): merge all viable functions into one
+//!    circuit behind select-driven output multiplexers and synthesize it
+//!    ([`mvf_aig`]'s `rewrite/refactor/balance` script).
+//! 2. **Phase II** ([`mvf_ga`]): optimize each function's input/output pin
+//!    assignment with a genetic algorithm whose fitness is the mapped
+//!    gate-equivalent area ([`mvf_techmap::map_standard`]).
+//! 3. **Phase III** ([`mvf_techmap::map_camouflage`]): tree-cover the
+//!    synthesized circuit with camouflaged cells so the select inputs are
+//!    eliminated while all viable functions stay plausible, then validate
+//!    exhaustively ([`mvf_sim`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mvf::{Flow, FlowConfig};
+//! use mvf_sboxes::optimal_sboxes;
+//!
+//! let functions = optimal_sboxes()[..2].to_vec();
+//! let mut config = FlowConfig::default();
+//! config.ga.population = 8;
+//! config.ga.generations = 3; // keep the doc test fast
+//! let result = Flow::new(config).run(&functions)?;
+//! assert!(result.mapped_area_ge > 0.0);
+//! assert!(result.mapped_area_ge <= result.synthesized_area_ge);
+//! # Ok::<(), mvf::FlowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod report;
+
+pub use flow::{
+    random_assignment, synthesized_area_ge, Flow, FlowConfig, FlowError, FlowResult,
+    RandomBaseline,
+};
+pub use report::{Fig4Data, Table1, Table1Row};
+
+// Re-export the workspace layers under one roof for downstream users.
+pub use mvf_aig as aig;
+pub use mvf_cells as cells;
+pub use mvf_ga as ga;
+pub use mvf_logic as logic;
+pub use mvf_merge as merge;
+pub use mvf_netlist as netlist;
+pub use mvf_sboxes as sboxes;
+pub use mvf_sim as sim;
+pub use mvf_techmap as techmap;

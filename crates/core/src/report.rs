@@ -1,0 +1,195 @@
+//! Evaluation-report structures: Table I rows and Fig. 4 series.
+
+use std::fmt;
+
+use mvf_ga::GenStats;
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Workload family ("PRESENT" or "DES").
+    pub circuit: String,
+    /// Number of merged S-boxes.
+    pub n_sboxes: usize,
+    /// Mean area over random pin assignments (GE).
+    pub random_avg: f64,
+    /// Best random-assignment area (GE).
+    pub random_best: f64,
+    /// Best GA area (GE), before technology mapping.
+    pub ga: f64,
+    /// GA followed by camouflage technology mapping (GE).
+    pub ga_tm: f64,
+}
+
+impl Table1Row {
+    /// Improvement of GA+TM over the best random assignment, in percent
+    /// (the paper's final column).
+    pub fn improvement_pct(&self) -> f64 {
+        if self.random_best <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.ga_tm / self.random_best) * 100.0
+    }
+}
+
+/// The full Table I.
+#[derive(Debug, Clone, Default)]
+pub struct Table1 {
+    /// Rows in presentation order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE I: Area comparison for merged S-box circuits (GE)")?;
+        writeln!(
+            f,
+            "{:<8} {:>8} {:>12} {:>12} {:>8} {:>8} {:>14}",
+            "Circuit", "#S-boxes", "Random avg", "Random best", "GA", "GA+TM", "Improvement(%)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<8} {:>8} {:>12.0} {:>12.0} {:>8.0} {:>8.0} {:>14.0}",
+                r.circuit,
+                r.n_sboxes,
+                r.random_avg,
+                r.random_best,
+                r.ga,
+                r.ga_tm,
+                r.improvement_pct()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The data behind Fig. 4: the random-assignment area distribution (4a)
+/// and the GA best-so-far trajectory against the random baselines (4b).
+#[derive(Debug, Clone)]
+pub struct Fig4Data {
+    /// Every random-sample area (Fig. 4a histogram input).
+    pub random_samples: Vec<f64>,
+    /// Mean random area (horizontal line in Fig. 4b).
+    pub random_avg: f64,
+    /// Best random area (horizontal line in Fig. 4b).
+    pub random_best: f64,
+    /// Per-generation GA statistics (Fig. 4b curve).
+    pub ga_history: Vec<GenStats>,
+}
+
+impl Fig4Data {
+    /// Histogram of the random samples with the given bin width (GE).
+    ///
+    /// Returns `(bin_start, count)` pairs covering the sample range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width <= 0` or no samples are present.
+    pub fn histogram(&self, bin_width: f64) -> Vec<(f64, usize)> {
+        assert!(bin_width > 0.0, "bin width must be positive");
+        assert!(!self.random_samples.is_empty(), "no samples");
+        let min = self.random_samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self
+            .random_samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let first_bin = (min / bin_width).floor() * bin_width;
+        let n_bins = (((max - first_bin) / bin_width).floor() as usize) + 1;
+        let mut bins = vec![0usize; n_bins];
+        for &s in &self.random_samples {
+            let i = ((s - first_bin) / bin_width).floor() as usize;
+            bins[i.min(n_bins - 1)] += 1;
+        }
+        bins.into_iter()
+            .enumerate()
+            .map(|(i, c)| (first_bin + i as f64 * bin_width, c))
+            .collect()
+    }
+}
+
+impl fmt::Display for Fig4Data {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 4a: area distribution of random pin assignments")?;
+        for (bin, count) in self.histogram(5.0) {
+            writeln!(f, "  [{:>6.0} GE] {:>4} {}", bin, count, "#".repeat(count.min(60)))?;
+        }
+        writeln!(
+            f,
+            "Fig. 4b: GA vs random (avg. random = {:.1} GE, best random = {:.1} GE)",
+            self.random_avg, self.random_best
+        )?;
+        for (g, s) in self.ga_history.iter().enumerate() {
+            writeln!(
+                f,
+                "  gen {:>3}: best-so-far {:>7.1}  gen-best {:>7.1}  gen-avg {:>7.1}",
+                g, s.best_so_far, s.best, s.avg
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_matches_paper_formula() {
+        let row = Table1Row {
+            circuit: "PRESENT".into(),
+            n_sboxes: 8,
+            random_avg: 205.0,
+            random_best: 164.0,
+            ga: 118.0,
+            ga_tm: 101.0,
+        };
+        // (1 - 101/164) * 100 ≈ 38.4 — the paper rounds to 38.
+        assert!((row.improvement_pct() - 38.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = Table1 {
+            rows: vec![Table1Row {
+                circuit: "DES".into(),
+                n_sboxes: 8,
+                random_avg: 923.0,
+                random_best: 805.0,
+                ga: 473.0,
+                ga_tm: 416.0,
+            }],
+        };
+        let s = t.to_string();
+        assert!(s.contains("DES"));
+        assert!(s.contains("Improvement"));
+    }
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let d = Fig4Data {
+            random_samples: vec![10.0, 12.0, 17.0, 30.0, 30.1],
+            random_avg: 19.8,
+            random_best: 10.0,
+            ga_history: vec![],
+        };
+        let h = d.histogram(5.0);
+        let total: usize = h.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+        assert!(h.first().expect("bins").0 <= 10.0);
+    }
+
+    #[test]
+    fn zero_guard_on_improvement() {
+        let row = Table1Row {
+            circuit: "X".into(),
+            n_sboxes: 1,
+            random_avg: 0.0,
+            random_best: 0.0,
+            ga: 0.0,
+            ga_tm: 0.0,
+        };
+        assert_eq!(row.improvement_pct(), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+use std::fmt;
+
+use crate::TruthTable;
+
+/// A product term (cube) over up to 32 variables.
+///
+/// Variable `v` appears positively if bit `v` of `pos` is set, negatively if
+/// bit `v` of `neg` is set, and does not appear otherwise. A cube with a
+/// variable in both masks is the empty (contradictory) cube; the all-empty
+/// cube is the universal cube (constant 1).
+///
+/// # Example
+///
+/// ```
+/// use mvf_logic::Cube;
+///
+/// // a ∧ ¬c
+/// let c = Cube::new().with_pos(0).with_neg(2);
+/// assert!(c.eval(0b001));
+/// assert!(!c.eval(0b101));
+/// assert_eq!(c.n_literals(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Cube {
+    pos: u32,
+    neg: u32,
+}
+
+impl Cube {
+    /// The universal cube (no literals, constant 1).
+    pub fn new() -> Self {
+        Cube { pos: 0, neg: 0 }
+    }
+
+    /// Adds a positive literal of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= 32`.
+    #[must_use]
+    pub fn with_pos(mut self, var: usize) -> Self {
+        assert!(var < 32, "cube variables limited to 32");
+        self.pos |= 1 << var;
+        self
+    }
+
+    /// Adds a negative literal of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= 32`.
+    #[must_use]
+    pub fn with_neg(mut self, var: usize) -> Self {
+        assert!(var < 32, "cube variables limited to 32");
+        self.neg |= 1 << var;
+        self
+    }
+
+    /// Mask of positively appearing variables.
+    pub fn pos_mask(&self) -> u32 {
+        self.pos
+    }
+
+    /// Mask of negatively appearing variables.
+    pub fn neg_mask(&self) -> u32 {
+        self.neg
+    }
+
+    /// `true` iff the cube contains no satisfying assignment.
+    pub fn is_contradictory(&self) -> bool {
+        self.pos & self.neg != 0
+    }
+
+    /// `true` iff the cube is the universal cube.
+    pub fn is_universal(&self) -> bool {
+        self.pos == 0 && self.neg == 0
+    }
+
+    /// Number of literals in the cube.
+    pub fn n_literals(&self) -> usize {
+        (self.pos.count_ones() + self.neg.count_ones()) as usize
+    }
+
+    /// Evaluates the cube on an input assignment bitmask.
+    pub fn eval(&self, assignment: usize) -> bool {
+        let a = assignment as u32;
+        (a & self.pos) == self.pos && (a & self.neg) == 0
+    }
+
+    /// The literals of the cube as `(var, polarity)` pairs, ascending by
+    /// variable; `polarity` is `true` for positive literals.
+    pub fn literals(&self) -> Vec<(usize, bool)> {
+        let mut out = Vec::with_capacity(self.n_literals());
+        for v in 0..32usize {
+            if self.pos & (1 << v) != 0 {
+                out.push((v, true));
+            }
+            if self.neg & (1 << v) != 0 {
+                out.push((v, false));
+            }
+        }
+        out
+    }
+
+    /// The truth table of the cube over `n_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube mentions a variable `>= n_vars`.
+    pub fn to_truth_table(&self, n_vars: usize) -> TruthTable {
+        let used = self.pos | self.neg;
+        assert!(
+            n_vars >= 32 - used.leading_zeros() as usize,
+            "cube mentions variables outside the requested arity"
+        );
+        let mut t = TruthTable::one(n_vars);
+        for (v, pol) in self.literals() {
+            let x = TruthTable::var(v, n_vars);
+            t = if pol { t.and(&x) } else { t.and(&x.not()) };
+        }
+        t
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_universal() {
+            return write!(f, "⊤");
+        }
+        let mut first = true;
+        for (v, pol) in self.literals() {
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            if !pol {
+                write!(f, "¬")?;
+            }
+            write!(f, "x{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A sum-of-products cover: the OR of a list of [`Cube`]s.
+///
+/// # Example
+///
+/// ```
+/// use mvf_logic::{Cube, Sop};
+///
+/// // a·b + ¬a·c
+/// let sop = Sop::from_cubes(
+///     3,
+///     vec![
+///         Cube::new().with_pos(0).with_pos(1),
+///         Cube::new().with_neg(0).with_pos(2),
+///     ],
+/// );
+/// assert_eq!(sop.n_cubes(), 2);
+/// assert!(sop.eval(0b011)); // a=1, b=1
+/// assert!(sop.eval(0b100)); // a=0, c=1
+/// assert!(!sop.eval(0b001));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Sop {
+    n_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// An empty cover (constant 0) over `n_vars` variables.
+    pub fn zero(n_vars: usize) -> Self {
+        Sop { n_vars, cubes: Vec::new() }
+    }
+
+    /// Builds a cover from explicit cubes.
+    pub fn from_cubes(n_vars: usize, cubes: Vec<Cube>) -> Self {
+        Sop { n_vars, cubes }
+    }
+
+    /// The cover's arity.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn n_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals across all cubes.
+    pub fn n_literals(&self) -> usize {
+        self.cubes.iter().map(Cube::n_literals).sum()
+    }
+
+    /// Appends a cube to the cover.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Evaluates the cover on an input assignment bitmask.
+    pub fn eval(&self, assignment: usize) -> bool {
+        self.cubes.iter().any(|c| c.eval(assignment))
+    }
+
+    /// The truth table of the cover.
+    pub fn to_truth_table(&self) -> TruthTable {
+        let mut t = TruthTable::zero(self.n_vars);
+        for c in &self.cubes {
+            t = t.or(&c.to_truth_table(self.n_vars));
+        }
+        t
+    }
+}
+
+impl fmt::Debug for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Cube> for Sop {
+    /// Collects cubes into a cover; the arity is set to the smallest value
+    /// covering every mentioned variable.
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let used = cubes.iter().fold(0u32, |m, c| m | c.pos_mask() | c.neg_mask());
+        let n_vars = (32 - used.leading_zeros()) as usize;
+        Sop { n_vars, cubes }
+    }
+}
+
+impl Extend<Cube> for Sop {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        self.cubes.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_eval_and_masks() {
+        let c = Cube::new().with_pos(1).with_neg(3);
+        assert!(c.eval(0b0010));
+        assert!(c.eval(0b0110));
+        assert!(!c.eval(0b1010));
+        assert!(!c.eval(0b0000));
+        assert_eq!(c.pos_mask(), 0b0010);
+        assert_eq!(c.neg_mask(), 0b1000);
+    }
+
+    #[test]
+    fn universal_and_contradictory() {
+        assert!(Cube::new().is_universal());
+        assert!(Cube::new().eval(0b1111));
+        let c = Cube::new().with_pos(0).with_neg(0);
+        assert!(c.is_contradictory());
+        assert!(!c.eval(0));
+        assert!(!c.eval(1));
+    }
+
+    #[test]
+    fn cube_truth_table_matches_eval() {
+        let c = Cube::new().with_pos(0).with_neg(2).with_pos(3);
+        let t = c.to_truth_table(4);
+        for m in 0..16 {
+            assert_eq!(t.get(m), c.eval(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn sop_matches_truth_table() {
+        let sop = Sop::from_cubes(
+            3,
+            vec![
+                Cube::new().with_pos(0).with_pos(1),
+                Cube::new().with_neg(0).with_pos(2),
+            ],
+        );
+        let t = sop.to_truth_table();
+        for m in 0..8 {
+            assert_eq!(t.get(m), sop.eval(m));
+        }
+        assert_eq!(sop.n_literals(), 4);
+    }
+
+    #[test]
+    fn sop_from_iterator_sizes_arity() {
+        let sop: Sop = vec![Cube::new().with_pos(4)].into_iter().collect();
+        assert_eq!(sop.n_vars(), 5);
+    }
+}

@@ -1,0 +1,277 @@
+//! NPN and P canonical forms.
+//!
+//! Two functions are **NPN-equivalent** if one can be obtained from the
+//! other by Negating inputs, Permuting inputs, and/or Negating the output.
+//! The synthesis engine's cut-rewriting pass groups 4-input cut functions
+//! by NPN class so one pre-optimized replacement network per class suffices
+//! (exactly as in ABC). Two functions are **P-equivalent** under input
+//! permutation alone — the equivalence used when matching a subtree onto a
+//! camouflaged cell whose pins can be connected in any order.
+//!
+//! Canonicalization is exhaustive over the transform group, which is exact
+//! and fast for the arities used here (≤ 4 inputs for cells and cuts:
+//! 4!·2⁴·2 = 768 transforms).
+
+use crate::TruthTable;
+
+/// A transform in the NPN group: permute inputs, negate a subset of inputs,
+/// optionally negate the output.
+///
+/// Applying the transform to `f` yields `g` with
+/// `g(x) = out_neg ⊕ f(π⁻¹(x) ⊕ input_neg)` — i.e. input `v` of `f` is
+/// wired (possibly inverted) to input `perm[v]` of `g`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NpnTransform {
+    /// `perm[v]` is the position of `f`'s input `v` in the new function.
+    pub perm: Vec<usize>,
+    /// Bit `v` set ⇒ input `v` of `f` is complemented before use.
+    pub input_neg: u32,
+    /// Whether the output is complemented.
+    pub output_neg: bool,
+}
+
+impl NpnTransform {
+    /// The identity transform over `n` inputs.
+    pub fn identity(n: usize) -> Self {
+        NpnTransform { perm: (0..n).collect(), input_neg: 0, output_neg: false }
+    }
+
+    /// Applies the transform to a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation length differs from the table arity.
+    pub fn apply(&self, f: &TruthTable) -> TruthTable {
+        assert_eq!(self.perm.len(), f.n_vars(), "transform arity mismatch");
+        let mut t = f.clone();
+        for v in 0..f.n_vars() {
+            if self.input_neg & (1 << v) != 0 {
+                t = t.flip_var(v);
+            }
+        }
+        let mut t = t.permute(&self.perm).expect("valid permutation");
+        if self.output_neg {
+            t = t.not();
+        }
+        t
+    }
+
+    /// The inverse transform, such that `inv.apply(&t.apply(f)) == f`.
+    pub fn inverse(&self) -> Self {
+        let n = self.perm.len();
+        let mut inv_perm = vec![0; n];
+        for (v, &p) in self.perm.iter().enumerate() {
+            inv_perm[p] = v;
+        }
+        // Input negations move with the permutation.
+        let mut input_neg = 0u32;
+        for v in 0..n {
+            if self.input_neg & (1 << inv_perm[v]) != 0 {
+                input_neg |= 1 << v;
+            }
+        }
+        NpnTransform { perm: inv_perm, input_neg, output_neg: self.output_neg }
+    }
+}
+
+/// Generates all permutations of `0..n` (lexicographic order).
+pub fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    heap_permute(&mut cur, n, &mut out);
+    out.sort();
+    out
+}
+
+fn heap_permute(arr: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(arr.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(arr, k - 1, out);
+        if k % 2 == 0 {
+            arr.swap(i, k - 1);
+        } else {
+            arr.swap(0, k - 1);
+        }
+    }
+}
+
+/// The NPN canonical form of a function: the lexicographically smallest
+/// truth table in its NPN class, together with the transform that produced
+/// it.
+///
+/// # Panics
+///
+/// Panics if the function has more than 6 variables (exhaustive
+/// canonicalization is only intended for cut/cell-sized functions).
+///
+/// # Example
+///
+/// ```
+/// use mvf_logic::{npn::npn_canonical, TruthTable};
+///
+/// let a = TruthTable::var(0, 2);
+/// let b = TruthTable::var(1, 2);
+/// let (c1, _) = npn_canonical(&a.and(&b));
+/// let (c2, _) = npn_canonical(&a.or(&b).not()); // NOR ≡ AND under NPN
+/// assert_eq!(c1, c2);
+/// ```
+pub fn npn_canonical(f: &TruthTable) -> (TruthTable, NpnTransform) {
+    assert!(f.n_vars() <= 6, "exhaustive NPN limited to 6 variables");
+    let n = f.n_vars();
+    let perms = all_permutations(n);
+    let mut best: Option<(TruthTable, NpnTransform)> = None;
+    for perm in &perms {
+        for input_neg in 0..(1u32 << n) {
+            for output_neg in [false, true] {
+                let t = NpnTransform {
+                    perm: perm.clone(),
+                    input_neg,
+                    output_neg,
+                };
+                let g = t.apply(f);
+                if best.as_ref().map_or(true, |(b, _)| g < *b) {
+                    best = Some((g, t));
+                }
+            }
+        }
+    }
+    best.expect("at least the identity transform")
+}
+
+/// The P canonical form (input permutation only): the lexicographically
+/// smallest table reachable by permuting inputs, with its permutation.
+///
+/// # Panics
+///
+/// Panics if the function has more than 6 variables.
+pub fn p_canonical(f: &TruthTable) -> (TruthTable, Vec<usize>) {
+    assert!(f.n_vars() <= 6, "exhaustive P-canonicalization limited to 6 variables");
+    let mut best: Option<(TruthTable, Vec<usize>)> = None;
+    for perm in all_permutations(f.n_vars()) {
+        let g = f.permute(&perm).expect("valid permutation");
+        if best.as_ref().map_or(true, |(b, _)| g < *b) {
+            best = Some((g, perm));
+        }
+    }
+    best.expect("at least the identity permutation")
+}
+
+/// An NPN equivalence class, keyed by its canonical truth table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NpnClass {
+    canonical: TruthTable,
+}
+
+impl NpnClass {
+    /// The class containing `f`.
+    pub fn of(f: &TruthTable) -> Self {
+        NpnClass { canonical: npn_canonical(f).0 }
+    }
+
+    /// The canonical representative table.
+    pub fn representative(&self) -> &TruthTable {
+        &self.canonical
+    }
+
+    /// Whether `f` belongs to this class.
+    pub fn contains(&self, f: &TruthTable) -> bool {
+        npn_canonical(f).0 == self.canonical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(all_permutations(0).len(), 1);
+        assert_eq!(all_permutations(1).len(), 1);
+        assert_eq!(all_permutations(3).len(), 6);
+        assert_eq!(all_permutations(4).len(), 24);
+    }
+
+    #[test]
+    fn transform_inverse_roundtrip() {
+        let f = TruthTable::from_fn(4, |m| (m * 7 + 3) % 5 < 2);
+        let t = NpnTransform { perm: vec![2, 0, 3, 1], input_neg: 0b0110, output_neg: true };
+        let g = t.apply(&f);
+        assert_eq!(t.inverse().apply(&g), f);
+    }
+
+    #[test]
+    fn and_or_nand_nor_share_npn_class() {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let and = a.and(&b);
+        let class = NpnClass::of(&and);
+        assert!(class.contains(&a.or(&b)));
+        assert!(class.contains(&a.and(&b).not()));
+        assert!(class.contains(&a.or(&b).not()));
+        assert!(class.contains(&a.not().and(&b)));
+        assert!(!class.contains(&a.xor(&b)));
+    }
+
+    #[test]
+    fn canonical_is_invariant_over_class() {
+        let f = TruthTable::from_fn(3, |m| [1, 0, 0, 1, 1, 1, 0, 1][m] == 1);
+        let (canon, _) = npn_canonical(&f);
+        // Apply a few random-ish transforms; canonical form must not move.
+        for (perm, neg, oneg) in [
+            (vec![1, 2, 0], 0b101u32, true),
+            (vec![2, 1, 0], 0b010, false),
+            (vec![0, 2, 1], 0b111, true),
+        ] {
+            let t = NpnTransform { perm, input_neg: neg, output_neg: oneg };
+            let g = t.apply(&f);
+            assert_eq!(npn_canonical(&g).0, canon);
+        }
+    }
+
+    #[test]
+    fn npn_transform_recovers_canonical() {
+        let f = TruthTable::from_fn(4, |m| (m ^ (m >> 2)) & 3 == 2);
+        let (canon, t) = npn_canonical(&f);
+        assert_eq!(t.apply(&f), canon);
+    }
+
+    #[test]
+    fn p_canonical_respects_permutation_only() {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        // a·¬b and ¬a·b are P-equivalent...
+        let f = a.and(&b.not());
+        let g = a.not().and(&b);
+        assert_eq!(p_canonical(&f).0, p_canonical(&g).0);
+        // ...but a·b is not P-equivalent to a+b.
+        assert_ne!(p_canonical(&a.and(&b)).0, p_canonical(&a.or(&b)).0);
+    }
+
+    #[test]
+    fn number_of_npn_classes_of_2var_functions() {
+        use std::collections::HashSet;
+        let mut classes = HashSet::new();
+        for bits in 0..16u64 {
+            let f = TruthTable::from_word(2, bits).unwrap();
+            classes.insert(npn_canonical(&f).0);
+        }
+        // Known: 2-variable functions fall into 4 NPN classes
+        // (const, literal, AND-like, XOR-like).
+        assert_eq!(classes.len(), 4);
+    }
+
+    #[test]
+    fn number_of_npn_classes_of_3var_functions() {
+        use std::collections::HashSet;
+        let mut classes = HashSet::new();
+        for bits in 0..256u64 {
+            let f = TruthTable::from_word(3, bits).unwrap();
+            classes.insert(npn_canonical(&f).0);
+        }
+        // Known result: 14 NPN classes of 3-variable functions.
+        assert_eq!(classes.len(), 14);
+    }
+}

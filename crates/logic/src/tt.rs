@@ -1,0 +1,700 @@
+use std::fmt;
+
+use crate::{LogicError, MAX_VARS};
+
+/// Bit patterns of the first six variables inside a single 64-bit word.
+///
+/// Bit `m` of `WORD_VAR[v]` is set iff bit `v` of the minterm index `m` is 1.
+const WORD_VAR: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// A complete truth table of a Boolean function over up to [`MAX_VARS`]
+/// variables, packed 64 minterms per word.
+///
+/// Minterm `m` encodes the input assignment where variable `v` takes the
+/// value of bit `v` of `m`. The table stores exactly `2^n` meaningful bits;
+/// any unused bits of the last word are kept at zero (an internal invariant
+/// restored after every complementing operation).
+///
+/// # Example
+///
+/// ```
+/// use mvf_logic::TruthTable;
+///
+/// let maj = TruthTable::from_fn(3, |m| (m.count_ones() >= 2));
+/// assert_eq!(maj.count_ones(), 4);
+/// assert!(maj.get(0b011));
+/// assert!(!maj.get(0b100));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruthTable {
+    n_vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Number of 64-bit words needed for an `n`-variable table.
+    fn word_count(n_vars: usize) -> usize {
+        if n_vars <= 6 {
+            1
+        } else {
+            1 << (n_vars - 6)
+        }
+    }
+
+    /// Mask of the meaningful bits in the (single) word of a small table.
+    fn tail_mask(n_vars: usize) -> u64 {
+        if n_vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1usize << n_vars)) - 1
+        }
+    }
+
+    fn assert_vars(n_vars: usize) {
+        assert!(n_vars <= MAX_VARS, "too many variables: {n_vars} > {MAX_VARS}");
+    }
+
+    /// The constant-0 function of `n_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vars > MAX_VARS`.
+    pub fn zero(n_vars: usize) -> Self {
+        Self::assert_vars(n_vars);
+        TruthTable { n_vars, words: vec![0; Self::word_count(n_vars)] }
+    }
+
+    /// The constant-1 function of `n_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vars > MAX_VARS`.
+    pub fn one(n_vars: usize) -> Self {
+        Self::assert_vars(n_vars);
+        let mut words = vec![u64::MAX; Self::word_count(n_vars)];
+        *words.last_mut().expect("at least one word") &= Self::tail_mask(n_vars);
+        if n_vars < 6 {
+            words[0] = Self::tail_mask(n_vars);
+        }
+        TruthTable { n_vars, words }
+    }
+
+    /// A constant function with the given value.
+    pub fn constant(n_vars: usize, value: bool) -> Self {
+        if value {
+            Self::one(n_vars)
+        } else {
+            Self::zero(n_vars)
+        }
+    }
+
+    /// The projection function of variable `var` in an `n_vars`-variable space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars` or `n_vars > MAX_VARS`.
+    pub fn var(var: usize, n_vars: usize) -> Self {
+        Self::assert_vars(n_vars);
+        assert!(var < n_vars, "variable {var} out of range for {n_vars} vars");
+        let mut t = Self::zero(n_vars);
+        if var < 6 {
+            let pat = WORD_VAR[var] & Self::tail_mask(n_vars);
+            for w in &mut t.words {
+                *w = pat;
+            }
+        } else {
+            let block = 1usize << (var - 6);
+            for (i, w) in t.words.iter_mut().enumerate() {
+                if (i / block) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        t
+    }
+
+    /// Builds a table by evaluating `f` on every minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vars > MAX_VARS`.
+    pub fn from_fn<F: FnMut(usize) -> bool>(n_vars: usize, mut f: F) -> Self {
+        Self::assert_vars(n_vars);
+        let mut t = Self::zero(n_vars);
+        for m in 0..(1usize << n_vars) {
+            if f(m) {
+                t.set(m, true);
+            }
+        }
+        t
+    }
+
+    /// Builds a small (≤ 6 variables) table directly from its word value.
+    ///
+    /// Bits above `2^n_vars` are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyVars`] if `n_vars > 6`.
+    pub fn from_word(n_vars: usize, bits: u64) -> Result<Self, LogicError> {
+        if n_vars > 6 {
+            return Err(LogicError::TooManyVars(n_vars));
+        }
+        Ok(TruthTable { n_vars, words: vec![bits & Self::tail_mask(n_vars)] })
+    }
+
+    /// The number of variables of the function.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The number of minterms (`2^n_vars`).
+    pub fn n_minterms(&self) -> usize {
+        1usize << self.n_vars
+    }
+
+    /// The backing words (64 minterms per word, low bits first).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// For tables of at most 6 variables, the table as a single word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more than 6 variables.
+    pub fn as_word(&self) -> u64 {
+        assert!(self.n_vars <= 6, "as_word requires <= 6 variables");
+        self.words[0]
+    }
+
+    /// The value of the function on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^n_vars`.
+    pub fn get(&self, m: usize) -> bool {
+        assert!(m < self.n_minterms(), "minterm {m} out of range");
+        (self.words[m >> 6] >> (m & 63)) & 1 == 1
+    }
+
+    /// Sets the value of the function on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^n_vars`.
+    pub fn set(&mut self, m: usize, value: bool) {
+        assert!(m < self.n_minterms(), "minterm {m} out of range");
+        if value {
+            self.words[m >> 6] |= 1u64 << (m & 63);
+        } else {
+            self.words[m >> 6] &= !(1u64 << (m & 63));
+        }
+    }
+
+    fn check_arity(&self, other: &Self) {
+        assert_eq!(
+            self.n_vars, other.n_vars,
+            "arity mismatch: {} vs {}",
+            self.n_vars, other.n_vars
+        );
+    }
+
+    /// Bitwise AND of two functions of equal arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn and(&self, other: &Self) -> Self {
+        self.check_arity(other);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
+        TruthTable { n_vars: self.n_vars, words }
+    }
+
+    /// Bitwise OR of two functions of equal arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn or(&self, other: &Self) -> Self {
+        self.check_arity(other);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
+        TruthTable { n_vars: self.n_vars, words }
+    }
+
+    /// Bitwise XOR of two functions of equal arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.check_arity(other);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a ^ b).collect();
+        TruthTable { n_vars: self.n_vars, words }
+    }
+
+    /// Complement of the function.
+    pub fn not(&self) -> Self {
+        let mut words: Vec<u64> = self.words.iter().map(|a| !a).collect();
+        *words.last_mut().expect("at least one word") &= Self::tail_mask(self.n_vars);
+        TruthTable { n_vars: self.n_vars, words }
+    }
+
+    /// AND with the complement of `other` (`self ∧ ¬other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn and_not(&self, other: &Self) -> Self {
+        self.check_arity(other);
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect();
+        TruthTable { n_vars: self.n_vars, words }
+    }
+
+    /// If-then-else: `(self ∧ t) ∨ (¬self ∧ e)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn ite(&self, t: &Self, e: &Self) -> Self {
+        self.and(t).or(&self.not().and(e))
+    }
+
+    /// `true` iff the function is constant 0.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` iff the function is constant 1.
+    pub fn is_one(&self) -> bool {
+        *self == Self::one(self.n_vars)
+    }
+
+    /// `true` iff the function is constant (either polarity).
+    pub fn is_const(&self) -> bool {
+        self.is_zero() || self.is_one()
+    }
+
+    /// Number of satisfying minterms.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Cofactor with respect to `var = value`. The result has the same
+    /// arity but no longer depends on `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Self {
+        assert!(var < self.n_vars, "variable {var} out of range");
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1u32 << var;
+            let mask = WORD_VAR[var];
+            for w in &mut out.words {
+                if value {
+                    let x = *w & mask;
+                    *w = x | (x >> shift);
+                } else {
+                    let x = *w & !mask;
+                    *w = x | (x << shift);
+                }
+            }
+            if self.n_vars < 6 {
+                out.words[0] &= Self::tail_mask(self.n_vars);
+            }
+        } else {
+            let block = 1usize << (var - 6);
+            let n_words = out.words.len();
+            let mut i = 0;
+            while i < n_words {
+                for j in 0..block {
+                    let src = if value { i + block + j } else { i + j };
+                    let w = out.words[src];
+                    out.words[i + j] = w;
+                    out.words[i + block + j] = w;
+                }
+                i += 2 * block;
+            }
+        }
+        out
+    }
+
+    /// `true` iff the function depends on `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor(var, false) != self.cofactor(var, true)
+    }
+
+    /// Bitmask of the variables the function depends on.
+    pub fn support_mask(&self) -> u32 {
+        let mut m = 0;
+        for v in 0..self.n_vars {
+            if self.depends_on(v) {
+                m |= 1 << v;
+            }
+        }
+        m
+    }
+
+    /// Indices of the variables the function depends on, in ascending order.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.n_vars).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Negates an input: returns `g` with `g(x) = f(x ⊕ e_var)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars`.
+    pub fn flip_var(&self, var: usize) -> Self {
+        assert!(var < self.n_vars, "variable {var} out of range");
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1u32 << var;
+            let mask = WORD_VAR[var];
+            for w in &mut out.words {
+                let hi = *w & mask;
+                let lo = *w & !mask;
+                *w = (hi >> shift) | (lo << shift);
+            }
+            if self.n_vars < 6 {
+                out.words[0] &= Self::tail_mask(self.n_vars);
+            }
+        } else {
+            let block = 1usize << (var - 6);
+            let n_words = out.words.len();
+            let mut i = 0;
+            while i < n_words {
+                for j in 0..block {
+                    out.words.swap(i + j, i + block + j);
+                }
+                i += 2 * block;
+            }
+        }
+        out
+    }
+
+    /// Existential quantification: `f|var=0 ∨ f|var=1`.
+    pub fn exists(&self, var: usize) -> Self {
+        self.cofactor(var, false).or(&self.cofactor(var, true))
+    }
+
+    /// Universal quantification: `f|var=0 ∧ f|var=1`.
+    pub fn forall(&self, var: usize) -> Self {
+        self.cofactor(var, false).and(&self.cofactor(var, true))
+    }
+
+    /// Re-expresses the function over `n_new >= n_vars` variables; existing
+    /// variables keep their indices and the function is independent of the
+    /// new ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_new < n_vars` or `n_new > MAX_VARS`.
+    pub fn extend(&self, n_new: usize) -> Self {
+        assert!(n_new >= self.n_vars, "extend cannot shrink");
+        Self::assert_vars(n_new);
+        if n_new == self.n_vars {
+            return self.clone();
+        }
+        let mut out = Self::zero(n_new);
+        if self.n_vars <= 6 && n_new <= 6 {
+            // Replicate the low 2^n bits across the wider word.
+            let src = self.words[0];
+            let chunk = 1usize << self.n_vars;
+            let mut w = 0u64;
+            let mut off = 0;
+            while off < (1usize << n_new) {
+                w |= src << off;
+                off += chunk;
+            }
+            out.words[0] = w & Self::tail_mask(n_new);
+        } else if self.n_vars <= 6 {
+            // First widen to a full word, then replicate the word.
+            let full = self.extend(6);
+            for w in &mut out.words {
+                *w = full.words[0];
+            }
+        } else {
+            let n_src = self.words.len();
+            for (i, w) in out.words.iter_mut().enumerate() {
+                *w = self.words[i % n_src];
+            }
+        }
+        out
+    }
+
+    /// Applies a variable permutation: variable `v` of `self` becomes
+    /// variable `perm[v]` of the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadPermutation`] if `perm` is not a
+    /// permutation of `0..n_vars`.
+    pub fn permute(&self, perm: &[usize]) -> Result<Self, LogicError> {
+        if perm.len() != self.n_vars {
+            return Err(LogicError::BadPermutation);
+        }
+        let mut seen = vec![false; self.n_vars];
+        for &p in perm {
+            if p >= self.n_vars || seen[p] {
+                return Err(LogicError::BadPermutation);
+            }
+            seen[p] = true;
+        }
+        let mut out = Self::zero(self.n_vars);
+        for m in 0..self.n_minterms() {
+            if self.get(m) {
+                let mut m2 = 0usize;
+                for (v, &p) in perm.iter().enumerate() {
+                    if m & (1 << v) != 0 {
+                        m2 |= 1 << p;
+                    }
+                }
+                out.set(m2, true);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Projects the function onto the listed variables: old variable
+    /// `vars[i]` becomes variable `i` of the result, which has exactly
+    /// `vars.len()` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function depends on a variable not in `vars`, or if
+    /// `vars` contains duplicates / out-of-range indices.
+    pub fn project(&self, vars: &[usize]) -> Self {
+        let mut pos = vec![usize::MAX; self.n_vars];
+        for (i, &v) in vars.iter().enumerate() {
+            assert!(v < self.n_vars, "variable {v} out of range");
+            assert!(pos[v] == usize::MAX, "duplicate variable {v}");
+            pos[v] = i;
+        }
+        for v in 0..self.n_vars {
+            if pos[v] == usize::MAX {
+                assert!(
+                    !self.depends_on(v),
+                    "cannot project: function depends on dropped variable {v}"
+                );
+            }
+        }
+        let mut out = Self::zero(vars.len());
+        for m2 in 0..out.n_minterms() {
+            // Build a representative minterm of the original space.
+            let mut m = 0usize;
+            for (i, &v) in vars.iter().enumerate() {
+                if m2 & (1 << i) != 0 {
+                    m |= 1 << v;
+                }
+            }
+            if self.get(m) {
+                out.set(m2, true);
+            }
+        }
+        out
+    }
+
+    /// Evaluates the function on an input assignment given as a bitmask.
+    ///
+    /// Alias of [`TruthTable::get`] with intent-revealing naming.
+    pub fn eval(&self, assignment: usize) -> bool {
+        self.get(assignment)
+    }
+
+    /// A compact hex rendering (most significant word first).
+    pub fn to_hex(&self) -> String {
+        let digits = ((self.n_minterms() + 3) / 4).max(1);
+        let mut full = String::new();
+        for w in self.words.iter().rev() {
+            full.push_str(&format!("{w:016x}"));
+        }
+        full[full.len() - digits..].to_string()
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({}v, 0x{})", self.n_vars, self.to_hex())
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        for n in 0..=8 {
+            let z = TruthTable::zero(n);
+            let o = TruthTable::one(n);
+            assert!(z.is_zero());
+            assert!(o.is_one());
+            assert_eq!(z.count_ones(), 0);
+            assert_eq!(o.count_ones(), 1 << n);
+            assert_eq!(z.not(), o);
+            assert_eq!(o.not(), z);
+        }
+    }
+
+    #[test]
+    fn var_patterns_small() {
+        let a = TruthTable::var(0, 2);
+        assert_eq!(a.as_word(), 0b1010);
+        let b = TruthTable::var(1, 2);
+        assert_eq!(b.as_word(), 0b1100);
+        let f = a.and(&b);
+        assert_eq!(f.as_word(), 0b1000);
+    }
+
+    #[test]
+    fn var_patterns_large() {
+        for n in [7, 9] {
+            for v in 0..n {
+                let t = TruthTable::var(v, n);
+                for m in 0..(1usize << n) {
+                    assert_eq!(t.get(m), m & (1 << v) != 0, "n={n} v={v} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shannon_expansion() {
+        // f = x ? f1 : f0 for every variable.
+        let f = TruthTable::from_fn(8, |m| (m * 2654435761usize) & 0x10 != 0);
+        for v in 0..8 {
+            let x = TruthTable::var(v, 8);
+            let f0 = f.cofactor(v, false);
+            let f1 = f.cofactor(v, true);
+            assert_eq!(x.ite(&f1, &f0), f, "var {v}");
+            assert!(!f0.depends_on(v));
+            assert!(!f1.depends_on(v));
+        }
+    }
+
+    #[test]
+    fn cofactor_small_tables() {
+        // NAND over 2 vars: cofactors are the Fig. 1b plausible set.
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let nand = a.and(&b).not();
+        assert_eq!(nand.cofactor(0, false), TruthTable::one(2));
+        assert_eq!(nand.cofactor(0, true), b.not());
+        assert_eq!(nand.cofactor(1, false), TruthTable::one(2));
+        assert_eq!(nand.cofactor(1, true), a.not());
+        assert_eq!(nand.cofactor(0, true).cofactor(1, true), TruthTable::zero(2));
+    }
+
+    #[test]
+    fn support_and_quantifiers() {
+        let f = TruthTable::var(2, 5).xor(&TruthTable::var(4, 5));
+        assert_eq!(f.support(), vec![2, 4]);
+        assert_eq!(f.support_mask(), 0b10100);
+        assert!(f.exists(2).is_one());
+        assert!(f.forall(2).is_zero());
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let f = TruthTable::from_fn(4, |m| m.count_ones() % 3 == 1);
+        let perm = vec![2, 0, 3, 1];
+        let g = f.permute(&perm).unwrap();
+        let mut inv = vec![0; 4];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        assert_eq!(g.permute(&inv).unwrap(), f);
+        // Semantics check: g(y) = f(x) with y[perm[v]] = x[v].
+        for m in 0..16 {
+            let mut m2 = 0usize;
+            for v in 0..4 {
+                if m & (1 << v) != 0 {
+                    m2 |= 1 << perm[v];
+                }
+            }
+            assert_eq!(f.get(m), g.get(m2));
+        }
+    }
+
+    #[test]
+    fn permute_rejects_non_bijections() {
+        let f = TruthTable::one(3);
+        assert!(f.permute(&[0, 0, 1]).is_err());
+        assert!(f.permute(&[0, 1]).is_err());
+        assert!(f.permute(&[0, 1, 3]).is_err());
+    }
+
+    #[test]
+    fn extend_preserves_semantics() {
+        let f = TruthTable::from_fn(3, |m| m == 5 || m == 2);
+        for n_new in 3..=9 {
+            let g = f.extend(n_new);
+            assert_eq!(g.n_vars(), n_new);
+            for m in 0..(1usize << n_new) {
+                assert_eq!(g.get(m), f.get(m & 7), "n_new={n_new} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn project_inverse_of_extend() {
+        let f = TruthTable::from_fn(4, |m| (m ^ (m >> 1)) & 1 == 1);
+        let g = f.extend(9);
+        let back = g.project(&[0, 1, 2, 3]);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn project_with_reordering() {
+        // f depends on vars 1 and 3 of a 5-var space.
+        let f = TruthTable::var(1, 5).and(&TruthTable::var(3, 5).not());
+        let p = f.project(&[3, 1]);
+        // New var 0 = old var 3, new var 1 = old var 1: p = ¬v0 ∧ v1.
+        let expect = TruthTable::var(1, 2).and(&TruthTable::var(0, 2).not());
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on dropped variable")]
+    fn project_rejects_lossy_drop() {
+        let f = TruthTable::var(0, 3);
+        let _ = f.project(&[1, 2]);
+    }
+
+    #[test]
+    fn zero_variable_tables() {
+        let z = TruthTable::zero(0);
+        let o = TruthTable::one(0);
+        assert_eq!(z.n_minterms(), 1);
+        assert!(!z.get(0));
+        assert!(o.get(0));
+        assert!(o.is_one() && !o.is_zero());
+    }
+
+    #[test]
+    fn from_word_masks_excess_bits() {
+        let t = TruthTable::from_word(2, u64::MAX).unwrap();
+        assert!(t.is_one());
+        assert!(TruthTable::from_word(7, 0).is_err());
+    }
+}

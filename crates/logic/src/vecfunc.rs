@@ -1,0 +1,257 @@
+use std::fmt;
+
+use crate::{LogicError, TruthTable};
+
+/// A multi-output Boolean function — e.g. a 4→4 S-box.
+///
+/// This is the unit of "viable function" in the paper: the adversary knows
+/// a set of `VectorFunction`s the obfuscated block might implement, and the
+/// designer merges them into one circuit. Phase II's pin-assignment freedom
+/// is exposed here as [`VectorFunction::permute_inputs`] and
+/// [`VectorFunction::permute_outputs`].
+///
+/// # Example
+///
+/// ```
+/// use mvf_logic::VectorFunction;
+///
+/// // A 2-bit swap: (a, b) -> (b, a).
+/// let f = VectorFunction::from_lookup_table(2, 2, &[0b00, 0b10, 0b01, 0b11])?;
+/// assert_eq!(f.eval(0b01), 0b10);
+/// assert!(f.is_bijection());
+/// # Ok::<(), mvf_logic::LogicError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VectorFunction {
+    n_inputs: usize,
+    outputs: Vec<TruthTable>,
+}
+
+impl VectorFunction {
+    /// Builds a function from per-output truth tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table's arity differs from `n_inputs`.
+    pub fn new(n_inputs: usize, outputs: Vec<TruthTable>) -> Self {
+        for t in &outputs {
+            assert_eq!(t.n_vars(), n_inputs, "output arity mismatch");
+        }
+        VectorFunction { n_inputs, outputs }
+    }
+
+    /// Builds a function from a lookup table: `table[m]` is the output word
+    /// for input minterm `m`, with output bit `i` in bit `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadTableLength`] if `table.len() != 2^n_inputs`
+    /// and [`LogicError::TooManyVars`] if `n_inputs` exceeds the supported
+    /// maximum.
+    pub fn from_lookup_table(
+        n_inputs: usize,
+        n_outputs: usize,
+        table: &[u16],
+    ) -> Result<Self, LogicError> {
+        if n_inputs > crate::MAX_VARS {
+            return Err(LogicError::TooManyVars(n_inputs));
+        }
+        if table.len() != 1 << n_inputs {
+            return Err(LogicError::BadTableLength(table.len()));
+        }
+        let outputs = (0..n_outputs)
+            .map(|bit| TruthTable::from_fn(n_inputs, |m| (table[m] >> bit) & 1 == 1))
+            .collect();
+        Ok(VectorFunction { n_inputs, outputs })
+    }
+
+    /// Number of inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The truth table of output `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn output(&self, i: usize) -> &TruthTable {
+        &self.outputs[i]
+    }
+
+    /// All output tables, in order.
+    pub fn outputs(&self) -> &[TruthTable] {
+        &self.outputs
+    }
+
+    /// Evaluates the function: returns the output word for input minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^n_inputs`.
+    pub fn eval(&self, m: usize) -> u16 {
+        let mut out = 0u16;
+        for (i, t) in self.outputs.iter().enumerate() {
+            if t.get(m) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// The function's lookup table (`2^n_inputs` output words).
+    pub fn to_lookup_table(&self) -> Vec<u16> {
+        (0..1usize << self.n_inputs).map(|m| self.eval(m)).collect()
+    }
+
+    /// `true` iff `n_inputs == n_outputs` and the function is a bijection.
+    pub fn is_bijection(&self) -> bool {
+        if self.n_inputs != self.outputs.len() {
+            return false;
+        }
+        let mut seen = vec![false; 1 << self.n_inputs];
+        for m in 0..(1usize << self.n_inputs) {
+            let y = self.eval(m) as usize;
+            if seen[y] {
+                return false;
+            }
+            seen[y] = true;
+        }
+        true
+    }
+
+    /// Applies an input-pin permutation: input `v` of `self` is driven by
+    /// wire `perm[v]` of the permuted function, i.e. the new function `g`
+    /// satisfies `g(x) = f(x')` with `x'[v] = x[perm[v]]`.
+    ///
+    /// This is the Phase-II genotype's input half.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadPermutation`] if `perm` is not a
+    /// permutation of `0..n_inputs`.
+    pub fn permute_inputs(&self, perm: &[usize]) -> Result<Self, LogicError> {
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|t| t.permute(perm))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(VectorFunction { n_inputs: self.n_inputs, outputs })
+    }
+
+    /// Applies an output-pin permutation: output `i` of `self` appears at
+    /// position `perm[i]` of the result.
+    ///
+    /// This is the Phase-II genotype's output half.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadPermutation`] if `perm` is not a
+    /// permutation of `0..n_outputs`.
+    pub fn permute_outputs(&self, perm: &[usize]) -> Result<Self, LogicError> {
+        let n = self.outputs.len();
+        if perm.len() != n {
+            return Err(LogicError::BadPermutation);
+        }
+        let mut new_outputs = vec![None; n];
+        for (i, &p) in perm.iter().enumerate() {
+            if p >= n || new_outputs[p].is_some() {
+                return Err(LogicError::BadPermutation);
+            }
+            new_outputs[p] = Some(self.outputs[i].clone());
+        }
+        Ok(VectorFunction {
+            n_inputs: self.n_inputs,
+            outputs: new_outputs.into_iter().map(|o| o.expect("filled")).collect(),
+        })
+    }
+}
+
+impl fmt::Debug for VectorFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VectorFunction({}→{})", self.n_inputs, self.outputs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn present_sbox() -> VectorFunction {
+        const S: [u16; 16] = [
+            0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+        ];
+        VectorFunction::from_lookup_table(4, 4, &S).unwrap()
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let f = present_sbox();
+        assert_eq!(f.eval(0), 0xC);
+        assert_eq!(f.eval(0xF), 0x2);
+        assert_eq!(
+            f.to_lookup_table(),
+            vec![0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2]
+        );
+    }
+
+    #[test]
+    fn bijection_detection() {
+        assert!(present_sbox().is_bijection());
+        let collapsed = VectorFunction::from_lookup_table(2, 2, &[0, 0, 1, 2]).unwrap();
+        assert!(!collapsed.is_bijection());
+        let non_square = VectorFunction::from_lookup_table(2, 1, &[0, 1, 1, 0]).unwrap();
+        assert!(!non_square.is_bijection());
+    }
+
+    #[test]
+    fn input_permutation_semantics() {
+        let f = present_sbox();
+        let perm = vec![2, 0, 3, 1];
+        let g = f.permute_inputs(&perm).unwrap();
+        for m in 0..16usize {
+            // g's wire perm[v] carries f's input v.
+            let mut m2 = 0usize;
+            for v in 0..4 {
+                if m & (1 << v) != 0 {
+                    m2 |= 1 << perm[v];
+                }
+            }
+            assert_eq!(f.eval(m), g.eval(m2));
+        }
+    }
+
+    #[test]
+    fn output_permutation_semantics() {
+        let f = present_sbox();
+        let perm = vec![3, 1, 0, 2];
+        let g = f.permute_outputs(&perm).unwrap();
+        for m in 0..16usize {
+            let y = f.eval(m);
+            let z = g.eval(m);
+            for i in 0..4 {
+                assert_eq!((y >> i) & 1, (z >> perm[i]) & 1);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_errors() {
+        let f = present_sbox();
+        assert!(f.permute_inputs(&[0, 0, 1, 2]).is_err());
+        assert!(f.permute_outputs(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn bad_table_length_rejected() {
+        assert!(matches!(
+            VectorFunction::from_lookup_table(3, 2, &[0; 7]),
+            Err(LogicError::BadTableLength(7))
+        ));
+    }
+}

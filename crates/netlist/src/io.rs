@@ -1,0 +1,348 @@
+//! Netlist interchange: BLIF and structural Verilog writers, a BLIF
+//! reader, and a Graphviz DOT dump.
+//!
+//! The paper's flow passes netlists between Yosys and ABC as BLIF; these
+//! routines provide the same interoperability for this workspace's
+//! netlists (e.g. to inspect a mapped circuit in external tools).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::TruthTable;
+
+use crate::{CellRef, Netlist};
+
+/// Renders the netlist as BLIF. Camouflaged cells are emitted as `.gate`
+/// lines with a `camo-` prefix on the cell name, carrying their *nominal*
+/// function (the plausible variants are not expressible in BLIF).
+pub fn to_blif(nl: &Netlist, lib: &Library, camo: Option<&CamoLibrary>) -> String {
+    let mut s = String::new();
+    writeln!(s, ".model {}", nl.name()).expect("write to string");
+    let ins: Vec<&str> = nl.inputs().iter().map(|&n| nl.net_name(n)).collect();
+    writeln!(s, ".inputs {}", ins.join(" ")).expect("write to string");
+    let outs: Vec<&str> = nl.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    writeln!(s, ".outputs {}", outs.join(" ")).expect("write to string");
+    for (_, c) in nl.cells() {
+        let (func, name) = match c.cell {
+            CellRef::Std(id) => {
+                let cell = lib.cell(id);
+                (cell.function().clone(), cell.name().to_string())
+            }
+            CellRef::Camo(id) => {
+                let cell = camo.expect("camo library required").cell(id);
+                (cell.nominal().clone(), format!("camo-{}", cell.name()))
+            }
+        };
+        let mut nets: Vec<String> =
+            c.inputs.iter().map(|&n| nl.net_name(n).to_string()).collect();
+        nets.push(nl.net_name(c.output).to_string());
+        writeln!(s, "# {} {}", name, c.name).expect("write to string");
+        writeln!(s, ".names {}", nets.join(" ")).expect("write to string");
+        s.push_str(&names_table(&func));
+    }
+    // Output aliases where the output name differs from its net name.
+    for (name, net) in nl.outputs() {
+        if nl.net_name(*net) != name {
+            writeln!(s, ".names {} {}", nl.net_name(*net), name).expect("write to string");
+            writeln!(s, "1 1").expect("write to string");
+        }
+    }
+    writeln!(s, ".end").expect("write to string");
+    s
+}
+
+fn names_table(f: &TruthTable) -> String {
+    let mut s = String::new();
+    let n = f.n_vars();
+    if n == 0 {
+        if f.is_one() {
+            s.push_str("1\n");
+        }
+        return s;
+    }
+    for m in 0..f.n_minterms() {
+        if f.get(m) {
+            for v in 0..n {
+                s.push(if m & (1 << v) != 0 { '1' } else { '0' });
+            }
+            s.push_str(" 1\n");
+        }
+    }
+    s
+}
+
+/// A minimal BLIF model parsed back by [`from_blif`].
+#[derive(Debug, Clone)]
+pub struct BlifModel {
+    /// Model name.
+    pub name: String,
+    /// Primary input names.
+    pub inputs: Vec<String>,
+    /// Primary output names.
+    pub outputs: Vec<String>,
+    /// `.names` tables as `(input nets, output net, truth table)`.
+    pub tables: Vec<(Vec<String>, String, TruthTable)>,
+}
+
+/// Parses a combinational single-model BLIF (as emitted by [`to_blif`]).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax problem.
+pub fn from_blif(text: &str) -> Result<BlifModel, String> {
+    let mut name = String::from("top");
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut tables: Vec<(Vec<String>, String, Vec<(String, bool)>)> = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some(".model") => name = tok.next().unwrap_or("top").to_string(),
+            Some(".inputs") => inputs.extend(tok.map(str::to_string)),
+            Some(".outputs") => outputs.extend(tok.map(str::to_string)),
+            Some(".names") => {
+                let mut nets: Vec<String> = tok.map(str::to_string).collect();
+                let out = nets.pop().ok_or_else(|| ".names with no nets".to_string())?;
+                let mut rows = Vec::new();
+                while let Some(next) = lines.peek() {
+                    let t = next.trim();
+                    if t.is_empty() || t.starts_with('.') || t.starts_with('#') {
+                        break;
+                    }
+                    let row = lines.next().expect("peeked").trim();
+                    let (pat, val) = match row.rsplit_once(' ') {
+                        Some((p, v)) => (p.trim().to_string(), v == "1"),
+                        None => (String::new(), row == "1"),
+                    };
+                    rows.push((pat, val));
+                }
+                tables.push((nets, out, rows));
+            }
+            Some(".end") => break,
+            Some(other) => return Err(format!("unsupported BLIF construct: {other}")),
+            None => {}
+        }
+    }
+    let tables = tables
+        .into_iter()
+        .map(|(nets, out, rows)| {
+            let n = nets.len();
+            if n > mvf_logic::MAX_VARS {
+                return Err(format!("table for {out} too wide ({n} inputs)"));
+            }
+            let mut tt = TruthTable::zero(n);
+            for (pat, val) in rows {
+                if !val {
+                    continue; // off-set rows are not emitted by our writer
+                }
+                if pat.is_empty() {
+                    tt = TruthTable::one(0);
+                    continue;
+                }
+                if pat.len() != n {
+                    return Err(format!("row width {} != {} for {out}", pat.len(), n));
+                }
+                // Expand '-' wildcards.
+                let mut stack = vec![(0usize, 0usize)]; // (index, minterm)
+                while let Some((i, m)) = stack.pop() {
+                    if i == n {
+                        tt.set(m, true);
+                        continue;
+                    }
+                    match pat.as_bytes()[i] {
+                        b'0' => stack.push((i + 1, m)),
+                        b'1' => stack.push((i + 1, m | (1 << i))),
+                        b'-' => {
+                            stack.push((i + 1, m));
+                            stack.push((i + 1, m | (1 << i)));
+                        }
+                        c => return Err(format!("bad pattern char {}", c as char)),
+                    }
+                }
+            }
+            Ok((nets, out, tt))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BlifModel { name, inputs, outputs, tables })
+}
+
+/// Renders the netlist as structural Verilog (gate-level instantiations).
+pub fn to_verilog(nl: &Netlist, lib: &Library, camo: Option<&CamoLibrary>) -> String {
+    let sanitize = |s: &str| s.replace(['[', ']', '.'], "_");
+    let mut s = String::new();
+    let ins: Vec<String> = nl
+        .inputs()
+        .iter()
+        .map(|&n| sanitize(nl.net_name(n)))
+        .collect();
+    let outs: Vec<String> = nl.outputs().iter().map(|(n, _)| sanitize(n)).collect();
+    writeln!(
+        s,
+        "module {}({}, {});",
+        sanitize(nl.name()),
+        ins.join(", "),
+        outs.join(", ")
+    )
+    .expect("write to string");
+    for i in &ins {
+        writeln!(s, "  input {i};").expect("write to string");
+    }
+    for o in &outs {
+        writeln!(s, "  output {o};").expect("write to string");
+    }
+    for (_, c) in nl.cells() {
+        writeln!(s, "  wire {};", sanitize(nl.net_name(c.output))).expect("write to string");
+    }
+    for (_, c) in nl.cells() {
+        let cell_name = match c.cell {
+            CellRef::Std(id) => lib.cell(id).name().to_string(),
+            CellRef::Camo(id) => {
+                format!("CAMO_{}", camo.expect("camo library required").cell(id).name())
+            }
+        };
+        let mut pins: Vec<String> = Vec::new();
+        for (i, &n) in c.inputs.iter().enumerate() {
+            pins.push(format!(".{}({})", (b'A' + i as u8) as char, sanitize(nl.net_name(n))));
+        }
+        pins.push(format!(".Y({})", sanitize(nl.net_name(c.output))));
+        writeln!(s, "  {} {} ({});", cell_name, sanitize(&c.name), pins.join(", "))
+            .expect("write to string");
+    }
+    for (name, net) in nl.outputs() {
+        if nl.net_name(*net) != name {
+            writeln!(s, "  assign {} = {};", sanitize(name), sanitize(nl.net_name(*net)))
+                .expect("write to string");
+        }
+    }
+    writeln!(s, "endmodule").expect("write to string");
+    s
+}
+
+/// Renders the netlist as a Graphviz digraph for visual inspection.
+pub fn to_dot(nl: &Netlist, lib: &Library, camo: Option<&CamoLibrary>) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph {} {{", nl.name().replace('-', "_")).expect("write to string");
+    writeln!(s, "  rankdir=LR;").expect("write to string");
+    for &n in nl.inputs() {
+        writeln!(s, "  \"{}\" [shape=triangle];", nl.net_name(n)).expect("write to string");
+    }
+    let mut net_source: HashMap<u32, String> = HashMap::new();
+    for &n in nl.inputs() {
+        net_source.insert(n.0, nl.net_name(n).to_string());
+    }
+    for (_, c) in nl.cells() {
+        let label = match c.cell {
+            CellRef::Std(id) => lib.cell(id).name().to_string(),
+            CellRef::Camo(id) => format!(
+                "camo\\n{}",
+                camo.expect("camo library required").cell(id).name()
+            ),
+        };
+        writeln!(s, "  \"{}\" [shape=box,label=\"{}\"];", c.name, label)
+            .expect("write to string");
+        net_source.insert(c.output.0, c.name.clone());
+    }
+    for (_, c) in nl.cells() {
+        for &n in &c.inputs {
+            if let Some(src) = net_source.get(&n.0) {
+                writeln!(s, "  \"{}\" -> \"{}\";", src, c.name).expect("write to string");
+            }
+        }
+    }
+    for (name, net) in nl.outputs() {
+        writeln!(s, "  \"out_{name}\" [shape=invtriangle];").expect("write to string");
+        if let Some(src) = net_source.get(&net.0) {
+            writeln!(s, "  \"{src}\" -> \"out_{name}\";").expect("write to string");
+        }
+    }
+    writeln!(s, "}}").expect("write to string");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvf_cells::CellKind;
+
+    fn sample() -> (Netlist, Library) {
+        let lib = Library::standard();
+        let nand = lib.cell_by_kind(CellKind::Nand(2)).unwrap();
+        let inv = lib.cell_by_kind(CellKind::Inv).unwrap();
+        let mut nl = Netlist::new("samp");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (_, x) = nl.add_cell("u1", nand.into(), vec![a, b]);
+        let (_, y) = nl.add_cell("u2", inv.into(), vec![x]);
+        nl.add_output("y", y);
+        (nl, lib)
+    }
+
+    #[test]
+    fn blif_roundtrip_preserves_structure() {
+        let (nl, lib) = sample();
+        let text = to_blif(&nl, &lib, None);
+        let model = from_blif(&text).expect("parse back");
+        assert_eq!(model.name, "samp");
+        assert_eq!(model.inputs, vec!["a", "b"]);
+        assert_eq!(model.outputs, vec!["y"]);
+        // NAND2, INV, plus the alias buffer binding net u2_y to output y.
+        assert_eq!(model.tables.len(), 3);
+        let (ins, _, tt) = &model.tables[0];
+        assert_eq!(ins.len(), 2);
+        assert_eq!(tt, &CellKind::Nand(2).function());
+        let (ins, out, tt) = &model.tables[2];
+        assert_eq!(ins.len(), 1);
+        assert_eq!(out, "y");
+        assert_eq!(tt, &CellKind::Buf.function());
+    }
+
+    #[test]
+    fn blif_wildcards_parse() {
+        let text = ".model t\n.inputs a b\n.outputs y\n.names a b y\n-1 1\n1- 1\n.end\n";
+        let model = from_blif(text).expect("parse");
+        let (_, _, tt) = &model.tables[0];
+        assert_eq!(tt, &CellKind::Or(2).function());
+    }
+
+    #[test]
+    fn blif_rejects_garbage() {
+        assert!(from_blif(".model x\n.latch a b\n.end").is_err());
+        assert!(from_blif(".model x\n.names a y\n11 1\n.end").is_err());
+    }
+
+    #[test]
+    fn verilog_contains_instances_and_ports() {
+        let (nl, lib) = sample();
+        let v = to_verilog(&nl, &lib, None);
+        assert!(v.contains("module samp(a, b, y);"));
+        assert!(v.contains("NAND2 u1 (.A(a), .B(b), .Y(u1_y));"));
+        assert!(v.contains("INV u2"));
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn dot_mentions_every_cell() {
+        let (nl, lib) = sample();
+        let d = to_dot(&nl, &lib, None);
+        assert!(d.contains("\"u1\""));
+        assert!(d.contains("\"u2\""));
+        assert!(d.contains("->"));
+    }
+
+    #[test]
+    fn constant_tables_emit() {
+        let lib = Library::standard();
+        let tie1 = lib.cell_by_kind(CellKind::Tie1).unwrap();
+        let mut nl = Netlist::new("c");
+        let (_, one) = nl.add_cell("t", tie1.into(), vec![]);
+        nl.add_output("one", one);
+        let text = to_blif(&nl, &lib, None);
+        assert!(text.contains(".names t_y\n1\n"), "{text}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Gate-level netlists over standard and camouflaged cell libraries.
+//!
+//! A [`Netlist`] is a flat structural netlist: primary inputs, single-output
+//! cell instances referencing a [`mvf_cells::Library`] (or camouflaged
+//! cells from a [`mvf_cells::CamoLibrary`]), and named primary outputs.
+//! This is the exchange format between synthesis ([`mvf_aig`]) and
+//! technology mapping, and the form in which final camouflaged circuits
+//! are reported, simulated and attacked.
+//!
+//! The crate also provides:
+//!
+//! * [`subject_graph`] — decomposition of an optimized AIG into an
+//!   AND2/INV subject netlist, the input to tree-covering technology
+//!   mapping (Keutzer's DAGON approach used by the paper's Alg. 1);
+//! * [`io`] — BLIF and structural-Verilog writers and a BLIF reader, plus
+//!   a Graphviz DOT dump for inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use mvf_cells::{CellKind, Library};
+//! use mvf_netlist::Netlist;
+//!
+//! let lib = Library::standard();
+//! let mut nl = Netlist::new("demo");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let nand = lib.cell_by_kind(CellKind::Nand(2)).expect("NAND2");
+//! let (_, y) = nl.add_cell("u1", nand.into(), vec![a, b]);
+//! nl.add_output("y", y);
+//! assert_eq!(nl.check(&lib), Ok(()));
+//! assert_eq!(nl.area_ge(&lib, None), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+mod netlist;
+pub mod subject_graph;
+
+pub use netlist::{CellId, CellRef, Instance, NetId, Netlist, NetlistError};

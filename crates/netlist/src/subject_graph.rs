@@ -1,0 +1,175 @@
+//! AIG → subject-netlist decomposition.
+//!
+//! Tree-covering technology mapping operates on a *subject graph* of
+//! primitive gates (Keutzer's DAGON uses NAND2/INV; we use AND2/INV, which
+//! is equivalent up to cell choice). This module lowers an optimized
+//! [`mvf_aig::Aig`] into such a netlist: one AND2 per AIG node, one INV per
+//! distinct complemented edge, TIE cells for constant outputs and BUFs for
+//! outputs wired straight to an input.
+
+use std::collections::HashMap;
+
+use mvf_aig::{Aig, Lit};
+use mvf_cells::{CellKind, Library};
+
+use crate::{NetId, Netlist};
+
+/// Lowers an AIG into an AND2/INV subject netlist.
+///
+/// Primary input/output names are taken from the AIG. Inverters are shared:
+/// each AIG node gets at most one INV instance.
+///
+/// # Panics
+///
+/// Panics if `lib` lacks AND2, INV, BUF or tie cells (the standard library
+/// has all of them).
+pub fn from_aig(aig: &Aig, lib: &Library) -> Netlist {
+    let and2 = lib.cell_by_kind(CellKind::And(2)).expect("AND2 in library");
+    let inv = lib.cell_by_kind(CellKind::Inv).expect("INV in library");
+    let buf = lib.cell_by_kind(CellKind::Buf).expect("BUF in library");
+    let tie0 = lib.cell_by_kind(CellKind::Tie0).expect("TIE0 in library");
+    let tie1 = lib.cell_by_kind(CellKind::Tie1).expect("TIE1 in library");
+
+    let mut nl = Netlist::new("subject");
+    // Node id -> net carrying the *positive* polarity of the node.
+    let mut pos_net: HashMap<u32, NetId> = HashMap::new();
+    // Node id -> net carrying the complemented polarity (INV output).
+    let mut neg_net: HashMap<u32, NetId> = HashMap::new();
+
+    for i in 0..aig.n_inputs() {
+        let net = nl.add_input(aig.input_name(i).to_string());
+        pos_net.insert(aig.input(i).node().0, net);
+    }
+
+    // Constants on demand.
+    let mut const_net: [Option<NetId>; 2] = [None, None];
+    let mut get_const = |nl: &mut Netlist, value: bool| -> NetId {
+        if let Some(n) = const_net[value as usize] {
+            return n;
+        }
+        let cell = if value { tie1 } else { tie0 };
+        let (_, net) = nl.add_cell(format!("tie{}", value as u8), cell.into(), vec![]);
+        const_net[value as usize] = Some(net);
+        net
+    };
+
+    let mut lit_net = |nl: &mut Netlist,
+                       pos_net: &HashMap<u32, NetId>,
+                       neg_net: &mut HashMap<u32, NetId>,
+                       l: Lit|
+     -> NetId {
+        if l.is_const() {
+            return get_const(nl, l == Lit::TRUE);
+        }
+        let id = l.node().0;
+        let p = pos_net[&id];
+        if !l.is_complement() {
+            return p;
+        }
+        if let Some(&n) = neg_net.get(&id) {
+            return n;
+        }
+        let (_, n) = nl.add_cell(format!("inv{id}"), inv.into(), vec![p]);
+        neg_net.insert(id, n);
+        n
+    };
+
+    for id in aig.and_nodes() {
+        let (f0, f1) = aig.fanins(id);
+        let a = lit_net(&mut nl, &pos_net, &mut neg_net, f0);
+        let b = lit_net(&mut nl, &pos_net, &mut neg_net, f1);
+        let (_, y) = nl.add_cell(format!("and{}", id.0), and2.into(), vec![a, b]);
+        pos_net.insert(id.0, y);
+    }
+
+    for (name, l) in aig.outputs() {
+        let mut net = lit_net(&mut nl, &pos_net, &mut neg_net, *l);
+        // An output wired directly to an input gets a buffer so that the
+        // output net is cell-driven (simplifies downstream tree covering).
+        if nl.is_input(net) {
+            let (_, b) = nl.add_cell(format!("buf_{name}"), buf.into(), vec![net]);
+            net = b;
+        }
+        nl.set_net_name(net, name.to_string());
+        nl.add_output(name.to_string(), net);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowers_simple_graph() {
+        let mut aig = Aig::new(2);
+        let a = aig.input(0);
+        let b = aig.input(1);
+        let f = aig.xor(a, b);
+        aig.add_output("y", f);
+        let lib = Library::standard();
+        let nl = from_aig(&aig, &lib);
+        assert!(nl.check(&lib).is_ok());
+        // XOR = 3 ANDs + inverters.
+        let hist = nl.cell_histogram(&lib, None);
+        let ands = hist.iter().find(|(n, _)| n == "AND2").map(|(_, c)| *c);
+        assert_eq!(ands, Some(3));
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        let mut aig = Aig::new(2);
+        let a = aig.input(0);
+        let b = aig.input(1);
+        // Two gates both using ¬a.
+        let x = aig.and(!a, b);
+        let y = aig.and(!a, !b);
+        aig.add_output("x", x);
+        aig.add_output("y", y);
+        let lib = Library::standard();
+        let nl = from_aig(&aig, &lib);
+        let hist = nl.cell_histogram(&lib, None);
+        let invs = hist.iter().find(|(n, _)| n == "INV").map(|(_, c)| *c).unwrap_or(0);
+        assert_eq!(invs, 2, "¬a shared, ¬b single: exactly 2 inverters");
+    }
+
+    #[test]
+    fn constant_outputs_get_tie_cells() {
+        let mut aig = Aig::new(1);
+        aig.add_output("zero", Lit::FALSE);
+        aig.add_output("one", Lit::TRUE);
+        let lib = Library::standard();
+        let nl = from_aig(&aig, &lib);
+        assert!(nl.check(&lib).is_ok());
+        let hist = nl.cell_histogram(&lib, None);
+        assert!(hist.iter().any(|(n, c)| n == "TIE0" && *c == 1));
+        assert!(hist.iter().any(|(n, c)| n == "TIE1" && *c == 1));
+    }
+
+    #[test]
+    fn passthrough_output_gets_buffer() {
+        let mut aig = Aig::new(1);
+        let a = aig.input(0);
+        aig.add_output("y", a);
+        let lib = Library::standard();
+        let nl = from_aig(&aig, &lib);
+        assert!(nl.check(&lib).is_ok());
+        let hist = nl.cell_histogram(&lib, None);
+        assert!(hist.iter().any(|(n, c)| n == "BUF" && *c == 1));
+    }
+
+    #[test]
+    fn io_names_survive() {
+        let mut aig = Aig::new(2);
+        aig.set_input_name(0, "sel0");
+        aig.set_input_name(1, "d");
+        let s = aig.input(0);
+        let d = aig.input(1);
+        let f = aig.and(s, d);
+        aig.add_output("out", f);
+        let lib = Library::standard();
+        let nl = from_aig(&aig, &lib);
+        assert_eq!(nl.net_name(nl.inputs()[0]), "sel0");
+        assert_eq!(nl.outputs()[0].0, "out");
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable (0-based index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A literal: a variable or its negation.
+///
+/// # Example
+///
+/// ```
+/// use mvf_sat::{Lit, Var};
+///
+/// let x = Var(3);
+/// assert_eq!(!Lit::pos(x), Lit::neg(x));
+/// assert_eq!(Lit::pos(x).var(), x);
+/// assert!(Lit::neg(x).is_negative());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// A literal with explicit polarity (`true` = positive).
+    pub fn with_polarity(v: Var, polarity: bool) -> Lit {
+        if polarity {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` iff this is a negated literal.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Internal dense code (used for watch lists).
+    pub(crate) fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = Var(7);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(!Lit::pos(v).is_negative());
+        assert!(Lit::neg(v).is_negative());
+        assert_eq!(!(!Lit::pos(v)), Lit::pos(v));
+        assert_eq!(Lit::with_polarity(v, false), Lit::neg(v));
+    }
+}

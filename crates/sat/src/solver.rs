@@ -1,0 +1,527 @@
+//! A compact CDCL solver: two-watched literals, first-UIP clause learning,
+//! VSIDS activities, phase saving and geometric restarts.
+
+use crate::{Lit, Var};
+
+const INVALID: usize = usize::MAX;
+
+/// The SAT solver.
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// Clause database; learnt clauses are appended after problem clauses.
+    clauses: Vec<Vec<Lit>>,
+    /// Watch lists indexed by literal code: clauses watching that literal.
+    watches: Vec<Vec<usize>>,
+    /// Current assignment per variable.
+    assign: Vec<Option<bool>>,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    /// Decision level per assigned variable.
+    level: Vec<u32>,
+    /// Reason clause per assigned variable (implied literals only).
+    reason: Vec<usize>,
+    /// Assignment trail and per-level start indices.
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    /// Propagation queue head.
+    qhead: usize,
+    /// VSIDS activity and bump increment.
+    activity: Vec<f64>,
+    act_inc: f64,
+    /// Set when an empty clause is added.
+    unsat: bool,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver { act_inc: 1.0, ..Default::default() }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(None);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(INVALID);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new()); // positive literal
+        self.watches.push(Vec::new()); // negative literal
+        v
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (including learnt).
+    pub fn n_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause. Duplicated literals are merged; tautologies are
+    /// dropped; empty clauses make the instance trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a failed [`Solver::solve`] left assignments
+    /// (call sites in this workspace always add clauses up front) or if a
+    /// literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at decision level 0"
+        );
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!((l.var().0 as usize) < self.n_vars(), "unknown variable");
+            if c.contains(&!l) {
+                return; // tautology
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        // Remove literals already false at level 0; satisfied clauses are
+        // dropped.
+        c.retain(|&l| self.lit_value(l) != Some(false));
+        if c.iter().any(|&l| self.lit_value(l) == Some(true)) {
+            return;
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(c[0], INVALID) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[c[0].code()].push(idx);
+                self.watches[c[1].code()].push(idx);
+                self.clauses.push(c);
+            }
+        }
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var().0 as usize].map(|v| v ^ l.is_negative())
+    }
+
+    /// The model value of `v` after a successful [`Solver::solve`].
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.assign[v.0 as usize]
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: usize) -> bool {
+        match self.lit_value(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = l.var().0 as usize;
+                self.assign[v] = Some(!l.is_negative());
+                self.phase[v] = !l.is_negative();
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns a conflicting clause index if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let falsified = !p;
+            let mut i = 0;
+            // Take the watch list to sidestep aliasing; re-add survivors.
+            let mut watchers = std::mem::take(&mut self.watches[falsified.code()]);
+            while i < watchers.len() {
+                let ci = watchers[i];
+                // Ensure the falsified literal is at position 1.
+                if self.clauses[ci][0] == falsified {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let w0 = self.clauses[ci][0];
+                if self.lit_value(w0) == Some(true) {
+                    i += 1;
+                    continue; // clause satisfied; keep watching
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    let l = self.clauses[ci][k];
+                    if self.lit_value(l) != Some(false) {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[l.code()].push(ci);
+                        watchers.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflicting.
+                if !self.enqueue(w0, ci) {
+                    // Conflict: restore remaining watchers.
+                    self.watches[falsified.code()].extend(watchers.drain(..));
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[falsified.code()].extend(watchers);
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        let a = &mut self.activity[v.0 as usize];
+        *a += self.act_inc;
+        if *a > 1e100 {
+            for x in &mut self.activity {
+                *x *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: usize) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.n_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        loop {
+            let clause = self.clauses[confl].clone();
+            for &q in clause.iter() {
+                // Skip the implied literal whose reason we are expanding.
+                if p == Some(q) {
+                    continue;
+                }
+                let v = q.var().0 as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(q.var());
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next marked literal on the trail.
+            loop {
+                idx -= 1;
+                if seen[self.trail[idx].var().0 as usize] {
+                    break;
+                }
+            }
+            let q = self.trail[idx];
+            let v = q.var().0 as usize;
+            seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt.insert(0, !q);
+                break;
+            }
+            p = Some(q);
+            confl = self.reason[v];
+            debug_assert_ne!(confl, INVALID, "implied literal must have a reason");
+        }
+        let back_level = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var().0 as usize])
+            .max()
+            .unwrap_or(0);
+        (learnt, back_level)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        while self.decision_level() > lvl {
+            let start = self.trail_lim.pop().expect("level exists");
+            while self.trail.len() > start {
+                let l = self.trail.pop().expect("non-empty");
+                let v = l.var().0 as usize;
+                self.assign[v] = None;
+                self.reason[v] = INVALID;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..self.n_vars() {
+            if self.assign[v].is_none() {
+                let a = self.activity[v];
+                if best.map_or(true, |(_, ba)| a > ba) {
+                    best = Some((v, a));
+                }
+            }
+        }
+        best.map(|(v, _)| Lit::with_polarity(Var(v as u32), self.phase[v]))
+    }
+
+    /// Decides satisfiability. On `true`, a full model is available via
+    /// [`Solver::value`].
+    pub fn solve(&mut self) -> bool {
+        self.solve_with(&[])
+    }
+
+    /// Decides satisfiability under assumptions (each forced true).
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return false;
+        }
+        // Assumption levels.
+        for &a in assumptions {
+            match self.lit_value(a) {
+                Some(true) => continue,
+                Some(false) => {
+                    self.cancel_until(0);
+                    return false;
+                }
+                None => {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(a, INVALID);
+                    if self.propagate().is_some() {
+                        self.cancel_until(0);
+                        return false;
+                    }
+                }
+            }
+        }
+        let assumption_level = self.decision_level();
+        let mut conflicts_until_restart = 100u64;
+        let mut conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                conflicts += 1;
+                if self.decision_level() <= assumption_level {
+                    self.cancel_until(0);
+                    if assumption_level == 0 {
+                        self.unsat = true;
+                    }
+                    return false;
+                }
+                let (learnt, back) = self.analyze(confl);
+                let back = back.max(assumption_level);
+                self.cancel_until(back);
+                let assert_lit = learnt[0];
+                if learnt.len() == 1 {
+                    // Unit learnt clause: assert directly at the backjump
+                    // level (level 0, or the assumption level).
+                    let ok = self.enqueue(assert_lit, INVALID);
+                    debug_assert!(ok);
+                } else {
+                    let idx = self.clauses.len();
+                    self.watches[learnt[0].code()].push(idx);
+                    self.watches[learnt[1].code()].push(idx);
+                    self.clauses.push(learnt);
+                    let ok = self.enqueue(assert_lit, idx);
+                    debug_assert!(ok);
+                }
+                self.act_inc *= 1.05;
+                if conflicts >= conflicts_until_restart {
+                    conflicts = 0;
+                    conflicts_until_restart = (conflicts_until_restart * 3) / 2;
+                    self.cancel_until(assumption_level);
+                }
+            } else {
+                match self.decide() {
+                    None => return true,
+                    Some(d) => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(d, INVALID);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert!(s.solve());
+        assert_eq!(s.value(v[0]), Some(true));
+
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // x0 -> x1 -> x2 -> x3, with x0 asserted.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        for w in v.windows(2) {
+            s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert!(s.solve());
+        for &x in &v {
+            assert_eq!(s.value(x), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: vars p[i][j] = pigeon i in hole j.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for i in 0..3 {
+            for j in 0..2 {
+                p[i][j] = s.new_var();
+            }
+        }
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[a][j]), Lit::neg(p[b][j])]);
+                }
+            }
+        }
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn xor_chain_sat_with_model_check() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 = 1 ⇒ x2 = 1.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let xor1 = |s: &mut Solver, a: Var, b: Var| {
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        };
+        xor1(&mut s, v[0], v[1]);
+        xor1(&mut s, v[1], v[2]);
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert!(s.solve());
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.value(v[1]), Some(false));
+        assert_eq!(s.value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn assumptions_work_and_are_undone() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert!(s.solve_with(&[Lit::neg(v[0])]));
+        assert_eq!(s.value(v[1]), Some(true));
+        // Contradictory assumptions: unsat under them, sat afterwards.
+        assert!(!s.solve_with(&[Lit::neg(v[0]), Lit::neg(v[1])]));
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn random_instances_match_brute_force() {
+        // Deterministic pseudo-random 3-CNFs over 8 vars, cross-checked
+        // against exhaustive enumeration.
+        let mut state = 0x853C49E6748FEA9Bu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..25 {
+            let n_vars = 8usize;
+            let n_clauses = 3 + (next() % 30) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..n_clauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % n_vars as u64) as u32;
+                    let neg = next() & 1 == 1;
+                    c.push(if neg { Lit::neg(Var(v)) } else { Lit::pos(Var(v)) });
+                }
+                clauses.push(c);
+            }
+            // Brute force.
+            let brute = (0..(1u32 << n_vars)).any(|m| {
+                clauses.iter().all(|c| {
+                    c.iter().any(|l| {
+                        let val = (m >> l.var().0) & 1 == 1;
+                        val != l.is_negative()
+                    })
+                })
+            });
+            let mut s = Solver::new();
+            for _ in 0..n_vars {
+                s.new_var();
+            }
+            for c in &clauses {
+                s.add_clause(c);
+            }
+            let got = s.solve();
+            assert_eq!(got, brute, "round {round}: clauses {clauses:?}");
+            if got {
+                // Model must satisfy all clauses.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| s.value(l.var()).expect("assigned")
+                            != l.is_negative()),
+                        "model violates {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::pos(v[0]), Lit::neg(v[0])]); // tautology: ignored
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = lits(&mut s, 1);
+        s.add_clause(&[]);
+        assert!(!s.solve());
+    }
+}

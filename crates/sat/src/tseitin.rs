@@ -1,0 +1,185 @@
+//! Input-unrolled CNF encoding of (possibly camouflaged) netlists.
+//!
+//! The adversary's plausibility test is a two-level problem:
+//! *does there exist* a doping configuration such that *for all* inputs
+//! the circuit equals a candidate function ([14] in the paper solves the
+//! analogous problem as QBF). For the block sizes in question (4–6 data
+//! inputs) the universal quantifier is cheap to unroll: the encoder
+//! instantiates the netlist once per input minterm, sharing one set of
+//! configuration-selector variables across all rows. Satisfiability over
+//! the selectors then decides plausibility exactly.
+
+use std::collections::HashMap;
+
+use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::TruthTable;
+use mvf_netlist::{CellId, CellRef, Netlist};
+
+use crate::{Lit, Solver, Var};
+
+/// The unrolled encoding: one solver, per-cell configuration selectors and
+/// per-row output variables.
+#[derive(Debug)]
+pub struct CircuitCnf {
+    /// The solver holding the encoded constraints.
+    pub solver: Solver,
+    /// For each camouflaged instance, one selector variable per plausible
+    /// function (in the library's `plausible()` order); exactly one is
+    /// true in any model.
+    pub config_vars: HashMap<CellId, Vec<Var>>,
+    /// `row_outputs[m][o]`: the variable of output `o` when the primary
+    /// inputs are the bits of minterm `m`.
+    pub row_outputs: Vec<Vec<Var>>,
+}
+
+/// Encodes the netlist unrolled over all `2^n_inputs` input rows.
+///
+/// # Panics
+///
+/// Panics if the netlist has more than [`mvf_logic::MAX_VARS`] inputs
+/// (the unrolling would be oversized) or is structurally invalid.
+pub fn encode_netlist(nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> CircuitCnf {
+    let n_in = nl.inputs().len();
+    assert!(
+        n_in <= mvf_logic::MAX_VARS,
+        "unrolled encoding limited to {} inputs",
+        mvf_logic::MAX_VARS
+    );
+    nl.check_with_camo(lib, Some(camo)).expect("valid netlist");
+    let mut solver = Solver::new();
+
+    // Shared configuration selectors.
+    let mut config_vars: HashMap<CellId, Vec<Var>> = HashMap::new();
+    for (cid, c) in nl.cells() {
+        if let CellRef::Camo(id) = c.cell {
+            let cell = camo.cell(id);
+            let vars: Vec<Var> = cell.plausible().iter().map(|_| solver.new_var()).collect();
+            // At least one...
+            let alo: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+            solver.add_clause(&alo);
+            // ...and at most one.
+            for i in 0..vars.len() {
+                for j in (i + 1)..vars.len() {
+                    solver.add_clause(&[Lit::neg(vars[i]), Lit::neg(vars[j])]);
+                }
+            }
+            config_vars.insert(cid, vars);
+        }
+    }
+
+    let topo = nl.topo_cells();
+    let mut row_outputs = Vec::with_capacity(1 << n_in);
+    for m in 0..(1usize << n_in) {
+        // Net variables for this row.
+        let mut net_var: HashMap<u32, Var> = HashMap::new();
+        for (i, &pi) in nl.inputs().iter().enumerate() {
+            let v = solver.new_var();
+            let bit = m & (1 << i) != 0;
+            solver.add_clause(&[Lit::with_polarity(v, bit)]);
+            net_var.insert(pi.0, v);
+        }
+        for &cid in &topo {
+            let c = nl.cell(cid);
+            let y = solver.new_var();
+            net_var.insert(c.output.0, y);
+            let pins: Vec<Var> = c.inputs.iter().map(|p| net_var[&p.0]).collect();
+            match c.cell {
+                CellRef::Std(id) => {
+                    encode_fixed(&mut solver, lib.cell(id).function(), &pins, y, None);
+                }
+                CellRef::Camo(id) => {
+                    let cell = camo.cell(id);
+                    let sels = &config_vars[&cid];
+                    for (j, f) in cell.plausible().iter().enumerate() {
+                        encode_fixed(&mut solver, f, &pins, y, Some(Lit::neg(sels[j])));
+                    }
+                }
+            }
+        }
+        row_outputs.push(
+            nl.outputs()
+                .iter()
+                .map(|(_, net)| net_var[&net.0])
+                .collect(),
+        );
+    }
+    CircuitCnf { solver, config_vars, row_outputs }
+}
+
+/// Encodes `guard → (y ↔ f(pins))` row by row of `f`'s truth table.
+fn encode_fixed(solver: &mut Solver, f: &TruthTable, pins: &[Var], y: Var, guard: Option<Lit>) {
+    for m in 0..f.n_minterms() {
+        let mut clause: Vec<Lit> = Vec::with_capacity(pins.len() + 2);
+        if let Some(g) = guard {
+            clause.push(g);
+        }
+        for (i, &p) in pins.iter().enumerate() {
+            // Pin pattern: exclude assignments ≠ m.
+            clause.push(Lit::with_polarity(p, m & (1 << i) == 0));
+        }
+        clause.push(Lit::with_polarity(y, f.get(m)));
+        solver.add_clause(&clause);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvf_cells::CellKind;
+
+    #[test]
+    fn std_netlist_encoding_matches_semantics() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let nand = lib.cell_by_kind(CellKind::Nand(2)).unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (_, y) = nl.add_cell("u", nand.into(), vec![a, b]);
+        nl.add_output("y", y);
+        let mut cnf = encode_netlist(&nl, &lib, &camo);
+        assert!(cnf.solver.solve());
+        for m in 0..4usize {
+            let v = cnf.row_outputs[m][0];
+            assert_eq!(cnf.solver.value(v), Some(m != 3), "m={m}");
+        }
+    }
+
+    #[test]
+    fn camo_cell_selector_constrains_output() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let (nand_id, nand) = camo.iter().find(|(_, c)| c.name() == "NAND2").unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (cid, y) = nl.add_cell("u", nand_id.into(), vec![a, b]);
+        nl.add_output("y", y);
+        let mut cnf = encode_netlist(&nl, &lib, &camo);
+        // Force the output column to be exactly ¬a: must be satisfiable
+        // (¬A is plausible for NAND2) and the model must select it.
+        let mut assumptions = Vec::new();
+        for m in 0..4usize {
+            assumptions.push(Lit::with_polarity(cnf.row_outputs[m][0], m & 1 == 0));
+        }
+        assert!(cnf.solver.solve_with(&assumptions));
+        let sels = &cnf.config_vars[&cid];
+        let chosen: Vec<usize> = sels
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| cnf.solver.value(v) == Some(true))
+            .map(|(j, _)| j)
+            .collect();
+        assert_eq!(chosen.len(), 1);
+        let f = &nand.plausible()[chosen[0]];
+        assert_eq!(f, &mvf_logic::TruthTable::var(0, 2).not());
+
+        // Forcing XOR must be unsatisfiable.
+        let mut assumptions = Vec::new();
+        for m in 0..4usize {
+            let bit = (m & 1 == 1) ^ (m & 2 == 2);
+            assumptions.push(Lit::with_polarity(cnf.row_outputs[m][0], bit));
+        }
+        assert!(!cnf.solver.solve_with(&assumptions));
+    }
+}

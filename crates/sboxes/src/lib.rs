@@ -1,0 +1,236 @@
+//! The S-box workloads of the paper's evaluation (§IV).
+//!
+//! The paper evaluates its flow on two families of viable-function sets:
+//!
+//! * the **16 optimal 4-bit S-boxes** of Leander and Poschmann
+//!   ("On the classification of 4 bit S-boxes", WAIFI 2007) — class
+//!   representatives G0…G15, each a bijective 4→4 function with optimal
+//!   linearity (8) and differential uniformity (4). The PRESENT S-box is
+//!   affine-equivalent to one of these classes; the paper calls the merged
+//!   circuits built from them "PRESENT S-boxes".
+//! * the **8 DES S-boxes**, each a 6→4 function of roughly 150 GE.
+//!
+//! The [`properties`] module provides the cryptographic property
+//! computations (Walsh linearity, differential uniformity, bijectivity)
+//! used to validate the tables and available to downstream users.
+//!
+//! # Example
+//!
+//! ```
+//! use mvf_sboxes::{optimal_sboxes, present_sbox, properties};
+//!
+//! let g = optimal_sboxes();
+//! assert_eq!(g.len(), 16);
+//! assert!(g.iter().all(|s| s.is_bijection()));
+//! assert_eq!(properties::differential_uniformity(&present_sbox()), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod properties;
+
+use mvf_logic::VectorFunction;
+
+/// The PRESENT block-cipher S-box (Bogdanov et al., CHES 2007).
+pub const PRESENT_TABLE: [u16; 16] =
+    [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2];
+
+/// The 16 optimal 4-bit S-box class representatives G0…G15 of Leander and
+/// Poschmann (WAIFI 2007), transcribed from Table 6 of that paper.
+pub const OPTIMAL_TABLES: [[u16; 16]; 16] = [
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 11, 12, 9, 3, 14, 10, 5],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 11, 14, 3, 5, 9, 10, 12],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 11, 14, 3, 10, 12, 5, 9],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 5, 3, 10, 14, 11, 9],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 9, 11, 10, 14, 5, 3],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 11, 9, 10, 14, 3, 5],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 11, 9, 10, 14, 5, 3],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 14, 11, 10, 9, 3, 5],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 9, 5, 10, 11, 3, 12],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 11, 3, 5, 9, 10, 12],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 11, 5, 10, 9, 3, 12],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 11, 10, 5, 9, 12, 3],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 11, 10, 9, 3, 12, 5],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 12, 9, 5, 11, 10, 3],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 12, 11, 3, 9, 5, 10],
+    [0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 12, 11, 9, 3, 10, 5],
+];
+
+/// The 8 DES S-boxes in the standard FIPS 46 4×16 row layout.
+///
+/// `DES_TABLES[i][row][col]` is the output of S-box `i+1`.
+pub const DES_TABLES: [[[u16; 16]; 4]; 8] = [
+    [
+        [14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7],
+        [0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8],
+        [4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0],
+        [15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13],
+    ],
+    [
+        [15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10],
+        [3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5],
+        [0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15],
+        [13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9],
+    ],
+    [
+        [10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8],
+        [13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1],
+        [13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7],
+        [1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12],
+    ],
+    [
+        [7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15],
+        [13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9],
+        [10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4],
+        [3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14],
+    ],
+    [
+        [2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9],
+        [14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6],
+        [4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14],
+        [11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3],
+    ],
+    [
+        [12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11],
+        [10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8],
+        [9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6],
+        [4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13],
+    ],
+    [
+        [4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1],
+        [13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6],
+        [1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2],
+        [6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12],
+    ],
+    [
+        [13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7],
+        [1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2],
+        [7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8],
+        [2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11],
+    ],
+];
+
+/// The PRESENT S-box as a 4→4 [`VectorFunction`].
+pub fn present_sbox() -> VectorFunction {
+    VectorFunction::from_lookup_table(4, 4, &PRESENT_TABLE).expect("valid table")
+}
+
+/// Optimal S-box representative `Gi`.
+///
+/// # Panics
+///
+/// Panics if `i >= 16`.
+pub fn optimal_sbox(i: usize) -> VectorFunction {
+    VectorFunction::from_lookup_table(4, 4, &OPTIMAL_TABLES[i]).expect("valid table")
+}
+
+/// All 16 optimal 4-bit S-box representatives G0…G15.
+pub fn optimal_sboxes() -> Vec<VectorFunction> {
+    (0..16).map(optimal_sbox).collect()
+}
+
+/// DES S-box `i+1` (0-based `i`) as a 6→4 [`VectorFunction`].
+///
+/// The 6-bit input `m` uses the FIPS 46 convention with bit 5 (MSB) and
+/// bit 0 (LSB) selecting the row and bits 4…1 the column:
+/// `row = 2·m₅ + m₀`, `col = (m >> 1) & 0xF`.
+///
+/// # Panics
+///
+/// Panics if `i >= 8`.
+pub fn des_sbox(i: usize) -> VectorFunction {
+    let t = &DES_TABLES[i];
+    let mut flat = vec![0u16; 64];
+    for (m, slot) in flat.iter_mut().enumerate() {
+        let row = ((m >> 4) & 2) | (m & 1);
+        let col = (m >> 1) & 0xF;
+        *slot = t[row][col];
+    }
+    VectorFunction::from_lookup_table(6, 4, &flat).expect("valid table")
+}
+
+/// All 8 DES S-boxes.
+pub fn des_sboxes() -> Vec<VectorFunction> {
+    (0..8).map(des_sbox).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{differential_uniformity, linearity};
+
+    #[test]
+    fn present_is_the_standard_table() {
+        let s = present_sbox();
+        assert_eq!(s.eval(0x0), 0xC);
+        assert_eq!(s.eval(0x5), 0x0);
+        assert_eq!(s.eval(0xF), 0x2);
+        assert!(s.is_bijection());
+    }
+
+    #[test]
+    fn optimal_sboxes_are_bijections_and_distinct() {
+        let g = optimal_sboxes();
+        for (i, s) in g.iter().enumerate() {
+            assert!(s.is_bijection(), "G{i} not a bijection");
+        }
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                assert_ne!(g[i], g[j], "G{i} == G{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_sboxes_are_optimal() {
+        // Leander–Poschmann optimality: Lin(S) = 8 and Diff(S) = 4.
+        for (i, s) in optimal_sboxes().iter().enumerate() {
+            assert_eq!(linearity(s), 8, "G{i} linearity");
+            assert_eq!(differential_uniformity(s), 4, "G{i} differential uniformity");
+        }
+    }
+
+    #[test]
+    fn present_sbox_is_optimal() {
+        let s = present_sbox();
+        assert_eq!(linearity(&s), 8);
+        assert_eq!(differential_uniformity(&s), 4);
+    }
+
+    #[test]
+    fn des_sboxes_have_standard_spot_values() {
+        // S1(0b000000): row 0 col 0 -> 14.
+        assert_eq!(des_sbox(0).eval(0), 14);
+        // Classic textbook example: S1 input 0b011011 -> row 0b01=1,
+        // col 0b1101=13 -> 5.
+        assert_eq!(des_sbox(0).eval(0b011011), 5);
+        // S8 input all-ones: row 3, col 15 -> 11.
+        assert_eq!(des_sbox(7).eval(0b111111), 11);
+        // S5 row 1 col 0 (m = 0b000001): 14.
+        assert_eq!(des_sbox(4).eval(1), 14);
+    }
+
+    #[test]
+    fn des_sboxes_balanced_rows() {
+        // Each DES S-box row is a permutation of 0..=15, so every output
+        // value appears exactly 4 times overall.
+        for (i, s) in des_sboxes().iter().enumerate() {
+            let mut counts = [0usize; 16];
+            for m in 0..64 {
+                counts[s.eval(m) as usize] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 4), "S{} unbalanced: {counts:?}", i + 1);
+        }
+    }
+
+    #[test]
+    fn des_sboxes_are_distinct() {
+        let s = des_sboxes();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_ne!(s[i], s[j], "S{} == S{}", i + 1, j + 1);
+            }
+        }
+    }
+}

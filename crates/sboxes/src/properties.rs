@@ -1,0 +1,137 @@
+//! Cryptographic property computations for S-boxes.
+//!
+//! These are the measures Leander–Poschmann optimality is defined by, used
+//! here to validate the transcribed tables and exposed for downstream use.
+
+use mvf_logic::VectorFunction;
+
+/// The Walsh coefficient `W(a, b) = Σ_x (-1)^{b·S(x) ⊕ a·x}`.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` do not fit the function's arity.
+pub fn walsh_coefficient(s: &VectorFunction, a: u32, b: u32) -> i32 {
+    assert!(a < (1 << s.n_inputs()), "input mask out of range");
+    assert!(b < (1 << s.n_outputs()), "output mask out of range");
+    let mut sum = 0i32;
+    for x in 0..(1usize << s.n_inputs()) {
+        let ax = (a & x as u32).count_ones();
+        let bs = (b & s.eval(x) as u32).count_ones();
+        if (ax + bs) % 2 == 0 {
+            sum += 1;
+        } else {
+            sum -= 1;
+        }
+    }
+    sum
+}
+
+/// The linearity `Lin(S) = max_{a, b≠0} |W(a, b)|`.
+///
+/// Optimal 4-bit S-boxes achieve 8; a linear function would score `2^n`.
+pub fn linearity(s: &VectorFunction) -> i32 {
+    let mut best = 0;
+    for b in 1..(1u32 << s.n_outputs()) {
+        for a in 0..(1u32 << s.n_inputs()) {
+            best = best.max(walsh_coefficient(s, a, b).abs());
+        }
+    }
+    best
+}
+
+/// The differential uniformity
+/// `Diff(S) = max_{a≠0, b} #{x : S(x ⊕ a) ⊕ S(x) = b}`.
+///
+/// Optimal 4-bit S-boxes achieve 4.
+pub fn differential_uniformity(s: &VectorFunction) -> usize {
+    let n = 1usize << s.n_inputs();
+    let mut best = 0;
+    for a in 1..n {
+        let mut counts = vec![0usize; 1 << s.n_outputs()];
+        for x in 0..n {
+            let d = (s.eval(x ^ a) ^ s.eval(x)) as usize;
+            counts[d] += 1;
+        }
+        best = best.max(*counts.iter().max().expect("non-empty"));
+    }
+    best
+}
+
+/// `true` iff every output bit is balanced (equal number of 0s and 1s).
+pub fn is_balanced(s: &VectorFunction) -> bool {
+    let half = 1usize << (s.n_inputs() - 1);
+    (0..s.n_outputs()).all(|i| s.output(i).count_ones() == half)
+}
+
+/// Algebraic degree of the S-box: the maximum ANF degree over all output
+/// bits, computed with the Möbius transform.
+pub fn algebraic_degree(s: &VectorFunction) -> usize {
+    let n = s.n_inputs();
+    let size = 1usize << n;
+    let mut best = 0;
+    for bit in 0..s.n_outputs() {
+        // Möbius transform of the output column.
+        let mut anf: Vec<u8> = (0..size).map(|m| s.output(bit).get(m) as u8).collect();
+        let mut step = 1;
+        while step < size {
+            for block in (0..size).step_by(step * 2) {
+                for i in block..block + step {
+                    anf[i + step] ^= anf[i];
+                }
+            }
+            step *= 2;
+        }
+        for (m, &coeff) in anf.iter().enumerate() {
+            if coeff == 1 {
+                best = best.max(m.count_ones() as usize);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity4() -> VectorFunction {
+        let t: Vec<u16> = (0..16).collect();
+        VectorFunction::from_lookup_table(4, 4, &t).unwrap()
+    }
+
+    #[test]
+    fn identity_is_linear() {
+        let id = identity4();
+        assert_eq!(linearity(&id), 16);
+        assert_eq!(differential_uniformity(&id), 16);
+        assert_eq!(algebraic_degree(&id), 1);
+        assert!(is_balanced(&id));
+    }
+
+    #[test]
+    fn walsh_of_constant_output_mask_zero() {
+        let id = identity4();
+        // b = 0 ⇒ W(0,0) = 2^n.
+        assert_eq!(walsh_coefficient(&id, 0, 0), 16);
+    }
+
+    #[test]
+    fn present_degree_is_three() {
+        assert_eq!(algebraic_degree(&crate::present_sbox()), 3);
+    }
+
+    #[test]
+    fn present_balanced() {
+        assert!(is_balanced(&crate::present_sbox()));
+    }
+
+    #[test]
+    fn des_sboxes_differential_bound() {
+        // DES S-boxes have Diff ≤ 16 and well above the 4→4 optimum; the
+        // classic published value for S1 is 16.
+        for s in crate::des_sboxes() {
+            let d = differential_uniformity(&s);
+            assert!(d <= 16, "diff {d}");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Netlist simulation and camouflage validation — the ModelSim substitute.
+//!
+//! The paper validates its implementation by simulating the mapped
+//! circuits in ModelSim and checking that each viable function is realized
+//! "when appropriate gate functions are supplied" (§IV). This crate does
+//! the same exhaustively:
+//!
+//! * [`eval_netlist`] — exact truth-table evaluation of a standard-cell
+//!   netlist;
+//! * [`eval_camo_netlist`] — evaluation of a camouflaged netlist under a
+//!   doping configuration (a function binding per camouflaged instance);
+//! * [`validate_mapped`] — for every viable function, bind each
+//!   camouflaged cell to its witnessed function and check the circuit
+//!   equals the function on all inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use mvf_cells::{CellKind, Library};
+//! use mvf_netlist::Netlist;
+//! use mvf_sim::eval_netlist;
+//!
+//! let lib = Library::standard();
+//! let mut nl = Netlist::new("t");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let nor = lib.cell_by_kind(CellKind::Nor(2)).expect("NOR2");
+//! let (_, y) = nl.add_cell("u", nor.into(), vec![a, b]);
+//! nl.add_output("y", y);
+//! let outs = eval_netlist(&nl, &lib);
+//! assert!(outs[0].get(0b00));
+//! assert!(!outs[0].get(0b01));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::{TruthTable, VectorFunction};
+use mvf_netlist::{CellId, CellRef, NetId, Netlist};
+use mvf_techmap::CamoMappedCircuit;
+
+/// Validation failures.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// A camouflaged instance had no binding.
+    MissingBinding(CellId),
+    /// A bound function is not plausible for its cell.
+    NotPlausible {
+        /// The offending instance.
+        cell: CellId,
+    },
+    /// The configured circuit disagreed with the viable function.
+    FunctionMismatch {
+        /// Index of the viable function.
+        function: usize,
+        /// Output bit where the mismatch occurred.
+        output: usize,
+    },
+    /// Shape mismatch between circuit and functions.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::MissingBinding(c) => {
+                write!(f, "camouflaged cell {c:?} has no function binding")
+            }
+            ValidationError::NotPlausible { cell } => {
+                write!(f, "bound function for cell {cell:?} is not plausible")
+            }
+            ValidationError::FunctionMismatch { function, output } => {
+                write!(f, "circuit disagrees with viable function {function} on output {output}")
+            }
+            ValidationError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+fn eval_internal(
+    nl: &Netlist,
+    lib: &Library,
+    bind: &dyn Fn(CellId) -> Option<TruthTable>,
+) -> Vec<TruthTable> {
+    let n = nl.inputs().len();
+    let mut env: HashMap<NetId, TruthTable> = HashMap::new();
+    for (i, &pi) in nl.inputs().iter().enumerate() {
+        env.insert(pi, TruthTable::var(i, n));
+    }
+    for cid in nl.topo_cells() {
+        let c = nl.cell(cid);
+        let f = match c.cell {
+            CellRef::Std(id) => lib.cell(id).function().clone(),
+            CellRef::Camo(_) => bind(cid).expect("camouflaged cell must be bound"),
+        };
+        let pin_tts: Vec<TruthTable> = c.inputs.iter().map(|p| env[p].clone()).collect();
+        env.insert(c.output, compose(&f, &pin_tts, n));
+    }
+    nl.outputs().iter().map(|(_, net)| env[net].clone()).collect()
+}
+
+/// Substitutes pin functions into a cell function.
+fn compose(f: &TruthTable, pin_tts: &[TruthTable], n_vars: usize) -> TruthTable {
+    let mut acc = TruthTable::zero(n_vars);
+    for m in 0..f.n_minterms() {
+        if !f.get(m) {
+            continue;
+        }
+        let mut term = TruthTable::one(n_vars);
+        for (i, t) in pin_tts.iter().enumerate() {
+            term = if m & (1 << i) != 0 { term.and(t) } else { term.and(&t.not()) };
+        }
+        acc = acc.or(&term);
+    }
+    acc
+}
+
+/// Exhaustively evaluates a standard-cell netlist: one truth table per
+/// output over the primary inputs (in input order).
+///
+/// # Panics
+///
+/// Panics if the netlist contains camouflaged cells (use
+/// [`eval_camo_netlist`]) or more inputs than [`mvf_logic::MAX_VARS`].
+pub fn eval_netlist(nl: &Netlist, lib: &Library) -> Vec<TruthTable> {
+    eval_internal(nl, lib, &|_| None)
+}
+
+/// Evaluates a netlist containing camouflaged cells under the given
+/// doping configuration (`config[cell]` = realized pin-space function).
+///
+/// # Errors
+///
+/// Returns [`ValidationError::MissingBinding`] if a camouflaged instance
+/// has no entry in `config`, or [`ValidationError::NotPlausible`] if a
+/// binding is outside the cell's plausible set.
+pub fn eval_camo_netlist(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    config: &HashMap<CellId, TruthTable>,
+) -> Result<Vec<TruthTable>, ValidationError> {
+    // Pre-validate bindings.
+    for (cid, c) in nl.cells() {
+        if let CellRef::Camo(id) = c.cell {
+            let f = config.get(&cid).ok_or(ValidationError::MissingBinding(cid))?;
+            if !camo.cell(id).is_plausible(f) {
+                return Err(ValidationError::NotPlausible { cell: cid });
+            }
+        }
+    }
+    Ok(eval_internal(nl, lib, &|cid| config.get(&cid).cloned()))
+}
+
+/// Validates a camouflage-mapped circuit against its viable functions: for
+/// every function index `j`, binds each camouflaged cell to its witnessed
+/// function under select value `j` and checks the circuit computes
+/// `viable[j]` exactly.
+///
+/// `viable[j]` must be expressed over the mapped netlist's input/output
+/// ordering (i.e. the *pin-permuted* functions from the merged circuit).
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] encountered.
+pub fn validate_mapped(
+    mapped: &CamoMappedCircuit,
+    lib: &Library,
+    camo: &CamoLibrary,
+    viable: &[VectorFunction],
+) -> Result<(), ValidationError> {
+    let nl = &mapped.netlist;
+    let n_in = nl.inputs().len();
+    let n_out = nl.outputs().len();
+    for (j, f) in viable.iter().enumerate() {
+        if f.n_inputs() != n_in || f.n_outputs() != n_out {
+            return Err(ValidationError::ShapeMismatch(format!(
+                "function {j} is {}→{}, circuit is {}→{}",
+                f.n_inputs(),
+                f.n_outputs(),
+                n_in,
+                n_out
+            )));
+        }
+        let mut config: HashMap<CellId, TruthTable> = HashMap::new();
+        for w in &mapped.witness.cells {
+            config.insert(w.cell, w.function_for(j).clone());
+        }
+        let outs = eval_camo_netlist(nl, lib, camo, &config)?;
+        for (o, got) in outs.iter().enumerate() {
+            if got != f.output(o) {
+                return Err(ValidationError::FunctionMismatch { function: j, output: o });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvf_aig::Aig;
+    use mvf_cells::CellKind;
+    use mvf_merge::{build_merged, PinAssignment};
+    use mvf_netlist::subject_graph;
+    use mvf_sboxes::optimal_sboxes;
+    use mvf_techmap::{map_camouflage, CamoMapOptions};
+
+    #[test]
+    fn eval_matches_cell_semantics() {
+        let lib = Library::standard();
+        let or3 = lib.cell_by_kind(CellKind::Or(3)).unwrap();
+        let inv = lib.cell_by_kind(CellKind::Inv).unwrap();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let (_, or) = nl.add_cell("u1", or3.into(), vec![a, b, c]);
+        let (_, y) = nl.add_cell("u2", inv.into(), vec![or]);
+        nl.add_output("nor3", y);
+        let outs = eval_netlist(&nl, &lib);
+        for m in 0..8usize {
+            assert_eq!(outs[0].get(m), m == 0);
+        }
+    }
+
+    #[test]
+    fn camo_eval_rejects_unbound_and_implausible() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let (nand_id, _) = camo
+            .iter()
+            .find(|(_, c)| c.name() == "NAND2")
+            .expect("NAND2");
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (cid, y) = nl.add_cell("u1", nand_id.into(), vec![a, b]);
+        nl.add_output("y", y);
+
+        let empty = HashMap::new();
+        assert!(matches!(
+            eval_camo_netlist(&nl, &lib, &camo, &empty),
+            Err(ValidationError::MissingBinding(_))
+        ));
+
+        let mut bad = HashMap::new();
+        let a_tt = TruthTable::var(0, 2);
+        let b_tt = TruthTable::var(1, 2);
+        bad.insert(cid, a_tt.xor(&b_tt)); // XOR is not plausible for NAND2
+        assert!(matches!(
+            eval_camo_netlist(&nl, &lib, &camo, &bad),
+            Err(ValidationError::NotPlausible { .. })
+        ));
+
+        let mut good = HashMap::new();
+        good.insert(cid, a_tt.not());
+        let outs = eval_camo_netlist(&nl, &lib, &camo, &good).unwrap();
+        assert_eq!(outs[0], a_tt.not());
+    }
+
+    #[test]
+    fn full_flow_validates_two_sboxes() {
+        // Merge 2 optimal S-boxes, synthesize lightly, camo-map, validate.
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let merged = build_merged(&funcs, &PinAssignment::identity(&funcs)).unwrap();
+        let synthesized = mvf_aig::Script::fast().run(&merged.aig);
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let subject = subject_graph::from_aig(&synthesized, &lib);
+        let mapped = map_camouflage(
+            &subject,
+            &lib,
+            &camo,
+            &merged.select_indices,
+            &CamoMapOptions::default(),
+        )
+        .expect("mappable");
+        validate_mapped(&mapped, &lib, &camo, &merged.functions)
+            .expect("every viable function must be realizable");
+    }
+
+    #[test]
+    fn validation_detects_wrong_function() {
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let merged = build_merged(&funcs, &PinAssignment::identity(&funcs)).unwrap();
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let subject = subject_graph::from_aig(&merged.aig, &lib);
+        let mapped = map_camouflage(
+            &subject,
+            &lib,
+            &camo,
+            &merged.select_indices,
+            &CamoMapOptions::default(),
+        )
+        .expect("mappable");
+        // Swap in a wrong expected function list: validation must fail.
+        let wrong = vec![merged.functions[1].clone(), merged.functions[0].clone()];
+        assert!(validate_mapped(&mapped, &lib, &camo, &wrong).is_err());
+    }
+
+    #[test]
+    fn plain_subject_graph_eval_matches_aig() {
+        let mut aig = Aig::new(3);
+        let (a, b, c) = (aig.input(0), aig.input(1), aig.input(2));
+        let t = aig.xor(a, b);
+        let f = aig.mux(c, t, a);
+        aig.add_output("y", f);
+        let lib = Library::standard();
+        let nl = subject_graph::from_aig(&aig, &lib);
+        let outs = eval_netlist(&nl, &lib);
+        assert_eq!(outs, aig.output_functions());
+    }
+}

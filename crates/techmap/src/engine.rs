@@ -1,0 +1,528 @@
+//! The shared tree-covering dynamic-programming engine.
+//!
+//! Both mappers classify the subject netlist into fanout-free trees, then
+//! run the DP of the paper's Alg. 1: for every cell in topological order,
+//! enumerate candidate subtrees rooted at it (bounded depth, bounded data
+//! leaves), characterize each subtree by its function set under select
+//! abstraction (`ABSFUNC`), ask a matcher for the cheapest library cell
+//! covering that set, and keep the cheapest total cover. Chosen covers are
+//! then emitted root-by-root into a fresh netlist.
+
+use std::collections::{BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::TruthTable;
+use mvf_netlist::{CellId, CellRef, NetId, Netlist};
+
+/// Errors reported by the mappers.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum MapError {
+    /// No candidate subtree at the named cell matched any library cell.
+    NoMatch {
+        /// The subject-netlist cell that could not be covered.
+        cell: String,
+    },
+    /// The subject netlist failed its structural check.
+    BadSubject(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NoMatch { cell } => {
+                write!(f, "no library cell covers any subtree rooted at {cell}")
+            }
+            MapError::BadSubject(e) => write!(f, "subject netlist is malformed: {e}"),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+/// What a matcher proposes for one candidate subtree.
+pub(crate) struct Match {
+    /// The chosen library cell.
+    pub cell: CellRef,
+    /// Pin assignment: data leaf `v` connects to pin `perm[v]`.
+    pub pin_perm: Vec<usize>,
+    /// Required pin-space function per select assignment (length
+    /// `2^n_selects`, or 1 when no selects are involved).
+    pub funcs_by_assign: Vec<TruthTable>,
+    /// Cell area in GE.
+    pub area: f64,
+    /// The subtree's data leaves must be replaced by this (used by the
+    /// constant-with-selects trick, where a camouflaged inverter is fed an
+    /// arbitrary net).
+    pub override_leaves: Option<Vec<NetId>>,
+}
+
+/// One candidate subtree rooted at a cell.
+pub(crate) struct Subtree {
+    /// Distinct non-select, non-constant leaf nets in first-seen order.
+    pub data_leaves: Vec<NetId>,
+    /// Distinct select leaf nets in first-seen order.
+    pub select_leaves: Vec<NetId>,
+    /// The set of functions over the data leaves, one per select
+    /// assignment, deduplicated. `funcs[a]` corresponds to assignment `a`
+    /// over `select_leaves` *before* dedup — kept per-assignment.
+    pub funcs_by_assign: Vec<TruthTable>,
+}
+
+/// The chosen cover of one subject cell.
+pub(crate) struct Choice {
+    pub leaves: Vec<NetId>,
+    pub select_leaves: Vec<NetId>,
+    pub cell: CellRef,
+    pub pin_perm: Vec<usize>,
+    pub funcs_by_assign: Vec<TruthTable>,
+}
+
+pub(crate) struct Engine<'a> {
+    pub nl: &'a Netlist,
+    pub lib: &'a Library,
+    pub camo: Option<&'a CamoLibrary>,
+    /// Nets carrying constants (driven by tie cells), with their value.
+    pub const_nets: HashMap<NetId, bool>,
+    /// Global select-input indices by net.
+    pub select_nets: HashMap<NetId, usize>,
+    pub fanouts: Vec<u32>,
+    pub max_depth: usize,
+    pub max_data_leaves: usize,
+    pub max_selects: usize,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(
+        nl: &'a Netlist,
+        lib: &'a Library,
+        camo: Option<&'a CamoLibrary>,
+        select_inputs: &[usize],
+        max_depth: usize,
+        max_data_leaves: usize,
+        max_selects: usize,
+    ) -> Result<Self, MapError> {
+        nl.check_with_camo(lib, camo)
+            .map_err(|e| MapError::BadSubject(e.to_string()))?;
+        let mut const_nets = HashMap::new();
+        for (_, c) in nl.cells() {
+            if let CellRef::Std(id) = c.cell {
+                let f = lib.cell(id).function();
+                if f.n_vars() == 0 {
+                    const_nets.insert(c.output, f.is_one());
+                }
+            }
+        }
+        // Map each select net to its *position* in the select list (bit
+        // index of the select value), not its raw input index.
+        let mut select_nets = HashMap::new();
+        for (pos, &idx) in select_inputs.iter().enumerate() {
+            let net = nl.inputs()[idx];
+            select_nets.insert(net, pos);
+        }
+        Ok(Engine {
+            nl,
+            lib,
+            camo,
+            const_nets,
+            select_nets,
+            fanouts: nl.fanout_counts(),
+            max_depth,
+            max_data_leaves,
+            max_selects,
+        })
+    }
+
+    /// `true` iff the net may be expanded through during subtree
+    /// enumeration: cell-driven, single fanout, not constant.
+    fn expandable(&self, net: NetId) -> Option<CellId> {
+        if self.const_nets.contains_key(&net) {
+            return None;
+        }
+        if self.fanouts[net.0 as usize] != 1 {
+            return None;
+        }
+        self.nl.driver(net)
+    }
+
+    /// `true` iff the cell is a tree root: drives a multi-fanout net or a
+    /// primary output, and is not a tie cell.
+    pub fn is_root(&self, cell: CellId) -> bool {
+        let out = self.nl.cell(cell).output;
+        if self.const_nets.contains_key(&out) {
+            return false;
+        }
+        self.fanouts[out.0 as usize] != 1
+            || self.nl.outputs().iter().any(|(_, n)| *n == out)
+    }
+
+    /// Enumerates the leaf sets of candidate subtrees rooted at `cell`.
+    fn leaf_sets(&self, cell: CellId) -> Vec<Vec<NetId>> {
+        // Recursively expand; a "leaf set" is the ordered list of distinct
+        // frontier nets (selects and constants included at this stage).
+        fn rec(eng: &Engine<'_>, cell: CellId, depth: usize, out: &mut Vec<Vec<NetId>>) {
+            let inputs = &eng.nl.cell(cell).inputs;
+            // Options per input: Vec of leaf-lists.
+            let mut per_input: Vec<Vec<Vec<NetId>>> = Vec::with_capacity(inputs.len());
+            for &net in inputs {
+                let mut opts = vec![vec![net]];
+                if depth > 1 {
+                    if let Some(child) = eng.expandable(net) {
+                        let mut child_sets = Vec::new();
+                        rec(eng, child, depth - 1, &mut child_sets);
+                        opts.extend(child_sets);
+                    }
+                }
+                per_input.push(opts);
+            }
+            // Cross product.
+            let mut acc: Vec<Vec<NetId>> = vec![Vec::new()];
+            for opts in per_input {
+                let mut next = Vec::new();
+                for prefix in &acc {
+                    for opt in &opts {
+                        let mut set = prefix.clone();
+                        for &n in opt {
+                            if !set.contains(&n) {
+                                set.push(n);
+                            }
+                        }
+                        next.push(set);
+                    }
+                }
+                acc = next;
+            }
+            out.extend(acc);
+        }
+        let mut raw = Vec::new();
+        rec(self, cell, self.max_depth, &mut raw);
+        // Dedup by set and prune by leaf budgets.
+        let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
+        let mut kept = Vec::new();
+        for set in raw {
+            let mut data = 0usize;
+            let mut sel = 0usize;
+            for &n in &set {
+                if self.const_nets.contains_key(&n) {
+                    continue;
+                }
+                if self.select_nets.contains_key(&n) {
+                    sel += 1;
+                } else {
+                    data += 1;
+                }
+            }
+            if data > self.max_data_leaves || sel > self.max_selects {
+                continue;
+            }
+            let mut key: Vec<u32> = set.iter().map(|n| n.0).collect();
+            key.sort_unstable();
+            if seen.insert(key) {
+                kept.push(set);
+            }
+        }
+        kept
+    }
+
+    /// Computes the subtree characterization (ABSFUNC) for one leaf set.
+    fn characterize(&self, root: CellId, leaves: &[NetId]) -> Subtree {
+        let mut data_leaves = Vec::new();
+        let mut select_leaves = Vec::new();
+        for &n in leaves {
+            if self.const_nets.contains_key(&n) {
+                continue;
+            }
+            if self.select_nets.contains_key(&n) {
+                select_leaves.push(n);
+            } else {
+                data_leaves.push(n);
+            }
+        }
+        let k = data_leaves.len();
+        let s = select_leaves.len();
+        let n_vars = k + s;
+        // Environment: data leaf i -> var i, select leaf j -> var k+j,
+        // constants -> constant tables.
+        let mut env: HashMap<NetId, TruthTable> = HashMap::new();
+        for (i, &n) in data_leaves.iter().enumerate() {
+            env.insert(n, TruthTable::var(i, n_vars));
+        }
+        for (j, &n) in select_leaves.iter().enumerate() {
+            env.insert(n, TruthTable::var(k + j, n_vars));
+        }
+        for (&n, &v) in &self.const_nets {
+            env.insert(n, TruthTable::constant(n_vars, v));
+        }
+        let f = self.eval_cone(root, &mut env.clone(), n_vars);
+        // ABSFUNC: one function per select assignment, projected onto the
+        // data variables.
+        let data_vars: Vec<usize> = (0..k).collect();
+        let mut funcs = Vec::with_capacity(1 << s);
+        for a in 0..(1usize << s) {
+            let mut g = f.clone();
+            for j in 0..s {
+                g = g.cofactor(k + j, a & (1 << j) != 0);
+            }
+            funcs.push(g.project(&data_vars));
+        }
+        Subtree { data_leaves, select_leaves, funcs_by_assign: funcs }
+    }
+
+    /// Evaluates the function of `root`'s output over the environment
+    /// (leaf nets pre-assigned).
+    fn eval_cone(
+        &self,
+        root: CellId,
+        env: &mut HashMap<NetId, TruthTable>,
+        n_vars: usize,
+    ) -> TruthTable {
+        let cell = self.nl.cell(root);
+        let mut pin_tts = Vec::with_capacity(cell.inputs.len());
+        for &net in &cell.inputs {
+            if let Some(t) = env.get(&net) {
+                pin_tts.push(t.clone());
+                continue;
+            }
+            let child = self
+                .nl
+                .driver(net)
+                .expect("leaf set must cover the cone frontier");
+            let t = self.eval_cone(child, env, n_vars);
+            env.insert(net, t.clone());
+            pin_tts.push(t);
+        }
+        let f = match cell.cell {
+            CellRef::Std(id) => self.lib.cell(id).function().clone(),
+            CellRef::Camo(_) => {
+                unreachable!("subject netlists contain standard cells only")
+            }
+        };
+        compose(&f, &pin_tts, n_vars)
+    }
+
+    /// Runs the covering DP with the supplied matcher and returns per-cell
+    /// choices and costs.
+    pub fn cover<M>(
+        &self,
+        mut matcher: M,
+    ) -> Result<(HashMap<CellId, Choice>, HashMap<CellId, f64>), MapError>
+    where
+        M: FnMut(&Subtree) -> Option<Match>,
+    {
+        let mut costs: HashMap<CellId, f64> = HashMap::new();
+        let mut choices: HashMap<CellId, Choice> = HashMap::new();
+        for cell in self.nl.topo_cells() {
+            let out = self.nl.cell(cell).output;
+            if self.const_nets.contains_key(&out) {
+                continue; // tie cells are emitted directly
+            }
+            let mut best: Option<(f64, Choice)> = None;
+            for leaves in self.leaf_sets(cell) {
+                let st = self.characterize(cell, &leaves);
+                let Some(m) = matcher(&st) else { continue };
+                let mut cost = m.area;
+                let chosen_leaves = m.override_leaves.unwrap_or_else(|| st.data_leaves.clone());
+                for &leaf in &st.data_leaves {
+                    if let Some(d) = self.nl.driver(leaf) {
+                        if !self.const_nets.contains_key(&leaf) {
+                            if self.fanouts[leaf.0 as usize] == 1 {
+                                cost += costs.get(&d).copied().unwrap_or(f64::INFINITY);
+                            }
+                            // Multi-fanout leaves are tree inputs: their
+                            // cost is paid once at their own root.
+                        }
+                    }
+                }
+                if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+                    best = Some((
+                        cost,
+                        Choice {
+                            leaves: chosen_leaves,
+                            select_leaves: st.select_leaves.clone(),
+                            cell: m.cell,
+                            pin_perm: m.pin_perm,
+                            funcs_by_assign: m.funcs_by_assign,
+                        },
+                    ));
+                }
+            }
+            let Some((cost, choice)) = best else {
+                return Err(MapError::NoMatch { cell: self.nl.cell(cell).name.clone() });
+            };
+            costs.insert(cell, cost);
+            choices.insert(cell, choice);
+        }
+        Ok((choices, costs))
+    }
+
+    /// Emits the chosen covers into a fresh netlist. Select inputs are
+    /// dropped from the interface when `drop_selects` is set (camouflage
+    /// mapping); otherwise they are kept (plain mapping never has any).
+    ///
+    /// Returns the netlist plus, for every emitted camouflaged cell, its
+    /// witness `(mapped cell, select input indices, pin-space function per
+    /// select assignment)`.
+    pub fn emit(
+        &self,
+        choices: &HashMap<CellId, Choice>,
+        drop_selects: bool,
+        name: &str,
+    ) -> (Netlist, Vec<(CellId, Vec<usize>, Vec<TruthTable>)>) {
+        let mut out = Netlist::new(name);
+        let mut net_map: HashMap<NetId, NetId> = HashMap::new();
+        for &pi in self.nl.inputs() {
+            if drop_selects && self.select_nets.contains_key(&pi) {
+                continue;
+            }
+            let mapped = out.add_input(self.nl.net_name(pi).to_string());
+            net_map.insert(pi, mapped);
+        }
+        let mut tie_map: HashMap<bool, NetId> = HashMap::new();
+        let mut emitted: HashMap<CellId, NetId> = HashMap::new();
+        let mut witnesses = Vec::new();
+
+        // Iterative emission over required nets.
+        fn emit_net(
+            eng: &Engine<'_>,
+            net: NetId,
+            out: &mut Netlist,
+            net_map: &mut HashMap<NetId, NetId>,
+            tie_map: &mut HashMap<bool, NetId>,
+            emitted: &mut HashMap<CellId, NetId>,
+            choices: &HashMap<CellId, Choice>,
+            witnesses: &mut Vec<(CellId, Vec<usize>, Vec<TruthTable>)>,
+        ) -> NetId {
+            if let Some(&m) = net_map.get(&net) {
+                return m;
+            }
+            if let Some(&v) = eng.const_nets.get(&net) {
+                if let Some(&t) = tie_map.get(&v) {
+                    net_map.insert(net, t);
+                    return t;
+                }
+                let kind = if v { mvf_cells::CellKind::Tie1 } else { mvf_cells::CellKind::Tie0 };
+                let id = eng.lib.cell_by_kind(kind).expect("tie cells in library");
+                let (_, t) = out.add_cell(format!("tie{}", v as u8), CellRef::Std(id), vec![]);
+                tie_map.insert(v, t);
+                net_map.insert(net, t);
+                return t;
+            }
+            let driver = eng
+                .nl
+                .driver(net)
+                .expect("net without driver reached during emission");
+            if let Some(&t) = emitted.get(&driver) {
+                net_map.insert(net, t);
+                return t;
+            }
+            let choice = &choices[&driver];
+            let mut mapped_leaves = Vec::with_capacity(choice.leaves.len());
+            for &leaf in &choice.leaves {
+                mapped_leaves.push(emit_net(
+                    eng, leaf, out, net_map, tie_map, emitted, choices, witnesses,
+                ));
+            }
+            // Pin order: leaf v goes to pin pin_perm[v].
+            let n_pins = match choice.cell {
+                CellRef::Std(id) => eng.lib.cell(id).n_inputs(),
+                CellRef::Camo(id) => {
+                    eng.camo.expect("camo library present").cell(id).n_inputs()
+                }
+            };
+            let mut pins = vec![NetId(u32::MAX); n_pins];
+            for (v, &leaf) in mapped_leaves.iter().enumerate() {
+                pins[choice.pin_perm[v]] = leaf;
+            }
+            // Unused pins (possible only for the camouflaged-constant
+            // trick) are tied to the first mapped leaf or an input.
+            let filler = mapped_leaves.first().copied().unwrap_or_else(|| {
+                *net_map.values().next().expect("at least one net")
+            });
+            for p in pins.iter_mut() {
+                if p.0 == u32::MAX {
+                    *p = filler;
+                }
+            }
+            let inst_name = format!("m{}", out.n_cells());
+            let (cid, mapped_out) = out.add_cell(inst_name, choice.cell, pins);
+            if matches!(choice.cell, CellRef::Camo(_)) {
+                let select_ids: Vec<usize> = choice
+                    .select_leaves
+                    .iter()
+                    .map(|n| eng.select_nets[n])
+                    .collect();
+                witnesses.push((cid, select_ids, choice.funcs_by_assign.clone()));
+            }
+            emitted.insert(driver, mapped_out);
+            net_map.insert(net, mapped_out);
+            mapped_out
+        }
+
+        for (po_name, po_net) in self.nl.outputs() {
+            let mapped = emit_net(
+                self,
+                *po_net,
+                &mut out,
+                &mut net_map,
+                &mut tie_map,
+                &mut emitted,
+                choices,
+                &mut witnesses,
+            );
+            out.add_output(po_name.clone(), mapped);
+        }
+        (out, witnesses)
+    }
+}
+
+/// Composes `f(pins)` with the pin functions: substitutes `pin_tts[i]` for
+/// variable `i` of `f`.
+pub(crate) fn compose(f: &TruthTable, pin_tts: &[TruthTable], n_vars: usize) -> TruthTable {
+    // Shannon-style substitution: iterate over f's minterms.
+    let mut acc = TruthTable::zero(n_vars);
+    for m in 0..f.n_minterms() {
+        if !f.get(m) {
+            continue;
+        }
+        let mut term = TruthTable::one(n_vars);
+        for (i, t) in pin_tts.iter().enumerate() {
+            term = if m & (1 << i) != 0 { term.and(t) } else { term.and(&t.not()) };
+        }
+        acc = acc.or(&term);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_substitutes_correctly() {
+        // f = AND2(x0, x1); pins = (a ∨ b, ¬c) over 3 vars.
+        let f = mvf_cells::CellKind::And(2).function();
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let c = TruthTable::var(2, 3);
+        let got = compose(&f, &[a.or(&b), c.not()], 3);
+        assert_eq!(got, a.or(&b).and(&c.not()));
+    }
+
+    #[test]
+    fn compose_handles_inverter() {
+        let f = mvf_cells::CellKind::Inv.function();
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let got = compose(&f, &[a.xor(&b)], 2);
+        assert_eq!(got, a.xor(&b).not());
+    }
+
+    #[test]
+    fn compose_constant_cell() {
+        let f = mvf_cells::CellKind::Tie1.function();
+        let got = compose(&f, &[], 2);
+        assert!(got.is_one());
+    }
+}

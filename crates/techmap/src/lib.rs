@@ -1,0 +1,34 @@
+//! Tree-covering technology mapping, plain and camouflaged.
+//!
+//! Two mappers share one dynamic-programming engine (Keutzer's DAGON
+//! approach: split the subject graph into fanout-free trees, cover each
+//! tree bottom-up with minimum-area cell choices):
+//!
+//! * [`map_standard`] — ordinary mapping onto the standard library. A
+//!   subtree may be covered by a cell iff the cell's function equals the
+//!   subtree's function under some pin permutation. The resulting GE area
+//!   is the "synthesized area" used as the Phase-II fitness (the paper
+//!   reads it off ABC).
+//! * [`map_camouflage`] — the paper's **Algorithm 1**. Select inputs are
+//!   abstracted away (`ABSFUNC`): a subtree containing select leaves is
+//!   characterized by the *set* of functions it takes over its data leaves
+//!   under every select assignment, and may be covered by a camouflaged
+//!   cell iff the cell's plausible set contains that whole set under one
+//!   pin assignment. Select inputs are thereby eliminated from the mapped
+//!   circuit while every viable function stays plausible.
+//!
+//! The camouflage mapper records a [`CamoWitness`]: for every camouflaged
+//! instance, the function it must be doped to for each select assignment.
+//! [`mvf_sim`](https://docs.rs) uses it to validate that the mapped circuit
+//! can realize every viable function (the paper's ModelSim check).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod camo;
+mod engine;
+mod plain;
+
+pub use camo::{map_camouflage, CamoMapOptions, CamoMappedCircuit, CamoWitness, CellWitness};
+pub use engine::MapError;
+pub use plain::{map_standard, MapOptions};

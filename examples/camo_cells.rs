@@ -1,0 +1,45 @@
+//! Reproduces **Fig. 1b**: the truth table of all functions a camouflaged
+//! 2-input NAND can realize via doping, and the plausible sets of the rest
+//! of the camouflaged library.
+//!
+//! ```sh
+//! cargo run --release --example camo_cells
+//! ```
+
+use mvf_cells::{CamoLibrary, Library};
+
+fn main() {
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+
+    let nand2 = camo.cell_by_name("NAND2").expect("NAND2 present");
+    println!("Fig. 1b — plausible functions of a camouflaged NAND2:");
+    print!("{:>4} {:>4} |", "A", "B");
+    for (i, _) in nand2.plausible().iter().enumerate() {
+        print!(" {:>4}", format!("f{i}"));
+    }
+    println!();
+    println!("{}", "-".repeat(11 + 5 * nand2.plausible().len()));
+    for m in 0..4usize {
+        print!("{:>4} {:>4} |", m & 1, (m >> 1) & 1);
+        for f in nand2.plausible() {
+            print!(" {:>4}", f.get(m) as u8);
+        }
+        println!();
+    }
+    println!();
+    for (i, f) in nand2.plausible().iter().enumerate() {
+        println!("  f{i} = {f:?}");
+    }
+
+    println!("\nPlausible-set sizes across the camouflaged library:");
+    println!("{:<8} {:>7} {:>16}", "cell", "pins", "plausible fns");
+    for (_, cell) in camo.iter() {
+        println!("{:<8} {:>7} {:>16}", cell.name(), cell.n_inputs(), cell.plausible().len());
+    }
+
+    // Every plausible function has a concrete doping configuration.
+    let f = &nand2.plausible()[1];
+    let cfg = nand2.config_for(f).expect("config exists");
+    println!("\nExample doping for {f:?}: {cfg:?}");
+}

@@ -1,0 +1,67 @@
+//! Reproduces the point of **Fig. 3**: pin assignment changes how much
+//! logic two merged functions can share.
+//!
+//! The paper's example merges `f0 = (AB + CD)·E` with `f1 = (FG + HI) + J`.
+//! With a good input placement the `(xy + zw)` core is shared; with a bad
+//! placement it is not, and the synthesized area grows. The example also
+//! runs a tiny GA to find a good placement automatically.
+//!
+//! ```sh
+//! cargo run --release --example pin_assignment
+//! ```
+
+use mvf::{synthesized_area_ge, FlowConfig};
+use mvf_cells::Library;
+use mvf_logic::{TruthTable, VectorFunction};
+use mvf_merge::PinAssignment;
+
+fn paper_functions() -> Vec<VectorFunction> {
+    // Five inputs each: f0 over (A,B,C,D,E), f1 over (F,G,H,I,J).
+    let v = |i: usize| TruthTable::var(i, 5);
+    let f0 = v(0).and(&v(1)).or(&v(2).and(&v(3))).and(&v(4));
+    let f1 = v(0).and(&v(1)).or(&v(2).and(&v(3))).or(&v(4));
+    vec![
+        VectorFunction::new(5, vec![f0]),
+        VectorFunction::new(5, vec![f1]),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let functions = paper_functions();
+    let cfg = FlowConfig::default();
+    let lib = Library::standard();
+
+    // Fig. 3a: aligned placement — A/F, B/G, C/H, D/I, E/J share the core.
+    let good = PinAssignment::identity(&functions);
+    let good_area = synthesized_area_ge(&functions, &good, &cfg.script, &lib, &cfg.map)?;
+
+    // Fig. 3b: scrambled placement for f1 breaks the shared core.
+    let mut bad = PinAssignment::identity(&functions);
+    bad.input_perms[1] = vec![2, 0, 1, 3, 4]; // F→wire2, G→wire0, H→wire1
+    let bad_area = synthesized_area_ge(&functions, &bad, &cfg.script, &lib, &cfg.map)?;
+
+    println!("Fig. 3 — input placement vs. logic sharing");
+    println!("  effective placement (Fig. 3a): {good_area:>6.1} GE");
+    println!("  ineffective placement (Fig. 3b): {bad_area:>4.1} GE");
+    assert!(
+        good_area <= bad_area,
+        "aligned placement must not be worse than the scrambled one"
+    );
+
+    // Phase II automates the choice: a tiny GA starting from random
+    // placements rediscovers a good one.
+    let mut flow_cfg = FlowConfig::default();
+    flow_cfg.ga.population = 8;
+    flow_cfg.ga.generations = 8;
+    let flow = mvf::Flow::new(flow_cfg);
+    let result = flow.run(&functions)?;
+    println!(
+        "  GA-found placement:           {:>6.1} GE (after {} evaluations)",
+        result.synthesized_area_ge, result.evaluations
+    );
+    println!(
+        "  camouflage-mapped (GA+TM):    {:>6.1} GE",
+        result.mapped_area_ge
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Integration test E6: the end-to-end flow produces circuits that
+//! (a) eliminate the select inputs, (b) can realize every viable function
+//! (the paper's ModelSim check, done exhaustively here), and (c) remain
+//! plausible for every viable function under the SAT adversary.
+
+use mvf::{Flow, FlowConfig};
+use mvf_sboxes::{des_sboxes, optimal_sboxes};
+
+fn tiny_config() -> FlowConfig {
+    let mut config = FlowConfig::default();
+    config.ga.population = 6;
+    config.ga.generations = 2;
+    config.ga.seed = 42;
+    config
+}
+
+#[test]
+fn present_two_sboxes_full_flow() {
+    let functions = optimal_sboxes()[..2].to_vec();
+    let flow = Flow::new(tiny_config());
+    let result = flow.run(&functions).expect("flow succeeds");
+    // Select inputs eliminated: 4 data inputs remain.
+    assert_eq!(result.mapped.netlist.inputs().len(), 4);
+    // Validation is run inside the flow; run it again explicitly.
+    mvf_sim::validate_mapped(
+        &result.mapped,
+        flow.library(),
+        flow.camo_library(),
+        &result.merged.functions,
+    )
+    .expect("all viable functions realizable");
+    // TM never increases area over the plain mapping.
+    assert!(result.mapped_area_ge <= result.synthesized_area_ge);
+}
+
+#[test]
+fn present_four_sboxes_adversary_check() {
+    let functions = optimal_sboxes()[..4].to_vec();
+    let flow = Flow::new(tiny_config());
+    let result = flow.run(&functions).expect("flow succeeds");
+    for (j, f) in result.merged.functions.iter().enumerate() {
+        assert!(
+            mvf_attack::is_plausible(
+                &result.mapped.netlist,
+                flow.library(),
+                flow.camo_library(),
+                f
+            ),
+            "viable function {j} must stay plausible to the SAT adversary"
+        );
+    }
+}
+
+#[test]
+fn des_two_sboxes_full_flow() {
+    let functions = des_sboxes()[..2].to_vec();
+    let flow = Flow::new(tiny_config());
+    let result = flow.run(&functions).expect("flow succeeds");
+    assert_eq!(result.mapped.netlist.inputs().len(), 6);
+    assert_eq!(result.mapped.netlist.outputs().len(), 4);
+    mvf_sim::validate_mapped(
+        &result.mapped,
+        flow.library(),
+        flow.camo_library(),
+        &result.merged.functions,
+    )
+    .expect("all viable functions realizable");
+}
+
+#[test]
+fn ga_never_loses_to_its_own_initial_population() {
+    let functions = optimal_sboxes()[..2].to_vec();
+    let flow = Flow::new(tiny_config());
+    let result = flow.run(&functions).expect("flow succeeds");
+    let h = &result.ga_history;
+    assert!(h.last().expect("history").best_so_far <= h[0].best_so_far);
+}
+
+#[test]
+fn every_witnessed_function_has_a_doping_config() {
+    let functions = optimal_sboxes()[..2].to_vec();
+    let flow = Flow::new(tiny_config());
+    let result = flow.run(&functions).expect("flow succeeds");
+    let camo = flow.camo_library();
+    for w in &result.mapped.witness.cells {
+        let inst = result.mapped.netlist.cell(w.cell);
+        let mvf_netlist::CellRef::Camo(id) = inst.cell else {
+            panic!("witness on non-camouflaged cell");
+        };
+        for f in &w.funcs_by_assign {
+            assert!(
+                camo.cell(id).config_for(f).is_some(),
+                "function {f:?} needs a doping configuration on {}",
+                camo.cell(id).name()
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests over the core invariants:
+//!
+//! * synthesis scripts never change circuit functions;
+//! * plain mapping preserves semantics for arbitrary functions;
+//! * camouflage mapping of arbitrary 2-function merges keeps every
+//!   function realizable;
+//! * pin permutations round-trip;
+//! * camouflaged-cell plausible sets are closed under doping.
+
+use proptest::prelude::*;
+
+use mvf_aig::{build, Aig, Lit, Script};
+use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::{TruthTable, VectorFunction};
+use mvf_merge::{build_merged, PinAssignment};
+use mvf_netlist::subject_graph;
+use mvf_techmap::{map_camouflage, map_standard, CamoMapOptions, MapOptions};
+
+fn vecfunc_strategy(n_in: usize, n_out: usize) -> impl Strategy<Value = VectorFunction> {
+    proptest::collection::vec(0u16..(1 << n_out), 1 << n_in)
+        .prop_map(move |table| VectorFunction::from_lookup_table(n_in, n_out, &table).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthesis_preserves_random_functions(f in vecfunc_strategy(5, 3)) {
+        let mut aig = Aig::new(5);
+        let leaves: Vec<Lit> = (0..5).map(|i| aig.input(i)).collect();
+        for o in 0..3 {
+            let lit = build::tt_to_aig(&mut aig, f.output(o), &leaves);
+            aig.add_output(format!("o{o}"), lit);
+        }
+        let out = Script::standard().run(&aig);
+        prop_assert!(out.equivalent(&aig));
+        prop_assert!(out.n_ands() <= aig.n_ands());
+    }
+
+    #[test]
+    fn plain_mapping_preserves_random_functions(f in vecfunc_strategy(4, 2)) {
+        let mut aig = Aig::new(4);
+        let leaves: Vec<Lit> = (0..4).map(|i| aig.input(i)).collect();
+        for o in 0..2 {
+            let lit = build::tt_to_aig(&mut aig, f.output(o), &leaves);
+            aig.add_output(format!("o{o}"), lit);
+        }
+        let lib = Library::standard();
+        let subject = subject_graph::from_aig(&aig, &lib);
+        let mapped = map_standard(&subject, &lib, &MapOptions::default()).unwrap();
+        let outs = mvf_sim::eval_netlist(&mapped, &lib);
+        prop_assert_eq!(outs, aig.output_functions());
+    }
+
+    #[test]
+    fn camo_flow_realizes_random_function_pairs(
+        f0 in vecfunc_strategy(3, 2),
+        f1 in vecfunc_strategy(3, 2),
+    ) {
+        let functions = vec![f0, f1];
+        let merged = build_merged(&functions, &PinAssignment::identity(&functions)).unwrap();
+        let synthesized = Script::fast().run(&merged.aig);
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let subject = subject_graph::from_aig(&synthesized, &lib);
+        let mapped = map_camouflage(
+            &subject,
+            &lib,
+            &camo,
+            &merged.select_indices,
+            &CamoMapOptions::default(),
+        ).unwrap();
+        prop_assert!(mapped.netlist.inputs().len() <= 3);
+        mvf_sim::validate_mapped(&mapped, &lib, &camo, &merged.functions)
+            .expect("every viable function realizable");
+    }
+
+    #[test]
+    fn input_permutation_roundtrip(
+        f in vecfunc_strategy(4, 4),
+        perm in Just((0..4usize).collect::<Vec<_>>()).prop_shuffle(),
+    ) {
+        let g = f.permute_inputs(&perm).unwrap();
+        let mut inv = vec![0usize; 4];
+        for (i, &p) in perm.iter().enumerate() { inv[p] = i; }
+        prop_assert_eq!(g.permute_inputs(&inv).unwrap(), f);
+    }
+
+    #[test]
+    fn isop_exact_on_random_tables(bits in any::<u64>()) {
+        let tt = TruthTable::from_word(6, bits).unwrap();
+        let cover = mvf_logic::isop(&tt, &tt);
+        prop_assert_eq!(cover.to_truth_table(), tt);
+    }
+
+    #[test]
+    fn npn_canonical_is_class_invariant(bits in any::<u16>()) {
+        let f = TruthTable::from_word(4, bits as u64).unwrap();
+        let (canon, t) = mvf_logic::npn::npn_canonical(&f);
+        prop_assert_eq!(t.apply(&f), canon.clone());
+        // Applying any further transform keeps the canonical form.
+        let g = f.flip_var(2).permute(&[3, 1, 0, 2]).unwrap().not();
+        prop_assert_eq!(mvf_logic::npn::npn_canonical(&g).0, canon);
+    }
+}
+
+#[test]
+fn camo_library_doping_closure_exhaustive() {
+    // Deterministic (non-proptest) exhaustive check: for every camouflaged
+    // cell, the image of the 3^k doping space equals the plausible set.
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    for (_, cell) in camo.iter() {
+        let k = cell.n_inputs();
+        let states = [
+            mvf_cells::PinState::Active,
+            mvf_cells::PinState::Stuck0,
+            mvf_cells::PinState::Stuck1,
+        ];
+        let mut image = std::collections::BTreeSet::new();
+        for code in 0..3usize.pow(k as u32) {
+            let mut c = code;
+            let config: Vec<_> = (0..k)
+                .map(|_| {
+                    let s = states[c % 3];
+                    c /= 3;
+                    s
+                })
+                .collect();
+            image.insert(cell.config_function(&config));
+        }
+        let plausible: std::collections::BTreeSet<_> =
+            cell.plausible().iter().cloned().collect();
+        assert_eq!(image, plausible, "doping image mismatch for {}", cell.name());
+    }
+}
