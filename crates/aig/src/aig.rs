@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use mvf_logic::TruthTable;
+use mvf_logic::{TruthTable, TtArena};
 
 /// Index of a node in an [`Aig`].
 ///
@@ -106,9 +106,19 @@ impl Aig {
     pub fn new(n_inputs: usize) -> Self {
         let mut nodes = Vec::with_capacity(n_inputs + 1);
         // Node 0: constant false.
-        nodes.push(Node { f0: Lit::FALSE, f1: Lit::FALSE, level: 0, is_and: false });
+        nodes.push(Node {
+            f0: Lit::FALSE,
+            f1: Lit::FALSE,
+            level: 0,
+            is_and: false,
+        });
         for _ in 0..n_inputs {
-            nodes.push(Node { f0: Lit::FALSE, f1: Lit::FALSE, level: 0, is_and: false });
+            nodes.push(Node {
+                f0: Lit::FALSE,
+                f1: Lit::FALSE,
+                level: 0,
+                is_and: false,
+            });
         }
         Aig {
             n_inputs,
@@ -216,7 +226,12 @@ impl Aig {
         }
         let level = 1 + self.level(a.node()).max(self.level(b.node()));
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { f0: a, f1: b, level, is_and: true });
+        self.nodes.push(Node {
+            f0: a,
+            f1: b,
+            level,
+            is_and: true,
+        });
         self.strash.insert((a, b), id);
         Lit::new(id, false)
     }
@@ -360,7 +375,10 @@ impl Aig {
                 let m1 = map.get(&f1.node()).copied();
                 match (m0, m1) {
                     (Some(a), Some(b)) => {
-                        let l = out.and(a.xor_sign(f0.is_complement()), b.xor_sign(f1.is_complement()));
+                        let l = out.and(
+                            a.xor_sign(f0.is_complement()),
+                            b.xor_sign(f1.is_complement()),
+                        );
                         map.insert(id, l);
                     }
                     _ => {
@@ -384,6 +402,9 @@ impl Aig {
     /// The truth table of every node (indexed by node id) over the primary
     /// inputs.
     ///
+    /// For hot paths prefer [`Aig::simulate_arena`], which produces the
+    /// same tables without one allocation per node.
+    ///
     /// # Panics
     ///
     /// Panics if the graph has more than [`mvf_logic::MAX_VARS`] inputs.
@@ -391,19 +412,22 @@ impl Aig {
         crate::simulate::simulate_nodes(self)
     }
 
+    /// Simulates every node into a flat [`TtArena`] (slot `i` = node `i`)
+    /// with a single heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than [`mvf_logic::MAX_VARS`] inputs.
+    pub fn simulate_arena(&self) -> TtArena {
+        crate::simulate::simulate_arena(self)
+    }
+
     /// The truth tables of the primary outputs.
     pub fn output_functions(&self) -> Vec<TruthTable> {
-        let node_tts = self.simulate_nodes();
+        let arena = self.simulate_arena();
         self.outputs
             .iter()
-            .map(|(_, l)| {
-                let t = &node_tts[l.node().0 as usize];
-                if l.is_complement() {
-                    t.not()
-                } else {
-                    t.clone()
-                }
-            })
+            .map(|(_, l)| arena.to_table_compl(l.node().0 as usize, l.is_complement()))
             .collect()
     }
 

@@ -77,7 +77,10 @@ fn most_binate_var(tt: &TruthTable, support: &[usize]) -> usize {
 
 /// Weak-division factoring of a cube cover.
 fn build_factored(aig: &mut Aig, cubes: &[Cube], leaves: &[Lit]) -> Lit {
-    assert!(!cubes.is_empty(), "empty cover is constant 0 and handled earlier");
+    assert!(
+        !cubes.is_empty(),
+        "empty cover is constant 0 and handled earlier"
+    );
     if cubes.len() == 1 {
         return build_cube(aig, &cubes[0], leaves);
     }
@@ -92,7 +95,7 @@ fn build_factored(aig: &mut Aig, cubes: &[Cube], leaves: &[Lit]) -> Lit {
                     mask & (1 << v) != 0
                 })
                 .count();
-            if count >= 2 && best.map_or(true, |(_, c)| count > c) {
+            if count >= 2 && best.is_none_or(|(_, c)| count > c) {
                 best = Some(((v, pol), count));
             }
         }

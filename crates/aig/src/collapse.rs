@@ -53,8 +53,8 @@ mod tests {
         };
         let z = {
             let t1 = g.and(a, b);
-            let t2 = g.and(t1, a);
-            t2
+
+            g.and(t1, a)
         };
         let xy = g.or(x, y);
         let f = g.or(xy, z);

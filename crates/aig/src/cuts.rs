@@ -4,75 +4,159 @@
 //! `n` to a primary input passes through a leaf. Cuts with at most `k`
 //! leaves are the candidate cones considered by the rewriting and
 //! refactoring passes.
+//!
+//! Cuts are stored inline ([`Cut`] is `Copy`: a fixed `[u32; 16]` leaf
+//! array plus a 64-bit membership signature) so enumeration performs no
+//! per-cut heap allocation, and duplicate / dominated cuts are rejected
+//! through the signature before any element-wise comparison. Cut functions
+//! are evaluated in a flat [`TtArena`] instead of a map of per-node
+//! tables.
 
-use std::collections::HashMap;
-
-use mvf_logic::TruthTable;
+use mvf_logic::{TruthTable, TtArena};
 
 use crate::{Aig, NodeId};
 
-/// A cut: sorted leaf node ids.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Maximum number of leaves a [`Cut`] can hold.
+pub const MAX_CUT_LEAVES: usize = 16;
+
+/// A cut: sorted leaf node ids, stored inline.
+///
+/// The `sig` field is a 64-bit Bloom-style membership signature (bit
+/// `id % 64` set for every leaf): equal cuts have equal signatures and a
+/// subset's signature bits are a subset, so signature tests cheaply
+/// pre-filter the exact comparisons. Unused leaf slots are kept at zero,
+/// which makes the derived equality and hashing exact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Cut {
-    leaves: Vec<u32>,
+    sig: u64,
+    len: u8,
+    leaves: [u32; MAX_CUT_LEAVES],
 }
 
 impl Cut {
+    /// The empty cut (constant cone).
+    pub fn empty() -> Cut {
+        Cut {
+            sig: 0,
+            len: 0,
+            leaves: [0; MAX_CUT_LEAVES],
+        }
+    }
+
+    /// The trivial cut `{leaf}`.
+    pub fn unit(leaf: u32) -> Cut {
+        let mut leaves = [0; MAX_CUT_LEAVES];
+        leaves[0] = leaf;
+        Cut {
+            sig: signature_bit(leaf),
+            len: 1,
+            leaves,
+        }
+    }
+
     /// The leaf node ids, ascending.
     pub fn leaves(&self) -> &[u32] {
-        &self.leaves
+        &self.leaves[..self.len as usize]
     }
 
     /// Number of leaves.
     pub fn len(&self) -> usize {
-        self.leaves.len()
+        self.len as usize
     }
 
     /// `true` iff the cut has no leaves (constant cone).
     pub fn is_empty(&self) -> bool {
-        self.leaves.is_empty()
+        self.len == 0
     }
 
+    /// `true` iff `id` is one of the leaves.
+    pub fn contains(&self, id: u32) -> bool {
+        self.sig & signature_bit(id) != 0 && self.leaves().contains(&id)
+    }
+
+    /// Sorted-merge of two cuts, or `None` if the union exceeds `k`
+    /// leaves.
     fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
-        let mut leaves = Vec::with_capacity(k + 1);
-        let (mut i, mut j) = (0, 0);
-        while i < self.leaves.len() || j < other.leaves.len() {
-            let next = match (self.leaves.get(i), other.leaves.get(j)) {
-                (Some(&a), Some(&b)) if a == b => {
+        let sig = self.sig | other.sig;
+        // The signature underestimates the union size, so a popcount
+        // above k proves infeasibility without touching the arrays.
+        if sig.count_ones() as usize > k {
+            return None;
+        }
+        let (a, b) = (self.leaves(), other.leaves());
+        let mut leaves = [0u32; MAX_CUT_LEAVES];
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
                     i += 1;
                     j += 1;
-                    a
+                    x
                 }
-                (Some(&a), Some(&b)) if a < b => {
+                (Some(&x), Some(&y)) if x < y => {
                     i += 1;
-                    a
+                    x
                 }
-                (Some(_), Some(&b)) => {
+                (Some(_), Some(&y)) => {
                     j += 1;
-                    b
+                    y
                 }
-                (Some(&a), None) => {
+                (Some(&x), None) => {
                     i += 1;
-                    a
+                    x
                 }
-                (None, Some(&b)) => {
+                (None, Some(&y)) => {
                     j += 1;
-                    b
+                    y
                 }
                 (None, None) => unreachable!(),
             };
-            if leaves.len() == k {
+            if n == k {
                 return None;
             }
-            leaves.push(next);
+            leaves[n] = next;
+            n += 1;
         }
-        Some(Cut { leaves })
+        Some(Cut {
+            sig,
+            len: n as u8,
+            leaves,
+        })
     }
 
     /// `true` iff `self`'s leaves are a subset of `other`'s.
     fn dominates(&self, other: &Cut) -> bool {
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        if self.sig & !other.sig != 0 || self.len > other.len {
+            return false;
+        }
+        // Both leaf lists are sorted: one linear sweep.
+        let (a, b) = (self.leaves(), other.leaves());
+        let mut j = 0usize;
+        'outer: for &x in a {
+            while j < b.len() {
+                match b[j].cmp(&x) {
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
     }
+}
+
+impl std::fmt::Debug for Cut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cut{:?}", self.leaves())
+    }
+}
+
+fn signature_bit(id: u32) -> u64 {
+    1u64 << (id & 63)
 }
 
 /// Enumerates up to `max_cuts` k-feasible cuts per node.
@@ -82,25 +166,31 @@ impl Cut {
 ///
 /// # Panics
 ///
-/// Panics if `k == 0`.
+/// Panics if `k == 0` or `k > MAX_CUT_LEAVES`.
 pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
     assert!(k > 0, "cut size must be positive");
+    assert!(k <= MAX_CUT_LEAVES, "cut size {k} exceeds {MAX_CUT_LEAVES}");
     let n_nodes = aig.n_nodes();
     let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n_nodes];
     // Constant node: single empty cut.
-    cuts[0] = vec![Cut { leaves: vec![] }];
+    cuts[0] = vec![Cut::empty()];
     for i in 0..aig.n_inputs() {
-        cuts[i + 1] = vec![Cut { leaves: vec![i as u32 + 1] }];
+        cuts[i + 1] = vec![Cut::unit(i as u32 + 1)];
     }
+    let mut merged: Vec<Cut> = Vec::new();
+    let mut kept: Vec<Cut> = Vec::new();
     for id in aig.and_nodes() {
         let (f0, f1) = aig.fanins(id);
-        let c0 = cuts[f0.node().0 as usize].clone();
-        let c1 = cuts[f1.node().0 as usize].clone();
-        let mut merged: Vec<Cut> = Vec::new();
-        for a in &c0 {
-            for b in &c1 {
-                if let Some(c) = a.merge(b, k) {
-                    if !merged.contains(&c) {
+        let (n0, n1) = (f0.node().0 as usize, f1.node().0 as usize);
+        merged.clear();
+        for ai in 0..cuts[n0].len() {
+            for bi in 0..cuts[n1].len() {
+                // `Cut` is Copy, so reading through indices sidesteps the
+                // aliasing with the `cuts[id]` write below without cloning
+                // whole cut lists.
+                let (a, b) = (cuts[n0][ai], cuts[n1][bi]);
+                if let Some(c) = a.merge(&b, k) {
+                    if !merged.iter().any(|m| m.sig == c.sig && *m == c) {
                         merged.push(c);
                     }
                 }
@@ -108,30 +198,34 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
         }
         // Drop dominated cuts (a cut whose leaves are a superset of
         // another's carries no extra information).
-        let mut kept: Vec<Cut> = Vec::new();
+        kept.clear();
         merged.sort_by_key(Cut::len);
-        for c in merged {
-            if !kept.iter().any(|k2| k2.dominates(&c)) {
-                kept.push(c);
+        for c in &merged {
+            if !kept.iter().any(|k2| k2.dominates(c)) {
+                kept.push(*c);
             }
         }
         // Keep the widest cut even when truncating: the refactoring pass
         // wants the largest collapsible cone.
-        let widest = kept.last().cloned();
+        let widest = kept.last().copied();
         kept.truncate(max_cuts.saturating_sub(1).max(1));
         if let Some(w) = widest {
             if !kept.contains(&w) {
                 kept.push(w);
             }
         }
-        kept.push(Cut { leaves: vec![id.0] });
-        cuts[id.0 as usize] = kept;
+        kept.push(Cut::unit(id.0));
+        cuts[id.0 as usize] = kept.clone();
     }
     cuts
 }
 
 /// Computes the function of `root` over the cut's leaves: variable `i`
 /// corresponds to `leaves[i]`.
+///
+/// The cone above the leaves is evaluated in a single flat [`TtArena`]
+/// allocation, in ascending node-id order (which is topological: the
+/// graph is append-only, so fanins always precede their node).
 ///
 /// # Panics
 ///
@@ -140,47 +234,55 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
 /// has more than [`mvf_logic::MAX_VARS`] leaves.
 pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[u32]) -> TruthTable {
     let k = leaves.len();
-    let mut memo: HashMap<u32, TruthTable> = HashMap::new();
-    for (i, &l) in leaves.iter().enumerate() {
-        memo.insert(l, TruthTable::var(i, k));
+    assert!(k <= mvf_logic::MAX_VARS, "cut too wide: {k} leaves");
+    if let Some(pos) = leaves.iter().position(|&l| l == root.0) {
+        return TruthTable::var(pos, k);
     }
-    if !memo.contains_key(&0) {
-        memo.insert(0, TruthTable::zero(k));
+    if root.0 == 0 {
+        return TruthTable::zero(k);
     }
-    // Iterative post-order evaluation.
+    // Collect the cone above the leaves.
+    let mut cone: Vec<u32> = Vec::new();
     let mut stack = vec![root.0];
-    while let Some(&id) = stack.last() {
-        if memo.contains_key(&id) {
-            stack.pop();
+    while let Some(id) = stack.pop() {
+        if id == 0 || leaves.contains(&id) || cone.contains(&id) {
             continue;
         }
         assert!(
             aig.is_and(NodeId(id)),
             "leaf set is not a cut: reached non-AND node {id}"
         );
+        cone.push(id);
         let (f0, f1) = aig.fanins(NodeId(id));
-        let n0 = f0.node().0;
-        let n1 = f1.node().0;
-        let m0 = memo.get(&n0).cloned();
-        let m1 = memo.get(&n1).cloned();
-        match (m0, m1) {
-            (Some(t0), Some(t1)) => {
-                stack.pop();
-                let t0 = if f0.is_complement() { t0.not() } else { t0 };
-                let t1 = if f1.is_complement() { t1.not() } else { t1 };
-                memo.insert(id, t0.and(&t1));
-            }
-            (m0, m1) => {
-                if m0.is_none() {
-                    stack.push(n0);
-                }
-                if m1.is_none() {
-                    stack.push(n1);
-                }
-            }
-        }
+        stack.push(f0.node().0);
+        stack.push(f1.node().0);
     }
-    memo.remove(&root.0).expect("root evaluated")
+    cone.sort_unstable();
+    // Slot layout: 0..k leaf variables, k = constant 0, k+1.. cone nodes.
+    let mut arena = TtArena::new(k, k + 1 + cone.len());
+    for i in 0..k {
+        arena.write_var(i, i);
+    }
+    let slot_of = |id: u32| -> usize {
+        if let Some(pos) = leaves.iter().position(|&l| l == id) {
+            pos
+        } else if id == 0 {
+            k
+        } else {
+            k + 1 + cone.binary_search(&id).expect("cone node")
+        }
+    };
+    for (ci, &id) in cone.iter().enumerate() {
+        let (f0, f1) = aig.fanins(NodeId(id));
+        arena.and2(
+            k + 1 + ci,
+            slot_of(f0.node().0),
+            f0.is_complement(),
+            slot_of(f1.node().0),
+            f1.is_complement(),
+        );
+    }
+    arena.to_table(slot_of(root.0))
 }
 
 /// Number of AND nodes in the cone of `root` above the cut leaves.
@@ -263,8 +365,32 @@ mod tests {
         // function is ¬a · b, i.e. f-literal complement handled by caller.
         for m in 0..4usize {
             let (av, bv) = (m & 1 == 1, m & 2 == 2);
-            assert_eq!(t.get(m), !(av || !bv));
+            assert_eq!(t.get(m), !av && bv);
         }
+    }
+
+    #[test]
+    fn cut_function_of_leaf_and_constant() {
+        let (g, root) = sample_aig();
+        // Root inside the leaf set: projection of its own variable.
+        let t = cut_function(&g, NodeId(2), &[1, 2, 3]);
+        assert_eq!(t, TruthTable::var(1, 3));
+        // Constant root: the zero function.
+        assert!(cut_function(&g, NodeId(0), &[1, 2]).is_zero());
+        let _ = root;
+    }
+
+    #[test]
+    fn cut_function_respects_leaf_order() {
+        // Variable i corresponds to leaves[i], whatever the slice order.
+        let mut g = Aig::new(2);
+        let a = g.input(0);
+        let b = g.input(1);
+        let f = g.or(a, !b); // node function is ¬a·b
+        let t = cut_function(&g, f.node(), &[1, 2]);
+        let swapped = cut_function(&g, f.node(), &[2, 1]);
+        assert_eq!(swapped.permute(&[1, 0]).unwrap(), t);
+        assert_ne!(swapped, t, "asymmetric function must change under reorder");
     }
 
     #[test]
@@ -306,5 +432,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn signature_and_membership() {
+        let c = Cut::unit(5).merge(&Cut::unit(70), 4).unwrap();
+        assert_eq!(c.leaves(), [5, 70]);
+        assert!(c.contains(5) && c.contains(70));
+        assert!(!c.contains(6));
+        // 5 and 69 collide mod 64 with nothing here; a colliding id must
+        // still be rejected by the exact check.
+        assert!(!c.contains(5 + 64));
+        assert!(Cut::empty().is_empty());
+    }
+
+    #[test]
+    fn merge_rejects_oversized_unions() {
+        let a = Cut::unit(1).merge(&Cut::unit(2), 4).unwrap();
+        let b = Cut::unit(3).merge(&Cut::unit(4), 4).unwrap();
+        let ab = a.merge(&b, 4).unwrap();
+        assert_eq!(ab.leaves(), [1, 2, 3, 4]);
+        assert!(ab.merge(&Cut::unit(5), 4).is_none());
+        // Overlapping unions stay feasible.
+        assert_eq!(a.merge(&a, 2).unwrap().leaves(), [1, 2]);
     }
 }

@@ -37,8 +37,8 @@
 
 mod aig;
 pub mod balance;
-pub mod collapse;
 pub mod build;
+pub mod collapse;
 pub mod cuts;
 pub mod refactor;
 pub mod rewrite;

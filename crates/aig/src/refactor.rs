@@ -46,7 +46,7 @@ pub fn refactor_with_width(aig: &Aig, k: usize, max_cuts: usize) -> Aig {
         for cut in &cuts[id.0 as usize] {
             // Refactoring pays off on wider cones; narrow ones are the
             // rewriting pass's job.
-            if cut.len() < 3 || cut.leaves() == [id.0] || cut.leaves().contains(&0) {
+            if cut.len() < 3 || cut.leaves() == [id.0] || cut.contains(0) {
                 continue;
             }
             let mut f = cut_function(aig, id, cut.leaves());
@@ -66,14 +66,13 @@ pub fn refactor_with_width(aig: &Aig, k: usize, max_cuts: usize) -> Aig {
             if probed_out == Some(map[id.0 as usize]) {
                 continue;
             }
-            let freed =
-                exclusive_cone_size(aig, id, cut.leaves(), &fanouts, &mut refs_scratch);
+            let freed = exclusive_cone_size(aig, id, cut.leaves(), &fanouts, &mut refs_scratch);
             // Zero-cost candidates reuse existing structure and never add
             // nodes, so they are always worth taking even when the freed
             // estimate is conservative.
             if cost < freed || cost == 0 {
                 let score = (freed + 1).saturating_sub(cost);
-                if best.as_ref().map_or(true, |(s, _)| score > *s) {
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
                     let lit = recipe.paste(&mut new, &actual);
                     best = Some((score, lit));
                 }
@@ -142,7 +141,9 @@ mod tests {
         let mut lits: Vec<Lit> = (0..6).map(|i| g.input(i)).collect();
         let mut state = 0x12345678u64;
         for _ in 0..80 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let i = (state >> 16) as usize % lits.len();
             let j = (state >> 33) as usize % lits.len();
             let a = lits[i];

@@ -198,7 +198,7 @@ pub(crate) fn rewrite_with_cache(aig: &Aig, cache: &mut RewriteCache) -> Aig {
         // Try to improve with a cut-based replacement.
         let mut best: Option<(usize, Lit)> = None;
         for cut in &cuts[id.0 as usize] {
-            if cut.len() < 2 || cut.leaves() == [id.0] || cut.leaves().contains(&0) {
+            if cut.len() < 2 || cut.leaves() == [id.0] || cut.contains(0) {
                 continue;
             }
             let mut f = cut_function(aig, id, cut.leaves());
@@ -222,14 +222,13 @@ pub(crate) fn rewrite_with_cache(aig: &Aig, cache: &mut RewriteCache) -> Aig {
             if probed_out.map(|l| l.xor_sign(out_neg)) == Some(map[id.0 as usize]) {
                 continue;
             }
-            let freed =
-                exclusive_cone_size(aig, id, cut.leaves(), &fanouts, &mut refs_scratch);
+            let freed = exclusive_cone_size(aig, id, cut.leaves(), &fanouts, &mut refs_scratch);
             // Zero-cost candidates reuse existing structure and never add
             // nodes, so they are always worth taking even when the freed
             // estimate is conservative.
             if cost < freed || cost == 0 {
                 let score = (freed + 1).saturating_sub(cost);
-                if best.as_ref().map_or(true, |(s, _)| score > *s) {
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
                     let recipe = recipe.clone();
                     let lit = recipe.paste(&mut new, &leaves).xor_sign(out_neg);
                     best = Some((score, lit));
@@ -277,7 +276,11 @@ mod tests {
         g.add_output("f", f);
         assert_eq!(g.n_ands(), 4);
         let out = check_rewrite(&g);
-        assert!(out.n_ands() <= 2, "a·b·c needs 2 ANDs, got {}", out.n_ands());
+        assert!(
+            out.n_ands() <= 2,
+            "a·b·c needs 2 ANDs, got {}",
+            out.n_ands()
+        );
     }
 
     #[test]
@@ -349,7 +352,9 @@ mod tests {
         let mut lits: Vec<Lit> = (0..8).map(|i| g.input(i)).collect();
         let mut state = 0xDEADBEEFu64;
         for _ in 0..120 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (state >> 16) as usize % lits.len();
             let j = (state >> 32) as usize % lits.len();
             let inv = (state >> 48) & 1 == 1;

@@ -47,7 +47,11 @@ pub struct Script {
 impl Script {
     /// A script with explicit passes, iterated up to `max_rounds` times.
     pub fn new(passes: Vec<Pass>, max_rounds: usize) -> Self {
-        Script { passes, max_rounds, verify: true }
+        Script {
+            passes,
+            max_rounds,
+            verify: true,
+        }
     }
 
     /// The paper-style default script:
@@ -88,7 +92,11 @@ impl Script {
     pub fn run(&self, aig: &Aig) -> Aig {
         let mut cur = aig.compact();
         let verify = self.verify && aig.n_inputs() <= mvf_logic::MAX_VARS;
-        let reference = if verify { Some(cur.output_functions()) } else { None };
+        let reference = if verify {
+            Some(cur.output_functions())
+        } else {
+            None
+        };
         let mut cache = RewriteCache::default();
         for _ in 0..self.max_rounds {
             let before = cur.n_ands();
@@ -131,8 +139,9 @@ mod tests {
     fn standard_script_shrinks_naive_sbox_logic() {
         // Build the PRESENT S-box naively (minterm by minterm) and check
         // the script compresses it substantially.
-        const S: [usize; 16] =
-            [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2];
+        const S: [usize; 16] = [
+            0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+        ];
         let mut aig = Aig::new(4);
         let inputs: Vec<Lit> = (0..4).map(|i| aig.input(i)).collect();
         for bit in 0..4 {

@@ -1,40 +1,57 @@
 //! Exhaustive truth-table simulation of an [`Aig`].
+//!
+//! Simulation is the inner loop of synthesis verification and of every
+//! GA fitness evaluation, so it is allocation-free: all node tables live
+//! in one flat [`TtArena`] (slot `i` = node `i`) created with a single
+//! heap allocation, and each AND node is computed with one fused
+//! complement-aware pass over its fanin words — the naive
+//! clone-and-complement per fanin is gone.
 
-use mvf_logic::TruthTable;
+use mvf_logic::{TruthTable, TtArena};
 
 use crate::{Aig, NodeId};
 
-/// Computes the truth table of every node over the primary inputs.
+/// Simulates every node into a flat arena indexed by node id.
+///
+/// Performs exactly one heap allocation (the arena itself).
 ///
 /// # Panics
 ///
 /// Panics if the graph has more inputs than [`mvf_logic::MAX_VARS`].
-pub(crate) fn simulate_nodes(aig: &Aig) -> Vec<TruthTable> {
+pub(crate) fn simulate_arena(aig: &Aig) -> TtArena {
     let n = aig.n_inputs();
     assert!(
         n <= mvf_logic::MAX_VARS,
         "exhaustive simulation limited to {} inputs",
         mvf_logic::MAX_VARS
     );
-    let mut tts: Vec<TruthTable> = Vec::with_capacity(aig.n_nodes());
-    tts.push(TruthTable::zero(n)); // constant node
+    let mut arena = TtArena::new(n, aig.n_nodes());
+    // Slot 0 is the constant node; arena slots start zeroed.
     for i in 0..n {
-        tts.push(TruthTable::var(i, n));
+        arena.write_var(i + 1, i);
     }
     for id in (n as u32 + 1..aig.n_nodes() as u32).map(NodeId) {
         if !aig.is_and(id) {
-            // Defensive: non-AND nodes beyond the inputs cannot occur.
-            tts.push(TruthTable::zero(n));
+            // Defensive: non-AND nodes beyond the inputs cannot occur;
+            // their slot stays constant 0.
             continue;
         }
         let (f0, f1) = aig.fanins(id);
-        let t0 = &tts[f0.node().0 as usize];
-        let t0 = if f0.is_complement() { t0.not() } else { t0.clone() };
-        let t1 = &tts[f1.node().0 as usize];
-        let t1 = if f1.is_complement() { t1.not() } else { t1.clone() };
-        tts.push(t0.and(&t1));
+        arena.and2(
+            id.0 as usize,
+            f0.node().0 as usize,
+            f0.is_complement(),
+            f1.node().0 as usize,
+            f1.is_complement(),
+        );
     }
-    tts
+    arena
+}
+
+/// Computes the truth table of every node over the primary inputs.
+pub(crate) fn simulate_nodes(aig: &Aig) -> Vec<TruthTable> {
+    let arena = simulate_arena(aig);
+    (0..aig.n_nodes()).map(|i| arena.to_table(i)).collect()
 }
 
 #[cfg(test)]
@@ -72,5 +89,20 @@ mod tests {
             assert_eq!(f.get(m), m.count_ones() % 2 == 1, "m={m:b}");
         }
         assert_eq!(f.count_ones(), 512);
+    }
+
+    #[test]
+    fn arena_agrees_with_per_node_tables() {
+        let mut g = Aig::new(4);
+        let lits: Vec<_> = (0..4).map(|i| g.input(i)).collect();
+        let x = g.xor(lits[0], lits[1]);
+        let y = g.mux(lits[2], x, lits[3]);
+        g.add_output("y", y);
+        let arena = simulate_arena(&g);
+        let tables = g.simulate_nodes();
+        assert_eq!(arena.n_slots(), tables.len());
+        for (i, t) in tables.iter().enumerate() {
+            assert_eq!(&arena.to_table(i), t, "node {i}");
+        }
     }
 }

@@ -76,8 +76,16 @@ pub fn is_plausible(
     camo: &CamoLibrary,
     candidate: &VectorFunction,
 ) -> bool {
-    assert_eq!(candidate.n_inputs(), nl.inputs().len(), "input arity mismatch");
-    assert_eq!(candidate.n_outputs(), nl.outputs().len(), "output arity mismatch");
+    assert_eq!(
+        candidate.n_inputs(),
+        nl.inputs().len(),
+        "input arity mismatch"
+    );
+    assert_eq!(
+        candidate.n_outputs(),
+        nl.outputs().len(),
+        "output arity mismatch"
+    );
     let mut cnf = encode_netlist(nl, lib, camo);
     let mut assumptions = Vec::new();
     for (m, row) in cnf.row_outputs.iter().enumerate() {

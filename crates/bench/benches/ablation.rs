@@ -25,7 +25,10 @@ fn depth_ablation() {
     let camo = CamoLibrary::from_library(&lib);
     let subject = subject_graph::from_aig(&synthesized, &lib);
     for depth in [2usize, 3, 4, 5, 6] {
-        let opts = CamoMapOptions { max_depth: depth, ..CamoMapOptions::default() };
+        let opts = CamoMapOptions {
+            max_depth: depth,
+            ..CamoMapOptions::default()
+        };
         match map_camouflage(&subject, &lib, &camo, &merged.select_indices, &opts) {
             Ok(m) => println!(
                 "{:<8} {:>12.1} {:>10}",
@@ -47,9 +50,12 @@ fn standard_cells_ablation() {
     let camo = CamoLibrary::from_library(&lib);
     let subject = subject_graph::from_aig(&synthesized, &lib);
     for allow in [true, false] {
-        let opts = CamoMapOptions { allow_standard_cells: allow, ..CamoMapOptions::default() };
-        let m = map_camouflage(&subject, &lib, &camo, &merged.select_indices, &opts)
-            .expect("mappable");
+        let opts = CamoMapOptions {
+            allow_standard_cells: allow,
+            ..CamoMapOptions::default()
+        };
+        let m =
+            map_camouflage(&subject, &lib, &camo, &merged.select_indices, &opts).expect("mappable");
         let n_camo = m.witness.cells.len();
         println!(
             "allow_standard_cells={:<5} area {:>8.1} GE, {} cells ({} camouflaged)",
@@ -70,11 +76,22 @@ fn ga_operator_ablation() {
         mvf::synthesized_area_ge(&functions, a, &flow_cfg.script, &lib, &flow_cfg.map)
             .unwrap_or(f64::INFINITY)
     };
-    let base = GaConfig { population: 8, generations: 4, seed: 77, ..GaConfig::default() };
-    for (label, crossover_rate, mutation_rate) in
-        [("full GA", 0.7, 0.4), ("mutation-only", 0.0, 1.0), ("crossover-only", 1.0, 0.0)]
-    {
-        let cfg = GaConfig { crossover_rate, mutation_rate, ..base.clone() };
+    let base = GaConfig {
+        population: 8,
+        generations: 4,
+        seed: 77,
+        ..GaConfig::default()
+    };
+    for (label, crossover_rate, mutation_rate) in [
+        ("full GA", 0.7, 0.4),
+        ("mutation-only", 0.0, 1.0),
+        ("crossover-only", 1.0, 0.0),
+    ] {
+        let cfg = GaConfig {
+            crossover_rate,
+            mutation_rate,
+            ..base.clone()
+        };
         let engine = GeneticAlgorithm::new(cfg);
         let res = engine.run(
             |rng| mvf::random_assignment(&functions, rng),
@@ -91,11 +108,22 @@ fn ga_operator_ablation() {
             },
             fitness,
         );
-        println!("{label:<15} best {:>7.1} GE in {} evals", res.best_fitness, res.evaluations);
+        println!(
+            "{label:<15} best {:>7.1} GE in {} evals",
+            res.best_fitness, res.evaluations
+        );
     }
     let budget = GeneticAlgorithm::new(base).evaluation_budget();
-    let rs = mvf_ga::random_search(budget, 99, |rng| mvf::random_assignment(&functions, rng), fitness);
-    println!("{:<15} best {:>7.1} GE in {} evals", "random search", rs.best_fitness, budget);
+    let rs = mvf_ga::random_search(
+        budget,
+        99,
+        |rng| mvf::random_assignment(&functions, rng),
+        fitness,
+    );
+    println!(
+        "{:<15} best {:>7.1} GE in {} evals",
+        "random search", rs.best_fitness, budget
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -1,102 +1,193 @@
-//! Component microbenchmarks: synthesis passes, technology mapping, NPN
-//! canonicalization, merged-circuit construction, exhaustive validation
-//! and the SAT-based plausibility attack.
+//! Perf-tracking micro-benchmark: arena-based vs naive truth-table
+//! simulation, and serial vs parallel GA fitness evaluation through the
+//! full flow.
+//!
+//! Results are printed and written as machine-readable JSON to
+//! `BENCH_sim.json` at the repository root (override the path with
+//! `MVF_BENCH_OUT`), so the perf trajectory of the simulation core can be
+//! tracked across PRs:
+//!
+//! ```sh
+//! cargo bench -p mvf-bench --bench micro
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mvf_aig::Script;
-use mvf_cells::{CamoLibrary, Library};
-use mvf_logic::npn::npn_canonical;
+use std::hint::black_box;
+use std::time::Instant;
+
+use mvf::{Flow, FlowConfig, FlowResult};
+use mvf_aig::{Aig, Lit};
 use mvf_logic::TruthTable;
-use mvf_merge::{build_merged, PinAssignment};
-use mvf_netlist::subject_graph;
-use mvf_techmap::{map_camouflage, map_standard, CamoMapOptions, MapOptions};
 
-fn bench(c: &mut Criterion) {
-    let lib = Library::standard();
-    let camo = CamoLibrary::from_library(&lib);
-    let functions = mvf_sboxes::optimal_sboxes()[..4].to_vec();
-    let merged = build_merged(&functions, &PinAssignment::identity(&functions)).unwrap();
-    let synthesized = Script::fast().run(&merged.aig);
-    let subject = subject_graph::from_aig(&synthesized, &lib);
-
-    c.bench_function("merge_present4", |b| {
-        b.iter(|| build_merged(&functions, &PinAssignment::identity(&functions)).unwrap())
-    });
-
-    c.bench_function("synthesis_fast_present4", |b| {
-        b.iter(|| Script::fast().run(&merged.aig))
-    });
-
-    c.bench_function("synthesis_standard_present4", |b| {
-        b.iter(|| Script::standard().run(&merged.aig))
-    });
-
-    c.bench_function("map_standard_present4", |b| {
-        b.iter(|| map_standard(&subject, &lib, &MapOptions::default()).unwrap())
-    });
-
-    c.bench_function("map_camouflage_present4", |b| {
-        b.iter(|| {
-            map_camouflage(
-                &subject,
-                &lib,
-                &camo,
-                &merged.select_indices,
-                &CamoMapOptions::default(),
-            )
-            .unwrap()
-        })
-    });
-
-    let mapped = map_camouflage(
-        &subject,
-        &lib,
-        &camo,
-        &merged.select_indices,
-        &CamoMapOptions::default(),
-    )
-    .unwrap();
-
-    c.bench_function("validate_mapped_present4", |b| {
-        b.iter(|| mvf_sim::validate_mapped(&mapped, &lib, &camo, &merged.functions).unwrap())
-    });
-
-    let mut group = c.benchmark_group("attack");
-    group.sample_size(10);
-    group.bench_function("sat_plausibility_present4", |b| {
-        b.iter(|| {
-            assert!(mvf_attack::is_plausible(
-                &mapped.netlist,
-                &lib,
-                &camo,
-                &merged.functions[0]
-            ))
-        })
-    });
-    group.finish();
-
-    c.bench_function("npn_canonical_4var", |b| {
-        let tts: Vec<TruthTable> = (0..32u64)
-            .map(|i| TruthTable::from_word(4, i.wrapping_mul(0x9E3779B97F4A7C15)).unwrap())
-            .collect();
-        b.iter(|| {
-            for t in &tts {
-                criterion::black_box(npn_canonical(t));
-            }
-        })
-    });
-
-    c.bench_function("isop_6var", |b| {
-        let tts: Vec<TruthTable> = (0..16u64)
-            .map(|i| TruthTable::from_word(6, i.wrapping_mul(0xD1B54A32D192ED03)).unwrap())
-            .collect();
-        b.iter(|| {
-            for t in &tts {
-                criterion::black_box(mvf_logic::isop(t, t));
-            }
-        })
-    });
+/// The seed implementation of node simulation, kept as the baseline: one
+/// heap allocation (or clone) and one complement temporary per fanin.
+fn naive_simulate(aig: &Aig) -> Vec<TruthTable> {
+    let n = aig.n_inputs();
+    let mut tts: Vec<TruthTable> = Vec::with_capacity(aig.n_nodes());
+    tts.push(TruthTable::zero(n));
+    for i in 0..n {
+        tts.push(TruthTable::var(i, n));
+    }
+    for id in (n as u32 + 1..aig.n_nodes() as u32).map(mvf_aig::NodeId) {
+        if !aig.is_and(id) {
+            tts.push(TruthTable::zero(n));
+            continue;
+        }
+        let (f0, f1) = aig.fanins(id);
+        let t0 = &tts[f0.node().0 as usize];
+        let t0 = if f0.is_complement() {
+            t0.not()
+        } else {
+            t0.clone()
+        };
+        let t1 = &tts[f1.node().0 as usize];
+        let t1 = if f1.is_complement() {
+            t1.not()
+        } else {
+            t1.clone()
+        };
+        tts.push(t0.and(&t1));
+    }
+    tts
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+/// A deterministic random AIG (LCG-driven) stressing multi-word tables.
+fn build_random_aig(n_inputs: usize, n_ands: usize, seed: u64) -> Aig {
+    let mut g = Aig::new(n_inputs);
+    let mut lits: Vec<Lit> = (0..n_inputs).map(|i| g.input(i)).collect();
+    let mut state = seed;
+    let mut step = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    while g.n_ands() < n_ands {
+        let i = (step() >> 16) as usize % lits.len();
+        let j = (step() >> 16) as usize % lits.len();
+        let a = lits[i];
+        let b = lits[j].xor_sign(step() & 1 == 1);
+        let f = g.and(a, b);
+        lits.push(f);
+    }
+    g.add_output("f", *lits.last().expect("non-empty"));
+    g
+}
+
+/// Mean nanoseconds per call of `f`, measured over an adaptive batch.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Warm-up and scale estimate.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1);
+    // Aim for ~400 ms of measurement, at least 5 iterations.
+    let iters = ((400_000_000 / once) as u64).clamp(5, 100_000);
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn ga_flow(threads: usize) -> (FlowResult, f64) {
+    let mut config = FlowConfig::default();
+    config.ga.population = 8;
+    config.ga.generations = 2;
+    config.ga.seed = 0xBE7;
+    config.ga.threads = threads;
+    config.validate = false;
+    let flow = Flow::new(config);
+    let functions = mvf_sboxes::optimal_sboxes()[..2].to_vec();
+    let t = Instant::now();
+    let result = flow.run(&functions).expect("flow succeeds");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    (result, ms)
+}
+
+fn main() {
+    // --- Simulation: arena vs naive on a 16-input AIG. ---------------
+    let g = build_random_aig(16, 600, 0xA16_0001);
+    let naive_ns = time_ns(|| {
+        black_box(naive_simulate(black_box(&g)));
+    });
+    let arena_ns = time_ns(|| {
+        black_box(black_box(&g).simulate_arena());
+    });
+    let sim_speedup = naive_ns / arena_ns;
+    // Correctness cross-check while we are here.
+    let arena = g.simulate_arena();
+    for (i, t) in naive_simulate(&g).iter().enumerate() {
+        assert_eq!(
+            &arena.to_table(i),
+            t,
+            "arena and naive sim disagree at node {i}"
+        );
+    }
+    println!(
+        "sim naive  : {:>12.0} ns / full 16-input simulation",
+        naive_ns
+    );
+    println!(
+        "sim arena  : {:>12.0} ns / full 16-input simulation",
+        arena_ns
+    );
+    println!("sim speedup: {sim_speedup:>12.2}x");
+
+    // --- GA fitness evaluation: serial vs parallel threads. ----------
+    let threads = mvf_ga::resolve_threads(0);
+    let (serial_result, serial_ms) = ga_flow(1);
+    let (parallel_result, parallel_ms) = ga_flow(0);
+    let ga_speedup = serial_ms / parallel_ms;
+    let identical = serial_result.ga_history.len() == parallel_result.ga_history.len()
+        && serial_result
+            .ga_history
+            .iter()
+            .zip(&parallel_result.ga_history)
+            .all(|(a, b)| {
+                a.best_so_far.to_bits() == b.best_so_far.to_bits()
+                    && a.best.to_bits() == b.best.to_bits()
+                    && a.avg.to_bits() == b.avg.to_bits()
+            })
+        && serial_result.assignment == parallel_result.assignment;
+    assert!(identical, "parallel GA must be bit-identical to serial");
+    println!("ga serial  : {serial_ms:>12.1} ms (PRESENT-2, 20 evaluations)");
+    println!("ga parallel: {parallel_ms:>12.1} ms ({threads} threads)");
+    println!("ga speedup : {ga_speedup:>12.2}x (bit-identical: {identical})");
+
+    // --- Machine-readable record. ------------------------------------
+    let out_path = std::env::var("MVF_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"sim\": {{\n",
+            "    \"n_inputs\": 16,\n",
+            "    \"n_ands\": {},\n",
+            "    \"naive_ns\": {:.0},\n",
+            "    \"arena_ns\": {:.0},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"ga\": {{\n",
+            "    \"workload\": \"PRESENT-2\",\n",
+            "    \"population\": 8,\n",
+            "    \"generations\": 2,\n",
+            "    \"serial_ms\": {:.1},\n",
+            "    \"parallel_ms\": {:.1},\n",
+            "    \"threads\": {},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"bit_identical\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        g.n_ands(),
+        naive_ns,
+        arena_ns,
+        sim_speedup,
+        serial_ms,
+        parallel_ms,
+        threads,
+        ga_speedup,
+        identical,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
+    println!("wrote {out_path}");
+}

@@ -10,6 +10,13 @@
 //! | `MVF_GA_POP` | GA population | 8 |
 //! | `MVF_GA_GENS` | GA generations | 5 |
 //! | `MVF_PAPER_SCALE` | population 24 / generations ~415 as in the paper | off |
+//! | `MVF_THREADS` | fitness-evaluation worker threads (`parallel` feature; results are bit-identical to serial) | all cores |
+//! | `MVF_BENCH_OUT` | path of the `micro` bench's JSON report | `BENCH_sim.json` at the repo root |
+//!
+//! Parallel fitness evaluation is compiled in through the `parallel`
+//! cargo feature (a default feature of this crate and of the workspace
+//! root); the thread count can also be pinned per run via
+//! `GaConfig::threads`.
 
 use mvf::{Flow, FlowConfig};
 use mvf_logic::VectorFunction;
@@ -30,10 +37,18 @@ pub fn table1_workloads() -> Vec<Workload> {
     let des = mvf_sboxes::des_sboxes();
     let mut w = Vec::new();
     for n in [2usize, 4, 8, 16] {
-        w.push(Workload { family: "PRESENT", n, functions: opt[..n].to_vec() });
+        w.push(Workload {
+            family: "PRESENT",
+            n,
+            functions: opt[..n].to_vec(),
+        });
     }
     for n in [2usize, 4, 8] {
-        w.push(Workload { family: "DES", n, functions: des[..n].to_vec() });
+        w.push(Workload {
+            family: "DES",
+            n,
+            functions: des[..n].to_vec(),
+        });
     }
     w
 }

@@ -269,7 +269,12 @@ impl CamoLibrary {
 
 impl fmt::Display for CamoCell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "camo-{} ({} plausible fns)", self.name, self.plausible.len())
+        write!(
+            f,
+            "camo-{} ({} plausible fns)",
+            self.name,
+            self.plausible.len()
+        )
     }
 }
 
@@ -415,7 +420,11 @@ mod tests {
         let lib = Library::standard();
         let camo = CamoLibrary::from_library(&lib);
         for (_, cell) in camo.cells_with_arity(2) {
-            assert!(cell.covers(&need).is_none(), "{} unexpectedly covers", cell.name());
+            assert!(
+                cell.covers(&need).is_none(),
+                "{} unexpectedly covers",
+                cell.name()
+            );
         }
     }
 
@@ -433,8 +442,9 @@ mod tests {
         let cell = camo("BUF");
         let a = TruthTable::var(0, 1);
         let got: BTreeSet<TruthTable> = cell.plausible().iter().cloned().collect();
-        let expect: BTreeSet<TruthTable> =
-            [a, TruthTable::zero(1), TruthTable::one(1)].into_iter().collect();
+        let expect: BTreeSet<TruthTable> = [a, TruthTable::zero(1), TruthTable::one(1)]
+            .into_iter()
+            .collect();
         assert_eq!(got, expect);
     }
 

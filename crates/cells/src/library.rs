@@ -32,9 +32,7 @@ impl CellKind {
     pub fn n_inputs(self) -> usize {
         match self {
             CellKind::Inv | CellKind::Buf => 1,
-            CellKind::Nand(n) | CellKind::Nor(n) | CellKind::And(n) | CellKind::Or(n) => {
-                n as usize
-            }
+            CellKind::Nand(n) | CellKind::Nor(n) | CellKind::And(n) | CellKind::Or(n) => n as usize,
             CellKind::Tie0 | CellKind::Tie1 => 0,
         }
     }
@@ -275,7 +273,9 @@ mod tests {
             "INV", "BUF", "TIE0", "TIE1", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4",
             "AND2", "AND3", "AND4", "OR2", "OR3", "OR4",
         ] {
-            let id = lib.cell_by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            let id = lib
+                .cell_by_name(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(lib.cell(id).name(), name);
         }
         assert!(lib.cell_by_name("XOR2").is_none());

@@ -184,8 +184,14 @@ impl Flow {
     }
 
     fn fitness(&self, functions: &[VectorFunction], a: &PinAssignment) -> f64 {
-        synthesized_area_ge(functions, a, &self.config.script, &self.lib, &self.config.map)
-            .unwrap_or(f64::INFINITY)
+        synthesized_area_ge(
+            functions,
+            a,
+            &self.config.script,
+            &self.lib,
+            &self.config.map,
+        )
+        .unwrap_or(f64::INFINITY)
     }
 
     /// Runs Phases I–III on the viable functions.
@@ -202,8 +208,8 @@ impl Flow {
         let engine = GeneticAlgorithm::new(self.config.ga.clone());
         let ga = engine.run(
             |rng| random_assignment(functions, rng),
-            |g, rng| mutate_assignment(g, rng),
-            |a, b, rng| crossover_assignment(a, b, rng),
+            mutate_assignment,
+            crossover_assignment,
             |g| self.fitness(functions, g),
         );
         self.finish(functions, ga.best_genome, ga.history, ga.evaluations)
@@ -250,16 +256,18 @@ impl Flow {
     }
 
     /// Runs the equal-budget random baseline: `n_evals` random pin
-    /// assignments evaluated with the same fitness as the GA.
+    /// assignments evaluated with the same fitness as the GA, honoring
+    /// the configured `ga.threads`.
     pub fn random_baseline(
         &self,
         functions: &[VectorFunction],
         n_evals: usize,
         seed: u64,
     ) -> RandomBaseline {
-        let rs = mvf_ga::random_search(
+        let rs = mvf_ga::random_search_with_threads(
             n_evals,
             seed,
+            self.config.ga.threads,
             |rng| random_assignment(functions, rng),
             |g| self.fitness(functions, g),
         );
@@ -286,24 +294,35 @@ fn mutate_assignment(g: &mut PinAssignment, rng: &mut StdRng) {
 }
 
 /// Crossover: per-function PMX on input and output permutations.
-fn crossover_assignment(
-    a: &PinAssignment,
-    b: &PinAssignment,
-    rng: &mut StdRng,
-) -> PinAssignment {
+fn crossover_assignment(a: &PinAssignment, b: &PinAssignment, rng: &mut StdRng) -> PinAssignment {
     let input_perms = a
         .input_perms
         .iter()
         .zip(&b.input_perms)
-        .map(|(x, y)| if rng.gen_bool(0.5) { pmx(x, y, rng) } else { x.clone() })
+        .map(|(x, y)| {
+            if rng.gen_bool(0.5) {
+                pmx(x, y, rng)
+            } else {
+                x.clone()
+            }
+        })
         .collect();
     let output_perms = a
         .output_perms
         .iter()
         .zip(&b.output_perms)
-        .map(|(x, y)| if rng.gen_bool(0.5) { pmx(x, y, rng) } else { x.clone() })
+        .map(|(x, y)| {
+            if rng.gen_bool(0.5) {
+                pmx(x, y, rng)
+            } else {
+                x.clone()
+            }
+        })
         .collect();
-    PinAssignment { input_perms, output_perms }
+    PinAssignment {
+        input_perms,
+        output_perms,
+    }
 }
 
 #[cfg(test)]

@@ -41,8 +41,7 @@ mod flow;
 mod report;
 
 pub use flow::{
-    random_assignment, synthesized_area_ge, Flow, FlowConfig, FlowError, FlowResult,
-    RandomBaseline,
+    random_assignment, synthesized_area_ge, Flow, FlowConfig, FlowError, FlowResult, RandomBaseline,
 };
 pub use report::{Fig4Data, Table1, Table1Row};
 

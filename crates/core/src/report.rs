@@ -89,7 +89,11 @@ impl Fig4Data {
     pub fn histogram(&self, bin_width: f64) -> Vec<(f64, usize)> {
         assert!(bin_width > 0.0, "bin width must be positive");
         assert!(!self.random_samples.is_empty(), "no samples");
-        let min = self.random_samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = self
+            .random_samples
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = self
             .random_samples
             .iter()
@@ -113,7 +117,13 @@ impl fmt::Display for Fig4Data {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 4a: area distribution of random pin assignments")?;
         for (bin, count) in self.histogram(5.0) {
-            writeln!(f, "  [{:>6.0} GE] {:>4} {}", bin, count, "#".repeat(count.min(60)))?;
+            writeln!(
+                f,
+                "  [{:>6.0} GE] {:>4} {}",
+                bin,
+                count,
+                "#".repeat(count.min(60))
+            )?;
         }
         writeln!(
             f,

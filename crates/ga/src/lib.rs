@@ -10,6 +10,20 @@
 //! equal-budget [`random_search`] baseline and permutation operators
 //! ([`permutation`]) for the pin-assignment genotype.
 //!
+//! # Parallel fitness evaluation
+//!
+//! Every fitness call is an independent full merge → synthesize →
+//! tech-map flow, so the engine batches them: each generation first
+//! *breeds* all children serially (selection and variation draw from
+//! per-individual RNG streams pre-seeded off the master generator), then
+//! *evaluates* the batch. With the `parallel` feature the batch is scored
+//! on multiple threads (`std::thread::scope`); because breeding never
+//! observes fitness-evaluation order and results are collected in genome
+//! order, a parallel run is **bit-identical** to a serial run with the
+//! same seed. The thread count comes from [`GaConfig::threads`], the
+//! `MVF_THREADS` environment variable, or the machine's available
+//! parallelism, in that order.
+//!
 //! # Example
 //!
 //! ```
@@ -21,7 +35,7 @@
 //! let result = GeneticAlgorithm::new(cfg)
 //!     .run(
 //!         |rng| rng.gen::<u16>(),
-//!         |g, rng| *g ^= 1 << rng.gen_range(0..16),
+//!         |g, rng| *g ^= 1u16 << rng.gen_range(0..16),
 //!         |a, b, _rng| (a & 0xFF00) | (b & 0x00FF),
 //!         |g| g.count_ones() as f64,
 //!     );
@@ -53,6 +67,11 @@ pub struct GaConfig {
     pub elitism: usize,
     /// RNG seed: runs are fully deterministic given the seed.
     pub seed: u64,
+    /// Worker threads for fitness evaluation when the `parallel` feature
+    /// is enabled: `0` = auto (`MVF_THREADS` env var, else the machine's
+    /// available parallelism), `1` = serial. Results are bit-identical
+    /// for every thread count.
+    pub threads: usize,
 }
 
 impl Default for GaConfig {
@@ -65,8 +84,58 @@ impl Default for GaConfig {
             tournament: 3,
             elitism: 2,
             seed: 0xC0FFEE,
+            threads: 0,
         }
     }
+}
+
+/// Resolves a thread-count setting: explicit config, `MVF_THREADS`, then
+/// available parallelism.
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(n) = std::env::var("MVF_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Scores a batch of genomes, preserving order.
+///
+/// Serial by default; with the `parallel` feature the slice is split into
+/// per-thread chunks scored concurrently and re-stitched in order, so the
+/// result is independent of scheduling.
+fn evaluate_batch<G, F>(genomes: &[G], fitness: &F, threads: usize) -> Vec<f64>
+where
+    G: Sync,
+    F: Fn(&G) -> f64 + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let threads = threads.min(genomes.len());
+        if threads > 1 {
+            let chunk = genomes.len().div_ceil(threads);
+            let mut out = Vec::with_capacity(genomes.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = genomes
+                    .chunks(chunk)
+                    .map(|c| scope.spawn(move || c.iter().map(fitness).collect::<Vec<f64>>()))
+                    .collect();
+                for h in handles {
+                    out.extend(h.join().expect("fitness worker panicked"));
+                }
+            });
+            return out;
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = threads;
+    genomes.iter().map(fitness).collect()
 }
 
 /// Per-generation statistics (fitness is minimized).
@@ -116,32 +185,37 @@ impl GeneticAlgorithm {
     /// * `init` creates a random genome;
     /// * `mutate` perturbs a genome in place;
     /// * `crossover` combines two parents into a child;
-    /// * `fitness` scores a genome (lower is better).
+    /// * `fitness` scores a genome (lower is better). It must be a pure
+    ///   function of the genome: batches are scored together, potentially
+    ///   on several threads (see the crate docs on determinism).
     pub fn run<G, I, M, C, F>(
         &self,
         mut init: I,
         mut mutate: M,
         mut crossover: C,
-        mut fitness: F,
+        fitness: F,
     ) -> GaResult<G>
     where
-        G: Clone,
+        G: Clone + Sync,
         I: FnMut(&mut StdRng) -> G,
         M: FnMut(&mut G, &mut StdRng),
         C: FnMut(&G, &G, &mut StdRng) -> G,
-        F: FnMut(&G) -> f64,
+        F: Fn(&G) -> f64 + Sync,
     {
         let cfg = &self.cfg;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let threads = resolve_threads(cfg.threads);
+        let mut master = StdRng::seed_from_u64(cfg.seed);
         let mut evaluations = 0usize;
-        let mut population: Vec<(G, f64)> = (0..cfg.population)
+        // Initial population: one pre-drawn RNG stream per individual.
+        let genomes: Vec<G> = (0..cfg.population)
             .map(|_| {
-                let g = init(&mut rng);
-                let f = fitness(&g);
-                evaluations += 1;
-                (g, f)
+                let mut stream = StdRng::seed_from_u64(master.gen::<u64>());
+                init(&mut stream)
             })
             .collect();
+        let fits = evaluate_batch(&genomes, &fitness, threads);
+        evaluations += genomes.len();
+        let mut population: Vec<(G, f64)> = genomes.into_iter().zip(fits).collect();
         population.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         let mut history = Vec::with_capacity(cfg.generations + 1);
@@ -154,26 +228,34 @@ impl GeneticAlgorithm {
         history.push(stat(&population, best.1));
 
         for _ in 0..cfg.generations {
+            let n_elite = cfg.elitism.min(cfg.population);
+            // Breed all children serially (cheap), then score the batch.
+            let mut children: Vec<G> = Vec::with_capacity(cfg.population - n_elite);
+            while children.len() < cfg.population - n_elite {
+                let p1 = tournament(&population, cfg.tournament, &mut master);
+                let p2 = if master.gen_bool(cfg.crossover_rate) {
+                    Some(tournament(&population, cfg.tournament, &mut master))
+                } else {
+                    None
+                };
+                let do_mutate = master.gen_bool(cfg.mutation_rate);
+                let mut stream = StdRng::seed_from_u64(master.gen::<u64>());
+                let mut child = match p2 {
+                    Some(p2) => crossover(&population[p1].0, &population[p2].0, &mut stream),
+                    None => population[p1].0.clone(),
+                };
+                if do_mutate {
+                    mutate(&mut child, &mut stream);
+                }
+                children.push(child);
+            }
+            let fits = evaluate_batch(&children, &fitness, threads);
+            evaluations += children.len();
             let mut next: Vec<(G, f64)> = Vec::with_capacity(cfg.population);
-            // Elitism.
-            for e in population.iter().take(cfg.elitism.min(cfg.population)) {
+            for e in population.iter().take(n_elite) {
                 next.push(e.clone());
             }
-            while next.len() < cfg.population {
-                let p1 = tournament(&population, cfg.tournament, &mut rng);
-                let mut child = if rng.gen_bool(cfg.crossover_rate) {
-                    let p2 = tournament(&population, cfg.tournament, &mut rng);
-                    crossover(&population[p1].0, &population[p2].0, &mut rng)
-                } else {
-                    population[p1].0.clone()
-                };
-                if rng.gen_bool(cfg.mutation_rate) {
-                    mutate(&mut child, &mut rng);
-                }
-                let f = fitness(&child);
-                evaluations += 1;
-                next.push((child, f));
-            }
+            next.extend(children.into_iter().zip(fits));
             next.sort_by(|a, b| a.1.total_cmp(&b.1));
             population = next;
             if population[0].1 < best.1 {
@@ -224,36 +306,64 @@ pub struct RandomSearchResult<G> {
 /// The equal-budget random baseline of Fig. 4: draws `n_evals` random
 /// genomes and records every fitness.
 ///
+/// Like [`GeneticAlgorithm::run`], the genomes are drawn from
+/// per-individual RNG streams and scored as one batch (parallel with the
+/// `parallel` feature, bit-identical to serial). The thread count is
+/// auto-resolved; use [`random_search_with_threads`] to pin it.
+///
 /// # Panics
 ///
 /// Panics if `n_evals == 0`.
 pub fn random_search<G, I, F>(
     n_evals: usize,
     seed: u64,
-    mut init: I,
-    mut fitness: F,
+    init: I,
+    fitness: F,
 ) -> RandomSearchResult<G>
 where
-    G: Clone,
+    G: Clone + Sync,
     I: FnMut(&mut StdRng) -> G,
-    F: FnMut(&G) -> f64,
+    F: Fn(&G) -> f64 + Sync,
+{
+    random_search_with_threads(n_evals, seed, 0, init, fitness)
+}
+
+/// [`random_search`] with an explicit thread-count setting (`0` = auto,
+/// `1` = serial; interpreted like [`GaConfig::threads`]).
+///
+/// # Panics
+///
+/// Panics if `n_evals == 0`.
+pub fn random_search_with_threads<G, I, F>(
+    n_evals: usize,
+    seed: u64,
+    threads: usize,
+    mut init: I,
+    fitness: F,
+) -> RandomSearchResult<G>
+where
+    G: Clone + Sync,
+    I: FnMut(&mut StdRng) -> G,
+    F: Fn(&G) -> f64 + Sync,
 {
     assert!(n_evals > 0, "random search needs at least one evaluation");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut best: Option<(G, f64)> = None;
-    let mut samples = Vec::with_capacity(n_evals);
-    for _ in 0..n_evals {
-        let g = init(&mut rng);
-        let f = fitness(&g);
-        samples.push(f);
-        if best.as_ref().map_or(true, |(_, bf)| f < *bf) {
-            best = Some((g, f));
-        }
-    }
-    let (best_genome, best_fitness) = best.expect("n_evals > 0");
+    let mut master = StdRng::seed_from_u64(seed);
+    let genomes: Vec<G> = (0..n_evals)
+        .map(|_| {
+            let mut stream = StdRng::seed_from_u64(master.gen::<u64>());
+            init(&mut stream)
+        })
+        .collect();
+    let samples = evaluate_batch(&genomes, &fitness, resolve_threads(threads));
+    let best_idx = samples
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("n_evals > 0");
     RandomSearchResult {
-        best_genome,
-        best_fitness,
+        best_genome: genomes[best_idx].clone(),
+        best_fitness: samples[best_idx],
         avg_fitness: samples.iter().sum::<f64>() / samples.len() as f64,
         samples,
     }
@@ -263,15 +373,27 @@ where
 mod tests {
     use super::*;
 
+    // Takes `&Vec` because it is passed directly as the GA fitness over
+    // `Vec<f64>` genomes.
+    #[allow(clippy::ptr_arg)]
     fn sphere(g: &Vec<f64>) -> f64 {
         g.iter().map(|x| x * x).sum()
     }
 
     #[test]
     fn ga_minimizes_sphere() {
-        let cfg = GaConfig { population: 20, generations: 30, seed: 42, ..GaConfig::default() };
+        let cfg = GaConfig {
+            population: 20,
+            generations: 30,
+            seed: 42,
+            ..GaConfig::default()
+        };
         let res = GeneticAlgorithm::new(cfg).run(
-            |rng| (0..4).map(|_| rng.gen_range(-10.0..10.0)).collect::<Vec<f64>>(),
+            |rng| {
+                (0..4)
+                    .map(|_| rng.gen_range(-10.0..10.0))
+                    .collect::<Vec<f64>>()
+            },
             |g, rng| {
                 let i = rng.gen_range(0..g.len());
                 g[i] += rng.gen_range(-1.0..1.0);
@@ -283,16 +405,24 @@ mod tests {
             sphere,
         );
         assert!(res.best_fitness < sphere(&vec![10.0; 4]));
-        assert!(res.best_fitness < res.history[0].avg, "GA must improve on init");
+        assert!(
+            res.best_fitness < res.history[0].avg,
+            "GA must improve on init"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = GaConfig { population: 10, generations: 5, seed: 9, ..GaConfig::default() };
+        let cfg = GaConfig {
+            population: 10,
+            generations: 5,
+            seed: 9,
+            ..GaConfig::default()
+        };
         let run = || {
             GeneticAlgorithm::new(cfg.clone()).run(
                 |rng| rng.gen::<u32>(),
-                |g, rng| *g ^= 1 << rng.gen_range(0..32),
+                |g, rng| *g ^= 1u32 << rng.gen_range(0..32),
                 |a, b, _| a ^ b,
                 |g| g.count_ones() as f64,
             )
@@ -306,7 +436,12 @@ mod tests {
 
     #[test]
     fn history_is_monotone_in_best_so_far() {
-        let cfg = GaConfig { population: 12, generations: 12, seed: 5, ..GaConfig::default() };
+        let cfg = GaConfig {
+            population: 12,
+            generations: 12,
+            seed: 5,
+            ..GaConfig::default()
+        };
         let res = GeneticAlgorithm::new(cfg).run(
             |rng| rng.gen::<u16>(),
             |g, rng| *g = g.rotate_left(rng.gen_range(1..4)),
@@ -320,11 +455,17 @@ mod tests {
 
     #[test]
     fn evaluation_budget_matches_actual() {
-        let cfg = GaConfig { population: 10, generations: 7, elitism: 2, seed: 1, ..GaConfig::default() };
+        let cfg = GaConfig {
+            population: 10,
+            generations: 7,
+            elitism: 2,
+            seed: 1,
+            ..GaConfig::default()
+        };
         let engine = GeneticAlgorithm::new(cfg);
         let res = engine.run(
             |rng| rng.gen::<u8>(),
-            |g, rng| *g ^= 1 << rng.gen_range(0..8),
+            |g, rng| *g ^= 1u8 << rng.gen_range(0..8),
             |a, b, _| a ^ b,
             |g| *g as f64,
         );
@@ -336,7 +477,10 @@ mod tests {
         let res = random_search(100, 3, |rng| rng.gen_range(0.0..1.0f64), |g| *g);
         assert_eq!(res.samples.len(), 100);
         assert!(res.best_fitness <= res.avg_fitness);
-        assert!((res.best_fitness - res.samples.iter().cloned().fold(f64::INFINITY, f64::min)).abs() < 1e-12);
+        assert!(
+            (res.best_fitness - res.samples.iter().cloned().fold(f64::INFINITY, f64::min)).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -361,5 +505,48 @@ mod tests {
             assert!(w[1].best_so_far <= w[0].best_so_far);
         }
         assert!(res.best_fitness <= res.history[0].best);
+    }
+
+    /// Serial (threads = 1) and multi-threaded runs must agree bit for
+    /// bit on every statistic and on the winning genome.
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run = |threads: usize| {
+            let cfg = GaConfig {
+                population: 12,
+                generations: 8,
+                seed: 0xD5,
+                threads,
+                ..GaConfig::default()
+            };
+            GeneticAlgorithm::new(cfg).run(
+                |rng| rng.gen::<u32>(),
+                |g, rng| *g ^= 1u32 << rng.gen_range(0..32),
+                |a, b, _| (a & 0xFFFF_0000) | (b & 0xFFFF),
+                |g| g.count_ones() as f64,
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            let par = run(threads);
+            assert_eq!(par.best_genome, serial.best_genome, "threads={threads}");
+            assert_eq!(
+                par.best_fitness.to_bits(),
+                serial.best_fitness.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(par.history.len(), serial.history.len());
+            for (a, b) in par.history.iter().zip(&serial.history) {
+                assert_eq!(a.best_so_far.to_bits(), b.best_so_far.to_bits());
+                assert_eq!(a.best.to_bits(), b.best.to_bits());
+                assert_eq!(a.avg.to_bits(), b.avg.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_config() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
     }
 }

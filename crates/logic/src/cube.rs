@@ -177,7 +177,10 @@ pub struct Sop {
 impl Sop {
     /// An empty cover (constant 0) over `n_vars` variables.
     pub fn zero(n_vars: usize) -> Self {
-        Sop { n_vars, cubes: Vec::new() }
+        Sop {
+            n_vars,
+            cubes: Vec::new(),
+        }
     }
 
     /// Builds a cover from explicit cubes.
@@ -251,7 +254,9 @@ impl FromIterator<Cube> for Sop {
     /// covering every mentioned variable.
     fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
         let cubes: Vec<Cube> = iter.into_iter().collect();
-        let used = cubes.iter().fold(0u32, |m, c| m | c.pos_mask() | c.neg_mask());
+        let used = cubes
+            .iter()
+            .fold(0u32, |m, c| m | c.pos_mask() | c.neg_mask());
         let n_vars = (32 - used.leading_zeros()) as usize;
         Sop { n_vars, cubes }
     }

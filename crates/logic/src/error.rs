@@ -29,7 +29,10 @@ impl fmt::Display for LogicError {
                 write!(f, "requested {n} variables, maximum is {}", crate::MAX_VARS)
             }
             LogicError::VarOutOfRange { var, n_vars } => {
-                write!(f, "variable {var} out of range for {n_vars}-variable function")
+                write!(
+                    f,
+                    "variable {var} out of range for {n_vars}-variable function"
+                )
             }
             LogicError::ArityMismatch(a, b) => {
                 write!(f, "arity mismatch: {a} vs {b} variables")

@@ -4,8 +4,11 @@
 //! crate in the workspace:
 //!
 //! * [`TruthTable`] — bit-packed truth tables over up to 16 variables with
-//!   the full complement of Boolean operations, cofactoring, support
-//!   computation and variable permutation.
+//!   the full complement of Boolean operations (allocating and in-place),
+//!   cofactoring, support computation and variable permutation.
+//! * [`TtArena`] — a flat arena packing many equally-sized tables into one
+//!   contiguous allocation, with fused complement-aware operations between
+//!   slots; the backing store of allocation-free circuit simulation.
 //! * [`Cube`] / [`Sop`] — cube (product term) and sum-of-products covers.
 //! * [`isop`] — the Minato–Morreale irredundant sum-of-products algorithm,
 //!   used by the refactoring pass of the synthesis engine.
@@ -43,7 +46,7 @@ pub use cube::{Cube, Sop};
 pub use error::LogicError;
 pub use isop::isop;
 pub use npn::{NpnClass, NpnTransform};
-pub use tt::TruthTable;
+pub use tt::{TruthTable, TtArena};
 pub use vecfunc::VectorFunction;
 
 /// Maximum number of variables supported by [`TruthTable`].

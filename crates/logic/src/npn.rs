@@ -33,7 +33,11 @@ pub struct NpnTransform {
 impl NpnTransform {
     /// The identity transform over `n` inputs.
     pub fn identity(n: usize) -> Self {
-        NpnTransform { perm: (0..n).collect(), input_neg: 0, output_neg: false }
+        NpnTransform {
+            perm: (0..n).collect(),
+            input_neg: 0,
+            output_neg: false,
+        }
     }
 
     /// Applies the transform to a truth table.
@@ -70,7 +74,11 @@ impl NpnTransform {
                 input_neg |= 1 << v;
             }
         }
-        NpnTransform { perm: inv_perm, input_neg, output_neg: self.output_neg }
+        NpnTransform {
+            perm: inv_perm,
+            input_neg,
+            output_neg: self.output_neg,
+        }
     }
 }
 
@@ -90,7 +98,7 @@ fn heap_permute(arr: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(arr, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             arr.swap(i, k - 1);
         } else {
             arr.swap(0, k - 1);
@@ -132,7 +140,7 @@ pub fn npn_canonical(f: &TruthTable) -> (TruthTable, NpnTransform) {
                     output_neg,
                 };
                 let g = t.apply(f);
-                if best.as_ref().map_or(true, |(b, _)| g < *b) {
+                if best.as_ref().is_none_or(|(b, _)| g < *b) {
                     best = Some((g, t));
                 }
             }
@@ -148,11 +156,14 @@ pub fn npn_canonical(f: &TruthTable) -> (TruthTable, NpnTransform) {
 ///
 /// Panics if the function has more than 6 variables.
 pub fn p_canonical(f: &TruthTable) -> (TruthTable, Vec<usize>) {
-    assert!(f.n_vars() <= 6, "exhaustive P-canonicalization limited to 6 variables");
+    assert!(
+        f.n_vars() <= 6,
+        "exhaustive P-canonicalization limited to 6 variables"
+    );
     let mut best: Option<(TruthTable, Vec<usize>)> = None;
     for perm in all_permutations(f.n_vars()) {
         let g = f.permute(&perm).expect("valid permutation");
-        if best.as_ref().map_or(true, |(b, _)| g < *b) {
+        if best.as_ref().is_none_or(|(b, _)| g < *b) {
             best = Some((g, perm));
         }
     }
@@ -168,7 +179,9 @@ pub struct NpnClass {
 impl NpnClass {
     /// The class containing `f`.
     pub fn of(f: &TruthTable) -> Self {
-        NpnClass { canonical: npn_canonical(f).0 }
+        NpnClass {
+            canonical: npn_canonical(f).0,
+        }
     }
 
     /// The canonical representative table.
@@ -197,7 +210,11 @@ mod tests {
     #[test]
     fn transform_inverse_roundtrip() {
         let f = TruthTable::from_fn(4, |m| (m * 7 + 3) % 5 < 2);
-        let t = NpnTransform { perm: vec![2, 0, 3, 1], input_neg: 0b0110, output_neg: true };
+        let t = NpnTransform {
+            perm: vec![2, 0, 3, 1],
+            input_neg: 0b0110,
+            output_neg: true,
+        };
         let g = t.apply(&f);
         assert_eq!(t.inverse().apply(&g), f);
     }
@@ -225,7 +242,11 @@ mod tests {
             (vec![2, 1, 0], 0b010, false),
             (vec![0, 2, 1], 0b111, true),
         ] {
-            let t = NpnTransform { perm, input_neg: neg, output_neg: oneg };
+            let t = NpnTransform {
+                perm,
+                input_neg: neg,
+                output_neg: oneg,
+            };
             let g = t.apply(&f);
             assert_eq!(npn_canonical(&g).0, canon);
         }

@@ -58,7 +58,10 @@ impl TruthTable {
     }
 
     fn assert_vars(n_vars: usize) {
-        assert!(n_vars <= MAX_VARS, "too many variables: {n_vars} > {MAX_VARS}");
+        assert!(
+            n_vars <= MAX_VARS,
+            "too many variables: {n_vars} > {MAX_VARS}"
+        );
     }
 
     /// The constant-0 function of `n_vars` variables.
@@ -68,7 +71,10 @@ impl TruthTable {
     /// Panics if `n_vars > MAX_VARS`.
     pub fn zero(n_vars: usize) -> Self {
         Self::assert_vars(n_vars);
-        TruthTable { n_vars, words: vec![0; Self::word_count(n_vars)] }
+        TruthTable {
+            n_vars,
+            words: vec![0; Self::word_count(n_vars)],
+        }
     }
 
     /// The constant-1 function of `n_vars` variables.
@@ -102,21 +108,8 @@ impl TruthTable {
     /// Panics if `var >= n_vars` or `n_vars > MAX_VARS`.
     pub fn var(var: usize, n_vars: usize) -> Self {
         Self::assert_vars(n_vars);
-        assert!(var < n_vars, "variable {var} out of range for {n_vars} vars");
         let mut t = Self::zero(n_vars);
-        if var < 6 {
-            let pat = WORD_VAR[var] & Self::tail_mask(n_vars);
-            for w in &mut t.words {
-                *w = pat;
-            }
-        } else {
-            let block = 1usize << (var - 6);
-            for (i, w) in t.words.iter_mut().enumerate() {
-                if (i / block) % 2 == 1 {
-                    *w = u64::MAX;
-                }
-            }
-        }
+        fill_var(&mut t.words, var, n_vars);
         t
     }
 
@@ -147,7 +140,10 @@ impl TruthTable {
         if n_vars > 6 {
             return Err(LogicError::TooManyVars(n_vars));
         }
-        Ok(TruthTable { n_vars, words: vec![bits & Self::tail_mask(n_vars)] })
+        Ok(TruthTable {
+            n_vars,
+            words: vec![bits & Self::tail_mask(n_vars)],
+        })
     }
 
     /// The number of variables of the function.
@@ -214,8 +210,16 @@ impl TruthTable {
     /// Panics on arity mismatch.
     pub fn and(&self, other: &Self) -> Self {
         self.check_arity(other);
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
-        TruthTable { n_vars: self.n_vars, words }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        TruthTable {
+            n_vars: self.n_vars,
+            words,
+        }
     }
 
     /// Bitwise OR of two functions of equal arity.
@@ -225,8 +229,16 @@ impl TruthTable {
     /// Panics on arity mismatch.
     pub fn or(&self, other: &Self) -> Self {
         self.check_arity(other);
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
-        TruthTable { n_vars: self.n_vars, words }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        TruthTable {
+            n_vars: self.n_vars,
+            words,
+        }
     }
 
     /// Bitwise XOR of two functions of equal arity.
@@ -236,15 +248,26 @@ impl TruthTable {
     /// Panics on arity mismatch.
     pub fn xor(&self, other: &Self) -> Self {
         self.check_arity(other);
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a ^ b).collect();
-        TruthTable { n_vars: self.n_vars, words }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        TruthTable {
+            n_vars: self.n_vars,
+            words,
+        }
     }
 
     /// Complement of the function.
     pub fn not(&self) -> Self {
         let mut words: Vec<u64> = self.words.iter().map(|a| !a).collect();
         *words.last_mut().expect("at least one word") &= Self::tail_mask(self.n_vars);
-        TruthTable { n_vars: self.n_vars, words }
+        TruthTable {
+            n_vars: self.n_vars,
+            words,
+        }
     }
 
     /// AND with the complement of `other` (`self ∧ ¬other`).
@@ -254,8 +277,16 @@ impl TruthTable {
     /// Panics on arity mismatch.
     pub fn and_not(&self, other: &Self) -> Self {
         self.check_arity(other);
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect();
-        TruthTable { n_vars: self.n_vars, words }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & !b)
+            .collect();
+        TruthTable {
+            n_vars: self.n_vars,
+            words,
+        }
     }
 
     /// If-then-else: `(self ∧ t) ∨ (¬self ∧ e)`.
@@ -264,7 +295,96 @@ impl TruthTable {
     ///
     /// Panics on arity mismatch.
     pub fn ite(&self, t: &Self, e: &Self) -> Self {
-        self.and(t).or(&self.not().and(e))
+        let mut out = self.and(t);
+        let mut else_branch = e.clone();
+        else_branch.and_not_assign(self);
+        out.or_assign(&else_branch);
+        out
+    }
+
+    /// In-place AND: `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn and_assign(&mut self, other: &Self) {
+        self.check_arity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place OR: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn or_assign(&mut self, other: &Self) {
+        self.check_arity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place XOR: `self ^= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn xor_assign(&mut self, other: &Self) {
+        self.check_arity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place complement: `self = ¬self`.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        *self.words.last_mut().expect("at least one word") &= Self::tail_mask(self.n_vars);
+    }
+
+    /// In-place AND-NOT: `self &= ¬other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn and_not_assign(&mut self, other: &Self) {
+        self.check_arity(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Ternary buffer-reuse AND: `dst = a ∧ b` without allocating (the
+    /// destination's buffer is resized only if its arity differs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch between `a` and `b`.
+    pub fn and_into(dst: &mut Self, a: &Self, b: &Self) {
+        a.check_arity(b);
+        dst.n_vars = a.n_vars;
+        dst.words.resize(a.words.len(), 0);
+        for (d, (x, y)) in dst.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *d = x & y;
+        }
+    }
+
+    /// Ternary buffer-reuse AND-NOT: `dst = a ∧ ¬b` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch between `a` and `b`.
+    pub fn and_not_into(dst: &mut Self, a: &Self, b: &Self) {
+        a.check_arity(b);
+        dst.n_vars = a.n_vars;
+        dst.words.resize(a.words.len(), 0);
+        for (d, (x, y)) in dst.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *d = x & !y;
+        }
     }
 
     /// `true` iff the function is constant 0.
@@ -517,12 +637,288 @@ impl TruthTable {
 
     /// A compact hex rendering (most significant word first).
     pub fn to_hex(&self) -> String {
-        let digits = ((self.n_minterms() + 3) / 4).max(1);
+        let digits = self.n_minterms().div_ceil(4).max(1);
         let mut full = String::new();
         for w in self.words.iter().rev() {
             full.push_str(&format!("{w:016x}"));
         }
         full[full.len() - digits..].to_string()
+    }
+}
+
+/// Writes the projection pattern of `var` into a word buffer sized for
+/// `n_vars` variables.
+///
+/// # Panics
+///
+/// Panics if `var >= n_vars`.
+fn fill_var(words: &mut [u64], var: usize, n_vars: usize) {
+    assert!(
+        var < n_vars,
+        "variable {var} out of range for {n_vars} vars"
+    );
+    if var < 6 {
+        let pat = WORD_VAR[var] & TruthTable::tail_mask(n_vars);
+        for w in words.iter_mut() {
+            *w = pat;
+        }
+    } else {
+        let block = 1usize << (var - 6);
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = if (i / block) % 2 == 1 { u64::MAX } else { 0 };
+        }
+    }
+}
+
+/// A flat arena of equally-sized truth tables packed into one contiguous
+/// word buffer.
+///
+/// Exhaustive circuit simulation needs one table per node; allocating each
+/// as an individual [`TruthTable`] costs a heap allocation per node and
+/// scatters the tables across memory. The arena instead makes a **single**
+/// allocation for all slots up front and provides fused, complement-aware
+/// bitwise operations between slots, so a whole-circuit simulation runs
+/// with O(1) heap traffic and linear memory access.
+///
+/// Slots are addressed by index in `0..n_slots`; all slots share the same
+/// variable count. Binary operations take the complement of each operand
+/// as a flag, which removes the temporary `not()` tables the naive
+/// evaluation style materializes.
+///
+/// # Example
+///
+/// ```
+/// use mvf_logic::{TtArena, TruthTable};
+///
+/// let mut arena = TtArena::new(3, 3);
+/// arena.write_var(0, 0);
+/// arena.write_var(1, 1);
+/// // slot2 = ¬slot0 ∧ slot1
+/// arena.and2(2, 0, true, 1, false);
+/// let expect = TruthTable::var(0, 3).not().and(&TruthTable::var(1, 3));
+/// assert_eq!(arena.to_table(2), expect);
+/// ```
+#[derive(Clone)]
+pub struct TtArena {
+    n_vars: usize,
+    words_per_slot: usize,
+    tail: u64,
+    words: Vec<u64>,
+}
+
+impl TtArena {
+    /// Creates an arena of `n_slots` zeroed tables over `n_vars` variables
+    /// in one contiguous allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vars > MAX_VARS`.
+    pub fn new(n_vars: usize, n_slots: usize) -> Self {
+        TruthTable::assert_vars(n_vars);
+        let words_per_slot = TruthTable::word_count(n_vars);
+        TtArena {
+            n_vars,
+            words_per_slot,
+            tail: TruthTable::tail_mask(n_vars),
+            words: vec![0u64; words_per_slot * n_slots],
+        }
+    }
+
+    /// The number of variables of every slot.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The number of slots.
+    pub fn n_slots(&self) -> usize {
+        // `words_per_slot` is at least 1 by construction.
+        self.words.len() / self.words_per_slot
+    }
+
+    /// The number of 64-bit words backing each slot.
+    pub fn words_per_slot(&self) -> usize {
+        self.words_per_slot
+    }
+
+    /// The backing words of slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_slots`.
+    pub fn slot(&self, i: usize) -> &[u64] {
+        &self.words[i * self.words_per_slot..(i + 1) * self.words_per_slot]
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.words[i * self.words_per_slot..(i + 1) * self.words_per_slot]
+    }
+
+    /// Disjoint mutable/shared access to a destination and a source slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src`.
+    fn pair(&mut self, dst: usize, src: usize) -> (&mut [u64], &[u64]) {
+        assert_ne!(dst, src, "in-place op requires distinct slots");
+        let w = self.words_per_slot;
+        if dst < src {
+            let (lo, hi) = self.words.split_at_mut(src * w);
+            (&mut lo[dst * w..(dst + 1) * w], &hi[..w])
+        } else {
+            let (lo, hi) = self.words.split_at_mut(dst * w);
+            (&mut hi[..w], &lo[src * w..(src + 1) * w])
+        }
+    }
+
+    /// Sets slot `i` to constant 0.
+    pub fn write_zero(&mut self, i: usize) {
+        self.slot_mut(i).fill(0);
+    }
+
+    /// Sets slot `i` to constant 1.
+    pub fn write_one(&mut self, i: usize) {
+        let tail = self.tail;
+        let s = self.slot_mut(i);
+        s.fill(u64::MAX);
+        *s.last_mut().expect("at least one word") &= tail;
+    }
+
+    /// Sets slot `i` to the projection of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars`.
+    pub fn write_var(&mut self, i: usize, var: usize) {
+        let n = self.n_vars;
+        fill_var(self.slot_mut(i), var, n);
+    }
+
+    /// Copies a table into slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn write_table(&mut self, i: usize, t: &TruthTable) {
+        assert_eq!(t.n_vars(), self.n_vars, "arity mismatch");
+        self.slot_mut(i).copy_from_slice(t.words());
+    }
+
+    /// Fused binary AND with per-operand complement flags:
+    /// `dst = (a ⊕ ca) ∧ (b ⊕ cb)`.
+    ///
+    /// This is the simulation workhorse: one pass over the words, no
+    /// temporaries, and the unused tail bits restored for free. `a` and
+    /// `b` may alias each other (and `dst`, in which case the operand is
+    /// read pre-update only when `dst` equals it — pass distinct slots for
+    /// the conventional three-address form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot index is out of range.
+    pub fn and2(&mut self, dst: usize, a: usize, ca: bool, b: usize, cb: bool) {
+        let w = self.words_per_slot;
+        let ma = if ca { u64::MAX } else { 0 };
+        let mb = if cb { u64::MAX } else { 0 };
+        let (da, aa, ba) = (dst * w, a * w, b * w);
+        if dst > a && dst > b {
+            // The common topological case (destination after both
+            // operands): disjoint slices let the word loop vectorize
+            // without per-access bounds checks.
+            let (src, rest) = self.words.split_at_mut(da);
+            let d = &mut rest[..w];
+            let sa = &src[aa..aa + w];
+            let sb = &src[ba..ba + w];
+            for k in 0..w {
+                d[k] = (sa[k] ^ ma) & (sb[k] ^ mb);
+            }
+        } else {
+            assert!(da + w <= self.words.len(), "slot {dst} out of range");
+            for k in 0..w {
+                let x = (self.words[aa + k] ^ ma) & (self.words[ba + k] ^ mb);
+                self.words[da + k] = x;
+            }
+        }
+        self.words[da + w - 1] &= self.tail;
+    }
+
+    /// In-place complement-aware AND: `dst &= (src ⊕ compl)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src` or a slot index is out of range.
+    pub fn and_in_place(&mut self, dst: usize, src: usize, compl: bool) {
+        let m = if compl { u64::MAX } else { 0 };
+        let tail = self.tail;
+        let (d, s) = self.pair(dst, src);
+        for (x, y) in d.iter_mut().zip(s) {
+            *x &= *y ^ m;
+        }
+        *d.last_mut().expect("at least one word") &= tail;
+    }
+
+    /// In-place OR: `dst |= src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src` or a slot index is out of range.
+    pub fn or_in_place(&mut self, dst: usize, src: usize) {
+        let (d, s) = self.pair(dst, src);
+        for (x, y) in d.iter_mut().zip(s) {
+            *x |= *y;
+        }
+    }
+
+    /// Copies slot `src` into `dst`, complementing when `compl` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src` or a slot index is out of range.
+    pub fn copy(&mut self, dst: usize, src: usize, compl: bool) {
+        let m = if compl { u64::MAX } else { 0 };
+        let tail = self.tail;
+        let (d, s) = self.pair(dst, src);
+        for (x, y) in d.iter_mut().zip(s) {
+            *x = *y ^ m;
+        }
+        *d.last_mut().expect("at least one word") &= tail;
+    }
+
+    /// The value of slot `i` on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `m` is out of range.
+    pub fn get(&self, i: usize, m: usize) -> bool {
+        assert!(m < (1usize << self.n_vars), "minterm {m} out of range");
+        (self.slot(i)[m >> 6] >> (m & 63)) & 1 == 1
+    }
+
+    /// Extracts slot `i` as an owned [`TruthTable`].
+    pub fn to_table(&self, i: usize) -> TruthTable {
+        TruthTable {
+            n_vars: self.n_vars,
+            words: self.slot(i).to_vec(),
+        }
+    }
+
+    /// Extracts slot `i`, complemented when `compl` is set.
+    pub fn to_table_compl(&self, i: usize, compl: bool) -> TruthTable {
+        let mut t = self.to_table(i);
+        if compl {
+            t.not_assign();
+        }
+        t
+    }
+
+    /// `true` iff slots `a` and `b` hold identical tables.
+    pub fn slots_equal(&self, a: usize, b: usize) -> bool {
+        self.slot(a) == self.slot(b)
+    }
+}
+
+impl fmt::Debug for TtArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TtArena({} slots × {}v)", self.n_slots(), self.n_vars)
     }
 }
 
@@ -602,7 +998,10 @@ mod tests {
         assert_eq!(nand.cofactor(0, true), b.not());
         assert_eq!(nand.cofactor(1, false), TruthTable::one(2));
         assert_eq!(nand.cofactor(1, true), a.not());
-        assert_eq!(nand.cofactor(0, true).cofactor(1, true), TruthTable::zero(2));
+        assert_eq!(
+            nand.cofactor(0, true).cofactor(1, true),
+            TruthTable::zero(2)
+        );
     }
 
     #[test]
@@ -689,6 +1088,88 @@ mod tests {
         assert!(!z.get(0));
         assert!(o.get(0));
         assert!(o.is_one() && !o.is_zero());
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        for n in [2usize, 5, 8] {
+            let f = TruthTable::from_fn(n, |m| (m * 2654435761usize) & 0x8 != 0);
+            let g = TruthTable::from_fn(n, |m| (m * 40503) & 0x4 != 0);
+            let mut t = f.clone();
+            t.and_assign(&g);
+            assert_eq!(t, f.and(&g), "and n={n}");
+            let mut t = f.clone();
+            t.or_assign(&g);
+            assert_eq!(t, f.or(&g), "or n={n}");
+            let mut t = f.clone();
+            t.xor_assign(&g);
+            assert_eq!(t, f.xor(&g), "xor n={n}");
+            let mut t = f.clone();
+            t.not_assign();
+            assert_eq!(t, f.not(), "not n={n}");
+            t.not_assign();
+            assert_eq!(t, f, "double complement restores, tail bits clean");
+            let mut t = f.clone();
+            t.and_not_assign(&g);
+            assert_eq!(t, f.and_not(&g), "and_not n={n}");
+            let mut dst = TruthTable::zero(0);
+            TruthTable::and_into(&mut dst, &f, &g);
+            assert_eq!(dst, f.and(&g), "and_into n={n}");
+            TruthTable::and_not_into(&mut dst, &f, &g);
+            assert_eq!(dst, f.and_not(&g), "and_not_into n={n}");
+        }
+    }
+
+    #[test]
+    fn arena_ops_match_table_ops() {
+        for n in [0usize, 3, 6, 7, 9] {
+            let mut arena = TtArena::new(n, 6);
+            arena.write_one(0);
+            assert!(arena.to_table(0).is_one(), "one n={n}");
+            arena.write_zero(0);
+            assert!(arena.to_table(0).is_zero(), "zero n={n}");
+            if n >= 2 {
+                arena.write_var(0, 0);
+                arena.write_var(1, n - 1);
+                let a = TruthTable::var(0, n);
+                let b = TruthTable::var(n - 1, n);
+                assert_eq!(arena.to_table(0), a);
+                assert_eq!(arena.to_table(1), b);
+                for (ca, cb) in [(false, false), (true, false), (false, true), (true, true)] {
+                    arena.and2(2, 0, ca, 1, cb);
+                    let want = (if ca { a.not() } else { a.clone() }).and(&if cb {
+                        b.not()
+                    } else {
+                        b.clone()
+                    });
+                    assert_eq!(arena.to_table(2), want, "and2 n={n} ca={ca} cb={cb}");
+                    assert_eq!(arena.to_table_compl(2, true), want.not());
+                }
+                // In-place ops against slot 0.
+                arena.write_one(3);
+                arena.and_in_place(3, 0, true);
+                assert_eq!(arena.to_table(3), a.not(), "and_in_place");
+                arena.or_in_place(3, 0);
+                assert!(arena.to_table(3).is_one(), "or_in_place");
+                arena.copy(4, 1, true);
+                assert_eq!(arena.to_table(4), b.not(), "copy complemented");
+                assert!(!arena.slots_equal(4, 1));
+                arena.copy(5, 1, false);
+                assert!(arena.slots_equal(5, 1));
+                for m in 0..(1usize << n) {
+                    assert_eq!(arena.get(1, m), b.get(m), "get n={n} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_single_allocation_layout() {
+        let arena = TtArena::new(9, 10);
+        assert_eq!(arena.n_slots(), 10);
+        assert_eq!(arena.words_per_slot(), 8);
+        assert_eq!(arena.n_vars(), 9);
+        assert_eq!(arena.slot(3).len(), 8);
     }
 
     #[test]

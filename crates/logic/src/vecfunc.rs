@@ -141,7 +141,10 @@ impl VectorFunction {
             .iter()
             .map(|t| t.permute(perm))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(VectorFunction { n_inputs: self.n_inputs, outputs })
+        Ok(VectorFunction {
+            n_inputs: self.n_inputs,
+            outputs,
+        })
     }
 
     /// Applies an output-pin permutation: output `i` of `self` appears at
@@ -167,14 +170,22 @@ impl VectorFunction {
         }
         Ok(VectorFunction {
             n_inputs: self.n_inputs,
-            outputs: new_outputs.into_iter().map(|o| o.expect("filled")).collect(),
+            outputs: new_outputs
+                .into_iter()
+                .map(|o| o.expect("filled"))
+                .collect(),
         })
     }
 }
 
 impl fmt::Debug for VectorFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VectorFunction({}→{})", self.n_inputs, self.outputs.len())
+        write!(
+            f,
+            "VectorFunction({}→{})",
+            self.n_inputs,
+            self.outputs.len()
+        )
     }
 }
 

@@ -59,7 +59,10 @@ impl fmt::Display for MergeError {
             }
             MergeError::BadAssignment => write!(f, "pin assignment is not a permutation"),
             MergeError::Mismatch { function, output } => {
-                write!(f, "merged circuit disagrees with function {function} output {output}")
+                write!(
+                    f,
+                    "merged circuit disagrees with function {function} output {output}"
+                )
             }
         }
     }
@@ -97,8 +100,7 @@ impl PinAssignment {
 
     /// Validates shape against a function list.
     fn check(&self, functions: &[VectorFunction]) -> Result<(), MergeError> {
-        if self.input_perms.len() != functions.len() || self.output_perms.len() != functions.len()
-        {
+        if self.input_perms.len() != functions.len() || self.output_perms.len() != functions.len() {
             return Err(MergeError::BadAssignment);
         }
         for (f, (ip, op)) in functions
@@ -162,7 +164,10 @@ impl MergedCircuit {
                 }
                 let t = t.project(&(0..self.n_data_inputs).collect::<Vec<_>>());
                 if &t != expect {
-                    return Err(MergeError::Mismatch { function: j, output: o });
+                    return Err(MergeError::Mismatch {
+                        function: j,
+                        output: o,
+                    });
                 }
             }
         }
@@ -306,18 +311,30 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         assert_eq!(
-            build_merged(&[], &PinAssignment { input_perms: vec![], output_perms: vec![] })
-                .unwrap_err(),
+            build_merged(
+                &[],
+                &PinAssignment {
+                    input_perms: vec![],
+                    output_perms: vec![]
+                }
+            )
+            .unwrap_err(),
             MergeError::NoFunctions
         );
         let funcs = vec![present_sbox(), des_sboxes()[0].clone()];
         let a = PinAssignment::identity(&funcs);
-        assert_eq!(build_merged(&funcs, &a).unwrap_err(), MergeError::ShapeMismatch);
+        assert_eq!(
+            build_merged(&funcs, &a).unwrap_err(),
+            MergeError::ShapeMismatch
+        );
 
         let funcs = optimal_sboxes()[..2].to_vec();
         let mut a = PinAssignment::identity(&funcs);
         a.input_perms[0] = vec![0, 0, 1, 2];
-        assert_eq!(build_merged(&funcs, &a).unwrap_err(), MergeError::BadAssignment);
+        assert_eq!(
+            build_merged(&funcs, &a).unwrap_err(),
+            MergeError::BadAssignment
+        );
     }
 
     #[test]

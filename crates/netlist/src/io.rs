@@ -34,8 +34,11 @@ pub fn to_blif(nl: &Netlist, lib: &Library, camo: Option<&CamoLibrary>) -> Strin
                 (cell.nominal().clone(), format!("camo-{}", cell.name()))
             }
         };
-        let mut nets: Vec<String> =
-            c.inputs.iter().map(|&n| nl.net_name(n).to_string()).collect();
+        let mut nets: Vec<String> = c
+            .inputs
+            .iter()
+            .map(|&n| nl.net_name(n).to_string())
+            .collect();
         nets.push(nl.net_name(c.output).to_string());
         writeln!(s, "# {} {}", name, c.name).expect("write to string");
         writeln!(s, ".names {}", nets.join(" ")).expect("write to string");
@@ -108,7 +111,9 @@ pub fn from_blif(text: &str) -> Result<BlifModel, String> {
             Some(".outputs") => outputs.extend(tok.map(str::to_string)),
             Some(".names") => {
                 let mut nets: Vec<String> = tok.map(str::to_string).collect();
-                let out = nets.pop().ok_or_else(|| ".names with no nets".to_string())?;
+                let out = nets
+                    .pop()
+                    .ok_or_else(|| ".names with no nets".to_string())?;
                 let mut rows = Vec::new();
                 while let Some(next) = lines.peek() {
                     let t = next.trim();
@@ -169,7 +174,12 @@ pub fn from_blif(text: &str) -> Result<BlifModel, String> {
             Ok((nets, out, tt))
         })
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(BlifModel { name, inputs, outputs, tables })
+    Ok(BlifModel {
+        name,
+        inputs,
+        outputs,
+        tables,
+    })
 }
 
 /// Renders the netlist as structural Verilog (gate-level instantiations).
@@ -203,21 +213,39 @@ pub fn to_verilog(nl: &Netlist, lib: &Library, camo: Option<&CamoLibrary>) -> St
         let cell_name = match c.cell {
             CellRef::Std(id) => lib.cell(id).name().to_string(),
             CellRef::Camo(id) => {
-                format!("CAMO_{}", camo.expect("camo library required").cell(id).name())
+                format!(
+                    "CAMO_{}",
+                    camo.expect("camo library required").cell(id).name()
+                )
             }
         };
         let mut pins: Vec<String> = Vec::new();
         for (i, &n) in c.inputs.iter().enumerate() {
-            pins.push(format!(".{}({})", (b'A' + i as u8) as char, sanitize(nl.net_name(n))));
+            pins.push(format!(
+                ".{}({})",
+                (b'A' + i as u8) as char,
+                sanitize(nl.net_name(n))
+            ));
         }
         pins.push(format!(".Y({})", sanitize(nl.net_name(c.output))));
-        writeln!(s, "  {} {} ({});", cell_name, sanitize(&c.name), pins.join(", "))
-            .expect("write to string");
+        writeln!(
+            s,
+            "  {} {} ({});",
+            cell_name,
+            sanitize(&c.name),
+            pins.join(", ")
+        )
+        .expect("write to string");
     }
     for (name, net) in nl.outputs() {
         if nl.net_name(*net) != name {
-            writeln!(s, "  assign {} = {};", sanitize(name), sanitize(nl.net_name(*net)))
-                .expect("write to string");
+            writeln!(
+                s,
+                "  assign {} = {};",
+                sanitize(name),
+                sanitize(nl.net_name(*net))
+            )
+            .expect("write to string");
         }
     }
     writeln!(s, "endmodule").expect("write to string");
@@ -244,8 +272,7 @@ pub fn to_dot(nl: &Netlist, lib: &Library, camo: Option<&CamoLibrary>) -> String
                 camo.expect("camo library required").cell(id).name()
             ),
         };
-        writeln!(s, "  \"{}\" [shape=box,label=\"{}\"];", c.name, label)
-            .expect("write to string");
+        writeln!(s, "  \"{}\" [shape=box,label=\"{}\"];", c.name, label).expect("write to string");
         net_source.insert(c.output.0, c.name.clone());
     }
     for (_, c) in nl.cells() {

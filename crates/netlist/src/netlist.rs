@@ -88,7 +88,11 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::UndrivenNet(n) => write!(f, "net {n} is used but never driven"),
-            NetlistError::ArityMismatch { cell, expected, got } => {
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                got,
+            } => {
                 write!(f, "cell {cell} expects {expected} inputs, got {got}")
             }
             NetlistError::CombinationalCycle => write!(f, "combinational cycle detected"),
@@ -131,7 +135,10 @@ impl Netlist {
     /// Adds a primary input and returns its net.
     pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
         let id = NetId(self.nets.len() as u32);
-        self.nets.push(Net { name: name.into(), driver: Driver::Input(self.inputs.len()) });
+        self.nets.push(Net {
+            name: name.into(),
+            driver: Driver::Input(self.inputs.len()),
+        });
         self.inputs.push(id);
         id
     }
@@ -147,8 +154,16 @@ impl Netlist {
         let name = name.into();
         let out = NetId(self.nets.len() as u32);
         let cid = CellId(self.cells.len() as u32);
-        self.nets.push(Net { name: format!("{name}_y"), driver: Driver::Cell(cid) });
-        self.cells.push(Instance { name, cell, inputs, output: out });
+        self.nets.push(Net {
+            name: format!("{name}_y"),
+            driver: Driver::Cell(cid),
+        });
+        self.cells.push(Instance {
+            name,
+            cell,
+            inputs,
+            output: out,
+        });
         (cid, out)
     }
 
@@ -302,17 +317,20 @@ impl Netlist {
             .iter()
             .map(|c| match c.cell {
                 CellRef::Std(id) => lib.cell(id).area_ge(),
-                CellRef::Camo(id) => {
-                    camo.expect("camo library required for camouflaged netlist")
-                        .cell(id)
-                        .area_ge()
-                }
+                CellRef::Camo(id) => camo
+                    .expect("camo library required for camouflaged netlist")
+                    .cell(id)
+                    .area_ge(),
             })
             .sum()
     }
 
     /// Per-cell-name instance histogram, useful for reports.
-    pub fn cell_histogram(&self, lib: &Library, camo: Option<&CamoLibrary>) -> Vec<(String, usize)> {
+    pub fn cell_histogram(
+        &self,
+        lib: &Library,
+        camo: Option<&CamoLibrary>,
+    ) -> Vec<(String, usize)> {
         let mut map: HashMap<String, usize> = HashMap::new();
         for c in &self.cells {
             let name = match c.cell {
@@ -422,8 +440,7 @@ mod tests {
         let lib = lib();
         let nl = xor_netlist(&lib);
         let order = nl.topo_cells();
-        let pos: HashMap<CellId, usize> =
-            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let pos: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         for (id, c) in nl.cells() {
             for &n in &c.inputs {
                 if let Some(d) = nl.driver(n) {
@@ -456,7 +473,11 @@ mod tests {
         nl.add_output("y", y);
         assert!(matches!(
             nl.check(&lib),
-            Err(NetlistError::ArityMismatch { expected: 2, got: 1, .. })
+            Err(NetlistError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -479,7 +500,10 @@ mod tests {
     fn histogram_counts_cells() {
         let lib = lib();
         let nl = xor_netlist(&lib);
-        assert_eq!(nl.cell_histogram(&lib, None), vec![("NAND2".to_string(), 4)]);
+        assert_eq!(
+            nl.cell_histogram(&lib, None),
+            vec![("NAND2".to_string(), 4)]
+        );
     }
 
     #[test]

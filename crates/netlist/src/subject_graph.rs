@@ -129,7 +129,11 @@ mod tests {
         let lib = Library::standard();
         let nl = from_aig(&aig, &lib);
         let hist = nl.cell_histogram(&lib, None);
-        let invs = hist.iter().find(|(n, _)| n == "INV").map(|(_, c)| *c).unwrap_or(0);
+        let invs = hist
+            .iter()
+            .find(|(n, _)| n == "INV")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
         assert_eq!(invs, 2, "¬a shared, ¬b single: exactly 2 inverters");
     }
 

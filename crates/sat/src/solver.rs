@@ -37,7 +37,10 @@ pub struct Solver {
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
-        Solver { act_inc: 1.0, ..Default::default() }
+        Solver {
+            act_inc: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Allocates a fresh variable.
@@ -95,9 +98,7 @@ impl Solver {
         match c.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(c[0], INVALID) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(c[0], INVALID) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -177,7 +178,7 @@ impl Solver {
                 // Unit or conflicting.
                 if !self.enqueue(w0, ci) {
                     // Conflict: restore remaining watchers.
-                    self.watches[falsified.code()].extend(watchers.drain(..));
+                    self.watches[falsified.code()].append(&mut watchers);
                     self.qhead = self.trail.len();
                     return Some(ci);
                 }
@@ -270,7 +271,7 @@ impl Solver {
         for v in 0..self.n_vars() {
             if self.assign[v].is_none() {
                 let a = self.activity[v];
-                if best.map_or(true, |(_, ba)| a > ba) {
+                if best.is_none_or(|(_, ba)| a > ba) {
                     best = Some((v, a));
                 }
             }
@@ -473,7 +474,11 @@ mod tests {
                 for _ in 0..3 {
                     let v = (next() % n_vars as u64) as u32;
                     let neg = next() & 1 == 1;
-                    c.push(if neg { Lit::neg(Var(v)) } else { Lit::pos(Var(v)) });
+                    c.push(if neg {
+                        Lit::neg(Var(v))
+                    } else {
+                        Lit::pos(Var(v))
+                    });
                 }
                 clauses.push(c);
             }
@@ -499,8 +504,8 @@ mod tests {
                 // Model must satisfy all clauses.
                 for c in &clauses {
                     assert!(
-                        c.iter().any(|l| s.value(l.var()).expect("assigned")
-                            != l.is_negative()),
+                        c.iter()
+                            .any(|l| s.value(l.var()).expect("assigned") != l.is_negative()),
                         "model violates {c:?}"
                     );
                 }

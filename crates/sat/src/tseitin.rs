@@ -103,7 +103,11 @@ pub fn encode_netlist(nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> Circui
                 .collect(),
         );
     }
-    CircuitCnf { solver, config_vars, row_outputs }
+    CircuitCnf {
+        solver,
+        config_vars,
+        row_outputs,
+    }
 }
 
 /// Encodes `guard → (y ↔ f(pins))` row by row of `f`'s truth table.

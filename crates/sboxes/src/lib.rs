@@ -33,8 +33,9 @@ pub mod properties;
 use mvf_logic::VectorFunction;
 
 /// The PRESENT block-cipher S-box (Bogdanov et al., CHES 2007).
-pub const PRESENT_TABLE: [u16; 16] =
-    [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2];
+pub const PRESENT_TABLE: [u16; 16] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+];
 
 /// The 16 optimal 4-bit S-box class representatives G0…G15 of Leander and
 /// Poschmann (WAIFI 2007), transcribed from Table 6 of that paper.
@@ -187,7 +188,11 @@ mod tests {
         // Leander–Poschmann optimality: Lin(S) = 8 and Diff(S) = 4.
         for (i, s) in optimal_sboxes().iter().enumerate() {
             assert_eq!(linearity(s), 8, "G{i} linearity");
-            assert_eq!(differential_uniformity(s), 4, "G{i} differential uniformity");
+            assert_eq!(
+                differential_uniformity(s),
+                4,
+                "G{i} differential uniformity"
+            );
         }
     }
 
@@ -220,7 +225,11 @@ mod tests {
             for m in 0..64 {
                 counts[s.eval(m) as usize] += 1;
             }
-            assert!(counts.iter().all(|&c| c == 4), "S{} unbalanced: {counts:?}", i + 1);
+            assert!(
+                counts.iter().all(|&c| c == 4),
+                "S{} unbalanced: {counts:?}",
+                i + 1
+            );
         }
     }
 

@@ -17,7 +17,7 @@ pub fn walsh_coefficient(s: &VectorFunction, a: u32, b: u32) -> i32 {
     for x in 0..(1usize << s.n_inputs()) {
         let ax = (a & x as u32).count_ones();
         let bs = (b & s.eval(x) as u32).count_ones();
-        if (ax + bs) % 2 == 0 {
+        if (ax + bs).is_multiple_of(2) {
             sum += 1;
         } else {
             sum -= 1;

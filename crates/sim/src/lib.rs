@@ -40,8 +40,8 @@ use std::error::Error;
 use std::fmt;
 
 use mvf_cells::{CamoLibrary, Library};
-use mvf_logic::{TruthTable, VectorFunction};
-use mvf_netlist::{CellId, CellRef, NetId, Netlist};
+use mvf_logic::{TruthTable, TtArena, VectorFunction};
+use mvf_netlist::{CellId, CellRef, Netlist};
 use mvf_techmap::CamoMappedCircuit;
 
 /// Validation failures.
@@ -76,7 +76,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "bound function for cell {cell:?} is not plausible")
             }
             ValidationError::FunctionMismatch { function, output } => {
-                write!(f, "circuit disagrees with viable function {function} on output {output}")
+                write!(
+                    f,
+                    "circuit disagrees with viable function {function} on output {output}"
+                )
             }
             ValidationError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
         }
@@ -91,36 +94,42 @@ fn eval_internal(
     bind: &dyn Fn(CellId) -> Option<TruthTable>,
 ) -> Vec<TruthTable> {
     let n = nl.inputs().len();
-    let mut env: HashMap<NetId, TruthTable> = HashMap::new();
+    // One flat arena slot per net, plus one scratch slot for the product
+    // terms: the whole evaluation performs O(1) heap allocations.
+    let scratch = nl.n_nets();
+    let mut arena = TtArena::new(n, scratch + 1);
     for (i, &pi) in nl.inputs().iter().enumerate() {
-        env.insert(pi, TruthTable::var(i, n));
+        arena.write_var(pi.0 as usize, i);
     }
     for cid in nl.topo_cells() {
         let c = nl.cell(cid);
-        let f = match c.cell {
-            CellRef::Std(id) => lib.cell(id).function().clone(),
-            CellRef::Camo(_) => bind(cid).expect("camouflaged cell must be bound"),
+        let bound;
+        let f: &TruthTable = match c.cell {
+            CellRef::Std(id) => lib.cell(id).function(),
+            CellRef::Camo(_) => {
+                bound = bind(cid).expect("camouflaged cell must be bound");
+                &bound
+            }
         };
-        let pin_tts: Vec<TruthTable> = c.inputs.iter().map(|p| env[p].clone()).collect();
-        env.insert(c.output, compose(&f, &pin_tts, n));
-    }
-    nl.outputs().iter().map(|(_, net)| env[net].clone()).collect()
-}
-
-/// Substitutes pin functions into a cell function.
-fn compose(f: &TruthTable, pin_tts: &[TruthTable], n_vars: usize) -> TruthTable {
-    let mut acc = TruthTable::zero(n_vars);
-    for m in 0..f.n_minterms() {
-        if !f.get(m) {
-            continue;
+        // Shannon sum of the cell's on-set minterms over the pin tables:
+        // out = Σ_m f(m) · Π_i (pin_i ⊕ ¬m_i), built with in-place ops.
+        let out = c.output.0 as usize;
+        arena.write_zero(out);
+        for m in 0..f.n_minterms() {
+            if !f.get(m) {
+                continue;
+            }
+            arena.write_one(scratch);
+            for (i, p) in c.inputs.iter().enumerate() {
+                arena.and_in_place(scratch, p.0 as usize, m & (1 << i) == 0);
+            }
+            arena.or_in_place(out, scratch);
         }
-        let mut term = TruthTable::one(n_vars);
-        for (i, t) in pin_tts.iter().enumerate() {
-            term = if m & (1 << i) != 0 { term.and(t) } else { term.and(&t.not()) };
-        }
-        acc = acc.or(&term);
     }
-    acc
+    nl.outputs()
+        .iter()
+        .map(|(_, net)| arena.to_table(net.0 as usize))
+        .collect()
 }
 
 /// Exhaustively evaluates a standard-cell netlist: one truth table per
@@ -151,7 +160,9 @@ pub fn eval_camo_netlist(
     // Pre-validate bindings.
     for (cid, c) in nl.cells() {
         if let CellRef::Camo(id) = c.cell {
-            let f = config.get(&cid).ok_or(ValidationError::MissingBinding(cid))?;
+            let f = config
+                .get(&cid)
+                .ok_or(ValidationError::MissingBinding(cid))?;
             if !camo.cell(id).is_plausible(f) {
                 return Err(ValidationError::NotPlausible { cell: cid });
             }
@@ -197,7 +208,10 @@ pub fn validate_mapped(
         let outs = eval_camo_netlist(nl, lib, camo, &config)?;
         for (o, got) in outs.iter().enumerate() {
             if got != f.output(o) {
-                return Err(ValidationError::FunctionMismatch { function: j, output: o });
+                return Err(ValidationError::FunctionMismatch {
+                    function: j,
+                    output: o,
+                });
             }
         }
     }

@@ -146,7 +146,11 @@ pub fn map_camouflage(
         if k == 0 {
             if required.len() == 1 {
                 // Fixed constant: a tie cell.
-                let kind = if required[0].is_one() { CellKind::Tie1 } else { CellKind::Tie0 };
+                let kind = if required[0].is_one() {
+                    CellKind::Tie1
+                } else {
+                    CellKind::Tie0
+                };
                 let id = lib.cell_by_kind(kind).expect("tie cells present");
                 return Some(Match {
                     cell: CellRef::Std(id),
@@ -229,8 +233,7 @@ pub fn map_camouflage(
     };
 
     let (choices, _) = engine.cover(matcher)?;
-    let (netlist, raw_witnesses) =
-        engine.emit(&choices, true, &format!("{}_camo", subject.name()));
+    let (netlist, raw_witnesses) = engine.emit(&choices, true, &format!("{}_camo", subject.name()));
     let witness = CamoWitness {
         cells: raw_witnesses
             .into_iter()
@@ -313,8 +316,8 @@ mod tests {
     #[test]
     fn camo_mapping_is_smaller_than_keeping_selects() {
         let (subject, lib, camo) = mux_subject();
-        let plain = crate::map_standard(&subject, &lib, &crate::MapOptions::default())
-            .expect("mappable");
+        let plain =
+            crate::map_standard(&subject, &lib, &crate::MapOptions::default()).expect("mappable");
         let mapped = map_camouflage(&subject, &lib, &camo, &[2], &CamoMapOptions::default())
             .expect("mappable");
         assert!(

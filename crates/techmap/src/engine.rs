@@ -147,17 +147,6 @@ impl<'a> Engine<'a> {
         self.nl.driver(net)
     }
 
-    /// `true` iff the cell is a tree root: drives a multi-fanout net or a
-    /// primary output, and is not a tie cell.
-    pub fn is_root(&self, cell: CellId) -> bool {
-        let out = self.nl.cell(cell).output;
-        if self.const_nets.contains_key(&out) {
-            return false;
-        }
-        self.fanouts[out.0 as usize] != 1
-            || self.nl.outputs().iter().any(|(_, n)| *n == out)
-    }
-
     /// Enumerates the leaf sets of candidate subtrees rooted at `cell`.
     fn leaf_sets(&self, cell: CellId) -> Vec<Vec<NetId>> {
         // Recursively expand; a "leaf set" is the ordered list of distinct
@@ -267,7 +256,11 @@ impl<'a> Engine<'a> {
             }
             funcs.push(g.project(&data_vars));
         }
-        Subtree { data_leaves, select_leaves, funcs_by_assign: funcs }
+        Subtree {
+            data_leaves,
+            select_leaves,
+            funcs_by_assign: funcs,
+        }
     }
 
     /// Evaluates the function of `root`'s output over the environment
@@ -326,16 +319,16 @@ impl<'a> Engine<'a> {
                 let chosen_leaves = m.override_leaves.unwrap_or_else(|| st.data_leaves.clone());
                 for &leaf in &st.data_leaves {
                     if let Some(d) = self.nl.driver(leaf) {
-                        if !self.const_nets.contains_key(&leaf) {
-                            if self.fanouts[leaf.0 as usize] == 1 {
-                                cost += costs.get(&d).copied().unwrap_or(f64::INFINITY);
-                            }
-                            // Multi-fanout leaves are tree inputs: their
-                            // cost is paid once at their own root.
+                        if !self.const_nets.contains_key(&leaf)
+                            && self.fanouts[leaf.0 as usize] == 1
+                        {
+                            cost += costs.get(&d).copied().unwrap_or(f64::INFINITY);
                         }
+                        // Multi-fanout leaves are tree inputs: their
+                        // cost is paid once at their own root.
                     }
                 }
-                if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
                     best = Some((
                         cost,
                         Choice {
@@ -349,7 +342,9 @@ impl<'a> Engine<'a> {
                 }
             }
             let Some((cost, choice)) = best else {
-                return Err(MapError::NoMatch { cell: self.nl.cell(cell).name.clone() });
+                return Err(MapError::NoMatch {
+                    cell: self.nl.cell(cell).name.clone(),
+                });
             };
             costs.insert(cell, cost);
             choices.insert(cell, choice);
@@ -402,7 +397,11 @@ impl<'a> Engine<'a> {
                     net_map.insert(net, t);
                     return t;
                 }
-                let kind = if v { mvf_cells::CellKind::Tie1 } else { mvf_cells::CellKind::Tie0 };
+                let kind = if v {
+                    mvf_cells::CellKind::Tie1
+                } else {
+                    mvf_cells::CellKind::Tie0
+                };
                 let id = eng.lib.cell_by_kind(kind).expect("tie cells in library");
                 let (_, t) = out.add_cell(format!("tie{}", v as u8), CellRef::Std(id), vec![]);
                 tie_map.insert(v, t);
@@ -427,18 +426,22 @@ impl<'a> Engine<'a> {
             // Pin order: leaf v goes to pin pin_perm[v].
             let n_pins = match choice.cell {
                 CellRef::Std(id) => eng.lib.cell(id).n_inputs(),
-                CellRef::Camo(id) => {
-                    eng.camo.expect("camo library present").cell(id).n_inputs()
-                }
+                CellRef::Camo(id) => eng.camo.expect("camo library present").cell(id).n_inputs(),
             };
             let mut pins = vec![NetId(u32::MAX); n_pins];
             for (v, &leaf) in mapped_leaves.iter().enumerate() {
                 pins[choice.pin_perm[v]] = leaf;
             }
             // Unused pins (possible only for the camouflaged-constant
-            // trick) are tied to the first mapped leaf or an input.
+            // trick) are tied to the first mapped leaf or, failing that,
+            // the lowest already-emitted net — a deterministic choice, so
+            // repeated runs emit identical netlists.
             let filler = mapped_leaves.first().copied().unwrap_or_else(|| {
-                *net_map.values().next().expect("at least one net")
+                net_map
+                    .values()
+                    .copied()
+                    .min_by_key(|n| n.0)
+                    .expect("at least one net")
             });
             for p in pins.iter_mut() {
                 if p.0 == u32::MAX {
@@ -488,7 +491,11 @@ pub(crate) fn compose(f: &TruthTable, pin_tts: &[TruthTable], n_vars: usize) -> 
         }
         let mut term = TruthTable::one(n_vars);
         for (i, t) in pin_tts.iter().enumerate() {
-            term = if m & (1 << i) != 0 { term.and(t) } else { term.and(&t.not()) };
+            term = if m & (1 << i) != 0 {
+                term.and(t)
+            } else {
+                term.and(&t.not())
+            };
         }
         acc = acc.or(&term);
     }

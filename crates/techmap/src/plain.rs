@@ -24,7 +24,10 @@ impl Default for MapOptions {
         // Depth 5 lets an OR4 (inverter fringe + AND tree + inverter) be
         // recognized from AND2/INV granularity; 4 leaves matches the
         // widest library cells.
-        MapOptions { max_depth: 5, max_leaves: 4 }
+        MapOptions {
+            max_depth: 5,
+            max_leaves: 4,
+        }
     }
 }
 
@@ -125,7 +128,10 @@ mod tests {
         let (mapped, lib) = map_aig(&aig);
         assert_eq!(mapped.n_cells(), 1);
         assert_eq!(mapped.area_ge(&lib, None), 1.0);
-        assert_eq!(mapped.cell_histogram(&lib, None), vec![("NAND2".to_string(), 1)]);
+        assert_eq!(
+            mapped.cell_histogram(&lib, None),
+            vec![("NAND2".to_string(), 1)]
+        );
     }
 
     #[test]
@@ -150,7 +156,11 @@ mod tests {
         let f = aig.and_many(&lits);
         aig.add_output("y", f);
         let (mapped, lib) = map_aig(&aig);
-        assert_eq!(mapped.area_ge(&lib, None), 2.0, "AND4 = 2.0 GE beats 3 AND2");
+        assert_eq!(
+            mapped.area_ge(&lib, None),
+            2.0,
+            "AND4 = 2.0 GE beats 3 AND2"
+        );
     }
 
     #[test]

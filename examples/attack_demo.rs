@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let p = is_plausible(&baseline, &lib, &camo, f);
         println!(
             "  G{j} plausible? {}",
-            if p { "yes" } else { "NO  → adversary rules it out" }
+            if p {
+                "yes"
+            } else {
+                "NO  → adversary rules it out"
+            }
         );
     }
 
@@ -54,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         all &= p;
         println!("  G{j} plausible? {}", if p { "yes" } else { "NO (bug!)" });
     }
-    assert!(all, "the designed circuit must keep every viable function plausible");
+    assert!(
+        all,
+        "the designed circuit must keep every viable function plausible"
+    );
     println!("\nThe adversary cannot rule out any viable function. ✓");
     Ok(())
 }

@@ -35,7 +35,12 @@ fn main() {
     println!("\nPlausible-set sizes across the camouflaged library:");
     println!("{:<8} {:>7} {:>16}", "cell", "pins", "plausible fns");
     for (_, cell) in camo.iter() {
-        println!("{:<8} {:>7} {:>16}", cell.name(), cell.n_inputs(), cell.plausible().len());
+        println!(
+            "{:<8} {:>7} {:>16}",
+            cell.name(),
+            cell.n_inputs(),
+            cell.plausible().len()
+        );
     }
 
     // Every plausible function has a concrete doping configuration.

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = flow.run(&functions)?;
 
     println!("GA evaluations:        {}", result.evaluations);
-    println!("Synthesized area (GA): {:.1} GE", result.synthesized_area_ge);
+    println!(
+        "Synthesized area (GA): {:.1} GE",
+        result.synthesized_area_ge
+    );
     println!("Camouflaged (GA+TM):   {:.1} GE", result.mapped_area_ge);
     println!(
         "Select inputs eliminated: merged circuit had {}, mapped has {} inputs",

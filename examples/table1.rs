@@ -13,7 +13,10 @@ use mvf::{Flow, FlowConfig, Table1, Table1Row};
 use mvf_ga::GeneticAlgorithm;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

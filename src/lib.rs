@@ -1,0 +1,11 @@
+//! Workspace umbrella for the MVF reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`; the library
+//! surface simply re-exports the flow crate. Use [`mvf`] directly for
+//! real work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mvf::*;

@@ -18,7 +18,9 @@ fn synthesis_preserves_merged_semantics() {
     // And the merged contract still holds.
     let mut check = merged.clone();
     check.aig = synthesized;
-    check.check().expect("every select value realizes its function");
+    check
+        .check()
+        .expect("every select value realizes its function");
 }
 
 #[test]
@@ -55,7 +57,9 @@ fn camo_mapping_satisfies_alg1_condition_per_cell() {
     assert!(!mapped.witness.cells.is_empty());
     for w in &mapped.witness.cells {
         let inst = mapped.netlist.cell(w.cell);
-        let CellRef::Camo(id) = inst.cell else { panic!("witness on std cell") };
+        let CellRef::Camo(id) = inst.cell else {
+            panic!("witness on std cell")
+        };
         for f in &w.funcs_by_assign {
             assert!(camo.cell(id).is_plausible(f));
         }
@@ -91,7 +95,11 @@ fn mapped_netlist_blif_roundtrip() {
             let mut term = mvf_logic::TruthTable::one(n);
             for (i, pin) in ins.iter().enumerate() {
                 let t = env[pin].clone();
-                term = if m & (1 << i) != 0 { term.and(&t) } else { term.and(&t.not()) };
+                term = if m & (1 << i) != 0 {
+                    term.and(&t)
+                } else {
+                    term.and(&t.not())
+                };
             }
             acc = acc.or(&term);
         }

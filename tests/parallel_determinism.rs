@@ -1,0 +1,80 @@
+//! Cross-crate determinism: running the full flow with parallel GA
+//! fitness evaluation must be **bit-identical** to the serial run for a
+//! fixed seed — same `GenStats` history, same winning pin assignment,
+//! same areas. This is the contract that makes the `parallel` feature
+//! safe to enable unconditionally.
+
+use mvf::{Flow, FlowConfig, FlowResult};
+use mvf_sboxes::optimal_sboxes;
+
+fn run_present2(threads: usize) -> FlowResult {
+    let mut config = FlowConfig::default();
+    config.ga.population = 6;
+    config.ga.generations = 2;
+    config.ga.seed = 0xBEEF;
+    config.ga.threads = threads;
+    let functions = optimal_sboxes()[..2].to_vec();
+    Flow::new(config).run(&functions).expect("flow succeeds")
+}
+
+#[test]
+fn parallel_flow_is_bit_identical_to_serial() {
+    let serial = run_present2(1);
+    for threads in [2, 4] {
+        let parallel = run_present2(threads);
+        assert_eq!(
+            parallel.assignment, serial.assignment,
+            "threads={threads}: best genome diverged"
+        );
+        assert_eq!(
+            parallel.evaluations, serial.evaluations,
+            "threads={threads}"
+        );
+        assert_eq!(
+            parallel.synthesized_area_ge.to_bits(),
+            serial.synthesized_area_ge.to_bits(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            parallel.mapped_area_ge.to_bits(),
+            serial.mapped_area_ge.to_bits(),
+            "threads={threads}"
+        );
+        assert_eq!(parallel.ga_history.len(), serial.ga_history.len());
+        for (g, (a, b)) in parallel
+            .ga_history
+            .iter()
+            .zip(&serial.ga_history)
+            .enumerate()
+        {
+            assert_eq!(
+                a.best_so_far.to_bits(),
+                b.best_so_far.to_bits(),
+                "threads={threads} gen={g}"
+            );
+            assert_eq!(
+                a.best.to_bits(),
+                b.best.to_bits(),
+                "threads={threads} gen={g}"
+            );
+            assert_eq!(
+                a.avg.to_bits(),
+                b.avg.to_bits(),
+                "threads={threads} gen={g}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_baseline_is_deterministic_across_repeats() {
+    let functions = optimal_sboxes()[..2].to_vec();
+    let flow = Flow::new(FlowConfig::default());
+    let a = flow.random_baseline(&functions, 4, 0xF00D);
+    let b = flow.random_baseline(&functions, 4, 0xF00D);
+    assert_eq!(a.best_assignment, b.best_assignment);
+    assert_eq!(a.samples.len(), b.samples.len());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

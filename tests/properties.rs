@@ -1,4 +1,4 @@
-//! Property-based tests over the core invariants:
+//! Randomized property tests over the core invariants:
 //!
 //! * synthesis scripts never change circuit functions;
 //! * plain mapping preserves semantics for arbitrary functions;
@@ -6,8 +6,13 @@
 //!   function realizable;
 //! * pin permutations round-trip;
 //! * camouflaged-cell plausible sets are closed under doping.
+//!
+//! The cases are drawn from a seeded [`StdRng`], so every run checks the
+//! same deterministic sample (no external property-testing framework is
+//! needed and failures reproduce exactly).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use mvf_aig::{build, Aig, Lit, Script};
 use mvf_cells::{CamoLibrary, Library};
@@ -16,52 +21,72 @@ use mvf_merge::{build_merged, PinAssignment};
 use mvf_netlist::subject_graph;
 use mvf_techmap::{map_camouflage, map_standard, CamoMapOptions, MapOptions};
 
-fn vecfunc_strategy(n_in: usize, n_out: usize) -> impl Strategy<Value = VectorFunction> {
-    proptest::collection::vec(0u16..(1 << n_out), 1 << n_in)
-        .prop_map(move |table| VectorFunction::from_lookup_table(n_in, n_out, &table).unwrap())
+const CASES: usize = 24;
+
+fn random_vecfunc(rng: &mut StdRng, n_in: usize, n_out: usize) -> VectorFunction {
+    let table: Vec<u16> = (0..1usize << n_in)
+        .map(|_| rng.gen_range(0..1u16 << n_out))
+        .collect();
+    VectorFunction::from_lookup_table(n_in, n_out, &table).expect("valid table")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn synthesis_preserves_random_functions(f in vecfunc_strategy(5, 3)) {
-        let mut aig = Aig::new(5);
-        let leaves: Vec<Lit> = (0..5).map(|i| aig.input(i)).collect();
-        for o in 0..3 {
-            let lit = build::tt_to_aig(&mut aig, f.output(o), &leaves);
-            aig.add_output(format!("o{o}"), lit);
-        }
-        let out = Script::standard().run(&aig);
-        prop_assert!(out.equivalent(&aig));
-        prop_assert!(out.n_ands() <= aig.n_ands());
+fn random_perm(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
     }
+    p
+}
 
-    #[test]
-    fn plain_mapping_preserves_random_functions(f in vecfunc_strategy(4, 2)) {
-        let mut aig = Aig::new(4);
-        let leaves: Vec<Lit> = (0..4).map(|i| aig.input(i)).collect();
-        for o in 0..2 {
-            let lit = build::tt_to_aig(&mut aig, f.output(o), &leaves);
-            aig.add_output(format!("o{o}"), lit);
-        }
-        let lib = Library::standard();
+fn aig_of(f: &VectorFunction, n_in: usize, n_out: usize) -> Aig {
+    let mut aig = Aig::new(n_in);
+    let leaves: Vec<Lit> = (0..n_in).map(|i| aig.input(i)).collect();
+    for o in 0..n_out {
+        let lit = build::tt_to_aig(&mut aig, f.output(o), &leaves);
+        aig.add_output(format!("o{o}"), lit);
+    }
+    aig
+}
+
+#[test]
+fn synthesis_preserves_random_functions() {
+    let mut rng = StdRng::seed_from_u64(0x51D_0001);
+    for case in 0..CASES {
+        let f = random_vecfunc(&mut rng, 5, 3);
+        let aig = aig_of(&f, 5, 3);
+        let out = Script::standard().run(&aig);
+        assert!(out.equivalent(&aig), "case {case}: function changed");
+        assert!(out.n_ands() <= aig.n_ands(), "case {case}: graph grew");
+    }
+}
+
+#[test]
+fn plain_mapping_preserves_random_functions() {
+    let mut rng = StdRng::seed_from_u64(0x51D_0002);
+    let lib = Library::standard();
+    for case in 0..CASES {
+        let f = random_vecfunc(&mut rng, 4, 2);
+        let aig = aig_of(&f, 4, 2);
         let subject = subject_graph::from_aig(&aig, &lib);
         let mapped = map_standard(&subject, &lib, &MapOptions::default()).unwrap();
         let outs = mvf_sim::eval_netlist(&mapped, &lib);
-        prop_assert_eq!(outs, aig.output_functions());
+        assert_eq!(outs, aig.output_functions(), "case {case}");
     }
+}
 
-    #[test]
-    fn camo_flow_realizes_random_function_pairs(
-        f0 in vecfunc_strategy(3, 2),
-        f1 in vecfunc_strategy(3, 2),
-    ) {
-        let functions = vec![f0, f1];
+#[test]
+fn camo_flow_realizes_random_function_pairs() {
+    let mut rng = StdRng::seed_from_u64(0x51D_0003);
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    for case in 0..CASES {
+        let functions = vec![
+            random_vecfunc(&mut rng, 3, 2),
+            random_vecfunc(&mut rng, 3, 2),
+        ];
         let merged = build_merged(&functions, &PinAssignment::identity(&functions)).unwrap();
         let synthesized = Script::fast().run(&merged.aig);
-        let lib = Library::standard();
-        let camo = CamoLibrary::from_library(&lib);
         let subject = subject_graph::from_aig(&synthesized, &lib);
         let mapped = map_camouflage(
             &subject,
@@ -69,45 +94,66 @@ proptest! {
             &camo,
             &merged.select_indices,
             &CamoMapOptions::default(),
-        ).unwrap();
-        prop_assert!(mapped.netlist.inputs().len() <= 3);
+        )
+        .unwrap();
+        assert!(mapped.netlist.inputs().len() <= 3, "case {case}");
         mvf_sim::validate_mapped(&mapped, &lib, &camo, &merged.functions)
-            .expect("every viable function realizable");
+            .unwrap_or_else(|e| panic!("case {case}: viable function lost: {e}"));
     }
+}
 
-    #[test]
-    fn input_permutation_roundtrip(
-        f in vecfunc_strategy(4, 4),
-        perm in Just((0..4usize).collect::<Vec<_>>()).prop_shuffle(),
-    ) {
+#[test]
+fn input_permutation_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x51D_0004);
+    for case in 0..CASES {
+        let f = random_vecfunc(&mut rng, 4, 4);
+        let perm = random_perm(&mut rng, 4);
         let g = f.permute_inputs(&perm).unwrap();
         let mut inv = vec![0usize; 4];
-        for (i, &p) in perm.iter().enumerate() { inv[p] = i; }
-        prop_assert_eq!(g.permute_inputs(&inv).unwrap(), f);
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        assert_eq!(
+            g.permute_inputs(&inv).unwrap(),
+            f,
+            "case {case}: perm {perm:?}"
+        );
     }
+}
 
-    #[test]
-    fn isop_exact_on_random_tables(bits in any::<u64>()) {
+#[test]
+fn isop_exact_on_random_tables() {
+    let mut rng = StdRng::seed_from_u64(0x51D_0005);
+    for case in 0..CASES {
+        let bits: u64 = rng.gen();
         let tt = TruthTable::from_word(6, bits).unwrap();
         let cover = mvf_logic::isop(&tt, &tt);
-        prop_assert_eq!(cover.to_truth_table(), tt);
+        assert_eq!(cover.to_truth_table(), tt, "case {case}: bits {bits:#x}");
     }
+}
 
-    #[test]
-    fn npn_canonical_is_class_invariant(bits in any::<u16>()) {
+#[test]
+fn npn_canonical_is_class_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x51D_0006);
+    for case in 0..CASES {
+        let bits: u16 = rng.gen();
         let f = TruthTable::from_word(4, bits as u64).unwrap();
         let (canon, t) = mvf_logic::npn::npn_canonical(&f);
-        prop_assert_eq!(t.apply(&f), canon.clone());
+        assert_eq!(
+            t.apply(&f),
+            canon,
+            "case {case}: transform must reach canon"
+        );
         // Applying any further transform keeps the canonical form.
         let g = f.flip_var(2).permute(&[3, 1, 0, 2]).unwrap().not();
-        prop_assert_eq!(mvf_logic::npn::npn_canonical(&g).0, canon);
+        assert_eq!(mvf_logic::npn::npn_canonical(&g).0, canon, "case {case}");
     }
 }
 
 #[test]
 fn camo_library_doping_closure_exhaustive() {
-    // Deterministic (non-proptest) exhaustive check: for every camouflaged
-    // cell, the image of the 3^k doping space equals the plausible set.
+    // Deterministic exhaustive check: for every camouflaged cell, the
+    // image of the 3^k doping space equals the plausible set.
     let lib = Library::standard();
     let camo = CamoLibrary::from_library(&lib);
     for (_, cell) in camo.iter() {
@@ -129,8 +175,12 @@ fn camo_library_doping_closure_exhaustive() {
                 .collect();
             image.insert(cell.config_function(&config));
         }
-        let plausible: std::collections::BTreeSet<_> =
-            cell.plausible().iter().cloned().collect();
-        assert_eq!(image, plausible, "doping image mismatch for {}", cell.name());
+        let plausible: std::collections::BTreeSet<_> = cell.plausible().iter().cloned().collect();
+        assert_eq!(
+            image,
+            plausible,
+            "doping image mismatch for {}",
+            cell.name()
+        );
     }
 }
