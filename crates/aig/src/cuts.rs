@@ -159,6 +159,20 @@ fn signature_bit(id: u32) -> u64 {
     1u64 << (id & 63)
 }
 
+/// Reusable scratch for cut-function evaluation: the cone list, the
+/// traversal stack and the truth-table [`TtArena`] keep their allocations
+/// across [`cut_function_with`] calls.
+///
+/// Synthesis passes evaluate thousands of small cones per run; a fitness
+/// loop that synthesizes one circuit per evaluation shares a single
+/// `CutScratch` across every evaluation (see `mvf::EvalContext`).
+#[derive(Debug, Default)]
+pub struct CutScratch {
+    arena: TtArena,
+    cone: Vec<u32>,
+    stack: Vec<u32>,
+}
+
 /// Enumerates up to `max_cuts` k-feasible cuts per node.
 ///
 /// The result is indexed by node id. Every node's cut list contains the
@@ -168,14 +182,31 @@ fn signature_bit(id: u32) -> u64 {
 ///
 /// Panics if `k == 0` or `k > MAX_CUT_LEAVES`.
 pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    let mut cuts = Vec::new();
+    enumerate_cuts_into(aig, k, max_cuts, &mut cuts);
+    cuts
+}
+
+/// [`enumerate_cuts`] into a caller-owned buffer: the per-node cut lists
+/// are left in `cuts` (indexed by node id) with their capacity retained
+/// across calls, so repeated enumeration performs no steady-state
+/// allocation.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > MAX_CUT_LEAVES`.
+pub fn enumerate_cuts_into(aig: &Aig, k: usize, max_cuts: usize, cuts: &mut Vec<Vec<Cut>>) {
     assert!(k > 0, "cut size must be positive");
     assert!(k <= MAX_CUT_LEAVES, "cut size {k} exceeds {MAX_CUT_LEAVES}");
     let n_nodes = aig.n_nodes();
-    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n_nodes];
+    for c in cuts.iter_mut() {
+        c.clear();
+    }
+    cuts.resize_with(n_nodes, Vec::new);
     // Constant node: single empty cut.
-    cuts[0] = vec![Cut::empty()];
+    cuts[0].push(Cut::empty());
     for i in 0..aig.n_inputs() {
-        cuts[i + 1] = vec![Cut::unit(i as u32 + 1)];
+        cuts[i + 1].push(Cut::unit(i as u32 + 1));
     }
     let mut merged: Vec<Cut> = Vec::new();
     let mut kept: Vec<Cut> = Vec::new();
@@ -215,9 +246,8 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
             }
         }
         kept.push(Cut::unit(id.0));
-        cuts[id.0 as usize] = kept.clone();
+        cuts[id.0 as usize].extend_from_slice(&kept);
     }
-    cuts
 }
 
 /// Computes the function of `root` over the cut's leaves: variable `i`
@@ -233,6 +263,22 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
 /// would reach a primary input or the constant node not in the leaves) or
 /// has more than [`mvf_logic::MAX_VARS`] leaves.
 pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[u32]) -> TruthTable {
+    cut_function_with(aig, root, leaves, &mut CutScratch::default())
+}
+
+/// [`cut_function`] evaluated inside a reusable [`CutScratch`]: the cone
+/// list, traversal stack and truth-table arena keep their allocations
+/// across calls.
+///
+/// # Panics
+///
+/// Same as [`cut_function`].
+pub fn cut_function_with(
+    aig: &Aig,
+    root: NodeId,
+    leaves: &[u32],
+    scratch: &mut CutScratch,
+) -> TruthTable {
     let k = leaves.len();
     assert!(k <= mvf_logic::MAX_VARS, "cut too wide: {k} leaves");
     if let Some(pos) = leaves.iter().position(|&l| l == root.0) {
@@ -242,8 +288,11 @@ pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[u32]) -> TruthTable {
         return TruthTable::zero(k);
     }
     // Collect the cone above the leaves.
-    let mut cone: Vec<u32> = Vec::new();
-    let mut stack = vec![root.0];
+    let cone = &mut scratch.cone;
+    let stack = &mut scratch.stack;
+    cone.clear();
+    stack.clear();
+    stack.push(root.0);
     while let Some(id) = stack.pop() {
         if id == 0 || leaves.contains(&id) || cone.contains(&id) {
             continue;
@@ -259,7 +308,8 @@ pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[u32]) -> TruthTable {
     }
     cone.sort_unstable();
     // Slot layout: 0..k leaf variables, k = constant 0, k+1.. cone nodes.
-    let mut arena = TtArena::new(k, k + 1 + cone.len());
+    let arena = &mut scratch.arena;
+    arena.reset(k, k + 1 + cone.len());
     for i in 0..k {
         arena.write_var(i, i);
     }

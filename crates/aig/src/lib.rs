@@ -46,4 +46,4 @@ mod script;
 mod simulate;
 
 pub use aig::{Aig, Lit, NodeId};
-pub use script::{Pass, Script};
+pub use script::{Pass, Script, SynthScratch};

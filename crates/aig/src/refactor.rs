@@ -6,13 +6,19 @@
 //! cone currently holds. Like [`crate::rewrite`], the pass rebuilds into a
 //! fresh graph and is monotone: the result never has more AND nodes.
 
-use crate::cuts::{cut_function, enumerate_cuts};
+use crate::cuts::{cut_function_with, enumerate_cuts_into, Cut, CutScratch};
 use crate::rewrite::{exclusive_cone_size, Recipe};
 use crate::{Aig, Lit};
 
-/// One refactoring pass with the default cut width (8).
+/// Default cut width of the refactoring pass.
+pub const DEFAULT_CUT_WIDTH: usize = 8;
+/// Default cuts-per-node cap of the refactoring pass.
+pub const DEFAULT_MAX_CUTS: usize = 4;
+
+/// One refactoring pass with the default cut width
+/// ([`DEFAULT_CUT_WIDTH`]) and cuts-per-node cap ([`DEFAULT_MAX_CUTS`]).
 pub fn refactor(aig: &Aig) -> Aig {
-    refactor_with_width(aig, 8, 4)
+    refactor_with_width(aig, DEFAULT_CUT_WIDTH, DEFAULT_MAX_CUTS)
 }
 
 /// One refactoring pass with an explicit cut width and cuts-per-node cap.
@@ -21,8 +27,30 @@ pub fn refactor(aig: &Aig) -> Aig {
 ///
 /// Panics if `k == 0` or `k > 16`.
 pub fn refactor_with_width(aig: &Aig, k: usize, max_cuts: usize) -> Aig {
+    refactor_with_scratch(
+        aig,
+        k,
+        max_cuts,
+        &mut Vec::new(),
+        &mut CutScratch::default(),
+    )
+}
+
+/// [`refactor_with_width`] with caller-owned cut buffers and evaluation
+/// scratch, for loops that refactor many graphs.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 16`.
+pub fn refactor_with_scratch(
+    aig: &Aig,
+    k: usize,
+    max_cuts: usize,
+    cuts: &mut Vec<Vec<Cut>>,
+    eval: &mut CutScratch,
+) -> Aig {
     assert!(k > 0 && k <= 16, "cut width must be in 1..=16");
-    let cuts = enumerate_cuts(aig, k, max_cuts);
+    enumerate_cuts_into(aig, k, max_cuts, cuts);
     let fanouts = aig.fanout_counts();
     let mut refs_scratch = Vec::new();
     let mut new = Aig::new(aig.n_inputs());
@@ -49,7 +77,7 @@ pub fn refactor_with_width(aig: &Aig, k: usize, max_cuts: usize) -> Aig {
             if cut.len() < 3 || cut.leaves() == [id.0] || cut.contains(0) {
                 continue;
             }
-            let mut f = cut_function(aig, id, cut.leaves());
+            let mut f = cut_function_with(aig, id, cut.leaves(), eval);
             let mut leaf_ids: Vec<u32> = cut.leaves().to_vec();
             let support = f.support();
             if support.len() < leaf_ids.len() {

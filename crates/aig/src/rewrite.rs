@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use mvf_logic::npn::{npn_canonical, NpnTransform};
 use mvf_logic::TruthTable;
 
-use crate::cuts::{cut_function, enumerate_cuts};
+use crate::cuts::{cut_function_with, enumerate_cuts_into, Cut, CutScratch};
 use crate::{build, Aig, Lit};
 
 /// A cached implementation of a canonical function: a miniature AIG over
@@ -123,7 +123,7 @@ pub(crate) fn transformed_leaves(t: &NpnTransform, actual: &[Lit]) -> (Vec<Lit>,
 /// AND nodes as the input.
 pub fn rewrite(aig: &Aig) -> Aig {
     let mut cache = RewriteCache::default();
-    rewrite_with_cache(aig, &mut cache)
+    rewrite_with_cache(aig, &mut cache, &mut Vec::new(), &mut CutScratch::default())
 }
 
 /// Number of cone nodes above `leaves` that would really be freed if
@@ -174,8 +174,13 @@ pub(crate) fn exclusive_cone_size(
     freed.len()
 }
 
-pub(crate) fn rewrite_with_cache(aig: &Aig, cache: &mut RewriteCache) -> Aig {
-    let cuts = enumerate_cuts(aig, 4, 8);
+pub(crate) fn rewrite_with_cache(
+    aig: &Aig,
+    cache: &mut RewriteCache,
+    cuts: &mut Vec<Vec<Cut>>,
+    eval: &mut CutScratch,
+) -> Aig {
+    enumerate_cuts_into(aig, 4, 8, cuts);
     let fanouts = aig.fanout_counts();
     let mut refs_scratch = Vec::new();
     let mut new = Aig::new(aig.n_inputs());
@@ -201,7 +206,7 @@ pub(crate) fn rewrite_with_cache(aig: &Aig, cache: &mut RewriteCache) -> Aig {
             if cut.len() < 2 || cut.leaves() == [id.0] || cut.contains(0) {
                 continue;
             }
-            let mut f = cut_function(aig, id, cut.leaves());
+            let mut f = cut_function_with(aig, id, cut.leaves(), eval);
             let mut leaf_ids: Vec<u32> = cut.leaves().to_vec();
             // Support reduction: drop leaves the function ignores.
             let support = f.support();

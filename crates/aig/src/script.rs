@@ -6,8 +6,45 @@
 //! stops improving or a round limit is hit, with optional equivalence
 //! verification after every pass.
 
+use crate::cuts::{Cut, CutScratch};
 use crate::rewrite::{rewrite_with_cache, RewriteCache};
 use crate::{balance, collapse, refactor, Aig};
+
+/// Reusable synthesis state threaded through [`Script::run_with`].
+///
+/// Two kinds of state live here:
+///
+/// * **Semantic caches** — the NPN-canonicalization and recipe caches of
+///   the rewriting pass. These are keyed by truth table, so they are
+///   valid across *different* circuits: a fitness loop that synthesizes
+///   thousands of related circuits hits the same 4-variable classes over
+///   and over and skips the canonicalization and factoring work entirely.
+/// * **Scratch buffers** — per-node cut lists and the cut-function
+///   evaluation arena, whose allocations are retained across passes and
+///   across calls.
+///
+/// Reuse never changes results: cached entries are exactly what
+/// recomputation would produce, so `run_with` is bit-identical to
+/// [`Script::run`].
+#[derive(Default)]
+pub struct SynthScratch {
+    rewrite: RewriteCache,
+    cuts: Vec<Vec<Cut>>,
+    eval: CutScratch,
+}
+
+impl SynthScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        SynthScratch::default()
+    }
+}
+
+impl std::fmt::Debug for SynthScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthScratch").finish_non_exhaustive()
+    }
+}
 
 /// One synthesis pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +127,18 @@ impl Script {
     /// Panics if verification is enabled and a pass changes the circuit
     /// function (this would be an engine bug, and is checked exhaustively).
     pub fn run(&self, aig: &Aig) -> Aig {
+        self.run_with(aig, &mut SynthScratch::default())
+    }
+
+    /// Runs the script with a caller-owned [`SynthScratch`], reusing its
+    /// caches and buffers. Bit-identical to [`Script::run`]; markedly
+    /// faster when many circuits are synthesized in a loop (fitness
+    /// evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Script::run`].
+    pub fn run_with(&self, aig: &Aig, scratch: &mut SynthScratch) -> Aig {
         let mut cur = aig.compact();
         let verify = self.verify && aig.n_inputs() <= mvf_logic::MAX_VARS;
         let reference = if verify {
@@ -97,13 +146,23 @@ impl Script {
         } else {
             None
         };
-        let mut cache = RewriteCache::default();
         for _ in 0..self.max_rounds {
             let before = cur.n_ands();
             for pass in &self.passes {
                 cur = match pass {
-                    Pass::Rewrite => rewrite_with_cache(&cur, &mut cache),
-                    Pass::Refactor => refactor::refactor(&cur),
+                    Pass::Rewrite => rewrite_with_cache(
+                        &cur,
+                        &mut scratch.rewrite,
+                        &mut scratch.cuts,
+                        &mut scratch.eval,
+                    ),
+                    Pass::Refactor => refactor::refactor_with_scratch(
+                        &cur,
+                        refactor::DEFAULT_CUT_WIDTH,
+                        refactor::DEFAULT_MAX_CUTS,
+                        &mut scratch.cuts,
+                        &mut scratch.eval,
+                    ),
                     Pass::Balance => balance::balance(&cur),
                     Pass::Collapse => collapse::collapse(&cur),
                 };

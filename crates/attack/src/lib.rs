@@ -5,8 +5,9 @@
 //! (including the camouflaged look-alikes and their plausible-function
 //! sets) and knows a list of viable functions. For each viable function
 //! she asks: *is there a doping configuration under which the circuit
-//! implements it?* — an ∃∀ query ([14]'s QBF formulation) decided here by
-//! input-unrolled SAT over the configuration selectors ([`is_plausible`]).
+//! implements it?* — an ∃∀ query (ref. \[14\]'s QBF formulation) decided
+//! here by input-unrolled SAT over the configuration selectors
+//! ([`is_plausible`]).
 //!
 //! Because the designer is also free to permute I/O pins, the adversary
 //! must consider a function plausible if **some** input/output
@@ -43,7 +44,21 @@ use std::fmt;
 use mvf_cells::{CamoLibrary, Library};
 use mvf_logic::VectorFunction;
 use mvf_netlist::{CellRef, Netlist};
-use mvf_sat::{encode_netlist, Lit};
+use mvf_sat::{encode_netlist, Lit, Var};
+
+/// Rebuilds `out` with the assumptions forcing the encoded circuit to
+/// equal `candidate` on every input row: output `o` of row `m` is pinned
+/// to bit `o` of `candidate(m)`. Shared by every plausibility query so
+/// the encoding contract lives in one place.
+fn candidate_assumptions(row_outputs: &[Vec<Var>], candidate: &VectorFunction, out: &mut Vec<Lit>) {
+    out.clear();
+    for (m, row) in row_outputs.iter().enumerate() {
+        let want = candidate.eval(m);
+        for (o, &v) in row.iter().enumerate() {
+            out.push(Lit::with_polarity(v, (want >> o) & 1 == 1));
+        }
+    }
+}
 
 /// Errors from attack-model construction.
 #[derive(Debug)]
@@ -88,12 +103,7 @@ pub fn is_plausible(
     );
     let mut cnf = encode_netlist(nl, lib, camo);
     let mut assumptions = Vec::new();
-    for (m, row) in cnf.row_outputs.iter().enumerate() {
-        let want = candidate.eval(m);
-        for (o, &v) in row.iter().enumerate() {
-            assumptions.push(Lit::with_polarity(v, (want >> o) & 1 == 1));
-        }
-    }
+    candidate_assumptions(&cnf.row_outputs, candidate, &mut assumptions);
     cnf.solver.solve_with(&assumptions)
 }
 
@@ -116,6 +126,7 @@ pub fn is_plausible_any_io(
     assert_eq!(candidate.n_inputs(), n_in, "input arity mismatch");
     assert_eq!(candidate.n_outputs(), n_out, "output arity mismatch");
     let mut cnf = encode_netlist(nl, lib, camo);
+    let mut assumptions = Vec::new();
     for in_perm in mvf_logic::npn::all_permutations(n_in) {
         let permuted_in = match candidate.permute_inputs(&in_perm) {
             Ok(p) => p,
@@ -126,19 +137,51 @@ pub fn is_plausible_any_io(
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            let mut assumptions = Vec::new();
-            for (m, row) in cnf.row_outputs.iter().enumerate() {
-                let want = permuted.eval(m);
-                for (o, &v) in row.iter().enumerate() {
-                    assumptions.push(Lit::with_polarity(v, (want >> o) & 1 == 1));
-                }
-            }
+            candidate_assumptions(&cnf.row_outputs, &permuted, &mut assumptions);
             if cnf.solver.solve_with(&assumptions) {
                 return true;
             }
         }
     }
     false
+}
+
+/// Sweeps a whole list of viable functions against one camouflaged
+/// netlist: `result[j]` is `true` iff `candidates[j]` is plausible under
+/// the identity pin interpretation.
+///
+/// Unlike calling [`is_plausible`] per candidate, the netlist is encoded
+/// **once** and one incremental solver answers every query under
+/// per-candidate assumptions — the batched attacker-sweep primitive for
+/// red-team evaluations over many suspected functions.
+///
+/// # Panics
+///
+/// Panics if any candidate's shape does not match the netlist.
+pub fn plausibility_sweep(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    candidates: &[VectorFunction],
+) -> Vec<bool> {
+    let mut cnf = encode_netlist(nl, lib, camo);
+    let mut verdicts = Vec::with_capacity(candidates.len());
+    let mut assumptions = Vec::new();
+    for candidate in candidates {
+        assert_eq!(
+            candidate.n_inputs(),
+            nl.inputs().len(),
+            "input arity mismatch"
+        );
+        assert_eq!(
+            candidate.n_outputs(),
+            nl.outputs().len(),
+            "output arity mismatch"
+        );
+        candidate_assumptions(&cnf.row_outputs, candidate, &mut assumptions);
+        verdicts.push(cnf.solver.solve_with(&assumptions));
+    }
+    verdicts
 }
 
 /// Builds the paper's baseline: synthesize a *single* function, map it to
@@ -208,6 +251,20 @@ mod tests {
         let f0 = &optimal_sboxes()[0];
         let circuit = random_camouflage(f0, &lib, &camo).unwrap();
         assert!(is_plausible(&circuit, &lib, &camo, f0));
+    }
+
+    #[test]
+    fn sweep_agrees_with_per_candidate_queries() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let candidates = boxes[..4].to_vec();
+        let swept = plausibility_sweep(&circuit, &lib, &camo, &candidates);
+        assert_eq!(swept.len(), candidates.len());
+        for (f, &v) in candidates.iter().zip(&swept) {
+            assert_eq!(v, is_plausible(&circuit, &lib, &camo, f));
+        }
+        assert!(swept[0], "the true function is always plausible");
     }
 
     #[test]

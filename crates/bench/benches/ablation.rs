@@ -2,7 +2,8 @@
 //!
 //! * camouflage-mapper subtree depth bound (the paper's "depth < 3");
 //! * allowing standard cells for select-independent cones;
-//! * GA operators: full GA vs mutation-only vs random search.
+//! * search strategies: full GA vs mutation-only vs crossover-only vs
+//!   random search vs hill climbing, at one evaluation budget.
 //!
 //! Results are printed as small tables before the timing section.
 
@@ -123,6 +124,23 @@ fn ga_operator_ablation() {
     println!(
         "{:<15} best {:>7.1} GE in {} evals",
         "random search", rs.best_fitness, budget
+    );
+    // The hill-climbing strategy at the same budget, through the
+    // objective/strategy API (2 restarts × (1 + 3 steps × 5) = 32).
+    use mvf_ga::SearchStrategy;
+    let objective = mvf::PinObjective::new(&functions, &flow_cfg.script, &lib, &flow_cfg.map);
+    let hc = mvf_ga::HillClimb {
+        restarts: 2,
+        steps: 3,
+        batch: 5,
+        seed: 99,
+        threads: 0,
+    };
+    assert_eq!(hc.evaluation_budget(), budget, "equal-budget comparison");
+    let out = hc.search(&objective);
+    println!(
+        "{:<15} best {:>7.1} GE in {} evals",
+        "hill climb", out.best_fitness, out.evaluations
     );
 }
 

@@ -5,16 +5,15 @@
 //! Series are printed before the timing section.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mvf::{random_assignment, synthesized_area_ge, Fig4Data};
+use mvf::{random_assignment, EvalContext, Fig4Data, SearchStrategy};
 use mvf_bench::bench_flow;
-use mvf_ga::GeneticAlgorithm;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn regenerate_fig4() -> Fig4Data {
     let flow = bench_flow();
     let functions = mvf_sboxes::optimal_sboxes()[..8].to_vec();
-    let budget = GeneticAlgorithm::new(flow.config().ga.clone()).evaluation_budget();
+    let budget = flow.strategy().evaluation_budget();
     let baseline = flow.random_baseline(&functions, budget, 0xF16);
     let result = flow.run(&functions).expect("flow succeeds");
     Fig4Data {
@@ -49,9 +48,10 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fitness_eval_present8", |b| {
         let mut rng = StdRng::seed_from_u64(2);
+        let mut ctx = EvalContext::new();
         b.iter(|| {
             let a = random_assignment(&functions, &mut rng);
-            synthesized_area_ge(
+            ctx.synthesized_area_ge(
                 &functions,
                 &a,
                 &flow.config().script,

@@ -1,6 +1,6 @@
 //! Perf-tracking micro-benchmark: arena-based vs naive truth-table
-//! simulation, and serial vs parallel GA fitness evaluation through the
-//! full flow.
+//! simulation, serial vs parallel GA fitness evaluation through the full
+//! flow, and per-call-allocating vs context-reusing fitness evaluation.
 //!
 //! Results are printed and written as machine-readable JSON to
 //! `BENCH_sim.json` at the repository root (override the path with
@@ -14,9 +14,12 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use mvf::{Flow, FlowConfig, FlowResult};
+use mvf::{random_assignment, EvalContext, Flow, FlowResult};
 use mvf_aig::{Aig, Lit};
+use mvf_ga::GaConfig;
 use mvf_logic::TruthTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// The seed implementation of node simulation, kept as the baseline: one
 /// heap allocation (or clone) and one complement temporary per fanin.
@@ -89,13 +92,16 @@ fn time_ns<F: FnMut()>(mut f: F) -> f64 {
 }
 
 fn ga_flow(threads: usize) -> (FlowResult, f64) {
-    let mut config = FlowConfig::default();
-    config.ga.population = 8;
-    config.ga.generations = 2;
-    config.ga.seed = 0xBE7;
-    config.ga.threads = threads;
-    config.validate = false;
-    let flow = Flow::new(config);
+    let flow = Flow::builder()
+        .ga(GaConfig {
+            population: 8,
+            generations: 2,
+            seed: 0xBE7,
+            threads,
+            ..GaConfig::default()
+        })
+        .validate(false)
+        .build();
     let functions = mvf_sboxes::optimal_sboxes()[..2].to_vec();
     let t = Instant::now();
     let result = flow.run(&functions).expect("flow succeeds");
@@ -153,6 +159,78 @@ fn main() {
     println!("ga parallel: {parallel_ms:>12.1} ms ({threads} threads)");
     println!("ga speedup : {ga_speedup:>12.2}x (bit-identical: {identical})");
 
+    // --- Fitness evaluation: per-call allocation vs reused context. ---
+    let flow = Flow::builder().build();
+    let functions = mvf_sboxes::optimal_sboxes()[..2].to_vec();
+    let fitness_batch = 8usize;
+    let assignments: Vec<_> = {
+        let mut rng = StdRng::seed_from_u64(0xF17);
+        (0..fitness_batch)
+            .map(|_| random_assignment(&functions, &mut rng))
+            .collect()
+    };
+    let eval_all = |ctx: &mut EvalContext| -> f64 {
+        let mut acc = 0.0;
+        for a in &assignments {
+            acc += ctx
+                .synthesized_area_ge(
+                    &functions,
+                    a,
+                    &flow.config().script,
+                    flow.library(),
+                    &flow.config().map,
+                )
+                .expect("fitness");
+        }
+        acc
+    };
+    // Correctness: warm and cold contexts agree bit-for-bit.
+    let warm_sum = eval_all(&mut EvalContext::new());
+    let cold_sum = {
+        let mut acc = 0.0;
+        for a in &assignments {
+            acc += EvalContext::new()
+                .synthesized_area_ge(
+                    &functions,
+                    a,
+                    &flow.config().script,
+                    flow.library(),
+                    &flow.config().map,
+                )
+                .expect("fitness");
+        }
+        acc
+    };
+    assert_eq!(
+        warm_sum.to_bits(),
+        cold_sum.to_bits(),
+        "context reuse must not change fitness values"
+    );
+    let percall_ns = time_ns(|| {
+        let mut acc = 0.0;
+        for a in &assignments {
+            acc += EvalContext::new()
+                .synthesized_area_ge(
+                    &functions,
+                    a,
+                    &flow.config().script,
+                    flow.library(),
+                    &flow.config().map,
+                )
+                .expect("fitness");
+        }
+        black_box(acc);
+    }) / fitness_batch as f64;
+    let mut shared_ctx = EvalContext::new();
+    eval_all(&mut shared_ctx); // warm the caches before timing
+    let reuse_ns = time_ns(|| {
+        black_box(eval_all(&mut shared_ctx));
+    }) / fitness_batch as f64;
+    let fitness_speedup = percall_ns / reuse_ns;
+    println!("fitness cold : {percall_ns:>10.0} ns / evaluation (fresh EvalContext per call)");
+    println!("fitness warm : {reuse_ns:>10.0} ns / evaluation (shared EvalContext)");
+    println!("fitness speedup: {fitness_speedup:>8.2}x");
+
     // --- Machine-readable record. ------------------------------------
     let out_path = std::env::var("MVF_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR")));
@@ -175,6 +253,13 @@ fn main() {
             "    \"threads\": {},\n",
             "    \"speedup\": {:.2},\n",
             "    \"bit_identical\": {}\n",
+            "  }},\n",
+            "  \"fitness\": {{\n",
+            "    \"workload\": \"PRESENT-2\",\n",
+            "    \"evaluations\": {},\n",
+            "    \"cold_ns\": {:.0},\n",
+            "    \"warm_ns\": {:.0},\n",
+            "    \"speedup\": {:.2}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -187,6 +272,10 @@ fn main() {
         threads,
         ga_speedup,
         identical,
+        fitness_batch,
+        percall_ns,
+        reuse_ns,
+        fitness_speedup,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

@@ -2,25 +2,28 @@
 //! random-assignment average/best, GA, GA+TM, and the improvement of
 //! GA+TM over the best random assignment.
 //!
-//! The table is printed before the timing section. Scale the search
-//! budget with `MVF_GA_POP` / `MVF_GA_GENS` or `MVF_PAPER_SCALE=1`
-//! (see `mvf-bench` docs).
+//! The GA arm runs all workloads as one `Flow::run_many` batch. The table
+//! is printed before the timing section. Scale the search budget with
+//! `MVF_GA_POP` / `MVF_GA_GENS` or `MVF_PAPER_SCALE=1` (see `mvf-bench`
+//! docs).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mvf::{random_assignment, synthesized_area_ge, Table1, Table1Row};
+use mvf::{random_assignment, EvalContext, SearchStrategy, Table1, Table1Row, Workload};
 use mvf_bench::{bench_flow, table1_workloads};
-use mvf_ga::GeneticAlgorithm;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn regenerate_table1() -> Table1 {
     let flow = bench_flow();
+    let budget = flow.strategy().evaluation_budget();
+    let bench_workloads = table1_workloads();
+    let workloads: Vec<Workload> = bench_workloads.iter().map(|w| w.to_workload()).collect();
+    let reports = flow.run_many(&workloads);
     let mut table = Table1::default();
-    for w in table1_workloads() {
-        let budget = GeneticAlgorithm::new(flow.config().ga.clone()).evaluation_budget();
+    for (w, report) in bench_workloads.iter().zip(&reports) {
+        let result = report.outcome.as_ref().expect("flow succeeds");
         // Random baseline with the same evaluation budget as the GA.
         let baseline = flow.random_baseline(&w.functions, budget, 0xBA5E + w.n as u64);
-        let result = flow.run(&w.functions).expect("flow succeeds");
         table.rows.push(Table1Row {
             circuit: w.family.to_string(),
             n_sboxes: w.n,
@@ -30,9 +33,8 @@ fn regenerate_table1() -> Table1 {
             ga_tm: result.mapped_area_ge,
         });
         eprintln!(
-            "  [{} x{}] random avg {:.0} / best {:.0} | GA {:.0} | GA+TM {:.0} | impr {:.0}%",
-            w.family,
-            w.n,
+            "  [{}] random avg {:.0} / best {:.0} | GA {:.0} | GA+TM {:.0} | impr {:.0}%",
+            report.name,
             baseline.avg_area_ge,
             baseline.best_area_ge,
             result.synthesized_area_ge,
@@ -48,16 +50,18 @@ fn bench(c: &mut Criterion) {
     let table = regenerate_table1();
     println!("\n{table}");
 
-    // Component timing: one fitness evaluation per workload family/size.
+    // Component timing: one fitness evaluation per workload family/size,
+    // through a warm evaluation context as in the real search.
     let flow = bench_flow();
     let mut group = c.benchmark_group("table1_fitness_eval");
     group.sample_size(10);
     for w in table1_workloads() {
         group.bench_function(format!("{}_{}", w.family, w.n), |b| {
             let mut rng = StdRng::seed_from_u64(1);
+            let mut ctx = EvalContext::new();
             b.iter(|| {
                 let a = random_assignment(&w.functions, &mut rng);
-                synthesized_area_ge(
+                ctx.synthesized_area_ge(
                     &w.functions,
                     &a,
                     &flow.config().script,

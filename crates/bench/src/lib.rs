@@ -18,11 +18,11 @@
 //! root); the thread count can also be pinned per run via
 //! `GaConfig::threads`.
 
-use mvf::{Flow, FlowConfig};
+use mvf::{Flow, FlowConfig, Ga, Workload};
 use mvf_logic::VectorFunction;
 
-/// A named workload: family label and the merged S-boxes.
-pub struct Workload {
+/// A named Table-I workload: family label, size and the merged S-boxes.
+pub struct BenchWorkload {
     /// "PRESENT" or "DES".
     pub family: &'static str,
     /// Number of merged S-boxes.
@@ -31,20 +31,30 @@ pub struct Workload {
     pub functions: Vec<VectorFunction>,
 }
 
+impl BenchWorkload {
+    /// This workload as a flow [`Workload`] (for [`Flow::run_many`]).
+    pub fn to_workload(&self) -> Workload {
+        Workload::new(
+            format!("{} x{}", self.family, self.n),
+            self.functions.clone(),
+        )
+    }
+}
+
 /// The seven Table I workloads: PRESENT 2/4/8/16 and DES 2/4/8.
-pub fn table1_workloads() -> Vec<Workload> {
+pub fn table1_workloads() -> Vec<BenchWorkload> {
     let opt = mvf_sboxes::optimal_sboxes();
     let des = mvf_sboxes::des_sboxes();
     let mut w = Vec::new();
     for n in [2usize, 4, 8, 16] {
-        w.push(Workload {
+        w.push(BenchWorkload {
             family: "PRESENT",
             n,
             functions: opt[..n].to_vec(),
         });
     }
     for n in [2usize, 4, 8] {
-        w.push(Workload {
+        w.push(BenchWorkload {
             family: "DES",
             n,
             functions: des[..n].to_vec(),
@@ -76,6 +86,6 @@ pub fn bench_config() -> FlowConfig {
 }
 
 /// Builds the flow for benchmarking.
-pub fn bench_flow() -> Flow {
-    Flow::new(bench_config())
+pub fn bench_flow() -> Flow<Ga> {
+    Flow::builder().config(bench_config()).build()
 }

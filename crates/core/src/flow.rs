@@ -1,59 +1,15 @@
-use std::error::Error;
-use std::fmt;
-
-use rand::rngs::StdRng;
-use rand::Rng;
+//! The end-to-end obfuscation flow: builder, configuration and results.
 
 use mvf_aig::Script;
 use mvf_cells::{CamoLibrary, Library};
-use mvf_ga::permutation::{pmx, random_permutation, swap_mutation};
-use mvf_ga::{GaConfig, GenStats, GeneticAlgorithm};
+use mvf_ga::{Ga, GaConfig, GenStats, SearchOutcome, SearchStrategy};
 use mvf_logic::VectorFunction;
 use mvf_merge::{build_merged, MergedCircuit, PinAssignment};
 use mvf_netlist::subject_graph;
 use mvf_techmap::{map_camouflage, map_standard, CamoMapOptions, CamoMappedCircuit, MapOptions};
 
-/// Errors from the end-to-end flow.
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum FlowError {
-    /// Merged-circuit construction failed.
-    Merge(mvf_merge::MergeError),
-    /// Technology mapping failed.
-    Map(mvf_techmap::MapError),
-    /// Final validation failed — this would be a flow bug.
-    Validation(mvf_sim::ValidationError),
-}
-
-impl fmt::Display for FlowError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlowError::Merge(e) => write!(f, "merge: {e}"),
-            FlowError::Map(e) => write!(f, "map: {e}"),
-            FlowError::Validation(e) => write!(f, "validation: {e}"),
-        }
-    }
-}
-
-impl Error for FlowError {}
-
-impl From<mvf_merge::MergeError> for FlowError {
-    fn from(e: mvf_merge::MergeError) -> Self {
-        FlowError::Merge(e)
-    }
-}
-
-impl From<mvf_techmap::MapError> for FlowError {
-    fn from(e: mvf_techmap::MapError) -> Self {
-        FlowError::Map(e)
-    }
-}
-
-impl From<mvf_sim::ValidationError> for FlowError {
-    fn from(e: mvf_sim::ValidationError) -> Self {
-        FlowError::Validation(e)
-    }
-}
+use crate::error::MvfError;
+use crate::eval::PinObjective;
 
 /// Configuration of the three-phase flow.
 #[derive(Debug, Clone)]
@@ -61,7 +17,9 @@ pub struct FlowConfig {
     /// Synthesis script (used for fitness evaluation and the final
     /// circuit alike, as in the paper's single ABC script).
     pub script: Script,
-    /// Genetic-algorithm settings (Phase II).
+    /// Genetic-algorithm settings (Phase II) — used by the default
+    /// [`Ga`] strategy; ignored when [`FlowBuilder::build_with`] installs
+    /// a different [`SearchStrategy`].
     pub ga: GaConfig,
     /// Plain-mapping options (area fitness).
     pub map: MapOptions,
@@ -86,7 +44,7 @@ impl Default for FlowConfig {
 /// Output of [`Flow::run`].
 #[derive(Debug, Clone)]
 pub struct FlowResult {
-    /// The best pin assignment found by the GA.
+    /// The best pin assignment found by the search strategy.
     pub assignment: PinAssignment,
     /// The merged circuit for that assignment (synthesized).
     pub merged: MergedCircuit,
@@ -97,10 +55,15 @@ pub struct FlowResult {
     pub mapped: CamoMappedCircuit,
     /// Its GE area.
     pub mapped_area_ge: f64,
-    /// GA statistics per generation (Fig. 4b).
+    /// Search statistics per batch (Fig. 4b; empty for strategies
+    /// without a trajectory).
     pub ga_history: Vec<GenStats>,
-    /// Total fitness evaluations spent by the GA.
+    /// Total fitness evaluations spent by the search.
     pub evaluations: usize,
+    /// Fitness evaluations that failed (merge/map error) and were scored
+    /// as [`f64::INFINITY`]. Zero in a healthy run: the variation
+    /// operators only produce valid assignments.
+    pub failed_evaluations: usize,
 }
 
 /// Random-search baseline over pin assignments (Fig. 4a / Table I
@@ -115,59 +78,170 @@ pub struct RandomBaseline {
     pub best_assignment: PinAssignment,
     /// Every sampled area (histogram data for Fig. 4a).
     pub samples: Vec<f64>,
+    /// Samples that failed to evaluate (scored [`f64::INFINITY`]).
+    pub failed_evaluations: usize,
 }
 
-/// Draws a uniformly random pin assignment for the given functions.
-pub fn random_assignment(functions: &[VectorFunction], rng: &mut StdRng) -> PinAssignment {
-    PinAssignment {
-        input_perms: functions
-            .iter()
-            .map(|f| random_permutation(f.n_inputs(), rng))
-            .collect(),
-        output_perms: functions
-            .iter()
-            .map(|f| random_permutation(f.n_outputs(), rng))
-            .collect(),
+/// Builder for a [`Flow`]: cell libraries, synthesis script, mapper
+/// options and search strategy are all pluggable.
+///
+/// # Example
+///
+/// ```
+/// use mvf::{Flow, FlowBuilder};
+/// use mvf_ga::{GaConfig, HillClimb};
+/// use mvf_sboxes::optimal_sboxes;
+///
+/// let functions = optimal_sboxes()[..2].to_vec();
+///
+/// // Default GA strategy, custom budget:
+/// let flow = Flow::builder()
+///     .ga(GaConfig { population: 8, generations: 3, ..GaConfig::default() })
+///     .build();
+/// let result = flow.run(&functions)?;
+/// assert!(result.mapped_area_ge > 0.0);
+///
+/// // Same pipeline, different search policy:
+/// let flow = FlowBuilder::new()
+///     .build_with(HillClimb { restarts: 1, steps: 4, batch: 4, ..HillClimb::default() });
+/// let result = flow.run(&functions)?;
+/// assert_eq!(result.failed_evaluations, 0);
+/// # Ok::<(), mvf::MvfError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowBuilder {
+    config: FlowConfig,
+    lib: Option<Library>,
+    camo: Option<CamoLibrary>,
+    workload_threads: usize,
+}
+
+impl FlowBuilder {
+    /// A builder with the default configuration (standard library,
+    /// derived camouflaged library, fast script, default GA).
+    pub fn new() -> Self {
+        FlowBuilder::default()
+    }
+
+    /// Replaces the whole [`FlowConfig`].
+    #[must_use]
+    pub fn config(mut self, config: FlowConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the synthesis script.
+    #[must_use]
+    pub fn script(mut self, script: Script) -> Self {
+        self.config.script = script;
+        self
+    }
+
+    /// Sets the GA engine settings used by the default [`Ga`] strategy.
+    #[must_use]
+    pub fn ga(mut self, ga: GaConfig) -> Self {
+        self.config.ga = ga;
+        self
+    }
+
+    /// Sets the plain-mapping (fitness) options.
+    #[must_use]
+    pub fn map(mut self, map: MapOptions) -> Self {
+        self.config.map = map;
+        self
+    }
+
+    /// Sets the camouflage-mapping (Phase III) options.
+    #[must_use]
+    pub fn camo_map(mut self, camo_map: CamoMapOptions) -> Self {
+        self.config.camo_map = camo_map;
+        self
+    }
+
+    /// Enables or disables exhaustive validation of the final circuit.
+    #[must_use]
+    pub fn validate(mut self, validate: bool) -> Self {
+        self.config.validate = validate;
+        self
+    }
+
+    /// Uses a custom standard-cell library instead of
+    /// [`Library::standard`]. Unless [`FlowBuilder::camo_library`] is
+    /// also given, the camouflaged library is derived from it.
+    #[must_use]
+    pub fn library(mut self, lib: Library) -> Self {
+        self.lib = Some(lib);
+        self
+    }
+
+    /// Uses a custom camouflaged-cell library instead of deriving one
+    /// from the standard library.
+    #[must_use]
+    pub fn camo_library(mut self, camo: CamoLibrary) -> Self {
+        self.camo = Some(camo);
+        self
+    }
+
+    /// Worker threads for [`Flow::run_many`]'s workload-level
+    /// parallelism (`0` = auto, `1` = serial). Results are identical for
+    /// every setting.
+    #[must_use]
+    pub fn workload_threads(mut self, threads: usize) -> Self {
+        self.workload_threads = threads;
+        self
+    }
+
+    /// Builds a flow with the default [`Ga`] strategy configured from
+    /// [`FlowConfig::ga`].
+    pub fn build(self) -> Flow<Ga> {
+        let strategy = Ga::new(self.config.ga.clone());
+        self.build_with(strategy)
+    }
+
+    /// Builds a flow with an explicit [`SearchStrategy`] for Phase II.
+    pub fn build_with<S: SearchStrategy>(self, strategy: S) -> Flow<S> {
+        let lib = self.lib.unwrap_or_else(Library::standard);
+        let camo = self.camo.unwrap_or_else(|| CamoLibrary::from_library(&lib));
+        Flow {
+            config: self.config,
+            lib,
+            camo,
+            strategy,
+            workload_threads: self.workload_threads,
+        }
     }
 }
 
-/// The Phase-II fitness: merge under `assignment`, synthesize with
-/// `script`, map onto the standard library and return the GE area.
+/// The end-to-end obfuscation flow (Phases I–III), generic over the
+/// Phase-II [`SearchStrategy`] (default: the paper's [`Ga`]).
 ///
-/// # Errors
-///
-/// Returns a [`FlowError`] if merging or mapping fails.
-pub fn synthesized_area_ge(
-    functions: &[VectorFunction],
-    assignment: &PinAssignment,
-    script: &Script,
-    lib: &Library,
-    map: &MapOptions,
-) -> Result<f64, FlowError> {
-    let merged = build_merged(functions, assignment)?;
-    let synthesized = script.run(&merged.aig);
-    let subject = subject_graph::from_aig(&synthesized, lib);
-    let mapped = map_standard(&subject, lib, map)?;
-    Ok(mapped.area_ge(lib, None))
+/// Construct with [`Flow::builder`].
+#[derive(Debug, Clone)]
+pub struct Flow<S = Ga> {
+    pub(crate) config: FlowConfig,
+    pub(crate) lib: Library,
+    pub(crate) camo: CamoLibrary,
+    pub(crate) strategy: S,
+    pub(crate) workload_threads: usize,
 }
 
-/// The end-to-end obfuscation flow (Phases I–III).
-#[derive(Debug, Clone)]
-pub struct Flow {
-    config: FlowConfig,
-    lib: Library,
-    camo: CamoLibrary,
+impl Flow<Ga> {
+    /// Creates a flow over the standard library and its camouflaged
+    /// variants.
+    #[deprecated(since = "0.2.0", note = "use `Flow::builder()` instead")]
+    pub fn new(config: FlowConfig) -> Self {
+        FlowBuilder::new().config(config).build()
+    }
 }
 
 impl Flow {
-    /// Creates a flow over the standard library and its camouflaged
-    /// variants.
-    pub fn new(config: FlowConfig) -> Self {
-        let lib = Library::standard();
-        let camo = CamoLibrary::from_library(&lib);
-        Flow { config, lib, camo }
+    /// Starts building a flow.
+    pub fn builder() -> FlowBuilder {
+        FlowBuilder::new()
     }
+}
 
+impl<S> Flow<S> {
     /// The configuration in use.
     pub fn config(&self) -> &FlowConfig {
         &self.config
@@ -183,40 +257,13 @@ impl Flow {
         &self.camo
     }
 
-    fn fitness(&self, functions: &[VectorFunction], a: &PinAssignment) -> f64 {
-        synthesized_area_ge(
-            functions,
-            a,
-            &self.config.script,
-            &self.lib,
-            &self.config.map,
-        )
-        .unwrap_or(f64::INFINITY)
-    }
-
-    /// Runs Phases I–III on the viable functions.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`FlowError`] on merge/map failure, or a validation error
-    /// if the mapped circuit cannot realize every viable function (which
-    /// would indicate a bug, and is checked exhaustively when
-    /// `config.validate` is set).
-    pub fn run(&self, functions: &[VectorFunction]) -> Result<FlowResult, FlowError> {
-        // Phase II: GA over pin assignments (Phase I runs inside the
-        // fitness function on every evaluation).
-        let engine = GeneticAlgorithm::new(self.config.ga.clone());
-        let ga = engine.run(
-            |rng| random_assignment(functions, rng),
-            mutate_assignment,
-            crossover_assignment,
-            |g| self.fitness(functions, g),
-        );
-        self.finish(functions, ga.best_genome, ga.history, ga.evaluations)
+    /// The Phase-II search strategy in use.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
     }
 
     /// Completes the flow for a fixed assignment (used for baselines and
-    /// for [`Flow::run`]).
+    /// internally by [`Flow::run`]).
     ///
     /// # Errors
     ///
@@ -227,7 +274,18 @@ impl Flow {
         assignment: PinAssignment,
         ga_history: Vec<GenStats>,
         evaluations: usize,
-    ) -> Result<FlowResult, FlowError> {
+    ) -> Result<FlowResult, MvfError> {
+        self.complete(functions, assignment, ga_history, evaluations, 0)
+    }
+
+    pub(crate) fn complete(
+        &self,
+        functions: &[VectorFunction],
+        assignment: PinAssignment,
+        ga_history: Vec<GenStats>,
+        evaluations: usize,
+        failed_evaluations: usize,
+    ) -> Result<FlowResult, MvfError> {
         let mut merged = build_merged(functions, &assignment)?;
         merged.aig = self.config.script.run(&merged.aig);
         let subject = subject_graph::from_aig(&merged.aig, &self.lib);
@@ -252,117 +310,122 @@ impl Flow {
             mapped_area_ge: mapped_area,
             ga_history,
             evaluations,
+            failed_evaluations,
         })
+    }
+}
+
+impl<S: SearchStrategy> Flow<S> {
+    /// Runs Phases I–III on the viable functions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MvfError`] on merge/map failure, or a validation
+    /// error if the mapped circuit cannot realize every viable function
+    /// (which would indicate a bug, and is checked exhaustively when
+    /// `config.validate` is set).
+    pub fn run(&self, functions: &[VectorFunction]) -> Result<FlowResult, MvfError> {
+        self.run_with_strategy(functions, &self.strategy)
+    }
+
+    /// [`Flow::run`] with the strategy reseeded to `seed` — the serial
+    /// equivalent of one [`Flow::run_many`] batch entry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flow::run`].
+    pub fn run_seeded(
+        &self,
+        functions: &[VectorFunction],
+        seed: u64,
+    ) -> Result<FlowResult, MvfError> {
+        let strategy = self.strategy.reconfigured(seed, self.strategy.threads());
+        self.run_with_strategy(functions, &strategy)
+    }
+
+    pub(crate) fn run_with_strategy(
+        &self,
+        functions: &[VectorFunction],
+        strategy: &S,
+    ) -> Result<FlowResult, MvfError> {
+        let objective =
+            PinObjective::new(functions, &self.config.script, &self.lib, &self.config.map);
+        let SearchOutcome {
+            best_genome,
+            history,
+            evaluations,
+            ..
+        } = strategy.search(&objective);
+        self.complete(
+            functions,
+            best_genome,
+            history,
+            evaluations,
+            objective.failed_evaluations(),
+        )
     }
 
     /// Runs the equal-budget random baseline: `n_evals` random pin
-    /// assignments evaluated with the same fitness as the GA, honoring
-    /// the configured `ga.threads`.
+    /// assignments evaluated with the same fitness as the search, using
+    /// the strategy's worker thread-count.
     pub fn random_baseline(
         &self,
         functions: &[VectorFunction],
         n_evals: usize,
         seed: u64,
     ) -> RandomBaseline {
-        let rs = mvf_ga::random_search_with_threads(
-            n_evals,
-            seed,
-            self.config.ga.threads,
-            |rng| random_assignment(functions, rng),
-            |g| self.fitness(functions, g),
-        );
+        let objective =
+            PinObjective::new(functions, &self.config.script, &self.lib, &self.config.map);
+        let rs =
+            mvf_ga::random_search_objective(n_evals, seed, self.strategy.threads(), &objective);
         RandomBaseline {
             avg_area_ge: rs.avg_fitness,
             best_area_ge: rs.best_fitness,
             best_assignment: rs.best_genome,
             samples: rs.samples,
+            failed_evaluations: objective.failed_evaluations(),
         }
-    }
-}
-
-/// Mutation: swap two pins in one random permutation of the genotype.
-fn mutate_assignment(g: &mut PinAssignment, rng: &mut StdRng) {
-    let n = g.input_perms.len();
-    // Function 0's pins can stay fixed (a global relabeling is free), but
-    // keeping all functions mutable matches the paper's genotype.
-    let j = rng.gen_range(0..n);
-    if rng.gen_bool(0.5) {
-        swap_mutation(&mut g.input_perms[j], rng);
-    } else {
-        swap_mutation(&mut g.output_perms[j], rng);
-    }
-}
-
-/// Crossover: per-function PMX on input and output permutations.
-fn crossover_assignment(a: &PinAssignment, b: &PinAssignment, rng: &mut StdRng) -> PinAssignment {
-    let input_perms = a
-        .input_perms
-        .iter()
-        .zip(&b.input_perms)
-        .map(|(x, y)| {
-            if rng.gen_bool(0.5) {
-                pmx(x, y, rng)
-            } else {
-                x.clone()
-            }
-        })
-        .collect();
-    let output_perms = a
-        .output_perms
-        .iter()
-        .zip(&b.output_perms)
-        .map(|(x, y)| {
-            if rng.gen_bool(0.5) {
-                pmx(x, y, rng)
-            } else {
-                x.clone()
-            }
-        })
-        .collect();
-    PinAssignment {
-        input_perms,
-        output_perms,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::{random_assignment, EvalContext};
     use mvf_sboxes::optimal_sboxes;
-    use rand::SeedableRng;
+
+    fn tiny_flow() -> Flow<Ga> {
+        Flow::builder()
+            .ga(GaConfig {
+                population: 6,
+                generations: 2,
+                seed: 7,
+                ..GaConfig::default()
+            })
+            .build()
+    }
 
     #[test]
     fn fitness_is_finite_and_positive() {
         let funcs = optimal_sboxes()[..2].to_vec();
-        let flow = Flow::new(FlowConfig::default());
+        let flow = Flow::builder().build();
         let a = PinAssignment::identity(&funcs);
-        let area = flow.fitness(&funcs, &a);
+        let area = EvalContext::new()
+            .synthesized_area_ge(
+                &funcs,
+                &a,
+                &flow.config().script,
+                flow.library(),
+                &flow.config().map,
+            )
+            .expect("fitness");
         assert!(area.is_finite() && area > 0.0, "area = {area}");
-    }
-
-    #[test]
-    fn mutation_and_crossover_keep_assignments_valid() {
-        let funcs = optimal_sboxes()[..4].to_vec();
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut a = random_assignment(&funcs, &mut rng);
-        let b = random_assignment(&funcs, &mut rng);
-        for _ in 0..50 {
-            mutate_assignment(&mut a, &mut rng);
-            let c = crossover_assignment(&a, &b, &mut rng);
-            // Validity is enforced by build_merged; it must not error.
-            build_merged(&funcs, &c).expect("valid child");
-        }
-        build_merged(&funcs, &a).expect("valid mutant");
     }
 
     #[test]
     fn small_flow_end_to_end() {
         let funcs = optimal_sboxes()[..2].to_vec();
-        let mut config = FlowConfig::default();
-        config.ga.population = 6;
-        config.ga.generations = 2;
-        config.ga.seed = 7;
-        let flow = Flow::new(config);
+        let flow = tiny_flow();
         let result = flow.run(&funcs).expect("flow succeeds");
         assert!(result.mapped_area_ge > 0.0);
         assert!(
@@ -372,6 +435,7 @@ mod tests {
             result.synthesized_area_ge
         );
         assert_eq!(result.ga_history.len(), 3);
+        assert_eq!(result.failed_evaluations, 0);
         // The mapped netlist has no select inputs.
         assert_eq!(result.mapped.netlist.inputs().len(), 4);
     }
@@ -379,11 +443,97 @@ mod tests {
     #[test]
     fn baseline_matches_sample_statistics() {
         let funcs = optimal_sboxes()[..2].to_vec();
-        let flow = Flow::new(FlowConfig::default());
+        let flow = Flow::builder().build();
         let base = flow.random_baseline(&funcs, 5, 3);
         assert_eq!(base.samples.len(), 5);
+        assert_eq!(base.failed_evaluations, 0);
         let min = base.samples.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((base.best_area_ge - min).abs() < 1e-9);
         assert!(base.best_area_ge <= base.avg_area_ge);
+    }
+
+    #[test]
+    fn builder_accepts_custom_libraries_and_options() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let flow = Flow::builder()
+            .library(lib)
+            .camo_library(camo)
+            .script(Script::fast())
+            .map(MapOptions::default())
+            .camo_map(CamoMapOptions::default())
+            .validate(false)
+            .workload_threads(1)
+            .build();
+        assert!(!flow.config().validate);
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let a = PinAssignment::identity(&funcs);
+        let result = flow
+            .finish(&funcs, a, Vec::new(), 0)
+            .expect("finish succeeds");
+        assert!(result.mapped_area_ge > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_flow_new_matches_builder() {
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let mut config = FlowConfig::default();
+        config.ga.population = 6;
+        config.ga.generations = 1;
+        config.ga.seed = 0xD0;
+        let old = Flow::new(config.clone()).run(&funcs).expect("shim runs");
+        let new = Flow::builder()
+            .config(config)
+            .build()
+            .run(&funcs)
+            .expect("builder runs");
+        assert_eq!(old.assignment, new.assignment);
+        assert_eq!(
+            old.synthesized_area_ge.to_bits(),
+            new.synthesized_area_ge.to_bits()
+        );
+        assert_eq!(old.mapped_area_ge.to_bits(), new.mapped_area_ge.to_bits());
+    }
+
+    #[test]
+    fn run_seeded_overrides_the_strategy_seed() {
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let flow = tiny_flow();
+        let a = flow.run_seeded(&funcs, 0xFEED).expect("flow succeeds");
+        let b = flow.run_seeded(&funcs, 0xFEED).expect("flow succeeds");
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(
+            a.synthesized_area_ge.to_bits(),
+            b.synthesized_area_ge.to_bits()
+        );
+    }
+
+    #[test]
+    fn hill_climb_strategy_runs_the_flow() {
+        use mvf_ga::HillClimb;
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let flow = FlowBuilder::new().build_with(HillClimb {
+            restarts: 1,
+            steps: 2,
+            batch: 4,
+            seed: 2,
+            threads: 0,
+        });
+        let result = flow.run(&funcs).expect("flow succeeds");
+        assert_eq!(result.evaluations, flow.strategy().evaluation_budget());
+        assert_eq!(result.failed_evaluations, 0);
+        assert!(result.mapped_area_ge > 0.0);
+    }
+
+    #[test]
+    fn random_assignments_are_valid() {
+        use rand::SeedableRng;
+        let funcs = optimal_sboxes()[..4].to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let a = random_assignment(&funcs, &mut rng);
+            build_merged(&funcs, &a).expect("valid random assignment");
+        }
     }
 }

@@ -1,0 +1,196 @@
+//! Batched multi-workload runs.
+//!
+//! The paper evaluates its flow on a table of S-box workloads (Table I);
+//! the production goal is to serve many such workloads fast. A
+//! [`Workload`] names one obfuscation job — a set of viable functions
+//! plus an optional seed — and [`Flow::run_many`] executes a batch of
+//! them across the worker thread pool, each with a deterministic
+//! per-workload seed, returning one [`WorkloadReport`] per entry in
+//! input order.
+//!
+//! Batch runs are reproducible by construction: the per-workload seed is
+//! either the workload's own or derived from the strategy seed and the
+//! workload's batch index, and the underlying searches are bit-identical
+//! for every thread count. So `run_many(&ws)[i]` equals
+//! `flow.run_seeded(&ws[i].functions, reports[i].seed)` exactly.
+
+use mvf_ga::{resolve_threads, SearchStrategy};
+use mvf_logic::VectorFunction;
+
+use crate::error::MvfError;
+use crate::flow::{Flow, FlowResult};
+
+/// One obfuscation job for [`Flow::run_many`].
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// A label carried into the report ("PRESENT x4", "DES x2", …).
+    pub name: String,
+    /// The viable functions to merge and camouflage.
+    pub functions: Vec<VectorFunction>,
+    /// Optional seed override; when `None`, a deterministic seed is
+    /// derived from the strategy seed and the workload's batch index.
+    pub seed: Option<u64>,
+}
+
+impl Workload {
+    /// A workload with a derived seed.
+    pub fn new(name: impl Into<String>, functions: Vec<VectorFunction>) -> Self {
+        Workload {
+            name: name.into(),
+            functions,
+            seed: None,
+        }
+    }
+
+    /// Pins this workload's search seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// The per-workload result of a [`Flow::run_many`] batch.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// The workload's label.
+    pub name: String,
+    /// The seed the search actually used (workload override or derived).
+    pub seed: u64,
+    /// The search strategy's name.
+    pub strategy: &'static str,
+    /// The flow result, or the error that stopped this workload. Other
+    /// workloads in the batch are unaffected.
+    pub outcome: Result<FlowResult, MvfError>,
+}
+
+impl WorkloadReport {
+    /// The successful result, if any.
+    pub fn result(&self) -> Option<&FlowResult> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// SplitMix64: derives decorrelated per-workload seeds from the strategy
+/// seed and the batch index.
+fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<S: SearchStrategy> Flow<S> {
+    /// Runs a batch of workloads, each through the full three-phase flow
+    /// with its own deterministic seed, and returns one report per
+    /// workload in input order.
+    ///
+    /// With the `parallel` feature, workloads are distributed across the
+    /// worker thread pool ([`FlowBuilder::workload_threads`](crate::FlowBuilder::workload_threads),
+    /// `MVF_THREADS`, or all cores, in that order) and each workload's
+    /// inner search runs serially; a batch of one falls back to
+    /// parallelism *inside* the search. Either way the reports are
+    /// bit-identical to running every workload serially.
+    pub fn run_many(&self, workloads: &[Workload]) -> Vec<WorkloadReport> {
+        let seeds: Vec<u64> = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                w.seed
+                    .unwrap_or_else(|| derive_seed(self.strategy.seed(), i as u64))
+            })
+            .collect();
+
+        #[cfg(feature = "parallel")]
+        {
+            let total = resolve_threads(self.workload_threads);
+            let pool = total.min(workloads.len());
+            if pool > 1 {
+                // Striped assignment (worker w takes indices w, w+pool, …)
+                // so heavy workloads spread across workers instead of
+                // clustering in one contiguous chunk; each worker's inner
+                // searches split the remaining cores so small batches
+                // still use the whole machine without oversubscribing it.
+                // Reports are re-stitched by index, so ordering (and the
+                // per-index seeds) are unaffected — and searches are
+                // bit-identical for every thread count.
+                let inner = (total / pool).max(1);
+                let mut reports: Vec<Option<WorkloadReport>> =
+                    (0..workloads.len()).map(|_| None).collect();
+                std::thread::scope(|scope| {
+                    let seeds = &seeds;
+                    let handles: Vec<_> = (0..pool)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                workloads
+                                    .iter()
+                                    .enumerate()
+                                    .skip(w)
+                                    .step_by(pool)
+                                    .map(|(i, wl)| (i, self.run_workload(wl, seeds[i], inner)))
+                                    .collect::<Vec<(usize, WorkloadReport)>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        for (i, r) in h.join().expect("workload worker panicked") {
+                            reports[i] = Some(r);
+                        }
+                    }
+                });
+                return reports
+                    .into_iter()
+                    .map(|r| r.expect("every workload index is assigned to one worker"))
+                    .collect();
+            }
+        }
+        #[cfg(not(feature = "parallel"))]
+        let _ = resolve_threads(self.workload_threads);
+
+        workloads
+            .iter()
+            .zip(&seeds)
+            .map(|(w, &seed)| self.run_workload(w, seed, self.strategy.threads()))
+            .collect()
+    }
+
+    fn run_workload(&self, workload: &Workload, seed: u64, threads: usize) -> WorkloadReport {
+        let strategy = self.strategy.reconfigured(seed, threads);
+        WorkloadReport {
+            name: workload.name.clone(),
+            seed,
+            strategy: strategy.name(),
+            outcome: self.run_with_strategy(&workload.functions, &strategy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_are_decorrelated_and_stable() {
+        let a = derive_seed(0xC0FFEE, 0);
+        let b = derive_seed(0xC0FFEE, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_seed(0xC0FFEE, 0), "derivation is pure");
+        assert_ne!(a, derive_seed(0xC0FFEF, 0), "base seed matters");
+    }
+
+    #[test]
+    fn workload_builder_carries_seed() {
+        let w = Workload::new("empty", Vec::new()).with_seed(42);
+        assert_eq!(w.seed, Some(42));
+        assert_eq!(w.name, "empty");
+    }
+
+    #[test]
+    fn empty_function_list_reports_an_error_not_a_panic() {
+        let flow = Flow::builder().workload_threads(1).build();
+        let reports = flow.run_many(&[Workload::new("empty", Vec::new())]);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].outcome.is_err());
+        assert!(reports[0].result().is_none());
+    }
+}

@@ -46,9 +46,12 @@
 #![warn(missing_docs)]
 
 pub mod permutation;
+pub mod strategy;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+pub use strategy::{Ga, HillClimb, Objective, RandomSearch, SearchOutcome, SearchStrategy};
 
 /// Configuration of the GA engine.
 #[derive(Debug, Clone)]
@@ -105,26 +108,88 @@ pub fn resolve_threads(configured: usize) -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// A batch fitness evaluator: scores genomes through a per-worker
+/// evaluation context.
+///
+/// This is the seam between the search engines and the two fitness
+/// flavors: a plain `Fn(&G) -> f64` closure (context-free) and an
+/// [`Objective`] whose evaluations reuse an expensive scratch context.
+/// Each worker thread gets its own context, so contexts never need
+/// synchronization and their reuse cannot change results.
+pub(crate) trait BatchScorer<G>: Sync {
+    /// Per-worker evaluation state.
+    type Ctx;
+    /// Creates one worker context.
+    fn new_ctx(&self) -> Self::Ctx;
+    /// Scores a genome (lower is better).
+    fn score(&self, ctx: &mut Self::Ctx, genome: &G) -> f64;
+}
+
+/// Adapts a plain fitness closure to [`BatchScorer`].
+pub(crate) struct FnScorer<F>(pub F);
+
+impl<G, F: Fn(&G) -> f64 + Sync> BatchScorer<G> for FnScorer<F> {
+    type Ctx = ();
+    fn new_ctx(&self) {}
+    fn score(&self, _ctx: &mut (), genome: &G) -> f64 {
+        (self.0)(genome)
+    }
+}
+
+/// Adapts an [`Objective`] to [`BatchScorer`].
+pub(crate) struct ObjScorer<'a, O>(pub &'a O);
+
+impl<O: Objective> BatchScorer<O::Genome> for ObjScorer<'_, O> {
+    type Ctx = O::Ctx;
+    fn new_ctx(&self) -> O::Ctx {
+        self.0.new_ctx()
+    }
+    fn score(&self, ctx: &mut O::Ctx, genome: &O::Genome) -> f64 {
+        self.0.evaluate(ctx, genome)
+    }
+}
+
 /// Scores a batch of genomes, preserving order.
 ///
 /// Serial by default; with the `parallel` feature the slice is split into
 /// per-thread chunks scored concurrently and re-stitched in order, so the
 /// result is independent of scheduling.
-fn evaluate_batch<G, F>(genomes: &[G], fitness: &F, threads: usize) -> Vec<f64>
+///
+/// `ctxs` holds one lazily-created evaluation context per worker slot and
+/// is owned by the *caller*, so the contexts — and everything they cache —
+/// survive across batches: a GA reuses the same contexts for every
+/// generation of the run, not just within one batch.
+pub(crate) fn evaluate_batch<G, S>(
+    genomes: &[G],
+    scorer: &S,
+    threads: usize,
+    ctxs: &mut Vec<Option<S::Ctx>>,
+) -> Vec<f64>
 where
     G: Sync,
-    F: Fn(&G) -> f64 + Sync,
+    S: BatchScorer<G>,
+    S::Ctx: Send,
 {
     #[cfg(feature = "parallel")]
     {
         let threads = threads.min(genomes.len());
         if threads > 1 {
             let chunk = genomes.len().div_ceil(threads);
+            let n_chunks = genomes.len().div_ceil(chunk);
+            if ctxs.len() < n_chunks {
+                ctxs.resize_with(n_chunks, || None);
+            }
             let mut out = Vec::with_capacity(genomes.len());
             std::thread::scope(|scope| {
                 let handles: Vec<_> = genomes
                     .chunks(chunk)
-                    .map(|c| scope.spawn(move || c.iter().map(fitness).collect::<Vec<f64>>()))
+                    .zip(ctxs.iter_mut())
+                    .map(|(c, slot)| {
+                        scope.spawn(move || {
+                            let ctx = slot.get_or_insert_with(|| scorer.new_ctx());
+                            c.iter().map(|g| scorer.score(ctx, g)).collect::<Vec<f64>>()
+                        })
+                    })
                     .collect();
                 for h in handles {
                     out.extend(h.join().expect("fitness worker panicked"));
@@ -135,7 +200,11 @@ where
     }
     #[cfg(not(feature = "parallel"))]
     let _ = threads;
-    genomes.iter().map(fitness).collect()
+    if ctxs.is_empty() {
+        ctxs.push(None);
+    }
+    let ctx = ctxs[0].get_or_insert_with(|| scorer.new_ctx());
+    genomes.iter().map(|g| scorer.score(ctx, g)).collect()
 }
 
 /// Per-generation statistics (fitness is minimized).
@@ -188,13 +257,7 @@ impl GeneticAlgorithm {
     /// * `fitness` scores a genome (lower is better). It must be a pure
     ///   function of the genome: batches are scored together, potentially
     ///   on several threads (see the crate docs on determinism).
-    pub fn run<G, I, M, C, F>(
-        &self,
-        mut init: I,
-        mut mutate: M,
-        mut crossover: C,
-        fitness: F,
-    ) -> GaResult<G>
+    pub fn run<G, I, M, C, F>(&self, init: I, mutate: M, crossover: C, fitness: F) -> GaResult<G>
     where
         G: Clone + Sync,
         I: FnMut(&mut StdRng) -> G,
@@ -202,10 +265,47 @@ impl GeneticAlgorithm {
         C: FnMut(&G, &G, &mut StdRng) -> G,
         F: Fn(&G) -> f64 + Sync,
     {
+        self.run_inner(init, mutate, crossover, &FnScorer(fitness))
+    }
+
+    /// Runs the GA against an [`Objective`], threading a per-worker
+    /// evaluation context through the fitness calls.
+    ///
+    /// The breeding discipline (RNG streams, selection, variation) is the
+    /// same code as [`GeneticAlgorithm::run`], so for equivalent operators
+    /// the two are **bit-identical** given the same seed; only the
+    /// fitness plumbing differs.
+    pub fn run_objective<O: Objective>(&self, objective: &O) -> GaResult<O::Genome> {
+        self.run_inner(
+            |rng| objective.init(rng),
+            |g, rng| objective.mutate(g, rng),
+            |a, b, rng| objective.crossover(a, b, rng),
+            &ObjScorer(objective),
+        )
+    }
+
+    fn run_inner<G, I, M, C, S>(
+        &self,
+        mut init: I,
+        mut mutate: M,
+        mut crossover: C,
+        scorer: &S,
+    ) -> GaResult<G>
+    where
+        G: Clone + Sync,
+        I: FnMut(&mut StdRng) -> G,
+        M: FnMut(&mut G, &mut StdRng),
+        C: FnMut(&G, &G, &mut StdRng) -> G,
+        S: BatchScorer<G>,
+        S::Ctx: Send,
+    {
         let cfg = &self.cfg;
         let threads = resolve_threads(cfg.threads);
         let mut master = StdRng::seed_from_u64(cfg.seed);
         let mut evaluations = 0usize;
+        // Per-worker evaluation contexts, reused across every generation
+        // of the run.
+        let mut ctxs: Vec<Option<S::Ctx>> = Vec::new();
         // Initial population: one pre-drawn RNG stream per individual.
         let genomes: Vec<G> = (0..cfg.population)
             .map(|_| {
@@ -213,7 +313,7 @@ impl GeneticAlgorithm {
                 init(&mut stream)
             })
             .collect();
-        let fits = evaluate_batch(&genomes, &fitness, threads);
+        let fits = evaluate_batch(&genomes, scorer, threads, &mut ctxs);
         evaluations += genomes.len();
         let mut population: Vec<(G, f64)> = genomes.into_iter().zip(fits).collect();
         population.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -249,7 +349,7 @@ impl GeneticAlgorithm {
                 }
                 children.push(child);
             }
-            let fits = evaluate_batch(&children, &fitness, threads);
+            let fits = evaluate_batch(&children, scorer, threads, &mut ctxs);
             evaluations += children.len();
             let mut next: Vec<(G, f64)> = Vec::with_capacity(cfg.population);
             for e in population.iter().take(n_elite) {
@@ -338,13 +438,51 @@ pub fn random_search_with_threads<G, I, F>(
     n_evals: usize,
     seed: u64,
     threads: usize,
-    mut init: I,
+    init: I,
     fitness: F,
 ) -> RandomSearchResult<G>
 where
     G: Clone + Sync,
     I: FnMut(&mut StdRng) -> G,
     F: Fn(&G) -> f64 + Sync,
+{
+    random_search_inner(n_evals, seed, threads, init, &FnScorer(fitness))
+}
+
+/// Random search against an [`Objective`]: like
+/// [`random_search_with_threads`], with fitness evaluated through the
+/// objective's per-worker context (bit-identical to the closure form).
+///
+/// # Panics
+///
+/// Panics if `n_evals == 0`.
+pub fn random_search_objective<O: Objective>(
+    n_evals: usize,
+    seed: u64,
+    threads: usize,
+    objective: &O,
+) -> RandomSearchResult<O::Genome> {
+    random_search_inner(
+        n_evals,
+        seed,
+        threads,
+        |rng| objective.init(rng),
+        &ObjScorer(objective),
+    )
+}
+
+fn random_search_inner<G, I, S>(
+    n_evals: usize,
+    seed: u64,
+    threads: usize,
+    mut init: I,
+    scorer: &S,
+) -> RandomSearchResult<G>
+where
+    G: Clone + Sync,
+    I: FnMut(&mut StdRng) -> G,
+    S: BatchScorer<G>,
+    S::Ctx: Send,
 {
     assert!(n_evals > 0, "random search needs at least one evaluation");
     let mut master = StdRng::seed_from_u64(seed);
@@ -354,7 +492,8 @@ where
             init(&mut stream)
         })
         .collect();
-    let samples = evaluate_batch(&genomes, &fitness, resolve_threads(threads));
+    let mut ctxs: Vec<Option<S::Ctx>> = Vec::new();
+    let samples = evaluate_batch(&genomes, scorer, resolve_threads(threads), &mut ctxs);
     let best_idx = samples
         .iter()
         .enumerate()

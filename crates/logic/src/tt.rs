@@ -724,6 +724,27 @@ impl TtArena {
         }
     }
 
+    /// Reconfigures the arena to `n_slots` zeroed tables over `n_vars`
+    /// variables, reusing the backing allocation when it is large enough.
+    ///
+    /// This is the reuse hook for callers that evaluate many small cones
+    /// of varying arity (cut functions, fitness evaluation): one arena
+    /// lives across calls and only grows, instead of being reallocated
+    /// per cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vars > MAX_VARS`.
+    pub fn reset(&mut self, n_vars: usize, n_slots: usize) {
+        TruthTable::assert_vars(n_vars);
+        self.n_vars = n_vars;
+        self.words_per_slot = TruthTable::word_count(n_vars);
+        self.tail = TruthTable::tail_mask(n_vars);
+        let need = self.words_per_slot * n_slots;
+        self.words.clear();
+        self.words.resize(need, 0);
+    }
+
     /// The number of variables of every slot.
     pub fn n_vars(&self) -> usize {
         self.n_vars
@@ -913,6 +934,13 @@ impl TtArena {
     /// `true` iff slots `a` and `b` hold identical tables.
     pub fn slots_equal(&self, a: usize, b: usize) -> bool {
         self.slot(a) == self.slot(b)
+    }
+}
+
+impl Default for TtArena {
+    /// An empty arena (no slots); [`TtArena::reset`] gives it a shape.
+    fn default() -> Self {
+        TtArena::new(0, 0)
     }
 }
 

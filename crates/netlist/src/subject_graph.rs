@@ -14,6 +14,15 @@ use mvf_cells::{CellKind, Library};
 
 use crate::{NetId, Netlist};
 
+/// Reusable node→net maps for [`from_aig_with`]: lowering allocates the
+/// returned [`Netlist`] but no intermediate state when the scratch is
+/// shared across calls.
+#[derive(Debug, Default)]
+pub struct SubjectScratch {
+    pos_net: HashMap<u32, NetId>,
+    neg_net: HashMap<u32, NetId>,
+}
+
 /// Lowers an AIG into an AND2/INV subject netlist.
 ///
 /// Primary input/output names are taken from the AIG. Inverters are shared:
@@ -24,6 +33,17 @@ use crate::{NetId, Netlist};
 /// Panics if `lib` lacks AND2, INV, BUF or tie cells (the standard library
 /// has all of them).
 pub fn from_aig(aig: &Aig, lib: &Library) -> Netlist {
+    from_aig_with(aig, lib, &mut SubjectScratch::default())
+}
+
+/// [`from_aig`] with caller-owned scratch maps, for loops that lower many
+/// graphs (the Phase-II fitness evaluation). The result is identical to
+/// [`from_aig`].
+///
+/// # Panics
+///
+/// Same as [`from_aig`].
+pub fn from_aig_with(aig: &Aig, lib: &Library, scratch: &mut SubjectScratch) -> Netlist {
     let and2 = lib.cell_by_kind(CellKind::And(2)).expect("AND2 in library");
     let inv = lib.cell_by_kind(CellKind::Inv).expect("INV in library");
     let buf = lib.cell_by_kind(CellKind::Buf).expect("BUF in library");
@@ -32,9 +52,11 @@ pub fn from_aig(aig: &Aig, lib: &Library) -> Netlist {
 
     let mut nl = Netlist::new("subject");
     // Node id -> net carrying the *positive* polarity of the node.
-    let mut pos_net: HashMap<u32, NetId> = HashMap::new();
+    let pos_net = &mut scratch.pos_net;
+    pos_net.clear();
     // Node id -> net carrying the complemented polarity (INV output).
-    let mut neg_net: HashMap<u32, NetId> = HashMap::new();
+    let neg_net = &mut scratch.neg_net;
+    neg_net.clear();
 
     for i in 0..aig.n_inputs() {
         let net = nl.add_input(aig.input_name(i).to_string());
@@ -76,14 +98,14 @@ pub fn from_aig(aig: &Aig, lib: &Library) -> Netlist {
 
     for id in aig.and_nodes() {
         let (f0, f1) = aig.fanins(id);
-        let a = lit_net(&mut nl, &pos_net, &mut neg_net, f0);
-        let b = lit_net(&mut nl, &pos_net, &mut neg_net, f1);
+        let a = lit_net(&mut nl, pos_net, neg_net, f0);
+        let b = lit_net(&mut nl, pos_net, neg_net, f1);
         let (_, y) = nl.add_cell(format!("and{}", id.0), and2.into(), vec![a, b]);
         pos_net.insert(id.0, y);
     }
 
     for (name, l) in aig.outputs() {
-        let mut net = lit_net(&mut nl, &pos_net, &mut neg_net, *l);
+        let mut net = lit_net(&mut nl, pos_net, neg_net, *l);
         // An output wired directly to an input gets a buffer so that the
         // output net is cell-driven (simplifies downstream tree covering).
         if nl.is_input(net) {

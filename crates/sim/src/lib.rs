@@ -191,6 +191,8 @@ pub fn validate_mapped(
     let nl = &mapped.netlist;
     let n_in = nl.inputs().len();
     let n_out = nl.outputs().len();
+    // One binding map reused across every viable function.
+    let mut config: HashMap<CellId, TruthTable> = HashMap::new();
     for (j, f) in viable.iter().enumerate() {
         if f.n_inputs() != n_in || f.n_outputs() != n_out {
             return Err(ValidationError::ShapeMismatch(format!(
@@ -201,7 +203,7 @@ pub fn validate_mapped(
                 n_out
             )));
         }
-        let mut config: HashMap<CellId, TruthTable> = HashMap::new();
+        config.clear();
         for w in &mapped.witness.cells {
             config.insert(w.cell, w.function_for(j).clone());
         }

@@ -31,4 +31,4 @@ mod plain;
 
 pub use camo::{map_camouflage, CamoMapOptions, CamoMappedCircuit, CamoWitness, CellWitness};
 pub use engine::MapError;
-pub use plain::{map_standard, MapOptions};
+pub use plain::{map_standard, map_standard_with, MapOptions, MatchScratch};

@@ -6,9 +6,39 @@
 
 use mvf_cells::Library;
 use mvf_logic::npn::all_permutations;
+use mvf_logic::TruthTable;
 use mvf_netlist::{CellRef, Netlist};
 
 use crate::engine::{Engine, MapError, Match, Subtree};
+
+/// Reusable matcher state for [`map_standard_with`].
+///
+/// Holds the pin-permutation tables per arity (computed once instead of
+/// once per subtree × cell) and a buffer of permuted subtree functions
+/// (computed once per subtree instead of once per cell). Sharing one
+/// `MatchScratch` across many mapping calls — the Phase-II fitness loop —
+/// removes the dominant transient allocations of the matcher without
+/// changing any mapping decision.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// `perms[k]` = all permutations of `0..k`, in [`all_permutations`]
+    /// order; filled lazily per arity.
+    perms: Vec<Option<Vec<Vec<usize>>>>,
+    /// Permuted variants of the current subtree function, parallel to
+    /// `perms[k]`.
+    permuted: Vec<TruthTable>,
+}
+
+impl MatchScratch {
+    fn perms_for(&mut self, k: usize) -> &[Vec<usize>] {
+        if self.perms.len() <= k {
+            self.perms.resize(k + 1, None);
+        }
+        self.perms[k]
+            .get_or_insert_with(|| all_permutations(k))
+            .as_slice()
+    }
+}
 
 /// Options for [`map_standard`].
 #[derive(Debug, Clone)]
@@ -63,6 +93,22 @@ pub fn map_standard(
     lib: &Library,
     options: &MapOptions,
 ) -> Result<Netlist, MapError> {
+    map_standard_with(subject, lib, options, &mut MatchScratch::default())
+}
+
+/// [`map_standard`] with a caller-owned [`MatchScratch`]: identical
+/// mapping decisions, but permutation tables and permuted-function
+/// buffers are reused across calls.
+///
+/// # Errors
+///
+/// Same as [`map_standard`].
+pub fn map_standard_with(
+    subject: &Netlist,
+    lib: &Library,
+    options: &MapOptions,
+    scratch: &mut MatchScratch,
+) -> Result<Netlist, MapError> {
     let engine = Engine::new(
         subject,
         lib,
@@ -76,6 +122,15 @@ pub fn map_standard(
         debug_assert_eq!(st.funcs_by_assign.len(), 1, "plain mapping has no selects");
         let f = &st.funcs_by_assign[0];
         let k = st.data_leaves.len();
+        // Permute the subtree function once per permutation, not once per
+        // permutation × cell.
+        scratch.perms_for(k);
+        let s = &mut *scratch;
+        let perms = s.perms[k].as_ref().expect("filled by perms_for");
+        s.permuted.clear();
+        for perm in perms {
+            s.permuted.push(f.permute(perm).expect("valid permutation"));
+        }
         let mut best: Option<Match> = None;
         for (id, cell) in lib.iter() {
             if cell.n_inputs() != k {
@@ -84,13 +139,12 @@ pub fn map_standard(
             if best.as_ref().is_some_and(|b| b.area <= cell.area_ge()) {
                 continue;
             }
-            for perm in all_permutations(k) {
-                let g = f.permute(&perm).expect("valid permutation");
-                if &g == cell.function() {
+            for (perm, g) in perms.iter().zip(&s.permuted) {
+                if g == cell.function() {
                     best = Some(Match {
                         cell: CellRef::Std(id),
-                        pin_perm: perm,
-                        funcs_by_assign: vec![g],
+                        pin_perm: perm.clone(),
+                        funcs_by_assign: vec![g.clone()],
                         area: cell.area_ge(),
                         override_leaves: None,
                     });

@@ -12,9 +12,10 @@
 //! cargo run --release --example attack_demo
 //! ```
 
-use mvf::{Flow, FlowConfig};
-use mvf_attack::{is_plausible, random_camouflage};
+use mvf::Flow;
+use mvf_attack::{plausibility_sweep, random_camouflage};
 use mvf_cells::{CamoLibrary, Library};
+use mvf_ga::GaConfig;
 use mvf_sboxes::optimal_sboxes;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,8 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline.n_cells(),
         baseline.area_ge(&lib, Some(&camo))
     );
-    for (j, f) in viable.iter().enumerate() {
-        let p = is_plausible(&baseline, &lib, &camo, f);
+    // One batched sweep: the netlist is encoded once, every candidate is
+    // an incremental SAT query.
+    for (j, p) in plausibility_sweep(&baseline, &lib, &camo, &viable)
+        .into_iter()
+        .enumerate()
+    {
         println!(
             "  G{j} plausible? {}",
             if p {
@@ -42,19 +47,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nThis paper's flow: merge all 4, GA pin assignment, camo mapping");
-    let mut config = FlowConfig::default();
-    config.ga.population = 8;
-    config.ga.generations = 4;
-    let flow = Flow::new(config);
+    let flow = Flow::builder()
+        .ga(GaConfig {
+            population: 8,
+            generations: 4,
+            ..GaConfig::default()
+        })
+        .build();
     let result = flow.run(&viable)?;
     println!(
         "  {} cells, {:.1} GE (select inputs eliminated)",
         result.mapped.netlist.n_cells(),
         result.mapped_area_ge
     );
+    let verdicts = plausibility_sweep(
+        &result.mapped.netlist,
+        &lib,
+        &camo,
+        &result.merged.functions,
+    );
     let mut all = true;
-    for (j, f) in result.merged.functions.iter().enumerate() {
-        let p = is_plausible(&result.mapped.netlist, &lib, &camo, f);
+    for (j, p) in verdicts.into_iter().enumerate() {
         all &= p;
         println!("  G{j} plausible? {}", if p { "yes" } else { "NO (bug!)" });
     }

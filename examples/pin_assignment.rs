@@ -10,8 +10,9 @@
 //! cargo run --release --example pin_assignment
 //! ```
 
-use mvf::{synthesized_area_ge, FlowConfig};
+use mvf::{EvalContext, FlowConfig};
 use mvf_cells::Library;
+use mvf_ga::GaConfig;
 use mvf_logic::{TruthTable, VectorFunction};
 use mvf_merge::PinAssignment;
 
@@ -30,15 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let functions = paper_functions();
     let cfg = FlowConfig::default();
     let lib = Library::standard();
+    // One evaluation context serves every fitness call in this example.
+    let mut ctx = EvalContext::new();
 
     // Fig. 3a: aligned placement — A/F, B/G, C/H, D/I, E/J share the core.
     let good = PinAssignment::identity(&functions);
-    let good_area = synthesized_area_ge(&functions, &good, &cfg.script, &lib, &cfg.map)?;
+    let good_area = ctx.synthesized_area_ge(&functions, &good, &cfg.script, &lib, &cfg.map)?;
 
     // Fig. 3b: scrambled placement for f1 breaks the shared core.
     let mut bad = PinAssignment::identity(&functions);
     bad.input_perms[1] = vec![2, 0, 1, 3, 4]; // F→wire2, G→wire0, H→wire1
-    let bad_area = synthesized_area_ge(&functions, &bad, &cfg.script, &lib, &cfg.map)?;
+    let bad_area = ctx.synthesized_area_ge(&functions, &bad, &cfg.script, &lib, &cfg.map)?;
 
     println!("Fig. 3 — input placement vs. logic sharing");
     println!("  effective placement (Fig. 3a): {good_area:>6.1} GE");
@@ -50,10 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase II automates the choice: a tiny GA starting from random
     // placements rediscovers a good one.
-    let mut flow_cfg = FlowConfig::default();
-    flow_cfg.ga.population = 8;
-    flow_cfg.ga.generations = 8;
-    let flow = mvf::Flow::new(flow_cfg);
+    let flow = mvf::Flow::builder()
+        .ga(GaConfig {
+            population: 8,
+            generations: 8,
+            ..GaConfig::default()
+        })
+        .build();
     let result = flow.run(&functions)?;
     println!(
         "  GA-found placement:           {:>6.1} GE (after {} evaluations)",

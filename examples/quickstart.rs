@@ -4,7 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mvf::{Flow, FlowConfig};
+use mvf::Flow;
+use mvf_ga::GaConfig;
 use mvf_sboxes::optimal_sboxes;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -12,15 +13,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // optimal 4-bit S-boxes.
     let functions = optimal_sboxes()[..2].to_vec();
 
-    let mut config = FlowConfig::default();
-    config.ga.population = 10;
-    config.ga.generations = 6;
-    let flow = Flow::new(config);
+    let flow = Flow::builder()
+        .ga(GaConfig {
+            population: 10,
+            generations: 6,
+            ..GaConfig::default()
+        })
+        .build();
 
     println!("Running the three-phase flow on 2 PRESENT-class S-boxes ...");
     let result = flow.run(&functions)?;
 
-    println!("GA evaluations:        {}", result.evaluations);
+    println!("Search evaluations:    {}", result.evaluations);
+    println!("Failed evaluations:    {}", result.failed_evaluations);
     println!(
         "Synthesized area (GA): {:.1} GE",
         result.synthesized_area_ge

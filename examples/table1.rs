@@ -1,6 +1,9 @@
 //! Regenerates the paper's **Table I** as a standalone binary (the
 //! Criterion bench `table1` does the same inside `cargo bench`).
 //!
+//! The GA arm runs all seven workloads as one [`mvf::Flow::run_many`]
+//! batch; the random arm reuses the same flow per workload.
+//!
 //! ```sh
 //! cargo run --release --example table1                  # quick budget
 //! MVF_PAPER_SCALE=1 cargo run --release --example table1  # paper budget
@@ -9,56 +12,39 @@
 //! Budget knobs: `MVF_GA_POP`, `MVF_GA_GENS`, `MVF_PAPER_SCALE=1`
 //! (population 24, generations 442 ⇒ 9750 evaluations ≈ the paper's 9726).
 
-use mvf::{Flow, FlowConfig, Table1, Table1Row};
-use mvf_ga::GeneticAlgorithm;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+use mvf::{SearchStrategy, Table1, Table1Row, Workload};
+use mvf_bench::{bench_flow, table1_workloads};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = FlowConfig::default();
-    if std::env::var_os("MVF_PAPER_SCALE").is_some() {
-        config.ga.population = 24;
-        config.ga.generations = 442;
-    } else {
-        config.ga.population = env_usize("MVF_GA_POP", 10);
-        config.ga.generations = env_usize("MVF_GA_GENS", 8);
-    }
-    let flow = Flow::new(config);
-    let budget = GeneticAlgorithm::new(flow.config().ga.clone()).evaluation_budget();
+    let flow = bench_flow();
+    let budget = flow.strategy().evaluation_budget();
     eprintln!("budget: {budget} evaluations per arm (GA and random)");
 
-    let opt = mvf_sboxes::optimal_sboxes();
-    let des = mvf_sboxes::des_sboxes();
-    let mut workloads: Vec<(&str, Vec<_>)> = Vec::new();
-    for n in [2usize, 4, 8, 16] {
-        workloads.push(("PRESENT", opt[..n].to_vec()));
-    }
-    for n in [2usize, 4, 8] {
-        workloads.push(("DES", des[..n].to_vec()));
-    }
+    // Seeds derive from the GA seed and batch index — the same derivation
+    // the Criterion `table1` bench uses, so both entry points print the
+    // same table for a given budget.
+    let bench_workloads = table1_workloads();
+    let workloads: Vec<Workload> = bench_workloads.iter().map(|w| w.to_workload()).collect();
+
+    eprintln!("running {} workloads as one batch ...", workloads.len());
+    let reports = flow.run_many(&workloads);
 
     let mut table = Table1::default();
-    for (family, functions) in workloads {
-        let n = functions.len();
-        eprintln!("[{family} x{n}] random baseline ...");
-        let baseline = flow.random_baseline(&functions, budget, 0xBA5E + n as u64);
-        eprintln!("[{family} x{n}] genetic algorithm ...");
-        let result = flow.run(&functions)?;
+    for (w, report) in bench_workloads.iter().zip(&reports) {
+        let result = report.outcome.clone()?;
+        eprintln!("[{}] random baseline ...", report.name);
+        let baseline = flow.random_baseline(&w.functions, budget, 0xBA5E + w.n as u64);
         table.rows.push(Table1Row {
-            circuit: family.to_string(),
-            n_sboxes: n,
+            circuit: w.family.to_string(),
+            n_sboxes: w.n,
             random_avg: baseline.avg_area_ge,
             random_best: baseline.best_area_ge,
             ga: result.synthesized_area_ge,
             ga_tm: result.mapped_area_ge,
         });
         eprintln!(
-            "[{family} x{n}] avg {:.0} best {:.0} GA {:.0} GA+TM {:.0} improvement {:.0}%",
+            "[{}] avg {:.0} best {:.0} GA {:.0} GA+TM {:.0} improvement {:.0}%",
+            report.name,
             baseline.avg_area_ge,
             baseline.best_area_ge,
             result.synthesized_area_ge,

@@ -3,21 +3,25 @@
 //! (the paper's ModelSim check, done exhaustively here), and (c) remain
 //! plausible for every viable function under the SAT adversary.
 
-use mvf::{Flow, FlowConfig};
+use mvf::{Flow, Ga};
+use mvf_ga::GaConfig;
 use mvf_sboxes::{des_sboxes, optimal_sboxes};
 
-fn tiny_config() -> FlowConfig {
-    let mut config = FlowConfig::default();
-    config.ga.population = 6;
-    config.ga.generations = 2;
-    config.ga.seed = 42;
-    config
+fn tiny_flow() -> Flow<Ga> {
+    Flow::builder()
+        .ga(GaConfig {
+            population: 6,
+            generations: 2,
+            seed: 42,
+            ..GaConfig::default()
+        })
+        .build()
 }
 
 #[test]
 fn present_two_sboxes_full_flow() {
     let functions = optimal_sboxes()[..2].to_vec();
-    let flow = Flow::new(tiny_config());
+    let flow = tiny_flow();
     let result = flow.run(&functions).expect("flow succeeds");
     // Select inputs eliminated: 4 data inputs remain.
     assert_eq!(result.mapped.netlist.inputs().len(), 4);
@@ -31,12 +35,14 @@ fn present_two_sboxes_full_flow() {
     .expect("all viable functions realizable");
     // TM never increases area over the plain mapping.
     assert!(result.mapped_area_ge <= result.synthesized_area_ge);
+    // Every fitness evaluation of a healthy run succeeds.
+    assert_eq!(result.failed_evaluations, 0);
 }
 
 #[test]
 fn present_four_sboxes_adversary_check() {
     let functions = optimal_sboxes()[..4].to_vec();
-    let flow = Flow::new(tiny_config());
+    let flow = tiny_flow();
     let result = flow.run(&functions).expect("flow succeeds");
     for (j, f) in result.merged.functions.iter().enumerate() {
         assert!(
@@ -54,7 +60,7 @@ fn present_four_sboxes_adversary_check() {
 #[test]
 fn des_two_sboxes_full_flow() {
     let functions = des_sboxes()[..2].to_vec();
-    let flow = Flow::new(tiny_config());
+    let flow = tiny_flow();
     let result = flow.run(&functions).expect("flow succeeds");
     assert_eq!(result.mapped.netlist.inputs().len(), 6);
     assert_eq!(result.mapped.netlist.outputs().len(), 4);
@@ -70,7 +76,7 @@ fn des_two_sboxes_full_flow() {
 #[test]
 fn ga_never_loses_to_its_own_initial_population() {
     let functions = optimal_sboxes()[..2].to_vec();
-    let flow = Flow::new(tiny_config());
+    let flow = tiny_flow();
     let result = flow.run(&functions).expect("flow succeeds");
     let h = &result.ga_history;
     assert!(h.last().expect("history").best_so_far <= h[0].best_so_far);
@@ -79,7 +85,7 @@ fn ga_never_loses_to_its_own_initial_population() {
 #[test]
 fn every_witnessed_function_has_a_doping_config() {
     let functions = optimal_sboxes()[..2].to_vec();
-    let flow = Flow::new(tiny_config());
+    let flow = tiny_flow();
     let result = flow.run(&functions).expect("flow succeeds");
     let camo = flow.camo_library();
     for w in &result.mapped.witness.cells {

@@ -4,17 +4,23 @@
 //! same areas. This is the contract that makes the `parallel` feature
 //! safe to enable unconditionally.
 
-use mvf::{Flow, FlowConfig, FlowResult};
+use mvf::{Flow, FlowResult};
+use mvf_ga::GaConfig;
 use mvf_sboxes::optimal_sboxes;
 
 fn run_present2(threads: usize) -> FlowResult {
-    let mut config = FlowConfig::default();
-    config.ga.population = 6;
-    config.ga.generations = 2;
-    config.ga.seed = 0xBEEF;
-    config.ga.threads = threads;
     let functions = optimal_sboxes()[..2].to_vec();
-    Flow::new(config).run(&functions).expect("flow succeeds")
+    Flow::builder()
+        .ga(GaConfig {
+            population: 6,
+            generations: 2,
+            seed: 0xBEEF,
+            threads,
+            ..GaConfig::default()
+        })
+        .build()
+        .run(&functions)
+        .expect("flow succeeds")
 }
 
 #[test]
@@ -69,7 +75,7 @@ fn parallel_flow_is_bit_identical_to_serial() {
 #[test]
 fn random_baseline_is_deterministic_across_repeats() {
     let functions = optimal_sboxes()[..2].to_vec();
-    let flow = Flow::new(FlowConfig::default());
+    let flow = Flow::builder().build();
     let a = flow.random_baseline(&functions, 4, 0xF00D);
     let b = flow.random_baseline(&functions, 4, 0xF00D);
     assert_eq!(a.best_assignment, b.best_assignment);
