@@ -76,7 +76,7 @@ impl Cut {
 
     /// Sorted-merge of two cuts, or `None` if the union exceeds `k`
     /// leaves.
-    fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
         let sig = self.sig | other.sig;
         // The signature underestimates the union size, so a popcount
         // above k proves infeasibility without touching the arrays.
@@ -125,7 +125,7 @@ impl Cut {
     }
 
     /// `true` iff `self`'s leaves are a subset of `other`'s.
-    fn dominates(&self, other: &Cut) -> bool {
+    pub fn dominates(&self, other: &Cut) -> bool {
         if self.sig & !other.sig != 0 || self.len > other.len {
             return false;
         }
@@ -173,53 +173,133 @@ pub struct CutScratch {
     stack: Vec<u32>,
 }
 
-/// Enumerates up to `max_cuts` k-feasible cuts per node.
+/// Flat CSR (compressed sparse row) storage of per-node cut lists: one
+/// backing [`Cut`] array plus per-node offset ranges.
 ///
-/// The result is indexed by node id. Every node's cut list contains the
-/// trivial cut `{node}` last, so it can be used as a fallback.
+/// Enumeration appends every node's cuts to a single `cuts` vector and
+/// records the node's `[start, end)` range in `ranges`, so the whole cut
+/// store is two allocations regardless of node count — there are no
+/// per-node inner vectors. Capacity is retained across
+/// [`enumerate_cuts_into`] calls, so repeated enumeration (a synthesis
+/// script, a fitness loop) performs no steady-state allocation.
+///
+/// # Example
+///
+/// ```
+/// use mvf_aig::cuts::{enumerate_cuts, CutSet};
+/// use mvf_aig::Aig;
+///
+/// let mut g = Aig::new(2);
+/// let (a, b) = (g.input(0), g.input(1));
+/// let f = g.and(a, b);
+/// g.add_output("f", f);
+/// let cuts: CutSet = enumerate_cuts(&g, 4, 8);
+/// // The AND node's list ends with its trivial cut {node}.
+/// let node_cuts = cuts.cuts_of(f.node().0);
+/// assert_eq!(node_cuts.last().unwrap().leaves(), [f.node().0]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CutSet {
+    /// All cuts, grouped by node in ascending node-id order.
+    cuts: Vec<Cut>,
+    /// `ranges[id]..ranges[id + 1]` indexes node `id`'s cuts in `cuts`;
+    /// length `n_nodes + 1`.
+    ranges: Vec<u32>,
+    /// Enumeration scratch (merge products and the dominance-filtered
+    /// list), retained across calls.
+    merged: Vec<Cut>,
+    kept: Vec<Cut>,
+}
+
+impl CutSet {
+    /// An empty cut store.
+    pub fn new() -> CutSet {
+        CutSet::default()
+    }
+
+    /// Number of nodes the store covers.
+    pub fn n_nodes(&self) -> usize {
+        self.ranges.len().saturating_sub(1)
+    }
+
+    /// Total number of stored cuts across all nodes.
+    pub fn n_cuts(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// The cut list of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the enumerated graph.
+    pub fn cuts_of(&self, id: u32) -> &[Cut] {
+        let (a, b) = (
+            self.ranges[id as usize] as usize,
+            self.ranges[id as usize + 1] as usize,
+        );
+        &self.cuts[a..b]
+    }
+}
+
+/// Enumerates up to `max_cuts` k-feasible cuts per node into a fresh
+/// [`CutSet`].
+///
+/// Every node's cut list contains the trivial cut `{node}` last, so it
+/// can be used as a fallback.
 ///
 /// # Panics
 ///
 /// Panics if `k == 0` or `k > MAX_CUT_LEAVES`.
-pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
-    let mut cuts = Vec::new();
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
+    let mut cuts = CutSet::new();
     enumerate_cuts_into(aig, k, max_cuts, &mut cuts);
     cuts
 }
 
-/// [`enumerate_cuts`] into a caller-owned buffer: the per-node cut lists
-/// are left in `cuts` (indexed by node id) with their capacity retained
-/// across calls, so repeated enumeration performs no steady-state
-/// allocation.
+/// [`enumerate_cuts`] into a caller-owned [`CutSet`]: the flat cut array
+/// and range table keep their capacity across calls, so repeated
+/// enumeration performs no steady-state allocation.
 ///
 /// # Panics
 ///
 /// Panics if `k == 0` or `k > MAX_CUT_LEAVES`.
-pub fn enumerate_cuts_into(aig: &Aig, k: usize, max_cuts: usize, cuts: &mut Vec<Vec<Cut>>) {
+pub fn enumerate_cuts_into(aig: &Aig, k: usize, max_cuts: usize, out: &mut CutSet) {
     assert!(k > 0, "cut size must be positive");
     assert!(k <= MAX_CUT_LEAVES, "cut size {k} exceeds {MAX_CUT_LEAVES}");
-    let n_nodes = aig.n_nodes();
-    for c in cuts.iter_mut() {
-        c.clear();
-    }
-    cuts.resize_with(n_nodes, Vec::new);
+    let CutSet {
+        cuts,
+        ranges,
+        merged,
+        kept,
+    } = out;
+    cuts.clear();
+    ranges.clear();
+    ranges.push(0);
     // Constant node: single empty cut.
-    cuts[0].push(Cut::empty());
+    cuts.push(Cut::empty());
+    ranges.push(cuts.len() as u32);
     for i in 0..aig.n_inputs() {
-        cuts[i + 1].push(Cut::unit(i as u32 + 1));
+        cuts.push(Cut::unit(i as u32 + 1));
+        ranges.push(cuts.len() as u32);
     }
-    let mut merged: Vec<Cut> = Vec::new();
-    let mut kept: Vec<Cut> = Vec::new();
-    for id in aig.and_nodes() {
+    for id in (aig.n_inputs() as u32 + 1)..aig.n_nodes() as u32 {
+        let id = NodeId(id);
+        if !aig.is_and(id) {
+            // Dangling non-AND slot (possible only pre-compaction): no
+            // cuts, empty range.
+            ranges.push(cuts.len() as u32);
+            continue;
+        }
         let (f0, f1) = aig.fanins(id);
         let (n0, n1) = (f0.node().0 as usize, f1.node().0 as usize);
+        let (a0, b0) = (ranges[n0] as usize, ranges[n0 + 1] as usize);
+        let (a1, b1) = (ranges[n1] as usize, ranges[n1 + 1] as usize);
         merged.clear();
-        for ai in 0..cuts[n0].len() {
-            for bi in 0..cuts[n1].len() {
-                // `Cut` is Copy, so reading through indices sidesteps the
-                // aliasing with the `cuts[id]` write below without cloning
-                // whole cut lists.
-                let (a, b) = (cuts[n0][ai], cuts[n1][bi]);
+        for ai in a0..b0 {
+            for bi in a1..b1 {
+                // `Cut` is Copy: fanin ranges are fully built (fanins
+                // precede their node), so plain indexed reads suffice.
+                let (a, b) = (cuts[ai], cuts[bi]);
                 if let Some(c) = a.merge(&b, k) {
                     if !merged.iter().any(|m| m.sig == c.sig && *m == c) {
                         merged.push(c);
@@ -231,7 +311,7 @@ pub fn enumerate_cuts_into(aig: &Aig, k: usize, max_cuts: usize, cuts: &mut Vec<
         // another's carries no extra information).
         kept.clear();
         merged.sort_by_key(Cut::len);
-        for c in &merged {
+        for c in merged.iter() {
             if !kept.iter().any(|k2| k2.dominates(c)) {
                 kept.push(*c);
             }
@@ -246,7 +326,8 @@ pub fn enumerate_cuts_into(aig: &Aig, k: usize, max_cuts: usize, cuts: &mut Vec<
             }
         }
         kept.push(Cut::unit(id.0));
-        cuts[id.0 as usize].extend_from_slice(&kept);
+        cuts.extend_from_slice(kept);
+        ranges.push(cuts.len() as u32);
     }
 }
 
@@ -378,7 +459,7 @@ mod tests {
     fn trivial_cuts_present() {
         let (g, root) = sample_aig();
         let cuts = enumerate_cuts(&g, 4, 8);
-        let root_cuts = &cuts[root.0 as usize];
+        let root_cuts = cuts.cuts_of(root.0);
         assert!(root_cuts.iter().any(|c| c.leaves() == [root.0]));
     }
 
@@ -386,7 +467,7 @@ mod tests {
     fn finds_the_three_leaf_cut() {
         let (g, root) = sample_aig();
         let cuts = enumerate_cuts(&g, 4, 8);
-        let root_cuts = &cuts[root.0 as usize];
+        let root_cuts = cuts.cuts_of(root.0);
         // The cut {a, b, c} = node ids {1, 2, 3} must be found.
         assert!(
             root_cuts.iter().any(|c| c.leaves() == [1, 2, 3]),
@@ -451,8 +532,9 @@ mod tests {
         let f = g.and_many(&lits);
         g.add_output("f", f);
         let cuts = enumerate_cuts(&g, 4, 16);
-        for (id, node_cuts) in cuts.iter().enumerate() {
-            for c in node_cuts {
+        assert_eq!(cuts.n_nodes(), g.n_nodes());
+        for id in 0..cuts.n_nodes() {
+            for c in cuts.cuts_of(id as u32) {
                 assert!(c.len() <= 4, "node {id} cut {c:?}");
             }
         }
@@ -471,7 +553,7 @@ mod tests {
     fn dominated_cuts_are_pruned() {
         let (g, root) = sample_aig();
         let cuts = enumerate_cuts(&g, 4, 16);
-        let root_cuts = &cuts[root.0 as usize];
+        let root_cuts = cuts.cuts_of(root.0);
         for (i, a) in root_cuts.iter().enumerate() {
             for (j, b) in root_cuts.iter().enumerate() {
                 if i != j && a.leaves() != [root.0] {

@@ -6,7 +6,7 @@
 //! cone currently holds. Like [`crate::rewrite`], the pass rebuilds into a
 //! fresh graph and is monotone: the result never has more AND nodes.
 
-use crate::cuts::{cut_function_with, enumerate_cuts_into, Cut, CutScratch};
+use crate::cuts::{cut_function_with, enumerate_cuts_into, CutScratch, CutSet};
 use crate::rewrite::{exclusive_cone_size, Recipe};
 use crate::{Aig, Lit};
 
@@ -31,7 +31,7 @@ pub fn refactor_with_width(aig: &Aig, k: usize, max_cuts: usize) -> Aig {
         aig,
         k,
         max_cuts,
-        &mut Vec::new(),
+        &mut CutSet::new(),
         &mut CutScratch::default(),
     )
 }
@@ -46,7 +46,7 @@ pub fn refactor_with_scratch(
     aig: &Aig,
     k: usize,
     max_cuts: usize,
-    cuts: &mut Vec<Vec<Cut>>,
+    cuts: &mut CutSet,
     eval: &mut CutScratch,
 ) -> Aig {
     assert!(k > 0 && k <= 16, "cut width must be in 1..=16");
@@ -71,7 +71,7 @@ pub fn refactor_with_scratch(
         map.push(naive);
 
         let mut best: Option<(usize, Lit)> = None;
-        for cut in &cuts[id.0 as usize] {
+        for cut in cuts.cuts_of(id.0) {
             // Refactoring pays off on wider cones; narrow ones are the
             // rewriting pass's job.
             if cut.len() < 3 || cut.leaves() == [id.0] || cut.contains(0) {

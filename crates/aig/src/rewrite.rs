@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use mvf_logic::npn::{npn_canonical, NpnTransform};
 use mvf_logic::TruthTable;
 
-use crate::cuts::{cut_function_with, enumerate_cuts_into, Cut, CutScratch};
+use crate::cuts::{cut_function_with, enumerate_cuts_into, CutScratch, CutSet};
 use crate::{build, Aig, Lit};
 
 /// A cached implementation of a canonical function: a miniature AIG over
@@ -123,7 +123,12 @@ pub(crate) fn transformed_leaves(t: &NpnTransform, actual: &[Lit]) -> (Vec<Lit>,
 /// AND nodes as the input.
 pub fn rewrite(aig: &Aig) -> Aig {
     let mut cache = RewriteCache::default();
-    rewrite_with_cache(aig, &mut cache, &mut Vec::new(), &mut CutScratch::default())
+    rewrite_with_cache(
+        aig,
+        &mut cache,
+        &mut CutSet::new(),
+        &mut CutScratch::default(),
+    )
 }
 
 /// Number of cone nodes above `leaves` that would really be freed if
@@ -177,7 +182,7 @@ pub(crate) fn exclusive_cone_size(
 pub(crate) fn rewrite_with_cache(
     aig: &Aig,
     cache: &mut RewriteCache,
-    cuts: &mut Vec<Vec<Cut>>,
+    cuts: &mut CutSet,
     eval: &mut CutScratch,
 ) -> Aig {
     enumerate_cuts_into(aig, 4, 8, cuts);
@@ -202,7 +207,7 @@ pub(crate) fn rewrite_with_cache(
 
         // Try to improve with a cut-based replacement.
         let mut best: Option<(usize, Lit)> = None;
-        for cut in &cuts[id.0 as usize] {
+        for cut in cuts.cuts_of(id.0) {
             if cut.len() < 2 || cut.leaves() == [id.0] || cut.contains(0) {
                 continue;
             }

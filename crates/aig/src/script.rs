@@ -6,7 +6,7 @@
 //! stops improving or a round limit is hit, with optional equivalence
 //! verification after every pass.
 
-use crate::cuts::{Cut, CutScratch};
+use crate::cuts::{CutScratch, CutSet};
 use crate::rewrite::{rewrite_with_cache, RewriteCache};
 use crate::{balance, collapse, refactor, Aig};
 
@@ -19,9 +19,9 @@ use crate::{balance, collapse, refactor, Aig};
 ///   valid across *different* circuits: a fitness loop that synthesizes
 ///   thousands of related circuits hits the same 4-variable classes over
 ///   and over and skips the canonicalization and factoring work entirely.
-/// * **Scratch buffers** — per-node cut lists and the cut-function
-///   evaluation arena, whose allocations are retained across passes and
-///   across calls.
+/// * **Scratch buffers** — the flat CSR cut store ([`CutSet`]) and the
+///   cut-function evaluation arena, whose allocations are retained across
+///   passes and across calls.
 ///
 /// Reuse never changes results: cached entries are exactly what
 /// recomputation would produce, so `run_with` is bit-identical to
@@ -29,7 +29,7 @@ use crate::{balance, collapse, refactor, Aig};
 #[derive(Default)]
 pub struct SynthScratch {
     rewrite: RewriteCache,
-    cuts: Vec<Vec<Cut>>,
+    cuts: CutSet,
     eval: CutScratch,
 }
 

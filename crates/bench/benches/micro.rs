@@ -1,6 +1,9 @@
 //! Perf-tracking micro-benchmark: arena-based vs naive truth-table
 //! simulation, serial vs parallel GA fitness evaluation through the full
-//! flow, and per-call-allocating vs context-reusing fitness evaluation.
+//! flow, per-call-allocating vs context-reusing fitness evaluation,
+//! batched vs re-encoding SAT plausibility sweeps (`sat_sweep`), CSR vs
+//! nested cut enumeration (`cuts_csr`), and word-parallel vs per-config
+//! camouflage validation (`camo_fitness`).
 //!
 //! Results are printed and written as machine-readable JSON to
 //! `BENCH_sim.json` at the repository root (override the path with
@@ -15,11 +18,59 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use mvf::{random_assignment, EvalContext, Flow, FlowResult};
+use mvf_aig::cuts::{enumerate_cuts_into, Cut, CutSet};
 use mvf_aig::{Aig, Lit};
 use mvf_ga::GaConfig;
 use mvf_logic::TruthTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The pre-CSR cut enumeration, kept as the baseline: per-node inner
+/// vectors, freshly allocated per call (the behavior of the standalone
+/// rewrite/refactor entry points before the flat `CutSet`).
+fn nested_enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    let n_nodes = aig.n_nodes();
+    let mut cuts: Vec<Vec<Cut>> = Vec::new();
+    cuts.resize_with(n_nodes, Vec::new);
+    cuts[0].push(Cut::empty());
+    for i in 0..aig.n_inputs() {
+        cuts[i + 1].push(Cut::unit(i as u32 + 1));
+    }
+    let mut merged: Vec<Cut> = Vec::new();
+    let mut kept: Vec<Cut> = Vec::new();
+    for id in aig.and_nodes() {
+        let (f0, f1) = aig.fanins(id);
+        let (n0, n1) = (f0.node().0 as usize, f1.node().0 as usize);
+        merged.clear();
+        for ai in 0..cuts[n0].len() {
+            for bi in 0..cuts[n1].len() {
+                let (a, b) = (cuts[n0][ai], cuts[n1][bi]);
+                if let Some(c) = a.merge(&b, k) {
+                    if !merged.contains(&c) {
+                        merged.push(c);
+                    }
+                }
+            }
+        }
+        kept.clear();
+        merged.sort_by_key(Cut::len);
+        for c in &merged {
+            if !kept.iter().any(|k2| k2.dominates(c)) {
+                kept.push(*c);
+            }
+        }
+        let widest = kept.last().copied();
+        kept.truncate(max_cuts.saturating_sub(1).max(1));
+        if let Some(w) = widest {
+            if !kept.contains(&w) {
+                kept.push(w);
+            }
+        }
+        kept.push(Cut::unit(id.0));
+        cuts[id.0 as usize].extend_from_slice(&kept);
+    }
+    cuts
+}
 
 /// The seed implementation of node simulation, kept as the baseline: one
 /// heap allocation (or clone) and one complement temporary per fanin.
@@ -231,6 +282,169 @@ fn main() {
     println!("fitness warm : {reuse_ns:>10.0} ns / evaluation (shared EvalContext)");
     println!("fitness speedup: {fitness_speedup:>8.2}x");
 
+    // --- SAT: batched plausibility sweep vs per-candidate re-encoding. -
+    let lib = mvf_cells::Library::standard();
+    let camo = mvf_cells::CamoLibrary::from_library(&lib);
+    let sboxes = mvf_sboxes::optimal_sboxes();
+    let target = mvf_attack::random_camouflage(&sboxes[0], &lib, &camo).expect("buildable");
+    let sweep_candidates = &sboxes[..6];
+    // Correctness first: the batched sweep must equal fresh per-candidate
+    // encodings.
+    let swept = mvf_attack::plausibility_sweep(&target, &lib, &camo, sweep_candidates);
+    let percand: Vec<bool> = sweep_candidates
+        .iter()
+        .map(|f| mvf_attack::is_plausible(&target, &lib, &camo, f))
+        .collect();
+    assert_eq!(swept, percand, "sweep and per-candidate verdicts disagree");
+    let sat_percand_ns = time_ns(|| {
+        let verdicts: Vec<bool> = sweep_candidates
+            .iter()
+            .map(|f| mvf_attack::is_plausible(black_box(&target), &lib, &camo, f))
+            .collect();
+        black_box(verdicts);
+    }) / sweep_candidates.len() as f64;
+    let sat_sweep_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep(
+            black_box(&target),
+            &lib,
+            &camo,
+            sweep_candidates,
+        ));
+    }) / sweep_candidates.len() as f64;
+    let sat_speedup = sat_percand_ns / sat_sweep_ns;
+    println!("sat percand: {sat_percand_ns:>12.0} ns / candidate (fresh encoding per query)");
+    println!("sat sweep  : {sat_sweep_ns:>12.0} ns / candidate (one clause arena, assumptions)");
+    println!("sat speedup: {sat_speedup:>12.2}x");
+
+    // --- Cut enumeration: nested Vec<Vec<Cut>> vs flat CSR CutSet. -----
+    let cut_graph = build_random_aig(12, 600, 0xC5_0002);
+    let (k, max_cuts) = (4usize, 8usize); // the rewriting pass's budget
+    let mut cut_set = CutSet::new();
+    enumerate_cuts_into(&cut_graph, k, max_cuts, &mut cut_set);
+    let nested = nested_enumerate_cuts(&cut_graph, k, max_cuts);
+    assert_eq!(cut_set.n_nodes(), nested.len());
+    for (id, node_cuts) in nested.iter().enumerate() {
+        assert_eq!(
+            cut_set.cuts_of(id as u32),
+            node_cuts.as_slice(),
+            "CSR and nested cut lists disagree at node {id}"
+        );
+    }
+    let cuts_nested_ns = time_ns(|| {
+        black_box(nested_enumerate_cuts(black_box(&cut_graph), k, max_cuts));
+    });
+    let cuts_csr_ns = time_ns(|| {
+        enumerate_cuts_into(black_box(&cut_graph), k, max_cuts, &mut cut_set);
+        black_box(&cut_set);
+    });
+    let cuts_speedup = cuts_nested_ns / cuts_csr_ns;
+    println!("cuts nested: {cuts_nested_ns:>12.0} ns / enumeration (per-node Vecs, fresh)");
+    println!("cuts csr   : {cuts_csr_ns:>12.0} ns / enumeration (flat CutSet, reused)");
+    println!("cuts speedup: {cuts_speedup:>11.2}x");
+
+    // --- Camo validation: per-config eval vs word-parallel multi-eval. -
+    let camo_funcs = sboxes[..4].to_vec();
+    let merged = mvf_merge::build_merged(
+        &camo_funcs,
+        &mvf_merge::PinAssignment::identity(&camo_funcs),
+    )
+    .expect("mergeable");
+    let synthesized = mvf_aig::Script::fast().run(&merged.aig);
+    let subject = mvf_netlist::subject_graph::from_aig(&synthesized, &lib);
+    let mapped = mvf_techmap::map_camouflage(
+        &subject,
+        &lib,
+        &camo,
+        &merged.select_indices,
+        &mvf_techmap::CamoMapOptions::default(),
+    )
+    .expect("mappable");
+    let configs: Vec<std::collections::HashMap<_, _>> = (0..camo_funcs.len())
+        .map(|j| {
+            mapped
+                .witness
+                .cells
+                .iter()
+                .map(|w| (w.cell, w.function_for(j).clone()))
+                .collect()
+        })
+        .collect();
+    // Correctness: the word-parallel pass equals per-config evaluation.
+    let multi = mvf_sim::eval_camo_netlist_multi(&mapped.netlist, &lib, &camo, &configs)
+        .expect("evaluable");
+    for (j, config) in configs.iter().enumerate() {
+        let single =
+            mvf_sim::eval_camo_netlist(&mapped.netlist, &lib, &camo, config).expect("evaluable");
+        assert_eq!(multi[j], single, "config {j}");
+    }
+    let camo_percfg_ns = time_ns(|| {
+        for config in &configs {
+            black_box(
+                mvf_sim::eval_camo_netlist(black_box(&mapped.netlist), &lib, &camo, config)
+                    .expect("evaluable"),
+            );
+        }
+    }) / configs.len() as f64;
+    let mut camo_scratch = mvf_logic::TtArena::default();
+    let camo_multi_ns = time_ns(|| {
+        black_box(
+            mvf_sim::eval_camo_netlist_multi_with(
+                black_box(&mapped.netlist),
+                &lib,
+                &camo,
+                &configs,
+                &mut camo_scratch,
+            )
+            .expect("evaluable"),
+        );
+    }) / configs.len() as f64;
+    let camo_speedup = camo_percfg_ns / camo_multi_ns;
+    // The Phase-III mapper itself: cold vs EvalContext-warmed scratch.
+    let mut camo_ctx = EvalContext::new();
+    let warm_mapped = camo_ctx
+        .map_camouflage(
+            &subject,
+            &lib,
+            &camo,
+            &merged.select_indices,
+            &mvf_techmap::CamoMapOptions::default(),
+        )
+        .expect("mappable");
+    assert_eq!(
+        warm_mapped.netlist.area_ge(&lib, Some(&camo)),
+        mapped.netlist.area_ge(&lib, Some(&camo)),
+        "scratch reuse must not change mapping decisions"
+    );
+    let camo_map_cold_ns = time_ns(|| {
+        black_box(
+            mvf_techmap::map_camouflage(
+                black_box(&subject),
+                &lib,
+                &camo,
+                &merged.select_indices,
+                &mvf_techmap::CamoMapOptions::default(),
+            )
+            .expect("mappable"),
+        );
+    });
+    let camo_map_warm_ns = time_ns(|| {
+        black_box(
+            camo_ctx
+                .map_camouflage(
+                    black_box(&subject),
+                    &lib,
+                    &camo,
+                    &merged.select_indices,
+                    &mvf_techmap::CamoMapOptions::default(),
+                )
+                .expect("mappable"),
+        );
+    });
+    println!("camo percfg: {camo_percfg_ns:>12.0} ns / config (one eval per doping config)");
+    println!("camo multi : {camo_multi_ns:>12.0} ns / config (word-parallel shared products)");
+    println!("camo speedup: {camo_speedup:>11.2}x");
+    println!("camo map   : {camo_map_cold_ns:>12.0} ns cold, {camo_map_warm_ns:>12.0} ns warm");
+
     // --- Machine-readable record. ------------------------------------
     let out_path = std::env::var("MVF_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR")));
@@ -260,6 +474,31 @@ fn main() {
             "    \"cold_ns\": {:.0},\n",
             "    \"warm_ns\": {:.0},\n",
             "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"sat_sweep\": {{\n",
+            "    \"workload\": \"PRESENT random-camouflage\",\n",
+            "    \"candidates\": {},\n",
+            "    \"percand_ns\": {:.0},\n",
+            "    \"sweep_ns\": {:.0},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"cuts_csr\": {{\n",
+            "    \"n_inputs\": 12,\n",
+            "    \"n_ands\": {},\n",
+            "    \"k\": {},\n",
+            "    \"max_cuts\": {},\n",
+            "    \"nested_ns\": {:.0},\n",
+            "    \"csr_ns\": {:.0},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"camo_fitness\": {{\n",
+            "    \"workload\": \"PRESENT-4\",\n",
+            "    \"configs\": {},\n",
+            "    \"percfg_ns\": {:.0},\n",
+            "    \"multi_ns\": {:.0},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"map_cold_ns\": {:.0},\n",
+            "    \"map_warm_ns\": {:.0}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -276,6 +515,22 @@ fn main() {
         percall_ns,
         reuse_ns,
         fitness_speedup,
+        sweep_candidates.len(),
+        sat_percand_ns,
+        sat_sweep_ns,
+        sat_speedup,
+        cut_graph.n_ands(),
+        k,
+        max_cuts,
+        cuts_nested_ns,
+        cuts_csr_ns,
+        cuts_speedup,
+        configs.len(),
+        camo_percfg_ns,
+        camo_multi_ns,
+        camo_speedup,
+        camo_map_cold_ns,
+        camo_map_warm_ns,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

@@ -162,6 +162,21 @@ impl CamoCell {
     /// if one exists. This is the containment test of Alg. 1, line 8:
     /// `plausiblefunctions(g) ⊇ F(ts)` modulo pin ordering.
     pub fn covers(&self, required: &[TruthTable]) -> Option<Vec<usize>> {
+        self.covers_with(&all_permutations(self.n_inputs), required)
+    }
+
+    /// [`CamoCell::covers`] with a caller-supplied pin-permutation table:
+    /// identical decisions, but the table (one allocation per arity) can
+    /// be shared across many cells and subtrees — the camouflage mapper's
+    /// `CamoMatchScratch` reuse hook.
+    ///
+    /// `perms` must be the permutations of `0..n_inputs()` in
+    /// [`all_permutations`] order for results to match [`CamoCell::covers`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a permutation's length does not match the cell arity.
+    pub fn covers_with(&self, perms: &[Vec<usize>], required: &[TruthTable]) -> Option<Vec<usize>> {
         if required.is_empty() {
             return Some((0..self.n_inputs).collect());
         }
@@ -173,14 +188,14 @@ impl CamoCell {
             return None;
         }
         // Find one permutation that works for all of them simultaneously.
-        'perm: for perm in all_permutations(self.n_inputs) {
+        'perm: for perm in perms {
             for f in required {
-                let g = f.permute(&perm).expect("valid permutation");
+                let g = f.permute(perm).expect("valid permutation");
                 if !self.plausible.contains(&g) {
                     continue 'perm;
                 }
             }
-            return Some(perm);
+            return Some(perm.clone());
         }
         None
     }

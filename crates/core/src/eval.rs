@@ -15,13 +15,18 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use mvf_aig::{Script, SynthScratch};
-use mvf_cells::Library;
+use mvf_cells::{CamoLibrary, Library};
 use mvf_ga::permutation::{pmx, random_permutation, swap_mutation};
 use mvf_ga::Objective;
 use mvf_logic::VectorFunction;
 use mvf_merge::{build_merged, PinAssignment};
 use mvf_netlist::subject_graph::{self, SubjectScratch};
-use mvf_techmap::{map_standard_with, MapOptions, MatchScratch};
+use mvf_netlist::Netlist;
+use mvf_sim::{validate_mapped_with, CamoEvalScratch};
+use mvf_techmap::{
+    map_camouflage_with, map_standard_with, CamoMapOptions, CamoMappedCircuit, CamoMatchScratch,
+    MapOptions, MatchScratch,
+};
 
 use crate::error::MvfError;
 
@@ -61,6 +66,8 @@ pub struct EvalContext {
     synth: SynthScratch,
     subject: SubjectScratch,
     matcher: MatchScratch,
+    camo_matcher: CamoMatchScratch,
+    camo_eval: CamoEvalScratch,
 }
 
 impl EvalContext {
@@ -89,6 +96,58 @@ impl EvalContext {
         let subject = subject_graph::from_aig_with(&synthesized, lib, &mut self.subject);
         let mapped = map_standard_with(&subject, lib, map, &mut self.matcher)?;
         Ok(mapped.area_ge(lib, None))
+    }
+
+    /// Phase-III camouflage mapping through this context's reusable
+    /// [`CamoMatchScratch`]: identical mapping decisions to
+    /// [`mvf_techmap::map_camouflage`], with the pin-permutation tables
+    /// and candidate buffers kept warm across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MvfError`] if no cover exists or the subject is
+    /// malformed.
+    pub fn map_camouflage(
+        &mut self,
+        subject: &Netlist,
+        lib: &Library,
+        camo: &CamoLibrary,
+        select_inputs: &[usize],
+        options: &CamoMapOptions,
+    ) -> Result<CamoMappedCircuit, MvfError> {
+        Ok(map_camouflage_with(
+            subject,
+            lib,
+            camo,
+            select_inputs,
+            options,
+            &mut self.camo_matcher,
+        )?)
+    }
+
+    /// Phase-III validation through this context's reusable
+    /// [`CamoEvalScratch`]: one word-parallel multi-configuration
+    /// evaluation per call, with the widened arena and binding maps kept
+    /// warm across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MvfError`] if the mapped circuit cannot realize every
+    /// viable function.
+    pub fn validate_mapped(
+        &mut self,
+        mapped: &CamoMappedCircuit,
+        lib: &Library,
+        camo: &CamoLibrary,
+        viable: &[VectorFunction],
+    ) -> Result<(), MvfError> {
+        Ok(validate_mapped_with(
+            mapped,
+            lib,
+            camo,
+            viable,
+            &mut self.camo_eval,
+        )?)
     }
 }
 

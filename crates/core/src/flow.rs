@@ -6,10 +6,10 @@ use mvf_ga::{Ga, GaConfig, GenStats, SearchOutcome, SearchStrategy};
 use mvf_logic::VectorFunction;
 use mvf_merge::{build_merged, MergedCircuit, PinAssignment};
 use mvf_netlist::subject_graph;
-use mvf_techmap::{map_camouflage, map_standard, CamoMapOptions, CamoMappedCircuit, MapOptions};
+use mvf_techmap::{map_standard, CamoMapOptions, CamoMappedCircuit, MapOptions};
 
 use crate::error::MvfError;
-use crate::eval::PinObjective;
+use crate::eval::{EvalContext, PinObjective};
 
 /// Configuration of the three-phase flow.
 #[derive(Debug, Clone)]
@@ -114,6 +114,7 @@ pub struct FlowBuilder {
     lib: Option<Library>,
     camo: Option<CamoLibrary>,
     workload_threads: usize,
+    attack_sweep: bool,
 }
 
 impl FlowBuilder {
@@ -191,6 +192,17 @@ impl FlowBuilder {
         self
     }
 
+    /// Enables the opt-in red-team pass of [`Flow::run_many`]: every
+    /// successful workload's camouflaged netlist is swept through the SAT
+    /// adversary ([`mvf_attack::plausibility_sweep`]) and the per-viable-
+    /// function verdict vector is attached to its
+    /// [`WorkloadReport::plausibility`](crate::WorkloadReport::plausibility).
+    #[must_use]
+    pub fn attack_sweep(mut self, enabled: bool) -> Self {
+        self.attack_sweep = enabled;
+        self
+    }
+
     /// Builds a flow with the default [`Ga`] strategy configured from
     /// [`FlowConfig::ga`].
     pub fn build(self) -> Flow<Ga> {
@@ -208,6 +220,7 @@ impl FlowBuilder {
             camo,
             strategy,
             workload_threads: self.workload_threads,
+            attack_sweep: self.attack_sweep,
         }
     }
 }
@@ -223,6 +236,7 @@ pub struct Flow<S = Ga> {
     pub(crate) camo: CamoLibrary,
     pub(crate) strategy: S,
     pub(crate) workload_threads: usize,
+    pub(crate) attack_sweep: bool,
 }
 
 impl Flow<Ga> {
@@ -291,7 +305,11 @@ impl<S> Flow<S> {
         let subject = subject_graph::from_aig(&merged.aig, &self.lib);
         let plain = map_standard(&subject, &self.lib, &self.config.map)?;
         let synthesized_area = plain.area_ge(&self.lib, None);
-        let mapped = map_camouflage(
+        // One context carries the Phase-III scratch (camouflage matcher
+        // tables, widened validation arena) through mapping *and*
+        // validation.
+        let mut ctx = EvalContext::new();
+        let mapped = ctx.map_camouflage(
             &subject,
             &self.lib,
             &self.camo,
@@ -300,7 +318,7 @@ impl<S> Flow<S> {
         )?;
         let mapped_area = mapped.netlist.area_ge(&self.lib, Some(&self.camo));
         if self.config.validate {
-            mvf_sim::validate_mapped(&mapped, &self.lib, &self.camo, &merged.functions)?;
+            ctx.validate_mapped(&mapped, &self.lib, &self.camo, &merged.functions)?;
         }
         Ok(FlowResult {
             assignment,

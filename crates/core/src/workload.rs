@@ -62,6 +62,16 @@ pub struct WorkloadReport {
     /// The flow result, or the error that stopped this workload. Other
     /// workloads in the batch are unaffected.
     pub outcome: Result<FlowResult, MvfError>,
+    /// Red-team verdicts from the SAT adversary, present when the flow
+    /// was built with
+    /// [`FlowBuilder::attack_sweep`](crate::FlowBuilder::attack_sweep)
+    /// and the workload succeeded: `plausibility[j]` is `true` iff viable
+    /// function `j` (in its pin-permuted, mapped-circuit form) remains
+    /// plausible for the camouflaged netlist under the identity pin
+    /// interpretation. A correct flow yields all-`true`; any `false` is a
+    /// red flag worth a deeper
+    /// [`mvf_attack::is_plausible_any_io`] investigation.
+    pub plausibility: Option<Vec<bool>>,
 }
 
 impl WorkloadReport {
@@ -156,11 +166,22 @@ impl<S: SearchStrategy> Flow<S> {
 
     fn run_workload(&self, workload: &Workload, seed: u64, threads: usize) -> WorkloadReport {
         let strategy = self.strategy.reconfigured(seed, threads);
+        let outcome = self.run_with_strategy(&workload.functions, &strategy);
+        let plausibility = match &outcome {
+            Ok(result) if self.attack_sweep => Some(mvf_attack::plausibility_sweep(
+                &result.mapped.netlist,
+                &self.lib,
+                &self.camo,
+                &result.merged.functions,
+            )),
+            _ => None,
+        };
         WorkloadReport {
             name: workload.name.clone(),
             seed,
             strategy: strategy.name(),
-            outcome: self.run_with_strategy(&workload.functions, &strategy),
+            outcome,
+            plausibility,
         }
     }
 }
@@ -192,5 +213,40 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert!(reports[0].outcome.is_err());
         assert!(reports[0].result().is_none());
+        assert!(reports[0].plausibility.is_none());
+    }
+
+    #[test]
+    fn attack_sweep_attaches_all_true_verdicts() {
+        use mvf_ga::GaConfig;
+        let funcs = mvf_sboxes::optimal_sboxes()[..2].to_vec();
+        let ga = GaConfig {
+            population: 4,
+            generations: 1,
+            seed: 0xA77,
+            ..GaConfig::default()
+        };
+        let flow = Flow::builder()
+            .ga(ga.clone())
+            .validate(false)
+            .workload_threads(1)
+            .attack_sweep(true)
+            .build();
+        let reports = flow.run_many(&[Workload::new("PRESENT x2", funcs.clone())]);
+        let verdicts = reports[0].plausibility.as_ref().expect("sweep attached");
+        assert_eq!(verdicts.len(), funcs.len());
+        assert!(
+            verdicts.iter().all(|&v| v),
+            "every viable function must stay plausible: {verdicts:?}"
+        );
+        // The red-team pass is opt-in: off by default.
+        let flow = Flow::builder()
+            .ga(ga)
+            .validate(false)
+            .workload_threads(1)
+            .build();
+        let reports = flow.run_many(&[Workload::new("PRESENT x2", funcs)]);
+        assert!(reports[0].outcome.is_ok());
+        assert!(reports[0].plausibility.is_none());
     }
 }

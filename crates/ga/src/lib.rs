@@ -407,7 +407,7 @@ pub struct RandomSearchResult<G> {
 /// genomes and records every fitness.
 ///
 /// Like [`GeneticAlgorithm::run`], the genomes are drawn from
-/// per-individual RNG streams and scored as one batch (parallel with the
+/// per-individual RNG streams and scored batch-wise (parallel with the
 /// `parallel` feature, bit-identical to serial). The thread count is
 /// auto-resolved; use [`random_search_with_threads`] to pin it.
 ///
@@ -446,7 +446,7 @@ where
     I: FnMut(&mut StdRng) -> G,
     F: Fn(&G) -> f64 + Sync,
 {
-    random_search_inner(n_evals, seed, threads, init, &FnScorer(fitness))
+    random_search_inner(n_evals, seed, threads, 0, init, &FnScorer(fitness))
 }
 
 /// Random search against an [`Objective`]: like
@@ -462,19 +462,55 @@ pub fn random_search_objective<O: Objective>(
     threads: usize,
     objective: &O,
 ) -> RandomSearchResult<O::Genome> {
+    random_search_objective_chunked(n_evals, seed, threads, 0, objective)
+}
+
+/// [`random_search_objective`] with an explicit evaluation chunk size:
+/// at most `chunk` genomes are materialized at a time (`0` = auto), so a
+/// paper-scale budget (`MVF_PAPER_SCALE=1`: 9,726 evaluations per
+/// workload) streams through bounded memory instead of allocating the
+/// whole candidate batch up front.
+///
+/// Chunking never changes results: genomes are drawn from the same
+/// per-individual RNG streams in the same master order, and every chunk
+/// is scored by the same batch engine, so the outcome is bit-identical
+/// for every chunk size (and every thread count).
+///
+/// # Panics
+///
+/// Panics if `n_evals == 0`.
+pub fn random_search_objective_chunked<O: Objective>(
+    n_evals: usize,
+    seed: u64,
+    threads: usize,
+    chunk: usize,
+    objective: &O,
+) -> RandomSearchResult<O::Genome> {
     random_search_inner(
         n_evals,
         seed,
         threads,
+        chunk,
         |rng| objective.init(rng),
         &ObjScorer(objective),
     )
+}
+
+/// Resolves a chunk-size setting: explicit value, else a multiple of the
+/// worker count large enough to keep every thread busy while bounding
+/// the number of genomes held in memory.
+fn resolve_chunk(chunk: usize, threads: usize) -> usize {
+    if chunk > 0 {
+        return chunk;
+    }
+    (threads * 64).clamp(256, 4096)
 }
 
 fn random_search_inner<G, I, S>(
     n_evals: usize,
     seed: u64,
     threads: usize,
+    chunk: usize,
     mut init: I,
     scorer: &S,
 ) -> RandomSearchResult<G>
@@ -485,24 +521,41 @@ where
     S::Ctx: Send,
 {
     assert!(n_evals > 0, "random search needs at least one evaluation");
+    let threads = resolve_threads(threads);
+    let chunk = resolve_chunk(chunk, threads);
     let mut master = StdRng::seed_from_u64(seed);
-    let genomes: Vec<G> = (0..n_evals)
-        .map(|_| {
-            let mut stream = StdRng::seed_from_u64(master.gen::<u64>());
-            init(&mut stream)
-        })
-        .collect();
     let mut ctxs: Vec<Option<S::Ctx>> = Vec::new();
-    let samples = evaluate_batch(&genomes, scorer, resolve_threads(threads), &mut ctxs);
-    let best_idx = samples
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("n_evals > 0");
+    let mut samples: Vec<f64> = Vec::with_capacity(n_evals);
+    let mut genomes: Vec<G> = Vec::with_capacity(chunk.min(n_evals));
+    // `best` replicates `min_by(total_cmp)` over the full sample stream:
+    // the *first* genome attaining the minimum wins ties, so only a
+    // strict improvement replaces the incumbent.
+    let mut best: Option<(G, f64)> = None;
+    let mut remaining = n_evals;
+    while remaining > 0 {
+        let take = chunk.min(remaining);
+        genomes.clear();
+        for _ in 0..take {
+            let mut stream = StdRng::seed_from_u64(master.gen::<u64>());
+            genomes.push(init(&mut stream));
+        }
+        let fits = evaluate_batch(&genomes, scorer, threads, &mut ctxs);
+        for (g, &f) in genomes.iter().zip(&fits) {
+            let improves = match &best {
+                None => true,
+                Some((_, bf)) => f.total_cmp(bf) == std::cmp::Ordering::Less,
+            };
+            if improves {
+                best = Some((g.clone(), f));
+            }
+        }
+        samples.extend_from_slice(&fits);
+        remaining -= take;
+    }
+    let (best_genome, best_fitness) = best.expect("n_evals > 0");
     RandomSearchResult {
-        best_genome: genomes[best_idx].clone(),
-        best_fitness: samples[best_idx],
+        best_genome,
+        best_fitness,
         avg_fitness: samples.iter().sum::<f64>() / samples.len() as f64,
         samples,
     }
@@ -687,5 +740,61 @@ mod tests {
     fn resolve_threads_prefers_explicit_config() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn resolve_chunk_bounds_the_auto_default() {
+        assert_eq!(resolve_chunk(17, 8), 17);
+        assert_eq!(resolve_chunk(0, 1), 256);
+        assert_eq!(resolve_chunk(0, 1000), 4096);
+    }
+
+    /// Streaming the evaluation budget through bounded chunks must not
+    /// change a single bit of the outcome: same genome stream, same
+    /// samples, same winner — including the `min_by(total_cmp)` tie rule
+    /// (the *first* genome attaining the minimum wins), checked against
+    /// an explicit `min_by` reference over the regenerated stream.
+    #[test]
+    fn chunked_random_search_is_bit_identical() {
+        struct Quantized;
+        impl Objective for Quantized {
+            type Genome = u32;
+            type Ctx = ();
+            fn new_ctx(&self) {}
+            fn init(&self, rng: &mut StdRng) -> u32 {
+                rng.gen()
+            }
+            fn mutate(&self, _g: &mut u32, _rng: &mut StdRng) {}
+            fn crossover(&self, a: &u32, _b: &u32, _rng: &mut StdRng) -> u32 {
+                *a
+            }
+            fn evaluate(&self, _ctx: &mut (), g: &u32) -> f64 {
+                // Coarse quantization forces fitness ties, exercising the
+                // tie rule across chunk boundaries.
+                (g % 4) as f64
+            }
+        }
+        // Reference winner: regenerate the genome stream exactly as the
+        // search draws it and apply `min_by(total_cmp)` directly.
+        let mut master = StdRng::seed_from_u64(0xC1);
+        let stream_genomes: Vec<u32> = (0..100)
+            .map(|_| StdRng::seed_from_u64(master.gen::<u64>()).gen())
+            .collect();
+        let min_by_winner = *stream_genomes
+            .iter()
+            .min_by(|a, b| ((*a % 4) as f64).total_cmp(&((*b % 4) as f64)))
+            .expect("non-empty");
+        let reference = random_search_objective_chunked(100, 0xC1, 1, 100, &Quantized);
+        assert_eq!(
+            reference.best_genome, min_by_winner,
+            "the first tied minimum must win, as min_by returns it"
+        );
+        for chunk in [1usize, 3, 7, 32, 0] {
+            let got = random_search_objective_chunked(100, 0xC1, 1, chunk, &Quantized);
+            assert_eq!(got.best_genome, reference.best_genome, "chunk={chunk}");
+            assert_eq!(got.best_fitness.to_bits(), reference.best_fitness.to_bits());
+            assert_eq!(got.avg_fitness.to_bits(), reference.avg_fitness.to_bits());
+            assert_eq!(got.samples, reference.samples);
+        }
     }
 }

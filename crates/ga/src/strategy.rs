@@ -51,10 +51,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{
-    evaluate_batch, random_search_objective, resolve_threads, GaConfig, GenStats, GeneticAlgorithm,
-    ObjScorer,
-};
+use crate::{evaluate_batch, resolve_threads, GaConfig, GenStats, GeneticAlgorithm, ObjScorer};
 
 /// A search problem: genome construction, variation operators and a
 /// context-threaded fitness function (minimized).
@@ -188,6 +185,12 @@ impl SearchStrategy for Ga {
 
 /// The equal-budget random baseline of Fig. 4 as a strategy: `n_evals`
 /// independent draws, every sampled fitness retained.
+///
+/// Candidates are streamed through a bounded evaluation chunk
+/// ([`RandomSearch::chunk`]) so a paper-scale budget
+/// (`MVF_PAPER_SCALE=1`: 9,726 evaluations per workload) never
+/// materializes the whole batch; results are bit-identical for every
+/// chunk size.
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     /// Number of genomes drawn and evaluated.
@@ -196,6 +199,9 @@ pub struct RandomSearch {
     pub seed: u64,
     /// Worker threads (`0` = auto, `1` = serial).
     pub threads: usize,
+    /// Maximum genomes materialized at a time (`0` = auto). Results are
+    /// bit-identical for every setting.
+    pub chunk: usize,
 }
 
 impl Default for RandomSearch {
@@ -204,13 +210,20 @@ impl Default for RandomSearch {
             n_evals: 1000,
             seed: 0xBA5E,
             threads: 0,
+            chunk: 0,
         }
     }
 }
 
 impl SearchStrategy for RandomSearch {
     fn search<O: Objective>(&self, objective: &O) -> SearchOutcome<O::Genome> {
-        let result = random_search_objective(self.n_evals, self.seed, self.threads, objective);
+        let result = crate::random_search_objective_chunked(
+            self.n_evals,
+            self.seed,
+            self.threads,
+            self.chunk,
+            objective,
+        );
         SearchOutcome {
             best_genome: result.best_genome,
             best_fitness: result.best_fitness,
@@ -222,9 +235,9 @@ impl SearchStrategy for RandomSearch {
 
     fn reconfigured(&self, seed: u64, threads: usize) -> Self {
         RandomSearch {
-            n_evals: self.n_evals,
             seed,
             threads,
+            ..self.clone()
         }
     }
 
@@ -433,6 +446,7 @@ mod tests {
             n_evals: 40,
             seed: 3,
             threads: 1,
+            chunk: 0,
         };
         let out = rs.search(&Sphere);
         let samples = out.samples.expect("random search retains samples");

@@ -50,9 +50,14 @@ impl Lit {
         self.0 & 1 == 1
     }
 
-    /// Internal dense code (used for watch lists).
+    /// Internal dense code (used for watch lists and the clause arena).
     pub(crate) fn code(self) -> usize {
         self.0 as usize
+    }
+
+    /// Rebuilds a literal from its dense code (inverse of [`Lit::code`]).
+    pub(crate) fn from_code(code: u32) -> Lit {
+        Lit(code)
     }
 }
 

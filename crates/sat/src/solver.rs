@@ -1,27 +1,42 @@
 //! A compact CDCL solver: two-watched literals, first-UIP clause learning,
 //! VSIDS activities, phase saving and geometric restarts.
+//!
+//! The clause database is a single flat `u32` arena (splr/minisat style):
+//! every clause is a `[len, lit0, lit1, ...]` block and a clause reference
+//! is the `u32` offset of its header word. Watch lists index into the
+//! arena, conflict analysis walks clause blocks in place, and the learnt-
+//! clause and seen-marker scratch buffers are reused across conflicts, so
+//! the steady-state solving loop performs no per-clause or per-conflict
+//! heap allocation. The database persists across [`Solver::solve_with`]
+//! calls, which is what makes batched assumption queries (the
+//! plausibility sweep) cheap: one encoding, one arena, many verdicts.
 
 use crate::{Lit, Var};
 
-const INVALID: usize = usize::MAX;
+/// Sentinel clause reference: "no reason" / "no clause".
+const NO_CLAUSE: u32 = u32::MAX;
 
 /// The SAT solver.
 ///
 /// See the [crate documentation](crate) for an example.
 #[derive(Debug, Default)]
 pub struct Solver {
-    /// Clause database; learnt clauses are appended after problem clauses.
-    clauses: Vec<Vec<Lit>>,
-    /// Watch lists indexed by literal code: clauses watching that literal.
-    watches: Vec<Vec<usize>>,
+    /// Flat clause arena: `[len, lit codes...]` blocks, problem and learnt
+    /// clauses alike. A clause reference is the offset of its `len` word.
+    arena: Vec<u32>,
+    /// Number of clauses stored in the arena.
+    n_clauses: usize,
+    /// Watch lists indexed by literal code: clause refs watching that
+    /// literal.
+    watches: Vec<Vec<u32>>,
     /// Current assignment per variable.
     assign: Vec<Option<bool>>,
     /// Saved phase per variable.
     phase: Vec<bool>,
     /// Decision level per assigned variable.
     level: Vec<u32>,
-    /// Reason clause per assigned variable (implied literals only).
-    reason: Vec<usize>,
+    /// Reason clause ref per assigned variable (implied literals only).
+    reason: Vec<u32>,
     /// Assignment trail and per-level start indices.
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
@@ -32,6 +47,13 @@ pub struct Solver {
     act_inc: f64,
     /// Set when an empty clause is added.
     unsat: bool,
+    /// Conflict-analysis scratch: the learnt clause under construction
+    /// (asserting literal first) and per-variable seen marks. Reused
+    /// across conflicts; `seen` is all-false between analyses.
+    learnt: Vec<Lit>,
+    seen: Vec<bool>,
+    /// Clause-construction scratch for [`Solver::add_clause`].
+    add_tmp: Vec<Lit>,
 }
 
 impl Solver {
@@ -49,8 +71,9 @@ impl Solver {
         self.assign.push(None);
         self.phase.push(false);
         self.level.push(0);
-        self.reason.push(INVALID);
+        self.reason.push(NO_CLAUSE);
         self.activity.push(0.0);
+        self.seen.push(false);
         self.watches.push(Vec::new()); // positive literal
         self.watches.push(Vec::new()); // negative literal
         v
@@ -63,7 +86,29 @@ impl Solver {
 
     /// Number of clauses (including learnt).
     pub fn n_clauses(&self) -> usize {
-        self.clauses.len()
+        self.n_clauses
+    }
+
+    /// Size of the flat clause arena in `u32` words (header words
+    /// included) — the solver's whole clause-database footprint.
+    pub fn arena_words(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Appends a clause block for the literals in `self.add_tmp` /
+    /// `self.learnt` semantics: caller passes the literal list through a
+    /// field to keep borrows disjoint. Returns the clause ref and hooks
+    /// the first two literals into the watch lists.
+    fn attach_from(arena: &mut Vec<u32>, watches: &mut [Vec<u32>], lits: &[Lit]) -> u32 {
+        debug_assert!(lits.len() >= 2, "unit clauses are enqueued, not stored");
+        let cr = arena.len() as u32;
+        arena.push(lits.len() as u32);
+        for &l in lits {
+            arena.push(l.code() as u32);
+        }
+        watches[lits[0].code()].push(cr);
+        watches[lits[1].code()].push(cr);
+        cr
     }
 
     /// Adds a clause. Duplicated literals are merged; tautologies are
@@ -79,10 +124,12 @@ impl Solver {
             self.trail_lim.is_empty(),
             "clauses must be added at decision level 0"
         );
-        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut c = std::mem::take(&mut self.add_tmp);
+        c.clear();
         for &l in lits {
             assert!((l.var().0 as usize) < self.n_vars(), "unknown variable");
             if c.contains(&!l) {
+                self.add_tmp = c;
                 return; // tautology
             }
             if !c.contains(&l) {
@@ -93,22 +140,22 @@ impl Solver {
         // dropped.
         c.retain(|&l| self.lit_value(l) != Some(false));
         if c.iter().any(|&l| self.lit_value(l) == Some(true)) {
+            self.add_tmp = c;
             return;
         }
         match c.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(c[0], INVALID) || self.propagate().is_some() {
+                if !self.enqueue(c[0], NO_CLAUSE) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
             _ => {
-                let idx = self.clauses.len();
-                self.watches[c[0].code()].push(idx);
-                self.watches[c[1].code()].push(idx);
-                self.clauses.push(c);
+                Self::attach_from(&mut self.arena, &mut self.watches, &c);
+                self.n_clauses += 1;
             }
         }
+        self.add_tmp = c;
     }
 
     fn lit_value(&self, l: Lit) -> Option<bool> {
@@ -124,7 +171,7 @@ impl Solver {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, l: Lit, reason: usize) -> bool {
+    fn enqueue(&mut self, l: Lit, reason: u32) -> bool {
         match self.lit_value(l) {
             Some(true) => true,
             Some(false) => false,
@@ -140,33 +187,35 @@ impl Solver {
         }
     }
 
-    /// Unit propagation; returns a conflicting clause index if any.
-    fn propagate(&mut self) -> Option<usize> {
+    /// Unit propagation; returns a conflicting clause ref if any.
+    fn propagate(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             let falsified = !p;
+            let falsified_code = falsified.code() as u32;
             let mut i = 0;
             // Take the watch list to sidestep aliasing; re-add survivors.
             let mut watchers = std::mem::take(&mut self.watches[falsified.code()]);
             while i < watchers.len() {
-                let ci = watchers[i];
+                let cr = watchers[i] as usize;
                 // Ensure the falsified literal is at position 1.
-                if self.clauses[ci][0] == falsified {
-                    self.clauses[ci].swap(0, 1);
+                if self.arena[cr + 1] == falsified_code {
+                    self.arena.swap(cr + 1, cr + 2);
                 }
-                let w0 = self.clauses[ci][0];
+                let w0 = Lit::from_code(self.arena[cr + 1]);
                 if self.lit_value(w0) == Some(true) {
                     i += 1;
                     continue; // clause satisfied; keep watching
                 }
                 // Look for a new literal to watch.
+                let len = self.arena[cr] as usize;
                 let mut moved = false;
-                for k in 2..self.clauses[ci].len() {
-                    let l = self.clauses[ci][k];
+                for k in 2..len {
+                    let l = Lit::from_code(self.arena[cr + 1 + k]);
                     if self.lit_value(l) != Some(false) {
-                        self.clauses[ci].swap(1, k);
-                        self.watches[l.code()].push(ci);
+                        self.arena.swap(cr + 2, cr + 1 + k);
+                        self.watches[l.code()].push(cr as u32);
                         watchers.swap_remove(i);
                         moved = true;
                         break;
@@ -176,11 +225,11 @@ impl Solver {
                     continue;
                 }
                 // Unit or conflicting.
-                if !self.enqueue(w0, ci) {
+                if !self.enqueue(w0, cr as u32) {
                     // Conflict: restore remaining watchers.
                     self.watches[falsified.code()].append(&mut watchers);
                     self.qhead = self.trail.len();
-                    return Some(ci);
+                    return Some(cr as u32);
                 }
                 i += 1;
             }
@@ -200,57 +249,63 @@ impl Solver {
         }
     }
 
-    /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, mut confl: usize) -> (Vec<Lit>, u32) {
-        let mut learnt: Vec<Lit> = Vec::new();
-        let mut seen = vec![false; self.n_vars()];
+    /// First-UIP conflict analysis. Fills `self.learnt` (asserting
+    /// literal first) and returns the backjump level. The per-variable
+    /// `seen` marks are restored to all-false before returning.
+    fn analyze(&mut self, mut confl: u32) -> u32 {
+        self.learnt.clear();
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut idx = self.trail.len();
         loop {
-            let clause = self.clauses[confl].clone();
-            for &q in clause.iter() {
+            let cr = confl as usize;
+            let len = self.arena[cr] as usize;
+            for k in 0..len {
+                let q = Lit::from_code(self.arena[cr + 1 + k]);
                 // Skip the implied literal whose reason we are expanding.
                 if p == Some(q) {
                     continue;
                 }
                 let v = q.var().0 as usize;
-                if !seen[v] && self.level[v] > 0 {
-                    seen[v] = true;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
                     self.bump(q.var());
                     if self.level[v] == self.decision_level() {
                         counter += 1;
                     } else {
-                        learnt.push(q);
+                        self.learnt.push(q);
                     }
                 }
             }
             // Find the next marked literal on the trail.
             loop {
                 idx -= 1;
-                if seen[self.trail[idx].var().0 as usize] {
+                if self.seen[self.trail[idx].var().0 as usize] {
                     break;
                 }
             }
             let q = self.trail[idx];
             let v = q.var().0 as usize;
-            seen[v] = false;
+            self.seen[v] = false;
             counter -= 1;
             if counter == 0 {
-                learnt.insert(0, !q);
+                self.learnt.insert(0, !q);
                 break;
             }
             p = Some(q);
             confl = self.reason[v];
-            debug_assert_ne!(confl, INVALID, "implied literal must have a reason");
+            debug_assert_ne!(confl, NO_CLAUSE, "implied literal must have a reason");
         }
-        let back_level = learnt[1..]
-            .iter()
-            .map(|l| self.level[l.var().0 as usize])
-            .max()
-            .unwrap_or(0);
-        (learnt, back_level)
+        // Restore the seen marks (non-asserting learnt literals are the
+        // only ones still set: every current-level mark was consumed from
+        // the trail above).
+        let mut back = 0u32;
+        for l in &self.learnt[1..] {
+            let v = l.var().0 as usize;
+            self.seen[v] = false;
+            back = back.max(self.level[v]);
+        }
+        back
     }
 
     fn cancel_until(&mut self, lvl: u32) {
@@ -260,7 +315,7 @@ impl Solver {
                 let l = self.trail.pop().expect("non-empty");
                 let v = l.var().0 as usize;
                 self.assign[v] = None;
-                self.reason[v] = INVALID;
+                self.reason[v] = NO_CLAUSE;
             }
         }
         self.qhead = self.trail.len();
@@ -286,6 +341,10 @@ impl Solver {
     }
 
     /// Decides satisfiability under assumptions (each forced true).
+    ///
+    /// The clause database (arena, watch lists, learnt clauses) is kept
+    /// across calls, so a sequence of assumption queries over one
+    /// encoding reuses all prior work.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> bool {
         if self.unsat {
             return false;
@@ -305,7 +364,7 @@ impl Solver {
                 }
                 None => {
                     self.trail_lim.push(self.trail.len());
-                    self.enqueue(a, INVALID);
+                    self.enqueue(a, NO_CLAUSE);
                     if self.propagate().is_some() {
                         self.cancel_until(0);
                         return false;
@@ -326,21 +385,18 @@ impl Solver {
                     }
                     return false;
                 }
-                let (learnt, back) = self.analyze(confl);
-                let back = back.max(assumption_level);
+                let back = self.analyze(confl).max(assumption_level);
                 self.cancel_until(back);
-                let assert_lit = learnt[0];
-                if learnt.len() == 1 {
+                let assert_lit = self.learnt[0];
+                if self.learnt.len() == 1 {
                     // Unit learnt clause: assert directly at the backjump
                     // level (level 0, or the assumption level).
-                    let ok = self.enqueue(assert_lit, INVALID);
+                    let ok = self.enqueue(assert_lit, NO_CLAUSE);
                     debug_assert!(ok);
                 } else {
-                    let idx = self.clauses.len();
-                    self.watches[learnt[0].code()].push(idx);
-                    self.watches[learnt[1].code()].push(idx);
-                    self.clauses.push(learnt);
-                    let ok = self.enqueue(assert_lit, idx);
+                    let cr = Self::attach_from(&mut self.arena, &mut self.watches, &self.learnt);
+                    self.n_clauses += 1;
+                    let ok = self.enqueue(assert_lit, cr);
                     debug_assert!(ok);
                 }
                 self.act_inc *= 1.05;
@@ -354,7 +410,7 @@ impl Solver {
                     None => return true,
                     Some(d) => {
                         self.trail_lim.push(self.trail.len());
-                        let ok = self.enqueue(d, INVALID);
+                        let ok = self.enqueue(d, NO_CLAUSE);
                         debug_assert!(ok);
                     }
                 }
@@ -528,5 +584,34 @@ mod tests {
         let _ = lits(&mut s, 1);
         s.add_clause(&[]);
         assert!(!s.solve());
+    }
+
+    #[test]
+    fn arena_layout_matches_clause_count() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        assert_eq!(s.n_clauses(), 2);
+        // Two blocks: (1 header + 2 lits) + (1 header + 3 lits).
+        assert_eq!(s.arena_words(), 3 + 4);
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn learnt_clauses_grow_the_arena_only() {
+        // A small unsat-core-rich instance: solving under failing
+        // assumptions learns clauses into the same arena; the solver must
+        // stay reusable afterwards.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 6);
+        for w in v.windows(2) {
+            s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        let before = s.arena_words();
+        assert!(!s.solve_with(&[Lit::pos(v[0]), Lit::neg(v[5])]));
+        assert!(s.solve_with(&[Lit::pos(v[0])]));
+        assert_eq!(s.value(v[5]), Some(true));
+        assert!(s.arena_words() >= before);
     }
 }

@@ -9,9 +9,13 @@
 //!   netlist;
 //! * [`eval_camo_netlist`] — evaluation of a camouflaged netlist under a
 //!   doping configuration (a function binding per camouflaged instance);
+//! * [`eval_camo_netlist_multi`] — word-parallel evaluation under *many*
+//!   doping configurations at once: the config index becomes extra
+//!   truth-table variables, so each camouflaged cell's pin-term products
+//!   are computed once and shared across every configuration;
 //! * [`validate_mapped`] — for every viable function, bind each
 //!   camouflaged cell to its witnessed function and check the circuit
-//!   equals the function on all inputs.
+//!   equals the function on all inputs (one multi-config pass).
 //!
 //! # Example
 //!
@@ -171,28 +175,240 @@ pub fn eval_camo_netlist(
     Ok(eval_internal(nl, lib, &|cid| config.get(&cid).cloned()))
 }
 
+/// Reusable scratch for multi-configuration evaluation and validation:
+/// the widened truth-table arena and the per-configuration binding maps
+/// keep their allocations across calls (see `mvf::EvalContext`, which
+/// owns one for Phase-III validation).
+#[derive(Debug, Default)]
+pub struct CamoEvalScratch {
+    arena: TtArena,
+    configs: Vec<HashMap<CellId, TruthTable>>,
+}
+
+impl CamoEvalScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        CamoEvalScratch::default()
+    }
+}
+
+/// Number of selector variables needed to index `n` configurations.
+fn config_bits(n: usize) -> usize {
+    let mut s = 0usize;
+    while (1usize << s) < n {
+        s += 1;
+    }
+    s
+}
+
+/// Evaluates a camouflaged netlist under **all** the given doping
+/// configurations in one word-parallel pass: `result[j]` equals
+/// [`eval_camo_netlist`] under `configs[j]`.
+///
+/// The configuration index is encoded as extra truth-table variables
+/// above the primary inputs, so every cell's pin-term products — the
+/// dominant cost of the Shannon-sum evaluation — are computed **once**
+/// and shared across all configurations; only the cheap per-minterm
+/// config masks differ. When `n_inputs + config bits` would exceed
+/// [`mvf_logic::MAX_VARS`], the configurations are processed in the
+/// widest chunks that fit.
+///
+/// # Errors
+///
+/// Same per-configuration errors as [`eval_camo_netlist`], checked for
+/// every configuration up front.
+pub fn eval_camo_netlist_multi(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    configs: &[HashMap<CellId, TruthTable>],
+) -> Result<Vec<Vec<TruthTable>>, ValidationError> {
+    eval_camo_netlist_multi_with(nl, lib, camo, configs, &mut TtArena::default())
+}
+
+/// [`eval_camo_netlist_multi`] with a caller-owned arena: the widened
+/// evaluation tables are reset in place across calls.
+///
+/// # Errors
+///
+/// Same as [`eval_camo_netlist_multi`].
+pub fn eval_camo_netlist_multi_with(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    configs: &[HashMap<CellId, TruthTable>],
+    arena: &mut TtArena,
+) -> Result<Vec<Vec<TruthTable>>, ValidationError> {
+    // Pre-validate every configuration's bindings, in config order.
+    for config in configs {
+        for (cid, c) in nl.cells() {
+            if let CellRef::Camo(id) = c.cell {
+                let f = config
+                    .get(&cid)
+                    .ok_or(ValidationError::MissingBinding(cid))?;
+                if !camo.cell(id).is_plausible(f) {
+                    return Err(ValidationError::NotPlausible { cell: cid });
+                }
+            }
+        }
+    }
+    let n_in = nl.inputs().len();
+    assert!(
+        n_in <= mvf_logic::MAX_VARS,
+        "exhaustive evaluation limited to {} inputs",
+        mvf_logic::MAX_VARS
+    );
+    let cap = 1usize << (mvf_logic::MAX_VARS - n_in).min(usize::BITS as usize - 1);
+    let mut out = Vec::with_capacity(configs.len());
+    for chunk in configs.chunks(cap.max(1)) {
+        eval_multi_chunk(nl, lib, chunk, arena, &mut out);
+    }
+    Ok(out)
+}
+
+/// One word-parallel pass over a chunk of configurations whose selector
+/// bits fit alongside the primary inputs.
+fn eval_multi_chunk(
+    nl: &Netlist,
+    lib: &Library,
+    configs: &[HashMap<CellId, TruthTable>],
+    arena: &mut TtArena,
+    out: &mut Vec<Vec<TruthTable>>,
+) {
+    let n_in = nl.inputs().len();
+    let n_cfg = configs.len();
+    let s = config_bits(n_cfg);
+    let n = n_in + s;
+    let n_nets = nl.n_nets();
+    // Slot layout: 0..n_nets per-net tables, then the product-term and
+    // config-mask scratch slots, the selector-variable projections, and
+    // one selector indicator per configuration.
+    let term = n_nets;
+    let mask = n_nets + 1;
+    let cfg_var = |b: usize| n_nets + 2 + b;
+    let sel = |j: usize| n_nets + 2 + s + j;
+    arena.reset(n, n_nets + 2 + s + n_cfg);
+    for (i, &pi) in nl.inputs().iter().enumerate() {
+        arena.write_var(pi.0 as usize, i);
+    }
+    for b in 0..s {
+        arena.write_var(cfg_var(b), n_in + b);
+    }
+    // Selector j: the indicator of "config vars == j".
+    for j in 0..n_cfg {
+        arena.write_one(sel(j));
+        for b in 0..s {
+            arena.and_in_place(sel(j), cfg_var(b), j & (1 << b) == 0);
+        }
+    }
+    // Per-cell bound-function views, resolved once per cell instead of
+    // once per minterm × configuration in the mask loop below.
+    let mut bound: Vec<&TruthTable> = Vec::with_capacity(n_cfg);
+    for cid in nl.topo_cells() {
+        let c = nl.cell(cid);
+        let out_slot = c.output.0 as usize;
+        arena.write_zero(out_slot);
+        match c.cell {
+            CellRef::Std(id) => {
+                // Config-independent: the plain Shannon sum.
+                let f = lib.cell(id).function();
+                for m in 0..f.n_minterms() {
+                    if !f.get(m) {
+                        continue;
+                    }
+                    arena.write_one(term);
+                    for (i, p) in c.inputs.iter().enumerate() {
+                        arena.and_in_place(term, p.0 as usize, m & (1 << i) == 0);
+                    }
+                    arena.or_in_place(out_slot, term);
+                }
+            }
+            CellRef::Camo(_) => {
+                // out = Σ_m (Π_i pin products)(m) · Σ_{j: f_j(m)} sel_j —
+                // the pin-term product of each minterm is built once and
+                // gated by the mask of configurations that enable it.
+                bound.clear();
+                bound.extend(configs.iter().map(|config| &config[&cid]));
+                let n_pins = c.inputs.len();
+                for m in 0..(1usize << n_pins) {
+                    arena.write_zero(mask);
+                    let mut any = false;
+                    for (j, f) in bound.iter().enumerate() {
+                        if f.get(m) {
+                            arena.or_in_place(mask, sel(j));
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        continue;
+                    }
+                    arena.write_one(term);
+                    for (i, p) in c.inputs.iter().enumerate() {
+                        arena.and_in_place(term, p.0 as usize, m & (1 << i) == 0);
+                    }
+                    arena.and_in_place(term, mask, false);
+                    arena.or_in_place(out_slot, term);
+                }
+            }
+        }
+    }
+    // Slice each configuration's outputs back out of the widened tables.
+    for j in 0..n_cfg {
+        out.push(
+            nl.outputs()
+                .iter()
+                .map(|(_, net)| {
+                    TruthTable::from_fn(n_in, |x| arena.get(net.0 as usize, x | (j << n_in)))
+                })
+                .collect(),
+        );
+    }
+}
+
 /// Validates a camouflage-mapped circuit against its viable functions: for
 /// every function index `j`, binds each camouflaged cell to its witnessed
 /// function under select value `j` and checks the circuit computes
 /// `viable[j]` exactly.
+///
+/// All viable functions are checked in **one** word-parallel
+/// [`eval_camo_netlist_multi`] pass, so the per-cell pin-term products are
+/// shared across the doping configurations instead of being recomputed
+/// per function.
 ///
 /// `viable[j]` must be expressed over the mapped netlist's input/output
 /// ordering (i.e. the *pin-permuted* functions from the merged circuit).
 ///
 /// # Errors
 ///
-/// Returns the first [`ValidationError`] encountered.
+/// Returns the first [`ValidationError`] encountered (shape and binding
+/// errors for every function are reported before any mismatch).
 pub fn validate_mapped(
     mapped: &CamoMappedCircuit,
     lib: &Library,
     camo: &CamoLibrary,
     viable: &[VectorFunction],
 ) -> Result<(), ValidationError> {
+    validate_mapped_with(mapped, lib, camo, viable, &mut CamoEvalScratch::default())
+}
+
+/// [`validate_mapped`] with a caller-owned [`CamoEvalScratch`]: the
+/// widened evaluation arena and the per-function binding maps are reused
+/// across calls — the Phase-III validation reuse hook of
+/// `mvf::EvalContext`.
+///
+/// # Errors
+///
+/// Same as [`validate_mapped`].
+pub fn validate_mapped_with(
+    mapped: &CamoMappedCircuit,
+    lib: &Library,
+    camo: &CamoLibrary,
+    viable: &[VectorFunction],
+    scratch: &mut CamoEvalScratch,
+) -> Result<(), ValidationError> {
     let nl = &mapped.netlist;
     let n_in = nl.inputs().len();
     let n_out = nl.outputs().len();
-    // One binding map reused across every viable function.
-    let mut config: HashMap<CellId, TruthTable> = HashMap::new();
     for (j, f) in viable.iter().enumerate() {
         if f.n_inputs() != n_in || f.n_outputs() != n_out {
             return Err(ValidationError::ShapeMismatch(format!(
@@ -203,12 +419,27 @@ pub fn validate_mapped(
                 n_out
             )));
         }
+    }
+    // One binding map per viable function, rebuilt in the reused buffers.
+    if scratch.configs.len() < viable.len() {
+        scratch.configs.resize_with(viable.len(), HashMap::new);
+    }
+    for j in 0..viable.len() {
+        let config = &mut scratch.configs[j];
         config.clear();
         for w in &mapped.witness.cells {
             config.insert(w.cell, w.function_for(j).clone());
         }
-        let outs = eval_camo_netlist(nl, lib, camo, &config)?;
-        for (o, got) in outs.iter().enumerate() {
+    }
+    let results = eval_camo_netlist_multi_with(
+        nl,
+        lib,
+        camo,
+        &scratch.configs[..viable.len()],
+        &mut scratch.arena,
+    )?;
+    for (j, f) in viable.iter().enumerate() {
+        for (o, got) in results[j].iter().enumerate() {
             if got != f.output(o) {
                 return Err(ValidationError::FunctionMismatch {
                     function: j,
@@ -322,6 +553,82 @@ mod tests {
         // Swap in a wrong expected function list: validation must fail.
         let wrong = vec![merged.functions[1].clone(), merged.functions[0].clone()];
         assert!(validate_mapped(&mapped, &lib, &camo, &wrong).is_err());
+    }
+
+    #[test]
+    fn multi_config_eval_matches_per_config() {
+        // The word-parallel pass must agree bit-for-bit with evaluating
+        // each doping configuration separately.
+        let funcs = optimal_sboxes()[..4].to_vec();
+        let merged = build_merged(&funcs, &PinAssignment::identity(&funcs)).unwrap();
+        let synthesized = mvf_aig::Script::fast().run(&merged.aig);
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let subject = subject_graph::from_aig(&synthesized, &lib);
+        let mapped = map_camouflage(
+            &subject,
+            &lib,
+            &camo,
+            &merged.select_indices,
+            &CamoMapOptions::default(),
+        )
+        .expect("mappable");
+        let configs: Vec<HashMap<CellId, TruthTable>> = (0..funcs.len())
+            .map(|j| {
+                mapped
+                    .witness
+                    .cells
+                    .iter()
+                    .map(|w| (w.cell, w.function_for(j).clone()))
+                    .collect()
+            })
+            .collect();
+        let multi = eval_camo_netlist_multi(&mapped.netlist, &lib, &camo, &configs).unwrap();
+        assert_eq!(multi.len(), configs.len());
+        for (j, config) in configs.iter().enumerate() {
+            let single = eval_camo_netlist(&mapped.netlist, &lib, &camo, config).unwrap();
+            assert_eq!(multi[j], single, "config {j}");
+        }
+        // A reused scratch gives the same answers.
+        let mut scratch = CamoEvalScratch::new();
+        for _ in 0..2 {
+            let again = eval_camo_netlist_multi_with(
+                &mapped.netlist,
+                &lib,
+                &camo,
+                &configs,
+                &mut scratch.arena,
+            )
+            .unwrap();
+            assert_eq!(again, multi);
+        }
+        validate_mapped_with(&mapped, &lib, &camo, &merged.functions, &mut scratch)
+            .expect("valid under scratch reuse");
+    }
+
+    #[test]
+    fn multi_config_eval_empty_and_single() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let (nand_id, _) = camo
+            .iter()
+            .find(|(_, c)| c.name() == "NAND2")
+            .expect("NAND2");
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let (cid, y) = nl.add_cell("u1", nand_id.into(), vec![a, b]);
+        nl.add_output("y", y);
+        assert!(eval_camo_netlist_multi(&nl, &lib, &camo, &[])
+            .unwrap()
+            .is_empty());
+        let a_tt = TruthTable::var(0, 2);
+        let mut config = HashMap::new();
+        config.insert(cid, a_tt.not());
+        let multi = eval_camo_netlist_multi(&nl, &lib, &camo, std::slice::from_ref(&config))
+            .expect("single config");
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0][0], a_tt.not());
     }
 
     #[test]

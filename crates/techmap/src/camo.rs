@@ -12,11 +12,28 @@
 //! imaging adversary.
 
 use mvf_cells::{CamoLibrary, CellKind, Library};
-use mvf_logic::npn::all_permutations;
 use mvf_logic::TruthTable;
 use mvf_netlist::{CellId, CellRef, Netlist};
 
 use crate::engine::{Engine, MapError, Match, Subtree};
+use crate::plain::MatchScratch;
+
+/// Reusable matcher state for [`map_camouflage_with`], mirroring
+/// [`MatchScratch`] for the camouflage matcher.
+///
+/// Holds the lazily-filled pin-permutation tables per arity and the
+/// permuted-function buffer (shared [`MatchScratch`] shape), plus the
+/// deduplicated required-function candidate buffer that is otherwise
+/// allocated once per candidate subtree. Sharing one `CamoMatchScratch`
+/// across many mapping calls — the Phase-III path of a fitness or
+/// validation loop (see `mvf::EvalContext`) — removes the matcher's
+/// dominant transient allocations without changing any mapping decision.
+#[derive(Debug, Default)]
+pub struct CamoMatchScratch {
+    matcher: MatchScratch,
+    /// Deduplicated requirement set of the current subtree.
+    required: Vec<TruthTable>,
+}
 
 /// Options for [`map_camouflage`].
 #[derive(Debug, Clone)]
@@ -114,6 +131,32 @@ pub fn map_camouflage(
     select_inputs: &[usize],
     options: &CamoMapOptions,
 ) -> Result<CamoMappedCircuit, MapError> {
+    map_camouflage_with(
+        subject,
+        lib,
+        camo,
+        select_inputs,
+        options,
+        &mut CamoMatchScratch::default(),
+    )
+}
+
+/// [`map_camouflage`] with a caller-owned [`CamoMatchScratch`]: identical
+/// mapping decisions, but the pin-permutation tables and candidate
+/// buffers are reused across calls — the Phase-III analogue of
+/// [`crate::map_standard_with`].
+///
+/// # Errors
+///
+/// Same as [`map_camouflage`].
+pub fn map_camouflage_with(
+    subject: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    select_inputs: &[usize],
+    options: &CamoMapOptions,
+    scratch: &mut CamoMatchScratch,
+) -> Result<CamoMappedCircuit, MapError> {
     let engine = Engine::new(
         subject,
         lib,
@@ -132,14 +175,16 @@ pub fn map_camouflage(
 
     let matcher = |st: &Subtree| -> Option<Match> {
         let k = st.data_leaves.len();
+        let s = &mut *scratch;
         // Deduplicated requirement set (the per-assignment list can repeat
-        // functions).
-        let mut required: Vec<TruthTable> = Vec::new();
+        // functions), built in the reused candidate buffer.
+        s.required.clear();
         for f in &st.funcs_by_assign {
-            if !required.contains(f) {
-                required.push(f.clone());
+            if !s.required.contains(f) {
+                s.required.push(f.clone());
             }
         }
+        let required = &s.required;
         let mut best: Option<Match> = None;
 
         // Constant cones (no data leaves).
@@ -183,9 +228,23 @@ pub fn map_camouflage(
             });
         }
 
-        // Standard cells for select-independent subtrees.
+        // The pin-permutation table for this arity, computed once and
+        // shared by the standard-cell scan and every camouflaged cover
+        // test below.
+        s.matcher.perms_for(k);
+        let perms = s.matcher.perms[k].as_ref().expect("filled by perms_for");
+
+        // Standard cells for select-independent subtrees. The subtree
+        // function is permuted once per permutation (into the reused
+        // buffer), not once per permutation × cell.
         if options.allow_standard_cells && required.len() == 1 {
             let f = &required[0];
+            s.matcher.permuted.clear();
+            for perm in perms {
+                s.matcher
+                    .permuted
+                    .push(f.permute(perm).expect("valid permutation"));
+            }
             for (id, cell) in lib.iter() {
                 if cell.n_inputs() != k {
                     continue;
@@ -193,13 +252,12 @@ pub fn map_camouflage(
                 if best.as_ref().is_some_and(|b| b.area <= cell.area_ge()) {
                     continue;
                 }
-                for perm in all_permutations(k) {
-                    let g = f.permute(&perm).expect("valid permutation");
-                    if &g == cell.function() {
+                for (perm, g) in perms.iter().zip(&s.matcher.permuted) {
+                    if g == cell.function() {
                         best = Some(Match {
                             cell: CellRef::Std(id),
-                            pin_perm: perm,
-                            funcs_by_assign: vec![g],
+                            pin_perm: perm.clone(),
+                            funcs_by_assign: vec![g.clone()],
                             area: cell.area_ge(),
                             override_leaves: None,
                         });
@@ -214,7 +272,7 @@ pub fn map_camouflage(
             if best.as_ref().is_some_and(|b| b.area <= cell.area_ge()) {
                 continue;
             }
-            if let Some(perm) = cell.covers(&required) {
+            if let Some(perm) = cell.covers_with(perms, required) {
                 let funcs: Vec<TruthTable> = st
                     .funcs_by_assign
                     .iter()

@@ -29,6 +29,9 @@ mod camo;
 mod engine;
 mod plain;
 
-pub use camo::{map_camouflage, CamoMapOptions, CamoMappedCircuit, CamoWitness, CellWitness};
+pub use camo::{
+    map_camouflage, map_camouflage_with, CamoMapOptions, CamoMappedCircuit, CamoMatchScratch,
+    CamoWitness, CellWitness,
+};
 pub use engine::MapError;
 pub use plain::{map_standard, map_standard_with, MapOptions, MatchScratch};

@@ -23,14 +23,14 @@ use crate::engine::{Engine, MapError, Match, Subtree};
 pub struct MatchScratch {
     /// `perms[k]` = all permutations of `0..k`, in [`all_permutations`]
     /// order; filled lazily per arity.
-    perms: Vec<Option<Vec<Vec<usize>>>>,
+    pub(crate) perms: Vec<Option<Vec<Vec<usize>>>>,
     /// Permuted variants of the current subtree function, parallel to
     /// `perms[k]`.
-    permuted: Vec<TruthTable>,
+    pub(crate) permuted: Vec<TruthTable>,
 }
 
 impl MatchScratch {
-    fn perms_for(&mut self, k: usize) -> &[Vec<usize>] {
+    pub(crate) fn perms_for(&mut self, k: usize) -> &[Vec<usize>] {
         if self.perms.len() <= k {
             self.perms.resize(k + 1, None);
         }

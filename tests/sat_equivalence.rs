@@ -1,0 +1,231 @@
+//! Equivalence corpus for the arena-backed SAT solver.
+//!
+//! The clause database was repacked from per-clause `Vec`s into a single
+//! flat `u32` arena; these tests pin the observable behavior to the seed
+//! solver's contract: identical SAT/UNSAT verdicts (cross-checked against
+//! brute force), models that satisfy every clause, assumption queries that
+//! are fully undone, identical `plausibility_sweep` output across the
+//! attack test corpus, and a propagation-heavy stress case that leans on
+//! the in-place database reuse across queries.
+
+use mvf_attack::{is_plausible, plausibility_sweep, random_camouflage};
+use mvf_cells::{CamoLibrary, Library};
+use mvf_sat::{Lit, Solver, Var};
+use mvf_sboxes::optimal_sboxes;
+
+/// Deterministic xorshift stream for reproducible random instances.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn random_lit(rng: &mut XorShift, n_vars: usize) -> Lit {
+    let v = Var((rng.next() % n_vars as u64) as u32);
+    if rng.next() & 1 == 1 {
+        Lit::neg(v)
+    } else {
+        Lit::pos(v)
+    }
+}
+
+fn random_cnf(
+    rng: &mut XorShift,
+    n_vars: usize,
+    n_clauses: usize,
+    max_width: usize,
+) -> Vec<Vec<Lit>> {
+    let mut clauses = Vec::with_capacity(n_clauses);
+    for _ in 0..n_clauses {
+        let width = 1 + (rng.next() as usize) % max_width;
+        let mut c = Vec::with_capacity(width);
+        for _ in 0..width {
+            c.push(random_lit(rng, n_vars));
+        }
+        clauses.push(c);
+    }
+    clauses
+}
+
+/// Brute-force satisfiability of `clauses ∪ units` over `n_vars`.
+fn brute_force(clauses: &[Vec<Lit>], units: &[Lit], n_vars: usize) -> bool {
+    (0..(1u32 << n_vars)).any(|m| {
+        let sat = |l: &Lit| ((m >> l.var().0) & 1 == 1) != l.is_negative();
+        units.iter().all(sat) && clauses.iter().all(|c| c.iter().any(sat))
+    })
+}
+
+fn model_satisfies(s: &Solver, clauses: &[Vec<Lit>]) -> bool {
+    clauses.iter().all(|c| {
+        c.iter()
+            .any(|l| s.value(l.var()).expect("full model") != l.is_negative())
+    })
+}
+
+#[test]
+fn verdicts_and_models_match_brute_force_on_random_cnfs() {
+    let mut rng = XorShift(0x5EED_CAFE_F00D_D00D);
+    for round in 0..60 {
+        let n_vars = 4 + (rng.next() as usize) % 9; // 4..=12
+        let n_clauses = 2 + (rng.next() as usize) % 40;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 4);
+        let mut s = Solver::new();
+        for _ in 0..n_vars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let got = s.solve();
+        let want = brute_force(&clauses, &[], n_vars);
+        assert_eq!(got, want, "round {round}: {clauses:?}");
+        if got {
+            assert!(model_satisfies(&s, &clauses), "round {round}");
+        }
+    }
+}
+
+#[test]
+fn assumption_queries_match_brute_force_and_are_undone() {
+    let mut rng = XorShift(0xA550_F1EA_5000_0001);
+    for round in 0..30 {
+        let n_vars = 6 + (rng.next() as usize) % 5; // 6..=10
+        let n_clauses = 3 + (rng.next() as usize) % 25;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 3);
+        let mut s = Solver::new();
+        for _ in 0..n_vars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let base = brute_force(&clauses, &[], n_vars);
+        // A run of assumption queries against one solver: each verdict
+        // must match brute force with the assumptions as unit clauses,
+        // and the final no-assumption verdict must be unchanged.
+        for _ in 0..8 {
+            let n_assumptions = 1 + (rng.next() as usize) % 3;
+            let mut assumptions = Vec::with_capacity(n_assumptions);
+            for _ in 0..n_assumptions {
+                assumptions.push(random_lit(&mut rng, n_vars));
+            }
+            let got = s.solve_with(&assumptions);
+            let want = brute_force(&clauses, &assumptions, n_vars);
+            assert_eq!(got, want, "round {round}, assumptions {assumptions:?}");
+            if got {
+                assert!(model_satisfies(&s, &clauses));
+                for a in &assumptions {
+                    assert_eq!(s.value(a.var()), Some(!a.is_negative()));
+                }
+            }
+        }
+        assert_eq!(s.solve(), base, "round {round}: assumptions must be undone");
+    }
+}
+
+#[test]
+fn plausibility_sweep_matches_per_candidate_queries_on_attack_corpus() {
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let present = optimal_sboxes();
+    // The batched incremental-solver verdicts must equal fresh
+    // per-candidate encodings.
+    let circuit = random_camouflage(&present[0], &lib, &camo).expect("buildable");
+    let candidates = &present[..5];
+    let swept = plausibility_sweep(&circuit, &lib, &camo, candidates);
+    assert_eq!(swept.len(), candidates.len());
+    for (j, (f, &verdict)) in candidates.iter().zip(&swept).enumerate() {
+        assert_eq!(
+            verdict,
+            is_plausible(&circuit, &lib, &camo, f),
+            "PRESENT candidate {j}"
+        );
+    }
+    assert!(swept[0], "the true function is always plausible");
+    // A second sweep over a fresh encoding of the same netlist must agree
+    // verdict for verdict (the learnt clauses kept in the arena across
+    // queries never change answers).
+    let again = plausibility_sweep(&circuit, &lib, &camo, candidates);
+    assert_eq!(swept, again, "sweeps over one netlist are deterministic");
+}
+
+#[test]
+fn designed_circuit_sweep_is_all_true() {
+    // The full designed flow (merge → synthesize → camouflage-map) must
+    // keep every viable function plausible under the batched adversary.
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let funcs = optimal_sboxes()[..2].to_vec();
+    let assignment = mvf_merge::PinAssignment::identity(&funcs);
+    let merged = mvf_merge::build_merged(&funcs, &assignment).expect("mergeable");
+    let synthesized = mvf_aig::Script::fast().run(&merged.aig);
+    let subject = mvf_netlist::subject_graph::from_aig(&synthesized, &lib);
+    let mapped = mvf_techmap::map_camouflage(
+        &subject,
+        &lib,
+        &camo,
+        &merged.select_indices,
+        &mvf_techmap::CamoMapOptions::default(),
+    )
+    .expect("mappable");
+    let verdicts = plausibility_sweep(&mapped.netlist, &lib, &camo, &merged.functions);
+    assert!(verdicts.iter().all(|&v| v), "verdicts: {verdicts:?}");
+}
+
+#[test]
+fn propagation_heavy_stress() {
+    // A 20k-variable implication chain: every query triggers a full-length
+    // unit-propagation cascade through the arena's watch lists, and the
+    // same database answers many assumption queries in place.
+    const N: usize = 20_000;
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..N).map(|_| s.new_var()).collect();
+    for w in vars.windows(2) {
+        s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+    }
+    // Forward chain: assuming the head forces the whole chain true.
+    assert!(s.solve_with(&[Lit::pos(vars[0])]));
+    assert_eq!(s.value(vars[N - 1]), Some(true));
+    // Contradictory endpoints are refuted by pure propagation.
+    assert!(!s.solve_with(&[Lit::pos(vars[0]), Lit::neg(vars[N - 1])]));
+    // Mid-chain assumptions, repeated to exercise database reuse.
+    for k in [1usize, N / 2, N - 2] {
+        assert!(s.solve_with(&[Lit::pos(vars[k])]));
+        assert_eq!(s.value(vars[N - 1]), Some(true));
+    }
+    // The instance without assumptions stays satisfiable.
+    assert!(s.solve());
+
+    // A conflict-heavy UNSAT core on the same solver style: pigeonhole
+    // 5 into 4 forces real clause learning and restarts.
+    let mut s = Solver::new();
+    let mut p = vec![[Var(0); 4]; 5];
+    for row in p.iter_mut() {
+        for slot in row.iter_mut() {
+            *slot = s.new_var();
+        }
+    }
+    for row in &p {
+        let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&lits);
+    }
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..4 {
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                s.add_clause(&[Lit::neg(p[a][j]), Lit::neg(p[b][j])]);
+            }
+        }
+    }
+    let before = s.n_clauses();
+    assert!(!s.solve());
+    assert!(
+        s.n_clauses() > before,
+        "conflict learning must grow the clause arena"
+    );
+}
