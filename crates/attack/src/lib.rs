@@ -155,6 +155,10 @@ pub fn is_plausible_any_io(
 /// per-candidate assumptions — the batched attacker-sweep primitive for
 /// red-team evaluations over many suspected functions.
 ///
+/// For wide candidate lists on multi-core machines, see
+/// [`plausibility_sweep_sharded`], which answers the same queries from
+/// cloned solvers in parallel.
+///
 /// # Panics
 ///
 /// Panics if any candidate's shape does not match the netlist.
@@ -164,9 +168,33 @@ pub fn plausibility_sweep(
     camo: &CamoLibrary,
     candidates: &[VectorFunction],
 ) -> Vec<bool> {
-    let mut cnf = encode_netlist(nl, lib, camo);
-    let mut verdicts = Vec::with_capacity(candidates.len());
-    let mut assumptions = Vec::new();
+    plausibility_sweep_sharded(nl, lib, camo, candidates, 1)
+}
+
+/// [`plausibility_sweep`] sharded across worker threads: the netlist is
+/// encoded once, the encoded solver (clause arena, watch lists, VSIDS
+/// state) is cloned per shard via [`mvf_sat::Solver::clone_db`], and the
+/// candidate list is striped over the shards. Verdicts are stitched back
+/// in input order.
+///
+/// Each verdict is the mathematically determined answer of its query, so
+/// the result is **bit-identical to the serial sweep for every shard
+/// count** — sharding only changes which learnt clauses each solver
+/// accumulates along the way, never an answer.
+///
+/// `shards = 0` uses the available hardware parallelism; `shards <= 1`
+/// (or a candidate list shorter than two) runs the serial sweep.
+///
+/// # Panics
+///
+/// Panics if any candidate's shape does not match the netlist.
+pub fn plausibility_sweep_sharded(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    candidates: &[VectorFunction],
+    shards: usize,
+) -> Vec<bool> {
     for candidate in candidates {
         assert_eq!(
             candidate.n_inputs(),
@@ -178,9 +206,53 @@ pub fn plausibility_sweep(
             nl.outputs().len(),
             "output arity mismatch"
         );
-        candidate_assumptions(&cnf.row_outputs, candidate, &mut assumptions);
-        verdicts.push(cnf.solver.solve_with(&assumptions));
     }
+    let mut cnf = encode_netlist(nl, lib, camo);
+    let shards = match shards {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(candidates.len());
+    if shards <= 1 {
+        let mut verdicts = Vec::with_capacity(candidates.len());
+        let mut assumptions = Vec::new();
+        for candidate in candidates {
+            candidate_assumptions(&cnf.row_outputs, candidate, &mut assumptions);
+            verdicts.push(cnf.solver.solve_with(&assumptions));
+        }
+        return verdicts;
+    }
+    // One cloned solver per shard; candidates striped (worker w answers
+    // j = w, w + shards, ...) so expensive candidates spread out. Results
+    // are re-stitched by index, preserving input order exactly.
+    let mut verdicts = vec![false; candidates.len()];
+    let row_outputs = &cnf.row_outputs;
+    let solver = &cnf.solver;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut local = solver.clone_db();
+                    let mut assumptions = Vec::new();
+                    candidates
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(shards)
+                        .map(|(j, candidate)| {
+                            candidate_assumptions(row_outputs, candidate, &mut assumptions);
+                            (j, local.solve_with(&assumptions))
+                        })
+                        .collect::<Vec<(usize, bool)>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (j, v) in h.join().expect("sweep shard panicked") {
+                verdicts[j] = v;
+            }
+        }
+    });
     verdicts
 }
 
@@ -265,6 +337,19 @@ mod tests {
             assert_eq!(v, is_plausible(&circuit, &lib, &camo, f));
         }
         assert!(swept[0], "the true function is always plausible");
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_serial() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let candidates = boxes[..5].to_vec();
+        let serial = plausibility_sweep(&circuit, &lib, &camo, &candidates);
+        for shards in [0usize, 1, 2, 3, 4, 8] {
+            let sharded = plausibility_sweep_sharded(&circuit, &lib, &camo, &candidates, shards);
+            assert_eq!(serial, sharded, "shards = {shards}");
+        }
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Perf-tracking micro-benchmark: arena-based vs naive truth-table
 //! simulation, serial vs parallel GA fitness evaluation through the full
 //! flow, per-call-allocating vs context-reusing fitness evaluation,
-//! batched vs re-encoding SAT plausibility sweeps (`sat_sweep`), CSR vs
-//! nested cut enumeration (`cuts_csr`), and word-parallel vs per-config
-//! camouflage validation (`camo_fitness`).
+//! batched vs re-encoding SAT plausibility sweeps (`sat_sweep`),
+//! order-heap vs linear-scan SAT decisions (`sat_decide`), sharded vs
+//! serial plausibility sweeps (`sweep_parallel`), CSR vs nested cut
+//! enumeration (`cuts_csr`), word-parallel vs per-config camouflage
+//! validation (`camo_fitness`), and 4-wide chunked vs scalar
+//! truth-table word kernels (`tt_kernels`).
 //!
 //! Results are printed and written as machine-readable JSON to
 //! `BENCH_sim.json` at the repository root (override the path with
@@ -316,6 +319,98 @@ fn main() {
     println!("sat sweep  : {sat_sweep_ns:>12.0} ns / candidate (one clause arena, assumptions)");
     println!("sat speedup: {sat_speedup:>12.2}x");
 
+    // --- SAT decisions: order-heap vs linear activity scan. ------------
+    // An under-constrained random 3-CNF over 20k variables: nearly every
+    // step is a decision, so the per-decision variable selection cost
+    // dominates the solve.
+    let decide_vars = 20_000usize;
+    let decide_clauses = 20_000usize;
+    let build_decide_solver = |heap: bool| {
+        use mvf_sat::{Lit, Solver, Var};
+        let mut s = Solver::new();
+        s.set_decision_heap(heap);
+        for _ in 0..decide_vars {
+            s.new_var();
+        }
+        let mut state = 0xDEC1DE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..decide_clauses {
+            let c: Vec<Lit> = (0..3)
+                .map(|_| {
+                    let v = Var((next() % decide_vars as u64) as u32);
+                    if next() & 1 == 1 {
+                        Lit::neg(v)
+                    } else {
+                        Lit::pos(v)
+                    }
+                })
+                .collect();
+            s.add_clause(&c);
+        }
+        s
+    };
+    let mut heap_solver = build_decide_solver(true);
+    let mut linear_solver = build_decide_solver(false);
+    assert_eq!(
+        heap_solver.solve(),
+        linear_solver.solve(),
+        "heap and linear decide modes must agree"
+    );
+    let sat_decide_heap_ns = time_ns(|| {
+        black_box(heap_solver.solve());
+    });
+    let sat_decide_linear_ns = time_ns(|| {
+        black_box(linear_solver.solve());
+    });
+    let sat_decide_speedup = sat_decide_linear_ns / sat_decide_heap_ns;
+    println!("sat decide linear: {sat_decide_linear_ns:>12.0} ns / solve (O(n) activity scan)");
+    println!("sat decide heap  : {sat_decide_heap_ns:>12.0} ns / solve (binary order heap)");
+    println!("sat decide speedup: {sat_decide_speedup:>11.2}x ({decide_vars} vars)");
+
+    // --- Sharded plausibility sweep vs serial. -------------------------
+    let sweep_shards = mvf_ga::resolve_threads(0).max(2);
+    let serial_sweep = mvf_attack::plausibility_sweep(&target, &lib, &camo, sweep_candidates);
+    let sharded_sweep = mvf_attack::plausibility_sweep_sharded(
+        &target,
+        &lib,
+        &camo,
+        sweep_candidates,
+        sweep_shards,
+    );
+    assert_eq!(
+        serial_sweep, sharded_sweep,
+        "sharded sweep must be bit-identical to serial"
+    );
+    let sweep_serial_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_sharded(
+            black_box(&target),
+            &lib,
+            &camo,
+            sweep_candidates,
+            1,
+        ));
+    }) / sweep_candidates.len() as f64;
+    let sweep_sharded_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_sharded(
+            black_box(&target),
+            &lib,
+            &camo,
+            sweep_candidates,
+            sweep_shards,
+        ));
+    }) / sweep_candidates.len() as f64;
+    let sweep_parallel_speedup = sweep_serial_ns / sweep_sharded_ns;
+    println!("sweep serial : {sweep_serial_ns:>12.0} ns / candidate (one incremental solver)");
+    println!(
+        "sweep sharded: {sweep_sharded_ns:>12.0} ns / candidate ({sweep_shards} solver clones)"
+    );
+    println!("sweep speedup: {sweep_parallel_speedup:>11.2}x (bit-identical verdicts)");
+
     // --- Cut enumeration: nested Vec<Vec<Cut>> vs flat CSR CutSet. -----
     let cut_graph = build_random_aig(12, 600, 0xC5_0002);
     let (k, max_cuts) = (4usize, 8usize); // the rewriting pass's budget
@@ -445,6 +540,56 @@ fn main() {
     println!("camo speedup: {camo_speedup:>11.2}x");
     println!("camo map   : {camo_map_cold_ns:>12.0} ns cold, {camo_map_warm_ns:>12.0} ns warm");
 
+    // --- Truth-table kernels: 4-wide chunked vs scalar word loops. -----
+    // 14-variable tables (256 words per slot) — the regime the
+    // word-parallel validator reaches once config variables widen the
+    // space — ANDed down a dependency chain.
+    let tt_vars = 14usize;
+    let tt_slots = 64usize;
+    let words_per_slot = 1usize << (tt_vars - 6);
+    let mut kernel_arena = mvf_logic::TtArena::new(tt_vars, tt_slots);
+    kernel_arena.write_var(0, 0);
+    kernel_arena.write_var(1, tt_vars - 1);
+    // Scalar baseline: the same chain over plain per-word loops.
+    let mut scalar: Vec<Vec<u64>> = vec![vec![0u64; words_per_slot]; tt_slots];
+    scalar[0].copy_from_slice(kernel_arena.slot(0));
+    scalar[1].copy_from_slice(kernel_arena.slot(1));
+    let run_scalar = |slots: &mut Vec<Vec<u64>>| {
+        for i in 2..tt_slots {
+            let ma = if i % 3 == 0 { u64::MAX } else { 0 };
+            for k in 0..words_per_slot {
+                let x = (slots[i - 1][k] ^ ma) & slots[i - 2][k];
+                slots[i][k] = x;
+            }
+        }
+    };
+    let run_chunked = |arena: &mut mvf_logic::TtArena| {
+        for i in 2..tt_slots {
+            arena.and2(i, i - 1, i % 3 == 0, i - 2, false);
+        }
+    };
+    run_scalar(&mut scalar);
+    run_chunked(&mut kernel_arena);
+    for i in 0..tt_slots {
+        assert_eq!(
+            kernel_arena.slot(i),
+            scalar[i].as_slice(),
+            "chunked and scalar kernels disagree at slot {i}"
+        );
+    }
+    let tt_scalar_ns = time_ns(|| {
+        run_scalar(&mut scalar);
+        black_box(&scalar);
+    });
+    let tt_chunked_ns = time_ns(|| {
+        run_chunked(&mut kernel_arena);
+        black_box(&kernel_arena);
+    });
+    let tt_speedup = tt_scalar_ns / tt_chunked_ns;
+    println!("tt scalar  : {tt_scalar_ns:>12.0} ns / {tt_slots}-slot chain (per-word loop)");
+    println!("tt chunked : {tt_chunked_ns:>12.0} ns / {tt_slots}-slot chain (4-wide kernels)");
+    println!("tt speedup : {tt_speedup:>12.2}x ({tt_vars}-var tables, {words_per_slot} words)");
+
     // --- Machine-readable record. ------------------------------------
     let out_path = std::env::var("MVF_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR")));
@@ -482,6 +627,21 @@ fn main() {
             "    \"sweep_ns\": {:.0},\n",
             "    \"speedup\": {:.2}\n",
             "  }},\n",
+            "  \"sat_decide\": {{\n",
+            "    \"n_vars\": {},\n",
+            "    \"n_clauses\": {},\n",
+            "    \"linear_ns\": {:.0},\n",
+            "    \"heap_ns\": {:.0},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"sweep_parallel\": {{\n",
+            "    \"workload\": \"PRESENT random-camouflage\",\n",
+            "    \"candidates\": {},\n",
+            "    \"shards\": {},\n",
+            "    \"serial_ns\": {:.0},\n",
+            "    \"sharded_ns\": {:.0},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
             "  \"cuts_csr\": {{\n",
             "    \"n_inputs\": 12,\n",
             "    \"n_ands\": {},\n",
@@ -499,6 +659,14 @@ fn main() {
             "    \"speedup\": {:.2},\n",
             "    \"map_cold_ns\": {:.0},\n",
             "    \"map_warm_ns\": {:.0}\n",
+            "  }},\n",
+            "  \"tt_kernels\": {{\n",
+            "    \"n_vars\": {},\n",
+            "    \"slots\": {},\n",
+            "    \"words_per_slot\": {},\n",
+            "    \"scalar_ns\": {:.0},\n",
+            "    \"chunked_ns\": {:.0},\n",
+            "    \"speedup\": {:.2}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -519,6 +687,16 @@ fn main() {
         sat_percand_ns,
         sat_sweep_ns,
         sat_speedup,
+        decide_vars,
+        decide_clauses,
+        sat_decide_linear_ns,
+        sat_decide_heap_ns,
+        sat_decide_speedup,
+        sweep_candidates.len(),
+        sweep_shards,
+        sweep_serial_ns,
+        sweep_sharded_ns,
+        sweep_parallel_speedup,
         cut_graph.n_ands(),
         k,
         max_cuts,
@@ -531,6 +709,12 @@ fn main() {
         camo_speedup,
         camo_map_cold_ns,
         camo_map_warm_ns,
+        tt_vars,
+        tt_slots,
+        words_per_slot,
+        tt_scalar_ns,
+        tt_chunked_ns,
+        tt_speedup,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

@@ -115,6 +115,7 @@ pub struct FlowBuilder {
     camo: Option<CamoLibrary>,
     workload_threads: usize,
     attack_sweep: bool,
+    attack_shards: usize,
 }
 
 impl FlowBuilder {
@@ -203,6 +204,18 @@ impl FlowBuilder {
         self
     }
 
+    /// Worker shards for the red-team pass
+    /// ([`mvf_attack::plausibility_sweep_sharded`]): each workload's
+    /// candidate sweep clones the encoded solver per shard and answers
+    /// queries in parallel. `0` (the default) gives every sweep the
+    /// workload's inner thread share; verdicts are bit-identical for
+    /// every shard count.
+    #[must_use]
+    pub fn attack_shards(mut self, shards: usize) -> Self {
+        self.attack_shards = shards;
+        self
+    }
+
     /// Builds a flow with the default [`Ga`] strategy configured from
     /// [`FlowConfig::ga`].
     pub fn build(self) -> Flow<Ga> {
@@ -221,6 +234,7 @@ impl FlowBuilder {
             strategy,
             workload_threads: self.workload_threads,
             attack_sweep: self.attack_sweep,
+            attack_shards: self.attack_shards,
         }
     }
 }
@@ -237,6 +251,7 @@ pub struct Flow<S = Ga> {
     pub(crate) strategy: S,
     pub(crate) workload_threads: usize,
     pub(crate) attack_sweep: bool,
+    pub(crate) attack_shards: usize,
 }
 
 impl Flow<Ga> {

@@ -168,12 +168,24 @@ impl<S: SearchStrategy> Flow<S> {
         let strategy = self.strategy.reconfigured(seed, threads);
         let outcome = self.run_with_strategy(&workload.functions, &strategy);
         let plausibility = match &outcome {
-            Ok(result) if self.attack_sweep => Some(mvf_attack::plausibility_sweep(
-                &result.mapped.netlist,
-                &self.lib,
-                &self.camo,
-                &result.merged.functions,
-            )),
+            Ok(result) if self.attack_sweep => {
+                // The sweep shards over the same thread share the
+                // workload's inner search uses, unless the builder pinned
+                // an explicit shard count. Verdicts are bit-identical to
+                // the serial sweep either way.
+                let shards = if self.attack_shards > 0 {
+                    self.attack_shards
+                } else {
+                    resolve_threads(threads)
+                };
+                Some(mvf_attack::plausibility_sweep_sharded(
+                    &result.mapped.netlist,
+                    &self.lib,
+                    &self.camo,
+                    &result.merged.functions,
+                    shards,
+                ))
+            }
             _ => None,
         };
         WorkloadReport {
@@ -231,6 +243,7 @@ mod tests {
             .validate(false)
             .workload_threads(1)
             .attack_sweep(true)
+            .attack_shards(2)
             .build();
         let reports = flow.run_many(&[Workload::new("PRESENT x2", funcs.clone())]);
         let verdicts = reports[0].plausibility.as_ref().expect("sweep attached");

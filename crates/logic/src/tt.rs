@@ -14,6 +14,71 @@ const WORD_VAR: [u64; 6] = [
     0xFFFF_FFFF_0000_0000,
 ];
 
+/// Applies `f` word-by-word: `dst[i] = f(dst[i], src[i])`, unrolled in
+/// 4-wide chunks.
+///
+/// The multi-word tables the word-parallel validator produces (≥ 10
+/// inputs plus config variables) spend their time in these straight-line
+/// word loops; the explicit 4-wide unrolling gives the backend
+/// independent operations to schedule (and is the stepping stone to
+/// `std::simd` lanes once that stabilizes) without changing a single
+/// result bit.
+#[inline(always)]
+fn zip2_words(dst: &mut [u64], src: &[u64], f: impl Fn(u64, u64) -> u64) {
+    let n = dst.len().min(src.len());
+    let n4 = n & !3;
+    let (dc, dr) = dst[..n].split_at_mut(n4);
+    let (sc, sr) = src[..n].split_at(n4);
+    for (d4, s4) in dc.chunks_exact_mut(4).zip(sc.chunks_exact(4)) {
+        d4[0] = f(d4[0], s4[0]);
+        d4[1] = f(d4[1], s4[1]);
+        d4[2] = f(d4[2], s4[2]);
+        d4[3] = f(d4[3], s4[3]);
+    }
+    for (d, s) in dr.iter_mut().zip(sr) {
+        *d = f(*d, *s);
+    }
+}
+
+/// Three-address variant: `dst[i] = f(a[i], b[i])`, unrolled 4-wide.
+#[inline(always)]
+fn zip3_words(dst: &mut [u64], a: &[u64], b: &[u64], f: impl Fn(u64, u64) -> u64) {
+    let n = dst.len().min(a.len()).min(b.len());
+    let n4 = n & !3;
+    let (dc, dr) = dst[..n].split_at_mut(n4);
+    let (ac, ar) = a[..n].split_at(n4);
+    let (bc, br) = b[..n].split_at(n4);
+    for ((d4, a4), b4) in dc
+        .chunks_exact_mut(4)
+        .zip(ac.chunks_exact(4))
+        .zip(bc.chunks_exact(4))
+    {
+        d4[0] = f(a4[0], b4[0]);
+        d4[1] = f(a4[1], b4[1]);
+        d4[2] = f(a4[2], b4[2]);
+        d4[3] = f(a4[3], b4[3]);
+    }
+    for ((d, a), b) in dr.iter_mut().zip(ar).zip(br) {
+        *d = f(*a, *b);
+    }
+}
+
+/// Unary in-place variant: `w[i] = f(w[i])`, unrolled 4-wide.
+#[inline(always)]
+fn map_words(words: &mut [u64], f: impl Fn(u64) -> u64) {
+    let n4 = words.len() & !3;
+    let (c, r) = words.split_at_mut(n4);
+    for w4 in c.chunks_exact_mut(4) {
+        w4[0] = f(w4[0]);
+        w4[1] = f(w4[1]);
+        w4[2] = f(w4[2]);
+        w4[3] = f(w4[3]);
+    }
+    for w in r {
+        *w = f(*w);
+    }
+}
+
 /// A complete truth table of a Boolean function over up to [`MAX_VARS`]
 /// variables, packed 64 minterms per word.
 ///
@@ -309,9 +374,7 @@ impl TruthTable {
     /// Panics on arity mismatch.
     pub fn and_assign(&mut self, other: &Self) {
         self.check_arity(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        zip2_words(&mut self.words, &other.words, |a, b| a & b);
     }
 
     /// In-place OR: `self |= other`.
@@ -321,9 +384,7 @@ impl TruthTable {
     /// Panics on arity mismatch.
     pub fn or_assign(&mut self, other: &Self) {
         self.check_arity(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        zip2_words(&mut self.words, &other.words, |a, b| a | b);
     }
 
     /// In-place XOR: `self ^= other`.
@@ -333,16 +394,12 @@ impl TruthTable {
     /// Panics on arity mismatch.
     pub fn xor_assign(&mut self, other: &Self) {
         self.check_arity(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+        zip2_words(&mut self.words, &other.words, |a, b| a ^ b);
     }
 
     /// In-place complement: `self = ¬self`.
     pub fn not_assign(&mut self) {
-        for w in &mut self.words {
-            *w = !*w;
-        }
+        map_words(&mut self.words, |w| !w);
         *self.words.last_mut().expect("at least one word") &= Self::tail_mask(self.n_vars);
     }
 
@@ -353,9 +410,7 @@ impl TruthTable {
     /// Panics on arity mismatch.
     pub fn and_not_assign(&mut self, other: &Self) {
         self.check_arity(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        zip2_words(&mut self.words, &other.words, |a, b| a & !b);
     }
 
     /// Ternary buffer-reuse AND: `dst = a ∧ b` without allocating (the
@@ -368,9 +423,7 @@ impl TruthTable {
         a.check_arity(b);
         dst.n_vars = a.n_vars;
         dst.words.resize(a.words.len(), 0);
-        for (d, (x, y)) in dst.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
-            *d = x & y;
-        }
+        zip3_words(&mut dst.words, &a.words, &b.words, |x, y| x & y);
     }
 
     /// Ternary buffer-reuse AND-NOT: `dst = a ∧ ¬b` without allocating.
@@ -382,9 +435,7 @@ impl TruthTable {
         a.check_arity(b);
         dst.n_vars = a.n_vars;
         dst.words.resize(a.words.len(), 0);
-        for (d, (x, y)) in dst.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
-            *d = x & !y;
-        }
+        zip3_words(&mut dst.words, &a.words, &b.words, |x, y| x & !y);
     }
 
     /// `true` iff the function is constant 0.
@@ -745,6 +796,19 @@ impl TtArena {
         self.words.resize(need, 0);
     }
 
+    /// Grows the arena to at least `n_slots` slots (same arity),
+    /// zero-filling the new slots and preserving existing contents.
+    ///
+    /// This is the on-demand growth hook for callers that discover their
+    /// slot count while evaluating (cone evaluation over a subtree whose
+    /// size is only known at the end).
+    pub fn ensure_slots(&mut self, n_slots: usize) {
+        let need = self.words_per_slot * n_slots;
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
     /// The number of variables of every slot.
     pub fn n_vars(&self) -> usize {
         self.n_vars
@@ -843,15 +907,14 @@ impl TtArena {
         let (da, aa, ba) = (dst * w, a * w, b * w);
         if dst > a && dst > b {
             // The common topological case (destination after both
-            // operands): disjoint slices let the word loop vectorize
-            // without per-access bounds checks.
+            // operands): disjoint slices let the word loop run as a
+            // straight-line 4-wide chunked kernel without per-access
+            // bounds checks.
             let (src, rest) = self.words.split_at_mut(da);
             let d = &mut rest[..w];
             let sa = &src[aa..aa + w];
             let sb = &src[ba..ba + w];
-            for k in 0..w {
-                d[k] = (sa[k] ^ ma) & (sb[k] ^ mb);
-            }
+            zip3_words(d, sa, sb, |x, y| (x ^ ma) & (y ^ mb));
         } else {
             assert!(da + w <= self.words.len(), "slot {dst} out of range");
             for k in 0..w {
@@ -871,9 +934,7 @@ impl TtArena {
         let m = if compl { u64::MAX } else { 0 };
         let tail = self.tail;
         let (d, s) = self.pair(dst, src);
-        for (x, y) in d.iter_mut().zip(s) {
-            *x &= *y ^ m;
-        }
+        zip2_words(d, s, |x, y| x & (y ^ m));
         *d.last_mut().expect("at least one word") &= tail;
     }
 
@@ -884,9 +945,7 @@ impl TtArena {
     /// Panics if `dst == src` or a slot index is out of range.
     pub fn or_in_place(&mut self, dst: usize, src: usize) {
         let (d, s) = self.pair(dst, src);
-        for (x, y) in d.iter_mut().zip(s) {
-            *x |= *y;
-        }
+        zip2_words(d, s, |x, y| x | y);
     }
 
     /// Copies slot `src` into `dst`, complementing when `compl` is set.
@@ -898,9 +957,7 @@ impl TtArena {
         let m = if compl { u64::MAX } else { 0 };
         let tail = self.tail;
         let (d, s) = self.pair(dst, src);
-        for (x, y) in d.iter_mut().zip(s) {
-            *x = *y ^ m;
-        }
+        zip2_words(d, s, |_, y| y ^ m);
         *d.last_mut().expect("at least one word") &= tail;
     }
 

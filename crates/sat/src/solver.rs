@@ -10,16 +10,149 @@
 //! heap allocation. The database persists across [`Solver::solve_with`]
 //! calls, which is what makes batched assumption queries (the
 //! plausibility sweep) cheap: one encoding, one arena, many verdicts.
+//!
+//! Two further mechanisms keep long query sequences fast and bounded:
+//!
+//! * **Order-heap decisions** — unassigned variables live in a binary
+//!   max-heap keyed on VSIDS activity ([`VarOrder`]), so picking a
+//!   decision variable is `O(log n)` instead of an `O(n)` activity scan.
+//!   Ties break toward the lowest variable index, which makes the heap
+//!   pick *exactly* the variable the linear scan would, so verdicts,
+//!   models and the whole search trajectory are identical in both modes
+//!   (see [`Solver::set_decision_heap`]).
+//! * **Learnt-DB reduction** — learnt clauses carry an activity and an
+//!   LBD (literal block distance) in arrays parallel to the arena. When
+//!   the learnt count passes a (configurable) threshold, [`reduce_db`]
+//!   drops the cold half, compacts the arena in place and remaps every
+//!   clause reference in the watch lists and reason array, so arena
+//!   growth stays bounded across arbitrarily long sweeps.
+//!
+//! [`reduce_db`]: Solver::set_learnt_limit
 
 use crate::{Lit, Var};
 
 /// Sentinel clause reference: "no reason" / "no clause".
 const NO_CLAUSE: u32 = u32::MAX;
 
+/// Sentinel heap position: "not in the heap".
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+/// A binary max-heap of variables keyed on VSIDS activity — the
+/// minisat-style variable order. `heap` holds variable indices in heap
+/// order; `index[v]` is `v`'s position in `heap` (or [`NOT_IN_HEAP`]).
+///
+/// The comparison is total: higher activity wins, and equal activities
+/// break toward the lower variable index. That tie-break makes the heap's
+/// pop order agree exactly with a linear "first maximum" activity scan,
+/// which keeps solver runs reproducible and mode-independent.
+#[derive(Debug, Clone, Default)]
+struct VarOrder {
+    heap: Vec<u32>,
+    index: Vec<u32>,
+}
+
+impl VarOrder {
+    /// `true` iff `a` is strictly preferred over `b` as the next decision.
+    #[inline]
+    fn better(act: &[f64], a: u32, b: u32) -> bool {
+        let (aa, ab) = (act[a as usize], act[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    /// Registers a new variable slot (not yet in the heap).
+    fn push_slot(&mut self) {
+        self.index.push(NOT_IN_HEAP);
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.index[v as usize] != NOT_IN_HEAP
+    }
+
+    /// Inserts `v` unless it is already present.
+    fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v);
+        self.index[v as usize] = i as u32;
+        self.sift_up(i, act);
+    }
+
+    /// Restores the heap property upward from position `i`.
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        while i > 0 {
+            let p = (i - 1) / 2;
+            let pv = self.heap[p];
+            if Self::better(act, v, pv) {
+                self.heap[i] = pv;
+                self.index[pv as usize] = i as u32;
+                i = p;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = v;
+        self.index[v as usize] = i as u32;
+    }
+
+    /// Restores the heap property downward from position `i`.
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        let len = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= len {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < len && Self::better(act, self.heap[r], self.heap[l]) {
+                r
+            } else {
+                l
+            };
+            let cv = self.heap[c];
+            if Self::better(act, cv, v) {
+                self.heap[i] = cv;
+                self.index[cv as usize] = i as u32;
+                i = c;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = v;
+        self.index[v as usize] = i as u32;
+    }
+
+    /// Removes and returns the best variable, or `None` when empty.
+    fn pop(&mut self, act: &[f64]) -> Option<u32> {
+        let v = *self.heap.first()?;
+        self.index[v as usize] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("checked non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.index[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(v)
+    }
+
+    /// Re-establishes `v`'s position after its activity *increased*.
+    #[inline]
+    fn update(&mut self, v: u32, act: &[f64]) {
+        let i = self.index[v as usize];
+        if i != NOT_IN_HEAP {
+            self.sift_up(i as usize, act);
+        }
+    }
+}
+
 /// The SAT solver.
 ///
 /// See the [crate documentation](crate) for an example.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
 pub struct Solver {
     /// Flat clause arena: `[len, lit codes...]` blocks, problem and learnt
     /// clauses alike. A clause reference is the offset of its `len` word.
@@ -45,6 +178,28 @@ pub struct Solver {
     /// VSIDS activity and bump increment.
     activity: Vec<f64>,
     act_inc: f64,
+    /// Activity-ordered decision heap; contains a superset of the
+    /// unassigned variables (assigned entries are skipped lazily).
+    order: VarOrder,
+    /// When `false`, [`Solver::decide`] falls back to the pre-heap linear
+    /// activity scan (kept as a baseline for benches and equivalence
+    /// tests; both modes pick identical decision variables).
+    use_heap: bool,
+    /// Learnt-clause refs in ascending arena order, with activity and LBD
+    /// in parallel arrays — the metadata [`Solver::reduce_db`] ranks by.
+    learnt_refs: Vec<u32>,
+    learnt_act: Vec<f64>,
+    learnt_lbd: Vec<u32>,
+    /// Learnt-clause activity bump increment.
+    cla_inc: f64,
+    /// User learnt cap (`0` = adaptive) and the current reduce threshold.
+    learnt_limit: usize,
+    max_learnts: usize,
+    /// Completed [`Solver::reduce_db`] passes.
+    n_reductions: u64,
+    /// LBD computation scratch: per-level stamps and the current stamp key.
+    lbd_stamp: Vec<u64>,
+    lbd_key: u64,
     /// Set when an empty clause is added.
     unsat: bool,
     /// Conflict-analysis scratch: the learnt clause under construction
@@ -54,14 +209,56 @@ pub struct Solver {
     seen: Vec<bool>,
     /// Clause-construction scratch for [`Solver::add_clause`].
     add_tmp: Vec<Lit>,
+    /// Arena-compaction scratch for [`Solver::reduce_db`] (dead clause
+    /// refs and the word-shift prefix sums), reused across reductions.
+    dead_refs: Vec<u32>,
+    dead_shift: Vec<u32>,
+    rank_tmp: Vec<u32>,
+}
+
+impl Default for Solver {
+    /// Identical to [`Solver::new`] — the non-zero activity increments
+    /// and the heap decision mode are part of the default state, so a
+    /// `Default`-constructed solver is never silently slower.
+    fn default() -> Self {
+        Solver::new()
+    }
 }
 
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Solver {
+            arena: Vec::new(),
+            n_clauses: 0,
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
             act_inc: 1.0,
-            ..Default::default()
+            order: VarOrder::default(),
+            use_heap: true,
+            learnt_refs: Vec::new(),
+            learnt_act: Vec::new(),
+            learnt_lbd: Vec::new(),
+            cla_inc: 1.0,
+            learnt_limit: 0,
+            max_learnts: 0,
+            n_reductions: 0,
+            lbd_stamp: Vec::new(),
+            lbd_key: 0,
+            unsat: false,
+            learnt: Vec::new(),
+            seen: Vec::new(),
+            add_tmp: Vec::new(),
+            dead_refs: Vec::new(),
+            dead_shift: Vec::new(),
+            rank_tmp: Vec::new(),
         }
     }
 
@@ -74,9 +271,64 @@ impl Solver {
         self.reason.push(NO_CLAUSE);
         self.activity.push(0.0);
         self.seen.push(false);
+        self.lbd_stamp.push(0);
         self.watches.push(Vec::new()); // positive literal
         self.watches.push(Vec::new()); // negative literal
+        self.order.push_slot();
+        self.order.insert(v.0, &self.activity);
         v
+    }
+
+    /// Chooses between the order-heap (default) and the baseline linear
+    /// activity scan for decision-variable selection. Both modes pick the
+    /// identical variable at every decision (the heap's tie-break mirrors
+    /// the scan's "first maximum" rule), so this only changes the cost
+    /// per decision, never a verdict or model.
+    pub fn set_decision_heap(&mut self, enabled: bool) {
+        if enabled && !self.use_heap {
+            // The heap may have gone stale while unused; re-insert every
+            // unassigned variable (inserts are no-ops for present vars).
+            for v in 0..self.assign.len() {
+                if self.assign[v].is_none() {
+                    self.order.insert(v as u32, &self.activity);
+                }
+            }
+        }
+        self.use_heap = enabled;
+    }
+
+    /// Caps the learnt-clause count: once more than `limit` learnt
+    /// clauses are live, the solver runs [`reduce_db`] (dropping the cold
+    /// half and compacting the arena) instead of growing the database
+    /// further. `0` (the default) selects an adaptive threshold that
+    /// starts near `n_clauses / 3` and grows geometrically.
+    ///
+    /// Glue clauses (LBD ≤ 2) and clauses locked as reasons are always
+    /// kept, so the live count can sit slightly above the cap.
+    ///
+    /// [`reduce_db`]: Solver::set_learnt_limit
+    pub fn set_learnt_limit(&mut self, limit: usize) {
+        self.learnt_limit = limit;
+        self.max_learnts = 0; // re-derive on the next solve
+    }
+
+    /// Number of live learnt clauses.
+    pub fn n_learnts(&self) -> usize {
+        self.learnt_refs.len()
+    }
+
+    /// Number of completed learnt-DB reductions.
+    pub fn n_reductions(&self) -> u64 {
+        self.n_reductions
+    }
+
+    /// A snapshot of the whole solver — clause arena, watch lists, VSIDS
+    /// state and learnt metadata. The flat arena makes this a handful of
+    /// `memcpy`s plus the per-literal watch vectors; sharded sweeps clone
+    /// one encoded solver per worker and query the clones independently
+    /// (see `mvf_attack::plausibility_sweep_sharded`).
+    pub fn clone_db(&self) -> Solver {
+        self.clone()
     }
 
     /// Number of variables.
@@ -242,11 +494,52 @@ impl Solver {
         let a = &mut self.activity[v.0 as usize];
         *a += self.act_inc;
         if *a > 1e100 {
+            // Rescaling multiplies every activity by the same factor, so
+            // the heap's relative order — and therefore every stored heap
+            // position — survives unchanged.
             for x in &mut self.activity {
                 *x *= 1e-100;
             }
             self.act_inc *= 1e-100;
         }
+        // The bumped variable may only have become *more* attractive.
+        self.order.update(v.0, &self.activity);
+    }
+
+    /// Bumps a learnt clause's activity (it participated in a conflict).
+    fn bump_clause(&mut self, cr: u32) {
+        // Learnt refs are kept sorted ascending (the arena only appends,
+        // and compaction preserves order), so ordinal lookup is a binary
+        // search — no per-clause hash map.
+        let Ok(i) = self.learnt_refs.binary_search(&cr) else {
+            return; // a problem clause
+        };
+        self.learnt_act[i] += self.cla_inc;
+        if self.learnt_act[i] > 1e20 {
+            for a in &mut self.learnt_act {
+                *a *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// The LBD (literal block distance) of the clause in `self.learnt`:
+    /// the number of distinct non-zero decision levels among its
+    /// literals. Computed with per-level stamps, no allocation.
+    fn lbd_of_learnt(&mut self) -> u32 {
+        self.lbd_key += 1;
+        let key = self.lbd_key;
+        let mut lbd = 0u32;
+        for l in &self.learnt {
+            let lv = self.level[l.var().0 as usize] as usize;
+            // Levels run 1..=n_vars; stamp slot `lv - 1` keeps the array
+            // exactly n_vars long.
+            if lv > 0 && self.lbd_stamp[lv - 1] != key {
+                self.lbd_stamp[lv - 1] = key;
+                lbd += 1;
+            }
+        }
+        lbd
     }
 
     /// First-UIP conflict analysis. Fills `self.learnt` (asserting
@@ -258,6 +551,9 @@ impl Solver {
         let mut p: Option<Lit> = None;
         let mut idx = self.trail.len();
         loop {
+            // Learnt clauses that keep producing conflicts are the ones
+            // worth keeping through DB reductions.
+            self.bump_clause(confl);
             let cr = confl as usize;
             let len = self.arena[cr] as usize;
             for k in 0..len {
@@ -316,12 +612,170 @@ impl Solver {
                 let v = l.var().0 as usize;
                 self.assign[v] = None;
                 self.reason[v] = NO_CLAUSE;
+                // Lazy heap maintenance: a variable re-enters the order
+                // only when it actually becomes undecided again.
+                self.order.insert(v as u32, &self.activity);
             }
         }
         self.qhead = self.trail.len();
     }
 
+    /// `true` iff `cr` is the reason of a currently assigned variable.
+    /// The implied literal of a reason clause always sits at watch
+    /// position 1 or 2 (propagation never moves a true watched literal
+    /// deeper), so two probes suffice.
+    fn is_locked(&self, cr: u32) -> bool {
+        (1..=2).any(|k| {
+            let v = Lit::from_code(self.arena[cr as usize + k]).var().0 as usize;
+            self.reason[v] == cr
+        })
+    }
+
+    /// Learnt-DB reduction: drops the cold half of the learnt clauses and
+    /// compacts the flat arena in place.
+    ///
+    /// Clauses are ranked by (LBD ascending, activity descending); glue
+    /// clauses (LBD ≤ 2) and clauses locked as reasons are always kept.
+    /// Compaction slides the live blocks down over the dead ones with
+    /// `copy_within`, then remaps every clause reference — watch lists,
+    /// the reason array and the learnt metadata — through the dead-block
+    /// prefix sums. Safe at any decision level.
+    fn reduce_db(&mut self) {
+        let n = self.learnt_refs.len();
+        if n == 0 {
+            return;
+        }
+        // Rank the removable learnts worst-first: higher LBD, then lower
+        // activity, then older (lower ref). Deterministic total order.
+        let mut cand = std::mem::take(&mut self.rank_tmp);
+        cand.clear();
+        for i in 0..n {
+            if self.learnt_lbd[i] > 2 && !self.is_locked(self.learnt_refs[i]) {
+                cand.push(i as u32);
+            }
+        }
+        cand.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            self.learnt_lbd[b]
+                .cmp(&self.learnt_lbd[a])
+                .then(self.learnt_act[a].total_cmp(&self.learnt_act[b]))
+                .then(self.learnt_refs[a].cmp(&self.learnt_refs[b]))
+        });
+        let n_remove = cand.len().min(n / 2);
+        if n_remove == 0 {
+            // Everything is glue or locked: raise the threshold so the
+            // trigger does not fire on every conflict.
+            self.max_learnts += self.max_learnts / 2 + 1;
+            self.rank_tmp = cand;
+            return;
+        }
+        // Dead refs ascending, with cumulative word shifts: a live ref
+        // `r` moves to `r - shift[#dead blocks before r]`.
+        let mut dead = std::mem::take(&mut self.dead_refs);
+        let mut shift = std::mem::take(&mut self.dead_shift);
+        dead.clear();
+        shift.clear();
+        dead.extend(
+            cand[..n_remove]
+                .iter()
+                .map(|&i| self.learnt_refs[i as usize]),
+        );
+        dead.sort_unstable();
+        let mut acc = 0u32;
+        for &d in &dead {
+            acc += self.arena[d as usize] + 1;
+            shift.push(acc);
+        }
+        // Slide the live spans between dead blocks down in place. Each
+        // destination range ends strictly before the next dead header, so
+        // headers are always read before they can be overwritten.
+        {
+            let mut write = dead[0] as usize;
+            let mut read = write + self.arena[write] as usize + 1;
+            for &d in &dead[1..] {
+                let d = d as usize;
+                let span = d - read;
+                self.arena.copy_within(read..d, write);
+                write += span;
+                read = d + self.arena[d] as usize + 1;
+            }
+            let len = self.arena.len();
+            self.arena.copy_within(read..len, write);
+            self.arena.truncate(write + (len - read));
+        }
+        let remap = |r: u32| -> u32 {
+            let i = dead.partition_point(|&d| d < r);
+            if i == 0 {
+                r
+            } else {
+                r - shift[i - 1]
+            }
+        };
+        // Watch lists: drop watchers of dead clauses, remap the rest.
+        for wl in &mut self.watches {
+            wl.retain_mut(|r| {
+                if dead.binary_search(r).is_ok() {
+                    false
+                } else {
+                    *r = remap(*r);
+                    true
+                }
+            });
+        }
+        // Reasons: locked clauses were kept, so every reason stays live.
+        for r in &mut self.reason {
+            if *r != NO_CLAUSE {
+                debug_assert!(dead.binary_search(r).is_err(), "reason clause dropped");
+                *r = remap(*r);
+            }
+        }
+        // Learnt metadata: two-pointer sweep (both lists are ascending).
+        let mut w = 0usize;
+        let mut di = 0usize;
+        for i in 0..n {
+            let r = self.learnt_refs[i];
+            if di < dead.len() && dead[di] == r {
+                di += 1;
+                continue;
+            }
+            self.learnt_refs[w] = remap(r);
+            self.learnt_act[w] = self.learnt_act[i];
+            self.learnt_lbd[w] = self.learnt_lbd[i];
+            w += 1;
+        }
+        self.learnt_refs.truncate(w);
+        self.learnt_act.truncate(w);
+        self.learnt_lbd.truncate(w);
+        self.n_clauses -= n_remove;
+        self.n_reductions += 1;
+        if self.learnt_limit == 0 {
+            // Adaptive mode grows the threshold geometrically; a user cap
+            // stays fixed so long sweeps remain bounded — snap back any
+            // transient slack the all-glue escape path above granted.
+            self.max_learnts += self.max_learnts / 10 + 1;
+        } else {
+            self.max_learnts = self.learnt_limit;
+        }
+        self.rank_tmp = cand;
+        self.dead_refs = dead;
+        self.dead_shift = shift;
+    }
+
     fn decide(&mut self) -> Option<Lit> {
+        if self.use_heap {
+            // Pop until an unassigned variable surfaces. Successive pops
+            // come out in decreasing (activity, -index) order, so the
+            // first unassigned one is exactly the linear scan's pick.
+            // Assigned entries dropped here are re-inserted by
+            // `cancel_until` when (and if) they become undecided again.
+            while let Some(v) = self.order.pop(&self.activity) {
+                if self.assign[v as usize].is_none() {
+                    return Some(Lit::with_polarity(Var(v), self.phase[v as usize]));
+                }
+            }
+            return None;
+        }
+        // Baseline linear scan: first variable of maximal activity.
         let mut best: Option<(usize, f64)> = None;
         for v in 0..self.n_vars() {
             if self.assign[v].is_none() {
@@ -373,6 +827,15 @@ impl Solver {
             }
         }
         let assumption_level = self.decision_level();
+        if self.max_learnts == 0 {
+            // (Re-)derive the reduction threshold: the user cap verbatim,
+            // or an adaptive start proportional to the problem size.
+            self.max_learnts = if self.learnt_limit > 0 {
+                self.learnt_limit
+            } else {
+                (self.n_clauses / 3).max(2000)
+            };
+        }
         let mut conflicts_until_restart = 100u64;
         let mut conflicts = 0u64;
         loop {
@@ -394,12 +857,20 @@ impl Solver {
                     let ok = self.enqueue(assert_lit, NO_CLAUSE);
                     debug_assert!(ok);
                 } else {
+                    let lbd = self.lbd_of_learnt();
                     let cr = Self::attach_from(&mut self.arena, &mut self.watches, &self.learnt);
                     self.n_clauses += 1;
+                    self.learnt_refs.push(cr);
+                    self.learnt_act.push(self.cla_inc);
+                    self.learnt_lbd.push(lbd);
                     let ok = self.enqueue(assert_lit, cr);
                     debug_assert!(ok);
                 }
                 self.act_inc *= 1.05;
+                self.cla_inc *= 1.001;
+                if self.learnt_refs.len() >= self.max_learnts {
+                    self.reduce_db();
+                }
                 if conflicts >= conflicts_until_restart {
                     conflicts = 0;
                     conflicts_until_restart = (conflicts_until_restart * 3) / 2;
@@ -584,6 +1055,134 @@ mod tests {
         let _ = lits(&mut s, 1);
         s.add_clause(&[]);
         assert!(!s.solve());
+    }
+
+    /// Deterministic xorshift for in-module randomized tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_3cnf(state: &mut u64, n_vars: usize, n_clauses: usize) -> Vec<Vec<Lit>> {
+        (0..n_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        let v = Var((xorshift(state) % n_vars as u64) as u32);
+                        if xorshift(state) & 1 == 1 {
+                            Lit::neg(v)
+                        } else {
+                            Lit::pos(v)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn heap_and_linear_decisions_are_identical() {
+        // The order heap's tie-break mirrors the linear scan's "first
+        // maximum" rule, so the entire search — verdicts *and* models —
+        // must be bit-identical in both modes.
+        let mut state = 0x1DEA_0001u64;
+        for round in 0..40 {
+            let n_vars = 6 + (xorshift(&mut state) % 7) as usize;
+            let n_clauses = 5 + (xorshift(&mut state) % 40) as usize;
+            let clauses = random_3cnf(&mut state, n_vars, n_clauses);
+            let mut heap = Solver::new();
+            let mut linear = Solver::new();
+            linear.set_decision_heap(false);
+            for _ in 0..n_vars {
+                heap.new_var();
+                linear.new_var();
+            }
+            for c in &clauses {
+                heap.add_clause(c);
+                linear.add_clause(c);
+            }
+            let (vh, vl) = (heap.solve(), linear.solve());
+            assert_eq!(vh, vl, "round {round}: verdicts differ");
+            if vh {
+                for v in 0..n_vars {
+                    assert_eq!(
+                        heap.value(Var(v as u32)),
+                        linear.value(Var(v as u32)),
+                        "round {round}: models diverge at var {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_db_keeps_verdicts_and_bounds_learnts() {
+        // Pigeonhole 6-into-5 forces heavy learning; a tiny learnt cap
+        // forces many reductions mid-search without changing the verdict.
+        let build = |limit: usize| {
+            let mut s = Solver::new();
+            if limit > 0 {
+                s.set_learnt_limit(limit);
+            }
+            let mut p = vec![[Var(0); 5]; 6];
+            for row in p.iter_mut() {
+                for slot in row.iter_mut() {
+                    *slot = s.new_var();
+                }
+            }
+            for row in &p {
+                let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+                s.add_clause(&lits);
+            }
+            for j in 0..5 {
+                for a in 0..6 {
+                    for b in (a + 1)..6 {
+                        s.add_clause(&[Lit::neg(p[a][j]), Lit::neg(p[b][j])]);
+                    }
+                }
+            }
+            s
+        };
+        let mut unlimited = build(0);
+        let mut capped = build(20);
+        assert!(!unlimited.solve());
+        assert!(!capped.solve());
+        assert!(capped.n_reductions() > 0, "the cap must force reductions");
+        assert!(
+            capped.arena_words() <= unlimited.arena_words(),
+            "reduction must not grow the arena: {} vs {}",
+            capped.arena_words(),
+            unlimited.arena_words()
+        );
+    }
+
+    #[test]
+    fn clone_db_snapshots_answer_independently() {
+        let mut state = 0xC10E_0001u64;
+        let n_vars = 9usize;
+        let clauses = random_3cnf(&mut state, n_vars, 30);
+        let mut s = Solver::new();
+        for _ in 0..n_vars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let _ = s.solve_with(&[Lit::pos(Var(0))]); // leave residue state
+        let mut a = s.clone_db();
+        let mut b = s.clone_db();
+        for q in 0..n_vars {
+            let assumption = [Lit::neg(Var(q as u32))];
+            assert_eq!(
+                a.solve_with(&assumption),
+                s.solve_with(&assumption),
+                "clone diverges on query {q}"
+            );
+        }
+        // The second clone is untouched by the first clone's queries.
+        assert_eq!(b.solve(), s.solve());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use mvf_logic::TruthTable;
 use mvf_netlist::{CellId, CellRef, Netlist};
 
 use crate::engine::{Engine, MapError, Match, Subtree};
-use crate::plain::MatchScratch;
+use crate::plain::{perms_for, MatchScratch};
 
 /// Reusable matcher state for [`map_camouflage_with`], mirroring
 /// [`MatchScratch`] for the camouflage matcher.
@@ -173,18 +173,28 @@ pub fn map_camouflage_with(
         .find(|n| !select_inputs.contains(&subject.input_index(*n).expect("input")))
         .unwrap_or_else(|| subject.inputs()[0]);
 
+    // Disjoint scratch borrows: the matcher closure owns the permutation
+    // tables and candidate buffers, the covering engine owns its arenas.
+    let CamoMatchScratch {
+        matcher:
+            MatchScratch {
+                perms,
+                permuted,
+                engine: engine_scratch,
+            },
+        required,
+    } = scratch;
     let matcher = |st: &Subtree| -> Option<Match> {
         let k = st.data_leaves.len();
-        let s = &mut *scratch;
         // Deduplicated requirement set (the per-assignment list can repeat
         // functions), built in the reused candidate buffer.
-        s.required.clear();
+        required.clear();
         for f in &st.funcs_by_assign {
-            if !s.required.contains(f) {
-                s.required.push(f.clone());
+            if !required.contains(f) {
+                required.push(f.clone());
             }
         }
-        let required = &s.required;
+        let required = &*required;
         let mut best: Option<Match> = None;
 
         // Constant cones (no data leaves).
@@ -231,19 +241,16 @@ pub fn map_camouflage_with(
         // The pin-permutation table for this arity, computed once and
         // shared by the standard-cell scan and every camouflaged cover
         // test below.
-        s.matcher.perms_for(k);
-        let perms = s.matcher.perms[k].as_ref().expect("filled by perms_for");
+        let perms = perms_for(perms, k);
 
         // Standard cells for select-independent subtrees. The subtree
         // function is permuted once per permutation (into the reused
         // buffer), not once per permutation × cell.
         if options.allow_standard_cells && required.len() == 1 {
             let f = &required[0];
-            s.matcher.permuted.clear();
+            permuted.clear();
             for perm in perms {
-                s.matcher
-                    .permuted
-                    .push(f.permute(perm).expect("valid permutation"));
+                permuted.push(f.permute(perm).expect("valid permutation"));
             }
             for (id, cell) in lib.iter() {
                 if cell.n_inputs() != k {
@@ -252,7 +259,7 @@ pub fn map_camouflage_with(
                 if best.as_ref().is_some_and(|b| b.area <= cell.area_ge()) {
                     continue;
                 }
-                for (perm, g) in perms.iter().zip(&s.matcher.permuted) {
+                for (perm, g) in perms.iter().zip(permuted.iter()) {
                     if g == cell.function() {
                         best = Some(Match {
                             cell: CellRef::Std(id),
@@ -290,7 +297,7 @@ pub fn map_camouflage_with(
         best
     };
 
-    let (choices, _) = engine.cover(matcher)?;
+    let (choices, _) = engine.cover(matcher, engine_scratch)?;
     let (netlist, raw_witnesses) = engine.emit(&choices, true, &format!("{}_camo", subject.name()));
     let witness = CamoWitness {
         cells: raw_witnesses

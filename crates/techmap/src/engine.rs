@@ -8,13 +8,71 @@
 //! covering that set, and keep the cheapest total cover. Chosen covers are
 //! then emitted root-by-root into a fresh netlist.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use mvf_cells::{CamoLibrary, Library};
-use mvf_logic::TruthTable;
+use mvf_logic::{TruthTable, TtArena};
 use mvf_netlist::{CellId, CellRef, NetId, Netlist};
+
+/// Reusable engine-level working memory for the covering DP.
+///
+/// Subtree enumeration and characterization are the per-cell hot loop of
+/// both mappers. The seed implementation allocated nested
+/// `Vec<Vec<NetId>>` leaf sets and a fresh `HashMap<NetId, TruthTable>`
+/// environment per candidate subtree; this scratch flattens both onto
+/// reusable arenas — a flat leaf-set pool with `(start, end)` ranges and
+/// a [`TtArena`]-backed cone evaluation — so a warm mapping call performs
+/// no per-subtree allocation. Reuse never changes a mapping decision.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    pub(crate) leaf: LeafScratch,
+    pub(crate) cone: ConeScratch,
+}
+
+/// Flat leaf-set enumeration state: all candidate sets of the current
+/// cell live in one `NetId` pool addressed by ranges.
+#[derive(Debug, Default)]
+pub(crate) struct LeafScratch {
+    /// The leaf-set arena; every set is a contiguous run.
+    pool: Vec<NetId>,
+    /// All produced sets (raw, pre-dedup) as ranges into `pool`.
+    sets: Vec<(u32, u32)>,
+    /// The deduplicated, budget-pruned survivors (ranges into `pool`).
+    kept: Vec<(u32, u32)>,
+    /// Per-input option lists: ranges into `opt_idx`, stack-disciplined
+    /// across the enumeration recursion.
+    input_opts: Vec<(u32, u32)>,
+    /// Flat option storage: indices into `sets`.
+    opt_idx: Vec<u32>,
+    /// The set under construction during the cross product.
+    cur: Vec<NetId>,
+    /// Sorted-key arena for dedup (one key per kept set).
+    key_pool: Vec<u32>,
+    key_ranges: Vec<(u32, u32)>,
+    key_buf: Vec<u32>,
+}
+
+/// Cone-evaluation state: one [`TtArena`] slot per cone net, grown on
+/// demand, plus the reused net→slot binding map.
+#[derive(Debug, Default)]
+pub(crate) struct ConeScratch {
+    arena: TtArena,
+    slots: HashMap<NetId, usize>,
+    /// Stack-disciplined pin-slot buffer for the recursive evaluation.
+    pins: Vec<usize>,
+    next_slot: usize,
+}
+
+impl ConeScratch {
+    fn alloc_slot(&mut self) -> usize {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        self.arena.ensure_slots(self.next_slot);
+        s
+    }
+}
 
 /// Errors reported by the mappers.
 #[derive(Debug, Clone)]
@@ -147,53 +205,85 @@ impl<'a> Engine<'a> {
         self.nl.driver(net)
     }
 
-    /// Enumerates the leaf sets of candidate subtrees rooted at `cell`.
-    fn leaf_sets(&self, cell: CellId) -> Vec<Vec<NetId>> {
-        // Recursively expand; a "leaf set" is the ordered list of distinct
-        // frontier nets (selects and constants included at this stage).
-        fn rec(eng: &Engine<'_>, cell: CellId, depth: usize, out: &mut Vec<Vec<NetId>>) {
+    /// Enumerates the leaf sets of candidate subtrees rooted at `cell`
+    /// into the flat scratch: on return, `s.kept` holds the ranges of the
+    /// deduplicated, budget-pruned sets inside `s.pool`.
+    ///
+    /// The produced sets (contents and order) are identical to the seed
+    /// nested-`Vec` enumeration; only the storage is flat and reused.
+    fn leaf_sets_into(&self, cell: CellId, s: &mut LeafScratch) {
+        // Emits the cross product over the per-input option lists
+        // `input_opts[opts_base..]`, extending the set under construction
+        // in `s.cur` (first-seen order, deduplicated) and writing every
+        // completed set into the pool. Input 0 is the outermost loop, so
+        // the emission order matches the seed implementation.
+        fn product(s: &mut LeafScratch, opts_base: usize, n_inputs: usize, i: usize) {
+            if i == n_inputs {
+                let start = s.pool.len() as u32;
+                for k in 0..s.cur.len() {
+                    let n = s.cur[k];
+                    s.pool.push(n);
+                }
+                s.sets.push((start, s.pool.len() as u32));
+                return;
+            }
+            let (os, oe) = s.input_opts[opts_base + i];
+            for oi in os..oe {
+                let (ps, pe) = s.sets[s.opt_idx[oi as usize] as usize];
+                let save = s.cur.len();
+                for p in ps..pe {
+                    let n = s.pool[p as usize];
+                    if !s.cur.contains(&n) {
+                        s.cur.push(n);
+                    }
+                }
+                product(s, opts_base, n_inputs, i + 1);
+                s.cur.truncate(save);
+            }
+        }
+        // Produces the candidate sets of `cell` at `depth`; returns their
+        // index range in `s.sets`. Per-input options are the input net
+        // itself plus (when expandable) the child's recursive sets.
+        fn rec(eng: &Engine<'_>, cell: CellId, depth: usize, s: &mut LeafScratch) -> (u32, u32) {
             let inputs = &eng.nl.cell(cell).inputs;
-            // Options per input: Vec of leaf-lists.
-            let mut per_input: Vec<Vec<Vec<NetId>>> = Vec::with_capacity(inputs.len());
+            let opts_base = s.input_opts.len();
+            let oi_save = s.opt_idx.len();
             for &net in inputs {
-                let mut opts = vec![vec![net]];
+                let oi_start = s.opt_idx.len() as u32;
+                let p0 = s.pool.len() as u32;
+                s.pool.push(net);
+                s.sets.push((p0, p0 + 1));
+                s.opt_idx.push((s.sets.len() - 1) as u32);
                 if depth > 1 {
                     if let Some(child) = eng.expandable(net) {
-                        let mut child_sets = Vec::new();
-                        rec(eng, child, depth - 1, &mut child_sets);
-                        opts.extend(child_sets);
+                        let (cs, ce) = rec(eng, child, depth - 1, s);
+                        s.opt_idx.extend(cs..ce);
                     }
                 }
-                per_input.push(opts);
+                s.input_opts.push((oi_start, s.opt_idx.len() as u32));
             }
-            // Cross product.
-            let mut acc: Vec<Vec<NetId>> = vec![Vec::new()];
-            for opts in per_input {
-                let mut next = Vec::new();
-                for prefix in &acc {
-                    for opt in &opts {
-                        let mut set = prefix.clone();
-                        for &n in opt {
-                            if !set.contains(&n) {
-                                set.push(n);
-                            }
-                        }
-                        next.push(set);
-                    }
-                }
-                acc = next;
-            }
-            out.extend(acc);
+            let out_start = s.sets.len() as u32;
+            product(s, opts_base, inputs.len(), 0);
+            let out_end = s.sets.len() as u32;
+            s.input_opts.truncate(opts_base);
+            s.opt_idx.truncate(oi_save);
+            (out_start, out_end)
         }
-        let mut raw = Vec::new();
-        rec(self, cell, self.max_depth, &mut raw);
-        // Dedup by set and prune by leaf budgets.
-        let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
-        let mut kept = Vec::new();
-        for set in raw {
+        s.pool.clear();
+        s.sets.clear();
+        s.kept.clear();
+        s.key_pool.clear();
+        s.key_ranges.clear();
+        debug_assert!(s.input_opts.is_empty() && s.opt_idx.is_empty() && s.cur.is_empty());
+        let (raw_start, raw_end) = rec(self, cell, self.max_depth, s);
+        // Dedup by sorted key and prune by leaf budgets, keeping the
+        // first occurrence — exactly the seed `BTreeSet` behavior.
+        for si in raw_start..raw_end {
+            let (ps, pe) = s.sets[si as usize];
             let mut data = 0usize;
             let mut sel = 0usize;
-            for &n in &set {
+            for p in ps..pe {
+                let n = s.pool[p as usize];
                 if self.const_nets.contains_key(&n) {
                     continue;
                 }
@@ -206,17 +296,28 @@ impl<'a> Engine<'a> {
             if data > self.max_data_leaves || sel > self.max_selects {
                 continue;
             }
-            let mut key: Vec<u32> = set.iter().map(|n| n.0).collect();
-            key.sort_unstable();
-            if seen.insert(key) {
-                kept.push(set);
+            s.key_buf.clear();
+            for p in ps..pe {
+                s.key_buf.push(s.pool[p as usize].0);
+            }
+            s.key_buf.sort_unstable();
+            let duplicate = s
+                .key_ranges
+                .iter()
+                .any(|&(ks, ke)| s.key_pool[ks as usize..ke as usize] == s.key_buf[..]);
+            if !duplicate {
+                let ks = s.key_pool.len() as u32;
+                s.key_pool.extend_from_slice(&s.key_buf);
+                s.key_ranges.push((ks, s.key_pool.len() as u32));
+                s.kept.push((ps, pe));
             }
         }
-        kept
     }
 
-    /// Computes the subtree characterization (ABSFUNC) for one leaf set.
-    fn characterize(&self, root: CellId, leaves: &[NetId]) -> Subtree {
+    /// Computes the subtree characterization (ABSFUNC) for one leaf set,
+    /// evaluating the cone through the scratch [`TtArena`] — one slot per
+    /// cone net, no per-net `TruthTable` allocation.
+    fn characterize_with(&self, root: CellId, leaves: &[NetId], cone: &mut ConeScratch) -> Subtree {
         let mut data_leaves = Vec::new();
         let mut select_leaves = Vec::new();
         for &n in leaves {
@@ -232,19 +333,24 @@ impl<'a> Engine<'a> {
         let k = data_leaves.len();
         let s = select_leaves.len();
         let n_vars = k + s;
-        // Environment: data leaf i -> var i, select leaf j -> var k+j,
-        // constants -> constant tables.
-        let mut env: HashMap<NetId, TruthTable> = HashMap::new();
+        cone.slots.clear();
+        cone.next_slot = 0;
+        cone.arena.reset(n_vars, leaves.len() + 2);
+        debug_assert!(cone.pins.is_empty());
         for (i, &n) in data_leaves.iter().enumerate() {
-            env.insert(n, TruthTable::var(i, n_vars));
+            let slot = cone.alloc_slot();
+            cone.arena.write_var(slot, i);
+            cone.slots.insert(n, slot);
         }
         for (j, &n) in select_leaves.iter().enumerate() {
-            env.insert(n, TruthTable::var(k + j, n_vars));
+            let slot = cone.alloc_slot();
+            cone.arena.write_var(slot, k + j);
+            cone.slots.insert(n, slot);
         }
-        for (&n, &v) in &self.const_nets {
-            env.insert(n, TruthTable::constant(n_vars, v));
-        }
-        let f = self.eval_cone(root, &mut env.clone(), n_vars);
+        // One shared minterm-product slot for every composition below.
+        let tmp = cone.alloc_slot();
+        let root_slot = self.eval_cone_slots(root, tmp, cone);
+        let f = cone.arena.to_table(root_slot);
         // ABSFUNC: one function per select assignment, projected onto the
         // data variables.
         let data_vars: Vec<usize> = (0..k).collect();
@@ -263,57 +369,85 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Evaluates the function of `root`'s output over the environment
-    /// (leaf nets pre-assigned).
-    fn eval_cone(
-        &self,
-        root: CellId,
-        env: &mut HashMap<NetId, TruthTable>,
-        n_vars: usize,
-    ) -> TruthTable {
+    /// Evaluates the function of `root`'s output into a fresh arena slot.
+    /// Leaf nets are pre-bound in `cone.slots`; interior nets are bound as
+    /// they are computed (memoized across the cone); constants bind
+    /// lazily.
+    fn eval_cone_slots(&self, root: CellId, tmp: usize, cone: &mut ConeScratch) -> usize {
         let cell = self.nl.cell(root);
-        let mut pin_tts = Vec::with_capacity(cell.inputs.len());
+        let pin_base = cone.pins.len();
         for &net in &cell.inputs {
-            if let Some(t) = env.get(&net) {
-                pin_tts.push(t.clone());
-                continue;
-            }
-            let child = self
-                .nl
-                .driver(net)
-                .expect("leaf set must cover the cone frontier");
-            let t = self.eval_cone(child, env, n_vars);
-            env.insert(net, t.clone());
-            pin_tts.push(t);
+            let slot = if let Some(&slot) = cone.slots.get(&net) {
+                slot
+            } else if let Some(&v) = self.const_nets.get(&net) {
+                let slot = cone.alloc_slot();
+                if v {
+                    cone.arena.write_one(slot);
+                } else {
+                    cone.arena.write_zero(slot);
+                }
+                cone.slots.insert(net, slot);
+                slot
+            } else {
+                let child = self
+                    .nl
+                    .driver(net)
+                    .expect("leaf set must cover the cone frontier");
+                let slot = self.eval_cone_slots(child, tmp, cone);
+                cone.slots.insert(net, slot);
+                slot
+            };
+            cone.pins.push(slot);
         }
         let f = match cell.cell {
-            CellRef::Std(id) => self.lib.cell(id).function().clone(),
+            CellRef::Std(id) => self.lib.cell(id).function(),
             CellRef::Camo(_) => {
                 unreachable!("subject netlists contain standard cells only")
             }
         };
-        compose(&f, &pin_tts, n_vars)
+        let dst = cone.alloc_slot();
+        // Shannon-style substitution, arena edition: OR over f's minterms
+        // of the complement-aware product of the pin slots.
+        cone.arena.write_zero(dst);
+        for m in 0..f.n_minterms() {
+            if !f.get(m) {
+                continue;
+            }
+            cone.arena.write_one(tmp);
+            for (i, &p) in cone.pins[pin_base..].iter().enumerate() {
+                cone.arena.and_in_place(tmp, p, m & (1 << i) == 0);
+            }
+            cone.arena.or_in_place(dst, tmp);
+        }
+        cone.pins.truncate(pin_base);
+        dst
     }
 
     /// Runs the covering DP with the supplied matcher and returns per-cell
-    /// choices and costs.
+    /// choices and costs. The scratch carries the flat enumeration and
+    /// cone-evaluation arenas across cells (and, via the mappers'
+    /// `MatchScratch`, across calls).
     pub fn cover<M>(
         &self,
         mut matcher: M,
+        scratch: &mut EngineScratch,
     ) -> Result<(HashMap<CellId, Choice>, HashMap<CellId, f64>), MapError>
     where
         M: FnMut(&Subtree) -> Option<Match>,
     {
         let mut costs: HashMap<CellId, f64> = HashMap::new();
         let mut choices: HashMap<CellId, Choice> = HashMap::new();
+        let EngineScratch { leaf, cone } = scratch;
         for cell in self.nl.topo_cells() {
             let out = self.nl.cell(cell).output;
             if self.const_nets.contains_key(&out) {
                 continue; // tie cells are emitted directly
             }
             let mut best: Option<(f64, Choice)> = None;
-            for leaves in self.leaf_sets(cell) {
-                let st = self.characterize(cell, &leaves);
+            self.leaf_sets_into(cell, leaf);
+            for ki in 0..leaf.kept.len() {
+                let (ls, le) = leaf.kept[ki];
+                let st = self.characterize_with(cell, &leaf.pool[ls as usize..le as usize], cone);
                 let Some(m) = matcher(&st) else { continue };
                 let mut cost = m.area;
                 let chosen_leaves = m.override_leaves.unwrap_or_else(|| st.data_leaves.clone());
@@ -481,7 +615,10 @@ impl<'a> Engine<'a> {
 }
 
 /// Composes `f(pins)` with the pin functions: substitutes `pin_tts[i]` for
-/// variable `i` of `f`.
+/// variable `i` of `f`. The allocating reference implementation of the
+/// arena-backed substitution in [`Engine::eval_cone_slots`]; kept as the
+/// oracle for the equivalence tests.
+#[cfg(test)]
 pub(crate) fn compose(f: &TruthTable, pin_tts: &[TruthTable], n_vars: usize) -> TruthTable {
     // Shannon-style substitution: iterate over f's minterms.
     let mut acc = TruthTable::zero(n_vars);

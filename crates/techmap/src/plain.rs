@@ -9,16 +9,17 @@ use mvf_logic::npn::all_permutations;
 use mvf_logic::TruthTable;
 use mvf_netlist::{CellRef, Netlist};
 
-use crate::engine::{Engine, MapError, Match, Subtree};
+use crate::engine::{Engine, EngineScratch, MapError, Match, Subtree};
 
 /// Reusable matcher state for [`map_standard_with`].
 ///
 /// Holds the pin-permutation tables per arity (computed once instead of
-/// once per subtree × cell) and a buffer of permuted subtree functions
-/// (computed once per subtree instead of once per cell). Sharing one
-/// `MatchScratch` across many mapping calls — the Phase-II fitness loop —
-/// removes the dominant transient allocations of the matcher without
-/// changing any mapping decision.
+/// once per subtree × cell), a buffer of permuted subtree functions
+/// (computed once per subtree instead of once per cell), and the covering
+/// engine's `EngineScratch` (flat leaf-set arena and `TtArena`-backed
+/// cone evaluation). Sharing one `MatchScratch` across many mapping calls
+/// — the Phase-II fitness loop — removes the dominant transient
+/// allocations of the mapper without changing any mapping decision.
 #[derive(Debug, Default)]
 pub struct MatchScratch {
     /// `perms[k]` = all permutations of `0..k`, in [`all_permutations`]
@@ -27,17 +28,20 @@ pub struct MatchScratch {
     /// Permuted variants of the current subtree function, parallel to
     /// `perms[k]`.
     pub(crate) permuted: Vec<TruthTable>,
+    /// The covering engine's enumeration and cone-evaluation arenas.
+    pub(crate) engine: EngineScratch,
 }
 
-impl MatchScratch {
-    pub(crate) fn perms_for(&mut self, k: usize) -> &[Vec<usize>] {
-        if self.perms.len() <= k {
-            self.perms.resize(k + 1, None);
-        }
-        self.perms[k]
-            .get_or_insert_with(|| all_permutations(k))
-            .as_slice()
+/// Lazily fills and returns the permutation table for arity `k`. A free
+/// function (not a method) so callers can hold disjoint borrows of the
+/// other `MatchScratch` fields at the same time.
+pub(crate) fn perms_for(perms: &mut Vec<Option<Vec<Vec<usize>>>>, k: usize) -> &[Vec<usize>] {
+    if perms.len() <= k {
+        perms.resize(k + 1, None);
     }
+    perms[k]
+        .get_or_insert_with(|| all_permutations(k))
+        .as_slice()
 }
 
 /// Options for [`map_standard`].
@@ -118,18 +122,23 @@ pub fn map_standard_with(
         options.max_leaves,
         0,
     )?;
+    // Disjoint scratch borrows: the matcher closure owns the permutation
+    // tables and buffers, the covering engine owns its arenas.
+    let MatchScratch {
+        perms,
+        permuted,
+        engine: engine_scratch,
+    } = scratch;
     let matcher = |st: &Subtree| -> Option<Match> {
         debug_assert_eq!(st.funcs_by_assign.len(), 1, "plain mapping has no selects");
         let f = &st.funcs_by_assign[0];
         let k = st.data_leaves.len();
         // Permute the subtree function once per permutation, not once per
         // permutation × cell.
-        scratch.perms_for(k);
-        let s = &mut *scratch;
-        let perms = s.perms[k].as_ref().expect("filled by perms_for");
-        s.permuted.clear();
+        let perms = perms_for(perms, k);
+        permuted.clear();
         for perm in perms {
-            s.permuted.push(f.permute(perm).expect("valid permutation"));
+            permuted.push(f.permute(perm).expect("valid permutation"));
         }
         let mut best: Option<Match> = None;
         for (id, cell) in lib.iter() {
@@ -139,7 +148,7 @@ pub fn map_standard_with(
             if best.as_ref().is_some_and(|b| b.area <= cell.area_ge()) {
                 continue;
             }
-            for (perm, g) in perms.iter().zip(&s.permuted) {
+            for (perm, g) in perms.iter().zip(permuted.iter()) {
                 if g == cell.function() {
                     best = Some(Match {
                         cell: CellRef::Std(id),
@@ -154,7 +163,7 @@ pub fn map_standard_with(
         }
         best
     };
-    let (choices, _) = engine.cover(matcher)?;
+    let (choices, _) = engine.cover(matcher, engine_scratch)?;
     let (mapped, _) = engine.emit(&choices, false, &format!("{}_mapped", subject.name()));
     Ok(mapped)
 }
@@ -245,6 +254,37 @@ mod tests {
         let (mapped, lib) = map_aig(&aig);
         let hist = mapped.cell_histogram(&lib, None);
         assert_eq!(hist, vec![("AND2".to_string(), 3)], "{hist:?}");
+    }
+
+    #[test]
+    fn warm_scratch_reuse_matches_cold_calls() {
+        // The engine scratch (flat leaf pools, cone arena) must never
+        // change a mapping decision: identical netlists, identical areas,
+        // across repeated warm calls and against a cold call.
+        let mut aig = Aig::new(4);
+        let lits: Vec<_> = (0..4).map(|i| aig.input(i)).collect();
+        let ab = aig.or(lits[0], lits[1]);
+        let cd = aig.xor(lits[2], lits[3]);
+        let f = aig.and(ab, cd);
+        aig.add_output("y", !f);
+        let lib = Library::standard();
+        let subject = subject_graph::from_aig(&aig, &lib);
+        let cold = map_standard(&subject, &lib, &MapOptions::default()).expect("mappable");
+        let mut scratch = MatchScratch::default();
+        for round in 0..3 {
+            let warm = map_standard_with(&subject, &lib, &MapOptions::default(), &mut scratch)
+                .expect("mappable");
+            assert_eq!(
+                warm.area_ge(&lib, None),
+                cold.area_ge(&lib, None),
+                "round {round}"
+            );
+            assert_eq!(
+                warm.cell_histogram(&lib, None),
+                cold.cell_histogram(&lib, None),
+                "round {round}"
+            );
+        }
     }
 
     #[test]

@@ -7,8 +7,14 @@
 //! are fully undone, identical `plausibility_sweep` output across the
 //! attack test corpus, and a propagation-heavy stress case that leans on
 //! the in-place database reuse across queries.
+//!
+//! The scaling layers ride the same corpus: the order-heap decision mode
+//! must agree with the linear activity scan on every verdict *and* model,
+//! learnt-DB reduction under a tiny cap must leave every verdict
+//! unchanged while bounding arena growth, and the sharded parallel sweep
+//! must be bit-identical to the serial sweep for every shard count.
 
-use mvf_attack::{is_plausible, plausibility_sweep, random_camouflage};
+use mvf_attack::{is_plausible, plausibility_sweep, plausibility_sweep_sharded, random_camouflage};
 use mvf_cells::{CamoLibrary, Library};
 use mvf_sat::{Lit, Solver, Var};
 use mvf_sboxes::optimal_sboxes;
@@ -125,6 +131,142 @@ fn assumption_queries_match_brute_force_and_are_undone() {
             }
         }
         assert_eq!(s.solve(), base, "round {round}: assumptions must be undone");
+    }
+}
+
+#[test]
+fn heap_and_linear_decide_modes_agree_on_the_full_corpus() {
+    // The order heap breaks activity ties toward the lowest variable
+    // index — exactly the linear scan's "first maximum" rule — so the
+    // two modes must produce identical verdicts and identical models on
+    // the whole random corpus, with and without assumptions.
+    let mut rng = XorShift(0x04DE_4000_0000_0001);
+    for round in 0..40 {
+        let n_vars = 4 + (rng.next() as usize) % 9; // 4..=12
+        let n_clauses = 2 + (rng.next() as usize) % 40;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 4);
+        let mut heap = Solver::new();
+        let mut linear = Solver::new();
+        linear.set_decision_heap(false);
+        for _ in 0..n_vars {
+            heap.new_var();
+            linear.new_var();
+        }
+        for c in &clauses {
+            heap.add_clause(c);
+            linear.add_clause(c);
+        }
+        // Interleave plain and assumption queries on both solvers.
+        for q in 0..6 {
+            let n_assumptions = (rng.next() as usize) % 3;
+            let mut assumptions = Vec::with_capacity(n_assumptions);
+            for _ in 0..n_assumptions {
+                assumptions.push(random_lit(&mut rng, n_vars));
+            }
+            let vh = heap.solve_with(&assumptions);
+            let vl = linear.solve_with(&assumptions);
+            assert_eq!(vh, vl, "round {round}, query {q}: verdicts differ");
+            assert_eq!(
+                vh,
+                brute_force(&clauses, &assumptions, n_vars),
+                "round {round}, query {q}: wrong verdict"
+            );
+            if vh {
+                for v in 0..n_vars {
+                    assert_eq!(
+                        heap.value(Var(v as u32)),
+                        linear.value(Var(v as u32)),
+                        "round {round}, query {q}: models diverge at var {v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_db_under_assumptions_keeps_verdicts_and_bounds_the_arena() {
+    // A capped solver is forced through many learnt-DB reductions while
+    // answering assumption queries; every verdict must equal both the
+    // uncapped solver's and brute force, and the capped arena must stay
+    // within a fixed envelope of the problem clauses while the uncapped
+    // one grows monotonically.
+    let mut rng = XorShift(0x2ED0_CEDB_0000_0007);
+    for round in 0..8 {
+        let n_vars = 10 + (rng.next() as usize) % 3; // 10..=12
+        let n_clauses = 38 + (rng.next() as usize) % 18;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 3);
+        let mut capped = Solver::new();
+        capped.set_learnt_limit(8);
+        let mut free = Solver::new();
+        for _ in 0..n_vars {
+            capped.new_var();
+            free.new_var();
+        }
+        for c in &clauses {
+            capped.add_clause(c);
+            free.add_clause(c);
+        }
+        let problem_words = capped.arena_words();
+        for q in 0..25 {
+            let n_assumptions = 1 + (rng.next() as usize) % 4;
+            let mut assumptions = Vec::with_capacity(n_assumptions);
+            for _ in 0..n_assumptions {
+                assumptions.push(random_lit(&mut rng, n_vars));
+            }
+            let vc = capped.solve_with(&assumptions);
+            assert_eq!(
+                vc,
+                free.solve_with(&assumptions),
+                "round {round}, query {q}: capped and uncapped verdicts differ"
+            );
+            assert_eq!(
+                vc,
+                brute_force(&clauses, &assumptions, n_vars),
+                "round {round}, query {q}: wrong verdict"
+            );
+            if vc {
+                assert!(model_satisfies(&capped, &clauses));
+            }
+        }
+        // The cap is on cold learnts (glue and locked clauses are
+        // exempt), so the envelope is the problem size plus a fixed
+        // learnt allowance — far below unbounded growth.
+        assert!(
+            capped.arena_words() <= problem_words + 64 * (n_vars + 1),
+            "round {round}: capped arena grew to {} words ({} problem)",
+            capped.arena_words(),
+            problem_words
+        );
+        if free.n_learnts() > 16 {
+            assert!(
+                capped.n_reductions() > 0,
+                "round {round}: the cap never triggered a reduction"
+            );
+            assert!(
+                capped.arena_words() < free.arena_words(),
+                "round {round}: reduction did not shrink the arena ({} vs {})",
+                capped.arena_words(),
+                free.arena_words()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_sweep_matches_serial_for_every_shard_count() {
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let present = optimal_sboxes();
+    let circuit = random_camouflage(&present[0], &lib, &camo).expect("buildable");
+    let candidates = &present[..5];
+    let serial = plausibility_sweep(&circuit, &lib, &camo, candidates);
+    for shards in [1usize, 2, 4] {
+        let sharded = plausibility_sweep_sharded(&circuit, &lib, &camo, candidates, shards);
+        assert_eq!(
+            serial, sharded,
+            "sharded sweep with {shards} shards diverged from serial"
+        );
     }
 }
 
