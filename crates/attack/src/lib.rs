@@ -11,7 +11,13 @@
 //!
 //! Because the designer is also free to permute I/O pins, the adversary
 //! must consider a function plausible if **some** input/output
-//! interpretation works ([`is_plausible_any_io`]).
+//! interpretation works ([`is_plausible_any_io`]). At scale that search
+//! runs as [`plausibility_sweep_any_io`] /
+//! [`plausibility_sweep_any_io_sharded`]: one encoding, a lazily
+//! enumerated permutation orbit pruned by canonical candidate signatures
+//! (pin symmetries collapse whole permutation classes to one query), and
+//! the surviving queries striped over cloned solvers — with verdicts and
+//! witness interpretations bit-identical for every shard count.
 //!
 //! [`random_camouflage`] builds the paper's strawman — camouflage every
 //! gate of a single-function circuit — whose plausible set, while
@@ -38,13 +44,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::npn::Permutations;
 use mvf_logic::VectorFunction;
 use mvf_netlist::{CellRef, Netlist};
-use mvf_sat::{encode_netlist, Lit, Var};
+use mvf_sat::{encode_netlist, Lit, Solver, Var};
 
 /// Rebuilds `out` with the assumptions forcing the encoded circuit to
 /// equal `candidate` on every input row: output `o` of row `m` is pinned
@@ -112,38 +121,391 @@ pub fn is_plausible(
 /// `candidate` is plausible if it is plausible under **some** input and
 /// output permutation.
 ///
-/// The search re-uses one encoding and tries permutations as assumption
-/// sets, so the cost is `n_in! · n_out!` incremental SAT calls — fine for
-/// the 4-bit blocks of the paper.
+/// This is the single-candidate form of [`plausibility_sweep_any_io`]:
+/// one encoding, a lazily enumerated `(in_perm, out_perm)` orbit pruned
+/// by canonical candidate signatures, and incremental SAT calls for the
+/// surviving representatives.
+///
+/// # Panics
+///
+/// Panics if the candidate's shape does not match the netlist, or if
+/// the `n_in!·n_out!` orbit overflows the sweep's `u32` indices (the
+/// enumeration is exhaustive, so far smaller orbits are the practical
+/// limit anyway).
 pub fn is_plausible_any_io(
     nl: &Netlist,
     lib: &Library,
     camo: &CamoLibrary,
     candidate: &VectorFunction,
 ) -> bool {
-    let n_in = nl.inputs().len();
-    let n_out = nl.outputs().len();
-    assert_eq!(candidate.n_inputs(), n_in, "input arity mismatch");
-    assert_eq!(candidate.n_outputs(), n_out, "output arity mismatch");
-    let mut cnf = encode_netlist(nl, lib, camo);
-    let mut assumptions = Vec::new();
-    for in_perm in mvf_logic::npn::all_permutations(n_in) {
-        let permuted_in = match candidate.permute_inputs(&in_perm) {
-            Ok(p) => p,
-            Err(_) => continue,
-        };
-        for out_perm in mvf_logic::npn::all_permutations(n_out) {
-            let permuted = match permuted_in.permute_outputs(&out_perm) {
-                Ok(p) => p,
-                Err(_) => continue,
-            };
-            candidate_assumptions(&cnf.row_outputs, &permuted, &mut assumptions);
-            if cnf.solver.solve_with(&assumptions) {
-                return true;
-            }
+    plausibility_sweep_any_io(nl, lib, camo, std::slice::from_ref(candidate))[0].plausible
+}
+
+/// Options for the interpretation-freedom sweep
+/// ([`plausibility_sweep_any_io_with`]).
+#[derive(Debug, Clone)]
+pub struct AnyIoOptions {
+    /// Worker shards striping the permutation space over
+    /// [`mvf_sat::Solver::clone_db`] clones. `0` uses the available
+    /// hardware parallelism; `<= 1` runs serially. Verdicts and witness
+    /// permutations are bit-identical for every value.
+    pub shards: usize,
+    /// Prunes the orbit with canonical candidate signatures: two
+    /// permutation pairs yielding the same permuted truth-table vector
+    /// are queried once (the first pair in enumeration order represents
+    /// the whole class, so a refutation of the representative refutes
+    /// every member). Never changes a verdict or a witness; `false` is
+    /// the brute-force baseline for tests and benches.
+    pub prune: bool,
+}
+
+impl Default for AnyIoOptions {
+    fn default() -> Self {
+        AnyIoOptions {
+            shards: 1,
+            prune: true,
         }
     }
-    false
+}
+
+/// The per-candidate result of an interpretation-freedom sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnyIoVerdict {
+    /// Whether some input/output interpretation makes the candidate
+    /// plausible.
+    pub plausible: bool,
+    /// The witness interpretation when plausible: the lexicographically
+    /// smallest `(in_perm, out_perm)` pair (input permutation major)
+    /// under which [`is_plausible`] holds for the permuted candidate.
+    /// Deterministic for every shard count.
+    pub witness: Option<(Vec<usize>, Vec<usize>)>,
+    /// Size of the full permutation orbit (`n_in! · n_out!`).
+    pub orbit: usize,
+    /// Orbit representatives after signature pruning — the queries a
+    /// full refutation needs. Equals `orbit` when pruning is off or the
+    /// candidate has no pin symmetries.
+    pub unique: usize,
+    /// SAT queries actually issued. For an implausible candidate this is
+    /// exactly `unique`; when a witness exists, early exit cuts it short
+    /// and the count may vary with the shard count (the *verdict* never
+    /// does).
+    pub queries: usize,
+}
+
+/// `n_in! · n_out!` when it fits the sweep's `u32` orbit indices,
+/// `None` otherwise.
+fn checked_orbit(n_in: usize, n_out: usize) -> Option<u64> {
+    let factorial = |n: usize| (1..=n as u64).try_fold(1u64, u64::checked_mul);
+    factorial(n_in)?
+        .checked_mul(factorial(n_out)?)
+        .filter(|&o| o <= u64::from(u32::MAX))
+}
+
+/// Enumerates the candidate's `(in_perm, out_perm)` orbit lazily (input
+/// permutation major, both lexicographic) and keeps one representative
+/// per distinct permuted function. Returns the representatives as bare
+/// flat orbit indices — permutations are re-derived on demand by
+/// [`unrank_orbit_index`], so even a large orbit costs four bytes per
+/// surviving point, not two heap vectors — plus the full orbit size.
+fn orbit_representatives(candidate: &VectorFunction, prune: bool) -> (Vec<u32>, usize) {
+    let n_in = candidate.n_inputs();
+    let n_out = candidate.n_outputs();
+    if !prune {
+        // Brute force keeps every orbit point; no need to materialize
+        // the permuted functions just to discard them.
+        let orbit = checked_orbit(n_in, n_out).expect("orbit checked by caller") as usize;
+        return ((0..orbit as u32).collect(), orbit);
+    }
+    let mut reps = Vec::new();
+    let mut seen: HashSet<Vec<u16>> = HashSet::new();
+    let mut sig: Vec<u16> = Vec::with_capacity(1 << n_in);
+    let mut permuted_in = VectorFunction::new(0, Vec::new());
+    let mut permuted = VectorFunction::new(0, Vec::new());
+    let mut index = 0u32;
+    let mut in_perms = Permutations::new(n_in);
+    while let Some(ip) = in_perms.next() {
+        candidate
+            .permute_inputs_into(ip, &mut permuted_in)
+            .expect("orbit permutation is valid");
+        let mut out_perms = Permutations::new(n_out);
+        while let Some(op) = out_perms.next() {
+            permuted_in
+                .permute_outputs_into(op, &mut permuted)
+                .expect("orbit permutation is valid");
+            sig.clear();
+            sig.extend((0..1usize << n_in).map(|m| permuted.eval(m)));
+            if !seen.contains(&sig) {
+                seen.insert(sig.clone());
+                reps.push(index);
+            }
+            index += 1;
+        }
+    }
+    (reps, index as usize)
+}
+
+/// Lexicographic permutation unranking (factorial number system): rank 0
+/// is the identity, rank `n! - 1` the descending permutation — exactly
+/// the order [`Permutations`] streams, so ranks and stream positions
+/// coincide.
+fn unrank_perm(mut rank: u64, n: usize, scratch: &mut Vec<usize>, out: &mut Vec<usize>) {
+    scratch.clear();
+    scratch.extend(0..n);
+    out.clear();
+    let mut fact: u64 = (1..n as u64).product(); // (n-1)!, empty product = 1
+    for i in (1..=n).rev() {
+        let d = (rank / fact) as usize;
+        rank %= fact;
+        out.push(scratch.remove(d));
+        if i > 1 {
+            fact /= (i - 1) as u64;
+        }
+    }
+}
+
+/// Splits a flat orbit index (input-permutation major) back into its
+/// `(in_perm, out_perm)` pair.
+fn unrank_orbit_index(
+    index: u32,
+    n_in: usize,
+    n_out: usize,
+    scratch: &mut Vec<usize>,
+    in_perm: &mut Vec<usize>,
+    out_perm: &mut Vec<usize>,
+) {
+    let out_fact: u64 = (1..=n_out as u64).product();
+    unrank_perm(u64::from(index) / out_fact, n_in, scratch, in_perm);
+    unrank_perm(u64::from(index) % out_fact, n_out, scratch, out_perm);
+}
+
+/// Answers one worker's stripe of the `(candidate, orbit index)` work
+/// list on `solver`. `best[c]` carries the smallest known satisfying
+/// orbit index of candidate `c` (`usize::MAX` = none yet): stripes skip
+/// representatives past a known witness, and because a skip requires an
+/// already-found *smaller* satisfying index, the final `fetch_min` result
+/// is exactly the orbit's minimal satisfying representative — for any
+/// stripe count, including 1.
+#[allow(clippy::too_many_arguments)]
+fn any_io_stripe(
+    solver: &mut Solver,
+    row_outputs: &[Vec<Var>],
+    candidates: &[VectorFunction],
+    work: &[(u32, u32)],
+    worker: usize,
+    stride: usize,
+    best: &[AtomicUsize],
+    queries: &[AtomicUsize],
+) {
+    let (mut unrank_tmp, mut in_perm, mut out_perm) = (Vec::new(), Vec::new(), Vec::new());
+    let mut permuted_in = VectorFunction::new(0, Vec::new());
+    let mut permuted = VectorFunction::new(0, Vec::new());
+    let mut assumptions = Vec::new();
+    let mut last_cand = u32::MAX;
+    for &(c, index) in work.iter().skip(worker).step_by(stride) {
+        let cand = c as usize;
+        if best[cand].load(Ordering::Relaxed) < index as usize {
+            continue; // a smaller witness is already known
+        }
+        if c != last_cand {
+            // Saved phases are a per-candidate heuristic; do not let one
+            // candidate's UNSAT proof steer the next candidate's search.
+            solver.reset_phases();
+            last_cand = c;
+        }
+        let f = &candidates[cand];
+        unrank_orbit_index(
+            index,
+            f.n_inputs(),
+            f.n_outputs(),
+            &mut unrank_tmp,
+            &mut in_perm,
+            &mut out_perm,
+        );
+        f.permute_inputs_into(&in_perm, &mut permuted_in)
+            .expect("orbit permutation is valid");
+        permuted_in
+            .permute_outputs_into(&out_perm, &mut permuted)
+            .expect("orbit permutation is valid");
+        candidate_assumptions(row_outputs, &permuted, &mut assumptions);
+        queries[cand].fetch_add(1, Ordering::Relaxed);
+        if solver.solve_with(&assumptions) {
+            best[cand].fetch_min(index as usize, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Sweeps a list of viable functions against one camouflaged netlist
+/// under the paper's full adversary: `result[j]` reports whether
+/// `candidates[j]` is plausible under **some** input/output pin
+/// interpretation, with the witness permutation when one exists.
+///
+/// The netlist is encoded **once**; each candidate's `(in_perm,
+/// out_perm)` orbit is enumerated lazily and pruned by canonical
+/// candidate signatures (permutation pairs that produce the same
+/// permuted truth-table vector collapse to one query, so a refuted
+/// representative rules out its entire class). The serial entry point —
+/// see [`plausibility_sweep_any_io_sharded`] for the striped parallel
+/// form, which is bit-identical.
+///
+/// # Panics
+///
+/// Panics if any candidate's shape does not match the netlist, or if
+/// the `n_in!·n_out!` orbit overflows the sweep's `u32` indices.
+pub fn plausibility_sweep_any_io(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    candidates: &[VectorFunction],
+) -> Vec<AnyIoVerdict> {
+    plausibility_sweep_any_io_with(nl, lib, camo, candidates, &AnyIoOptions::default())
+}
+
+/// [`plausibility_sweep_any_io`] striped over worker threads: the encoded
+/// solver is cloned per shard ([`mvf_sat::Solver::clone_db`] — a handful
+/// of `memcpy`s thanks to the flat clause arena and CSR watch pool) and
+/// the surviving `(candidate, representative)` work list is striped over
+/// the clones. Workers share per-candidate witness bounds, so
+/// representatives past a known witness are skipped cooperatively, and
+/// results are stitched as the orbit-minimal satisfying index — verdicts
+/// **and** witness permutations are bit-identical for every shard count.
+///
+/// `shards = 0` uses the available hardware parallelism; `shards <= 1`
+/// runs the serial sweep.
+///
+/// # Panics
+///
+/// Panics if any candidate's shape does not match the netlist, or if
+/// the `n_in!·n_out!` orbit overflows the sweep's `u32` indices.
+pub fn plausibility_sweep_any_io_sharded(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    candidates: &[VectorFunction],
+    shards: usize,
+) -> Vec<AnyIoVerdict> {
+    plausibility_sweep_any_io_with(
+        nl,
+        lib,
+        camo,
+        candidates,
+        &AnyIoOptions {
+            shards,
+            ..AnyIoOptions::default()
+        },
+    )
+}
+
+/// The fully configurable interpretation-freedom sweep behind
+/// [`plausibility_sweep_any_io`] / [`plausibility_sweep_any_io_sharded`]
+/// (notably [`AnyIoOptions::prune`], the brute-force toggle the
+/// equivalence corpus exercises).
+///
+/// # Panics
+///
+/// See [`plausibility_sweep_any_io`].
+pub fn plausibility_sweep_any_io_with(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    candidates: &[VectorFunction],
+    opts: &AnyIoOptions,
+) -> Vec<AnyIoVerdict> {
+    let n_in = nl.inputs().len();
+    let n_out = nl.outputs().len();
+    // The only structural requirement is that flat orbit indices fit the
+    // u32 bookkeeping; asymmetric arities (e.g. 7-in/2-out, orbit
+    // 10,080) stay exhaustive-search territory exactly as before.
+    assert!(
+        checked_orbit(n_in, n_out).is_some(),
+        "interpretation-freedom orbit {n_in}!·{n_out}! exceeds the supported size"
+    );
+    for candidate in candidates {
+        assert_eq!(candidate.n_inputs(), n_in, "input arity mismatch");
+        assert_eq!(candidate.n_outputs(), n_out, "output arity mismatch");
+    }
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // Representative lists are pure CPU (truth-table permutations), so
+    // they are built serially up front — which also makes them, and
+    // everything derived from them, deterministic by construction.
+    let reps_and_orbits: Vec<(Vec<u32>, usize)> = candidates
+        .iter()
+        .map(|c| orbit_representatives(c, opts.prune))
+        .collect();
+    let work: Vec<(u32, u32)> = reps_and_orbits
+        .iter()
+        .enumerate()
+        .flat_map(|(c, (reps, _))| reps.iter().map(move |&index| (c as u32, index)))
+        .collect();
+    let orbits: Vec<usize> = reps_and_orbits.iter().map(|(_, o)| *o).collect();
+    let uniques: Vec<usize> = reps_and_orbits.iter().map(|(r, _)| r.len()).collect();
+    let mut cnf = encode_netlist(nl, lib, camo);
+    let shards = match opts.shards {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(work.len())
+    .max(1);
+    let best: Vec<AtomicUsize> = candidates
+        .iter()
+        .map(|_| AtomicUsize::new(usize::MAX))
+        .collect();
+    let queries: Vec<AtomicUsize> = candidates.iter().map(|_| AtomicUsize::new(0)).collect();
+    if shards <= 1 {
+        any_io_stripe(
+            &mut cnf.solver,
+            &cnf.row_outputs,
+            candidates,
+            &work,
+            0,
+            1,
+            &best,
+            &queries,
+        );
+    } else {
+        let solver = &cnf.solver;
+        let row_outputs = &cnf.row_outputs;
+        let work_ref = &work;
+        let (best_ref, queries_ref) = (&best, &queries);
+        std::thread::scope(|scope| {
+            for w in 0..shards {
+                scope.spawn(move || {
+                    let mut local = solver.clone_db();
+                    any_io_stripe(
+                        &mut local,
+                        row_outputs,
+                        candidates,
+                        work_ref,
+                        w,
+                        shards,
+                        best_ref,
+                        queries_ref,
+                    );
+                });
+            }
+        });
+    }
+    let mut unrank_tmp = Vec::new();
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(j, _)| {
+            let found = best[j].load(Ordering::Relaxed);
+            let witness = (found != usize::MAX).then(|| {
+                let (mut ip, mut op) = (Vec::new(), Vec::new());
+                unrank_orbit_index(found as u32, n_in, n_out, &mut unrank_tmp, &mut ip, &mut op);
+                (ip, op)
+            });
+            AnyIoVerdict {
+                plausible: found != usize::MAX,
+                witness,
+                orbit: orbits[j],
+                unique: uniques[j],
+                queries: queries[j].load(Ordering::Relaxed),
+            }
+        })
+        .collect()
 }
 
 /// Sweeps a whole list of viable functions against one camouflaged
@@ -217,6 +579,10 @@ pub fn plausibility_sweep_sharded(
         let mut verdicts = Vec::with_capacity(candidates.len());
         let mut assumptions = Vec::new();
         for candidate in candidates {
+            // Saved phases are a per-candidate heuristic: polarities a
+            // long UNSAT proof settled into would otherwise leak into
+            // the next candidate's query and steer it wrong.
+            cnf.solver.reset_phases();
             candidate_assumptions(&cnf.row_outputs, candidate, &mut assumptions);
             verdicts.push(cnf.solver.solve_with(&assumptions));
         }
@@ -240,6 +606,7 @@ pub fn plausibility_sweep_sharded(
                         .skip(w)
                         .step_by(shards)
                         .map(|(j, candidate)| {
+                            local.reset_phases();
                             candidate_assumptions(row_outputs, candidate, &mut assumptions);
                             (j, local.solve_with(&assumptions))
                         })
@@ -413,6 +780,104 @@ mod tests {
             .unwrap();
         if !is_plausible(&circuit, &lib, &camo, &permuted) {
             assert!(is_plausible_any_io(&circuit, &lib, &camo, &permuted));
+        }
+    }
+
+    #[test]
+    fn orbit_representatives_collapse_symmetric_candidates() {
+        use mvf_logic::TruthTable;
+        // Fully symmetric outputs: every input permutation fixes the
+        // function, so only the output permutations survive pruning.
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let c = TruthTable::var(2, 3);
+        let and3 = a.and(&b).and(&c);
+        let xor3 = a.xor(&b).xor(&c);
+        let maj = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let sym = VectorFunction::new(3, vec![and3, xor3, maj]);
+        let (reps, orbit) = orbit_representatives(&sym, true);
+        assert_eq!(orbit, 36, "3! · 3!");
+        assert_eq!(reps.len(), 6, "input symmetry leaves only out-perms");
+        let (unpruned, _) = orbit_representatives(&sym, false);
+        assert_eq!(unpruned.len(), 36);
+        // An asymmetric bijection keeps its whole orbit.
+        let f = VectorFunction::from_lookup_table(3, 3, &[1, 0, 3, 2, 5, 7, 6, 4]).unwrap();
+        let (reps, orbit) = orbit_representatives(&f, true);
+        assert_eq!(orbit, 36);
+        assert_eq!(reps.len(), 36);
+    }
+
+    #[test]
+    fn unranking_matches_the_permutation_stream() {
+        // Orbit indices are defined by the Permutations stream order;
+        // unranking must reproduce position r exactly, for every r.
+        for n in 0..=5usize {
+            let mut perms = Permutations::new(n);
+            let (mut scratch, mut out) = (Vec::new(), Vec::new());
+            let mut rank = 0u64;
+            while let Some(p) = perms.next() {
+                unrank_perm(rank, n, &mut scratch, &mut out);
+                assert_eq!(out, p, "n = {n}, rank = {rank}");
+                rank += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn any_io_supports_asymmetric_arities() {
+        // 7-in/2-out: orbit 7!·2! = 10,080. The sweep must accept it
+        // (only orbits overflowing u32 indices are rejected); the true
+        // function early-exits at the identity interpretation, so the
+        // run costs one SAT query, not ten thousand.
+        let (lib, camo) = setup();
+        let table: Vec<u16> = (0..128u16).map(|m| (m * 37 + 11) % 4).collect();
+        let f = VectorFunction::from_lookup_table(7, 2, &table).unwrap();
+        let circuit = random_camouflage(&f, &lib, &camo).unwrap();
+        let verdicts = plausibility_sweep_any_io(&circuit, &lib, &camo, &[f]);
+        assert!(verdicts[0].plausible);
+        assert_eq!(verdicts[0].orbit, 10_080);
+        assert_eq!(
+            verdicts[0].witness,
+            Some((vec![0, 1, 2, 3, 4, 5, 6], vec![0, 1]))
+        );
+        // And the guard itself: factorials that overflow u32 indices.
+        assert!(checked_orbit(7, 2).is_some());
+        assert!(checked_orbit(12, 12).is_none());
+    }
+
+    #[test]
+    fn any_io_sweep_agrees_with_single_queries_and_reports_witnesses() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let scrambled = boxes[0]
+            .permute_inputs(&[2, 0, 3, 1])
+            .unwrap()
+            .permute_outputs(&[1, 3, 0, 2])
+            .unwrap();
+        let candidates = vec![boxes[0].clone(), scrambled, boxes[1].clone()];
+        let verdicts = plausibility_sweep_any_io(&circuit, &lib, &camo, &candidates);
+        assert_eq!(verdicts.len(), candidates.len());
+        // The true function is plausible under the identity
+        // interpretation, which is orbit index 0 — so it must also be
+        // the reported witness.
+        assert!(verdicts[0].plausible);
+        assert_eq!(
+            verdicts[0].witness,
+            Some((vec![0, 1, 2, 3], vec![0, 1, 2, 3]))
+        );
+        // A scrambled copy of the true function is plausible under some
+        // interpretation by construction.
+        assert!(verdicts[1].plausible);
+        // Every witness actually satisfies the identity-interpretation
+        // test once applied to the candidate.
+        for (f, v) in candidates.iter().zip(&verdicts) {
+            assert_eq!(v.orbit, 576, "4! · 4!");
+            assert!(v.unique <= v.orbit);
+            if let Some((ip, op)) = &v.witness {
+                let g = f.permute_inputs(ip).unwrap().permute_outputs(op).unwrap();
+                assert!(is_plausible(&circuit, &lib, &camo, &g), "witness must hold");
+            }
         }
     }
 }

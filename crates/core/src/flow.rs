@@ -116,6 +116,7 @@ pub struct FlowBuilder {
     workload_threads: usize,
     attack_sweep: bool,
     attack_shards: usize,
+    attack_interpretation_freedom: bool,
 }
 
 impl FlowBuilder {
@@ -216,6 +217,24 @@ impl FlowBuilder {
         self
     }
 
+    /// Upgrades the red-team pass to the paper's **full** adversary: in
+    /// addition to the identity-interpretation sweep, every viable
+    /// function is tested for plausibility under *some* input/output pin
+    /// permutation ([`mvf_attack::plausibility_sweep_any_io_sharded`],
+    /// sharded per [`FlowBuilder::attack_shards`]), and the witness
+    /// interpretation is attached to the report
+    /// ([`PlausibilityVerdict::witness_perm`](crate::PlausibilityVerdict)).
+    ///
+    /// Only meaningful together with [`FlowBuilder::attack_sweep`]. The
+    /// orbit search costs up to `n_in! · n_out!` SAT queries per
+    /// candidate (pruned by pin-symmetry signatures), so enable it for
+    /// audit runs rather than every batch.
+    #[must_use]
+    pub fn attack_interpretation_freedom(mut self, enabled: bool) -> Self {
+        self.attack_interpretation_freedom = enabled;
+        self
+    }
+
     /// Builds a flow with the default [`Ga`] strategy configured from
     /// [`FlowConfig::ga`].
     pub fn build(self) -> Flow<Ga> {
@@ -235,6 +254,7 @@ impl FlowBuilder {
             workload_threads: self.workload_threads,
             attack_sweep: self.attack_sweep,
             attack_shards: self.attack_shards,
+            attack_interpretation_freedom: self.attack_interpretation_freedom,
         }
     }
 }
@@ -252,6 +272,7 @@ pub struct Flow<S = Ga> {
     pub(crate) workload_threads: usize,
     pub(crate) attack_sweep: bool,
     pub(crate) attack_shards: usize,
+    pub(crate) attack_interpretation_freedom: bool,
 }
 
 impl Flow<Ga> {

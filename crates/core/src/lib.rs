@@ -78,7 +78,7 @@ pub use error::MvfError;
 pub use eval::{random_assignment, synthesized_area_ge, EvalContext, PinObjective};
 pub use flow::{Flow, FlowBuilder, FlowConfig, FlowResult, RandomBaseline};
 pub use report::{Fig4Data, Table1, Table1Row};
-pub use workload::{Workload, WorkloadReport};
+pub use workload::{PlausibilityVerdict, Workload, WorkloadReport};
 
 // The strategy vocabulary is part of the flow API surface.
 pub use mvf_ga::{Ga, HillClimb, Objective, RandomSearch, SearchOutcome, SearchStrategy};

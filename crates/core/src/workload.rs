@@ -50,6 +50,27 @@ impl Workload {
     }
 }
 
+/// One viable function's red-team verdict from the SAT adversary, as
+/// attached to [`WorkloadReport::plausibility`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlausibilityVerdict {
+    /// Plausible under the **identity** pin interpretation (the
+    /// adversary reads each wire as the logical pin it was mapped to).
+    /// A correct flow yields `true` for every viable function.
+    pub identity: bool,
+    /// Plausible under **some** input/output pin permutation — the
+    /// paper's full adversary. Present when the flow was built with
+    /// [`FlowBuilder::attack_interpretation_freedom`](crate::FlowBuilder::attack_interpretation_freedom);
+    /// implied `true` whenever `identity` is `true` (the identity is one
+    /// of the interpretations searched).
+    pub any_io: Option<bool>,
+    /// The witness interpretation behind a `true` `any_io` verdict: the
+    /// lexicographically smallest `(input_perm, output_perm)` pair under
+    /// which the permuted function is plausible. Deterministic for every
+    /// shard count.
+    pub witness_perm: Option<(Vec<usize>, Vec<usize>)>,
+}
+
 /// The per-workload result of a [`Flow::run_many`] batch.
 #[derive(Debug, Clone)]
 pub struct WorkloadReport {
@@ -65,13 +86,13 @@ pub struct WorkloadReport {
     /// Red-team verdicts from the SAT adversary, present when the flow
     /// was built with
     /// [`FlowBuilder::attack_sweep`](crate::FlowBuilder::attack_sweep)
-    /// and the workload succeeded: `plausibility[j]` is `true` iff viable
-    /// function `j` (in its pin-permuted, mapped-circuit form) remains
-    /// plausible for the camouflaged netlist under the identity pin
-    /// interpretation. A correct flow yields all-`true`; any `false` is a
-    /// red flag worth a deeper
-    /// [`mvf_attack::is_plausible_any_io`] investigation.
-    pub plausibility: Option<Vec<bool>>,
+    /// and the workload succeeded: `plausibility[j]` reports viable
+    /// function `j` (in its pin-permuted, mapped-circuit form) against
+    /// the camouflaged netlist. A correct flow keeps every
+    /// [`PlausibilityVerdict::identity`] `true`; any `false` is a red
+    /// flag, and the interpretation-freedom fields tell the auditor
+    /// whether *any* pin reading rescues the function.
+    pub plausibility: Option<Vec<PlausibilityVerdict>>,
 }
 
 impl WorkloadReport {
@@ -178,13 +199,54 @@ impl<S: SearchStrategy> Flow<S> {
                 } else {
                     resolve_threads(threads)
                 };
-                Some(mvf_attack::plausibility_sweep_sharded(
-                    &result.mapped.netlist,
-                    &self.lib,
-                    &self.camo,
-                    &result.merged.functions,
-                    shards,
-                ))
+                if self.attack_interpretation_freedom {
+                    // The identity interpretation is orbit index 0 of the
+                    // any-IO search and can never be skipped, so its
+                    // verdict is derivable from the witness: identity
+                    // plausibility ⇔ the witness *is* the identity pair.
+                    // One sweep (one encoding) answers both questions.
+                    let n_in = result.mapped.netlist.inputs().len();
+                    let n_out = result.mapped.netlist.outputs().len();
+                    let id_pair = (
+                        (0..n_in).collect::<Vec<_>>(),
+                        (0..n_out).collect::<Vec<_>>(),
+                    );
+                    let any_io = mvf_attack::plausibility_sweep_any_io_sharded(
+                        &result.mapped.netlist,
+                        &self.lib,
+                        &self.camo,
+                        &result.merged.functions,
+                        shards,
+                    );
+                    Some(
+                        any_io
+                            .into_iter()
+                            .map(|v| PlausibilityVerdict {
+                                identity: v.witness.as_ref() == Some(&id_pair),
+                                any_io: Some(v.plausible),
+                                witness_perm: v.witness,
+                            })
+                            .collect(),
+                    )
+                } else {
+                    let identity = mvf_attack::plausibility_sweep_sharded(
+                        &result.mapped.netlist,
+                        &self.lib,
+                        &self.camo,
+                        &result.merged.functions,
+                        shards,
+                    );
+                    Some(
+                        identity
+                            .into_iter()
+                            .map(|identity| PlausibilityVerdict {
+                                identity,
+                                any_io: None,
+                                witness_perm: None,
+                            })
+                            .collect(),
+                    )
+                }
             }
             _ => None,
         };
@@ -249,9 +311,13 @@ mod tests {
         let verdicts = reports[0].plausibility.as_ref().expect("sweep attached");
         assert_eq!(verdicts.len(), funcs.len());
         assert!(
-            verdicts.iter().all(|&v| v),
+            verdicts.iter().all(|v| v.identity),
             "every viable function must stay plausible: {verdicts:?}"
         );
+        // Interpretation freedom is opt-in; the plain sweep leaves the
+        // any-IO fields empty.
+        assert!(verdicts.iter().all(|v| v.any_io.is_none()));
+        assert!(verdicts.iter().all(|v| v.witness_perm.is_none()));
         // The red-team pass is opt-in: off by default.
         let flow = Flow::builder()
             .ga(ga)
@@ -261,5 +327,37 @@ mod tests {
         let reports = flow.run_many(&[Workload::new("PRESENT x2", funcs)]);
         assert!(reports[0].outcome.is_ok());
         assert!(reports[0].plausibility.is_none());
+    }
+
+    #[test]
+    fn interpretation_freedom_attaches_any_io_verdicts() {
+        use mvf_ga::GaConfig;
+        let funcs = mvf_sboxes::optimal_sboxes()[..2].to_vec();
+        let flow = Flow::builder()
+            .ga(GaConfig {
+                population: 4,
+                generations: 1,
+                seed: 0xA78,
+                ..GaConfig::default()
+            })
+            .validate(false)
+            .workload_threads(1)
+            .attack_sweep(true)
+            .attack_shards(2)
+            .attack_interpretation_freedom(true)
+            .build();
+        let reports = flow.run_many(&[Workload::new("PRESENT x2", funcs.clone())]);
+        let verdicts = reports[0].plausibility.as_ref().expect("sweep attached");
+        assert_eq!(verdicts.len(), funcs.len());
+        for v in verdicts {
+            assert!(v.identity, "designed circuits keep identity plausibility");
+            // Identity plausibility implies any-IO plausibility, and the
+            // reported witness must then be the identity interpretation
+            // (orbit index 0).
+            assert_eq!(v.any_io, Some(true));
+            let (ip, op) = v.witness_perm.as_ref().expect("witness for plausible");
+            assert_eq!(ip.as_slice(), &[0, 1, 2, 3]);
+            assert_eq!(op.as_slice(), &[0, 1, 2, 3]);
+        }
     }
 }

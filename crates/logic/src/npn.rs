@@ -47,17 +47,7 @@ impl NpnTransform {
     /// Panics if the permutation length differs from the table arity.
     pub fn apply(&self, f: &TruthTable) -> TruthTable {
         assert_eq!(self.perm.len(), f.n_vars(), "transform arity mismatch");
-        let mut t = f.clone();
-        for v in 0..f.n_vars() {
-            if self.input_neg & (1 << v) != 0 {
-                t = t.flip_var(v);
-            }
-        }
-        let mut t = t.permute(&self.perm).expect("valid permutation");
-        if self.output_neg {
-            t = t.not();
-        }
-        t
+        apply_parts(f, &self.perm, self.input_neg, self.output_neg)
     }
 
     /// The inverse transform, such that `inv.apply(&t.apply(f)) == f`.
@@ -82,28 +72,105 @@ impl NpnTransform {
     }
 }
 
-/// Generates all permutations of `0..n` (lexicographic order).
-pub fn all_permutations(n: usize) -> Vec<Vec<usize>> {
-    let mut out = Vec::new();
-    let mut cur: Vec<usize> = (0..n).collect();
-    heap_permute(&mut cur, n, &mut out);
-    out.sort();
-    out
+/// A lazy, allocation-free permutation stream over `0..n`, in
+/// lexicographic order.
+///
+/// This replaces the old materializing pipeline (recursive Heap's
+/// algorithm into a `Vec<Vec<usize>>`, then a sort): the `O(n!·n)`
+/// up-front allocation spike is gone, each step is a handful of in-place
+/// swaps on one buffer, and the lexicographic yield order — which the
+/// canonicalizers' tie-breaks and the attack's witness-permutation
+/// semantics depend on — is a property of the algorithm instead of a
+/// trailing sort.
+///
+/// `next` is a lending iterator (it returns a borrow of the internal
+/// buffer), so drive it with `while let`:
+///
+/// ```
+/// use mvf_logic::npn::Permutations;
+///
+/// let mut perms = Permutations::new(3);
+/// let mut count = 0;
+/// let mut first = Vec::new();
+/// while let Some(p) = perms.next() {
+///     if count == 0 {
+///         first = p.to_vec();
+///     }
+///     count += 1;
+/// }
+/// assert_eq!(count, 6);
+/// assert_eq!(first, [0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Permutations {
+    cur: Vec<usize>,
+    started: bool,
+    done: bool,
 }
 
-fn heap_permute(arr: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
-    if k <= 1 {
-        out.push(arr.clone());
-        return;
-    }
-    for i in 0..k {
-        heap_permute(arr, k - 1, out);
-        if k.is_multiple_of(2) {
-            arr.swap(i, k - 1);
-        } else {
-            arr.swap(0, k - 1);
+impl Permutations {
+    /// A stream over all permutations of `0..n`. (`n == 0` yields exactly
+    /// one empty permutation, matching [`all_permutations`].)
+    pub fn new(n: usize) -> Self {
+        Permutations {
+            cur: (0..n).collect(),
+            started: false,
+            done: false,
         }
     }
+
+    /// Rewinds the stream to the identity permutation.
+    pub fn reset(&mut self) {
+        for (i, p) in self.cur.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.started = false;
+        self.done = false;
+    }
+
+    /// Advances to the next permutation and returns it, or `None` once
+    /// the stream is exhausted.
+    #[allow(clippy::should_implement_trait)] // lending: borrows self
+    pub fn next(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.cur);
+        }
+        // Classic lexicographic successor: find the rightmost ascent,
+        // swap its head with the smallest larger element to its right,
+        // reverse the (descending) suffix. All in-place.
+        let n = self.cur.len();
+        let Some(i) = (0..n.saturating_sub(1))
+            .rev()
+            .find(|&i| self.cur[i] < self.cur[i + 1])
+        else {
+            self.done = true;
+            return None;
+        };
+        let j = (i + 1..n)
+            .rev()
+            .find(|&j| self.cur[j] > self.cur[i])
+            .expect("an ascent guarantees a larger suffix element");
+        self.cur.swap(i, j);
+        self.cur[i + 1..].reverse();
+        Some(&self.cur)
+    }
+}
+
+/// Generates all permutations of `0..n` (lexicographic order).
+///
+/// Prefer [`Permutations`] when the consumer can stream: this collects
+/// all `n!` permutations into owned vectors.
+pub fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut perms = Permutations::new(n);
+    while let Some(p) = perms.next() {
+        out.push(p.to_vec());
+    }
+    out
 }
 
 /// The NPN canonical form of a function: the lexicographically smallest
@@ -129,24 +196,45 @@ fn heap_permute(arr: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
 pub fn npn_canonical(f: &TruthTable) -> (TruthTable, NpnTransform) {
     assert!(f.n_vars() <= 6, "exhaustive NPN limited to 6 variables");
     let n = f.n_vars();
-    let perms = all_permutations(n);
     let mut best: Option<(TruthTable, NpnTransform)> = None;
-    for perm in &perms {
+    let mut perms = Permutations::new(n);
+    while let Some(perm) = perms.next() {
         for input_neg in 0..(1u32 << n) {
             for output_neg in [false, true] {
-                let t = NpnTransform {
-                    perm: perm.clone(),
-                    input_neg,
-                    output_neg,
-                };
-                let g = t.apply(f);
+                let g = apply_parts(f, perm, input_neg, output_neg);
                 if best.as_ref().is_none_or(|(b, _)| g < *b) {
-                    best = Some((g, t));
+                    // The transform itself is only materialized on an
+                    // improvement; every rejected candidate stays
+                    // allocation-free.
+                    best = Some((
+                        g,
+                        NpnTransform {
+                            perm: perm.to_vec(),
+                            input_neg,
+                            output_neg,
+                        },
+                    ));
                 }
             }
         }
     }
     best.expect("at least the identity transform")
+}
+
+/// [`NpnTransform::apply`] over borrowed parts, so exhaustive scans can
+/// evaluate a transform without building an owned `NpnTransform` first.
+fn apply_parts(f: &TruthTable, perm: &[usize], input_neg: u32, output_neg: bool) -> TruthTable {
+    let mut t = f.clone();
+    for v in 0..f.n_vars() {
+        if input_neg & (1 << v) != 0 {
+            t = t.flip_var(v);
+        }
+    }
+    let mut t = t.permute(perm).expect("valid permutation");
+    if output_neg {
+        t = t.not();
+    }
+    t
 }
 
 /// The P canonical form (input permutation only): the lexicographically
@@ -161,10 +249,11 @@ pub fn p_canonical(f: &TruthTable) -> (TruthTable, Vec<usize>) {
         "exhaustive P-canonicalization limited to 6 variables"
     );
     let mut best: Option<(TruthTable, Vec<usize>)> = None;
-    for perm in all_permutations(f.n_vars()) {
-        let g = f.permute(&perm).expect("valid permutation");
+    let mut perms = Permutations::new(f.n_vars());
+    while let Some(perm) = perms.next() {
+        let g = f.permute(perm).expect("valid permutation");
         if best.as_ref().is_none_or(|(b, _)| g < *b) {
-            best = Some((g, perm));
+            best = Some((g, perm.to_vec()));
         }
     }
     best.expect("at least the identity permutation")
@@ -205,6 +294,26 @@ mod tests {
         assert_eq!(all_permutations(1).len(), 1);
         assert_eq!(all_permutations(3).len(), 6);
         assert_eq!(all_permutations(4).len(), 24);
+    }
+
+    #[test]
+    fn lazy_stream_is_lexicographic_and_complete() {
+        for n in 0..=5usize {
+            let mut perms = Permutations::new(n);
+            let mut seen: Vec<Vec<usize>> = Vec::new();
+            while let Some(p) = perms.next() {
+                if let Some(prev) = seen.last() {
+                    assert!(prev.as_slice() < p, "not lexicographic at {p:?}");
+                }
+                seen.push(p.to_vec());
+            }
+            assert_eq!(seen, all_permutations(n), "n = {n}");
+            assert!(perms.next().is_none(), "exhausted stream stays exhausted");
+            // Reset rewinds to the identity.
+            perms.reset();
+            let restart = perms.next().map(<[usize]>::to_vec);
+            assert_eq!(restart.as_deref(), seen.first().map(Vec::as_slice));
+        }
     }
 
     #[test]

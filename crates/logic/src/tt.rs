@@ -615,17 +615,35 @@ impl TruthTable {
     /// Returns [`LogicError::BadPermutation`] if `perm` is not a
     /// permutation of `0..n_vars`.
     pub fn permute(&self, perm: &[usize]) -> Result<Self, LogicError> {
+        let mut out = Self::zero(self.n_vars);
+        self.permute_into(perm, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`TruthTable::permute`] into a caller-provided table, reusing its
+    /// word storage — the allocation-free step of permutation-orbit
+    /// walks. `out` is reshaped to this table's arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadPermutation`] if `perm` is not a
+    /// permutation of `0..n_vars`; `out` is unspecified (but valid) on
+    /// error.
+    pub fn permute_into(&self, perm: &[usize], out: &mut TruthTable) -> Result<(), LogicError> {
         if perm.len() != self.n_vars {
             return Err(LogicError::BadPermutation);
         }
-        let mut seen = vec![false; self.n_vars];
+        // Bit-set validation: variable counts are tiny (≤ MAX_VARS ≤ 64).
+        let mut seen = 0u64;
         for &p in perm {
-            if p >= self.n_vars || seen[p] {
+            if p >= self.n_vars || seen & (1 << p) != 0 {
                 return Err(LogicError::BadPermutation);
             }
-            seen[p] = true;
+            seen |= 1 << p;
         }
-        let mut out = Self::zero(self.n_vars);
+        out.n_vars = self.n_vars;
+        out.words.resize(Self::word_count(self.n_vars), 0);
+        out.words.fill(0);
         for m in 0..self.n_minterms() {
             if self.get(m) {
                 let mut m2 = 0usize;
@@ -637,7 +655,15 @@ impl TruthTable {
                 out.set(m2, true);
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Overwrites this table with a copy of `src`, reusing the word
+    /// allocation (a `clone_from` that never reallocates once warm).
+    pub fn copy_from(&mut self, src: &TruthTable) {
+        self.n_vars = src.n_vars;
+        self.words.clear();
+        self.words.extend_from_slice(&src.words);
     }
 
     /// Projects the function onto the listed variables: old variable

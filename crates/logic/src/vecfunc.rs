@@ -147,6 +147,31 @@ impl VectorFunction {
         })
     }
 
+    /// [`VectorFunction::permute_inputs`] into a caller-provided scratch
+    /// function, reusing its table storage. `out` is reshaped to this
+    /// function's arity; after warm-up the call performs no allocation —
+    /// the step that makes permutation-orbit walks (the any-IO
+    /// plausibility sweep) allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadPermutation`] if `perm` is not a
+    /// permutation of `0..n_inputs`; `out` is unspecified (but valid) on
+    /// error.
+    pub fn permute_inputs_into(
+        &self,
+        perm: &[usize],
+        out: &mut VectorFunction,
+    ) -> Result<(), LogicError> {
+        out.n_inputs = self.n_inputs;
+        out.outputs
+            .resize_with(self.outputs.len(), || TruthTable::zero(self.n_inputs));
+        for (src, dst) in self.outputs.iter().zip(&mut out.outputs) {
+            src.permute_into(perm, dst)?;
+        }
+        Ok(())
+    }
+
     /// Applies an output-pin permutation: output `i` of `self` appears at
     /// position `perm[i]` of the result.
     ///
@@ -175,6 +200,39 @@ impl VectorFunction {
                 .map(|o| o.expect("filled"))
                 .collect(),
         })
+    }
+
+    /// [`VectorFunction::permute_outputs`] into a caller-provided scratch
+    /// function, reusing its table storage (allocation-free once warm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadPermutation`] if `perm` is not a
+    /// permutation of `0..n_outputs`; `out` is unspecified (but valid) on
+    /// error.
+    pub fn permute_outputs_into(
+        &self,
+        perm: &[usize],
+        out: &mut VectorFunction,
+    ) -> Result<(), LogicError> {
+        let n = self.outputs.len();
+        if perm.len() != n {
+            return Err(LogicError::BadPermutation);
+        }
+        let mut seen = 0u64;
+        for &p in perm {
+            if p >= n || seen & (1 << p) != 0 {
+                return Err(LogicError::BadPermutation);
+            }
+            seen |= 1 << p;
+        }
+        out.n_inputs = self.n_inputs;
+        out.outputs
+            .resize_with(n, || TruthTable::zero(self.n_inputs));
+        for (i, &p) in perm.iter().enumerate() {
+            out.outputs[p].copy_from(&self.outputs[i]);
+        }
+        Ok(())
     }
 }
 
@@ -256,6 +314,25 @@ mod tests {
         let f = present_sbox();
         assert!(f.permute_inputs(&[0, 0, 1, 2]).is_err());
         assert!(f.permute_outputs(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_permutations() {
+        let f = present_sbox();
+        // One scratch pair reused across every orbit element, including
+        // after an error left it in an unspecified state.
+        let mut scratch_in = VectorFunction::from_lookup_table(1, 1, &[0, 1]).unwrap();
+        let mut scratch_out = scratch_in.clone();
+        assert!(f
+            .permute_inputs_into(&[0, 0, 1, 2], &mut scratch_in)
+            .is_err());
+        assert!(f.permute_outputs_into(&[0, 1], &mut scratch_out).is_err());
+        for perm in [[0, 1, 2, 3], [2, 0, 3, 1], [3, 2, 1, 0], [1, 3, 0, 2]] {
+            f.permute_inputs_into(&perm, &mut scratch_in).unwrap();
+            assert_eq!(scratch_in, f.permute_inputs(&perm).unwrap());
+            f.permute_outputs_into(&perm, &mut scratch_out).unwrap();
+            assert_eq!(scratch_out, f.permute_outputs(&perm).unwrap());
+        }
     }
 
     #[test]

@@ -149,6 +149,195 @@ impl VarOrder {
     }
 }
 
+/// The two-watched-literal occurrence lists, flattened into one CSR-style
+/// pool: list `c` (a literal code) occupies `data[start[c]..start[c] +
+/// len[c]]` with `cap[c]` slots reserved. A list that outgrows its
+/// capacity relocates to the end of the pool with doubled capacity (its
+/// old slots become dead words, reclaimed by [`WatchLists::retain_map`]'s
+/// compaction pass, which the learnt-DB reduction already runs).
+///
+/// Flattening matters for [`Solver::clone_db`]: the pre-CSR
+/// `Vec<Vec<u32>>` needed one heap allocation per literal (two per
+/// variable) on every clone, which dominated sharded-sweep worker
+/// startup; the CSR block clones as a strict handful of `memcpy`s. The
+/// baseline representation is retained behind [`Solver::set_watch_csr`]
+/// for equivalence tests and benches — both modes keep identical
+/// per-list orders and traversal, so verdicts *and* models are
+/// bit-identical.
+#[derive(Debug, Clone)]
+struct WatchLists {
+    /// `true` (default): flat CSR pool. `false`: per-literal `Vec`s.
+    csr: bool,
+    /// Flat pool (CSR mode).
+    data: Vec<u32>,
+    /// Per-list offsets, live lengths and reserved capacities, indexed by
+    /// literal code.
+    start: Vec<u32>,
+    len: Vec<u32>,
+    cap: Vec<u32>,
+    /// Baseline representation (`csr == false`).
+    lists: Vec<Vec<u32>>,
+    /// Compaction scratch, reused across passes.
+    compact_tmp: Vec<u32>,
+}
+
+impl WatchLists {
+    fn new() -> Self {
+        WatchLists {
+            csr: true,
+            data: Vec::new(),
+            start: Vec::new(),
+            len: Vec::new(),
+            cap: Vec::new(),
+            lists: Vec::new(),
+            compact_tmp: Vec::new(),
+        }
+    }
+
+    /// Registers one new (empty) list. The CSR offset arrays are the
+    /// source of truth for the list count; the baseline `lists` vector
+    /// is only materialized while Vec mode is active, so the default
+    /// (CSR) configuration carries — and clones — no per-list `Vec`
+    /// headers at all.
+    fn push_list(&mut self) {
+        self.start.push(0);
+        self.len.push(0);
+        self.cap.push(0);
+        if !self.csr {
+            self.lists.push(Vec::new());
+        }
+    }
+
+    /// Switches between the CSR pool (`true`) and the per-literal `Vec`
+    /// baseline, converting the current contents in place. Both modes
+    /// preserve list order exactly.
+    fn set_csr(&mut self, enabled: bool) {
+        if enabled == self.csr {
+            return;
+        }
+        if enabled {
+            self.data.clear();
+            for c in 0..self.start.len() {
+                self.start[c] = self.data.len() as u32;
+                self.len[c] = self.lists[c].len() as u32;
+                self.cap[c] = self.lists[c].len() as u32;
+                self.data.extend_from_slice(&self.lists[c]);
+            }
+            // Drop the baseline representation entirely: CSR mode keeps
+            // no per-list heap allocations.
+            self.lists = Vec::new();
+        } else {
+            self.lists.resize_with(self.start.len(), Vec::new);
+            for c in 0..self.start.len() {
+                let s = self.start[c] as usize;
+                let l = self.len[c] as usize;
+                self.lists[c].clear();
+                self.lists[c].extend_from_slice(&self.data[s..s + l]);
+                self.len[c] = 0;
+                self.cap[c] = 0;
+                self.start[c] = 0;
+            }
+            self.data.clear();
+        }
+        self.csr = enabled;
+    }
+
+    #[inline]
+    fn len_of(&self, code: usize) -> usize {
+        if self.csr {
+            self.len[code] as usize
+        } else {
+            self.lists[code].len()
+        }
+    }
+
+    #[inline]
+    fn get(&self, code: usize, i: usize) -> u32 {
+        if self.csr {
+            debug_assert!(i < self.len[code] as usize);
+            self.data[self.start[code] as usize + i]
+        } else {
+            self.lists[code][i]
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, code: usize, cr: u32) {
+        if !self.csr {
+            self.lists[code].push(cr);
+            return;
+        }
+        if self.len[code] == self.cap[code] {
+            // Relocate to the end of the pool with doubled capacity; the
+            // old slots become dead words. Other lists' offsets are
+            // untouched, so relocation is safe mid-propagation.
+            let new_cap = (self.cap[code] * 2).max(4);
+            let new_start = self.data.len() as u32;
+            let s = self.start[code] as usize;
+            let l = self.len[code] as usize;
+            self.data.extend_from_within(s..s + l);
+            self.data.resize(new_start as usize + new_cap as usize, 0);
+            self.start[code] = new_start;
+            self.cap[code] = new_cap;
+        }
+        self.data[(self.start[code] + self.len[code]) as usize] = cr;
+        self.len[code] += 1;
+    }
+
+    #[inline]
+    fn swap_remove(&mut self, code: usize, i: usize) {
+        if self.csr {
+            let s = self.start[code] as usize;
+            let last = self.len[code] as usize - 1;
+            self.data.swap(s + i, s + last);
+            self.len[code] = last as u32;
+        } else {
+            self.lists[code].swap_remove(i);
+        }
+    }
+
+    /// Applies `f` to every stored clause ref: `None` drops the entry,
+    /// `Some(r)` rewrites it. In CSR mode the pool is compacted
+    /// afterwards (this runs from the learnt-DB reduction, the natural
+    /// point to reclaim relocation garbage). Each non-empty list keeps
+    /// ~50% slack capacity: propagation moves watches on the very next
+    /// conflict, and compacting *tight* would force every first push to
+    /// relocate its list to the pool end — undoing the compaction
+    /// immediately.
+    fn retain_map(&mut self, mut f: impl FnMut(u32) -> Option<u32>) {
+        if !self.csr {
+            for wl in &mut self.lists {
+                wl.retain_mut(|r| match f(*r) {
+                    Some(nr) => {
+                        *r = nr;
+                        true
+                    }
+                    None => false,
+                });
+            }
+            return;
+        }
+        let mut pool = std::mem::take(&mut self.compact_tmp);
+        pool.clear();
+        for c in 0..self.start.len() {
+            let s = self.start[c] as usize;
+            let l = self.len[c] as usize;
+            self.start[c] = pool.len() as u32;
+            for i in 0..l {
+                if let Some(r) = f(self.data[s + i]) {
+                    pool.push(r);
+                }
+            }
+            let kept = pool.len() as u32 - self.start[c];
+            let cap = if kept == 0 { 0 } else { kept + kept / 2 + 1 };
+            pool.resize(self.start[c] as usize + cap as usize, 0);
+            self.len[c] = kept;
+            self.cap[c] = cap;
+        }
+        self.compact_tmp = std::mem::replace(&mut self.data, pool);
+    }
+}
+
 /// The SAT solver.
 ///
 /// See the [crate documentation](crate) for an example.
@@ -160,8 +349,8 @@ pub struct Solver {
     /// Number of clauses stored in the arena.
     n_clauses: usize,
     /// Watch lists indexed by literal code: clause refs watching that
-    /// literal.
-    watches: Vec<Vec<u32>>,
+    /// literal, flattened into a CSR pool (see [`WatchLists`]).
+    watches: WatchLists,
     /// Current assignment per variable.
     assign: Vec<Option<bool>>,
     /// Saved phase per variable.
@@ -202,6 +391,14 @@ pub struct Solver {
     lbd_key: u64,
     /// Set when an empty clause is added.
     unsat: bool,
+    /// When `true`, restarts follow the Luby sequence (with rare random
+    /// phase flips on stagnation) instead of the default geometric
+    /// schedule. Opt-in via [`Solver::set_restart_luby`]; either mode
+    /// yields the same verdicts, only the search trajectory differs.
+    luby_restarts: bool,
+    /// Deterministic xorshift state for the stagnation phase flips
+    /// (advanced only in Luby mode, cloned with the solver).
+    rng: u64,
     /// Conflict-analysis scratch: the learnt clause under construction
     /// (asserting literal first) and per-variable seen marks. Reused
     /// across conflicts; `seen` is all-false between analyses.
@@ -231,7 +428,7 @@ impl Solver {
         Solver {
             arena: Vec::new(),
             n_clauses: 0,
-            watches: Vec::new(),
+            watches: WatchLists::new(),
             assign: Vec::new(),
             phase: Vec::new(),
             level: Vec::new(),
@@ -253,6 +450,8 @@ impl Solver {
             lbd_stamp: Vec::new(),
             lbd_key: 0,
             unsat: false,
+            luby_restarts: false,
+            rng: 0x9E37_79B9_7F4A_7C15,
             learnt: Vec::new(),
             seen: Vec::new(),
             add_tmp: Vec::new(),
@@ -272,8 +471,8 @@ impl Solver {
         self.activity.push(0.0);
         self.seen.push(false);
         self.lbd_stamp.push(0);
-        self.watches.push(Vec::new()); // positive literal
-        self.watches.push(Vec::new()); // negative literal
+        self.watches.push_list(); // positive literal
+        self.watches.push_list(); // negative literal
         self.order.push_slot();
         self.order.insert(v.0, &self.activity);
         v
@@ -295,6 +494,44 @@ impl Solver {
             }
         }
         self.use_heap = enabled;
+    }
+
+    /// Chooses between the flat CSR watch-list pool (default) and the
+    /// baseline per-literal `Vec<Vec<u32>>` representation, converting
+    /// the current contents in place. Both representations keep identical
+    /// list orders and traversal, so verdicts, models and the whole
+    /// search trajectory are bit-identical — the CSR pool only changes
+    /// the memory layout (and makes [`Solver::clone_db`] a strict
+    /// handful of `memcpy`s instead of two heap allocations per
+    /// variable).
+    pub fn set_watch_csr(&mut self, enabled: bool) {
+        self.watches.set_csr(enabled);
+    }
+
+    /// Resets every saved phase to the initial polarity (`false`).
+    ///
+    /// Phase saving is a per-*query* heuristic: the polarities a long
+    /// UNSAT proof settles into are tuned to refuting *that* candidate,
+    /// and letting them leak into the next assumption query of a
+    /// plausibility sweep steers the new search toward the old
+    /// candidate's corner of the space. Sweeps call this between
+    /// candidates; verdicts are unaffected (they are mathematically
+    /// determined), only the search trajectory changes.
+    pub fn reset_phases(&mut self) {
+        self.phase.fill(false);
+    }
+
+    /// Opts into Luby restarts: restart intervals follow the Luby
+    /// sequence (unit 64 conflicts) instead of the default geometric
+    /// schedule, and on stagnation — several restarts without the trail
+    /// reaching a new high-water mark — a rare random subset of saved
+    /// phases is flipped (deterministic xorshift, cloned with the
+    /// solver) to kick the search out of a rut. Both schedules decide
+    /// the same verdicts; the adversarial UNSAT instances red-team
+    /// sweeps produce are where the Luby schedule's frequent short runs
+    /// help.
+    pub fn set_restart_luby(&mut self, enabled: bool) {
+        self.luby_restarts = enabled;
     }
 
     /// Caps the learnt-clause count: once more than `limit` learnt
@@ -323,10 +560,12 @@ impl Solver {
     }
 
     /// A snapshot of the whole solver — clause arena, watch lists, VSIDS
-    /// state and learnt metadata. The flat arena makes this a handful of
-    /// `memcpy`s plus the per-literal watch vectors; sharded sweeps clone
-    /// one encoded solver per worker and query the clones independently
-    /// (see `mvf_attack::plausibility_sweep_sharded`).
+    /// state and learnt metadata. The flat clause arena *and* the flat
+    /// CSR watch pool make this a strict handful of `memcpy`s (no
+    /// per-literal allocations); sharded sweeps clone one encoded solver
+    /// per worker and query the clones independently (see
+    /// `mvf_attack::plausibility_sweep_sharded` and
+    /// `mvf_attack::plausibility_sweep_any_io_sharded`).
     pub fn clone_db(&self) -> Solver {
         self.clone()
     }
@@ -351,15 +590,15 @@ impl Solver {
     /// `self.learnt` semantics: caller passes the literal list through a
     /// field to keep borrows disjoint. Returns the clause ref and hooks
     /// the first two literals into the watch lists.
-    fn attach_from(arena: &mut Vec<u32>, watches: &mut [Vec<u32>], lits: &[Lit]) -> u32 {
+    fn attach_from(arena: &mut Vec<u32>, watches: &mut WatchLists, lits: &[Lit]) -> u32 {
         debug_assert!(lits.len() >= 2, "unit clauses are enqueued, not stored");
         let cr = arena.len() as u32;
         arena.push(lits.len() as u32);
         for &l in lits {
             arena.push(l.code() as u32);
         }
-        watches[lits[0].code()].push(cr);
-        watches[lits[1].code()].push(cr);
+        watches.push(lits[0].code(), cr);
+        watches.push(lits[1].code(), cr);
         cr
     }
 
@@ -445,12 +684,16 @@ impl Solver {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             let falsified = !p;
-            let falsified_code = falsified.code() as u32;
+            let fc = falsified.code();
+            let falsified_code = fc as u32;
+            // Walk the falsified literal's list in place. Mid-walk pushes
+            // only ever target *other* literals' lists (the replacement
+            // watch is non-false, the falsified literal is false), and a
+            // CSR relocation of another list never moves this one, so the
+            // `(start, index)` cursor stays valid throughout.
             let mut i = 0;
-            // Take the watch list to sidestep aliasing; re-add survivors.
-            let mut watchers = std::mem::take(&mut self.watches[falsified.code()]);
-            while i < watchers.len() {
-                let cr = watchers[i] as usize;
+            while i < self.watches.len_of(fc) {
+                let cr = self.watches.get(fc, i) as usize;
                 // Ensure the falsified literal is at position 1.
                 if self.arena[cr + 1] == falsified_code {
                     self.arena.swap(cr + 1, cr + 2);
@@ -467,8 +710,8 @@ impl Solver {
                     let l = Lit::from_code(self.arena[cr + 1 + k]);
                     if self.lit_value(l) != Some(false) {
                         self.arena.swap(cr + 2, cr + 1 + k);
-                        self.watches[l.code()].push(cr as u32);
-                        watchers.swap_remove(i);
+                        self.watches.push(l.code(), cr as u32);
+                        self.watches.swap_remove(fc, i);
                         moved = true;
                         break;
                     }
@@ -478,14 +721,11 @@ impl Solver {
                 }
                 // Unit or conflicting.
                 if !self.enqueue(w0, cr as u32) {
-                    // Conflict: restore remaining watchers.
-                    self.watches[falsified.code()].append(&mut watchers);
                     self.qhead = self.trail.len();
                     return Some(cr as u32);
                 }
                 i += 1;
             }
-            self.watches[falsified.code()].extend(watchers);
         }
         None
     }
@@ -711,17 +951,15 @@ impl Solver {
                 r - shift[i - 1]
             }
         };
-        // Watch lists: drop watchers of dead clauses, remap the rest.
-        for wl in &mut self.watches {
-            wl.retain_mut(|r| {
-                if dead.binary_search(r).is_ok() {
-                    false
-                } else {
-                    *r = remap(*r);
-                    true
-                }
-            });
-        }
+        // Watch lists: drop watchers of dead clauses, remap the rest
+        // (this pass also compacts the CSR watch pool).
+        self.watches.retain_map(|r| {
+            if dead.binary_search(&r).is_ok() {
+                None
+            } else {
+                Some(remap(r))
+            }
+        });
         // Reasons: locked clauses were kept, so every reason stays live.
         for r in &mut self.reason {
             if *r != NO_CLAUSE {
@@ -759,6 +997,20 @@ impl Solver {
         self.rank_tmp = cand;
         self.dead_refs = dead;
         self.dead_shift = shift;
+    }
+
+    /// Flips a rare random subset (~1/32) of saved phases — the
+    /// stagnation escape hatch of Luby-restart mode. The xorshift state
+    /// lives on the solver, so runs (and clones) stay deterministic.
+    fn flip_random_phases(&mut self) {
+        for p in &mut self.phase {
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            if self.rng.is_multiple_of(32) {
+                *p = !*p;
+            }
+        }
     }
 
     fn decide(&mut self) -> Option<Lit> {
@@ -836,11 +1088,28 @@ impl Solver {
                 (self.n_clauses / 3).max(2000)
             };
         }
-        let mut conflicts_until_restart = 100u64;
+        // Restart scheduling: geometric by default, Luby (unit 64) when
+        // opted in. Stagnation is measured against the deepest trail seen
+        // this call; several Luby restarts without a new high-water mark
+        // trigger a rare random phase flip.
+        const LUBY_UNIT: u64 = 64;
+        const STAGNANT_RESTARTS: u32 = 4;
+        let mut restart_idx = 0u64;
+        let mut conflicts_until_restart = if self.luby_restarts {
+            LUBY_UNIT * luby(1)
+        } else {
+            100
+        };
         let mut conflicts = 0u64;
+        let mut max_trail = self.trail.len();
+        let mut restart_max_trail = max_trail;
+        let mut stagnant = 0u32;
         loop {
             if let Some(confl) = self.propagate() {
                 conflicts += 1;
+                // Trail high-water mark (pre-backjump): the stagnation
+                // signal for Luby-mode phase flips.
+                max_trail = max_trail.max(self.trail.len());
                 if self.decision_level() <= assumption_level {
                     self.cancel_until(0);
                     if assumption_level == 0 {
@@ -873,7 +1142,22 @@ impl Solver {
                 }
                 if conflicts >= conflicts_until_restart {
                     conflicts = 0;
-                    conflicts_until_restart = (conflicts_until_restart * 3) / 2;
+                    if self.luby_restarts {
+                        restart_idx += 1;
+                        conflicts_until_restart = LUBY_UNIT * luby(restart_idx + 1);
+                        if max_trail > restart_max_trail {
+                            restart_max_trail = max_trail;
+                            stagnant = 0;
+                        } else {
+                            stagnant += 1;
+                            if stagnant >= STAGNANT_RESTARTS {
+                                self.flip_random_phases();
+                                stagnant = 0;
+                            }
+                        }
+                    } else {
+                        conflicts_until_restart = (conflicts_until_restart * 3) / 2;
+                    }
                     self.cancel_until(assumption_level);
                 }
             } else {
@@ -887,6 +1171,20 @@ impl Solver {
                 }
             }
         }
+    }
+}
+
+/// The Luby sequence, 1-indexed: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2,
+/// 4, 8, … — the restart-interval multipliers of Luby-mode restarts.
+fn luby(mut i: u64) -> u64 {
+    loop {
+        // The subsequence ending at index 2^k - 1 has length 2^k - 1;
+        // its final element is 2^(k-1).
+        let k = 64 - i.leading_zeros() as u64;
+        if i == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
     }
 }
 
@@ -1156,6 +1454,92 @@ mod tests {
             capped.arena_words(),
             unlimited.arena_words()
         );
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), w, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn csr_and_vec_watch_modes_are_identical() {
+        let mut state = 0xC5_3000_0001u64;
+        for round in 0..30 {
+            let n_vars = 5 + (xorshift(&mut state) % 8) as usize;
+            let n_clauses = 5 + (xorshift(&mut state) % 40) as usize;
+            let clauses = random_3cnf(&mut state, n_vars, n_clauses);
+            let mut csr = Solver::new();
+            let mut vecs = Solver::new();
+            vecs.set_watch_csr(false);
+            for _ in 0..n_vars {
+                csr.new_var();
+                vecs.new_var();
+            }
+            for c in &clauses {
+                csr.add_clause(c);
+                vecs.add_clause(c);
+            }
+            let (vc, vv) = (csr.solve(), vecs.solve());
+            assert_eq!(vc, vv, "round {round}: verdicts differ");
+            if vc {
+                for v in 0..n_vars {
+                    assert_eq!(
+                        csr.value(Var(v as u32)),
+                        vecs.value(Var(v as u32)),
+                        "round {round}: models diverge at var {v}"
+                    );
+                }
+            }
+            // Representation round-trip mid-life: convert the CSR solver
+            // to Vec mode and back; behavior must not move.
+            csr.set_watch_csr(false);
+            csr.set_watch_csr(true);
+            assert_eq!(csr.solve(), vv, "round {round}: round-trip diverged");
+        }
+    }
+
+    #[test]
+    fn luby_restarts_and_phase_resets_keep_verdicts() {
+        // Pigeonhole 5-into-4 (UNSAT, restart-heavy) plus a satisfiable
+        // chain; Luby mode and phase resets must not change any verdict.
+        let build = |luby_mode: bool| {
+            let mut s = Solver::new();
+            s.set_restart_luby(luby_mode);
+            let mut p = vec![[Var(0); 4]; 5];
+            for row in p.iter_mut() {
+                for slot in row.iter_mut() {
+                    *slot = s.new_var();
+                }
+            }
+            for row in &p {
+                let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+                s.add_clause(&lits);
+            }
+            for j in 0..4 {
+                for a in 0..5 {
+                    for b in (a + 1)..5 {
+                        s.add_clause(&[Lit::neg(p[a][j]), Lit::neg(p[b][j])]);
+                    }
+                }
+            }
+            s
+        };
+        let mut geometric = build(false);
+        let mut luby_mode = build(true);
+        assert!(!geometric.solve());
+        assert!(!luby_mode.solve());
+        // reset_phases between queries never changes answers.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert!(s.solve_with(&[Lit::neg(v[0])]));
+        s.reset_phases();
+        assert!(s.solve_with(&[Lit::neg(v[1])]));
+        s.reset_phases();
+        assert!(!s.solve_with(&[Lit::neg(v[0]), Lit::neg(v[1])]));
     }
 
     #[test]

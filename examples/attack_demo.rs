@@ -8,12 +8,16 @@
 //!   and the adversary rules them out *without resolving a single cell*;
 //! * **this paper's flow** — all viable functions stay plausible.
 //!
+//! The demo finishes with the *full* adversary: plausibility under any
+//! input/output pin interpretation (the signature-pruned orbit sweep), with
+//! the witness permutation for a pin-scrambled suspect.
+//!
 //! ```sh
 //! cargo run --release --example attack_demo
 //! ```
 
 use mvf::Flow;
-use mvf_attack::{plausibility_sweep, random_camouflage};
+use mvf_attack::{plausibility_sweep, plausibility_sweep_any_io, random_camouflage};
 use mvf_cells::{CamoLibrary, Library};
 use mvf_ga::GaConfig;
 use mvf_sboxes::optimal_sboxes;
@@ -76,5 +80,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "the designed circuit must keep every viable function plausible"
     );
     println!("\nThe adversary cannot rule out any viable function. ✓");
+
+    println!("\nFull adversary: interpretation freedom (any pin permutation)");
+    // A pin-scrambled copy of G0: implausible for the baseline circuit
+    // under the identity reading, but the full adversary searches every
+    // interpretation — and names the witness permutation it found.
+    let scrambled = viable[0]
+        .permute_inputs(&[2, 0, 3, 1])?
+        .permute_outputs(&[1, 3, 0, 2])?;
+    let verdicts = plausibility_sweep_any_io(&baseline, &lib, &camo, &[scrambled]);
+    let v = &verdicts[0];
+    println!(
+        "  scrambled G0 plausible under some interpretation? {} \
+         ({} of {} orbit points queried)",
+        if v.plausible { "yes" } else { "no" },
+        v.queries,
+        v.orbit
+    );
+    if let Some((ip, op)) = &v.witness {
+        println!("  witness: inputs {ip:?}, outputs {op:?}");
+    }
     Ok(())
 }

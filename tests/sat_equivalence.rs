@@ -13,9 +13,24 @@
 //! learnt-DB reduction under a tiny cap must leave every verdict
 //! unchanged while bounding arena growth, and the sharded parallel sweep
 //! must be bit-identical to the serial sweep for every shard count.
+//!
+//! The interpretation-freedom layer gets its own corpus: the any-IO
+//! sweep (serial and sharded 1/2/4) must match brute-force permutation
+//! enumeration on 3-bit blocks — verdicts *and* witness interpretations —
+//! signature pruning (P-equivalence dedup of permuted candidates) must
+//! never change an answer while strictly
+//! cutting queries on symmetric candidates, the CSR watch pool must be
+//! bit-identical to the `Vec<Vec<_>>` baseline, and Luby restarts must
+//! be verdict-equivalent to the geometric schedule.
 
-use mvf_attack::{is_plausible, plausibility_sweep, plausibility_sweep_sharded, random_camouflage};
+use mvf_attack::{
+    is_plausible, plausibility_sweep, plausibility_sweep_any_io, plausibility_sweep_any_io_sharded,
+    plausibility_sweep_any_io_with, plausibility_sweep_sharded, random_camouflage, AnyIoOptions,
+    AnyIoVerdict,
+};
 use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::npn::all_permutations;
+use mvf_logic::VectorFunction;
 use mvf_sat::{Lit, Solver, Var};
 use mvf_sboxes::optimal_sboxes;
 
@@ -317,6 +332,254 @@ fn designed_circuit_sweep_is_all_true() {
     .expect("mappable");
     let verdicts = plausibility_sweep(&mapped.netlist, &lib, &camo, &merged.functions);
     assert!(verdicts.iter().all(|&v| v), "verdicts: {verdicts:?}");
+}
+
+/// The 3-bit any-IO corpus: a camouflaged netlist plus candidates that
+/// exercise every verdict shape — a scrambled variant of the true
+/// function (plausible under a non-identity interpretation), the true
+/// function itself (identity witness), an input-symmetric candidate
+/// (pruning collapses whole permutation classes) and an implausible one
+/// (full orbit refutation).
+fn any_io_corpus() -> (
+    Library,
+    CamoLibrary,
+    mvf_netlist::Netlist,
+    Vec<VectorFunction>,
+) {
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let lut3 = |t: &[u16; 8]| VectorFunction::from_lookup_table(3, 3, t).unwrap();
+    let f = lut3(&[1, 0, 3, 2, 5, 7, 6, 4]);
+    let circuit = random_camouflage(&f, &lib, &camo).expect("buildable");
+    let scrambled = f
+        .permute_inputs(&[1, 2, 0])
+        .unwrap()
+        .permute_outputs(&[2, 0, 1])
+        .unwrap();
+    let sym = {
+        use mvf_logic::TruthTable;
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let c = TruthTable::var(2, 3);
+        VectorFunction::new(
+            3,
+            vec![
+                a.and(&b).and(&c),
+                a.xor(&b).xor(&c),
+                TruthTable::from_fn(3, |m| m.count_ones() >= 2),
+            ],
+        )
+    };
+    let candidates = vec![scrambled, f, sym, lut3(&[0, 1, 2, 3, 4, 5, 6, 7])];
+    (lib, camo, circuit, candidates)
+}
+
+/// Brute-force interpretation freedom: try every `(in_perm, out_perm)`
+/// pair (input-permutation major, lexicographic — the sweep's
+/// enumeration order) through fresh [`is_plausible`] encodings, and
+/// report the first satisfying pair.
+#[allow(clippy::type_complexity)]
+fn brute_force_any_io(
+    nl: &mvf_netlist::Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    candidate: &VectorFunction,
+) -> (bool, Option<(Vec<usize>, Vec<usize>)>) {
+    for ip in all_permutations(candidate.n_inputs()) {
+        for op in all_permutations(candidate.n_outputs()) {
+            let g = candidate
+                .permute_inputs(&ip)
+                .unwrap()
+                .permute_outputs(&op)
+                .unwrap();
+            if is_plausible(nl, lib, camo, &g) {
+                return (true, Some((ip, op)));
+            }
+        }
+    }
+    (false, None)
+}
+
+#[test]
+fn any_io_sweep_matches_brute_force_and_every_shard_count() {
+    let (lib, camo, circuit, candidates) = any_io_corpus();
+    let serial = plausibility_sweep_any_io(&circuit, &lib, &camo, &candidates);
+    assert_eq!(serial.len(), candidates.len());
+    // Serial sweep vs. brute-force permutation enumeration: verdict and
+    // witness must coincide exactly (the sweep's witness is defined as
+    // the first satisfying pair in the same enumeration order).
+    for (j, (f, v)) in candidates.iter().zip(&serial).enumerate() {
+        let (want, want_witness) = brute_force_any_io(&circuit, &lib, &camo, f);
+        assert_eq!(v.plausible, want, "candidate {j}: verdict");
+        assert_eq!(v.witness, want_witness, "candidate {j}: witness");
+        assert_eq!(v.orbit, 36, "candidate {j}: 3! · 3! orbit");
+        assert!(v.unique <= v.orbit);
+        if !v.plausible {
+            assert_eq!(
+                v.queries, v.unique,
+                "candidate {j}: a refutation must cover every representative"
+            );
+        }
+    }
+    // The corpus covers both polarities.
+    assert!(serial[0].plausible, "scrambled true function");
+    assert!(serial[1].plausible, "true function, identity witness");
+    assert_eq!(
+        serial[1].witness,
+        Some((vec![0, 1, 2], vec![0, 1, 2])),
+        "identity interpretation is orbit index 0"
+    );
+    assert!(!serial[3].plausible, "the identity LUT is not in the orbit");
+    // Sharded sweeps: bit-identical verdicts *and* witnesses for every
+    // shard count (queries may differ — early exit is cooperative).
+    let key = |vs: &[AnyIoVerdict]| -> Vec<(bool, Option<(Vec<usize>, Vec<usize>)>)> {
+        vs.iter()
+            .map(|v| (v.plausible, v.witness.clone()))
+            .collect()
+    };
+    for shards in [1usize, 2, 4] {
+        let sharded = plausibility_sweep_any_io_sharded(&circuit, &lib, &camo, &candidates, shards);
+        assert_eq!(key(&serial), key(&sharded), "shards = {shards}");
+    }
+}
+
+#[test]
+fn any_io_pruning_never_changes_a_verdict_and_strictly_cuts_queries() {
+    let (lib, camo, circuit, candidates) = any_io_corpus();
+    let pruned = plausibility_sweep_any_io(&circuit, &lib, &camo, &candidates);
+    let brute = plausibility_sweep_any_io_with(
+        &circuit,
+        &lib,
+        &camo,
+        &candidates,
+        &AnyIoOptions {
+            shards: 1,
+            prune: false,
+        },
+    );
+    for (j, (p, b)) in pruned.iter().zip(&brute).enumerate() {
+        assert_eq!(p.plausible, b.plausible, "candidate {j}: verdict");
+        assert_eq!(p.witness, b.witness, "candidate {j}: witness");
+        assert_eq!(b.unique, b.orbit, "unpruned sweep keeps the full orbit");
+    }
+    // The input-symmetric candidate (index 2) collapses its 36-point
+    // orbit to the 6 output permutations — strictly fewer queries than
+    // brute force on this ≥3-input block.
+    assert_eq!(pruned[2].unique, 6, "input symmetry leaves only out-perms");
+    assert!(
+        pruned[2].queries < brute[2].queries,
+        "pruning must issue strictly fewer queries ({} vs {})",
+        pruned[2].queries,
+        brute[2].queries
+    );
+}
+
+#[test]
+fn any_io_witnesses_satisfy_their_interpretation() {
+    let (lib, camo, circuit, candidates) = any_io_corpus();
+    let verdicts = plausibility_sweep_any_io_sharded(&circuit, &lib, &camo, &candidates, 2);
+    let mut witnessed = 0;
+    for (f, v) in candidates.iter().zip(&verdicts) {
+        if let Some((ip, op)) = &v.witness {
+            assert!(v.plausible, "witness implies plausible");
+            let g = f.permute_inputs(ip).unwrap().permute_outputs(op).unwrap();
+            assert!(
+                is_plausible(&circuit, &lib, &camo, &g),
+                "reported witness must satisfy the identity-interpretation test"
+            );
+            witnessed += 1;
+        }
+    }
+    assert!(witnessed >= 2, "the corpus has plausible candidates");
+}
+
+#[test]
+fn csr_and_vec_watch_lists_agree_on_verdicts_and_models() {
+    // The CSR watch pool preserves the Vec<Vec<_>> baseline's list
+    // orders and traversal exactly, so whole solver runs — verdicts and
+    // models, under assumption sequences — must be bit-identical.
+    let mut rng = XorShift(0xC5_2000_0001);
+    for round in 0..25 {
+        let n_vars = 5 + (rng.next() as usize) % 8; // 5..=12
+        let n_clauses = 4 + (rng.next() as usize) % 36;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 4);
+        let mut csr = Solver::new();
+        let mut vecs = Solver::new();
+        vecs.set_watch_csr(false);
+        for _ in 0..n_vars {
+            csr.new_var();
+            vecs.new_var();
+        }
+        for c in &clauses {
+            csr.add_clause(c);
+            vecs.add_clause(c);
+        }
+        for q in 0..6 {
+            let n_assumptions = (rng.next() as usize) % 3;
+            let mut assumptions = Vec::with_capacity(n_assumptions);
+            for _ in 0..n_assumptions {
+                assumptions.push(random_lit(&mut rng, n_vars));
+            }
+            let vc = csr.solve_with(&assumptions);
+            let vv = vecs.solve_with(&assumptions);
+            assert_eq!(vc, vv, "round {round}, query {q}: verdicts differ");
+            assert_eq!(
+                vc,
+                brute_force(&clauses, &assumptions, n_vars),
+                "round {round}, query {q}: wrong verdict"
+            );
+            if vc {
+                for v in 0..n_vars {
+                    assert_eq!(
+                        csr.value(Var(v as u32)),
+                        vecs.value(Var(v as u32)),
+                        "round {round}, query {q}: models diverge at var {v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn luby_and_geometric_restarts_are_verdict_equivalent() {
+    // Restart scheduling (and Luby mode's rare stagnation phase flips)
+    // may change the search trajectory but never an answer.
+    let mut rng = XorShift(0x1B1_BEEF_0001);
+    for round in 0..20 {
+        let n_vars = 6 + (rng.next() as usize) % 6; // 6..=11
+        let n_clauses = 20 + (rng.next() as usize) % 30;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 3);
+        let mut geo = Solver::new();
+        let mut lub = Solver::new();
+        lub.set_restart_luby(true);
+        for _ in 0..n_vars {
+            geo.new_var();
+            lub.new_var();
+        }
+        for c in &clauses {
+            geo.add_clause(c);
+            lub.add_clause(c);
+        }
+        for q in 0..5 {
+            let n_assumptions = (rng.next() as usize) % 3;
+            let mut assumptions = Vec::with_capacity(n_assumptions);
+            for _ in 0..n_assumptions {
+                assumptions.push(random_lit(&mut rng, n_vars));
+            }
+            let want = brute_force(&clauses, &assumptions, n_vars);
+            assert_eq!(
+                geo.solve_with(&assumptions),
+                want,
+                "round {round}, query {q}: geometric"
+            );
+            assert_eq!(
+                lub.solve_with(&assumptions),
+                want,
+                "round {round}, query {q}: luby"
+            );
+        }
+    }
 }
 
 #[test]
