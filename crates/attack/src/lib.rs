@@ -19,6 +19,14 @@
 //! the surviving queries striped over cloned solvers — with verdicts and
 //! witness interpretations bit-identical for every shard count.
 //!
+//! Every sweep runs behind a **screen-then-solve funnel** ([`screen`]
+//! module): one word-parallel batch evaluation of the netlist over all
+//! enumerable doping configurations refutes the obvious chaff — and, when
+//! the batch covers every minterm, confirms witnesses — before a single
+//! SAT query is issued. Screening never changes a verdict or a witness,
+//! only the [`AnyIoVerdict::queries`] count; [`AnyIoVerdict::screened`]
+//! reports how much the solver never saw.
+//!
 //! [`random_camouflage`] builds the paper's strawman — camouflage every
 //! gate of a single-function circuit — whose plausible set, while
 //! exponentially large, almost never contains the *other* viable
@@ -43,6 +51,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod screen;
+
+pub use screen::{CamoScreen, DEFAULT_SCREEN_VECTORS};
+use screen::{OrbitScreenScratch, ScreenOutcome};
 
 use std::collections::HashSet;
 use std::error::Error;
@@ -91,6 +104,10 @@ impl Error for AttackError {}
 /// under the *fixed* (identity) pin interpretation: does some doping
 /// configuration make the circuit equal `candidate` on every input?
 ///
+/// Routed through the sweep machinery ([`plausibility_sweep`]) so the
+/// single-candidate helper shares the batched path's encoding contract
+/// and screen-then-solve funnel instead of re-implementing them.
+///
 /// # Panics
 ///
 /// Panics if the candidate's shape does not match the netlist.
@@ -100,20 +117,7 @@ pub fn is_plausible(
     camo: &CamoLibrary,
     candidate: &VectorFunction,
 ) -> bool {
-    assert_eq!(
-        candidate.n_inputs(),
-        nl.inputs().len(),
-        "input arity mismatch"
-    );
-    assert_eq!(
-        candidate.n_outputs(),
-        nl.outputs().len(),
-        "output arity mismatch"
-    );
-    let mut cnf = encode_netlist(nl, lib, camo);
-    let mut assumptions = Vec::new();
-    candidate_assumptions(&cnf.row_outputs, candidate, &mut assumptions);
-    cnf.solver.solve_with(&assumptions)
+    plausibility_sweep(nl, lib, camo, std::slice::from_ref(candidate))[0]
 }
 
 /// Decides plausibility under the paper's interpretation freedom: the
@@ -157,6 +161,18 @@ pub struct AnyIoOptions {
     /// every member). Never changes a verdict or a witness; `false` is
     /// the brute-force baseline for tests and benches.
     pub prune: bool,
+    /// Runs the SAT-free screen in front of the solver
+    /// ([`CamoScreen`]): one word-parallel batch evaluation over all
+    /// enumerable doping configurations refutes (and, in the complete
+    /// regime, confirms) orbit representatives before any SAT query.
+    /// Never changes a verdict or a witness; automatically stands down
+    /// when the configuration product is too large to enumerate.
+    pub screen: bool,
+    /// Screening batch size (normalized to a power of two in
+    /// `64 ..= 2^16`); when the batch covers every input minterm the
+    /// screen is exact. Larger batches refute more chaff per build at
+    /// higher screening cost. Defaults to [`DEFAULT_SCREEN_VECTORS`].
+    pub screen_vectors: usize,
 }
 
 impl Default for AnyIoOptions {
@@ -164,6 +180,8 @@ impl Default for AnyIoOptions {
         AnyIoOptions {
             shards: 1,
             prune: true,
+            screen: true,
+            screen_vectors: DEFAULT_SCREEN_VECTORS,
         }
     }
 }
@@ -185,10 +203,15 @@ pub struct AnyIoVerdict {
     /// full refutation needs. Equals `orbit` when pruning is off or the
     /// candidate has no pin symmetries.
     pub unique: usize,
+    /// Representatives the SAT-free screen settled (refuted, or — in the
+    /// complete regime — confirmed as the witness) before any solver
+    /// call. `0` when screening is off or stood down. Deterministic for
+    /// every shard count: screening runs serially up front.
+    pub screened: usize,
     /// SAT queries actually issued. For an implausible candidate this is
-    /// exactly `unique`; when a witness exists, early exit cuts it short
-    /// and the count may vary with the shard count (the *verdict* never
-    /// does).
+    /// exactly `unique - screened`; when a witness exists, early exit
+    /// cuts it short and the count may vary with the shard count (the
+    /// *verdict* never does).
     pub queries: usize,
 }
 
@@ -433,11 +456,46 @@ pub fn plausibility_sweep_any_io_with(
         .iter()
         .map(|c| orbit_representatives(c, opts.prune))
         .collect();
-    let work: Vec<(u32, u32)> = reps_and_orbits
-        .iter()
-        .enumerate()
-        .flat_map(|(c, (reps, _))| reps.iter().map(move |&index| (c as u32, index)))
-        .collect();
+    // The SAT-free screen runs serially up front, so `screened` counts —
+    // and the surviving work list — are identical for every shard count.
+    let screen = opts
+        .screen
+        .then(|| CamoScreen::build(nl, lib, camo, candidates, opts.screen_vectors))
+        .flatten();
+    let mut screened = vec![0usize; candidates.len()];
+    let mut best_init = vec![usize::MAX; candidates.len()];
+    let work: Vec<(u32, u32)> = if let Some(screen) = &screen {
+        let out_fact: u64 = (1..=n_out as u64).product();
+        let mut scratch = OrbitScreenScratch::new();
+        let (mut unrank_tmp, mut ip, mut op) = (Vec::new(), Vec::new(), Vec::new());
+        let mut work = Vec::new();
+        for (c, (reps, _)) in reps_and_orbits.iter().enumerate() {
+            scratch.reset();
+            for &index in reps {
+                unrank_orbit_index(index, n_in, n_out, &mut unrank_tmp, &mut ip, &mut op);
+                let rank = u64::from(index) / out_fact;
+                match screen.classify_orbit(&candidates[c], rank, &ip, &op, &mut scratch) {
+                    ScreenOutcome::Refuted => screened[c] += 1,
+                    ScreenOutcome::Confirmed => {
+                        // Complete regime: every smaller representative
+                        // was exactly refuted, so this index is the
+                        // orbit-minimal witness — done with zero queries.
+                        screened[c] += 1;
+                        best_init[c] = index as usize;
+                        break;
+                    }
+                    ScreenOutcome::Unknown => work.push((c as u32, index)),
+                }
+            }
+        }
+        work
+    } else {
+        reps_and_orbits
+            .iter()
+            .enumerate()
+            .flat_map(|(c, (reps, _))| reps.iter().map(move |&index| (c as u32, index)))
+            .collect()
+    };
     let orbits: Vec<usize> = reps_and_orbits.iter().map(|(_, o)| *o).collect();
     let uniques: Vec<usize> = reps_and_orbits.iter().map(|(r, _)| r.len()).collect();
     let mut cnf = encode_netlist(nl, lib, camo);
@@ -447,10 +505,7 @@ pub fn plausibility_sweep_any_io_with(
     }
     .min(work.len())
     .max(1);
-    let best: Vec<AtomicUsize> = candidates
-        .iter()
-        .map(|_| AtomicUsize::new(usize::MAX))
-        .collect();
+    let best: Vec<AtomicUsize> = best_init.into_iter().map(AtomicUsize::new).collect();
     let queries: Vec<AtomicUsize> = candidates.iter().map(|_| AtomicUsize::new(0)).collect();
     if shards <= 1 {
         any_io_stripe(
@@ -502,6 +557,7 @@ pub fn plausibility_sweep_any_io_with(
                 witness,
                 orbit: orbits[j],
                 unique: uniques[j],
+                screened: screened[j],
                 queries: queries[j].load(Ordering::Relaxed),
             }
         })
@@ -533,6 +589,170 @@ pub fn plausibility_sweep(
     plausibility_sweep_sharded(nl, lib, camo, candidates, 1)
 }
 
+/// Options for the identity-interpretation sweep
+/// ([`plausibility_sweep_with`]).
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker shards striping the SAT-pending candidates over
+    /// [`mvf_sat::Solver::clone_db`] clones. `0` uses the available
+    /// hardware parallelism; `<= 1` runs serially. Verdicts are
+    /// bit-identical for every value.
+    pub shards: usize,
+    /// Runs the SAT-free screen ([`CamoScreen`]) in front of the
+    /// solver. Never changes a verdict; stands down automatically when
+    /// the configuration product is too large to enumerate.
+    pub screen: bool,
+    /// Screening batch size — see [`AnyIoOptions::screen_vectors`].
+    pub screen_vectors: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            shards: 1,
+            screen: true,
+            screen_vectors: DEFAULT_SCREEN_VECTORS,
+        }
+    }
+}
+
+/// The per-candidate result of an identity-interpretation sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepVerdict {
+    /// Whether some doping configuration makes the circuit equal the
+    /// candidate under the identity pin interpretation.
+    pub plausible: bool,
+    /// Whether the SAT-free screen settled the verdict on its own
+    /// (refuted, or confirmed in the complete regime) — `false` means
+    /// the solver was consulted.
+    pub screened: bool,
+}
+
+/// The fully configurable identity-interpretation sweep behind
+/// [`plausibility_sweep`] / [`plausibility_sweep_sharded`]: candidates
+/// the screen settles never reach the solver; the rest are answered by
+/// one incremental encoding, serial or striped over cloned solvers.
+///
+/// # Panics
+///
+/// Panics if any candidate's shape does not match the netlist.
+pub fn plausibility_sweep_with(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    candidates: &[VectorFunction],
+    opts: &SweepOptions,
+) -> Vec<SweepVerdict> {
+    for candidate in candidates {
+        assert_eq!(
+            candidate.n_inputs(),
+            nl.inputs().len(),
+            "input arity mismatch"
+        );
+        assert_eq!(
+            candidate.n_outputs(),
+            nl.outputs().len(),
+            "output arity mismatch"
+        );
+    }
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let screen = opts
+        .screen
+        .then(|| CamoScreen::build(nl, lib, camo, candidates, opts.screen_vectors))
+        .flatten();
+    let mut verdicts: Vec<Option<SweepVerdict>> = vec![None; candidates.len()];
+    let mut pending: Vec<usize> = Vec::new();
+    if let Some(screen) = &screen {
+        for (j, candidate) in candidates.iter().enumerate() {
+            match screen.classify_identity(candidate) {
+                ScreenOutcome::Refuted => {
+                    verdicts[j] = Some(SweepVerdict {
+                        plausible: false,
+                        screened: true,
+                    });
+                }
+                ScreenOutcome::Confirmed => {
+                    verdicts[j] = Some(SweepVerdict {
+                        plausible: true,
+                        screened: true,
+                    });
+                }
+                ScreenOutcome::Unknown => pending.push(j),
+            }
+        }
+    } else {
+        pending.extend(0..candidates.len());
+    }
+    if !pending.is_empty() {
+        let mut cnf = encode_netlist(nl, lib, camo);
+        let shards = match opts.shards {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(pending.len());
+        if shards <= 1 {
+            let mut assumptions = Vec::new();
+            for &j in &pending {
+                // Saved phases are a per-candidate heuristic: polarities
+                // a long UNSAT proof settled into would otherwise leak
+                // into the next candidate's query and steer it wrong.
+                cnf.solver.reset_phases();
+                candidate_assumptions(&cnf.row_outputs, &candidates[j], &mut assumptions);
+                verdicts[j] = Some(SweepVerdict {
+                    plausible: cnf.solver.solve_with(&assumptions),
+                    screened: false,
+                });
+            }
+        } else {
+            // One cloned solver per shard; pending candidates striped
+            // (worker w answers pending[w], pending[w + shards], ...) so
+            // expensive candidates spread out. Results are re-stitched
+            // by index, preserving input order exactly.
+            let row_outputs = &cnf.row_outputs;
+            let solver = &cnf.solver;
+            let pending_ref = &pending;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut local = solver.clone_db();
+                            let mut assumptions = Vec::new();
+                            pending_ref
+                                .iter()
+                                .skip(w)
+                                .step_by(shards)
+                                .map(|&j| {
+                                    local.reset_phases();
+                                    candidate_assumptions(
+                                        row_outputs,
+                                        &candidates[j],
+                                        &mut assumptions,
+                                    );
+                                    (j, local.solve_with(&assumptions))
+                                })
+                                .collect::<Vec<(usize, bool)>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (j, plausible) in h.join().expect("sweep shard panicked") {
+                        verdicts[j] = Some(SweepVerdict {
+                            plausible,
+                            screened: false,
+                        });
+                    }
+                }
+            });
+        }
+    }
+    verdicts
+        .into_iter()
+        .map(|v| v.expect("every candidate is resolved by screen or solver"))
+        .collect()
+}
+
 /// [`plausibility_sweep`] sharded across worker threads: the netlist is
 /// encoded once, the encoded solver (clause arena, watch lists, VSIDS
 /// state) is cloned per shard via [`mvf_sat::Solver::clone_db`], and the
@@ -557,70 +777,19 @@ pub fn plausibility_sweep_sharded(
     candidates: &[VectorFunction],
     shards: usize,
 ) -> Vec<bool> {
-    for candidate in candidates {
-        assert_eq!(
-            candidate.n_inputs(),
-            nl.inputs().len(),
-            "input arity mismatch"
-        );
-        assert_eq!(
-            candidate.n_outputs(),
-            nl.outputs().len(),
-            "output arity mismatch"
-        );
-    }
-    let mut cnf = encode_netlist(nl, lib, camo);
-    let shards = match shards {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        n => n,
-    }
-    .min(candidates.len());
-    if shards <= 1 {
-        let mut verdicts = Vec::with_capacity(candidates.len());
-        let mut assumptions = Vec::new();
-        for candidate in candidates {
-            // Saved phases are a per-candidate heuristic: polarities a
-            // long UNSAT proof settled into would otherwise leak into
-            // the next candidate's query and steer it wrong.
-            cnf.solver.reset_phases();
-            candidate_assumptions(&cnf.row_outputs, candidate, &mut assumptions);
-            verdicts.push(cnf.solver.solve_with(&assumptions));
-        }
-        return verdicts;
-    }
-    // One cloned solver per shard; candidates striped (worker w answers
-    // j = w, w + shards, ...) so expensive candidates spread out. Results
-    // are re-stitched by index, preserving input order exactly.
-    let mut verdicts = vec![false; candidates.len()];
-    let row_outputs = &cnf.row_outputs;
-    let solver = &cnf.solver;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut local = solver.clone_db();
-                    let mut assumptions = Vec::new();
-                    candidates
-                        .iter()
-                        .enumerate()
-                        .skip(w)
-                        .step_by(shards)
-                        .map(|(j, candidate)| {
-                            local.reset_phases();
-                            candidate_assumptions(row_outputs, candidate, &mut assumptions);
-                            (j, local.solve_with(&assumptions))
-                        })
-                        .collect::<Vec<(usize, bool)>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            for (j, v) in h.join().expect("sweep shard panicked") {
-                verdicts[j] = v;
-            }
-        }
-    });
-    verdicts
+    plausibility_sweep_with(
+        nl,
+        lib,
+        camo,
+        candidates,
+        &SweepOptions {
+            shards,
+            ..SweepOptions::default()
+        },
+    )
+    .into_iter()
+    .map(|v| v.plausible)
+    .collect()
 }
 
 /// Builds the paper's baseline: synthesize a *single* function, map it to

@@ -1,0 +1,355 @@
+//! SAT-free probabilistic screening: the simulate-first half of the
+//! screen-then-solve funnel.
+//!
+//! Before any plausibility query reaches the solver, the camouflaged
+//! netlist is evaluated **once** on a batch of input vectors with every
+//! enumerable doping configuration carried as extra word-parallel
+//! variables (the [`mvf_sim::eval_camo_netlist_vectors`] primitive). A
+//! candidate is compared against the cached per-config output words; a
+//! configuration that disagrees on any sampled vector is cleared from
+//! the candidate's surviving-config mask, and an **empty mask refutes
+//! the candidate with zero SAT calls** — soundly, because the SAT
+//! encoding's configuration space is exactly the per-cell product the
+//! screen enumerates (one independent exactly-one selector group per
+//! camouflaged cell).
+//!
+//! Because circuit evaluation is permutation-independent, the same
+//! cached batch serves every candidate of a sweep *and* every
+//! `(in_perm, out_perm)` orbit point: comparing a permuted candidate is
+//! a permuted-index gather against the cached words, not a re-simulation.
+//!
+//! Two regimes, both verdict-preserving:
+//!
+//! * **complete** — the vector batch covers all `2^n_in` minterms, so
+//!   agreement on the batch *is* functional equality: the screen both
+//!   refutes and confirms, and a confirmed orbit representative is the
+//!   witness (every smaller representative was exactly refuted first);
+//! * **sampling** — fewer vectors than minterms (deterministic SplitMix64
+//!   stream seeded from the candidate batch): the screen only refutes,
+//!   and surviving candidates fall through to SAT unchanged.
+//!
+//! When the configuration product exceeds [`MAX_SCREEN_CONFIGS`] (real
+//! mapped circuits camouflage dozens of cells, each with 3–5 plausible
+//! functions) the screen stands down and the sweep is SAT-only —
+//! trivially bit-identical to screening disabled.
+
+use std::collections::HashMap;
+
+use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::{TruthTable, VectorFunction, MAX_VARS};
+use mvf_netlist::{CellId, CellRef, Netlist};
+use mvf_sim::eval_camo_netlist_vectors;
+
+/// Hard cap on the enumerable configuration product: above this the
+/// screen disables itself rather than enumerate an exponential space.
+pub const MAX_SCREEN_CONFIGS: usize = 4096;
+
+/// Default screening batch size (vectors per candidate comparison).
+/// Overridable per sweep via the options structs and, for the bench
+/// harness, the `MVF_SCREEN_VECTORS` env knob.
+pub const DEFAULT_SCREEN_VECTORS: usize = 256;
+
+/// One SplitMix64 step — the same generator the workload seeding uses,
+/// so screening vectors are deterministic functions of their seed alone.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds the candidate batch's truth-table words into the stream seed:
+/// the same sweep over the same candidates screens with the same
+/// vectors, regardless of process or host.
+fn batch_seed(candidates: &[VectorFunction]) -> u64 {
+    let mut seed = 0x5EED_5C2E_E45C_2EE5u64;
+    for f in candidates {
+        for tt in f.outputs() {
+            for &w in tt.words() {
+                seed = splitmix64(seed ^ w);
+            }
+        }
+    }
+    seed
+}
+
+/// What the screen decided for one candidate (or orbit representative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScreenOutcome {
+    /// Every enumerated configuration disagreed on a sampled vector:
+    /// refuted, no SAT call needed. Sound in both regimes.
+    Refuted,
+    /// Some configuration agreed on *all* minterms (complete regime
+    /// only): plausible, no SAT call needed.
+    Confirmed,
+    /// Survivors remain but the batch is sampled: the solver decides.
+    Unknown,
+}
+
+/// The cached batch evaluation shared by every comparison of one sweep.
+pub struct CamoScreen {
+    /// `out_words[j][o][w]`: bit `b` is output `o` of the circuit under
+    /// configuration `j` on input `vectors[64 w + b]`.
+    out_words: Vec<Vec<Vec<u64>>>,
+    /// The screening input vectors (each below `2^n_in`).
+    vectors: Vec<u64>,
+    /// Whether `vectors` covers every minterm (exact screening).
+    complete: bool,
+    n_out: usize,
+}
+
+/// Per-candidate scratch for orbit screening: the gathered candidate
+/// columns are cached per input permutation (output permutations only
+/// re-select columns), and reset between candidates.
+pub(crate) struct OrbitScreenScratch {
+    /// `cols[i][w]`: bit `b` is `f.output(i)` evaluated at the
+    /// `in_perm`-gathered image of `vectors[64 w + b]`.
+    cols: Vec<Vec<u64>>,
+    /// Flat orbit rank of the input permutation `cols` was built for
+    /// (`u64::MAX` = none yet).
+    cur_ip: u64,
+    inv_op: Vec<usize>,
+}
+
+impl OrbitScreenScratch {
+    pub(crate) fn new() -> Self {
+        OrbitScreenScratch {
+            cols: Vec::new(),
+            cur_ip: u64::MAX,
+            inv_op: Vec::new(),
+        }
+    }
+
+    /// Invalidates the column cache (call between candidates).
+    pub(crate) fn reset(&mut self) {
+        self.cur_ip = u64::MAX;
+    }
+}
+
+impl CamoScreen {
+    /// Builds the screen for one sweep: enumerates the doping
+    /// configuration product (bailing to `None` past
+    /// [`MAX_SCREEN_CONFIGS`]), draws the vector batch — all minterms
+    /// when they fit (`complete`), a SplitMix64 sample seeded from the
+    /// candidate batch otherwise — and evaluates the netlist once for
+    /// every `(configuration, vector)` pair.
+    pub fn build(
+        nl: &Netlist,
+        lib: &Library,
+        camo: &CamoLibrary,
+        candidates: &[VectorFunction],
+        n_vectors: usize,
+    ) -> Option<CamoScreen> {
+        let n_in = nl.inputs().len();
+        if n_in == 0 || n_in > MAX_VARS {
+            return None;
+        }
+        let configs = enumerate_configs(nl, camo)?;
+        // Normalize the batch size to the simulator's contract: a power
+        // of two with at least one full word per configuration block.
+        let requested = n_vectors.next_power_of_two().clamp(64, 1usize << MAX_VARS);
+        let minterms = 1usize << n_in;
+        let (complete, vectors): (bool, Vec<u64>) = if minterms <= requested {
+            // Complete regime: cycle the minterms up to word granularity
+            // so the batch stays as small as exactness allows.
+            let v = minterms.max(64);
+            (true, (0..v as u64).map(|m| m % minterms as u64).collect())
+        } else {
+            let mask = (1u64 << n_in) - 1;
+            let seed = batch_seed(candidates);
+            (
+                false,
+                (0..requested as u64)
+                    .map(|i| splitmix64(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & mask)
+                    .collect(),
+            )
+        };
+        let out_words = eval_camo_netlist_vectors(nl, lib, camo, &configs, &vectors)
+            .expect("enumerated configurations are plausible by construction");
+        Some(CamoScreen {
+            out_words,
+            vectors,
+            complete,
+            n_out: nl.outputs().len(),
+        })
+    }
+
+    /// The surviving-config mask of `candidate` under the identity
+    /// interpretation: `mask[j]` is `true` iff configuration `j` agrees
+    /// with the candidate on every screening vector. Configurations are
+    /// indexed over the camouflaged cells in netlist topological order —
+    /// the last cell varying fastest — with each cell's plausible set in
+    /// its sorted order. Exposed so tests can cross-check the mask
+    /// against exhaustive per-configuration circuit evaluation.
+    pub fn survivors(&self, candidate: &VectorFunction) -> Vec<bool> {
+        let want = self.identity_columns(candidate);
+        self.out_words
+            .iter()
+            .map(|per_cfg| per_cfg.iter().zip(&want).all(|(got, w)| got == w))
+            .collect()
+    }
+
+    /// Screens `candidate` under the identity interpretation.
+    pub(crate) fn classify_identity(&self, candidate: &VectorFunction) -> ScreenOutcome {
+        let want = self.identity_columns(candidate);
+        self.classify_against(&want)
+    }
+
+    /// Screens the orbit point `(in_perm, out_perm)` of `candidate`:
+    /// equivalent to [`classify_identity`](Self::classify_identity) on
+    /// `candidate.permute_inputs(ip).permute_outputs(op)`, but served
+    /// from the cached batch by a permuted-index gather. `ip_rank` keys
+    /// the per-input-permutation column cache in `scratch`.
+    pub(crate) fn classify_orbit(
+        &self,
+        candidate: &VectorFunction,
+        ip_rank: u64,
+        in_perm: &[usize],
+        out_perm: &[usize],
+        scratch: &mut OrbitScreenScratch,
+    ) -> ScreenOutcome {
+        let wpv = self.vectors.len() / 64;
+        if scratch.cur_ip != ip_rank {
+            // h = f.permute_inputs(ip) means h(x) = f(y) with bit v of
+            // y equal to bit ip[v] of x — gather once per in-perm, for
+            // all outputs in one pass.
+            scratch.cols.clear();
+            scratch.cols.resize_with(self.n_out, || vec![0u64; wpv]);
+            for (m, &x) in self.vectors.iter().enumerate() {
+                let mut y = 0usize;
+                for (v, &src) in in_perm.iter().enumerate() {
+                    y |= (((x >> src) & 1) as usize) << v;
+                }
+                let e = candidate.eval(y);
+                for (i, col) in scratch.cols.iter_mut().enumerate() {
+                    col[m / 64] |= u64::from((e >> i) & 1) << (m % 64);
+                }
+            }
+            scratch.cur_ip = ip_rank;
+        }
+        // Output permutation: output o of the permuted candidate is
+        // original output inv_op[o], a pure column re-selection.
+        scratch.inv_op.clear();
+        scratch.inv_op.resize(out_perm.len(), 0);
+        for (i, &dst) in out_perm.iter().enumerate() {
+            scratch.inv_op[dst] = i;
+        }
+        let survivor = self.out_words.iter().any(|per_cfg| {
+            per_cfg
+                .iter()
+                .enumerate()
+                .all(|(o, got)| *got == scratch.cols[scratch.inv_op[o]])
+        });
+        self.outcome(survivor)
+    }
+
+    /// Whether the batch covers every minterm (the screen is exact).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Vectors per comparison (the batch length).
+    pub fn n_vectors(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// The candidate's per-output column words on the screening batch.
+    fn identity_columns(&self, candidate: &VectorFunction) -> Vec<Vec<u64>> {
+        let wpv = self.vectors.len() / 64;
+        let mut cols = vec![vec![0u64; wpv]; self.n_out];
+        for (m, &x) in self.vectors.iter().enumerate() {
+            let e = candidate.eval(x as usize);
+            for (i, col) in cols.iter_mut().enumerate() {
+                col[m / 64] |= u64::from((e >> i) & 1) << (m % 64);
+            }
+        }
+        cols
+    }
+
+    fn classify_against(&self, want: &[Vec<u64>]) -> ScreenOutcome {
+        let survivor = self
+            .out_words
+            .iter()
+            .any(|per_cfg| per_cfg.iter().zip(want).all(|(got, w)| got == w));
+        self.outcome(survivor)
+    }
+
+    fn outcome(&self, survivor: bool) -> ScreenOutcome {
+        match (survivor, self.complete) {
+            (false, _) => ScreenOutcome::Refuted,
+            (true, true) => ScreenOutcome::Confirmed,
+            (true, false) => ScreenOutcome::Unknown,
+        }
+    }
+}
+
+/// Enumerates the full doping-configuration product of the netlist's
+/// camouflaged cells in topological cell order (an odometer over each
+/// cell's sorted plausible set), or `None` when the product exceeds
+/// [`MAX_SCREEN_CONFIGS`]. The product mirrors the SAT encoding's
+/// selector space exactly: one independent choice per camouflaged cell.
+fn enumerate_configs(nl: &Netlist, camo: &CamoLibrary) -> Option<Vec<HashMap<CellId, TruthTable>>> {
+    let mut cells: Vec<(CellId, &[TruthTable])> = Vec::new();
+    let mut product = 1usize;
+    for cid in nl.topo_cells() {
+        if let CellRef::Camo(id) = nl.cell(cid).cell {
+            let plausible = camo.cell(id).plausible();
+            product = product
+                .checked_mul(plausible.len())
+                .filter(|&p| p <= MAX_SCREEN_CONFIGS)?;
+            cells.push((cid, plausible));
+        }
+    }
+    let mut configs = Vec::with_capacity(product);
+    let mut odometer = vec![0usize; cells.len()];
+    loop {
+        configs.push(
+            cells
+                .iter()
+                .zip(&odometer)
+                .map(|(&(cid, plausible), &d)| (cid, plausible[d].clone()))
+                .collect(),
+        );
+        // Advance the least-significant digit (the last camo cell).
+        let mut pos = cells.len();
+        loop {
+            if pos == 0 {
+                return Some(configs);
+            }
+            pos -= 1;
+            odometer[pos] += 1;
+            if odometer[pos] < cells[pos].1.len() {
+                break;
+            }
+            odometer[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_stream_is_deterministic_and_batch_seeded() {
+        let f = VectorFunction::from_lookup_table(3, 3, &[1, 0, 3, 2, 5, 7, 6, 4]).unwrap();
+        let g = VectorFunction::from_lookup_table(3, 3, &[0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        let one_f = std::slice::from_ref(&f);
+        assert_eq!(batch_seed(one_f), batch_seed(one_f));
+        assert_ne!(batch_seed(one_f), batch_seed(std::slice::from_ref(&g)));
+        assert_ne!(splitmix64(0), splitmix64(1));
+    }
+
+    #[test]
+    fn config_enumeration_caps_the_product() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        // An empty netlist has product 1: exactly one (empty) config.
+        let mut nl = Netlist::new("wire".to_string());
+        let a = nl.add_input("a".to_string());
+        nl.add_output("y".to_string(), a);
+        let configs = enumerate_configs(&nl, &camo).unwrap();
+        assert_eq!(configs.len(), 1);
+        assert!(configs[0].is_empty());
+    }
+}

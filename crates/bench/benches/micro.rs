@@ -4,9 +4,10 @@
 //! batched vs re-encoding SAT plausibility sweeps (`sat_sweep`),
 //! order-heap vs linear-scan SAT decisions (`sat_decide`), sharded vs
 //! serial plausibility sweeps (`sweep_parallel`), signature-pruned
-//! interpretation-freedom sweeps (`sweep_any_io`), CSR vs nested cut
-//! enumeration (`cuts_csr`), word-parallel vs per-config camouflage
-//! validation (`camo_fitness`), and 4-wide chunked vs scalar
+//! interpretation-freedom sweeps (`sweep_any_io`), the SAT-free
+//! screen-then-solve funnel vs a SAT-only sweep (`sat_screen`), CSR vs
+//! nested cut enumeration (`cuts_csr`), word-parallel vs per-config
+//! camouflage validation (`camo_fitness`), and 8-wide chunked vs scalar
 //! truth-table word kernels (`tt_kernels`).
 //!
 //! Results are printed and written as machine-readable JSON to
@@ -469,6 +470,7 @@ fn main() {
         &mvf_attack::AnyIoOptions {
             shards: 1,
             prune: false,
+            ..mvf_attack::AnyIoOptions::default()
         },
     );
     assert!(
@@ -505,6 +507,141 @@ fn main() {
         "any-io sharded: {any_io_sharded_ns:>11.0} ns / candidate ({any_io_shards} solver clones)"
     );
     println!("any-io speedup: {any_io_speedup:>11.2}x (bit-identical verdicts + witnesses)");
+
+    // --- Screen-then-solve: SAT-free refutation vs SAT-only sweep. -----
+    // A hand-built 3-camo-cell circuit keeps the doping-configuration
+    // product (5 · 3 · 5 = 75) enumerable, so the screen engages; with
+    // the default batch the 3-input screen is complete (all minterms
+    // covered) and settles every orbit representative without a single
+    // SAT query. Verdicts and witnesses must match the SAT-only sweep
+    // bit for bit.
+    let screen_vectors = mvf_bench::screen_vectors();
+    let screen_target = {
+        use mvf_netlist::{CellRef, Netlist};
+        let camo_id = |name: &str| {
+            camo.iter()
+                .find(|(_, cc)| cc.name() == name)
+                .expect("camouflaged cell exists")
+                .0
+        };
+        let mut nl = Netlist::new("screen_demo".to_string());
+        let a = nl.add_input("a".to_string());
+        let b = nl.add_input("b".to_string());
+        let c = nl.add_input("c".to_string());
+        let (_, y0) = nl.add_cell(
+            "u0".to_string(),
+            CellRef::Camo(camo_id("NAND2")),
+            vec![a, b],
+        );
+        let (_, y1) = nl.add_cell("u1".to_string(), CellRef::Camo(camo_id("INV")), vec![c]);
+        let (_, y2) = nl.add_cell(
+            "u2".to_string(),
+            CellRef::Camo(camo_id("AND2")),
+            vec![y0, y1],
+        );
+        nl.add_output("y0".to_string(), y0);
+        nl.add_output("y1".to_string(), y1);
+        nl.add_output("y2".to_string(), y2);
+        nl
+    };
+    // The circuit's true function under the look-alike reading, plus a
+    // pin-scrambled copy (witness mid-orbit) and the implausible chaff
+    // from the any-IO corpus.
+    let screen_true = {
+        let table: Vec<u16> = (0..8u16)
+            .map(|m| {
+                let (a, b, c) = (m & 1, (m >> 1) & 1, (m >> 2) & 1);
+                let y0 = 1 - (a & b);
+                let y1 = 1 - c;
+                y0 | (y1 << 1) | ((y0 & y1) << 2)
+            })
+            .collect();
+        mvf_logic::VectorFunction::from_lookup_table(3, 3, &table).unwrap()
+    };
+    let screen_candidates = vec![
+        screen_true.clone(),
+        screen_true
+            .permute_inputs(&[2, 0, 1])
+            .unwrap()
+            .permute_outputs(&[1, 2, 0])
+            .unwrap(),
+        any_io_candidates[1].clone(),
+        any_io_candidates[2].clone(),
+    ];
+    let screen_on_opts = mvf_attack::AnyIoOptions {
+        screen_vectors,
+        ..mvf_attack::AnyIoOptions::default()
+    };
+    let screen_off_opts = mvf_attack::AnyIoOptions {
+        screen: false,
+        ..mvf_attack::AnyIoOptions::default()
+    };
+    let screen_on = mvf_attack::plausibility_sweep_any_io_with(
+        &screen_target,
+        &lib,
+        &camo,
+        &screen_candidates,
+        &screen_on_opts,
+    );
+    let screen_off = mvf_attack::plausibility_sweep_any_io_with(
+        &screen_target,
+        &lib,
+        &camo,
+        &screen_candidates,
+        &screen_off_opts,
+    );
+    let sat_screen_identical = screen_on
+        .iter()
+        .zip(&screen_off)
+        .all(|(a, b)| a.plausible == b.plausible && a.witness == b.witness);
+    assert!(
+        sat_screen_identical,
+        "screening must not change any verdict or witness"
+    );
+    let sat_screen_vectors = mvf_attack::CamoScreen::build(
+        &screen_target,
+        &lib,
+        &camo,
+        &screen_candidates,
+        screen_vectors,
+    )
+    .expect("3-camo-cell product is enumerable")
+    .n_vectors();
+    let sat_screened: usize = screen_on.iter().map(|v| v.screened).sum();
+    let sat_screen_queries: usize = screen_on.iter().map(|v| v.queries).sum();
+    let sat_screen_queries_off: usize = screen_off.iter().map(|v| v.queries).sum();
+    let sat_screen_saved = sat_screen_queries_off - sat_screen_queries;
+    assert!(
+        sat_screen_saved > 0,
+        "the screen must save SAT queries on the bench corpus"
+    );
+    let sat_screen_on_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_any_io_with(
+            black_box(&screen_target),
+            &lib,
+            &camo,
+            &screen_candidates,
+            &screen_on_opts,
+        ));
+    }) / screen_candidates.len() as f64;
+    let sat_screen_off_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_any_io_with(
+            black_box(&screen_target),
+            &lib,
+            &camo,
+            &screen_candidates,
+            &screen_off_opts,
+        ));
+    }) / screen_candidates.len() as f64;
+    let sat_screen_speedup = sat_screen_off_ns / sat_screen_on_ns;
+    println!(
+        "screen off : {sat_screen_off_ns:>12.0} ns / candidate ({sat_screen_queries_off} SAT queries)"
+    );
+    println!(
+        "screen on  : {sat_screen_on_ns:>12.0} ns / candidate \
+         ({sat_screen_vectors} vectors, {sat_screened} screened, {sat_screen_queries} queries)"
+    );
+    println!("screen speedup: {sat_screen_speedup:>10.2}x (bit-identical verdicts + witnesses)");
 
     // --- Cut enumeration: nested Vec<Vec<Cut>> vs flat CSR CutSet. -----
     let cut_graph = build_random_aig(12, 600, 0xC5_0002);
@@ -635,7 +772,7 @@ fn main() {
     println!("camo speedup: {camo_speedup:>11.2}x");
     println!("camo map   : {camo_map_cold_ns:>12.0} ns cold, {camo_map_warm_ns:>12.0} ns warm");
 
-    // --- Truth-table kernels: 4-wide chunked vs scalar word loops. -----
+    // --- Truth-table kernels: 8-wide chunked vs scalar word loops. -----
     // 14-variable tables (256 words per slot) — the regime the
     // word-parallel validator reaches once config variables widen the
     // space — ANDed down a dependency chain.
@@ -682,7 +819,7 @@ fn main() {
     });
     let tt_speedup = tt_scalar_ns / tt_chunked_ns;
     println!("tt scalar  : {tt_scalar_ns:>12.0} ns / {tt_slots}-slot chain (per-word loop)");
-    println!("tt chunked : {tt_chunked_ns:>12.0} ns / {tt_slots}-slot chain (4-wide kernels)");
+    println!("tt chunked : {tt_chunked_ns:>12.0} ns / {tt_slots}-slot chain (8-wide kernels)");
     println!("tt speedup : {tt_speedup:>12.2}x ({tt_vars}-var tables, {words_per_slot} words)");
 
     // --- Machine-readable record. ------------------------------------
@@ -746,6 +883,18 @@ fn main() {
             "    \"unique\": {},\n",
             "    \"serial_ns\": {:.0},\n",
             "    \"sharded_ns\": {:.0},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"bit_identical\": {}\n",
+            "  }},\n",
+            "  \"sat_screen\": {{\n",
+            "    \"workload\": \"3-camo-cell screen demo, interpretation freedom\",\n",
+            "    \"candidates\": {},\n",
+            "    \"vectors\": {},\n",
+            "    \"screened\": {},\n",
+            "    \"queries\": {},\n",
+            "    \"queries_saved\": {},\n",
+            "    \"off_ns\": {:.0},\n",
+            "    \"on_ns\": {:.0},\n",
             "    \"speedup\": {:.2},\n",
             "    \"bit_identical\": {}\n",
             "  }},\n",
@@ -813,6 +962,15 @@ fn main() {
         any_io_sharded_ns,
         any_io_speedup,
         any_io_identical,
+        screen_candidates.len(),
+        sat_screen_vectors,
+        sat_screened,
+        sat_screen_queries,
+        sat_screen_saved,
+        sat_screen_off_ns,
+        sat_screen_on_ns,
+        sat_screen_speedup,
+        sat_screen_identical,
         cut_graph.n_ands(),
         k,
         max_cuts,

@@ -11,6 +11,7 @@
 //! | `MVF_GA_GENS` | GA generations | 5 |
 //! | `MVF_PAPER_SCALE` | population 24 / generations ~415 as in the paper | off |
 //! | `MVF_THREADS` | fitness-evaluation worker threads (`parallel` feature; results are bit-identical to serial) | all cores |
+//! | `MVF_SCREEN_VECTORS` | screening batch size of the `micro` bench's screen-then-solve section (verdicts are bit-identical for every value) | 256 |
 //! | `MVF_BENCH_OUT` | path of the `micro` bench's JSON report | `BENCH_sim.json` at the repo root |
 //!
 //! Parallel fitness evaluation is compiled in through the `parallel`
@@ -88,4 +89,12 @@ pub fn bench_config() -> FlowConfig {
 /// Builds the flow for benchmarking.
 pub fn bench_flow() -> Flow<Ga> {
     Flow::builder().config(bench_config()).build()
+}
+
+/// The screening batch size for the screen-then-solve bench section
+/// (`MVF_SCREEN_VECTORS`, default [`mvf_attack::DEFAULT_SCREEN_VECTORS`]).
+/// Screening never changes a verdict, so every value is safe; larger
+/// batches refute more chaff per screen build at higher screening cost.
+pub fn screen_vectors() -> usize {
+    env_usize("MVF_SCREEN_VECTORS", mvf_attack::DEFAULT_SCREEN_VECTORS)
 }

@@ -108,7 +108,7 @@ pub struct RandomBaseline {
 /// assert_eq!(result.failed_evaluations, 0);
 /// # Ok::<(), mvf::MvfError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FlowBuilder {
     config: FlowConfig,
     lib: Option<Library>,
@@ -117,6 +117,24 @@ pub struct FlowBuilder {
     attack_sweep: bool,
     attack_shards: usize,
     attack_interpretation_freedom: bool,
+    attack_screen: bool,
+}
+
+impl Default for FlowBuilder {
+    fn default() -> Self {
+        FlowBuilder {
+            config: FlowConfig::default(),
+            lib: None,
+            camo: None,
+            workload_threads: 0,
+            attack_sweep: false,
+            attack_shards: 0,
+            attack_interpretation_freedom: false,
+            // The screen-then-solve funnel never changes a verdict, so
+            // it is on unless an audit explicitly wants SAT-only runs.
+            attack_screen: true,
+        }
+    }
 }
 
 impl FlowBuilder {
@@ -235,6 +253,20 @@ impl FlowBuilder {
         self
     }
 
+    /// Enables or disables the red-team pass's SAT-free screen (the
+    /// screen-then-solve funnel, on by default): a word-parallel batch
+    /// simulation over all enumerable doping configurations refutes —
+    /// and, when the batch covers every minterm, confirms — candidates
+    /// before any SAT query. Verdicts and witness permutations are
+    /// bit-identical either way; only the
+    /// [`PlausibilityVerdict::queries`](crate::PlausibilityVerdict)
+    /// count changes. Disable for SAT-only audit baselines.
+    #[must_use]
+    pub fn attack_screen(mut self, enabled: bool) -> Self {
+        self.attack_screen = enabled;
+        self
+    }
+
     /// Builds a flow with the default [`Ga`] strategy configured from
     /// [`FlowConfig::ga`].
     pub fn build(self) -> Flow<Ga> {
@@ -255,6 +287,7 @@ impl FlowBuilder {
             attack_sweep: self.attack_sweep,
             attack_shards: self.attack_shards,
             attack_interpretation_freedom: self.attack_interpretation_freedom,
+            attack_screen: self.attack_screen,
         }
     }
 }
@@ -273,6 +306,7 @@ pub struct Flow<S = Ga> {
     pub(crate) attack_sweep: bool,
     pub(crate) attack_shards: usize,
     pub(crate) attack_interpretation_freedom: bool,
+    pub(crate) attack_screen: bool,
 }
 
 impl Flow<Ga> {

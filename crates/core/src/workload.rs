@@ -69,6 +69,13 @@ pub struct PlausibilityVerdict {
     /// which the permuted function is plausible. Deterministic for every
     /// shard count.
     pub witness_perm: Option<(Vec<usize>, Vec<usize>)>,
+    /// Queries the SAT-free screen settled before any solver call
+    /// ([`FlowBuilder::attack_screen`](crate::FlowBuilder::attack_screen)):
+    /// orbit representatives for the full adversary, `0` or `1` for the
+    /// identity-only sweep. `0` when screening is off or stood down.
+    pub screened: usize,
+    /// SAT queries actually issued for this function's verdict.
+    pub queries: usize,
 }
 
 /// The per-workload result of a [`Flow::run_many`] batch.
@@ -211,12 +218,16 @@ impl<S: SearchStrategy> Flow<S> {
                         (0..n_in).collect::<Vec<_>>(),
                         (0..n_out).collect::<Vec<_>>(),
                     );
-                    let any_io = mvf_attack::plausibility_sweep_any_io_sharded(
+                    let any_io = mvf_attack::plausibility_sweep_any_io_with(
                         &result.mapped.netlist,
                         &self.lib,
                         &self.camo,
                         &result.merged.functions,
-                        shards,
+                        &mvf_attack::AnyIoOptions {
+                            shards,
+                            screen: self.attack_screen,
+                            ..mvf_attack::AnyIoOptions::default()
+                        },
                     );
                     Some(
                         any_io
@@ -225,24 +236,32 @@ impl<S: SearchStrategy> Flow<S> {
                                 identity: v.witness.as_ref() == Some(&id_pair),
                                 any_io: Some(v.plausible),
                                 witness_perm: v.witness,
+                                screened: v.screened,
+                                queries: v.queries,
                             })
                             .collect(),
                     )
                 } else {
-                    let identity = mvf_attack::plausibility_sweep_sharded(
+                    let identity = mvf_attack::plausibility_sweep_with(
                         &result.mapped.netlist,
                         &self.lib,
                         &self.camo,
                         &result.merged.functions,
-                        shards,
+                        &mvf_attack::SweepOptions {
+                            shards,
+                            screen: self.attack_screen,
+                            ..mvf_attack::SweepOptions::default()
+                        },
                     );
                     Some(
                         identity
                             .into_iter()
-                            .map(|identity| PlausibilityVerdict {
-                                identity,
+                            .map(|v| PlausibilityVerdict {
+                                identity: v.plausible,
                                 any_io: None,
                                 witness_perm: None,
+                                screened: usize::from(v.screened),
+                                queries: usize::from(!v.screened),
                             })
                             .collect(),
                     )

@@ -15,64 +15,77 @@ const WORD_VAR: [u64; 6] = [
 ];
 
 /// Applies `f` word-by-word: `dst[i] = f(dst[i], src[i])`, unrolled in
-/// 4-wide chunks.
+/// 8-wide `[u64; 8]` blocks.
 ///
 /// The multi-word tables the word-parallel validator produces (≥ 10
 /// inputs plus config variables) spend their time in these straight-line
-/// word loops; the explicit 4-wide unrolling gives the backend
-/// independent operations to schedule (and is the stepping stone to
-/// `std::simd` lanes once that stabilizes) without changing a single
-/// result bit.
+/// word loops; the explicit 8-wide unrolling gives the backend a full
+/// 512-bit block of independent operations to schedule (and is the
+/// stepping stone to `std::simd` lanes once that stabilizes) without
+/// changing a single result bit — the scalar tail loop handles the
+/// remainder words identically.
 #[inline(always)]
 fn zip2_words(dst: &mut [u64], src: &[u64], f: impl Fn(u64, u64) -> u64) {
     let n = dst.len().min(src.len());
-    let n4 = n & !3;
-    let (dc, dr) = dst[..n].split_at_mut(n4);
-    let (sc, sr) = src[..n].split_at(n4);
-    for (d4, s4) in dc.chunks_exact_mut(4).zip(sc.chunks_exact(4)) {
-        d4[0] = f(d4[0], s4[0]);
-        d4[1] = f(d4[1], s4[1]);
-        d4[2] = f(d4[2], s4[2]);
-        d4[3] = f(d4[3], s4[3]);
+    let n8 = n & !7;
+    let (dc, dr) = dst[..n].split_at_mut(n8);
+    let (sc, sr) = src[..n].split_at(n8);
+    for (d8, s8) in dc.chunks_exact_mut(8).zip(sc.chunks_exact(8)) {
+        d8[0] = f(d8[0], s8[0]);
+        d8[1] = f(d8[1], s8[1]);
+        d8[2] = f(d8[2], s8[2]);
+        d8[3] = f(d8[3], s8[3]);
+        d8[4] = f(d8[4], s8[4]);
+        d8[5] = f(d8[5], s8[5]);
+        d8[6] = f(d8[6], s8[6]);
+        d8[7] = f(d8[7], s8[7]);
     }
     for (d, s) in dr.iter_mut().zip(sr) {
         *d = f(*d, *s);
     }
 }
 
-/// Three-address variant: `dst[i] = f(a[i], b[i])`, unrolled 4-wide.
+/// Three-address variant: `dst[i] = f(a[i], b[i])`, unrolled 8-wide.
 #[inline(always)]
 fn zip3_words(dst: &mut [u64], a: &[u64], b: &[u64], f: impl Fn(u64, u64) -> u64) {
     let n = dst.len().min(a.len()).min(b.len());
-    let n4 = n & !3;
-    let (dc, dr) = dst[..n].split_at_mut(n4);
-    let (ac, ar) = a[..n].split_at(n4);
-    let (bc, br) = b[..n].split_at(n4);
-    for ((d4, a4), b4) in dc
-        .chunks_exact_mut(4)
-        .zip(ac.chunks_exact(4))
-        .zip(bc.chunks_exact(4))
+    let n8 = n & !7;
+    let (dc, dr) = dst[..n].split_at_mut(n8);
+    let (ac, ar) = a[..n].split_at(n8);
+    let (bc, br) = b[..n].split_at(n8);
+    for ((d8, a8), b8) in dc
+        .chunks_exact_mut(8)
+        .zip(ac.chunks_exact(8))
+        .zip(bc.chunks_exact(8))
     {
-        d4[0] = f(a4[0], b4[0]);
-        d4[1] = f(a4[1], b4[1]);
-        d4[2] = f(a4[2], b4[2]);
-        d4[3] = f(a4[3], b4[3]);
+        d8[0] = f(a8[0], b8[0]);
+        d8[1] = f(a8[1], b8[1]);
+        d8[2] = f(a8[2], b8[2]);
+        d8[3] = f(a8[3], b8[3]);
+        d8[4] = f(a8[4], b8[4]);
+        d8[5] = f(a8[5], b8[5]);
+        d8[6] = f(a8[6], b8[6]);
+        d8[7] = f(a8[7], b8[7]);
     }
     for ((d, a), b) in dr.iter_mut().zip(ar).zip(br) {
         *d = f(*a, *b);
     }
 }
 
-/// Unary in-place variant: `w[i] = f(w[i])`, unrolled 4-wide.
+/// Unary in-place variant: `w[i] = f(w[i])`, unrolled 8-wide.
 #[inline(always)]
 fn map_words(words: &mut [u64], f: impl Fn(u64) -> u64) {
-    let n4 = words.len() & !3;
-    let (c, r) = words.split_at_mut(n4);
-    for w4 in c.chunks_exact_mut(4) {
-        w4[0] = f(w4[0]);
-        w4[1] = f(w4[1]);
-        w4[2] = f(w4[2]);
-        w4[3] = f(w4[3]);
+    let n8 = words.len() & !7;
+    let (c, r) = words.split_at_mut(n8);
+    for w8 in c.chunks_exact_mut(8) {
+        w8[0] = f(w8[0]);
+        w8[1] = f(w8[1]);
+        w8[2] = f(w8[2]);
+        w8[3] = f(w8[3]);
+        w8[4] = f(w8[4]);
+        w8[5] = f(w8[5]);
+        w8[6] = f(w8[6]);
+        w8[7] = f(w8[7]);
     }
     for w in r {
         *w = f(*w);
@@ -914,6 +927,28 @@ impl TtArena {
         self.slot_mut(i).copy_from_slice(t.words());
     }
 
+    /// Overwrites slot `i` with `pattern` repeated cyclically
+    /// (`slot[w] = pattern[w % pattern.len()]`), masking the unused tail
+    /// bits of the last word.
+    ///
+    /// This is the raw-bit entry point of the vector-batch simulator: a
+    /// sampled input column (one bit per random vector) is written once
+    /// and replicated across every configuration block of the widened
+    /// table, where it is *not* the projection of any arena variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty or `i >= n_slots`.
+    pub fn write_pattern(&mut self, i: usize, pattern: &[u64]) {
+        assert!(!pattern.is_empty(), "empty pattern");
+        let tail = self.tail;
+        let s = self.slot_mut(i);
+        for (w, dst) in s.iter_mut().enumerate() {
+            *dst = pattern[w % pattern.len()];
+        }
+        *s.last_mut().expect("at least one word") &= tail;
+    }
+
     /// Fused binary AND with per-operand complement flags:
     /// `dst = (a ⊕ ca) ∧ (b ⊕ cb)`.
     ///
@@ -934,7 +969,7 @@ impl TtArena {
         if dst > a && dst > b {
             // The common topological case (destination after both
             // operands): disjoint slices let the word loop run as a
-            // straight-line 4-wide chunked kernel without per-access
+            // straight-line 8-wide chunked kernel without per-access
             // bounds checks.
             let (src, rest) = self.words.split_at_mut(da);
             let d = &mut rest[..w];

@@ -13,6 +13,11 @@
 //!   doping configurations at once: the config index becomes extra
 //!   truth-table variables, so each camouflaged cell's pin-term products
 //!   are computed once and shared across every configuration;
+//! * [`eval_camo_netlist_vectors`] — the same multi-configuration pass
+//!   generalized from full truth tables to an arbitrary batch of input
+//!   vectors: the word index runs over sampled vectors instead of input
+//!   minterms, which is the probabilistic screening primitive of the
+//!   attack crate's screen-then-solve funnel;
 //! * [`validate_mapped`] — for every viable function, bind each
 //!   camouflaged cell to its witnessed function and check the circuit
 //!   equals the function on all inputs (one multi-config pass).
@@ -365,6 +370,196 @@ fn eval_multi_chunk(
     }
 }
 
+/// Evaluates a camouflaged netlist under all the given doping
+/// configurations on an arbitrary **batch of input vectors** in one
+/// word-parallel pass: bit `b` of `result[j][o][w]` is output `o` of the
+/// circuit under `configs[j]` on the input minterm `vectors[64*w + b]`.
+///
+/// This generalizes [`eval_camo_netlist_multi`] from full truth tables
+/// to sampled vectors: the low arena variables index the *vector batch*
+/// (each primary input becomes an arbitrary sampled bit-column, written
+/// raw rather than as a variable projection) and the high variables
+/// index the configuration, so every cell's pin-term products are still
+/// computed once and shared across all configurations. Because the
+/// batch dimension replaces the input dimension, the primary-input
+/// count is *not* limited by [`mvf_logic::MAX_VARS`] — only
+/// `vectors.len() · configs-per-chunk` is. This is the probabilistic
+/// screening primitive of the attack crate's screen-then-solve funnel.
+///
+/// # Errors
+///
+/// Same per-configuration errors as [`eval_camo_netlist`], checked for
+/// every configuration up front.
+///
+/// # Panics
+///
+/// Panics if `vectors.len()` is not a power of two in
+/// `64..=2^`[`mvf_logic::MAX_VARS`] (power-of-two length keeps every
+/// configuration's block word-aligned), or if a vector has bits set at
+/// or above the input count.
+pub fn eval_camo_netlist_vectors(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    configs: &[HashMap<CellId, TruthTable>],
+    vectors: &[u64],
+) -> Result<Vec<Vec<Vec<u64>>>, ValidationError> {
+    eval_camo_netlist_vectors_with(nl, lib, camo, configs, vectors, &mut TtArena::default())
+}
+
+/// [`eval_camo_netlist_vectors`] with a caller-owned arena: the widened
+/// evaluation tables are reset in place across calls.
+///
+/// # Errors
+///
+/// Same as [`eval_camo_netlist_vectors`].
+///
+/// # Panics
+///
+/// Same as [`eval_camo_netlist_vectors`].
+pub fn eval_camo_netlist_vectors_with(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    configs: &[HashMap<CellId, TruthTable>],
+    vectors: &[u64],
+    arena: &mut TtArena,
+) -> Result<Vec<Vec<Vec<u64>>>, ValidationError> {
+    for config in configs {
+        for (cid, c) in nl.cells() {
+            if let CellRef::Camo(id) = c.cell {
+                let f = config
+                    .get(&cid)
+                    .ok_or(ValidationError::MissingBinding(cid))?;
+                if !camo.cell(id).is_plausible(f) {
+                    return Err(ValidationError::NotPlausible { cell: cid });
+                }
+            }
+        }
+    }
+    let v = vectors.len();
+    assert!(
+        v.is_power_of_two() && (64..=1 << mvf_logic::MAX_VARS).contains(&v),
+        "vector batch length must be a power of two in 64..=2^{}",
+        mvf_logic::MAX_VARS
+    );
+    let n_in = nl.inputs().len();
+    assert!(n_in <= 64, "u64 vectors cover at most 64 primary inputs");
+    assert!(
+        n_in == 64 || vectors.iter().all(|&m| m < 1u64 << n_in),
+        "vectors must be minterms over the {n_in} primary inputs"
+    );
+    let v_bits = v.trailing_zeros() as usize;
+    let cap = 1usize << (mvf_logic::MAX_VARS - v_bits);
+    let mut out = Vec::with_capacity(configs.len());
+    for chunk in configs.chunks(cap) {
+        eval_vectors_chunk(nl, lib, chunk, vectors, arena, &mut out);
+    }
+    Ok(out)
+}
+
+/// One word-parallel vector-batch pass over a chunk of configurations
+/// whose selector bits fit alongside the batch-index variables.
+///
+/// Unlike [`eval_multi_chunk`], configuration blocks here are always
+/// word-aligned (the batch length is a power of two ≥ 64), so the
+/// per-minterm configuration masks are written directly as raw word
+/// patterns — `O(words)` per minterm instead of `O(configs · words)`
+/// selector ORs, which is what lets the screen enumerate thousands of
+/// configurations cheaply.
+fn eval_vectors_chunk(
+    nl: &Netlist,
+    lib: &Library,
+    configs: &[HashMap<CellId, TruthTable>],
+    vectors: &[u64],
+    arena: &mut TtArena,
+    out: &mut Vec<Vec<Vec<u64>>>,
+) {
+    let n_cfg = configs.len();
+    let s = config_bits(n_cfg);
+    let v_bits = vectors.len().trailing_zeros() as usize;
+    let wpv = vectors.len() / 64;
+    let n_nets = nl.n_nets();
+    // Slot layout: 0..n_nets per-net tables, then the product-term and
+    // config-mask scratch slots.
+    let term = n_nets;
+    let mask = n_nets + 1;
+    arena.reset(v_bits + s, n_nets + 2);
+    // Input columns: bit b of word w is bit i of vectors[64w + b],
+    // replicated across every configuration block.
+    let mut pattern = vec![0u64; wpv];
+    for (i, &pi) in nl.inputs().iter().enumerate() {
+        for (w, word) in pattern.iter_mut().enumerate() {
+            *word = vectors[64 * w..64 * (w + 1)]
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (b, &m)| acc | (((m >> i) & 1) << b));
+        }
+        arena.write_pattern(pi.0 as usize, &pattern);
+    }
+    let mut bound: Vec<&TruthTable> = Vec::with_capacity(n_cfg);
+    let mut mask_words = vec![0u64; arena.words_per_slot()];
+    for cid in nl.topo_cells() {
+        let c = nl.cell(cid);
+        let out_slot = c.output.0 as usize;
+        arena.write_zero(out_slot);
+        match c.cell {
+            CellRef::Std(id) => {
+                // Config-independent: the plain Shannon sum.
+                let f = lib.cell(id).function();
+                for m in 0..f.n_minterms() {
+                    if !f.get(m) {
+                        continue;
+                    }
+                    arena.write_one(term);
+                    for (i, p) in c.inputs.iter().enumerate() {
+                        arena.and_in_place(term, p.0 as usize, m & (1 << i) == 0);
+                    }
+                    arena.or_in_place(out_slot, term);
+                }
+            }
+            CellRef::Camo(_) => {
+                // As in [`eval_multi_chunk`], each pin-minterm product is
+                // built once and gated by the mask of configurations that
+                // enable it — but the mask is a direct block fill: word w
+                // belongs entirely to configuration w / wpv.
+                bound.clear();
+                bound.extend(configs.iter().map(|config| &config[&cid]));
+                let n_pins = c.inputs.len();
+                for m in 0..(1usize << n_pins) {
+                    mask_words.fill(0);
+                    let mut any = false;
+                    for (j, f) in bound.iter().enumerate() {
+                        if f.get(m) {
+                            mask_words[j * wpv..(j + 1) * wpv].fill(u64::MAX);
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        continue;
+                    }
+                    arena.write_pattern(mask, &mask_words);
+                    arena.write_one(term);
+                    for (i, p) in c.inputs.iter().enumerate() {
+                        arena.and_in_place(term, p.0 as usize, m & (1 << i) == 0);
+                    }
+                    arena.and_in_place(term, mask, false);
+                    arena.or_in_place(out_slot, term);
+                }
+            }
+        }
+    }
+    // Slice each configuration's word block back out of every output.
+    for j in 0..n_cfg {
+        out.push(
+            nl.outputs()
+                .iter()
+                .map(|(_, net)| arena.slot(net.0 as usize)[j * wpv..(j + 1) * wpv].to_vec())
+                .collect(),
+        );
+    }
+}
+
 /// Validates a camouflage-mapped circuit against its viable functions: for
 /// every function index `j`, binds each camouflaged cell to its witnessed
 /// function under select value `j` and checks the circuit computes
@@ -629,6 +824,73 @@ mod tests {
             .expect("single config");
         assert_eq!(multi.len(), 1);
         assert_eq!(multi[0][0], a_tt.not());
+    }
+
+    #[test]
+    fn vector_batch_eval_matches_multi_config_eval() {
+        // The vector-batch pass must agree bit-for-bit with the full
+        // truth-table multi-config pass on every sampled vector — the
+        // soundness anchor of the attack crate's screening funnel.
+        let funcs = optimal_sboxes()[..4].to_vec();
+        let merged = build_merged(&funcs, &PinAssignment::identity(&funcs)).unwrap();
+        let synthesized = mvf_aig::Script::fast().run(&merged.aig);
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let subject = subject_graph::from_aig(&synthesized, &lib);
+        let mapped = map_camouflage(
+            &subject,
+            &lib,
+            &camo,
+            &merged.select_indices,
+            &CamoMapOptions::default(),
+        )
+        .expect("mappable");
+        let configs: Vec<HashMap<CellId, TruthTable>> = (0..funcs.len())
+            .map(|j| {
+                mapped
+                    .witness
+                    .cells
+                    .iter()
+                    .map(|w| (w.cell, w.function_for(j).clone()))
+                    .collect()
+            })
+            .collect();
+        let nl = &mapped.netlist;
+        let n_in = nl.inputs().len();
+        let full = eval_camo_netlist_multi(nl, &lib, &camo, &configs).unwrap();
+        // A cycled complete batch and a scattered sampled batch, with a
+        // reused arena across calls.
+        let cycled: Vec<u64> = (0..64u64).map(|m| m % (1 << n_in)).collect();
+        let sampled: Vec<u64> = (0..128u64)
+            .map(|m| (m * 2_654_435_761) % (1 << n_in))
+            .collect();
+        let mut arena = TtArena::default();
+        for vectors in [&cycled, &sampled] {
+            let got =
+                eval_camo_netlist_vectors_with(nl, &lib, &camo, &configs, vectors, &mut arena)
+                    .unwrap();
+            assert_eq!(got.len(), configs.len());
+            for (j, per_cfg) in got.iter().enumerate() {
+                assert_eq!(per_cfg.len(), nl.outputs().len());
+                for (o, words) in per_cfg.iter().enumerate() {
+                    assert_eq!(words.len(), vectors.len() / 64);
+                    for (m, &x) in vectors.iter().enumerate() {
+                        let bit = (words[m / 64] >> (m % 64)) & 1 == 1;
+                        assert_eq!(
+                            bit,
+                            full[j][o].get(x as usize),
+                            "config {j}, output {o}, vector {m} (minterm {x})"
+                        );
+                    }
+                }
+            }
+        }
+        // Binding errors surface exactly as in the truth-table pass.
+        let empty = vec![HashMap::new()];
+        assert!(matches!(
+            eval_camo_netlist_vectors(nl, &lib, &camo, &empty, &cycled),
+            Err(ValidationError::MissingBinding(_))
+        ));
     }
 
     #[test]

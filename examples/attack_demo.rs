@@ -92,10 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v = &verdicts[0];
     println!(
         "  scrambled G0 plausible under some interpretation? {} \
-         ({} of {} orbit points queried)",
+         ({} of {} orbit points queried, {} screened SAT-free)",
         if v.plausible { "yes" } else { "no" },
         v.queries,
-        v.orbit
+        v.orbit,
+        v.screened
     );
     if let Some((ip, op)) = &v.witness {
         println!("  witness: inputs {ip:?}, outputs {op:?}");

@@ -22,11 +22,22 @@
 //! cutting queries on symmetric candidates, the CSR watch pool must be
 //! bit-identical to the `Vec<Vec<_>>` baseline, and Luby restarts must
 //! be verdict-equivalent to the geometric schedule.
+//!
+//! The screen-then-solve funnel rides both corpora and two hand-built
+//! circuits whose doping-configuration product is enumerable: screening
+//! on must equal screening off *and* brute force — verdicts and
+//! witnesses — on every sweep entry point; the surviving-config masks
+//! must match exhaustive per-configuration circuit evaluation; a
+//! complete screen must settle every orbit representative with zero SAT
+//! queries and stay bit-identical across shard counts; and the sampling
+//! regime (more minterms than vectors) must refute chaff SAT-free
+//! without ever changing an identity-sweep verdict.
 
 use mvf_attack::{
     is_plausible, plausibility_sweep, plausibility_sweep_any_io, plausibility_sweep_any_io_sharded,
-    plausibility_sweep_any_io_with, plausibility_sweep_sharded, random_camouflage, AnyIoOptions,
-    AnyIoVerdict,
+    plausibility_sweep_any_io_with, plausibility_sweep_sharded, plausibility_sweep_with,
+    random_camouflage, AnyIoOptions, AnyIoVerdict, CamoScreen, SweepOptions,
+    DEFAULT_SCREEN_VECTORS,
 };
 use mvf_cells::{CamoLibrary, Library};
 use mvf_logic::npn::all_permutations;
@@ -416,8 +427,10 @@ fn any_io_sweep_matches_brute_force_and_every_shard_count() {
         assert!(v.unique <= v.orbit);
         if !v.plausible {
             assert_eq!(
-                v.queries, v.unique,
-                "candidate {j}: a refutation must cover every representative"
+                v.queries + v.screened,
+                v.unique,
+                "candidate {j}: a refutation must cover every representative \
+                 (screened SAT-free or queried)"
             );
         }
     }
@@ -446,7 +459,19 @@ fn any_io_sweep_matches_brute_force_and_every_shard_count() {
 #[test]
 fn any_io_pruning_never_changes_a_verdict_and_strictly_cuts_queries() {
     let (lib, camo, circuit, candidates) = any_io_corpus();
-    let pruned = plausibility_sweep_any_io(&circuit, &lib, &camo, &candidates);
+    // Screening off on both sides: this test isolates the effect of
+    // signature pruning on the SAT query count.
+    let pruned = plausibility_sweep_any_io_with(
+        &circuit,
+        &lib,
+        &camo,
+        &candidates,
+        &AnyIoOptions {
+            shards: 1,
+            screen: false,
+            ..AnyIoOptions::default()
+        },
+    );
     let brute = plausibility_sweep_any_io_with(
         &circuit,
         &lib,
@@ -455,6 +480,8 @@ fn any_io_pruning_never_changes_a_verdict_and_strictly_cuts_queries() {
         &AnyIoOptions {
             shards: 1,
             prune: false,
+            screen: false,
+            ..AnyIoOptions::default()
         },
     );
     for (j, (p, b)) in pruned.iter().zip(&brute).enumerate() {
@@ -632,5 +659,397 @@ fn propagation_heavy_stress() {
     assert!(
         s.n_clauses() > before,
         "conflict learning must grow the clause arena"
+    );
+}
+
+/// The screening demo circuit: three camouflaged cells (NAND2(a,b) → y0,
+/// INV(c) → y1, AND2(y0,y1) → y2) keep the doping-configuration product
+/// at 5 · 3 · 5 = 75 — enumerable, so the screen engages — and three
+/// inputs keep the batch complete (every minterm covered), so the screen
+/// is exact. Returns the library pair, the netlist and its true function
+/// under the look-alike reading.
+fn screen_demo() -> (Library, CamoLibrary, mvf_netlist::Netlist, VectorFunction) {
+    use mvf_netlist::{CellRef, Netlist};
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let camo_id = |name: &str| {
+        camo.iter()
+            .find(|(_, cc)| cc.name() == name)
+            .expect("camouflaged cell exists")
+            .0
+    };
+    let mut nl = Netlist::new("screen_demo".to_string());
+    let a = nl.add_input("a".to_string());
+    let b = nl.add_input("b".to_string());
+    let c = nl.add_input("c".to_string());
+    let (_, y0) = nl.add_cell(
+        "u0".to_string(),
+        CellRef::Camo(camo_id("NAND2")),
+        vec![a, b],
+    );
+    let (_, y1) = nl.add_cell("u1".to_string(), CellRef::Camo(camo_id("INV")), vec![c]);
+    let (_, y2) = nl.add_cell(
+        "u2".to_string(),
+        CellRef::Camo(camo_id("AND2")),
+        vec![y0, y1],
+    );
+    nl.add_output("y0".to_string(), y0);
+    nl.add_output("y1".to_string(), y1);
+    nl.add_output("y2".to_string(), y2);
+    let table: Vec<u16> = (0..8u16)
+        .map(|m| {
+            let (a, b, c) = (m & 1, (m >> 1) & 1, (m >> 2) & 1);
+            let y0 = 1 - (a & b);
+            let y1 = 1 - c;
+            y0 | (y1 << 1) | ((y0 & y1) << 2)
+        })
+        .collect();
+    let truth = VectorFunction::from_lookup_table(3, 3, &table).unwrap();
+    (lib, camo, nl, truth)
+}
+
+#[test]
+fn any_io_screening_never_changes_a_verdict_or_witness() {
+    // On the random-camouflage corpus the configuration product exceeds
+    // the screening cap, so the screen stands down — the screened path
+    // must still be bit-identical to the SAT-only sweep there too.
+    let (lib, camo, circuit, candidates) = any_io_corpus();
+    let on = plausibility_sweep_any_io(&circuit, &lib, &camo, &candidates);
+    let off = plausibility_sweep_any_io_with(
+        &circuit,
+        &lib,
+        &camo,
+        &candidates,
+        &AnyIoOptions {
+            screen: false,
+            ..AnyIoOptions::default()
+        },
+    );
+    for (j, (von, voff)) in on.iter().zip(&off).enumerate() {
+        assert_eq!(von.plausible, voff.plausible, "candidate {j}: verdict");
+        assert_eq!(von.witness, voff.witness, "candidate {j}: witness");
+        assert_eq!(
+            von.unique, voff.unique,
+            "candidate {j}: pruning is screen-independent"
+        );
+        assert_eq!(von.orbit, voff.orbit, "candidate {j}: orbit size");
+    }
+    // Screened counts are computed serially up front, so they are
+    // deterministic for every shard count (queries may differ — the
+    // plausible early exit is cooperative).
+    for shards in [2usize, 4] {
+        let sharded = plausibility_sweep_any_io_with(
+            &circuit,
+            &lib,
+            &camo,
+            &candidates,
+            &AnyIoOptions {
+                shards,
+                ..AnyIoOptions::default()
+            },
+        );
+        for (j, (a, b)) in on.iter().zip(&sharded).enumerate() {
+            assert_eq!(
+                (a.plausible, &a.witness, a.screened, a.unique, a.orbit),
+                (b.plausible, &b.witness, b.screened, b.unique, b.orbit),
+                "candidate {j}: shards = {shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn complete_screen_matches_brute_force_with_zero_sat_queries() {
+    let (lib, camo, nl, truth) = screen_demo();
+    let lut3 = |t: &[u16; 8]| VectorFunction::from_lookup_table(3, 3, t).unwrap();
+    let candidates = vec![
+        truth.clone(),
+        // Pin-scrambled copy: plausible with a mid-orbit witness.
+        truth
+            .permute_inputs(&[2, 0, 1])
+            .unwrap()
+            .permute_outputs(&[1, 2, 0])
+            .unwrap(),
+        lut3(&[0, 1, 2, 3, 4, 5, 6, 7]),
+        lut3(&[1, 0, 3, 2, 5, 7, 6, 4]),
+    ];
+    let screen = CamoScreen::build(&nl, &lib, &camo, &candidates, DEFAULT_SCREEN_VECTORS)
+        .expect("the 75-configuration product is enumerable");
+    assert!(screen.is_complete(), "8 minterms fit in any batch");
+    assert_eq!(
+        screen.n_vectors(),
+        64,
+        "minterms cycled up to word granularity"
+    );
+    let on = plausibility_sweep_any_io(&nl, &lib, &camo, &candidates);
+    let off = plausibility_sweep_any_io_with(
+        &nl,
+        &lib,
+        &camo,
+        &candidates,
+        &AnyIoOptions {
+            screen: false,
+            ..AnyIoOptions::default()
+        },
+    );
+    for (j, (f, (von, voff))) in candidates.iter().zip(on.iter().zip(&off)).enumerate() {
+        let (want, want_witness) = brute_force_any_io(&nl, &lib, &camo, f);
+        assert_eq!(von.plausible, want, "candidate {j}: verdict (screen on)");
+        assert_eq!(
+            von.witness, want_witness,
+            "candidate {j}: witness (screen on)"
+        );
+        assert_eq!(voff.plausible, want, "candidate {j}: verdict (screen off)");
+        assert_eq!(
+            voff.witness, want_witness,
+            "candidate {j}: witness (screen off)"
+        );
+        // A complete screen is exact: it settles every orbit
+        // representative — confirmations and refutations — SAT-free.
+        assert_eq!(
+            von.queries, 0,
+            "candidate {j}: complete screen needs no SAT"
+        );
+        if von.plausible {
+            assert!(
+                von.screened >= 1,
+                "candidate {j}: the witness was confirmed SAT-free"
+            );
+        } else {
+            assert_eq!(
+                von.screened, von.unique,
+                "candidate {j}: a refutation covers every representative"
+            );
+        }
+    }
+    assert!(on[0].plausible, "the true function is plausible");
+    assert!(on[1].plausible, "the scrambled copy is plausible");
+    // With every representative settled up front and zero SAT queries,
+    // whole verdicts — counters included — are shard-invariant.
+    for shards in [2usize, 4] {
+        let sharded = plausibility_sweep_any_io_with(
+            &nl,
+            &lib,
+            &camo,
+            &candidates,
+            &AnyIoOptions {
+                shards,
+                ..AnyIoOptions::default()
+            },
+        );
+        assert_eq!(on, sharded, "shards = {shards}");
+    }
+}
+
+#[test]
+fn surviving_config_masks_match_exhaustive_enumeration() {
+    let (lib, camo, nl, truth) = screen_demo();
+    let lut3 = |t: &[u16; 8]| VectorFunction::from_lookup_table(3, 3, t).unwrap();
+    let candidates = vec![
+        truth,
+        lut3(&[0, 1, 2, 3, 4, 5, 6, 7]),
+        lut3(&[1, 0, 3, 2, 5, 7, 6, 4]),
+        lut3(&[7, 7, 7, 7, 0, 0, 0, 0]),
+    ];
+    let screen = CamoScreen::build(&nl, &lib, &camo, &candidates, DEFAULT_SCREEN_VECTORS)
+        .expect("the 75-configuration product is enumerable");
+    assert!(screen.is_complete());
+    // Mirror the documented configuration order: camouflaged cells in
+    // netlist topological order, the last cell varying fastest, each
+    // cell's plausible set in its sorted order.
+    let mut cells = Vec::new();
+    for cid in nl.topo_cells() {
+        if let mvf_netlist::CellRef::Camo(id) = nl.cell(cid).cell {
+            cells.push((cid, camo.cell(id).plausible().to_vec()));
+        }
+    }
+    let n_cfg: usize = cells.iter().map(|(_, p)| p.len()).product();
+    assert_eq!(n_cfg, 75, "NAND2 x INV x AND2 = 5 * 3 * 5");
+    for (j, f) in candidates.iter().enumerate() {
+        let mask = screen.survivors(f);
+        assert_eq!(
+            mask.len(),
+            n_cfg,
+            "candidate {j}: one mask bit per configuration"
+        );
+        let mut odometer = vec![0usize; cells.len()];
+        for (cfg_idx, &survives) in mask.iter().enumerate() {
+            let config: std::collections::HashMap<_, _> = cells
+                .iter()
+                .zip(&odometer)
+                .map(|((cid, p), &d)| (*cid, p[d].clone()))
+                .collect();
+            let outs = mvf_sim::eval_camo_netlist(&nl, &lib, &camo, &config)
+                .expect("enumerated bindings are plausible");
+            let agrees = (0..8usize).all(|m| {
+                let want = f.eval(m);
+                outs.iter()
+                    .enumerate()
+                    .all(|(o, tt)| tt.get(m) == ((want >> o) & 1 == 1))
+            });
+            assert_eq!(
+                survives, agrees,
+                "candidate {j}, configuration {cfg_idx}: the mask must equal \
+                 exhaustive per-configuration evaluation"
+            );
+            // Advance the odometer, last cell fastest.
+            let mut pos = cells.len();
+            while pos > 0 {
+                pos -= 1;
+                odometer[pos] += 1;
+                if odometer[pos] < cells[pos].1.len() {
+                    break;
+                }
+                odometer[pos] = 0;
+            }
+        }
+        // A complete screen's survivor set is exactly the SAT question:
+        // does some configuration realize the candidate?
+        assert_eq!(
+            mask.iter().any(|&s| s),
+            is_plausible(&nl, &lib, &camo, f),
+            "candidate {j}: any surviving configuration == identity plausibility"
+        );
+    }
+}
+
+/// A 7-input, 5-camo-cell circuit for the sampling regime: 2^7 = 128
+/// minterms exceed a 64-vector batch, so the screen samples (SplitMix64)
+/// and can only refute, never confirm. The configuration product
+/// 5^5 = 3125 still fits the enumeration cap.
+fn sampling_demo() -> (Library, CamoLibrary, mvf_netlist::Netlist, VectorFunction) {
+    use mvf_netlist::{CellRef, Netlist};
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let camo_id = |name: &str| {
+        camo.iter()
+            .find(|(_, cc)| cc.name() == name)
+            .expect("camouflaged cell exists")
+            .0
+    };
+    let mut nl = Netlist::new("sampling_demo".to_string());
+    let ins: Vec<_> = ["a", "b", "c", "d", "e", "f", "g"]
+        .iter()
+        .map(|n| nl.add_input((*n).to_string()))
+        .collect();
+    let nand2 = camo_id("NAND2");
+    let and2 = camo_id("AND2");
+    let (_, u0) = nl.add_cell("u0".to_string(), CellRef::Camo(nand2), vec![ins[0], ins[1]]);
+    let (_, u1) = nl.add_cell("u1".to_string(), CellRef::Camo(nand2), vec![ins[2], ins[3]]);
+    let (_, u2) = nl.add_cell("u2".to_string(), CellRef::Camo(nand2), vec![ins[4], ins[5]]);
+    let (_, u3) = nl.add_cell("u3".to_string(), CellRef::Camo(and2), vec![u0, u1]);
+    let (_, u4) = nl.add_cell("u4".to_string(), CellRef::Camo(and2), vec![u2, ins[6]]);
+    nl.add_output("y0".to_string(), u3);
+    nl.add_output("y1".to_string(), u4);
+    let table: Vec<u16> = (0..128u16)
+        .map(|m| {
+            let bit = |i: u16| (m >> i) & 1;
+            let y0 = (1 - (bit(0) & bit(1))) & (1 - (bit(2) & bit(3)));
+            let y1 = (1 - (bit(4) & bit(5))) & bit(6);
+            y0 | (y1 << 1)
+        })
+        .collect();
+    let truth = VectorFunction::from_lookup_table(7, 2, &table).unwrap();
+    (lib, camo, nl, truth)
+}
+
+#[test]
+fn sampling_screen_refutes_chaff_without_changing_verdicts() {
+    let (lib, camo, nl, truth) = sampling_demo();
+    // A near-miss (one output bit flipped) plus deterministic chaff.
+    let near_miss = {
+        let mut table: Vec<u16> = (0..128usize).map(|m| truth.eval(m)).collect();
+        table[0] ^= 1;
+        VectorFunction::from_lookup_table(7, 2, &table).unwrap()
+    };
+    let mut rng = XorShift(0x5C2E_E45C);
+    let mut random_fn = || {
+        let table: Vec<u16> = (0..128).map(|_| (rng.next() % 4) as u16).collect();
+        VectorFunction::from_lookup_table(7, 2, &table).unwrap()
+    };
+    let candidates = vec![truth.clone(), near_miss, random_fn(), random_fn()];
+    let screen = CamoScreen::build(&nl, &lib, &camo, &candidates, 64)
+        .expect("the 5^5 = 3125 configuration product is enumerable");
+    assert!(
+        !screen.is_complete(),
+        "128 minterms exceed the 64-vector batch"
+    );
+    assert_eq!(screen.n_vectors(), 64);
+    let on_opts = SweepOptions {
+        screen_vectors: 64,
+        ..SweepOptions::default()
+    };
+    let on = plausibility_sweep_with(&nl, &lib, &camo, &candidates, &on_opts);
+    let off = plausibility_sweep_with(
+        &nl,
+        &lib,
+        &camo,
+        &candidates,
+        &SweepOptions {
+            screen: false,
+            ..SweepOptions::default()
+        },
+    );
+    for (j, (von, voff)) in on.iter().zip(&off).enumerate() {
+        assert_eq!(von.plausible, voff.plausible, "candidate {j}: verdict");
+        assert!(!voff.screened, "screen off never screens");
+    }
+    assert!(on[0].plausible, "the true function is plausible");
+    assert!(
+        !on[0].screened,
+        "a sampling screen never confirms — the true function goes to SAT"
+    );
+    assert!(
+        on[2].screened && on[3].screened && !on[2].plausible && !on[3].plausible,
+        "the deterministic batch refutes random chaff SAT-free"
+    );
+    // Sharded identity sweeps with sampling screening stay bit-identical.
+    for shards in [2usize, 4] {
+        let sharded = plausibility_sweep_with(
+            &nl,
+            &lib,
+            &camo,
+            &candidates,
+            &SweepOptions {
+                shards,
+                screen_vectors: 64,
+                ..SweepOptions::default()
+            },
+        );
+        assert_eq!(on, sharded, "shards = {shards}");
+    }
+    // Any-IO through the sampling screen: an early-witness candidate
+    // (outputs swapped — witness at orbit index 1) must report the same
+    // verdict and witness with and without screening.
+    let swapped = truth.permute_outputs(&[1, 0]).unwrap();
+    let von = plausibility_sweep_any_io_with(
+        &nl,
+        &lib,
+        &camo,
+        std::slice::from_ref(&swapped),
+        &AnyIoOptions {
+            screen_vectors: 64,
+            ..AnyIoOptions::default()
+        },
+    );
+    let voff = plausibility_sweep_any_io_with(
+        &nl,
+        &lib,
+        &camo,
+        std::slice::from_ref(&swapped),
+        &AnyIoOptions {
+            screen: false,
+            ..AnyIoOptions::default()
+        },
+    );
+    assert!(von[0].plausible && voff[0].plausible);
+    assert_eq!(
+        von[0].witness, voff[0].witness,
+        "witness is screen-independent"
+    );
+    assert_eq!(
+        von[0].witness,
+        Some((vec![0, 1, 2, 3, 4, 5, 6], vec![1, 0])),
+        "identity inputs, swapped outputs"
     );
 }
