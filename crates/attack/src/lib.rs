@@ -53,9 +53,11 @@
 #![warn(missing_docs)]
 
 pub mod screen;
+pub mod session;
 
 pub use screen::{CamoScreen, DEFAULT_SCREEN_VECTORS};
 use screen::{OrbitScreenScratch, ScreenOutcome};
+pub use session::{AnyIoJob, AnyIoProgress, SweepSession};
 
 use std::collections::HashSet;
 use std::error::Error;
@@ -72,7 +74,11 @@ use mvf_sat::{encode_netlist, Lit, Solver, Var};
 /// equal `candidate` on every input row: output `o` of row `m` is pinned
 /// to bit `o` of `candidate(m)`. Shared by every plausibility query so
 /// the encoding contract lives in one place.
-fn candidate_assumptions(row_outputs: &[Vec<Var>], candidate: &VectorFunction, out: &mut Vec<Lit>) {
+pub(crate) fn candidate_assumptions(
+    row_outputs: &[Vec<Var>],
+    candidate: &VectorFunction,
+    out: &mut Vec<Lit>,
+) {
     out.clear();
     for (m, row) in row_outputs.iter().enumerate() {
         let want = candidate.eval(m);
@@ -288,7 +294,7 @@ fn unrank_perm(mut rank: u64, n: usize, scratch: &mut Vec<usize>, out: &mut Vec<
 
 /// Splits a flat orbit index (input-permutation major) back into its
 /// `(in_perm, out_perm)` pair.
-fn unrank_orbit_index(
+pub(crate) fn unrank_orbit_index(
     index: u32,
     n_in: usize,
     n_out: usize,
@@ -433,6 +439,42 @@ pub fn plausibility_sweep_any_io_with(
     candidates: &[VectorFunction],
     opts: &AnyIoOptions,
 ) -> Vec<AnyIoVerdict> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let screen = opts
+        .screen
+        .then(|| CamoScreen::build(nl, lib, camo, candidates, opts.screen_vectors))
+        .flatten();
+    let plan = plan_any_io(nl, candidates, opts.prune, screen.as_ref());
+    let mut cnf = encode_netlist(nl, lib, camo);
+    run_any_io_plan(&plan, &mut cnf.solver, &cnf.row_outputs, candidates, opts)
+}
+
+/// The deterministic prelude of an interpretation-freedom sweep: orbit
+/// representatives, screening, and the surviving `(candidate, orbit
+/// index)` work list. Built serially, so everything downstream —
+/// `screened` counts, initial witness bounds, work order — is identical
+/// for every shard count and every pause/resume split.
+pub(crate) struct AnyIoPlan {
+    pub(crate) n_in: usize,
+    pub(crate) n_out: usize,
+    /// Surviving work items in enumeration order.
+    pub(crate) work: Vec<(u32, u32)>,
+    /// Initial per-candidate witness bound (`usize::MAX` = none; set by
+    /// a complete-regime screen confirmation).
+    pub(crate) best_init: Vec<usize>,
+    pub(crate) screened: Vec<usize>,
+    pub(crate) orbits: Vec<usize>,
+    pub(crate) uniques: Vec<usize>,
+}
+
+pub(crate) fn plan_any_io(
+    nl: &Netlist,
+    candidates: &[VectorFunction],
+    prune: bool,
+    screen: Option<&CamoScreen>,
+) -> AnyIoPlan {
     let n_in = nl.inputs().len();
     let n_out = nl.outputs().len();
     // The only structural requirement is that flat orbit indices fit the
@@ -446,25 +488,18 @@ pub fn plausibility_sweep_any_io_with(
         assert_eq!(candidate.n_inputs(), n_in, "input arity mismatch");
         assert_eq!(candidate.n_outputs(), n_out, "output arity mismatch");
     }
-    if candidates.is_empty() {
-        return Vec::new();
-    }
     // Representative lists are pure CPU (truth-table permutations), so
     // they are built serially up front — which also makes them, and
     // everything derived from them, deterministic by construction.
     let reps_and_orbits: Vec<(Vec<u32>, usize)> = candidates
         .iter()
-        .map(|c| orbit_representatives(c, opts.prune))
+        .map(|c| orbit_representatives(c, prune))
         .collect();
     // The SAT-free screen runs serially up front, so `screened` counts —
     // and the surviving work list — are identical for every shard count.
-    let screen = opts
-        .screen
-        .then(|| CamoScreen::build(nl, lib, camo, candidates, opts.screen_vectors))
-        .flatten();
     let mut screened = vec![0usize; candidates.len()];
     let mut best_init = vec![usize::MAX; candidates.len()];
-    let work: Vec<(u32, u32)> = if let Some(screen) = &screen {
+    let work: Vec<(u32, u32)> = if let Some(screen) = screen {
         let out_fact: u64 = (1..=n_out as u64).product();
         let mut scratch = OrbitScreenScratch::new();
         let (mut unrank_tmp, mut ip, mut op) = (Vec::new(), Vec::new(), Vec::new());
@@ -496,37 +531,91 @@ pub fn plausibility_sweep_any_io_with(
             .flat_map(|(c, (reps, _))| reps.iter().map(move |&index| (c as u32, index)))
             .collect()
     };
-    let orbits: Vec<usize> = reps_and_orbits.iter().map(|(_, o)| *o).collect();
-    let uniques: Vec<usize> = reps_and_orbits.iter().map(|(r, _)| r.len()).collect();
-    let mut cnf = encode_netlist(nl, lib, camo);
+    AnyIoPlan {
+        n_in,
+        n_out,
+        work,
+        best_init,
+        screened,
+        orbits: reps_and_orbits.iter().map(|(_, o)| *o).collect(),
+        uniques: reps_and_orbits.iter().map(|(r, _)| r.len()).collect(),
+    }
+}
+
+/// Folds final per-candidate `best` witness bounds and query counts into
+/// [`AnyIoVerdict`]s.
+pub(crate) fn any_io_verdicts(
+    plan: &AnyIoPlan,
+    best: &[usize],
+    queries: &[usize],
+) -> Vec<AnyIoVerdict> {
+    let mut unrank_tmp = Vec::new();
+    (0..plan.screened.len())
+        .map(|j| {
+            let found = best[j];
+            let witness = (found != usize::MAX).then(|| {
+                let (mut ip, mut op) = (Vec::new(), Vec::new());
+                unrank_orbit_index(
+                    found as u32,
+                    plan.n_in,
+                    plan.n_out,
+                    &mut unrank_tmp,
+                    &mut ip,
+                    &mut op,
+                );
+                (ip, op)
+            });
+            AnyIoVerdict {
+                plausible: found != usize::MAX,
+                witness,
+                orbit: plan.orbits[j],
+                unique: plan.uniques[j],
+                screened: plan.screened[j],
+                queries: queries[j],
+            }
+        })
+        .collect()
+}
+
+/// Executes a planned sweep on an encoded solver, serial or sharded.
+fn run_any_io_plan(
+    plan: &AnyIoPlan,
+    solver: &mut Solver,
+    row_outputs: &[Vec<Var>],
+    candidates: &[VectorFunction],
+    opts: &AnyIoOptions,
+) -> Vec<AnyIoVerdict> {
     let shards = match opts.shards {
         0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
         n => n,
     }
-    .min(work.len())
+    .min(plan.work.len())
     .max(1);
-    let best: Vec<AtomicUsize> = best_init.into_iter().map(AtomicUsize::new).collect();
+    let best: Vec<AtomicUsize> = plan
+        .best_init
+        .iter()
+        .map(|&b| AtomicUsize::new(b))
+        .collect();
     let queries: Vec<AtomicUsize> = candidates.iter().map(|_| AtomicUsize::new(0)).collect();
     if shards <= 1 {
         any_io_stripe(
-            &mut cnf.solver,
-            &cnf.row_outputs,
+            solver,
+            row_outputs,
             candidates,
-            &work,
+            &plan.work,
             0,
             1,
             &best,
             &queries,
         );
     } else {
-        let solver = &cnf.solver;
-        let row_outputs = &cnf.row_outputs;
-        let work_ref = &work;
+        let solver_ref = &*solver;
+        let work_ref = &plan.work;
         let (best_ref, queries_ref) = (&best, &queries);
         std::thread::scope(|scope| {
             for w in 0..shards {
                 scope.spawn(move || {
-                    let mut local = solver.clone_db();
+                    let mut local = solver_ref.clone_db();
                     any_io_stripe(
                         &mut local,
                         row_outputs,
@@ -541,27 +630,9 @@ pub fn plausibility_sweep_any_io_with(
             }
         });
     }
-    let mut unrank_tmp = Vec::new();
-    candidates
-        .iter()
-        .enumerate()
-        .map(|(j, _)| {
-            let found = best[j].load(Ordering::Relaxed);
-            let witness = (found != usize::MAX).then(|| {
-                let (mut ip, mut op) = (Vec::new(), Vec::new());
-                unrank_orbit_index(found as u32, n_in, n_out, &mut unrank_tmp, &mut ip, &mut op);
-                (ip, op)
-            });
-            AnyIoVerdict {
-                plausible: found != usize::MAX,
-                witness,
-                orbit: orbits[j],
-                unique: uniques[j],
-                screened: screened[j],
-                queries: queries[j].load(Ordering::Relaxed),
-            }
-        })
-        .collect()
+    let best: Vec<usize> = best.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+    let queries: Vec<usize> = queries.iter().map(|q| q.load(Ordering::Relaxed)).collect();
+    any_io_verdicts(plan, &best, &queries)
 }
 
 /// Sweeps a whole list of viable functions against one camouflaged

@@ -243,6 +243,17 @@ impl CamoScreen {
         self.outcome(survivor)
     }
 
+    /// Approximate heap footprint of the cached evaluation batch in
+    /// bytes, for session-cache accounting.
+    pub fn bytes(&self) -> usize {
+        let words: usize = self
+            .out_words
+            .iter()
+            .map(|cfg| cfg.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        (words + self.vectors.len()) * std::mem::size_of::<u64>()
+    }
+
     /// Whether the batch covers every minterm (the screen is exact).
     pub fn is_complete(&self) -> bool {
         self.complete

@@ -1,0 +1,668 @@
+//! Persistent, resumable sweep sessions.
+//!
+//! Three pieces turn the one-shot sweeps of the crate root into a
+//! long-running audit service's building blocks:
+//!
+//! * [`SweepSession`] — one camouflaged netlist encoded **once** and kept
+//!   hot: repeated sweeps against the same circuit reuse the flat clause
+//!   arena, accumulate learnt clauses (warm starts), and share cached
+//!   [`CamoScreen`] vector batches keyed by candidate batch.
+//! * [`AnyIoJob`] — a stepped, pausable interpretation-freedom sweep: the
+//!   work list is processed in caller-sized chunks, and the complete
+//!   mutable state between chunks is three integer vectors.
+//! * [`AnyIoProgress`] — that state, exported for checkpointing and
+//!   restored bit-identically.
+//!
+//! Every path here reuses the crate root's planning (`plan_any_io`) and
+//! verdict stitching (`any_io_verdicts`), so the invariant the one-shot
+//! sweeps establish — verdicts, witnesses and query counts are identical
+//! for every execution split — extends to paused/resumed and
+//! warm-started runs by construction: SAT answers are mathematically
+//! determined (extra learnt clauses and reset phases never flip one),
+//! and query counts depend only on the serially-built work list and the
+//! `best` skip rule.
+
+use mvf_cells::{CamoLibrary, Library};
+use mvf_logic::VectorFunction;
+use mvf_netlist::fingerprint::{fingerprint_session, Fnv64};
+use mvf_netlist::Netlist;
+use mvf_sat::{encode_netlist, CircuitCnf, Solver, Var};
+
+use crate::screen::{CamoScreen, ScreenOutcome};
+use crate::{
+    any_io_verdicts, candidate_assumptions, plan_any_io, unrank_orbit_index, AnyIoOptions,
+    AnyIoPlan, AnyIoVerdict, SweepOptions, SweepVerdict,
+};
+
+/// Cached screens kept per session (small: screens are per candidate
+/// batch, and a service replays the same batches).
+const MAX_CACHED_SCREENS: usize = 4;
+
+/// Serial cursor over a planned work list — the resumable core shared by
+/// [`AnyIoJob`] and [`SweepSession::sweep_any_io`]. Mirrors the striped
+/// worker loop (`any_io_stripe`) with a stride of one, so driving a
+/// cursor to completion issues exactly the queries of the serial sweep.
+#[derive(Debug, Clone)]
+struct AnyIoCursor {
+    pos: usize,
+    best: Vec<usize>,
+    queries: Vec<usize>,
+    last_cand: u32,
+}
+
+impl AnyIoCursor {
+    fn new(plan: &AnyIoPlan) -> AnyIoCursor {
+        AnyIoCursor {
+            pos: 0,
+            best: plan.best_init.clone(),
+            queries: vec![0; plan.best_init.len()],
+            last_cand: u32::MAX,
+        }
+    }
+
+    /// Visits up to `max_items` work items (skips count as visits) and
+    /// returns how many were visited.
+    fn step(
+        &mut self,
+        plan: &AnyIoPlan,
+        candidates: &[VectorFunction],
+        solver: &mut Solver,
+        row_outputs: &[Vec<Var>],
+        max_items: usize,
+    ) -> usize {
+        let end = plan.work.len().min(self.pos.saturating_add(max_items));
+        let start = self.pos;
+        let (mut unrank_tmp, mut in_perm, mut out_perm) = (Vec::new(), Vec::new(), Vec::new());
+        let mut permuted_in = VectorFunction::new(0, Vec::new());
+        let mut permuted = VectorFunction::new(0, Vec::new());
+        let mut assumptions = Vec::new();
+        while self.pos < end {
+            let (c, index) = plan.work[self.pos];
+            self.pos += 1;
+            let cand = c as usize;
+            if self.best[cand] < index as usize {
+                continue; // a smaller witness is already known
+            }
+            if c != self.last_cand {
+                // Saved phases are a per-candidate heuristic; do not let
+                // one candidate's UNSAT proof steer the next candidate's
+                // search. (A resumed cursor resets on its first item —
+                // phases are heuristics, so answers cannot change.)
+                solver.reset_phases();
+                self.last_cand = c;
+            }
+            let f = &candidates[cand];
+            unrank_orbit_index(
+                index,
+                f.n_inputs(),
+                f.n_outputs(),
+                &mut unrank_tmp,
+                &mut in_perm,
+                &mut out_perm,
+            );
+            f.permute_inputs_into(&in_perm, &mut permuted_in)
+                .expect("orbit permutation is valid");
+            permuted_in
+                .permute_outputs_into(&out_perm, &mut permuted)
+                .expect("orbit permutation is valid");
+            candidate_assumptions(row_outputs, &permuted, &mut assumptions);
+            self.queries[cand] += 1;
+            if solver.solve_with(&assumptions) {
+                self.best[cand] = self.best[cand].min(index as usize);
+            }
+        }
+        self.pos - start
+    }
+}
+
+/// Exported progress of an [`AnyIoJob`] — everything a checkpoint needs.
+///
+/// The plan itself (work list, screening results) is *not* part of the
+/// progress: it is rebuilt deterministically from the same netlist and
+/// candidate batch on resume, and [`AnyIoJob::restore`] re-attaches this
+/// state to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnyIoProgress {
+    /// Work items already visited (next item index).
+    pub pos: usize,
+    /// Per-candidate smallest known satisfying orbit index
+    /// (`usize::MAX` = none yet).
+    pub best: Vec<usize>,
+    /// Per-candidate SAT queries issued so far.
+    pub queries: Vec<usize>,
+}
+
+/// A pausable interpretation-freedom sweep: the planned work list is
+/// processed serially in caller-sized chunks via [`step`](Self::step),
+/// progress snapshots out through [`progress`](Self::progress), and a
+/// rebuilt job resumes bit-identically via [`restore`](Self::restore).
+///
+/// Driven to completion in one go, a job issues exactly the queries of
+/// [`plausibility_sweep_any_io_with`](crate::plausibility_sweep_any_io_with)
+/// with `shards = 1`, and returns identical verdicts — paused and
+/// resumed anywhere, still identical: every answer is mathematically
+/// determined, and the visit order plus the `best` skip rule fix the
+/// query counts.
+pub struct AnyIoJob {
+    plan: AnyIoPlan,
+    candidates: Vec<VectorFunction>,
+    solver: Solver,
+    row_outputs: Vec<Vec<Var>>,
+    cursor: AnyIoCursor,
+}
+
+impl AnyIoJob {
+    /// Plans and encodes a standalone job (cold start — no session).
+    ///
+    /// `opts.shards` is ignored: a job is a serial cursor by design (its
+    /// point is checkpointability, and serial visits make the resumed
+    /// query counts exact).
+    ///
+    /// # Panics
+    ///
+    /// As [`plausibility_sweep_any_io`](crate::plausibility_sweep_any_io):
+    /// candidate shape mismatches or an oversized orbit.
+    pub fn new(
+        nl: &Netlist,
+        lib: &Library,
+        camo: &CamoLibrary,
+        candidates: Vec<VectorFunction>,
+        opts: &AnyIoOptions,
+    ) -> AnyIoJob {
+        let screen = opts
+            .screen
+            .then(|| CamoScreen::build(nl, lib, camo, &candidates, opts.screen_vectors))
+            .flatten();
+        let plan = plan_any_io(nl, &candidates, opts.prune, screen.as_ref());
+        let cnf = encode_netlist(nl, lib, camo);
+        AnyIoJob::from_parts(plan, candidates, cnf.solver, cnf.row_outputs)
+    }
+
+    pub(crate) fn from_parts(
+        plan: AnyIoPlan,
+        candidates: Vec<VectorFunction>,
+        solver: Solver,
+        row_outputs: Vec<Vec<Var>>,
+    ) -> AnyIoJob {
+        let cursor = AnyIoCursor::new(&plan);
+        AnyIoJob {
+            plan,
+            candidates,
+            solver,
+            row_outputs,
+            cursor,
+        }
+    }
+
+    /// Total planned work items (screen survivors).
+    pub fn total_work(&self) -> usize {
+        self.plan.work.len()
+    }
+
+    /// Work items already visited.
+    pub fn position(&self) -> usize {
+        self.cursor.pos
+    }
+
+    /// Whether every work item has been visited.
+    pub fn is_done(&self) -> bool {
+        self.cursor.pos >= self.plan.work.len()
+    }
+
+    /// Visits up to `max_items` further work items (skipped items count)
+    /// and returns how many were visited — `0` exactly when the job is
+    /// done. Chunk size never affects the outcome.
+    pub fn step(&mut self, max_items: usize) -> usize {
+        self.cursor.step(
+            &self.plan,
+            &self.candidates,
+            &mut self.solver,
+            &self.row_outputs,
+            max_items,
+        )
+    }
+
+    /// Snapshots the complete resumable state.
+    pub fn progress(&self) -> AnyIoProgress {
+        AnyIoProgress {
+            pos: self.cursor.pos,
+            best: self.cursor.best.clone(),
+            queries: self.cursor.queries.clone(),
+        }
+    }
+
+    /// Re-attaches checkpointed progress to a freshly rebuilt job.
+    /// Stepping on resumes the uninterrupted run bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the progress does not fit this job's plan (wrong
+    /// candidate count or a position past the work list) — the usual
+    /// cause is a checkpoint from a different workload.
+    pub fn restore(&mut self, progress: &AnyIoProgress) {
+        assert_eq!(
+            progress.best.len(),
+            self.candidates.len(),
+            "checkpoint candidate count does not match the job"
+        );
+        assert_eq!(
+            progress.queries.len(),
+            self.candidates.len(),
+            "checkpoint candidate count does not match the job"
+        );
+        assert!(
+            progress.pos <= self.plan.work.len(),
+            "checkpoint position is past the job's work list"
+        );
+        self.cursor.pos = progress.pos;
+        self.cursor.best = progress.best.clone();
+        self.cursor.queries = progress.queries.clone();
+        // Force a phase reset on the first resumed item: the fresh
+        // solver's phase state differs from the interrupted run's, but
+        // phases are heuristics — answers, and therefore verdicts and
+        // query counts, are unaffected.
+        self.cursor.last_cand = u32::MAX;
+    }
+
+    /// Stitches the final verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not [`is_done`](Self::is_done).
+    pub fn verdicts(&self) -> Vec<AnyIoVerdict> {
+        assert!(self.is_done(), "job has unvisited work items");
+        any_io_verdicts(&self.plan, &self.cursor.best, &self.cursor.queries)
+    }
+}
+
+/// One camouflaged netlist kept encoded across submissions.
+///
+/// A session pins the circuit by content fingerprint
+/// ([`fingerprint_session`]), encodes it once, and serves repeated
+/// sweeps from the same solver: learnt clauses accumulate across calls
+/// (warm starts), and screen vector batches are cached per candidate
+/// batch. Warm results are identical to cold ones — including query
+/// counts — because screens are rebuilt-or-cached deterministically and
+/// SAT answers are mathematically determined.
+pub struct SweepSession {
+    key: u64,
+    cnf: CircuitCnf,
+    /// Recently used screens, most recent last, keyed by candidate
+    /// batch + vector count.
+    screens: Vec<(u64, CamoScreen)>,
+}
+
+impl SweepSession {
+    /// Encodes `nl` once and fingerprints the `(netlist, library,
+    /// camouflage library)` triple as the session key.
+    pub fn new(nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> SweepSession {
+        SweepSession {
+            key: fingerprint_session(nl, lib, camo),
+            cnf: encode_netlist(nl, lib, camo),
+            screens: Vec::new(),
+        }
+    }
+
+    /// The session's content fingerprint.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Whether this session was built from exactly this circuit.
+    pub fn matches(&self, nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> bool {
+        self.key == fingerprint_session(nl, lib, camo)
+    }
+
+    /// Approximate heap footprint of the retained state (clause arena,
+    /// watch lists, learnt metadata, cached screens), for cache byte
+    /// budgets.
+    pub fn db_bytes(&self) -> usize {
+        self.cnf.solver.db_bytes() + self.screens.iter().map(|(_, s)| s.bytes()).sum::<usize>()
+    }
+
+    /// Identity-interpretation sweep on the session solver — the warm
+    /// equivalent of
+    /// [`plausibility_sweep_with`](crate::plausibility_sweep_with) with
+    /// `shards = 1`; learnt clauses persist into later calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on candidate shape mismatches or a circuit that does not
+    /// match the session fingerprint.
+    pub fn sweep_identity(
+        &mut self,
+        nl: &Netlist,
+        lib: &Library,
+        camo: &CamoLibrary,
+        candidates: &[VectorFunction],
+        opts: &SweepOptions,
+    ) -> Vec<SweepVerdict> {
+        self.check(nl, lib, camo);
+        for candidate in candidates {
+            assert_eq!(
+                candidate.n_inputs(),
+                nl.inputs().len(),
+                "input arity mismatch"
+            );
+            assert_eq!(
+                candidate.n_outputs(),
+                nl.outputs().len(),
+                "output arity mismatch"
+            );
+        }
+        let mut verdicts: Vec<Option<SweepVerdict>> = vec![None; candidates.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        let screen = opts
+            .screen
+            .then(|| self.screen_for(nl, lib, camo, candidates, opts.screen_vectors))
+            .flatten();
+        if let Some(screen) = screen {
+            for (j, candidate) in candidates.iter().enumerate() {
+                match screen.classify_identity(candidate) {
+                    ScreenOutcome::Refuted => {
+                        verdicts[j] = Some(SweepVerdict {
+                            plausible: false,
+                            screened: true,
+                        });
+                    }
+                    ScreenOutcome::Confirmed => {
+                        verdicts[j] = Some(SweepVerdict {
+                            plausible: true,
+                            screened: true,
+                        });
+                    }
+                    ScreenOutcome::Unknown => pending.push(j),
+                }
+            }
+        } else {
+            pending.extend(0..candidates.len());
+        }
+        let mut assumptions = Vec::new();
+        for &j in &pending {
+            // Per-candidate phase hygiene, exactly as the one-shot sweep.
+            self.cnf.solver.reset_phases();
+            candidate_assumptions(&self.cnf.row_outputs, &candidates[j], &mut assumptions);
+            verdicts[j] = Some(SweepVerdict {
+                plausible: self.cnf.solver.solve_with(&assumptions),
+                screened: false,
+            });
+        }
+        verdicts
+            .into_iter()
+            .map(|v| v.expect("every candidate is resolved by screen or solver"))
+            .collect()
+    }
+
+    /// Interpretation-freedom sweep on the session solver — the warm
+    /// equivalent of
+    /// [`plausibility_sweep_any_io_with`](crate::plausibility_sweep_any_io_with)
+    /// with `shards = 1` (`opts.shards` is ignored); learnt clauses
+    /// persist into later calls.
+    ///
+    /// # Panics
+    ///
+    /// As [`plausibility_sweep_any_io`](crate::plausibility_sweep_any_io),
+    /// plus a circuit that does not match the session fingerprint.
+    pub fn sweep_any_io(
+        &mut self,
+        nl: &Netlist,
+        lib: &Library,
+        camo: &CamoLibrary,
+        candidates: &[VectorFunction],
+        opts: &AnyIoOptions,
+    ) -> Vec<AnyIoVerdict> {
+        self.check(nl, lib, camo);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let plan = self.plan(nl, lib, camo, candidates, opts);
+        let mut cursor = AnyIoCursor::new(&plan);
+        cursor.step(
+            &plan,
+            candidates,
+            &mut self.cnf.solver,
+            &self.cnf.row_outputs,
+            usize::MAX,
+        );
+        any_io_verdicts(&plan, &cursor.best, &cursor.queries)
+    }
+
+    /// Plans a detachable [`AnyIoJob`] warm-started from this session:
+    /// the job's solver is a [`Solver::clone_db`] clone, so it carries
+    /// every learnt clause the session has accumulated, and the screen
+    /// comes from the session cache. The session itself stays available.
+    ///
+    /// # Panics
+    ///
+    /// As [`sweep_any_io`](Self::sweep_any_io).
+    pub fn any_io_job(
+        &mut self,
+        nl: &Netlist,
+        lib: &Library,
+        camo: &CamoLibrary,
+        candidates: &[VectorFunction],
+        opts: &AnyIoOptions,
+    ) -> AnyIoJob {
+        self.check(nl, lib, camo);
+        let plan = self.plan(nl, lib, camo, candidates, opts);
+        AnyIoJob::from_parts(
+            plan,
+            candidates.to_vec(),
+            self.cnf.solver.clone_db(),
+            self.cnf.row_outputs.clone(),
+        )
+    }
+
+    fn check(&self, nl: &Netlist, lib: &Library, camo: &CamoLibrary) {
+        assert!(
+            self.matches(nl, lib, camo),
+            "circuit does not match the session fingerprint"
+        );
+    }
+
+    fn plan(
+        &mut self,
+        nl: &Netlist,
+        lib: &Library,
+        camo: &CamoLibrary,
+        candidates: &[VectorFunction],
+        opts: &AnyIoOptions,
+    ) -> AnyIoPlan {
+        let screen = opts
+            .screen
+            .then(|| self.screen_for(nl, lib, camo, candidates, opts.screen_vectors))
+            .flatten();
+        plan_any_io(nl, candidates, opts.prune, screen)
+    }
+
+    /// The cached screen for this candidate batch, building (and
+    /// evicting the least recently used entry) on a miss. Sound because
+    /// [`CamoScreen::build`] is deterministic in `(circuit, candidates,
+    /// n_vectors)` — a hit returns exactly what a rebuild would.
+    fn screen_for(
+        &mut self,
+        nl: &Netlist,
+        lib: &Library,
+        camo: &CamoLibrary,
+        candidates: &[VectorFunction],
+        n_vectors: usize,
+    ) -> Option<&CamoScreen> {
+        let key = screen_key(candidates, n_vectors);
+        if let Some(i) = self.screens.iter().position(|(k, _)| *k == key) {
+            let hit = self.screens.remove(i);
+            self.screens.push(hit);
+        } else {
+            let built = CamoScreen::build(nl, lib, camo, candidates, n_vectors)?;
+            self.screens.push((key, built));
+            if self.screens.len() > MAX_CACHED_SCREENS {
+                self.screens.remove(0);
+            }
+        }
+        Some(&self.screens.last().expect("just pushed or moved").1)
+    }
+}
+
+/// Content key of a screen: the candidate batch's lookup tables plus the
+/// requested vector count (both of which `CamoScreen::build` is a pure
+/// function of, given the session's fixed circuit).
+fn screen_key(candidates: &[VectorFunction], n_vectors: usize) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(n_vectors);
+    h.write_usize(candidates.len());
+    for c in candidates {
+        h.write_usize(c.n_inputs());
+        h.write_usize(c.n_outputs());
+        for t in c.outputs() {
+            for &w in t.words() {
+                h.write_u64(w);
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        plausibility_sweep_any_io_with, plausibility_sweep_with, random_camouflage, SweepOptions,
+    };
+    use mvf_sboxes::optimal_sboxes;
+
+    fn setup() -> (Library, CamoLibrary) {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        (lib, camo)
+    }
+
+    #[test]
+    fn session_identity_sweep_matches_one_shot_warm_and_cold() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let candidates = boxes[..5].to_vec();
+        let opts = SweepOptions::default();
+        let cold = plausibility_sweep_with(&circuit, &lib, &camo, &candidates, &opts);
+        let mut session = SweepSession::new(&circuit, &lib, &camo);
+        let first = session.sweep_identity(&circuit, &lib, &camo, &candidates, &opts);
+        assert_eq!(first, cold, "cold session sweep differs from one-shot");
+        // Second pass: warm solver, cached screen — identical verdicts.
+        let second = session.sweep_identity(&circuit, &lib, &camo, &candidates, &opts);
+        assert_eq!(second, cold, "warm session sweep differs from one-shot");
+    }
+
+    #[test]
+    fn session_any_io_sweep_matches_one_shot_warm_and_cold() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let candidates = boxes[..3].to_vec();
+        let opts = AnyIoOptions::default();
+        let cold = plausibility_sweep_any_io_with(&circuit, &lib, &camo, &candidates, &opts);
+        let mut session = SweepSession::new(&circuit, &lib, &camo);
+        let first = session.sweep_any_io(&circuit, &lib, &camo, &candidates, &opts);
+        assert_eq!(first, cold, "cold session sweep differs from one-shot");
+        let second = session.sweep_any_io(&circuit, &lib, &camo, &candidates, &opts);
+        assert_eq!(
+            second, cold,
+            "warm session sweep differs from one-shot (queries included)"
+        );
+    }
+
+    #[test]
+    fn job_run_to_completion_matches_serial_sweep() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let candidates = boxes[..3].to_vec();
+        let opts = AnyIoOptions::default();
+        let serial = plausibility_sweep_any_io_with(&circuit, &lib, &camo, &candidates, &opts);
+        let mut job = AnyIoJob::new(&circuit, &lib, &camo, candidates, &opts);
+        while job.step(7) > 0 {}
+        assert!(job.is_done());
+        assert_eq!(job.verdicts(), serial);
+    }
+
+    #[test]
+    fn job_resumed_at_every_boundary_is_bit_identical() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let candidates = boxes[..2].to_vec();
+        let opts = AnyIoOptions::default();
+        let mut reference = AnyIoJob::new(&circuit, &lib, &camo, candidates.clone(), &opts);
+        reference.step(usize::MAX);
+        let expected = reference.verdicts();
+        let total = reference.total_work();
+        // Kill after every possible chunk boundary (chunk size 3), throw
+        // the job away, rebuild from scratch, restore, finish.
+        let mut killed = AnyIoJob::new(&circuit, &lib, &camo, candidates.clone(), &opts);
+        let mut boundaries = 0;
+        loop {
+            let advanced = killed.step(3) > 0;
+            boundaries += 1;
+            let checkpoint = killed.progress();
+            let mut resumed = AnyIoJob::new(&circuit, &lib, &camo, candidates.clone(), &opts);
+            resumed.restore(&checkpoint);
+            assert_eq!(resumed.position(), killed.position());
+            resumed.step(usize::MAX);
+            assert_eq!(
+                resumed.verdicts(),
+                expected,
+                "resume at position {} of {total} diverged",
+                checkpoint.pos
+            );
+            if !advanced {
+                break;
+            }
+        }
+        assert!(boundaries >= 2, "corpus too small to exercise resume");
+    }
+
+    #[test]
+    fn warm_job_from_session_matches_cold_job() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let candidates = boxes[..2].to_vec();
+        let opts = AnyIoOptions::default();
+        let mut cold = AnyIoJob::new(&circuit, &lib, &camo, candidates.clone(), &opts);
+        cold.step(usize::MAX);
+        let mut session = SweepSession::new(&circuit, &lib, &camo);
+        // Heat the session up first; the job still matches the cold run.
+        session.sweep_identity(&circuit, &lib, &camo, &candidates, &SweepOptions::default());
+        let mut warm = session.any_io_job(&circuit, &lib, &camo, &candidates, &opts);
+        warm.step(usize::MAX);
+        assert_eq!(warm.verdicts(), cold.verdicts());
+    }
+
+    #[test]
+    fn session_rejects_a_different_circuit() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let other = random_camouflage(&boxes[1], &lib, &camo).unwrap();
+        let mut session = SweepSession::new(&circuit, &lib, &camo);
+        assert!(session.matches(&circuit, &lib, &camo));
+        assert!(!session.matches(&other, &lib, &camo));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session.sweep_identity(&other, &lib, &camo, &boxes[..1], &SweepOptions::default())
+        }));
+        assert!(result.is_err(), "mismatched circuit must be rejected");
+    }
+
+    #[test]
+    fn session_reports_a_nonzero_footprint() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let mut session = SweepSession::new(&circuit, &lib, &camo);
+        let fresh = session.db_bytes();
+        assert!(fresh > 0);
+        session.sweep_identity(&circuit, &lib, &camo, &boxes[..3], &SweepOptions::default());
+        assert!(
+            session.db_bytes() >= fresh,
+            "sweeping must not shrink the accounted footprint"
+        );
+    }
+}

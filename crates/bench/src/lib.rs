@@ -13,6 +13,9 @@
 //! | `MVF_THREADS` | fitness-evaluation worker threads (`parallel` feature; results are bit-identical to serial) | all cores |
 //! | `MVF_SCREEN_VECTORS` | screening batch size of the `micro` bench's screen-then-solve section (verdicts are bit-identical for every value) | 256 |
 //! | `MVF_BENCH_OUT` | path of the `micro` bench's JSON report | `BENCH_sim.json` at the repo root |
+//! | `MVF_SERVE_ADDR` | TCP listen address of the `mvf-serve` audit service; unset = stdio | unset |
+//! | `MVF_CHECKPOINT_STEPS` | GA generations between `mvf-serve` checkpoints | 1 |
+//! | `MVF_SESSION_CACHE_MB` | `mvf-serve` session-cache byte budget, in MiB | 64 |
 //!
 //! Parallel fitness evaluation is compiled in through the `parallel`
 //! cargo feature (a default feature of this crate and of the workspace

@@ -362,6 +362,31 @@ impl<S> Flow<S> {
         self.complete(functions, assignment, ga_history, evaluations, 0)
     }
 
+    /// [`Flow::finish`] with an explicit failed-evaluation tally, for
+    /// externally driven searches (checkpointed or stepped runners) that
+    /// track their own failure count instead of going through
+    /// [`Flow::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Flow::run`].
+    pub fn finish_with(
+        &self,
+        functions: &[VectorFunction],
+        assignment: PinAssignment,
+        ga_history: Vec<GenStats>,
+        evaluations: usize,
+        failed_evaluations: usize,
+    ) -> Result<FlowResult, MvfError> {
+        self.complete(
+            functions,
+            assignment,
+            ga_history,
+            evaluations,
+            failed_evaluations,
+        )
+    }
+
     pub(crate) fn complete(
         &self,
         functions: &[VectorFunction],

@@ -14,6 +14,8 @@
 //! for every thread count. So `run_many(&ws)[i]` equals
 //! `flow.run_seeded(&ws[i].functions, reports[i].seed)` exactly.
 
+use std::fmt;
+
 use mvf_ga::{resolve_threads, SearchStrategy};
 use mvf_logic::VectorFunction;
 
@@ -47,6 +49,16 @@ impl Workload {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
         self
+    }
+
+    /// The seed this workload uses at batch position `index` under a
+    /// strategy seeded `strategy_seed` — the workload's own override, or
+    /// the same derivation [`Flow::run_many`] applies. Exposed so
+    /// external drivers (checkpointed audit jobs) reproduce batch
+    /// reports exactly.
+    pub fn resolve_seed(&self, strategy_seed: u64, index: u64) -> u64 {
+        self.seed
+            .unwrap_or_else(|| derive_seed(strategy_seed, index))
     }
 }
 
@@ -102,10 +114,93 @@ pub struct WorkloadReport {
     pub plausibility: Option<Vec<PlausibilityVerdict>>,
 }
 
+impl PlausibilityVerdict {
+    /// Folds interpretation-freedom verdicts into report verdicts, for a
+    /// circuit with `n_in` inputs and `n_out` outputs. The identity
+    /// interpretation is orbit index 0 of the any-IO search and can
+    /// never be skipped, so identity plausibility is derivable from the
+    /// witness: the witness *is* the identity pair. This is exactly the
+    /// mapping [`Flow::run_many`] applies, exposed so externally driven
+    /// sweeps (checkpointed audit jobs) produce identical reports.
+    pub fn from_any_io(
+        n_in: usize,
+        n_out: usize,
+        verdicts: Vec<mvf_attack::AnyIoVerdict>,
+    ) -> Vec<PlausibilityVerdict> {
+        let id_pair = (
+            (0..n_in).collect::<Vec<_>>(),
+            (0..n_out).collect::<Vec<_>>(),
+        );
+        verdicts
+            .into_iter()
+            .map(|v| PlausibilityVerdict {
+                identity: v.witness.as_ref() == Some(&id_pair),
+                any_io: Some(v.plausible),
+                witness_perm: v.witness,
+                screened: v.screened,
+                queries: v.queries,
+            })
+            .collect()
+    }
+
+    /// Folds identity-interpretation verdicts into report verdicts — the
+    /// [`Flow::run_many`] mapping for flows without interpretation
+    /// freedom.
+    pub fn from_identity(verdicts: &[mvf_attack::SweepVerdict]) -> Vec<PlausibilityVerdict> {
+        verdicts
+            .iter()
+            .map(|v| PlausibilityVerdict {
+                identity: v.plausible,
+                any_io: None,
+                witness_perm: None,
+                screened: usize::from(v.screened),
+                queries: usize::from(!v.screened),
+            })
+            .collect()
+    }
+}
+
 impl WorkloadReport {
     /// The successful result, if any.
     pub fn result(&self) -> Option<&FlowResult> {
         self.outcome.as_ref().ok()
+    }
+}
+
+impl fmt::Display for WorkloadReport {
+    /// One stable summary line per report:
+    /// `name [strategy, seed 0x…]: ok, area A GE, evals E, plausible
+    /// k/n, any-io k/n, screened S, queries Q` (the plausibility tail
+    /// appears only when a sweep ran, the any-io field only under
+    /// interpretation freedom), or `name [strategy, seed 0x…]: error: …`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}, seed {:#018x}]: ",
+            self.name, self.strategy, self.seed
+        )?;
+        match &self.outcome {
+            Err(e) => write!(f, "error: {e}"),
+            Ok(r) => {
+                write!(
+                    f,
+                    "ok, area {:.1} GE, evals {}",
+                    r.mapped_area_ge, r.evaluations
+                )?;
+                if let Some(vs) = &self.plausibility {
+                    let identity = vs.iter().filter(|v| v.identity).count();
+                    write!(f, ", plausible {identity}/{}", vs.len())?;
+                    if vs.iter().any(|v| v.any_io.is_some()) {
+                        let any = vs.iter().filter(|v| v.any_io == Some(true)).count();
+                        write!(f, ", any-io {any}/{}", vs.len())?;
+                    }
+                    let screened: usize = vs.iter().map(|v| v.screened).sum();
+                    let queries: usize = vs.iter().map(|v| v.queries).sum();
+                    write!(f, ", screened {screened}, queries {queries}")?;
+                }
+                Ok(())
+            }
+        }
     }
 }
 
@@ -207,17 +302,9 @@ impl<S: SearchStrategy> Flow<S> {
                     resolve_threads(threads)
                 };
                 if self.attack_interpretation_freedom {
-                    // The identity interpretation is orbit index 0 of the
-                    // any-IO search and can never be skipped, so its
-                    // verdict is derivable from the witness: identity
-                    // plausibility ⇔ the witness *is* the identity pair.
-                    // One sweep (one encoding) answers both questions.
-                    let n_in = result.mapped.netlist.inputs().len();
-                    let n_out = result.mapped.netlist.outputs().len();
-                    let id_pair = (
-                        (0..n_in).collect::<Vec<_>>(),
-                        (0..n_out).collect::<Vec<_>>(),
-                    );
+                    // One sweep (one encoding) answers both the any-IO
+                    // and the identity question — see
+                    // [`PlausibilityVerdict::from_any_io`].
                     let any_io = mvf_attack::plausibility_sweep_any_io_with(
                         &result.mapped.netlist,
                         &self.lib,
@@ -229,18 +316,11 @@ impl<S: SearchStrategy> Flow<S> {
                             ..mvf_attack::AnyIoOptions::default()
                         },
                     );
-                    Some(
-                        any_io
-                            .into_iter()
-                            .map(|v| PlausibilityVerdict {
-                                identity: v.witness.as_ref() == Some(&id_pair),
-                                any_io: Some(v.plausible),
-                                witness_perm: v.witness,
-                                screened: v.screened,
-                                queries: v.queries,
-                            })
-                            .collect(),
-                    )
+                    Some(PlausibilityVerdict::from_any_io(
+                        result.mapped.netlist.inputs().len(),
+                        result.mapped.netlist.outputs().len(),
+                        any_io,
+                    ))
                 } else {
                     let identity = mvf_attack::plausibility_sweep_with(
                         &result.mapped.netlist,
@@ -253,18 +333,7 @@ impl<S: SearchStrategy> Flow<S> {
                             ..mvf_attack::SweepOptions::default()
                         },
                     );
-                    Some(
-                        identity
-                            .into_iter()
-                            .map(|v| PlausibilityVerdict {
-                                identity: v.plausible,
-                                any_io: None,
-                                witness_perm: None,
-                                screened: usize::from(v.screened),
-                                queries: usize::from(!v.screened),
-                            })
-                            .collect(),
-                    )
+                    Some(PlausibilityVerdict::from_identity(&identity))
                 }
             }
             _ => None,
@@ -297,6 +366,31 @@ mod tests {
         let w = Workload::new("empty", Vec::new()).with_seed(42);
         assert_eq!(w.seed, Some(42));
         assert_eq!(w.name, "empty");
+    }
+
+    #[test]
+    fn resolve_seed_matches_run_many_derivation() {
+        let w = Workload::new("w", Vec::new());
+        assert_eq!(w.resolve_seed(0xC0FFEE, 3), derive_seed(0xC0FFEE, 3));
+        let pinned = w.with_seed(7);
+        assert_eq!(pinned.resolve_seed(0xC0FFEE, 3), 7);
+    }
+
+    #[test]
+    fn report_display_is_a_stable_one_liner() {
+        let report = WorkloadReport {
+            name: "PRESENT x2".into(),
+            seed: 0xA77,
+            strategy: "ga",
+            outcome: Err(MvfError::Merge(mvf_merge::MergeError::NoFunctions)),
+            plausibility: None,
+        };
+        let line = report.to_string();
+        assert!(
+            line.starts_with("PRESENT x2 [ga, seed 0x0000000000000a77]: error:"),
+            "{line}"
+        );
+        assert!(!line.contains('\n'), "summary must be one line: {line}");
     }
 
     #[test]

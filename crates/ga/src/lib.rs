@@ -231,6 +231,140 @@ pub struct GaResult<G> {
     pub evaluations: usize,
 }
 
+/// The complete mid-run state of a GA search at a generation boundary.
+///
+/// Everything the engine carries between generations is here — the
+/// sorted population with fitness, the master RNG's stream position, the
+/// incumbent best, the statistics trail and the evaluation counter — so
+/// a search can be paused, serialized, and resumed **bit-identically**:
+/// stepping a restored state produces exactly the generations the
+/// uninterrupted run would have produced. This is the checkpoint payload
+/// of the audit service's long jobs.
+#[derive(Debug, Clone)]
+pub struct GaSearchState<G> {
+    /// Generations completed so far (`0` = only the initial population
+    /// has been evaluated).
+    pub generation: usize,
+    /// The master RNG's internal state at this boundary
+    /// ([`StdRng::state`]); breeding resumes the stream exactly here.
+    pub master_rng: [u64; 4],
+    /// The current population with fitness, sorted ascending (best
+    /// first).
+    pub population: Vec<(G, f64)>,
+    /// The best `(genome, fitness)` seen so far.
+    pub best: (G, f64),
+    /// Per-generation statistics (index 0 = initial population).
+    pub history: Vec<GenStats>,
+    /// Fitness evaluations spent so far.
+    pub evaluations: usize,
+}
+
+fn gen_stats<G>(pop: &[(G, f64)], best: f64) -> GenStats {
+    GenStats {
+        best_so_far: best,
+        best: pop.iter().map(|p| p.1).fold(f64::INFINITY, f64::min),
+        avg: pop.iter().map(|p| p.1).sum::<f64>() / pop.len() as f64,
+    }
+}
+
+/// Evaluates the initial population — the state every run steps from.
+fn ga_init<G, I, S>(
+    cfg: &GaConfig,
+    init: &mut I,
+    scorer: &S,
+    threads: usize,
+    ctxs: &mut Vec<Option<S::Ctx>>,
+) -> GaSearchState<G>
+where
+    G: Clone + Sync,
+    I: FnMut(&mut StdRng) -> G,
+    S: BatchScorer<G>,
+    S::Ctx: Send,
+{
+    let mut master = StdRng::seed_from_u64(cfg.seed);
+    // Initial population: one pre-drawn RNG stream per individual.
+    let genomes: Vec<G> = (0..cfg.population)
+        .map(|_| {
+            let mut stream = StdRng::seed_from_u64(master.gen::<u64>());
+            init(&mut stream)
+        })
+        .collect();
+    let fits = evaluate_batch(&genomes, scorer, threads, ctxs);
+    let evaluations = genomes.len();
+    let mut population: Vec<(G, f64)> = genomes.into_iter().zip(fits).collect();
+    population.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let best = population[0].clone();
+    let mut history = Vec::with_capacity(cfg.generations + 1);
+    history.push(gen_stats(&population, best.1));
+    GaSearchState {
+        generation: 0,
+        master_rng: master.state(),
+        population,
+        best,
+        history,
+        evaluations,
+    }
+}
+
+/// Advances a search state by exactly one generation: breed serially
+/// from the state's RNG position, score the batch, apply elitism, sort,
+/// update the incumbent and the statistics trail.
+fn ga_step<G, M, C, S>(
+    cfg: &GaConfig,
+    mutate: &mut M,
+    crossover: &mut C,
+    scorer: &S,
+    threads: usize,
+    ctxs: &mut Vec<Option<S::Ctx>>,
+    state: &mut GaSearchState<G>,
+) where
+    G: Clone + Sync,
+    M: FnMut(&mut G, &mut StdRng),
+    C: FnMut(&G, &G, &mut StdRng) -> G,
+    S: BatchScorer<G>,
+    S::Ctx: Send,
+{
+    let mut master = StdRng::from_state(state.master_rng);
+    let population = &mut state.population;
+    let n_elite = cfg.elitism.min(cfg.population);
+    // Breed all children serially (cheap), then score the batch.
+    let mut children: Vec<G> = Vec::with_capacity(cfg.population - n_elite);
+    while children.len() < cfg.population - n_elite {
+        let p1 = tournament(population, cfg.tournament, &mut master);
+        let p2 = if master.gen_bool(cfg.crossover_rate) {
+            Some(tournament(population, cfg.tournament, &mut master))
+        } else {
+            None
+        };
+        let do_mutate = master.gen_bool(cfg.mutation_rate);
+        let mut stream = StdRng::seed_from_u64(master.gen::<u64>());
+        let mut child = match p2 {
+            Some(p2) => crossover(&population[p1].0, &population[p2].0, &mut stream),
+            None => population[p1].0.clone(),
+        };
+        if do_mutate {
+            mutate(&mut child, &mut stream);
+        }
+        children.push(child);
+    }
+    let fits = evaluate_batch(&children, scorer, threads, ctxs);
+    state.evaluations += children.len();
+    let mut next: Vec<(G, f64)> = Vec::with_capacity(cfg.population);
+    for e in population.iter().take(n_elite) {
+        next.push(e.clone());
+    }
+    next.extend(children.into_iter().zip(fits));
+    next.sort_by(|a, b| a.1.total_cmp(&b.1));
+    *population = next;
+    if population[0].1 < state.best.1 {
+        state.best = population[0].clone();
+    }
+    let stats = gen_stats(population, state.best.1);
+    state.history.push(stats);
+    state.generation += 1;
+    state.master_rng = master.state();
+}
+
 /// A minimizing genetic algorithm over an arbitrary genome type.
 #[derive(Debug, Clone)]
 pub struct GeneticAlgorithm {
@@ -301,73 +435,30 @@ impl GeneticAlgorithm {
     {
         let cfg = &self.cfg;
         let threads = resolve_threads(cfg.threads);
-        let mut master = StdRng::seed_from_u64(cfg.seed);
-        let mut evaluations = 0usize;
         // Per-worker evaluation contexts, reused across every generation
         // of the run.
         let mut ctxs: Vec<Option<S::Ctx>> = Vec::new();
-        // Initial population: one pre-drawn RNG stream per individual.
-        let genomes: Vec<G> = (0..cfg.population)
-            .map(|_| {
-                let mut stream = StdRng::seed_from_u64(master.gen::<u64>());
-                init(&mut stream)
-            })
-            .collect();
-        let fits = evaluate_batch(&genomes, scorer, threads, &mut ctxs);
-        evaluations += genomes.len();
-        let mut population: Vec<(G, f64)> = genomes.into_iter().zip(fits).collect();
-        population.sort_by(|a, b| a.1.total_cmp(&b.1));
-
-        let mut history = Vec::with_capacity(cfg.generations + 1);
-        let mut best = population[0].clone();
-        let stat = |pop: &[(G, f64)], best: f64| GenStats {
-            best_so_far: best,
-            best: pop.iter().map(|p| p.1).fold(f64::INFINITY, f64::min),
-            avg: pop.iter().map(|p| p.1).sum::<f64>() / pop.len() as f64,
-        };
-        history.push(stat(&population, best.1));
-
+        // The run is the stepped engine driven to completion: the state
+        // between generations is the same [`GaSearchState`] a paused
+        // service job checkpoints, so `run == resume(step*)` by
+        // construction, not by parallel maintenance of two loops.
+        let mut state = ga_init(cfg, &mut init, scorer, threads, &mut ctxs);
         for _ in 0..cfg.generations {
-            let n_elite = cfg.elitism.min(cfg.population);
-            // Breed all children serially (cheap), then score the batch.
-            let mut children: Vec<G> = Vec::with_capacity(cfg.population - n_elite);
-            while children.len() < cfg.population - n_elite {
-                let p1 = tournament(&population, cfg.tournament, &mut master);
-                let p2 = if master.gen_bool(cfg.crossover_rate) {
-                    Some(tournament(&population, cfg.tournament, &mut master))
-                } else {
-                    None
-                };
-                let do_mutate = master.gen_bool(cfg.mutation_rate);
-                let mut stream = StdRng::seed_from_u64(master.gen::<u64>());
-                let mut child = match p2 {
-                    Some(p2) => crossover(&population[p1].0, &population[p2].0, &mut stream),
-                    None => population[p1].0.clone(),
-                };
-                if do_mutate {
-                    mutate(&mut child, &mut stream);
-                }
-                children.push(child);
-            }
-            let fits = evaluate_batch(&children, scorer, threads, &mut ctxs);
-            evaluations += children.len();
-            let mut next: Vec<(G, f64)> = Vec::with_capacity(cfg.population);
-            for e in population.iter().take(n_elite) {
-                next.push(e.clone());
-            }
-            next.extend(children.into_iter().zip(fits));
-            next.sort_by(|a, b| a.1.total_cmp(&b.1));
-            population = next;
-            if population[0].1 < best.1 {
-                best = population[0].clone();
-            }
-            history.push(stat(&population, best.1));
+            ga_step(
+                cfg,
+                &mut mutate,
+                &mut crossover,
+                scorer,
+                threads,
+                &mut ctxs,
+                &mut state,
+            );
         }
         GaResult {
-            best_genome: best.0,
-            best_fitness: best.1,
-            history,
-            evaluations,
+            best_genome: state.best.0,
+            best_fitness: state.best.1,
+            history: state.history,
+            evaluations: state.evaluations,
         }
     }
 
@@ -376,6 +467,122 @@ impl GeneticAlgorithm {
     pub fn evaluation_budget(&self) -> usize {
         let per_gen = self.cfg.population - self.cfg.elitism.min(self.cfg.population);
         self.cfg.population + self.cfg.generations * per_gen
+    }
+}
+
+/// Drives a [`GeneticAlgorithm`] over an [`Objective`] one generation at
+/// a time, exposing the full [`GaSearchState`] at every boundary.
+///
+/// This is the pausable form of [`GeneticAlgorithm::run_objective`] the
+/// audit service builds checkpoints on: run some generations, serialize
+/// [`ObjectiveRunner::state`], and later [`ObjectiveRunner::resume`]
+/// from the snapshot — the completed search is bit-identical to one that
+/// was never interrupted, because the state carries the master RNG's
+/// exact stream position and the scored population. Evaluation contexts
+/// are rebuilt on resume; by the [`Objective`] contract their reuse (or
+/// loss) cannot change results.
+pub struct ObjectiveRunner<'a, O: Objective> {
+    engine: GeneticAlgorithm,
+    objective: &'a O,
+    threads: usize,
+    ctxs: Vec<Option<O::Ctx>>,
+    state: GaSearchState<O::Genome>,
+}
+
+impl<'a, O: Objective> ObjectiveRunner<'a, O> {
+    /// Starts a fresh search: evaluates the initial population and stops
+    /// at the first generation boundary.
+    pub fn start(engine: GeneticAlgorithm, objective: &'a O) -> Self {
+        let threads = resolve_threads(engine.cfg.threads);
+        let mut ctxs: Vec<Option<O::Ctx>> = Vec::new();
+        let state = ga_init(
+            &engine.cfg,
+            &mut |rng| objective.init(rng),
+            &ObjScorer(objective),
+            threads,
+            &mut ctxs,
+        );
+        ObjectiveRunner {
+            engine,
+            objective,
+            threads,
+            ctxs,
+            state,
+        }
+    }
+
+    /// Resumes from a snapshot taken by [`ObjectiveRunner::state`] on an
+    /// engine with the *same* configuration (seed, rates, population).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's population size does not match the
+    /// engine configuration — the clearest symptom of restoring a
+    /// checkpoint against the wrong job.
+    pub fn resume(
+        engine: GeneticAlgorithm,
+        objective: &'a O,
+        state: GaSearchState<O::Genome>,
+    ) -> Self {
+        assert_eq!(
+            state.population.len(),
+            engine.cfg.population,
+            "checkpoint population does not match the engine configuration"
+        );
+        let threads = resolve_threads(engine.cfg.threads);
+        ObjectiveRunner {
+            engine,
+            objective,
+            threads,
+            ctxs: Vec::new(),
+            state,
+        }
+    }
+
+    /// The state at the current generation boundary.
+    pub fn state(&self) -> &GaSearchState<O::Genome> {
+        &self.state
+    }
+
+    /// Whether the configured number of generations has completed.
+    pub fn is_done(&self) -> bool {
+        self.state.generation >= self.engine.cfg.generations
+    }
+
+    /// Runs one generation; returns `false` (and does nothing) when the
+    /// search is already complete.
+    pub fn step(&mut self) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        let objective = self.objective;
+        ga_step(
+            &self.engine.cfg,
+            &mut |g: &mut O::Genome, rng: &mut StdRng| objective.mutate(g, rng),
+            &mut |a: &O::Genome, b: &O::Genome, rng: &mut StdRng| objective.crossover(a, b, rng),
+            &ObjScorer(objective),
+            self.threads,
+            &mut self.ctxs,
+            &mut self.state,
+        );
+        true
+    }
+
+    /// Steps until done and returns the final result.
+    pub fn finish(mut self) -> GaResult<O::Genome> {
+        while self.step() {}
+        self.into_result()
+    }
+
+    /// The result of the search so far (the incumbent best, the history
+    /// trail and the evaluation count up to the current boundary).
+    pub fn into_result(self) -> GaResult<O::Genome> {
+        GaResult {
+            best_genome: self.state.best.0,
+            best_fitness: self.state.best.1,
+            history: self.state.history,
+            evaluations: self.state.evaluations,
+        }
     }
 }
 
@@ -734,6 +941,100 @@ mod tests {
                 assert_eq!(a.avg.to_bits(), b.avg.to_bits());
             }
         }
+    }
+
+    struct BitsObjective;
+    impl Objective for BitsObjective {
+        type Genome = u32;
+        type Ctx = ();
+        fn new_ctx(&self) {}
+        fn init(&self, rng: &mut StdRng) -> u32 {
+            rng.gen()
+        }
+        fn mutate(&self, g: &mut u32, rng: &mut StdRng) {
+            *g ^= 1u32 << rng.gen_range(0..32);
+        }
+        fn crossover(&self, a: &u32, b: &u32, _rng: &mut StdRng) -> u32 {
+            (a & 0xFFFF_0000) | (b & 0xFFFF)
+        }
+        fn evaluate(&self, _ctx: &mut (), g: &u32) -> f64 {
+            g.count_ones() as f64
+        }
+    }
+
+    fn assert_results_identical(a: &GaResult<u32>, b: &GaResult<u32>) {
+        assert_eq!(a.best_genome, b.best_genome);
+        assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.best_so_far.to_bits(), y.best_so_far.to_bits());
+            assert_eq!(x.best.to_bits(), y.best.to_bits());
+            assert_eq!(x.avg.to_bits(), y.avg.to_bits());
+        }
+    }
+
+    #[test]
+    fn stepped_runner_is_bit_identical_to_run_objective() {
+        let cfg = GaConfig {
+            population: 10,
+            generations: 9,
+            seed: 0xBEE,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let direct = GeneticAlgorithm::new(cfg.clone()).run_objective(&BitsObjective);
+        let stepped = ObjectiveRunner::start(GeneticAlgorithm::new(cfg), &BitsObjective).finish();
+        assert_results_identical(&direct, &stepped);
+    }
+
+    #[test]
+    fn resume_at_every_boundary_is_bit_identical() {
+        let cfg = GaConfig {
+            population: 8,
+            generations: 6,
+            seed: 0x5AFE,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let uninterrupted = GeneticAlgorithm::new(cfg.clone()).run_objective(&BitsObjective);
+        for kill_at in 0..=cfg.generations {
+            // Run to the boundary, snapshot, drop the runner ("kill"),
+            // resume from the snapshot alone.
+            let mut first =
+                ObjectiveRunner::start(GeneticAlgorithm::new(cfg.clone()), &BitsObjective);
+            for _ in 0..kill_at {
+                first.step();
+            }
+            let snapshot = first.state().clone();
+            drop(first);
+            let resumed = ObjectiveRunner::resume(
+                GeneticAlgorithm::new(cfg.clone()),
+                &BitsObjective,
+                snapshot,
+            )
+            .finish();
+            assert_results_identical(&uninterrupted, &resumed);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint population")]
+    fn resume_rejects_mismatched_population() {
+        let cfg = GaConfig {
+            population: 8,
+            generations: 2,
+            seed: 1,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let runner = ObjectiveRunner::start(GeneticAlgorithm::new(cfg.clone()), &BitsObjective);
+        let state = runner.state().clone();
+        let wrong = GaConfig {
+            population: 9,
+            ..cfg
+        };
+        let _ = ObjectiveRunner::resume(GeneticAlgorithm::new(wrong), &BitsObjective, state);
     }
 
     #[test]

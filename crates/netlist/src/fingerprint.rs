@@ -1,0 +1,210 @@
+//! Content fingerprints for netlists and cell libraries.
+//!
+//! The audit service (`mvf-serve`) caches per-netlist SAT encodings and
+//! learnt clauses across submissions, keyed by *content*: two
+//! structurally identical netlists must hash alike no matter how they
+//! were built, and any change to a cell, a connection, a pin order or a
+//! camouflaged cell's plausible-function set must change the key.
+//!
+//! The hasher is FNV-1a over a canonical byte stream (the environment is
+//! offline, so no external hash crates): fast, dependency-free and
+//! stable across platforms — the fingerprint is part of the service's
+//! cache semantics, not an in-process-only value.
+
+use mvf_cells::{CamoLibrary, Library};
+
+use crate::netlist::{CellRef, Netlist};
+
+/// A streaming 64-bit FNV-1a hasher over a canonical byte encoding.
+///
+/// Collisions are theoretically possible (64-bit digest), but the cache
+/// this keys is a performance layer: a collision could only warm-start a
+/// solver with another netlist's learnt clauses, never change a verdict,
+/// because sweeps re-derive every answer from the submitted netlist.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` as `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` stream differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Fingerprints a netlist's structure: inputs, cell instances (library
+/// reference, pin connections, output net) and primary outputs.
+///
+/// Net and instance *names* are excluded deliberately: renaming a wire
+/// does not change what the adversary can conclude, so it must not
+/// invalidate a warm session. Structure is identified by net indices,
+/// which are canonical for a given construction order.
+pub fn fingerprint_netlist(nl: &Netlist) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(nl.inputs().len());
+    h.write_usize(nl.n_cells());
+    for (_, cell) in nl.cells() {
+        match cell.cell {
+            CellRef::Std(id) => {
+                h.write_u64(0);
+                h.write_u64(u64::from(id.0));
+            }
+            CellRef::Camo(id) => {
+                h.write_u64(1);
+                h.write_u64(u64::from(id.0));
+            }
+        }
+        h.write_usize(cell.inputs.len());
+        for &pin in &cell.inputs {
+            h.write_u64(u64::from(pin.0));
+        }
+        h.write_u64(u64::from(cell.output.0));
+    }
+    h.write_usize(nl.outputs().len());
+    for (_, net) in nl.outputs() {
+        h.write_u64(u64::from(net.0));
+    }
+    h.finish()
+}
+
+/// Absorbs a library's cell functions into `h`: cell ids in a netlist
+/// only mean something relative to the library they index, so a session
+/// key must cover both.
+pub fn absorb_library(h: &mut Fnv64, lib: &Library) {
+    h.write_usize(lib.len());
+    for (_, cell) in lib.iter() {
+        h.write_str(cell.name());
+        h.write_u64(cell.area_ge().to_bits());
+        let f = cell.function();
+        h.write_usize(f.n_vars());
+        for &w in f.words() {
+            h.write_u64(w);
+        }
+    }
+}
+
+/// Absorbs a camouflaged library: the plausible-function sets are what
+/// the whole plausibility question quantifies over, so any change to
+/// them must produce a different session key.
+pub fn absorb_camo_library(h: &mut Fnv64, camo: &CamoLibrary) {
+    h.write_usize(camo.len());
+    for (_, cell) in camo.iter() {
+        h.write_str(cell.name());
+        h.write_u64(cell.area_ge().to_bits());
+        h.write_usize(cell.plausible().len());
+        for f in cell.plausible() {
+            h.write_usize(f.n_vars());
+            for &w in f.words() {
+                h.write_u64(w);
+            }
+        }
+    }
+}
+
+/// The audit-session cache key: netlist structure plus both libraries'
+/// content. Equal keys ⇒ the SAT encoding (and everything derived from
+/// it) is interchangeable.
+pub fn fingerprint_session(nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(fingerprint_netlist(nl));
+    absorb_library(&mut h, lib);
+    absorb_camo_library(&mut h, camo);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvf_cells::CellKind;
+
+    fn tiny(name: &str, swap: bool) -> Netlist {
+        let lib = Library::standard();
+        let mut nl = Netlist::new(name);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let nand = lib.cell_by_kind(CellKind::Nand(2)).expect("NAND2");
+        let pins = if swap { vec![b, a] } else { vec![a, b] };
+        let (_, y) = nl.add_cell("u1", nand.into(), pins);
+        nl.add_output("y", y);
+        nl
+    }
+
+    #[test]
+    fn identical_structure_hashes_alike_names_do_not_matter() {
+        let x = fingerprint_netlist(&tiny("one", false));
+        let y = fingerprint_netlist(&tiny("two", false));
+        assert_eq!(x, y, "netlist and instance names are not structure");
+    }
+
+    #[test]
+    fn pin_order_changes_the_fingerprint() {
+        let x = fingerprint_netlist(&tiny("n", false));
+        let y = fingerprint_netlist(&tiny("n", true));
+        assert_ne!(x, y, "swapped pins are a different circuit");
+    }
+
+    #[test]
+    fn session_key_covers_the_libraries() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let nl = tiny("n", false);
+        let k1 = fingerprint_session(&nl, &lib, &camo);
+        let k2 = fingerprint_session(&nl, &lib, &camo);
+        assert_eq!(k1, k2, "fingerprinting is pure");
+        assert_ne!(
+            k1,
+            fingerprint_netlist(&nl),
+            "session key is not the bare netlist hash"
+        );
+    }
+
+    #[test]
+    fn fnv_stream_is_stable() {
+        // The digest is part of the on-the-wire cache semantics; pin one
+        // reference value so accidental encoding changes fail loudly.
+        let mut h = Fnv64::new();
+        h.write_str("mvf");
+        h.write_u64(17);
+        assert_eq!(h.finish(), 0x4D77_CD8B_1E48_5948);
+    }
+}

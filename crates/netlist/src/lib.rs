@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 pub mod io;
 mod netlist;
 pub mod subject_graph;

@@ -194,6 +194,18 @@ impl WatchLists {
         }
     }
 
+    /// Approximate heap bytes of the watch structures (pool or per-list
+    /// vectors, plus the offset arrays).
+    fn pool_bytes(&self) -> usize {
+        let word = std::mem::size_of::<u32>();
+        let lists: usize = if self.csr {
+            self.data.len() * word
+        } else {
+            self.lists.iter().map(|l| l.len() * word).sum()
+        };
+        lists + (self.start.len() + self.len.len() + self.cap.len()) * word
+    }
+
     /// Registers one new (empty) list. The CSR offset arrays are the
     /// source of truth for the list count; the baseline `lists` vector
     /// is only materialized while Vec mode is active, so the default
@@ -584,6 +596,24 @@ impl Solver {
     /// included) — the solver's whole clause-database footprint.
     pub fn arena_words(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Approximate heap footprint of the solver state in bytes: the
+    /// clause arena, the watch pool and the per-variable arrays — the
+    /// quantities [`Solver::clone_db`] copies. Session caches use this
+    /// for LRU byte accounting; it is an estimate for budgeting, not an
+    /// allocator-exact measurement.
+    pub fn db_bytes(&self) -> usize {
+        let per_var = std::mem::size_of::<Option<bool>>() // assign
+            + std::mem::size_of::<bool>()                 // phase
+            + std::mem::size_of::<u32>()                  // level
+            + std::mem::size_of::<u32>()                  // reason
+            + std::mem::size_of::<f64>()                  // activity
+            + std::mem::size_of::<u64>(); // lbd_stamp
+        self.arena.len() * std::mem::size_of::<u32>()
+            + self.watches.pool_bytes()
+            + self.n_vars() * per_var
+            + self.learnt_refs.len() * (std::mem::size_of::<u32>() * 2 + std::mem::size_of::<f64>())
     }
 
     /// Appends a clause block for the literals in `self.add_tmp` /

@@ -1,0 +1,111 @@
+//! **mvf-serve** — a persistent obfuscation-audit service over the MVF
+//! flow.
+//!
+//! The batch entry point ([`mvf::Flow::run_many`]) treats every workload
+//! as a one-shot: encode, search, sweep, discard. A long-lived audit
+//! service wants three things a one-shot cannot give:
+//!
+//! * **Session caching** ([`store::SessionStore`]): circuits resubmitted
+//!   with new candidate batches reuse the encoded SAT instance and its
+//!   accumulated learnt clauses, keyed by content fingerprint with a
+//!   byte-budgeted LRU. Warm answers are bit-identical to cold ones.
+//! * **Checkpoint/resume** ([`checkpoint`], [`job`]): long jobs
+//!   snapshot their complete state at every safe boundary; a killed job
+//!   resumes from its last checkpoint and finishes **bit-identically**
+//!   to a run that was never interrupted.
+//! * **A wire format** ([`json`], [`wire`]): a hand-rolled, strict,
+//!   canonical JSON codec for workloads, netlists, reports and verdicts
+//!   — no external dependencies, round-trip property-tested.
+//!
+//! [`server::AuditService`] ties them together behind a line-delimited
+//! request/response protocol served over stdio or TCP by the
+//! `mvf-serve` binary.
+//!
+//! # Knobs (environment, read by [`ServeConfig::from_env`])
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MVF_SERVE_ADDR` | TCP listen address for the binary; unset = stdio | unset |
+//! | `MVF_CHECKPOINT_STEPS` | GA generations between checkpoints | 1 |
+//! | `MVF_SESSION_CACHE_MB` | session-cache byte budget, in MiB | 64 |
+//! | `MVF_GA_POP` / `MVF_GA_GENS` | GA budget per job (as in `mvf-bench`) | 8 / 5 |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod job;
+pub mod json;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use checkpoint::{Checkpoint, CheckpointPhase};
+pub use job::{audit, resume_audit, run_audit, AuditOutcome, Control};
+pub use server::AuditService;
+pub use store::SessionStore;
+
+use std::path::PathBuf;
+
+use mvf::FlowConfig;
+
+/// Service configuration: the flow every job runs, plus the service's
+/// own pacing and budgets.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The flow configuration (script, GA budget, mapper options,
+    /// validation) each audited workload runs through.
+    pub flow: FlowConfig,
+    /// GA generations between checkpoint boundaries (min 1).
+    pub checkpoint_steps: usize,
+    /// Sweep work items between checkpoint boundaries (min 1).
+    pub sweep_chunk: usize,
+    /// Byte budget of the worker's [`SessionStore`].
+    pub session_cache_bytes: usize,
+    /// The red-team sweep's SAT-free screen (on by default, exactly as
+    /// [`mvf::FlowBuilder::attack_screen`]); verdicts are bit-identical
+    /// either way, only query counts change.
+    pub attack_screen: bool,
+    /// When set, every checkpoint is also written (atomically) to
+    /// `<dir>/<job-id>.checkpoint.json`.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    /// Service defaults: a demo-sized GA budget (population 8, five
+    /// generations — the same default as `mvf-bench`), a checkpoint at
+    /// every generation, 64 MiB of session cache, no checkpoint files.
+    fn default() -> Self {
+        let mut flow = FlowConfig::default();
+        flow.ga.population = 8;
+        flow.ga.generations = 5;
+        ServeConfig {
+            flow,
+            checkpoint_steps: 1,
+            sweep_chunk: 64,
+            session_cache_bytes: 64 << 20,
+            attack_screen: true,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl ServeConfig {
+    /// The default configuration with the environment knobs applied
+    /// (see the crate docs table).
+    pub fn from_env() -> ServeConfig {
+        let mut cfg = ServeConfig::default();
+        cfg.flow.ga.population = env_usize("MVF_GA_POP", cfg.flow.ga.population);
+        cfg.flow.ga.generations = env_usize("MVF_GA_GENS", cfg.flow.ga.generations);
+        cfg.checkpoint_steps = env_usize("MVF_CHECKPOINT_STEPS", cfg.checkpoint_steps).max(1);
+        cfg.session_cache_bytes = env_usize("MVF_SESSION_CACHE_MB", 64) << 20;
+        cfg
+    }
+}

@@ -1,0 +1,20 @@
+//! The `mvf-serve` binary: the audit service over stdio, or TCP when
+//! `MVF_SERVE_ADDR` is set (e.g. `MVF_SERVE_ADDR=127.0.0.1:7171`).
+//!
+//! See the library crate docs for the protocol and the knob table.
+
+use mvf_serve::{AuditService, ServeConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = ServeConfig::from_env();
+    let service = AuditService::start(cfg);
+    let result = match std::env::var("MVF_SERVE_ADDR") {
+        Ok(addr) => {
+            eprintln!("mvf-serve: listening on {addr}");
+            service.serve_tcp(&addr)
+        }
+        Err(_) => service.serve_stdio(),
+    };
+    service.shutdown_and_join();
+    result
+}

@@ -1,0 +1,212 @@
+//! A bounded, byte-accounted cache of warm [`SweepSession`]s.
+//!
+//! The service audits many circuits over its lifetime, but tends to see
+//! the same few repeatedly (the same obfuscated design re-submitted with
+//! new candidate batches). [`SessionStore`] keeps the expensive part —
+//! the encoded SAT instance with its accumulated learnt clauses, plus
+//! cached screen batches — alive between submissions, keyed by the
+//! circuit's content fingerprint, and evicts least-recently-used
+//! sessions once the retained state exceeds a byte budget.
+//!
+//! Caching is invisible in the results: a warm session answers every
+//! sweep identically to a cold one (verdicts, witnesses *and* query
+//! counts), so eviction only ever costs time, never correctness — the
+//! store's tests assert exactly that under a budget small enough to
+//! evict on every access.
+
+use mvf::cells::{CamoLibrary, Library};
+use mvf::netlist::fingerprint::fingerprint_session;
+use mvf::netlist::Netlist;
+use mvf_attack::SweepSession;
+
+/// A byte-budgeted LRU cache of [`SweepSession`]s keyed by circuit
+/// content fingerprint.
+pub struct SessionStore {
+    /// Byte budget for retained sessions (approximate, from
+    /// [`SweepSession::db_bytes`]).
+    budget: usize,
+    /// Monotone access clock for LRU ordering.
+    tick: u64,
+    entries: Vec<Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+struct Entry {
+    key: u64,
+    session: SweepSession,
+    last_used: u64,
+}
+
+impl SessionStore {
+    /// A store that retains at most `budget` bytes of session state
+    /// (approximately — the session in use is never evicted, so one
+    /// oversized circuit still works, it just caches nothing else).
+    pub fn new(budget: usize) -> SessionStore {
+        SessionStore {
+            budget,
+            tick: 0,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The warm session for this circuit, creating (and evicting) on a
+    /// miss. The returned session is pinned for this call: eviction to
+    /// meet the budget never removes it.
+    pub fn session(
+        &mut self,
+        nl: &Netlist,
+        lib: &Library,
+        camo: &CamoLibrary,
+    ) -> &mut SweepSession {
+        let key = fingerprint_session(nl, lib, camo);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+            self.hits += 1;
+            self.entries[i].last_used = tick;
+            return &mut self.entries[i].session;
+        }
+        self.misses += 1;
+        self.entries.push(Entry {
+            key,
+            session: SweepSession::new(nl, lib, camo),
+            last_used: tick,
+        });
+        self.shrink_to_budget(key);
+        let i = self
+            .entries
+            .iter()
+            .position(|e| e.key == key)
+            .expect("the just-inserted session is never evicted");
+        &mut self.entries[i].session
+    }
+
+    /// Evicts least-recently-used sessions until the budget holds,
+    /// always keeping `pinned`.
+    fn shrink_to_budget(&mut self, pinned: u64) {
+        while self.bytes() > self.budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.key != pinned)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    self.entries.remove(i);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Approximate bytes retained across all cached sessions.
+    pub fn bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.session.db_bytes()).sum()
+    }
+
+    /// Cached sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from a warm session.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that built a fresh session.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Sessions evicted to meet the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvf_attack::{random_camouflage, SweepOptions};
+    use mvf_sboxes::optimal_sboxes;
+
+    fn setup() -> (Library, CamoLibrary) {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        (lib, camo)
+    }
+
+    #[test]
+    fn repeated_lookups_hit_the_same_session() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let circuit = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let mut store = SessionStore::new(usize::MAX);
+        let key = store.session(&circuit, &lib, &camo).key();
+        assert_eq!(store.session(&circuit, &lib, &camo).key(), key);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_circuits_get_distinct_sessions() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let a = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let b = random_camouflage(&boxes[1], &lib, &camo).unwrap();
+        let mut store = SessionStore::new(usize::MAX);
+        let ka = store.session(&a, &lib, &camo).key();
+        let kb = store.session(&b, &lib, &camo).key();
+        assert_ne!(ka, kb);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn a_tiny_budget_evicts_but_never_changes_verdicts() {
+        let (lib, camo) = setup();
+        let boxes = optimal_sboxes();
+        let a = random_camouflage(&boxes[0], &lib, &camo).unwrap();
+        let b = random_camouflage(&boxes[1], &lib, &camo).unwrap();
+        let candidates = boxes[..3].to_vec();
+        let opts = SweepOptions::default();
+        // Reference verdicts from an unbounded store.
+        let mut big = SessionStore::new(usize::MAX);
+        let want_a =
+            big.session(&a, &lib, &camo)
+                .sweep_identity(&a, &lib, &camo, &candidates, &opts);
+        let want_b =
+            big.session(&b, &lib, &camo)
+                .sweep_identity(&b, &lib, &camo, &candidates, &opts);
+        // A budget of one byte cannot hold any session: every alternating
+        // access rebuilds cold. Results must not move.
+        let mut tiny = SessionStore::new(1);
+        for _ in 0..2 {
+            let got_a =
+                tiny.session(&a, &lib, &camo)
+                    .sweep_identity(&a, &lib, &camo, &candidates, &opts);
+            assert_eq!(got_a, want_a);
+            let got_b =
+                tiny.session(&b, &lib, &camo)
+                    .sweep_identity(&b, &lib, &camo, &candidates, &opts);
+            assert_eq!(got_b, want_b);
+        }
+        assert_eq!(tiny.len(), 1, "over-budget sessions must not pile up");
+        assert!(tiny.evictions() >= 3, "evictions: {}", tiny.evictions());
+        assert_eq!(tiny.hits(), 0, "a one-byte budget can never serve warm");
+    }
+}

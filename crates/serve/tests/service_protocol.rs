@@ -1,0 +1,211 @@
+//! The line protocol end to end: submit → checkpoint → cancel → resume
+//! → result, all through [`AuditService::handle`], plus the stdio loop
+//! over in-memory streams.
+
+use mvf_serve::json::Value;
+use mvf_serve::wire::encode_workload;
+use mvf_serve::{AuditService, ServeConfig};
+
+fn tiny_cfg() -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.flow.ga.population = 4;
+    cfg.flow.ga.generations = 2;
+    cfg.checkpoint_steps = 1;
+    cfg.sweep_chunk = 5;
+    cfg.attack_screen = false;
+    cfg
+}
+
+fn workload_json(seed: u64) -> String {
+    let w = mvf::Workload::new("PRESENT x2", mvf_sboxes::optimal_sboxes()[..2].to_vec())
+        .with_seed(seed);
+    encode_workload(&w).to_string()
+}
+
+fn parse_ok(response: &str) -> Value {
+    let v = Value::parse(response).expect("response is valid JSON");
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request failed: {response}"
+    );
+    v
+}
+
+#[test]
+fn submit_wait_returns_a_wellformed_report() {
+    let service = AuditService::start(tiny_cfg());
+    let response = service.handle(&format!(
+        "{{\"cmd\":\"submit\",\"id\":\"a\",\"wait\":true,\"workload\":{}}}",
+        workload_json(7)
+    ));
+    let v = parse_ok(&response);
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("done"));
+    let report = v.get("report").expect("report attached");
+    assert_eq!(
+        report.get("name").and_then(Value::as_str),
+        Some("PRESENT x2")
+    );
+    assert_eq!(report.get("seed").and_then(Value::as_u64), Some(7));
+    let summary = report
+        .get("summary")
+        .and_then(Value::as_str)
+        .expect("summary line");
+    assert!(summary.contains("ok, area"), "summary: {summary}");
+    let verdicts = report
+        .get("plausibility")
+        .and_then(Value::as_arr)
+        .expect("plausibility verdicts attached");
+    assert_eq!(verdicts.len(), 2);
+    for verdict in verdicts {
+        assert_eq!(verdict.get("identity").and_then(Value::as_bool), Some(true));
+        assert_eq!(verdict.get("any_io").and_then(Value::as_bool), Some(true));
+    }
+    // The result is queryable again after the fact.
+    let again = parse_ok(&service.handle("{\"cmd\":\"result\",\"id\":\"a\"}"));
+    assert_eq!(
+        again.get("report").map(Value::to_string),
+        v.get("report").map(Value::to_string),
+        "result must return the identical report"
+    );
+    service.shutdown_and_join();
+}
+
+#[test]
+fn cancel_checkpoint_resume_reproduces_the_uninterrupted_report() {
+    let service = AuditService::start(tiny_cfg());
+    // Uninterrupted reference run (pinned workload seed, so the derived
+    // submission index does not matter).
+    let full = parse_ok(&service.handle(&format!(
+        "{{\"cmd\":\"submit\",\"id\":\"full\",\"wait\":true,\"workload\":{}}}",
+        workload_json(0xBEE5)
+    )));
+    let want = full.get("report").expect("report").to_string();
+
+    // Same workload again; cancel it as soon as a checkpoint exists.
+    parse_ok(&service.handle(&format!(
+        "{{\"cmd\":\"submit\",\"id\":\"killed\",\"workload\":{}}}",
+        workload_json(0xBEE5)
+    )));
+    let checkpoint = loop {
+        let response = service.handle("{\"cmd\":\"checkpoint\",\"id\":\"killed\"}");
+        let v = Value::parse(&response).unwrap();
+        if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            break v.get("checkpoint").unwrap().to_string();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    parse_ok(&service.handle("{\"cmd\":\"cancel\",\"id\":\"killed\"}"));
+    // Wait for the job to leave the running state (it may have finished
+    // before the cancel landed — resuming from the captured checkpoint
+    // is valid either way).
+    loop {
+        let v = parse_ok(&service.handle("{\"cmd\":\"status\",\"id\":\"killed\"}"));
+        let status = v.get("status").and_then(Value::as_str).unwrap().to_string();
+        if status == "cancelled" || status == "done" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // Resume from the captured checkpoint under a new job id.
+    let resumed = parse_ok(&service.handle(&format!(
+        "{{\"cmd\":\"submit\",\"id\":\"resumed\",\"wait\":true,\"checkpoint\":{checkpoint}}}"
+    )));
+    assert_eq!(
+        resumed.get("report").expect("report").to_string(),
+        want,
+        "the resumed job's report must be bit-identical to the uninterrupted run"
+    );
+    service.shutdown_and_join();
+}
+
+#[test]
+fn protocol_errors_are_reported_not_panicked() {
+    let service = AuditService::start(tiny_cfg());
+    for (request, needle) in [
+        ("not json", "bad request"),
+        ("{\"cmd\":\"frobnicate\"}", "unknown cmd"),
+        ("{\"nope\":1}", "missing cmd"),
+        ("{\"cmd\":\"status\"}", "missing id"),
+        ("{\"cmd\":\"status\",\"id\":\"ghost\"}", "no job"),
+        ("{\"cmd\":\"result\",\"id\":\"ghost\"}", "no job"),
+        (
+            "{\"cmd\":\"submit\",\"id\":\"x\"}",
+            "workload or a checkpoint",
+        ),
+        (
+            "{\"cmd\":\"submit\",\"id\":\"x\",\"workload\":{\"name\":1}}",
+            "bad workload",
+        ),
+        (
+            "{\"cmd\":\"submit\",\"id\":\"x\",\"checkpoint\":{\"format\":\"other\"}}",
+            "bad checkpoint",
+        ),
+    ] {
+        let v = Value::parse(&service.handle(request)).expect("error response is JSON");
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "{request} must fail"
+        );
+        let error = v.get("error").and_then(Value::as_str).unwrap();
+        assert!(error.contains(needle), "{request} → {error}");
+    }
+    service.shutdown_and_join();
+}
+
+#[test]
+fn duplicate_ids_are_rejected() {
+    let service = AuditService::start(tiny_cfg());
+    parse_ok(&service.handle(&format!(
+        "{{\"cmd\":\"submit\",\"id\":\"dup\",\"wait\":true,\"workload\":{}}}",
+        workload_json(1)
+    )));
+    let v = Value::parse(&service.handle(&format!(
+        "{{\"cmd\":\"submit\",\"id\":\"dup\",\"workload\":{}}}",
+        workload_json(1)
+    )))
+    .unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    service.shutdown_and_join();
+}
+
+#[test]
+fn the_stdio_loop_answers_line_by_line_and_honors_shutdown() {
+    let service = AuditService::start(tiny_cfg());
+    let input = format!(
+        "{{\"cmd\":\"submit\",\"id\":\"s\",\"wait\":true,\"workload\":{}}}\n{{\"cmd\":\"shutdown\"}}\n{{\"cmd\":\"status\",\"id\":\"s\"}}\n",
+        workload_json(3)
+    );
+    let mut output: Vec<u8> = Vec::new();
+    service
+        .serve_lines(std::io::Cursor::new(input.into_bytes()), &mut output)
+        .expect("in-memory streams cannot fail");
+    let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+    // The third request is never served: shutdown stops the loop.
+    assert_eq!(lines.len(), 2, "lines: {lines:?}");
+    let first = parse_ok(lines[0]);
+    assert!(first.get("report").is_some());
+    parse_ok(lines[1]);
+    assert!(service.is_shutdown());
+    service.shutdown_and_join();
+}
+
+#[test]
+fn checkpoint_files_are_written_when_a_dir_is_configured() {
+    let dir = std::env::temp_dir().join("mvf-serve-proto-ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut cfg = tiny_cfg();
+    cfg.checkpoint_dir = Some(dir.clone());
+    let service = AuditService::start(cfg);
+    parse_ok(&service.handle(&format!(
+        "{{\"cmd\":\"submit\",\"id\":\"disk\",\"wait\":true,\"workload\":{}}}",
+        workload_json(9)
+    )));
+    let path = dir.join("disk.checkpoint.json");
+    let cp = mvf_serve::Checkpoint::read(&path).expect("checkpoint file parses");
+    assert_eq!(cp.seed, 9);
+    std::fs::remove_file(&path).ok();
+    service.shutdown_and_join();
+}

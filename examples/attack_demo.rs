@@ -15,6 +15,10 @@
 //! ```sh
 //! cargo run --release --example attack_demo
 //! ```
+//!
+//! For long-running audit fleets, `service_demo` runs this adversary as
+//! a persistent service (`mvf-serve`) with session caching and
+//! kill/resume-safe checkpoints.
 
 use mvf::Flow;
 use mvf_attack::{plausibility_sweep, plausibility_sweep_any_io, random_camouflage};

@@ -3,6 +3,10 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Next steps: `attack_demo` runs the adversary against the result;
+//! `service_demo` drives the same pipeline through the persistent
+//! `mvf-serve` audit service (checkpoints, resume, wire protocol).
 
 use mvf::Flow;
 use mvf_ga::GaConfig;

@@ -1,0 +1,109 @@
+//! The audit service end to end: submit → checkpoint → kill → resume →
+//! result, all over the line protocol.
+//!
+//! An in-process [`AuditService`] audits PRESENT×2 twice: once
+//! uninterrupted, once cancelled mid-run and resumed from its captured
+//! checkpoint under a new job id. The two reports are compared through
+//! their canonical wire encoding — they are byte-identical, which is the
+//! service's core promise: a kill costs wall-clock time, never results.
+//!
+//! ```sh
+//! cargo run --release --example service_demo
+//! ```
+
+use mvf_serve::json::Value;
+use mvf_serve::wire::encode_workload;
+use mvf_serve::{AuditService, ServeConfig};
+
+fn request(service: &AuditService, line: &str) -> Value {
+    let response = service.handle(line);
+    let v = Value::parse(&response).expect("service responses are valid JSON");
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request failed: {response}"
+    );
+    v
+}
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    cfg.flow.ga.population = 6;
+    cfg.flow.ga.generations = 4;
+    cfg.checkpoint_steps = 1;
+    cfg.sweep_chunk = 8;
+    let service = AuditService::start(cfg);
+
+    // A pinned workload seed makes the two submissions comparable.
+    let workload = mvf::Workload::new("PRESENT x2", mvf_sboxes::optimal_sboxes()[..2].to_vec())
+        .with_seed(0xDEC0DE);
+    let workload_json = encode_workload(&workload).to_string();
+
+    println!("1. submit the reference job and wait for its report");
+    let full = request(
+        &service,
+        &format!(
+            "{{\"cmd\":\"submit\",\"id\":\"full\",\"wait\":true,\"workload\":{workload_json}}}"
+        ),
+    );
+    let reference = full.get("report").expect("report").to_string();
+    let summary = full
+        .get("report")
+        .and_then(|r| r.get("summary"))
+        .and_then(Value::as_str)
+        .unwrap();
+    println!("   {summary}");
+
+    println!("2. submit the same workload again and kill it mid-run");
+    request(
+        &service,
+        &format!("{{\"cmd\":\"submit\",\"id\":\"killed\",\"workload\":{workload_json}}}"),
+    );
+    // Grab the first checkpoint the job publishes, then cancel it.
+    let checkpoint = loop {
+        let response = service.handle("{\"cmd\":\"checkpoint\",\"id\":\"killed\"}");
+        let v = Value::parse(&response).unwrap();
+        if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            break v.get("checkpoint").unwrap().to_string();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    request(&service, "{\"cmd\":\"cancel\",\"id\":\"killed\"}");
+    let status = loop {
+        let v = request(&service, "{\"cmd\":\"status\",\"id\":\"killed\"}");
+        let status = v.get("status").and_then(Value::as_str).unwrap().to_string();
+        if status != "running" && status != "queued" {
+            break status;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    let generation = Value::parse(&checkpoint).ok().and_then(|cp| {
+        cp.get("ga")
+            .and_then(|ga| ga.get("generation"))
+            .and_then(Value::as_usize)
+    });
+    match generation {
+        Some(generation) => println!(
+            "   captured a checkpoint at GA generation {generation}; job is now '{status}'"
+        ),
+        None => println!("   captured a mid-sweep checkpoint; job is now '{status}'"),
+    }
+
+    println!("3. resume from the captured checkpoint under a new id");
+    let resumed = request(
+        &service,
+        &format!(
+            "{{\"cmd\":\"submit\",\"id\":\"resumed\",\"wait\":true,\"checkpoint\":{checkpoint}}}"
+        ),
+    );
+    let report = resumed.get("report").expect("report").to_string();
+
+    assert_eq!(
+        report, reference,
+        "the resumed report must be byte-identical to the uninterrupted one"
+    );
+    println!("4. resumed report == uninterrupted report, byte for byte ✓");
+
+    request(&service, "{\"cmd\":\"shutdown\"}");
+    service.shutdown_and_join();
+}
