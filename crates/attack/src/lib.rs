@@ -59,6 +59,8 @@ pub use screen::{CamoScreen, DEFAULT_SCREEN_VECTORS};
 use screen::{OrbitScreenScratch, ScreenOutcome};
 pub use session::{AnyIoJob, AnyIoProgress, SweepSession};
 
+pub use mvf_sat::SimplifyStats;
+
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -179,6 +181,13 @@ pub struct AnyIoOptions {
     /// screen is exact. Larger batches refute more chaff per build at
     /// higher screening cost. Defaults to [`DEFAULT_SCREEN_VECTORS`].
     pub screen_vectors: usize,
+    /// Freezes the encoding's interface and runs
+    /// [`mvf_sat::Solver::simplify`] (vivification + bounded variable
+    /// elimination) once after encoding, so every query of the orbit
+    /// amortizes the simplified clause database. Never changes a
+    /// verdict or a witness (verdicts are mathematically determined);
+    /// `false` is the unsimplified baseline for tests and benches.
+    pub inprocess: bool,
 }
 
 impl Default for AnyIoOptions {
@@ -188,6 +197,7 @@ impl Default for AnyIoOptions {
             prune: true,
             screen: true,
             screen_vectors: DEFAULT_SCREEN_VECTORS,
+            inprocess: true,
         }
     }
 }
@@ -448,6 +458,10 @@ pub fn plausibility_sweep_any_io_with(
         .flatten();
     let plan = plan_any_io(nl, candidates, opts.prune, screen.as_ref());
     let mut cnf = encode_netlist(nl, lib, camo);
+    if opts.inprocess {
+        cnf.freeze_interface();
+        cnf.solver.simplify();
+    }
     run_any_io_plan(&plan, &mut cnf.solver, &cnf.row_outputs, candidates, opts)
 }
 
@@ -675,6 +689,10 @@ pub struct SweepOptions {
     pub screen: bool,
     /// Screening batch size — see [`AnyIoOptions::screen_vectors`].
     pub screen_vectors: usize,
+    /// Freezes the interface and runs [`mvf_sat::Solver::simplify`]
+    /// once after encoding — see [`AnyIoOptions::inprocess`]. Never
+    /// changes a verdict.
+    pub inprocess: bool,
 }
 
 impl Default for SweepOptions {
@@ -683,6 +701,7 @@ impl Default for SweepOptions {
             shards: 1,
             screen: true,
             screen_vectors: DEFAULT_SCREEN_VECTORS,
+            inprocess: true,
         }
     }
 }
@@ -758,6 +777,10 @@ pub fn plausibility_sweep_with(
     }
     if !pending.is_empty() {
         let mut cnf = encode_netlist(nl, lib, camo);
+        if opts.inprocess {
+            cnf.freeze_interface();
+            cnf.solver.simplify();
+        }
         let shards = match opts.shards {
             0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
             n => n,
@@ -877,6 +900,32 @@ pub fn random_camouflage(
     lib: &Library,
     camo: &CamoLibrary,
 ) -> Result<Netlist, AttackError> {
+    partial_camouflage(function, lib, camo, 1)
+}
+
+/// [`random_camouflage`] with a stride: synthesize `function`, map it to
+/// the standard library, then replace every `period`-th gate (in
+/// topological order) with its camouflaged look-alike. `period == 1`
+/// camouflages everything; larger periods leave standard gates between
+/// the camouflaged ones — the mixed shape real camouflage-mapped merged
+/// circuits have, and the shape SAT preprocessing bites hardest on
+/// (standard gates downstream of camouflaged ones keep free pin
+/// variables that bounded variable elimination can resolve away).
+///
+/// # Errors
+///
+/// Returns [`AttackError::Build`] if synthesis or mapping fails.
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+pub fn partial_camouflage(
+    function: &VectorFunction,
+    lib: &Library,
+    camo: &CamoLibrary,
+    period: usize,
+) -> Result<Netlist, AttackError> {
+    assert!(period > 0, "camouflage period must be at least 1");
     let funcs = vec![function.clone()];
     let assignment = mvf_merge::PinAssignment::identity(&funcs);
     let merged = mvf_merge::build_merged(&funcs, &assignment)
@@ -885,24 +934,29 @@ pub fn random_camouflage(
     let subject = mvf_netlist::subject_graph::from_aig(&synthesized, lib);
     let plain = mvf_techmap::map_standard(&subject, lib, &mvf_techmap::MapOptions::default())
         .map_err(|e| AttackError::Build(e.to_string()))?;
-    // Replace every gate by the look-alike camouflaged variant.
-    let mut out = Netlist::new(format!("{}_randcamo", plain.name()));
+    // Replace the selected gates by their look-alike camouflaged variant.
+    let suffix = if period == 1 {
+        "randcamo".to_string()
+    } else {
+        format!("camo{period}")
+    };
+    let mut out = Netlist::new(format!("{}_{suffix}", plain.name()));
     let mut net_map = std::collections::HashMap::new();
     for &pi in plain.inputs() {
         net_map.insert(pi, out.add_input(plain.net_name(pi).to_string()));
     }
-    for cid in plain.topo_cells() {
+    for (i, cid) in plain.topo_cells().into_iter().enumerate() {
         let c = plain.cell(cid);
         let pins: Vec<_> = c.inputs.iter().map(|p| net_map[p]).collect();
         let cell_ref = match c.cell {
-            CellRef::Std(id) => {
+            CellRef::Std(id) if i.is_multiple_of(period) => {
                 let name = lib.cell(id).name().to_string();
                 match camo.iter().find(|(_, cc)| cc.name() == name) {
                     Some((camo_id, _)) => CellRef::Camo(camo_id),
                     None => CellRef::Std(id), // tie cells stay standard
                 }
             }
-            CellRef::Camo(id) => CellRef::Camo(id),
+            other => other,
         };
         let (_, y) = out.add_cell(c.name.clone(), cell_ref, pins);
         net_map.insert(c.output, y);

@@ -174,8 +174,20 @@ impl AnyIoJob {
             .then(|| CamoScreen::build(nl, lib, camo, &candidates, opts.screen_vectors))
             .flatten();
         let plan = plan_any_io(nl, &candidates, opts.prune, screen.as_ref());
-        let cnf = encode_netlist(nl, lib, camo);
+        let mut cnf = encode_netlist(nl, lib, camo);
+        if opts.inprocess {
+            cnf.freeze_interface();
+            cnf.solver.simplify();
+        }
         AnyIoJob::from_parts(plan, candidates, cnf.solver, cnf.row_outputs)
+    }
+
+    /// The solver's pre/inprocessing counters — what vivification,
+    /// variable elimination and learnt-DB reduction have done to this
+    /// job's clause database (warm-started jobs inherit the session
+    /// solver's counters through [`Solver::clone_db`]).
+    pub fn sat_stats(&self) -> mvf_sat::SimplifyStats {
+        self.solver.simplify_stats()
     }
 
     pub(crate) fn from_parts(
@@ -295,12 +307,28 @@ pub struct SweepSession {
 impl SweepSession {
     /// Encodes `nl` once and fingerprints the `(netlist, library,
     /// camouflage library)` triple as the session key.
+    ///
+    /// The encoding is interface-frozen and simplified up front
+    /// (vivification + bounded variable elimination), matching the
+    /// default `inprocess` option of the one-shot sweeps — so warm
+    /// starts served from this session (including
+    /// [`SweepSession::any_io_job`] clones) are bit-identical to their
+    /// cold counterparts, query counts included.
     pub fn new(nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> SweepSession {
+        let mut cnf = encode_netlist(nl, lib, camo);
+        cnf.freeze_interface();
+        cnf.solver.simplify();
         SweepSession {
             key: fingerprint_session(nl, lib, camo),
-            cnf: encode_netlist(nl, lib, camo),
+            cnf,
             screens: Vec::new(),
         }
+    }
+
+    /// The session solver's pre/inprocessing counters (see
+    /// [`AnyIoJob::sat_stats`]).
+    pub fn sat_stats(&self) -> mvf_sat::SimplifyStats {
+        self.cnf.solver.simplify_stats()
     }
 
     /// The session's content fingerprint.

@@ -4,7 +4,9 @@
 //! batched vs re-encoding SAT plausibility sweeps (`sat_sweep`),
 //! order-heap vs linear-scan SAT decisions (`sat_decide`), sharded vs
 //! serial plausibility sweeps (`sweep_parallel`), signature-pruned
-//! interpretation-freedom sweeps (`sweep_any_io`), the SAT-free
+//! interpretation-freedom sweeps (`sweep_any_io`), inprocessed
+//! (vivified + variable-eliminated) vs untouched clause databases
+//! (`sat_inprocess`), the SAT-free
 //! screen-then-solve funnel vs a SAT-only sweep (`sat_screen`), CSR vs
 //! nested cut enumeration (`cuts_csr`), word-parallel vs per-config
 //! camouflage validation (`camo_fitness`), and 8-wide chunked vs scalar
@@ -331,6 +333,7 @@ fn main() {
         use mvf_sat::{Lit, Solver, Var};
         let mut s = Solver::new();
         s.set_decision_heap(heap);
+        s.set_watch_slack(mvf_bench::sat_watch_slack());
         for _ in 0..decide_vars {
             s.new_var();
         }
@@ -507,6 +510,110 @@ fn main() {
         "any-io sharded: {any_io_sharded_ns:>11.0} ns / candidate ({any_io_shards} solver clones)"
     );
     println!("any-io speedup: {any_io_speedup:>11.2}x (bit-identical verdicts + witnesses)");
+
+    // --- SAT inprocessing: simplified vs untouched clause database. ----
+    // The 3-bit any-IO orbit again, but over a *partially* camouflaged
+    // target — every third gate camouflaged, standard gates in between,
+    // the mixed shape real camouflage-mapped circuits have. (A fully
+    // camouflaged netlist is already tight at encode time: add-time
+    // strengthening resolves the standard-cell rows away, leaving
+    // simplify nothing to remove.) The sweep runs with and without the
+    // vivification + bounded-variable-elimination pass (and the restart-
+    // boundary vivification that follows it). Inprocessing costs one
+    // up-front simplification and amortizes over the orbit's SAT
+    // queries; verdicts, witnesses and query counts never change. The
+    // SAT-free screen is disabled here — on the mixed target it settles
+    // the whole orbit without a single solver call, which is its own
+    // section's story; this section measures the solver.
+    let target3_mixed = mvf_attack::partial_camouflage(&f3, &lib, &camo, 3).expect("buildable");
+    let inprocess_on_opts = mvf_attack::AnyIoOptions {
+        shards: 1,
+        inprocess: mvf_bench::sat_inprocess(),
+        screen: false,
+        ..mvf_attack::AnyIoOptions::default()
+    };
+    let inprocess_off_opts = mvf_attack::AnyIoOptions {
+        shards: 1,
+        inprocess: false,
+        screen: false,
+        ..mvf_attack::AnyIoOptions::default()
+    };
+    let inprocess_on = mvf_attack::plausibility_sweep_any_io_with(
+        &target3_mixed,
+        &lib,
+        &camo,
+        &any_io_candidates,
+        &inprocess_on_opts,
+    );
+    let inprocess_off = mvf_attack::plausibility_sweep_any_io_with(
+        &target3_mixed,
+        &lib,
+        &camo,
+        &any_io_candidates,
+        &inprocess_off_opts,
+    );
+    let sat_inprocess_identical = inprocess_on == inprocess_off;
+    assert!(
+        sat_inprocess_identical,
+        "inprocessing must not change any verdict, witness or query count"
+    );
+    // What the simplification pass actually removed, measured through a
+    // job over the same sweep (the job's solver is the sweep's solver).
+    let sat_inprocess_stats = {
+        let mut job = mvf_attack::AnyIoJob::new(
+            &target3_mixed,
+            &lib,
+            &camo,
+            any_io_candidates.clone(),
+            &inprocess_on_opts,
+        );
+        while !job.is_done() {
+            job.step(usize::MAX);
+        }
+        job.sat_stats()
+    };
+    assert!(
+        !mvf_bench::sat_inprocess() || sat_inprocess_stats.clauses_removed > 0,
+        "the simplification pass must remove clauses on the bench encoding"
+    );
+    assert!(
+        !mvf_bench::sat_inprocess() || sat_inprocess_stats.literals_removed > 0,
+        "the simplification pass must remove literals on the bench encoding"
+    );
+    let sat_inprocess_queries: usize = inprocess_on.iter().map(|v| v.queries).sum();
+    let sat_inprocess_on_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_any_io_with(
+            black_box(&target3),
+            &lib,
+            &camo,
+            &any_io_candidates,
+            &inprocess_on_opts,
+        ));
+    }) / sat_inprocess_queries as f64;
+    let sat_inprocess_off_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_any_io_with(
+            black_box(&target3),
+            &lib,
+            &camo,
+            &any_io_candidates,
+            &inprocess_off_opts,
+        ));
+    }) / sat_inprocess_queries as f64;
+    let sat_inprocess_speedup = sat_inprocess_off_ns / sat_inprocess_on_ns;
+    println!(
+        "inprocess off: {sat_inprocess_off_ns:>11.0} ns / query (untouched encoding, \
+         {sat_inprocess_queries} orbit queries)"
+    );
+    println!(
+        "inprocess on : {sat_inprocess_on_ns:>11.0} ns / query ({} clauses, {} literals \
+         removed; {} vars eliminated)",
+        sat_inprocess_stats.clauses_removed,
+        sat_inprocess_stats.literals_removed,
+        sat_inprocess_stats.n_eliminated,
+    );
+    println!(
+        "inprocess speedup: {sat_inprocess_speedup:>7.2}x (bit-identical verdicts + witnesses)"
+    );
 
     // --- Screen-then-solve: SAT-free refutation vs SAT-only sweep. -----
     // A hand-built 3-camo-cell circuit keeps the doping-configuration
@@ -886,6 +993,19 @@ fn main() {
             "    \"speedup\": {:.2},\n",
             "    \"bit_identical\": {}\n",
             "  }},\n",
+            "  \"sat_inprocess\": {{\n",
+            "    \"workload\": \"3-bit mixed camouflage (every 3rd gate), interpretation freedom\",\n",
+            "    \"candidates\": {},\n",
+            "    \"clauses_removed\": {},\n",
+            "    \"literals_removed\": {},\n",
+            "    \"n_vivified\": {},\n",
+            "    \"n_eliminated\": {},\n",
+            "    \"queries\": {},\n",
+            "    \"off_query_ns\": {:.0},\n",
+            "    \"on_query_ns\": {:.0},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"bit_identical\": {}\n",
+            "  }},\n",
             "  \"sat_screen\": {{\n",
             "    \"workload\": \"3-camo-cell screen demo, interpretation freedom\",\n",
             "    \"candidates\": {},\n",
@@ -962,6 +1082,16 @@ fn main() {
         any_io_sharded_ns,
         any_io_speedup,
         any_io_identical,
+        any_io_candidates.len(),
+        sat_inprocess_stats.clauses_removed,
+        sat_inprocess_stats.literals_removed,
+        sat_inprocess_stats.n_vivified,
+        sat_inprocess_stats.n_eliminated,
+        sat_inprocess_queries,
+        sat_inprocess_off_ns,
+        sat_inprocess_on_ns,
+        sat_inprocess_speedup,
+        sat_inprocess_identical,
         screen_candidates.len(),
         sat_screen_vectors,
         sat_screened,

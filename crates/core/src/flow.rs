@@ -118,6 +118,7 @@ pub struct FlowBuilder {
     attack_shards: usize,
     attack_interpretation_freedom: bool,
     attack_screen: bool,
+    attack_inprocess: bool,
 }
 
 impl Default for FlowBuilder {
@@ -133,6 +134,9 @@ impl Default for FlowBuilder {
             // The screen-then-solve funnel never changes a verdict, so
             // it is on unless an audit explicitly wants SAT-only runs.
             attack_screen: true,
+            // Likewise SAT inprocessing: verdicts and witnesses are
+            // bit-identical either way, only solve time changes.
+            attack_inprocess: true,
         }
     }
 }
@@ -267,6 +271,20 @@ impl FlowBuilder {
         self
     }
 
+    /// Enables or disables SAT inprocessing in the red-team pass (on by
+    /// default): after each workload's netlist is encoded, the solver
+    /// runs one vivification-and-variable-elimination pass
+    /// (`mvf_sat::Solver::simplify`) and keeps vivifying between
+    /// restarts, shrinking the clause database before the candidate
+    /// queries hit it. Verdicts, witness permutations and query counts
+    /// are bit-identical either way; disable only for unsimplified
+    /// SAT baselines.
+    #[must_use]
+    pub fn attack_inprocess(mut self, enabled: bool) -> Self {
+        self.attack_inprocess = enabled;
+        self
+    }
+
     /// Builds a flow with the default [`Ga`] strategy configured from
     /// [`FlowConfig::ga`].
     pub fn build(self) -> Flow<Ga> {
@@ -288,6 +306,7 @@ impl FlowBuilder {
             attack_shards: self.attack_shards,
             attack_interpretation_freedom: self.attack_interpretation_freedom,
             attack_screen: self.attack_screen,
+            attack_inprocess: self.attack_inprocess,
         }
     }
 }
@@ -307,6 +326,7 @@ pub struct Flow<S = Ga> {
     pub(crate) attack_shards: usize,
     pub(crate) attack_interpretation_freedom: bool,
     pub(crate) attack_screen: bool,
+    pub(crate) attack_inprocess: bool,
 }
 
 impl Flow<Ga> {

@@ -313,6 +313,7 @@ impl<S: SearchStrategy> Flow<S> {
                         &mvf_attack::AnyIoOptions {
                             shards,
                             screen: self.attack_screen,
+                            inprocess: self.attack_inprocess,
                             ..mvf_attack::AnyIoOptions::default()
                         },
                     );
@@ -330,6 +331,7 @@ impl<S: SearchStrategy> Flow<S> {
                         &mvf_attack::SweepOptions {
                             shards,
                             screen: self.attack_screen,
+                            inprocess: self.attack_inprocess,
                             ..mvf_attack::SweepOptions::default()
                         },
                     );

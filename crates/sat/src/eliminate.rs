@@ -1,0 +1,234 @@
+//! Bounded variable elimination (BVE) with model reconstruction.
+//!
+//! During [`Solver::simplify`], unfrozen, unassigned variables that
+//! occur in no learnt clause are considered for elimination by
+//! resolution (NiVER-style): for pivot `v` with positive occurrences
+//! `P` and negative occurrences `N`, every non-tautological resolvent
+//! of a `P`×`N` pair replaces the original clauses — but only when the
+//! resolvent count does not exceed `|P| + |N|`, occurrence counts stay
+//! under [`OCC_LIMIT`] and no resolvent exceeds [`RESOLVENT_MAX_LEN`]
+//! literals, so the formula never grows.
+//!
+//! The replacement is equisatisfiable, not equivalent, so eliminated
+//! variables get **model reconstruction**: the removed clauses are
+//! saved to a flat side arena and replayed in reverse elimination order
+//! after every SAT answer — `v` is set `true` exactly when some saved
+//! positive-occurrence clause has all its other literals false (the
+//! standard extension lemma guarantees this value satisfies the
+//! negative occurrences too, since the corresponding resolvent is
+//! satisfied). Reconstructed values are *not* trail facts; they are
+//! cleared at the start of the next query.
+//!
+//! Interface rules: callers must freeze ([`Solver::set_frozen`]) every
+//! variable that crosses the solver boundary — Tseitin interface
+//! outputs, assumption variables, key/config variables — before calling
+//! [`Solver::simplify`]. Assuming on an eliminated variable panics.
+//! Clauses satisfied at level 0 neither constrain the pivot nor block
+//! its elimination (every model the solver reports contains the level-0
+//! units that satisfy them), so they are left attached and unsaved.
+
+use crate::solver::Solver;
+use crate::{Lit, Var};
+use std::collections::HashSet;
+
+/// Per-polarity occurrence cap: pivots seen more often are skipped.
+const OCC_LIMIT: usize = 10;
+/// Longest resolvent an elimination is allowed to produce.
+const RESOLVENT_MAX_LEN: usize = 12;
+
+impl Solver {
+    /// Clears the values a previous SAT answer reconstructed for
+    /// eliminated variables (they are not level-0 facts).
+    pub(crate) fn clear_reconstructed(&mut self) {
+        for &(v, _, _) in &self.elim_trail {
+            self.assign[v as usize] = None;
+        }
+    }
+
+    /// Extends the current (satisfying) assignment over the eliminated
+    /// variables, replaying the saved clauses in reverse elimination
+    /// order.
+    pub(crate) fn reconstruct_model(&mut self) {
+        for ti in (0..self.elim_trail.len()).rev() {
+            let (v, start, end) = self.elim_trail[ti];
+            let mut val = false;
+            let mut i = start as usize;
+            while i < end as usize {
+                let len = self.elim_clauses[i] as usize;
+                let mut has_pos = false;
+                let mut others_false = true;
+                for &code in &self.elim_clauses[i + 1..i + 1 + len] {
+                    let l = Lit::from_code(code);
+                    if l.var().0 == v {
+                        has_pos |= !l.is_negative();
+                        continue;
+                    }
+                    if self.lit_value(l) != Some(false) {
+                        others_false = false;
+                        break;
+                    }
+                }
+                if has_pos && others_false {
+                    val = true;
+                    break;
+                }
+                i += 1 + len;
+            }
+            self.assign[v as usize] = Some(val);
+        }
+    }
+
+    /// One bounded-variable-elimination round over the current problem
+    /// clauses. Must run at decision level 0 with no pending
+    /// propagations; may set `unsat` (via resolvent units).
+    pub(crate) fn eliminate_round(&mut self) {
+        debug_assert!(self.trail_lim.is_empty(), "BVE runs at level 0");
+        if self.unsat {
+            return;
+        }
+        // Occurrence index over live, level-0-unsatisfied problem
+        // clauses. The lists live on the solver so their footprint is
+        // visible to `db_bytes`; contents are rebuilt per round.
+        let n_codes = 2 * self.n_vars();
+        self.occ.resize_with(n_codes, Vec::new);
+        for i in 0..self.clause_refs.len() {
+            let cr = self.clause_refs[i] as usize;
+            let len = self.arena[cr] as usize;
+            let satisfied = (0..len)
+                .any(|k| self.lit_value(Lit::from_code(self.arena[cr + 1 + k])) == Some(true));
+            if satisfied {
+                continue;
+            }
+            for k in 0..len {
+                self.occ[self.arena[cr + 1 + k] as usize].push(cr as u32);
+            }
+        }
+        // Variables mentioned by any learnt clause are not eliminated
+        // this round: a learnt left watching an eliminated variable
+        // could propagate it back to life.
+        let mut in_learnt = vec![false; self.n_vars()];
+        for li in 0..self.learnt_refs.len() {
+            let cr = self.learnt_refs[li] as usize;
+            let len = self.arena[cr] as usize;
+            for k in 0..len {
+                in_learnt[Lit::from_code(self.arena[cr + 1 + k]).var().0 as usize] = true;
+            }
+        }
+        let mut removed: HashSet<u32> = HashSet::new();
+        let mut pos: Vec<u32> = Vec::new();
+        let mut neg: Vec<u32> = Vec::new();
+        let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+        for v in 0..self.n_vars() {
+            if self.unsat {
+                break;
+            }
+            if self.frozen[v] || self.eliminated[v] || self.assign[v].is_some() || in_learnt[v] {
+                continue;
+            }
+            let pvar = Var(v as u32);
+            let (pcode, ncode) = (Lit::pos(pvar).code(), Lit::neg(pvar).code());
+            // Live occurrences of each polarity (drop removed or
+            // since-satisfied clauses lazily).
+            let live = |s: &Solver, gone: &HashSet<u32>, code: usize, out: &mut Vec<u32>| {
+                out.clear();
+                for &cr in &s.occ[code] {
+                    if gone.contains(&cr) {
+                        continue;
+                    }
+                    let len = s.arena[cr as usize] as usize;
+                    let sat = (0..len).any(|k| {
+                        s.lit_value(Lit::from_code(s.arena[cr as usize + 1 + k])) == Some(true)
+                    });
+                    if !sat {
+                        out.push(cr);
+                    }
+                }
+            };
+            live(self, &removed, pcode, &mut pos);
+            live(self, &removed, ncode, &mut neg);
+            if pos.len() > OCC_LIMIT || neg.len() > OCC_LIMIT {
+                continue;
+            }
+            // Count and collect non-tautological resolvents; bail if the
+            // clause count would grow or a resolvent gets too long.
+            resolvents.clear();
+            let mut fits = true;
+            'pairs: for &p in &pos {
+                for &n in &neg {
+                    if let Some(r) = self.resolve(p, n, pvar) {
+                        if r.len() > RESOLVENT_MAX_LEN
+                            || resolvents.len() + 1 > pos.len() + neg.len()
+                        {
+                            fits = false;
+                            break 'pairs;
+                        }
+                        resolvents.push(r);
+                    }
+                }
+            }
+            if !fits {
+                continue;
+            }
+            // Commit: save + detach the originals first (so nothing can
+            // ever propagate `v` again), then add the resolvents.
+            let start = self.elim_clauses.len() as u32;
+            for &cr in pos.iter().chain(neg.iter()) {
+                let cr = cr as usize;
+                let len = self.arena[cr] as usize;
+                self.elim_clauses.push(len as u32);
+                for k in 0..len {
+                    self.elim_clauses.push(self.arena[cr + 1 + k]);
+                }
+                self.detach(cr as u32);
+                let idx = self
+                    .clause_refs
+                    .binary_search(&(cr as u32))
+                    .expect("occurrence is an indexed problem clause");
+                self.remove_problem_clause(idx, cr as u32);
+                removed.insert(cr as u32);
+            }
+            let end = self.elim_clauses.len() as u32;
+            self.elim_trail.push((v as u32, start, end));
+            self.eliminated[v] = true;
+            self.n_eliminated += 1;
+            for r in &resolvents {
+                if let Some(cr) = self.add_clause_internal(r) {
+                    for &l in r {
+                        self.occ[l.code()].push(cr);
+                    }
+                }
+                if self.unsat {
+                    break;
+                }
+            }
+        }
+        for list in &mut self.occ {
+            list.clear();
+        }
+    }
+
+    /// The resolvent of clauses `p` (contains `pivot`) and `n` (contains
+    /// `¬pivot`) on `pivot`, or `None` if it is tautological. Duplicate
+    /// literals are merged; level-0-false literals are kept (add_clause
+    /// strips them again).
+    fn resolve(&self, p: u32, n: u32, pivot: Var) -> Option<Vec<Lit>> {
+        let mut out: Vec<Lit> = Vec::new();
+        for &cr in &[p, n] {
+            let cr = cr as usize;
+            let len = self.arena[cr] as usize;
+            for k in 0..len {
+                let l = Lit::from_code(self.arena[cr + 1 + k]);
+                if l.var() == pivot {
+                    continue;
+                }
+                if out.contains(&!l) {
+                    return None; // tautology
+                }
+                if !out.contains(&l) {
+                    out.push(l);
+                }
+            }
+        }
+        Some(out)
+    }
+}

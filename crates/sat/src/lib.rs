@@ -26,9 +26,13 @@
 #![warn(missing_docs)]
 
 mod cnf;
+mod eliminate;
+mod reduce;
+mod restart;
 mod solver;
 mod tseitin;
+mod vivify;
 
 pub use cnf::{Lit, Var};
-pub use solver::Solver;
+pub use solver::{SimplifyStats, Solver};
 pub use tseitin::{encode_netlist, CircuitCnf};

@@ -32,7 +32,7 @@
 use crate::{Lit, Var};
 
 /// Sentinel clause reference: "no reason" / "no clause".
-const NO_CLAUSE: u32 = u32::MAX;
+pub(crate) const NO_CLAUSE: u32 = u32::MAX;
 
 /// Sentinel heap position: "not in the heap".
 const NOT_IN_HEAP: u32 = u32::MAX;
@@ -46,7 +46,7 @@ const NOT_IN_HEAP: u32 = u32::MAX;
 /// pop order agree exactly with a linear "first maximum" activity scan,
 /// which keeps solver runs reproducible and mode-independent.
 #[derive(Debug, Clone, Default)]
-struct VarOrder {
+pub(crate) struct VarOrder {
     heap: Vec<u32>,
     index: Vec<u32>,
 }
@@ -165,7 +165,7 @@ impl VarOrder {
 /// per-list orders and traversal, so verdicts *and* models are
 /// bit-identical.
 #[derive(Debug, Clone)]
-struct WatchLists {
+pub(crate) struct WatchLists {
     /// `true` (default): flat CSR pool. `false`: per-literal `Vec`s.
     csr: bool,
     /// Flat pool (CSR mode).
@@ -179,6 +179,9 @@ struct WatchLists {
     lists: Vec<Vec<u32>>,
     /// Compaction scratch, reused across passes.
     compact_tmp: Vec<u32>,
+    /// Slack (percent of kept entries) reserved per list by compaction;
+    /// see [`Solver::set_watch_slack`].
+    pub(crate) slack_pct: u32,
 }
 
 impl WatchLists {
@@ -191,6 +194,7 @@ impl WatchLists {
             cap: Vec::new(),
             lists: Vec::new(),
             compact_tmp: Vec::new(),
+            slack_pct: 50,
         }
     }
 
@@ -255,7 +259,7 @@ impl WatchLists {
     }
 
     #[inline]
-    fn len_of(&self, code: usize) -> usize {
+    pub(crate) fn len_of(&self, code: usize) -> usize {
         if self.csr {
             self.len[code] as usize
         } else {
@@ -264,7 +268,7 @@ impl WatchLists {
     }
 
     #[inline]
-    fn get(&self, code: usize, i: usize) -> u32 {
+    pub(crate) fn get(&self, code: usize, i: usize) -> u32 {
         if self.csr {
             debug_assert!(i < self.len[code] as usize);
             self.data[self.start[code] as usize + i]
@@ -274,7 +278,7 @@ impl WatchLists {
     }
 
     #[inline]
-    fn push(&mut self, code: usize, cr: u32) {
+    pub(crate) fn push(&mut self, code: usize, cr: u32) {
         if !self.csr {
             self.lists[code].push(cr);
             return;
@@ -297,7 +301,7 @@ impl WatchLists {
     }
 
     #[inline]
-    fn swap_remove(&mut self, code: usize, i: usize) {
+    pub(crate) fn swap_remove(&mut self, code: usize, i: usize) {
         if self.csr {
             let s = self.start[code] as usize;
             let last = self.len[code] as usize - 1;
@@ -312,11 +316,11 @@ impl WatchLists {
     /// `Some(r)` rewrites it. In CSR mode the pool is compacted
     /// afterwards (this runs from the learnt-DB reduction, the natural
     /// point to reclaim relocation garbage). Each non-empty list keeps
-    /// ~50% slack capacity: propagation moves watches on the very next
-    /// conflict, and compacting *tight* would force every first push to
-    /// relocate its list to the pool end — undoing the compaction
-    /// immediately.
-    fn retain_map(&mut self, mut f: impl FnMut(u32) -> Option<u32>) {
+    /// `slack_pct`% slack capacity (default 50): propagation moves
+    /// watches on the very next conflict, and compacting *tight* would
+    /// force every first push to relocate its list to the pool end —
+    /// undoing the compaction immediately.
+    pub(crate) fn retain_map(&mut self, mut f: impl FnMut(u32) -> Option<u32>) {
         if !self.csr {
             for wl in &mut self.lists {
                 wl.retain_mut(|r| match f(*r) {
@@ -341,7 +345,11 @@ impl WatchLists {
                 }
             }
             let kept = pool.len() as u32 - self.start[c];
-            let cap = if kept == 0 { 0 } else { kept + kept / 2 + 1 };
+            let cap = if kept == 0 {
+                0
+            } else {
+                kept + kept * self.slack_pct / 100 + 1
+            };
             pool.resize(self.start[c] as usize + cap as usize, 0);
             self.len[c] = kept;
             self.cap[c] = cap;
@@ -357,72 +365,147 @@ impl WatchLists {
 pub struct Solver {
     /// Flat clause arena: `[len, lit codes...]` blocks, problem and learnt
     /// clauses alike. A clause reference is the offset of its `len` word.
-    arena: Vec<u32>,
+    pub(crate) arena: Vec<u32>,
     /// Number of clauses stored in the arena.
-    n_clauses: usize,
+    pub(crate) n_clauses: usize,
     /// Watch lists indexed by literal code: clause refs watching that
     /// literal, flattened into a CSR pool (see [`WatchLists`]).
-    watches: WatchLists,
+    pub(crate) watches: WatchLists,
     /// Current assignment per variable.
-    assign: Vec<Option<bool>>,
+    pub(crate) assign: Vec<Option<bool>>,
     /// Saved phase per variable.
-    phase: Vec<bool>,
+    pub(crate) phase: Vec<bool>,
     /// Decision level per assigned variable.
-    level: Vec<u32>,
+    pub(crate) level: Vec<u32>,
     /// Reason clause ref per assigned variable (implied literals only).
-    reason: Vec<u32>,
+    pub(crate) reason: Vec<u32>,
     /// Assignment trail and per-level start indices.
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
     /// Propagation queue head.
-    qhead: usize,
+    pub(crate) qhead: usize,
     /// VSIDS activity and bump increment.
-    activity: Vec<f64>,
-    act_inc: f64,
+    pub(crate) activity: Vec<f64>,
+    pub(crate) act_inc: f64,
     /// Activity-ordered decision heap; contains a superset of the
     /// unassigned variables (assigned entries are skipped lazily).
-    order: VarOrder,
+    pub(crate) order: VarOrder,
     /// When `false`, [`Solver::decide`] falls back to the pre-heap linear
     /// activity scan (kept as a baseline for benches and equivalence
     /// tests; both modes pick identical decision variables).
-    use_heap: bool,
-    /// Learnt-clause refs in ascending arena order, with activity and LBD
-    /// in parallel arrays — the metadata [`Solver::reduce_db`] ranks by.
-    learnt_refs: Vec<u32>,
-    learnt_act: Vec<f64>,
-    learnt_lbd: Vec<u32>,
+    pub(crate) use_heap: bool,
+    /// Learnt-clause refs in ascending arena order, with activity, LBD
+    /// and tier in parallel arrays — the metadata `reduce_db` ranks by.
+    pub(crate) learnt_refs: Vec<u32>,
+    pub(crate) learnt_act: Vec<f64>,
+    pub(crate) learnt_lbd: Vec<u32>,
+    /// Learnt tier per clause: 0 = core (learn-time LBD ≤ 2, never
+    /// dropped), 1 = mid, 2 = local. Maintained in every mode so
+    /// toggling tiered reduction mid-life stays deterministic; only
+    /// consulted when [`Solver::set_reduce_tiered`] is on.
+    pub(crate) learnt_tier: Vec<u8>,
     /// Learnt-clause activity bump increment.
-    cla_inc: f64,
+    pub(crate) cla_inc: f64,
     /// User learnt cap (`0` = adaptive) and the current reduce threshold.
-    learnt_limit: usize,
-    max_learnts: usize,
-    /// Completed [`Solver::reduce_db`] passes.
-    n_reductions: u64,
+    pub(crate) learnt_limit: usize,
+    pub(crate) max_learnts: usize,
+    /// Completed `reduce_db` passes.
+    pub(crate) n_reductions: u64,
     /// LBD computation scratch: per-level stamps and the current stamp key.
-    lbd_stamp: Vec<u64>,
-    lbd_key: u64,
+    pub(crate) lbd_stamp: Vec<u64>,
+    pub(crate) lbd_key: u64,
     /// Set when an empty clause is added.
-    unsat: bool,
+    pub(crate) unsat: bool,
     /// When `true`, restarts follow the Luby sequence (with rare random
     /// phase flips on stagnation) instead of the default geometric
     /// schedule. Opt-in via [`Solver::set_restart_luby`]; either mode
     /// yields the same verdicts, only the search trajectory differs.
-    luby_restarts: bool,
+    pub(crate) luby_restarts: bool,
     /// Deterministic xorshift state for the stagnation phase flips
     /// (advanced only in Luby mode, cloned with the solver).
-    rng: u64,
+    pub(crate) rng: u64,
     /// Conflict-analysis scratch: the learnt clause under construction
     /// (asserting literal first) and per-variable seen marks. Reused
     /// across conflicts; `seen` is all-false between analyses.
-    learnt: Vec<Lit>,
-    seen: Vec<bool>,
+    pub(crate) learnt: Vec<Lit>,
+    pub(crate) seen: Vec<bool>,
     /// Clause-construction scratch for [`Solver::add_clause`].
-    add_tmp: Vec<Lit>,
-    /// Arena-compaction scratch for [`Solver::reduce_db`] (dead clause
-    /// refs and the word-shift prefix sums), reused across reductions.
-    dead_refs: Vec<u32>,
-    dead_shift: Vec<u32>,
-    rank_tmp: Vec<u32>,
+    pub(crate) add_tmp: Vec<Lit>,
+    /// Arena-compaction scratch (dead clause refs and the word-shift
+    /// prefix sums), reused across reductions.
+    pub(crate) dead_refs: Vec<u32>,
+    pub(crate) dead_shift: Vec<u32>,
+    pub(crate) rank_tmp: Vec<u32>,
+    /// Live problem (non-learnt) clause refs in ascending arena order —
+    /// the iteration index vivification and variable elimination walk.
+    /// Kept in lockstep with the arena by `add_clause` and compaction.
+    pub(crate) clause_refs: Vec<u32>,
+    /// Arena blocks logically removed (vivified-away clauses, eliminated
+    /// occurrences, shrink gaps) but not yet compacted out. Reclaimed by
+    /// the next `reduce_db` or [`Solver::simplify`] compaction pass.
+    pub(crate) dead_problem: Vec<u32>,
+    /// Per-variable interface marks: frozen variables are never
+    /// eliminated (see [`Solver::set_frozen`]).
+    pub(crate) frozen: Vec<bool>,
+    /// Per-variable elimination marks: eliminated variables are excluded
+    /// from decisions and reconstructed on SAT (see `eliminate`).
+    pub(crate) eliminated: Vec<bool>,
+    /// Saved `[len, lit codes...]` blocks of every clause removed by
+    /// variable elimination — the input of model reconstruction.
+    pub(crate) elim_clauses: Vec<u32>,
+    /// One `(var, start, end)` span into `elim_clauses` per eliminated
+    /// variable, in elimination order; reconstruction walks it in
+    /// reverse.
+    pub(crate) elim_trail: Vec<(u32, u32, u32)>,
+    /// Occurrence lists by literal code, built (and torn down) by each
+    /// elimination round; retained as a field so its footprint shows up
+    /// in [`Solver::db_bytes`].
+    pub(crate) occ: Vec<Vec<u32>>,
+    /// Inprocessing toggles — all default on; each is bit-identical to
+    /// the pre-inprocessing solver when disabled.
+    pub(crate) vivify_enabled: bool,
+    pub(crate) bve_enabled: bool,
+    pub(crate) ema_restarts: bool,
+    pub(crate) tiered_reduce: bool,
+    /// Fast/slow LBD exponential moving averages and the stabilizing
+    /// restart mode state (see `restart.rs`). Cloned with the solver so
+    /// sharded sweeps stay deterministic.
+    pub(crate) ema_fast: f64,
+    pub(crate) ema_slow: f64,
+    pub(crate) restart_stable: bool,
+    pub(crate) mode_conflicts: u64,
+    pub(crate) stable_period: u64,
+    /// In-solve vivification pacing: restarts until the next budgeted
+    /// pass, and the rotating cursor into `clause_refs`.
+    pub(crate) vivify_countdown: u32,
+    pub(crate) vivify_head: usize,
+    /// Simplification statistics (see [`Solver::simplify_stats`]).
+    pub(crate) n_vivified: u64,
+    pub(crate) n_eliminated: u64,
+    pub(crate) stat_clauses_removed: u64,
+    pub(crate) stat_literals_removed: u64,
+    /// Vivification scratch (current clause literals), reused.
+    pub(crate) viv_tmp: Vec<Lit>,
+}
+
+/// Counters describing the work pre/inprocessing has done on a solver:
+/// vivified (shrunk) clauses, eliminated variables, learnt-DB
+/// reductions, and the clauses/literals removed overall. Purely
+/// observational — reading them never affects solving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Clauses shrunk or strengthened by vivification.
+    pub n_vivified: u64,
+    /// Variables removed by bounded variable elimination.
+    pub n_eliminated: u64,
+    /// Completed learnt-DB reduction passes.
+    pub n_reductions: u64,
+    /// Problem clauses removed outright (vivified down to units, or
+    /// replaced by elimination resolvents; resolvents added back are
+    /// not netted out).
+    pub clauses_removed: u64,
+    /// Literals removed from surviving problem clauses.
+    pub literals_removed: u64,
 }
 
 impl Default for Solver {
@@ -455,6 +538,7 @@ impl Solver {
             learnt_refs: Vec::new(),
             learnt_act: Vec::new(),
             learnt_lbd: Vec::new(),
+            learnt_tier: Vec::new(),
             cla_inc: 1.0,
             learnt_limit: 0,
             max_learnts: 0,
@@ -470,6 +554,29 @@ impl Solver {
             dead_refs: Vec::new(),
             dead_shift: Vec::new(),
             rank_tmp: Vec::new(),
+            clause_refs: Vec::new(),
+            dead_problem: Vec::new(),
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_clauses: Vec::new(),
+            elim_trail: Vec::new(),
+            occ: Vec::new(),
+            vivify_enabled: true,
+            bve_enabled: true,
+            ema_restarts: true,
+            tiered_reduce: true,
+            ema_fast: 0.0,
+            ema_slow: 0.0,
+            restart_stable: false,
+            mode_conflicts: 0,
+            stable_period: crate::restart::STABLE_PERIOD_INIT,
+            vivify_countdown: crate::vivify::RESTART_PERIOD,
+            vivify_head: 0,
+            n_vivified: 0,
+            n_eliminated: 0,
+            stat_clauses_removed: 0,
+            stat_literals_removed: 0,
+            viv_tmp: Vec::new(),
         }
     }
 
@@ -483,6 +590,8 @@ impl Solver {
         self.activity.push(0.0);
         self.seen.push(false);
         self.lbd_stamp.push(0);
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.watches.push_list(); // positive literal
         self.watches.push_list(); // negative literal
         self.order.push_slot();
@@ -544,6 +653,129 @@ impl Solver {
     /// help.
     pub fn set_restart_luby(&mut self, enabled: bool) {
         self.luby_restarts = enabled;
+    }
+
+    /// Toggles clause vivification (default on): candidate problem
+    /// clauses are re-propagated literal by literal and shrunk in the
+    /// flat arena, during [`Solver::simplify`] and — on a deterministic
+    /// budget — at assumption-free restart boundaries. Disabled, the
+    /// solver is bit-identical to the pre-vivification code path
+    /// (verdicts *and* models).
+    pub fn set_vivify(&mut self, enabled: bool) {
+        self.vivify_enabled = enabled;
+    }
+
+    /// Toggles bounded variable elimination (default on): during
+    /// [`Solver::simplify`], unfrozen variables whose resolvent count
+    /// does not exceed their occurrence count are resolved away.
+    /// Eliminated variables are excluded from decisions and receive
+    /// model reconstruction on every SAT answer, so the incremental
+    /// assumption API stays sound. Freeze every variable the caller
+    /// will assume on or read back (see [`Solver::set_frozen`]).
+    /// Disabled, the solver is bit-identical to the pre-BVE code path.
+    pub fn set_eliminate(&mut self, enabled: bool) {
+        self.bve_enabled = enabled;
+    }
+
+    /// Toggles EMA-driven stabilizing restarts (default on): fast/slow
+    /// exponential moving averages of learnt-clause LBD drive agile
+    /// restarts, alternating with geometrically growing stable phases
+    /// that let phase saving settle. [`Solver::set_restart_luby`] takes
+    /// precedence when both are on. Disabled (and with Luby off), the
+    /// geometric schedule runs bit-identically to the baseline.
+    pub fn set_restart_ema(&mut self, enabled: bool) {
+        self.ema_restarts = enabled;
+    }
+
+    /// Toggles tiered learnt-clause management (default on): learnts are
+    /// tiered core (learn-time LBD ≤ 2, never dropped) / mid / local,
+    /// locals are promoted to mid when they keep producing conflicts,
+    /// and `reduce_db` drops locals before mids instead of ranking the
+    /// whole DB by LBD alone. Disabled, reduction ranks exactly as the
+    /// baseline — bit-identical verdicts and models.
+    pub fn set_reduce_tiered(&mut self, enabled: bool) {
+        self.tiered_reduce = enabled;
+    }
+
+    /// Marks `v` as frozen (or unfreezes it). Frozen variables are never
+    /// eliminated; callers must freeze every variable that crosses the
+    /// solver boundary — Tseitin interface outputs, assumption variables
+    /// and key/config variables — before calling [`Solver::simplify`].
+    pub fn set_frozen(&mut self, v: Var, frozen: bool) {
+        self.frozen[v.0 as usize] = frozen;
+    }
+
+    /// `true` iff `v` has been removed by variable elimination. Its
+    /// value is still reconstructed on every SAT answer.
+    pub fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated[v.0 as usize]
+    }
+
+    /// Sets the slack (in percent of the kept entries) that watch-pool
+    /// compaction reserves per list; default 50. `0` compacts tight —
+    /// smallest pool, but the next watch push relocates the list to the
+    /// pool end, undoing the compaction. Purely a memory-layout knob:
+    /// verdicts, models and the whole search trajectory are unaffected.
+    pub fn set_watch_slack(&mut self, pct: u32) {
+        self.watches.slack_pct = pct;
+    }
+
+    /// The pre/inprocessing counters of this solver (monotone over its
+    /// lifetime, carried across [`Solver::clone_db`]).
+    pub fn simplify_stats(&self) -> SimplifyStats {
+        SimplifyStats {
+            n_vivified: self.n_vivified,
+            n_eliminated: self.n_eliminated,
+            n_reductions: self.n_reductions,
+            clauses_removed: self.stat_clauses_removed,
+            literals_removed: self.stat_literals_removed,
+        }
+    }
+
+    /// Pre/inprocessing entry point: at decision level 0, runs an
+    /// exhaustive vivification pass and a bounded-variable-elimination
+    /// round (each only if its toggle is on), then compacts the arena
+    /// over everything removed. Returns `false` iff the instance was
+    /// proven unsatisfiable.
+    ///
+    /// Call once after encoding and, optionally, between query batches;
+    /// **freeze the interface first** (see [`Solver::set_frozen`]).
+    /// Every simplification is deterministic and verdict-preserving:
+    /// vivification keeps the formula equivalent, elimination keeps it
+    /// equisatisfiable with model reconstruction on every SAT answer,
+    /// so callers observe identical verdicts and satisfying models
+    /// either way.
+    pub fn simplify(&mut self) -> bool {
+        if self.unsat {
+            return false;
+        }
+        self.clear_reconstructed();
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return false;
+        }
+        if self.vivify_enabled {
+            self.vivify_round(usize::MAX);
+            if self.unsat {
+                return false;
+            }
+        }
+        if self.bve_enabled {
+            self.eliminate_round();
+            if self.unsat {
+                return false;
+            }
+        }
+        if !self.dead_problem.is_empty() {
+            let mut dead = std::mem::take(&mut self.dead_refs);
+            dead.clear();
+            dead.append(&mut self.dead_problem);
+            dead.sort_unstable();
+            self.dead_refs = dead;
+            self.compact_arena();
+        }
+        true
     }
 
     /// Caps the learnt-clause count: once more than `limit` learnt
@@ -610,17 +842,30 @@ impl Solver {
             + std::mem::size_of::<u32>()                  // reason
             + std::mem::size_of::<f64>()                  // activity
             + std::mem::size_of::<u64>(); // lbd_stamp
-        self.arena.len() * std::mem::size_of::<u32>()
+        let word = std::mem::size_of::<u32>();
+        // Occurrence lists are cleared between elimination rounds; the
+        // outer spine (and any inner capacity that survives) still
+        // counts, so session-cache LRU budgets stay honest.
+        let occ_bytes = self.occ.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self.occ.iter().map(|l| l.capacity() * word).sum::<usize>();
+        self.arena.len() * word
             + self.watches.pool_bytes()
             + self.n_vars() * per_var
-            + self.learnt_refs.len() * (std::mem::size_of::<u32>() * 2 + std::mem::size_of::<f64>())
+            + self.n_vars() * 2 * std::mem::size_of::<bool>() // frozen + eliminated
+            + self.learnt_refs.len()
+                * (std::mem::size_of::<u32>() * 2
+                    + std::mem::size_of::<f64>()
+                    + std::mem::size_of::<u8>()) // + tier
+            + (self.clause_refs.len() + self.dead_problem.len() + self.elim_clauses.len()) * word
+            + self.elim_trail.len() * std::mem::size_of::<(u32, u32, u32)>()
+            + occ_bytes
     }
 
     /// Appends a clause block for the literals in `self.add_tmp` /
     /// `self.learnt` semantics: caller passes the literal list through a
     /// field to keep borrows disjoint. Returns the clause ref and hooks
     /// the first two literals into the watch lists.
-    fn attach_from(arena: &mut Vec<u32>, watches: &mut WatchLists, lits: &[Lit]) -> u32 {
+    pub(crate) fn attach_from(arena: &mut Vec<u32>, watches: &mut WatchLists, lits: &[Lit]) -> u32 {
         debug_assert!(lits.len() >= 2, "unit clauses are enqueued, not stored");
         let cr = arena.len() as u32;
         arena.push(lits.len() as u32);
@@ -641,6 +886,13 @@ impl Solver {
     /// (call sites in this workspace always add clauses up front) or if a
     /// literal references an unallocated variable.
     pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.add_clause_internal(lits);
+    }
+
+    /// [`Solver::add_clause`] plus the attached clause ref (`None` when
+    /// the clause was dropped, enqueued as a unit, or made the instance
+    /// unsat) — the entry point elimination resolvents go through.
+    pub(crate) fn add_clause_internal(&mut self, lits: &[Lit]) -> Option<u32> {
         assert!(
             self.trail_lim.is_empty(),
             "clauses must be added at decision level 0"
@@ -651,7 +903,7 @@ impl Solver {
             assert!((l.var().0 as usize) < self.n_vars(), "unknown variable");
             if c.contains(&!l) {
                 self.add_tmp = c;
-                return; // tautology
+                return None; // tautology
             }
             if !c.contains(&l) {
                 c.push(l);
@@ -662,8 +914,9 @@ impl Solver {
         c.retain(|&l| self.lit_value(l) != Some(false));
         if c.iter().any(|&l| self.lit_value(l) == Some(true)) {
             self.add_tmp = c;
-            return;
+            return None;
         }
+        let mut attached = None;
         match c.len() {
             0 => self.unsat = true,
             1 => {
@@ -672,14 +925,17 @@ impl Solver {
                 }
             }
             _ => {
-                Self::attach_from(&mut self.arena, &mut self.watches, &c);
+                let cr = Self::attach_from(&mut self.arena, &mut self.watches, &c);
                 self.n_clauses += 1;
+                self.clause_refs.push(cr);
+                attached = Some(cr);
             }
         }
         self.add_tmp = c;
+        attached
     }
 
-    fn lit_value(&self, l: Lit) -> Option<bool> {
+    pub(crate) fn lit_value(&self, l: Lit) -> Option<bool> {
         self.assign[l.var().0 as usize].map(|v| v ^ l.is_negative())
     }
 
@@ -688,11 +944,11 @@ impl Solver {
         self.assign[v.0 as usize]
     }
 
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, l: Lit, reason: u32) -> bool {
+    pub(crate) fn enqueue(&mut self, l: Lit, reason: u32) -> bool {
         match self.lit_value(l) {
             Some(true) => true,
             Some(false) => false,
@@ -709,7 +965,7 @@ impl Solver {
     }
 
     /// Unit propagation; returns a conflicting clause ref if any.
-    fn propagate(&mut self) -> Option<u32> {
+    pub(crate) fn propagate(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -784,6 +1040,12 @@ impl Solver {
         let Ok(i) = self.learnt_refs.binary_search(&cr) else {
             return; // a problem clause
         };
+        // A local clause that keeps producing conflicts earns mid-tier
+        // residency (tier state advances in every mode; it is only
+        // consulted by tiered reduction).
+        if self.learnt_tier[i] == 2 {
+            self.learnt_tier[i] = 1;
+        }
         self.learnt_act[i] += self.cla_inc;
         if self.learnt_act[i] > 1e20 {
             for a in &mut self.learnt_act {
@@ -874,7 +1136,7 @@ impl Solver {
         back
     }
 
-    fn cancel_until(&mut self, lvl: u32) {
+    pub(crate) fn cancel_until(&mut self, lvl: u32) {
         while self.decision_level() > lvl {
             let start = self.trail_lim.pop().expect("level exists");
             while self.trail.len() > start {
@@ -894,139 +1156,11 @@ impl Solver {
     /// The implied literal of a reason clause always sits at watch
     /// position 1 or 2 (propagation never moves a true watched literal
     /// deeper), so two probes suffice.
-    fn is_locked(&self, cr: u32) -> bool {
+    pub(crate) fn is_locked(&self, cr: u32) -> bool {
         (1..=2).any(|k| {
             let v = Lit::from_code(self.arena[cr as usize + k]).var().0 as usize;
             self.reason[v] == cr
         })
-    }
-
-    /// Learnt-DB reduction: drops the cold half of the learnt clauses and
-    /// compacts the flat arena in place.
-    ///
-    /// Clauses are ranked by (LBD ascending, activity descending); glue
-    /// clauses (LBD ≤ 2) and clauses locked as reasons are always kept.
-    /// Compaction slides the live blocks down over the dead ones with
-    /// `copy_within`, then remaps every clause reference — watch lists,
-    /// the reason array and the learnt metadata — through the dead-block
-    /// prefix sums. Safe at any decision level.
-    fn reduce_db(&mut self) {
-        let n = self.learnt_refs.len();
-        if n == 0 {
-            return;
-        }
-        // Rank the removable learnts worst-first: higher LBD, then lower
-        // activity, then older (lower ref). Deterministic total order.
-        let mut cand = std::mem::take(&mut self.rank_tmp);
-        cand.clear();
-        for i in 0..n {
-            if self.learnt_lbd[i] > 2 && !self.is_locked(self.learnt_refs[i]) {
-                cand.push(i as u32);
-            }
-        }
-        cand.sort_unstable_by(|&a, &b| {
-            let (a, b) = (a as usize, b as usize);
-            self.learnt_lbd[b]
-                .cmp(&self.learnt_lbd[a])
-                .then(self.learnt_act[a].total_cmp(&self.learnt_act[b]))
-                .then(self.learnt_refs[a].cmp(&self.learnt_refs[b]))
-        });
-        let n_remove = cand.len().min(n / 2);
-        if n_remove == 0 {
-            // Everything is glue or locked: raise the threshold so the
-            // trigger does not fire on every conflict.
-            self.max_learnts += self.max_learnts / 2 + 1;
-            self.rank_tmp = cand;
-            return;
-        }
-        // Dead refs ascending, with cumulative word shifts: a live ref
-        // `r` moves to `r - shift[#dead blocks before r]`.
-        let mut dead = std::mem::take(&mut self.dead_refs);
-        let mut shift = std::mem::take(&mut self.dead_shift);
-        dead.clear();
-        shift.clear();
-        dead.extend(
-            cand[..n_remove]
-                .iter()
-                .map(|&i| self.learnt_refs[i as usize]),
-        );
-        dead.sort_unstable();
-        let mut acc = 0u32;
-        for &d in &dead {
-            acc += self.arena[d as usize] + 1;
-            shift.push(acc);
-        }
-        // Slide the live spans between dead blocks down in place. Each
-        // destination range ends strictly before the next dead header, so
-        // headers are always read before they can be overwritten.
-        {
-            let mut write = dead[0] as usize;
-            let mut read = write + self.arena[write] as usize + 1;
-            for &d in &dead[1..] {
-                let d = d as usize;
-                let span = d - read;
-                self.arena.copy_within(read..d, write);
-                write += span;
-                read = d + self.arena[d] as usize + 1;
-            }
-            let len = self.arena.len();
-            self.arena.copy_within(read..len, write);
-            self.arena.truncate(write + (len - read));
-        }
-        let remap = |r: u32| -> u32 {
-            let i = dead.partition_point(|&d| d < r);
-            if i == 0 {
-                r
-            } else {
-                r - shift[i - 1]
-            }
-        };
-        // Watch lists: drop watchers of dead clauses, remap the rest
-        // (this pass also compacts the CSR watch pool).
-        self.watches.retain_map(|r| {
-            if dead.binary_search(&r).is_ok() {
-                None
-            } else {
-                Some(remap(r))
-            }
-        });
-        // Reasons: locked clauses were kept, so every reason stays live.
-        for r in &mut self.reason {
-            if *r != NO_CLAUSE {
-                debug_assert!(dead.binary_search(r).is_err(), "reason clause dropped");
-                *r = remap(*r);
-            }
-        }
-        // Learnt metadata: two-pointer sweep (both lists are ascending).
-        let mut w = 0usize;
-        let mut di = 0usize;
-        for i in 0..n {
-            let r = self.learnt_refs[i];
-            if di < dead.len() && dead[di] == r {
-                di += 1;
-                continue;
-            }
-            self.learnt_refs[w] = remap(r);
-            self.learnt_act[w] = self.learnt_act[i];
-            self.learnt_lbd[w] = self.learnt_lbd[i];
-            w += 1;
-        }
-        self.learnt_refs.truncate(w);
-        self.learnt_act.truncate(w);
-        self.learnt_lbd.truncate(w);
-        self.n_clauses -= n_remove;
-        self.n_reductions += 1;
-        if self.learnt_limit == 0 {
-            // Adaptive mode grows the threshold geometrically; a user cap
-            // stays fixed so long sweeps remain bounded — snap back any
-            // transient slack the all-glue escape path above granted.
-            self.max_learnts += self.max_learnts / 10 + 1;
-        } else {
-            self.max_learnts = self.learnt_limit;
-        }
-        self.rank_tmp = cand;
-        self.dead_refs = dead;
-        self.dead_shift = shift;
     }
 
     /// Flips a rare random subset (~1/32) of saved phases — the
@@ -1051,7 +1185,9 @@ impl Solver {
             // Assigned entries dropped here are re-inserted by
             // `cancel_until` when (and if) they become undecided again.
             while let Some(v) = self.order.pop(&self.activity) {
-                if self.assign[v as usize].is_none() {
+                // Eliminated variables linger in the order but are never
+                // decided; their values come from model reconstruction.
+                if self.assign[v as usize].is_none() && !self.eliminated[v as usize] {
                     return Some(Lit::with_polarity(Var(v), self.phase[v as usize]));
                 }
             }
@@ -1060,7 +1196,7 @@ impl Solver {
         // Baseline linear scan: first variable of maximal activity.
         let mut best: Option<(usize, f64)> = None;
         for v in 0..self.n_vars() {
-            if self.assign[v].is_none() {
+            if self.assign[v].is_none() && !self.eliminated[v] {
                 let a = self.activity[v];
                 if best.is_none_or(|(_, ba)| a > ba) {
                     best = Some((v, a));
@@ -1085,6 +1221,9 @@ impl Solver {
         if self.unsat {
             return false;
         }
+        // Values reconstructed for eliminated variables by a previous
+        // SAT answer are not level-0 facts; clear them before searching.
+        self.clear_reconstructed();
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.unsat = true;
@@ -1092,6 +1231,10 @@ impl Solver {
         }
         // Assumption levels.
         for &a in assumptions {
+            assert!(
+                !self.eliminated[a.var().0 as usize],
+                "assumption on an eliminated variable; freeze it before simplify()"
+            );
             match self.lit_value(a) {
                 Some(true) => continue,
                 Some(false) => {
@@ -1150,27 +1293,42 @@ impl Solver {
                 let back = self.analyze(confl).max(assumption_level);
                 self.cancel_until(back);
                 let assert_lit = self.learnt[0];
+                let lbd = if self.learnt.len() == 1 {
+                    // A unit learnt asserts at one level; its LBD is 1.
+                    1
+                } else {
+                    self.lbd_of_learnt()
+                };
                 if self.learnt.len() == 1 {
                     // Unit learnt clause: assert directly at the backjump
                     // level (level 0, or the assumption level).
                     let ok = self.enqueue(assert_lit, NO_CLAUSE);
                     debug_assert!(ok);
                 } else {
-                    let lbd = self.lbd_of_learnt();
                     let cr = Self::attach_from(&mut self.arena, &mut self.watches, &self.learnt);
                     self.n_clauses += 1;
                     self.learnt_refs.push(cr);
                     self.learnt_act.push(self.cla_inc);
                     self.learnt_lbd.push(lbd);
+                    self.learnt_tier.push(crate::reduce::tier_of(lbd));
                     let ok = self.enqueue(assert_lit, cr);
                     debug_assert!(ok);
                 }
+                // The LBD EMAs advance in every mode (they are plain
+                // observers); they only *steer* restarts in EMA mode.
+                self.ema_note_conflict(lbd);
                 self.act_inc *= 1.05;
                 self.cla_inc *= 1.001;
                 if self.learnt_refs.len() >= self.max_learnts {
                     self.reduce_db();
                 }
-                if conflicts >= conflicts_until_restart {
+                let ema_mode = self.ema_restarts && !self.luby_restarts;
+                let restart_now = if ema_mode {
+                    self.ema_wants_restart(conflicts)
+                } else {
+                    conflicts >= conflicts_until_restart
+                };
+                if restart_now {
                     conflicts = 0;
                     if self.luby_restarts {
                         restart_idx += 1;
@@ -1185,14 +1343,26 @@ impl Solver {
                                 stagnant = 0;
                             }
                         }
-                    } else {
+                    } else if !ema_mode {
                         conflicts_until_restart = (conflicts_until_restart * 3) / 2;
                     }
                     self.cancel_until(assumption_level);
+                    // Budgeted in-solve vivification, only on
+                    // assumption-free queries (the trail is pure level 0
+                    // after this cancel).
+                    if self.vivify_enabled && assumption_level == 0 {
+                        self.vivify_at_restart();
+                        if self.unsat {
+                            return false;
+                        }
+                    }
                 }
             } else {
                 match self.decide() {
-                    None => return true,
+                    None => {
+                        self.reconstruct_model();
+                        return true;
+                    }
                     Some(d) => {
                         self.trail_lim.push(self.trail.len());
                         let ok = self.enqueue(d, NO_CLAUSE);

@@ -32,6 +32,26 @@ pub struct CircuitCnf {
     pub row_outputs: Vec<Vec<Var>>,
 }
 
+impl CircuitCnf {
+    /// Freezes the encoding's interface against variable elimination:
+    /// every configuration selector (read back as the witness) and every
+    /// row-output variable (assumed on by plausibility queries). Call
+    /// before [`Solver::simplify`]; the per-row input pins are level-0
+    /// facts and need no protection.
+    pub fn freeze_interface(&mut self) {
+        for vars in self.config_vars.values() {
+            for &v in vars {
+                self.solver.set_frozen(v, true);
+            }
+        }
+        for row in &self.row_outputs {
+            for &v in row {
+                self.solver.set_frozen(v, true);
+            }
+        }
+    }
+}
+
 /// Encodes the netlist unrolled over all `2^n_inputs` input rows.
 ///
 /// # Panics

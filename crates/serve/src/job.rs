@@ -22,7 +22,7 @@ use mvf::{
     Flow, FlowBuilder, FlowConfig, Ga, PinObjective, PlausibilityVerdict, SearchStrategy, Workload,
     WorkloadReport,
 };
-use mvf_attack::{AnyIoJob, AnyIoOptions};
+use mvf_attack::{AnyIoJob, AnyIoOptions, SimplifyStats};
 use mvf_ga::{GaConfig, GeneticAlgorithm, ObjectiveRunner};
 
 use crate::checkpoint::{Checkpoint, CheckpointPhase, GaFinal};
@@ -42,7 +42,16 @@ pub enum Control {
 /// How an audit job ended.
 pub enum AuditOutcome {
     /// Ran to completion.
-    Finished(Box<WorkloadReport>),
+    Finished {
+        /// The audit report, byte-identical on the wire to the
+        /// corresponding `Flow::run_many` entry.
+        report: Box<WorkloadReport>,
+        /// The sweep solver's inprocessing counters (all zero when the
+        /// flow failed before any sweep ran). Reported by the service's
+        /// `status` response; never part of the report itself, so
+        /// resume bit-identity is unaffected.
+        sat: SimplifyStats,
+    },
     /// Paused by the observer; resume later with [`resume_audit`].
     Paused(Box<Checkpoint>),
 }
@@ -95,7 +104,7 @@ pub fn audit(
     store: Option<&mut SessionStore>,
 ) -> WorkloadReport {
     match run_audit(cfg, workload, seed, store, &mut |_| Control::Continue) {
-        AuditOutcome::Finished(report) => *report,
+        AuditOutcome::Finished { report, .. } => *report,
         AuditOutcome::Paused(_) => unreachable!("the observer never pauses"),
     }
 }
@@ -180,13 +189,16 @@ fn drive(
         Err(_) => {
             // A failed flow has nothing to sweep; the report carries the
             // error, exactly as a `run_many` batch entry would.
-            return AuditOutcome::Finished(Box::new(WorkloadReport {
-                name: workload.name.clone(),
-                seed,
-                strategy: strategy_name,
-                outcome,
-                plausibility: None,
-            }));
+            return AuditOutcome::Finished {
+                report: Box::new(WorkloadReport {
+                    name: workload.name.clone(),
+                    seed,
+                    strategy: strategy_name,
+                    outcome,
+                    plausibility: None,
+                }),
+                sat: SimplifyStats::default(),
+            };
         }
         Ok(result) => result,
     };
@@ -236,16 +248,20 @@ fn drive(
             }
         }
     }
+    let sat = job.sat_stats();
     let plausibility = PlausibilityVerdict::from_any_io(
         result.mapped.netlist.inputs().len(),
         result.mapped.netlist.outputs().len(),
         job.verdicts(),
     );
-    AuditOutcome::Finished(Box::new(WorkloadReport {
-        name: workload.name.clone(),
-        seed,
-        strategy: strategy_name,
-        outcome: Ok(result),
-        plausibility: Some(plausibility),
-    }))
+    AuditOutcome::Finished {
+        report: Box::new(WorkloadReport {
+            name: workload.name.clone(),
+            seed,
+            strategy: strategy_name,
+            outcome: Ok(result),
+            plausibility: Some(plausibility),
+        }),
+        sat,
+    }
 }

@@ -7,7 +7,7 @@
 //! | `cmd` | fields | response |
 //! |---|---|---|
 //! | `submit` | `id`, `workload` *or* `checkpoint`, optional `wait` | `status` (and `report` with `wait`) |
-//! | `status` | `id` | `status`, `error` when failed |
+//! | `status` | `id` | `status`, `error` when failed; done jobs add the sweep solver's inprocessing counters (`n_vivified`, `n_eliminated`, `n_reductions`) |
 //! | `result` | `id` | `report` (once done) |
 //! | `checkpoint` | `id` | `checkpoint` (latest boundary snapshot) |
 //! | `cancel` | `id` | `status` — the job pauses at its next boundary |
@@ -26,6 +26,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use mvf::cells::{CamoLibrary, Library};
 use mvf::{Workload, WorkloadReport};
+use mvf_attack::SimplifyStats;
 
 use crate::checkpoint::Checkpoint;
 use crate::job::{resume_audit, run_audit, AuditOutcome, Control};
@@ -64,6 +65,8 @@ struct JobEntry {
     /// Whether this submission resumes from `checkpoint`.
     resume: bool,
     report: Option<Box<WorkloadReport>>,
+    /// The sweep solver's inprocessing counters, once the job is done.
+    sat: Option<SimplifyStats>,
 }
 
 struct State {
@@ -327,6 +330,7 @@ impl Inner {
                     checkpoint,
                     resume,
                     report: None,
+                    sat: None,
                 },
             );
             st.queue.push_back(id.clone());
@@ -377,10 +381,20 @@ impl Inner {
         };
         let st = self.state.lock().unwrap();
         match st.jobs.get(&id) {
-            Some(entry) => ok_response(vec![
-                ("id".into(), Value::str(&id)),
-                ("status".into(), Value::str(entry.phase.name())),
-            ]),
+            Some(entry) => {
+                let mut fields = vec![
+                    ("id".into(), Value::str(&id)),
+                    ("status".into(), Value::str(entry.phase.name())),
+                ];
+                // A finished job also reports what inprocessing did to
+                // its sweep solver.
+                if let Some(sat) = &entry.sat {
+                    fields.push(("n_vivified".into(), Value::u64(sat.n_vivified)));
+                    fields.push(("n_eliminated".into(), Value::u64(sat.n_eliminated)));
+                    fields.push(("n_reductions".into(), Value::u64(sat.n_reductions)));
+                }
+                ok_response(fields)
+            }
             None => err_response(&format!("no job '{id}'")),
         }
     }
@@ -512,9 +526,10 @@ fn worker_loop(inner: &Inner) {
         let mut st = inner.state.lock().unwrap();
         let entry = st.jobs.get_mut(&id).expect("running job exists");
         match outcome {
-            AuditOutcome::Finished(report) => {
+            AuditOutcome::Finished { report, sat } => {
                 entry.phase = Phase::Done;
                 entry.report = Some(report);
+                entry.sat = Some(sat);
             }
             AuditOutcome::Paused(cp) => {
                 entry.phase = Phase::Cancelled;

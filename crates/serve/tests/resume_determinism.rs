@@ -72,7 +72,7 @@ fn killed_and_resumed_at_every_boundary_is_bit_identical() {
         boundaries.push(cp.to_json());
         Control::Continue
     }) {
-        AuditOutcome::Finished(r) => *r,
+        AuditOutcome::Finished { report: r, .. } => *r,
         AuditOutcome::Paused(_) => unreachable!(),
     };
     let want = encode(&reference);
@@ -92,7 +92,7 @@ fn killed_and_resumed_at_every_boundary_is_bit_identical() {
     for (i, serialized) in boundaries.iter().enumerate() {
         let cp = Checkpoint::from_json(serialized).expect("boundary checkpoint parses");
         let resumed = match resume_audit(&cfg, cp, None, &mut |_| Control::Continue) {
-            AuditOutcome::Finished(r) => *r,
+            AuditOutcome::Finished { report: r, .. } => *r,
             AuditOutcome::Paused(_) => unreachable!(),
         };
         assert_eq!(
@@ -119,7 +119,7 @@ fn pause_mid_ga_then_resume_matches() {
         "the first boundary is mid-GA"
     );
     let resumed = match resume_audit(&cfg, *cp, None, &mut |_| Control::Continue) {
-        AuditOutcome::Finished(r) => *r,
+        AuditOutcome::Finished { report: r, .. } => *r,
         AuditOutcome::Paused(_) => unreachable!(),
     };
     assert_eq!(encode(&resumed), want);
@@ -147,7 +147,7 @@ fn pause_mid_sweep_then_resume_matches() {
     outcome = resume_audit(&cfg, *cp, None, &mut |_| Control::Pause);
     let second = match outcome {
         AuditOutcome::Paused(cp) => *cp,
-        AuditOutcome::Finished(r) => {
+        AuditOutcome::Finished { report: r, .. } => {
             // The remaining work fit one chunk; the single kill already
             // proves the mid-sweep case.
             assert_eq!(encode(&r), want);
@@ -155,7 +155,7 @@ fn pause_mid_sweep_then_resume_matches() {
         }
     };
     let resumed = match resume_audit(&cfg, second, None, &mut |_| Control::Continue) {
-        AuditOutcome::Finished(r) => *r,
+        AuditOutcome::Finished { report: r, .. } => *r,
         AuditOutcome::Paused(_) => unreachable!(),
     };
     assert_eq!(encode(&resumed), want);

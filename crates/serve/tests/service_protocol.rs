@@ -68,6 +68,21 @@ fn submit_wait_returns_a_wellformed_report() {
         v.get("report").map(Value::to_string),
         "result must return the identical report"
     );
+    // A done job's status surfaces the sweep solver's inprocessing
+    // counters; the encode-time simplification eliminates variables on
+    // every real netlist, so the counter is live, not just present.
+    let status = parse_ok(&service.handle("{\"cmd\":\"status\",\"id\":\"a\"}"));
+    assert_eq!(status.get("status").and_then(Value::as_str), Some("done"));
+    for counter in ["n_vivified", "n_eliminated", "n_reductions"] {
+        assert!(
+            status.get(counter).and_then(Value::as_u64).is_some(),
+            "done status must carry {counter}: {status}"
+        );
+    }
+    assert!(
+        status.get("n_eliminated").and_then(Value::as_u64).unwrap() > 0,
+        "the sweep encoding must have eliminated variables"
+    );
     service.shutdown_and_join();
 }
 

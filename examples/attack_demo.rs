@@ -21,7 +21,7 @@
 //! kill/resume-safe checkpoints.
 
 use mvf::Flow;
-use mvf_attack::{plausibility_sweep, plausibility_sweep_any_io, random_camouflage};
+use mvf_attack::{plausibility_sweep, random_camouflage, AnyIoJob, AnyIoOptions};
 use mvf_cells::{CamoLibrary, Library};
 use mvf_ga::GaConfig;
 use mvf_sboxes::optimal_sboxes;
@@ -92,7 +92,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scrambled = viable[0]
         .permute_inputs(&[2, 0, 3, 1])?
         .permute_outputs(&[1, 3, 0, 2])?;
-    let verdicts = plausibility_sweep_any_io(&baseline, &lib, &camo, &[scrambled]);
+    // Run the sweep through a job so the solver's inprocessing counters
+    // are observable afterwards (verdicts are identical to
+    // `plausibility_sweep_any_io`).
+    let mut job = AnyIoJob::new(
+        &baseline,
+        &lib,
+        &camo,
+        vec![scrambled],
+        &AnyIoOptions::default(),
+    );
+    while !job.is_done() {
+        job.step(usize::MAX);
+    }
+    let sat = job.sat_stats();
+    println!(
+        "  inprocessing: {} clauses vivified, {} variables eliminated, \
+         {} clause-DB reductions",
+        sat.n_vivified, sat.n_eliminated, sat.n_reductions
+    );
+    let verdicts = job.verdicts();
     let v = &verdicts[0];
     println!(
         "  scrambled G0 plausible under some interpretation? {} \

@@ -662,6 +662,402 @@ fn propagation_heavy_stress() {
     );
 }
 
+/// An all-techniques-off solver: the seed CDCL loop with no
+/// inprocessing, geometric restarts and flat (untired) reduction.
+fn baseline_solver(n_vars: usize) -> Solver {
+    let mut s = Solver::new();
+    s.set_vivify(false);
+    s.set_eliminate(false);
+    s.set_restart_ema(false);
+    s.set_reduce_tiered(false);
+    for _ in 0..n_vars {
+        s.new_var();
+    }
+    s
+}
+
+#[test]
+fn simplify_with_all_techniques_off_is_a_no_op() {
+    // Disabled means disabled: with every inprocessing toggle off,
+    // `simplify` must leave the arena untouched, report zero work, and
+    // change no verdict or model relative to never calling it.
+    let mut rng = XorShift(0x0FF0_0FF0_0000_0001);
+    for round in 0..20 {
+        let n_vars = 4 + (rng.next() as usize) % 9;
+        let n_clauses = 2 + (rng.next() as usize) % 40;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 4);
+        let mut plain = baseline_solver(n_vars);
+        let mut simplified = baseline_solver(n_vars);
+        for c in &clauses {
+            plain.add_clause(c);
+            simplified.add_clause(c);
+        }
+        let words = simplified.arena_words();
+        simplified.simplify();
+        assert_eq!(
+            simplified.arena_words(),
+            words,
+            "round {round}: all-off simplify touched the arena"
+        );
+        assert_eq!(
+            simplified.simplify_stats(),
+            mvf_sat::SimplifyStats::default(),
+            "round {round}: all-off simplify reported work"
+        );
+        for q in 0..6 {
+            let n_assumptions = (rng.next() as usize) % 3;
+            let mut assumptions = Vec::with_capacity(n_assumptions);
+            for _ in 0..n_assumptions {
+                assumptions.push(random_lit(&mut rng, n_vars));
+            }
+            let vp = plain.solve_with(&assumptions);
+            assert_eq!(
+                vp,
+                simplified.solve_with(&assumptions),
+                "round {round}, query {q}: verdicts differ"
+            );
+            if vp {
+                for v in 0..n_vars {
+                    assert_eq!(
+                        plain.value(Var(v as u32)),
+                        simplified.value(Var(v as u32)),
+                        "round {round}, query {q}: models diverge at var {v}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vivification_on_and_off_match_brute_force() {
+    // Vivification rewrites problem clauses into equivalent (not merely
+    // equisatisfiable) ones, so with the other techniques off the
+    // vivified solver must agree with brute force — verdicts and
+    // satisfying models — across assumption sequences, with no model
+    // reconstruction involved.
+    let mut rng = XorShift(0x71F1_F1ED_0000_0003);
+    for round in 0..25 {
+        let n_vars = 5 + (rng.next() as usize) % 8; // 5..=12
+        let n_clauses = 10 + (rng.next() as usize) % 30;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 4);
+        let mut viv = baseline_solver(n_vars);
+        viv.set_vivify(true);
+        let mut off = baseline_solver(n_vars);
+        for c in &clauses {
+            viv.add_clause(c);
+            off.add_clause(c);
+        }
+        viv.simplify();
+        for q in 0..8 {
+            let n_assumptions = (rng.next() as usize) % 3;
+            let mut assumptions = Vec::with_capacity(n_assumptions);
+            for _ in 0..n_assumptions {
+                assumptions.push(random_lit(&mut rng, n_vars));
+            }
+            let want = brute_force(&clauses, &assumptions, n_vars);
+            assert_eq!(
+                viv.solve_with(&assumptions),
+                want,
+                "round {round}, query {q}: vivified verdict"
+            );
+            assert_eq!(
+                off.solve_with(&assumptions),
+                want,
+                "round {round}, query {q}: baseline verdict"
+            );
+            if want {
+                assert!(
+                    model_satisfies(&viv, &clauses),
+                    "round {round}, query {q}: vivified model violates an \
+                     original clause"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn elimination_reconstructs_models_under_assumptions() {
+    // Bounded variable elimination removes variables from the problem;
+    // `model()` must transparently reconstruct their values, so every
+    // satisfying assignment — including ones constrained through frozen
+    // assumption variables — must satisfy every ORIGINAL clause.
+    let mut rng = XorShift(0xB7E0_0000_0000_0005);
+    for round in 0..25 {
+        let n_vars = 5 + (rng.next() as usize) % 8; // 5..=12
+        let n_clauses = 6 + (rng.next() as usize) % 26;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 3);
+        // Pre-draw the whole query schedule so the assumption variables
+        // can be frozen before elimination runs.
+        let queries: Vec<Vec<Lit>> = (0..8)
+            .map(|_| {
+                let n = (rng.next() as usize) % 3;
+                (0..n).map(|_| random_lit(&mut rng, n_vars)).collect()
+            })
+            .collect();
+        let mut bve = baseline_solver(n_vars);
+        bve.set_eliminate(true);
+        for c in &clauses {
+            bve.add_clause(c);
+        }
+        for q in &queries {
+            for a in q {
+                bve.set_frozen(a.var(), true);
+            }
+        }
+        bve.simplify();
+        let eliminated = (0..n_vars)
+            .filter(|&v| bve.is_eliminated(Var(v as u32)))
+            .count();
+        for (q, assumptions) in queries.iter().enumerate() {
+            let want = brute_force(&clauses, assumptions, n_vars);
+            assert_eq!(
+                bve.solve_with(assumptions),
+                want,
+                "round {round}, query {q}: verdict after elimination"
+            );
+            if want {
+                assert!(
+                    model_satisfies(&bve, &clauses),
+                    "round {round}, query {q}: reconstructed model violates \
+                     an original clause ({eliminated} vars eliminated)"
+                );
+                for a in assumptions {
+                    assert_eq!(
+                        bve.value(a.var()),
+                        Some(!a.is_negative()),
+                        "round {round}, query {q}: assumption dropped"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ema_and_geometric_restarts_are_verdict_equivalent() {
+    // The fast/slow-EMA stabilizing schedule changes only WHEN the
+    // search restarts, never an answer: on a conflict-heavy corpus both
+    // modes must match brute force, and the EMA solver's models must
+    // satisfy every clause.
+    let mut rng = XorShift(0xE3A0_0000_0000_0009);
+    for round in 0..20 {
+        let n_vars = 6 + (rng.next() as usize) % 6; // 6..=11
+        let n_clauses = 20 + (rng.next() as usize) % 30;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 3);
+        let mut ema = baseline_solver(n_vars);
+        ema.set_restart_ema(true);
+        let mut geo = baseline_solver(n_vars);
+        for c in &clauses {
+            ema.add_clause(c);
+            geo.add_clause(c);
+        }
+        for q in 0..5 {
+            let n_assumptions = (rng.next() as usize) % 3;
+            let mut assumptions = Vec::with_capacity(n_assumptions);
+            for _ in 0..n_assumptions {
+                assumptions.push(random_lit(&mut rng, n_vars));
+            }
+            let want = brute_force(&clauses, &assumptions, n_vars);
+            assert_eq!(
+                ema.solve_with(&assumptions),
+                want,
+                "round {round}, query {q}: ema"
+            );
+            assert_eq!(
+                geo.solve_with(&assumptions),
+                want,
+                "round {round}, query {q}: geometric"
+            );
+            if want {
+                assert!(model_satisfies(&ema, &clauses));
+            }
+        }
+    }
+}
+
+#[test]
+fn tiered_and_flat_reduce_keep_verdicts_under_a_tight_cap() {
+    // Tier-aware reduction protects core (glue) clauses and demotes
+    // locals first; under a tight learnt cap it must still never change
+    // a verdict relative to flat LBD/activity reduction or brute force.
+    let mut rng = XorShift(0x71E2_EDDB_0000_000B);
+    for round in 0..8 {
+        let n_vars = 10 + (rng.next() as usize) % 3; // 10..=12
+        let n_clauses = 38 + (rng.next() as usize) % 18;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 3);
+        let mut tiered = baseline_solver(n_vars);
+        tiered.set_reduce_tiered(true);
+        tiered.set_learnt_limit(8);
+        let mut flat = baseline_solver(n_vars);
+        flat.set_learnt_limit(8);
+        for c in &clauses {
+            tiered.add_clause(c);
+            flat.add_clause(c);
+        }
+        for q in 0..25 {
+            let n_assumptions = 1 + (rng.next() as usize) % 4;
+            let mut assumptions = Vec::with_capacity(n_assumptions);
+            for _ in 0..n_assumptions {
+                assumptions.push(random_lit(&mut rng, n_vars));
+            }
+            let want = brute_force(&clauses, &assumptions, n_vars);
+            assert_eq!(
+                tiered.solve_with(&assumptions),
+                want,
+                "round {round}, query {q}: tiered"
+            );
+            assert_eq!(
+                flat.solve_with(&assumptions),
+                want,
+                "round {round}, query {q}: flat"
+            );
+            if want {
+                assert!(model_satisfies(&tiered, &clauses));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_techniques_together_match_brute_force() {
+    // The defaults: vivification, elimination, EMA restarts and tiered
+    // reduction all on, with an explicit simplify() between query
+    // batches (the sweep-batch usage pattern).
+    let mut rng = XorShift(0xA11F_0042_0000_000D);
+    for round in 0..20 {
+        let n_vars = 6 + (rng.next() as usize) % 7; // 6..=12
+        let n_clauses = 12 + (rng.next() as usize) % 32;
+        let clauses = random_cnf(&mut rng, n_vars, n_clauses, 3);
+        let queries: Vec<Vec<Lit>> = (0..10)
+            .map(|_| {
+                let n = (rng.next() as usize) % 3;
+                (0..n).map(|_| random_lit(&mut rng, n_vars)).collect()
+            })
+            .collect();
+        let mut s = Solver::new();
+        for _ in 0..n_vars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        for q in queries.iter().flatten() {
+            s.set_frozen(q.var(), true);
+        }
+        s.simplify();
+        for (q, assumptions) in queries.iter().enumerate() {
+            // Re-simplify mid-run half way through, as a sweep batch
+            // boundary would.
+            if q == 5 {
+                s.simplify();
+            }
+            let want = brute_force(&clauses, assumptions, n_vars);
+            assert_eq!(s.solve_with(assumptions), want, "round {round}, query {q}");
+            if want {
+                assert!(model_satisfies(&s, &clauses), "round {round}, query {q}");
+            }
+        }
+    }
+}
+
+#[test]
+fn inprocessed_any_io_sweep_is_bit_identical_to_uninprocessed() {
+    // Inprocessing shrinks the encoded database before and between
+    // queries but never changes what the sweep reports: serial verdicts
+    // are equal field for field (queries included), and sharded sweeps
+    // stay consistent across 1/2/4 shards with inprocessing enabled.
+    //
+    // Two targets: the fully camouflaged corpus circuit (vivification
+    // territory) and a mixed one with standard gates between the
+    // camouflaged ones — the shape where variable elimination actually
+    // removes clauses, so the sweep runs over a genuinely rewritten
+    // database.
+    let (lib, camo, full_circuit, candidates) = any_io_corpus();
+    let f = VectorFunction::from_lookup_table(3, 3, &[1, 0, 3, 2, 5, 7, 6, 4]).unwrap();
+    let mixed_circuit = mvf_attack::partial_camouflage(&f, &lib, &camo, 3).expect("buildable");
+    for circuit in [full_circuit, mixed_circuit] {
+        check_inprocess_invisible(&lib, &camo, &circuit, &candidates);
+    }
+}
+
+fn check_inprocess_invisible(
+    lib: &Library,
+    camo: &CamoLibrary,
+    circuit: &mvf_netlist::Netlist,
+    candidates: &[VectorFunction],
+) {
+    let on = plausibility_sweep_any_io_with(
+        circuit,
+        lib,
+        camo,
+        candidates,
+        &AnyIoOptions {
+            shards: 1,
+            inprocess: true,
+            ..AnyIoOptions::default()
+        },
+    );
+    let off = plausibility_sweep_any_io_with(
+        circuit,
+        lib,
+        camo,
+        candidates,
+        &AnyIoOptions {
+            shards: 1,
+            inprocess: false,
+            ..AnyIoOptions::default()
+        },
+    );
+    assert_eq!(on, off, "serial any-IO sweep must not notice inprocessing");
+    let key = |vs: &[AnyIoVerdict]| -> Vec<(bool, Option<(Vec<usize>, Vec<usize>)>)> {
+        vs.iter()
+            .map(|v| (v.plausible, v.witness.clone()))
+            .collect()
+    };
+    for shards in [1usize, 2, 4] {
+        let sharded = plausibility_sweep_any_io_with(
+            circuit,
+            lib,
+            camo,
+            candidates,
+            &AnyIoOptions {
+                shards,
+                inprocess: true,
+                ..AnyIoOptions::default()
+            },
+        );
+        assert_eq!(
+            key(&on),
+            key(&sharded),
+            "inprocessed any-IO sweep diverged at {shards} shards"
+        );
+    }
+    // The identity sweep rides the same toggle.
+    let id_on = plausibility_sweep_with(
+        circuit,
+        lib,
+        camo,
+        candidates,
+        &SweepOptions {
+            inprocess: true,
+            ..SweepOptions::default()
+        },
+    );
+    let id_off = plausibility_sweep_with(
+        circuit,
+        lib,
+        camo,
+        candidates,
+        &SweepOptions {
+            inprocess: false,
+            ..SweepOptions::default()
+        },
+    );
+    assert_eq!(id_on, id_off, "identity sweep must not notice inprocessing");
+}
+
 /// The screening demo circuit: three camouflaged cells (NAND2(a,b) → y0,
 /// INV(c) → y1, AND2(y0,y1) → y2) keep the doping-configuration product
 /// at 5 · 3 · 5 = 75 — enumerable, so the screen engages — and three
