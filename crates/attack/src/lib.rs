@@ -9,15 +9,21 @@
 //! here by input-unrolled SAT over the configuration selectors
 //! ([`is_plausible`]).
 //!
-//! Because the designer is also free to permute I/O pins, the adversary
-//! must consider a function plausible if **some** input/output
-//! interpretation works ([`is_plausible_any_io`]). At scale that search
-//! runs as [`plausibility_sweep_any_io`] /
-//! [`plausibility_sweep_any_io_sharded`]: one encoding, a lazily
-//! enumerated permutation orbit pruned by canonical candidate signatures
-//! (pin symmetries collapse whole permutation classes to one query), and
-//! the surviving queries striped over cloned solvers — with verdicts and
-//! witness interpretations bit-identical for every shard count.
+//! Because the designer is also free to permute I/O pins — and to route
+//! any pin through an inverter — the adversary must consider a function
+//! plausible if **some** input/output interpretation works
+//! ([`is_plausible_any_io`]). At scale that search runs as
+//! [`plausibility_sweep_any_io`] / [`plausibility_sweep_any_io_sharded`]:
+//! one encoding, a lazily enumerated interpretation orbit pruned by
+//! canonical candidate signatures (pin symmetries collapse whole
+//! interpretation classes to one query), and the surviving queries
+//! striped over cloned solvers — with verdicts and witness
+//! interpretations bit-identical for every shard count. The orbit is the
+//! permutation group `n_in!·n_out!` by default and the full NPN group
+//! `n_in!·2^n_in·n_out!·2^n_out` with [`AnyIoOptions::npn`]; with
+//! [`AnyIoOptions::class_share`] the batch is additionally grouped into
+//! NPN classes so orbit functions shared between candidates are screened
+//! and SAT-queried once per batch instead of once per candidate.
 //!
 //! Every sweep runs behind a **screen-then-solve funnel** ([`screen`]
 //! module): one word-parallel batch evaluation of the netlist over all
@@ -61,14 +67,14 @@ pub use session::{AnyIoJob, AnyIoProgress, SweepSession};
 
 pub use mvf_sat::SimplifyStats;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 use mvf_cells::{CamoLibrary, Library};
-use mvf_logic::npn::Permutations;
-use mvf_logic::VectorFunction;
+use mvf_logic::npn::{NegationMasks, Permutations};
+use mvf_logic::{IoInterpretation, VectorFunction};
 use mvf_netlist::{CellRef, Netlist};
 use mvf_sat::{encode_netlist, Lit, Solver, Var};
 
@@ -188,6 +194,24 @@ pub struct AnyIoOptions {
     /// verdict or a witness (verdicts are mathematically determined);
     /// `false` is the unsimplified baseline for tests and benches.
     pub inprocess: bool,
+    /// Extends the interpretation orbit from the permutation subgroup
+    /// (`n_in!·n_out!`) to the full NPN group
+    /// (`n_in!·2^n_in·n_out!·2^n_out`): the adversary also considers
+    /// every input/output polarity flip. Polarity points are enumerated
+    /// in Gray-code order as in-place single-bit flips, and the screen
+    /// handles them as XOR masks on its cached word-parallel batches, so
+    /// the walk stays allocation-free and SAT-free up front. Witnesses
+    /// remain the orbit-minimal satisfying index (identity first).
+    pub npn: bool,
+    /// Shares orbit work across the candidate batch by NPN/P class:
+    /// candidates that are interpretations of one another walk the same
+    /// set of orbit *functions*, so each distinct function is screened
+    /// once and SAT-queried once per batch, with verdicts served from a
+    /// shared cache afterwards. Verdicts and witnesses are identical to
+    /// the unshared sweep (every candidate still walks its own orbit
+    /// order); only `queries`/`screened` drop — by about the class
+    /// duplication factor. Requires `prune` (ignored without it).
+    pub class_share: bool,
 }
 
 impl Default for AnyIoOptions {
@@ -198,6 +222,8 @@ impl Default for AnyIoOptions {
             screen: true,
             screen_vectors: DEFAULT_SCREEN_VECTORS,
             inprocess: true,
+            npn: false,
+            class_share: false,
         }
     }
 }
@@ -208,12 +234,15 @@ pub struct AnyIoVerdict {
     /// Whether some input/output interpretation makes the candidate
     /// plausible.
     pub plausible: bool,
-    /// The witness interpretation when plausible: the lexicographically
-    /// smallest `(in_perm, out_perm)` pair (input permutation major)
-    /// under which [`is_plausible`] holds for the permuted candidate.
-    /// Deterministic for every shard count.
-    pub witness: Option<(Vec<usize>, Vec<usize>)>,
-    /// Size of the full permutation orbit (`n_in! · n_out!`).
+    /// The witness interpretation when plausible: the orbit-minimal
+    /// point (input permutation major; see the orbit layout on
+    /// [`AnyIoOptions::npn`]) under which [`is_plausible`] holds for the
+    /// transformed candidate. Both polarity masks are `0` when the sweep
+    /// runs on the permutation subgroup. Deterministic for every shard
+    /// count and for class sharing on/off.
+    pub witness: Option<IoInterpretation>,
+    /// Size of the full interpretation orbit: `n_in!·n_out!`, or
+    /// `n_in!·2^n_in·n_out!·2^n_out` under [`AnyIoOptions::npn`].
     pub orbit: usize,
     /// Orbit representatives after signature pruning — the queries a
     /// full refutation needs. Equals `orbit` when pruning is off or the
@@ -222,65 +251,113 @@ pub struct AnyIoVerdict {
     /// Representatives the SAT-free screen settled (refuted, or — in the
     /// complete regime — confirmed as the witness) before any solver
     /// call. `0` when screening is off or stood down. Deterministic for
-    /// every shard count: screening runs serially up front.
+    /// every shard count: screening runs serially up front. Under
+    /// [`AnyIoOptions::class_share`] only *fresh* classifications count;
+    /// representatives served from another class member's screen result
+    /// are free.
     pub screened: usize,
     /// SAT queries actually issued. For an implausible candidate this is
-    /// exactly `unique - screened`; when a witness exists, early exit
+    /// exactly `unique - screened` (minus cache hits under
+    /// [`AnyIoOptions::class_share`]); when a witness exists, early exit
     /// cuts it short and the count may vary with the shard count (the
     /// *verdict* never does).
     pub queries: usize,
+    /// The candidate's interpretation-equivalence class within this
+    /// batch (dense ids in first-appearance order). Without
+    /// [`AnyIoOptions::class_share`] every candidate is its own class.
+    pub class: usize,
+    /// How many candidates of this batch share [`AnyIoVerdict::class`] —
+    /// the duplication factor class sharing removes.
+    pub class_size: usize,
 }
 
-/// `n_in! · n_out!` when it fits the sweep's `u32` orbit indices,
-/// `None` otherwise.
-fn checked_orbit(n_in: usize, n_out: usize) -> Option<u64> {
+/// The orbit size — `n_in!·n_out!`, times `2^n_in·2^n_out` under NPN —
+/// when it fits the sweep's `u32` orbit indices, `None` otherwise.
+fn checked_orbit(n_in: usize, n_out: usize, npn: bool) -> Option<u64> {
     let factorial = |n: usize| (1..=n as u64).try_fold(1u64, u64::checked_mul);
+    let negations = if npn {
+        1u64.checked_shl(n_in as u32 + n_out as u32)?
+    } else {
+        1
+    };
     factorial(n_in)?
-        .checked_mul(factorial(n_out)?)
+        .checked_mul(factorial(n_out)?)?
+        .checked_mul(negations)
         .filter(|&o| o <= u64::from(u32::MAX))
 }
 
-/// Enumerates the candidate's `(in_perm, out_perm)` orbit lazily (input
-/// permutation major, both lexicographic) and keeps one representative
-/// per distinct permuted function. Returns the representatives as bare
-/// flat orbit indices — permutations are re-derived on demand by
-/// [`unrank_orbit_index`], so even a large orbit costs four bytes per
-/// surviving point, not two heap vectors — plus the full orbit size.
-fn orbit_representatives(candidate: &VectorFunction, prune: bool) -> (Vec<u32>, usize) {
+/// Enumerates the candidate's interpretation orbit lazily and calls
+/// `visit` with every point's flat index and lookup-table signature, in
+/// index order. Returns the full orbit size.
+///
+/// The enumeration nests input permutation (major) → input negation →
+/// output permutation → input-permuted scratch copy → output negation,
+/// with both negation layers in Gray-code order: each polarity step is a
+/// single in-place `flip_var`/complement on the working function, never a
+/// rebuild. Input-negation steps flip variable `ip[v]` of the *permuted*
+/// working copy — negating before permuting equals permuting first and
+/// flipping the permuted wire. With `npn == false` both negation layers
+/// degenerate to the single empty mask and the indices coincide with the
+/// historical `ip_rank·n_out! + op_rank` layout.
+fn walk_orbit(candidate: &VectorFunction, npn: bool, mut visit: impl FnMut(u32, &[u16])) -> usize {
     let n_in = candidate.n_inputs();
     let n_out = candidate.n_outputs();
-    if !prune {
-        // Brute force keeps every orbit point; no need to materialize
-        // the permuted functions just to discard them.
-        let orbit = checked_orbit(n_in, n_out).expect("orbit checked by caller") as usize;
-        return ((0..orbit as u32).collect(), orbit);
-    }
-    let mut reps = Vec::new();
-    let mut seen: HashSet<Vec<u16>> = HashSet::new();
     let mut sig: Vec<u16> = Vec::with_capacity(1 << n_in);
     let mut permuted_in = VectorFunction::new(0, Vec::new());
     let mut permuted = VectorFunction::new(0, Vec::new());
     let mut index = 0u32;
     let mut in_perms = Permutations::new(n_in);
+    let mut in_negs = NegationMasks::new(if npn { n_in } else { 0 });
+    let mut out_perms = Permutations::new(n_out);
+    let mut out_negs = NegationMasks::new(if npn { n_out } else { 0 });
     while let Some(ip) = in_perms.next() {
         candidate
             .permute_inputs_into(ip, &mut permuted_in)
             .expect("orbit permutation is valid");
-        let mut out_perms = Permutations::new(n_out);
-        while let Some(op) = out_perms.next() {
-            permuted_in
-                .permute_outputs_into(op, &mut permuted)
-                .expect("orbit permutation is valid");
-            sig.clear();
-            sig.extend((0..1usize << n_in).map(|m| permuted.eval(m)));
-            if !seen.contains(&sig) {
-                seen.insert(sig.clone());
-                reps.push(index);
+        in_negs.reset();
+        while let Some((_, in_flip)) = in_negs.next() {
+            if let Some(v) = in_flip {
+                permuted_in.negate_input_assign(ip[v]);
             }
-            index += 1;
+            out_perms.reset();
+            while let Some(op) = out_perms.next() {
+                permuted_in
+                    .permute_outputs_into(op, &mut permuted)
+                    .expect("orbit permutation is valid");
+                out_negs.reset();
+                while let Some((_, out_flip)) = out_negs.next() {
+                    if let Some(o) = out_flip {
+                        permuted.negate_output_assign(o);
+                    }
+                    sig.clear();
+                    sig.extend((0..1usize << n_in).map(|m| permuted.eval(m)));
+                    visit(index, &sig);
+                    index += 1;
+                }
+            }
         }
     }
-    (reps, index as usize)
+    index as usize
+}
+
+/// One representative (as a bare flat orbit index) per distinct
+/// transformed function, in enumeration order, plus the full orbit size.
+#[cfg(test)]
+fn orbit_representatives(candidate: &VectorFunction, prune: bool, npn: bool) -> (Vec<u32>, usize) {
+    if !prune {
+        let orbit = checked_orbit(candidate.n_inputs(), candidate.n_outputs(), npn)
+            .expect("orbit checked by caller") as usize;
+        return ((0..orbit as u32).collect(), orbit);
+    }
+    let mut reps = Vec::new();
+    let mut seen: HashSet<Vec<u16>> = HashSet::new();
+    let orbit = walk_orbit(candidate, npn, |index, sig| {
+        if !seen.contains(sig) {
+            seen.insert(sig.to_vec());
+            reps.push(index);
+        }
+    });
+    (reps, orbit)
 }
 
 /// Lexicographic permutation unranking (factorial number system): rank 0
@@ -302,48 +379,126 @@ fn unrank_perm(mut rank: u64, n: usize, scratch: &mut Vec<usize>, out: &mut Vec<
     }
 }
 
-/// Splits a flat orbit index (input-permutation major) back into its
-/// `(in_perm, out_perm)` pair.
+/// Splits a flat orbit index back into its interpretation parts: fills
+/// the permutations and returns the `(in_neg, out_neg)` polarity masks
+/// (always `0` when `npn` is off).
+///
+/// The mixed-radix layout is input-permutation major,
+/// `((ip_rank·2^n_in + ig_pos)·n_out! + op_rank)·2^n_out + og_pos`, with
+/// both negation positions Gray-decoded (`mask = gray_code(pos)`) to
+/// match [`walk_orbit`]'s in-place flips; with `npn` off both negation
+/// radices are 1 and the layout degenerates to the historical
+/// `ip_rank·n_out! + op_rank`.
 pub(crate) fn unrank_orbit_index(
     index: u32,
     n_in: usize,
     n_out: usize,
+    npn: bool,
     scratch: &mut Vec<usize>,
     in_perm: &mut Vec<usize>,
     out_perm: &mut Vec<usize>,
-) {
+) -> (u32, u32) {
     let out_fact: u64 = (1..=n_out as u64).product();
-    unrank_perm(u64::from(index) / out_fact, n_in, scratch, in_perm);
-    unrank_perm(u64::from(index) % out_fact, n_out, scratch, out_perm);
+    let mut rest = u64::from(index);
+    let out_neg = if npn {
+        let pos = rest % (1 << n_out);
+        rest >>= n_out;
+        mvf_logic::npn::gray_code(pos) as u32
+    } else {
+        0
+    };
+    unrank_perm(rest % out_fact, n_out, scratch, out_perm);
+    rest /= out_fact;
+    let in_neg = if npn {
+        let pos = rest % (1 << n_in);
+        rest >>= n_in;
+        mvf_logic::npn::gray_code(pos) as u32
+    } else {
+        0
+    };
+    unrank_perm(rest, n_in, scratch, in_perm);
+    (in_neg, out_neg)
 }
 
-/// Answers one worker's stripe of the `(candidate, orbit index)` work
-/// list on `solver`. `best[c]` carries the smallest known satisfying
+/// Materializes the orbit point `(in_perm, in_neg, out_perm, out_neg)`
+/// of `f` into `permuted` (using `permuted_in` as intermediate scratch),
+/// allocation-free once the scratch functions are warm. The input
+/// negation mask is in `f`'s pre-permutation frame, so it is applied as
+/// flips of the already-permuted wires `in_perm[v]`.
+pub(crate) fn apply_orbit_point(
+    f: &VectorFunction,
+    in_perm: &[usize],
+    in_neg: u32,
+    out_perm: &[usize],
+    out_neg: u32,
+    permuted_in: &mut VectorFunction,
+    permuted: &mut VectorFunction,
+) {
+    f.permute_inputs_into(in_perm, permuted_in)
+        .expect("orbit permutation is valid");
+    let mut mask = in_neg;
+    while mask != 0 {
+        let v = mask.trailing_zeros() as usize;
+        permuted_in.negate_input_assign(in_perm[v]);
+        mask &= mask - 1;
+    }
+    permuted_in
+        .permute_outputs_into(out_perm, permuted)
+        .expect("orbit permutation is valid");
+    permuted.negate_outputs_assign(out_neg);
+}
+
+/// SAT verdict of a distinct orbit function, shared across the batch
+/// under class sharing: `0` unknown, `1` satisfiable, `2` unsatisfiable.
+pub(crate) const UID_UNKNOWN: u8 = 0;
+pub(crate) const UID_SAT: u8 = 1;
+pub(crate) const UID_UNSAT: u8 = 2;
+
+/// Answers one worker's stripe of the `(candidate, orbit index, uid)`
+/// work list on `solver`. `best[c]` carries the smallest known satisfying
 /// orbit index of candidate `c` (`usize::MAX` = none yet): stripes skip
 /// representatives past a known witness, and because a skip requires an
 /// already-found *smaller* satisfying index, the final `fetch_min` result
 /// is exactly the orbit's minimal satisfying representative — for any
 /// stripe count, including 1.
+///
+/// `resolved[uid]` is the shared SAT-verdict cache over distinct orbit
+/// functions: a cache hit applies the recorded verdict (a satisfiable uid
+/// still lowers `best`) without a query. Because a verdict is a
+/// mathematical fact of the transformed function, a cache hit and a
+/// fresh query are interchangeable — witnesses cannot move. Without
+/// class sharing every uid is unique, the cache never hits, and the
+/// behavior is exactly the historical per-candidate sweep.
 #[allow(clippy::too_many_arguments)]
 fn any_io_stripe(
     solver: &mut Solver,
     row_outputs: &[Vec<Var>],
     candidates: &[VectorFunction],
-    work: &[(u32, u32)],
+    work: &[(u32, u32, u32)],
+    npn: bool,
     worker: usize,
     stride: usize,
     best: &[AtomicUsize],
     queries: &[AtomicUsize],
+    resolved: &[AtomicU8],
 ) {
     let (mut unrank_tmp, mut in_perm, mut out_perm) = (Vec::new(), Vec::new(), Vec::new());
     let mut permuted_in = VectorFunction::new(0, Vec::new());
     let mut permuted = VectorFunction::new(0, Vec::new());
     let mut assumptions = Vec::new();
     let mut last_cand = u32::MAX;
-    for &(c, index) in work.iter().skip(worker).step_by(stride) {
+    for &(c, index, uid) in work.iter().skip(worker).step_by(stride) {
         let cand = c as usize;
         if best[cand].load(Ordering::Relaxed) < index as usize {
             continue; // a smaller witness is already known
+        }
+        match resolved[uid as usize].load(Ordering::Relaxed) {
+            UID_SAT => {
+                best[cand].fetch_min(index as usize, Ordering::Relaxed);
+                continue;
+            }
+            UID_UNSAT => continue,
+            _ => {}
         }
         if c != last_cand {
             // Saved phases are a per-candidate heuristic; do not let one
@@ -352,22 +507,29 @@ fn any_io_stripe(
             last_cand = c;
         }
         let f = &candidates[cand];
-        unrank_orbit_index(
+        let (in_neg, out_neg) = unrank_orbit_index(
             index,
             f.n_inputs(),
             f.n_outputs(),
+            npn,
             &mut unrank_tmp,
             &mut in_perm,
             &mut out_perm,
         );
-        f.permute_inputs_into(&in_perm, &mut permuted_in)
-            .expect("orbit permutation is valid");
-        permuted_in
-            .permute_outputs_into(&out_perm, &mut permuted)
-            .expect("orbit permutation is valid");
+        apply_orbit_point(
+            f,
+            &in_perm,
+            in_neg,
+            &out_perm,
+            out_neg,
+            &mut permuted_in,
+            &mut permuted,
+        );
         candidate_assumptions(row_outputs, &permuted, &mut assumptions);
         queries[cand].fetch_add(1, Ordering::Relaxed);
-        if solver.solve_with(&assumptions) {
+        let sat = solver.solve_with(&assumptions);
+        resolved[uid as usize].store(if sat { UID_SAT } else { UID_UNSAT }, Ordering::Relaxed);
+        if sat {
             best[cand].fetch_min(index as usize, Ordering::Relaxed);
         }
     }
@@ -456,7 +618,7 @@ pub fn plausibility_sweep_any_io_with(
         .screen
         .then(|| CamoScreen::build(nl, lib, camo, candidates, opts.screen_vectors))
         .flatten();
-    let plan = plan_any_io(nl, candidates, opts.prune, screen.as_ref());
+    let plan = plan_any_io(nl, candidates, opts, screen.as_ref());
     let mut cnf = encode_netlist(nl, lib, camo);
     if opts.inprocess {
         cnf.freeze_interface();
@@ -466,93 +628,226 @@ pub fn plausibility_sweep_any_io_with(
 }
 
 /// The deterministic prelude of an interpretation-freedom sweep: orbit
-/// representatives, screening, and the surviving `(candidate, orbit
-/// index)` work list. Built serially, so everything downstream —
-/// `screened` counts, initial witness bounds, work order — is identical
-/// for every shard count and every pause/resume split.
+/// representatives, class grouping, screening, and the surviving
+/// `(candidate, orbit index, uid)` work list. Built serially, so
+/// everything downstream — `screened` counts, initial witness bounds,
+/// work order — is identical for every shard count and every
+/// pause/resume split.
 pub(crate) struct AnyIoPlan {
     pub(crate) n_in: usize,
     pub(crate) n_out: usize,
-    /// Surviving work items in enumeration order.
-    pub(crate) work: Vec<(u32, u32)>,
+    /// Whether orbit indices use the NPN mixed-radix layout.
+    pub(crate) npn: bool,
+    /// Surviving work items in enumeration order. The third component is
+    /// the distinct-orbit-function id keying the shared verdict cache.
+    pub(crate) work: Vec<(u32, u32, u32)>,
+    /// Number of distinct orbit-function ids across the batch — the
+    /// verdict-cache size.
+    pub(crate) n_uids: usize,
+    /// Whether uids were assigned batch-wide (class sharing on): only
+    /// then can the verdict cache ever hit, so only then is it worth
+    /// checkpointing.
+    pub(crate) shared: bool,
     /// Initial per-candidate witness bound (`usize::MAX` = none; set by
     /// a complete-regime screen confirmation).
     pub(crate) best_init: Vec<usize>,
     pub(crate) screened: Vec<usize>,
     pub(crate) orbits: Vec<usize>,
     pub(crate) uniques: Vec<usize>,
+    /// Per-candidate batch class id (dense, first-appearance order).
+    pub(crate) classes: Vec<usize>,
+    /// Per-candidate size of its class.
+    pub(crate) class_sizes: Vec<usize>,
 }
 
 pub(crate) fn plan_any_io(
     nl: &Netlist,
     candidates: &[VectorFunction],
-    prune: bool,
+    opts: &AnyIoOptions,
     screen: Option<&CamoScreen>,
 ) -> AnyIoPlan {
     let n_in = nl.inputs().len();
     let n_out = nl.outputs().len();
+    let npn = opts.npn;
     // The only structural requirement is that flat orbit indices fit the
     // u32 bookkeeping; asymmetric arities (e.g. 7-in/2-out, orbit
     // 10,080) stay exhaustive-search territory exactly as before.
     assert!(
-        checked_orbit(n_in, n_out).is_some(),
-        "interpretation-freedom orbit {n_in}!·{n_out}! exceeds the supported size"
+        checked_orbit(n_in, n_out, npn).is_some(),
+        "interpretation-freedom orbit of {n_in} inputs, {n_out} outputs (npn: {npn}) \
+         exceeds the supported size"
     );
     for candidate in candidates {
         assert_eq!(candidate.n_inputs(), n_in, "input arity mismatch");
         assert_eq!(candidate.n_outputs(), n_out, "output arity mismatch");
     }
-    // Representative lists are pure CPU (truth-table permutations), so
+    // Class sharing rides on the signature walk of the pruner; without
+    // pruning every point is its own representative and there is nothing
+    // to share.
+    let share = opts.class_share && opts.prune;
+    // Representative lists are pure CPU (truth-table transforms), so
     // they are built serially up front — which also makes them, and
     // everything derived from them, deterministic by construction.
-    let reps_and_orbits: Vec<(Vec<u32>, usize)> = candidates
-        .iter()
-        .map(|c| orbit_representatives(c, prune))
-        .collect();
+    //
+    // `sig_to_uid` assigns one dense id per distinct transformed
+    // function. With class sharing it spans the whole batch: two
+    // candidates in the same interpretation class walk the same set of
+    // orbit functions, so a later class member resolves every one of its
+    // representatives to an already-known uid and the screen/SAT caches
+    // keyed by uid do its work for free. Without sharing the map is
+    // reset per candidate (uid numbering continues, so caches can never
+    // hit across candidates) and the sweep degenerates to the historical
+    // per-candidate behavior.
+    let mut sig_to_uid: HashMap<Vec<u16>, u32> = HashMap::new();
+    let mut uid_class: Vec<u32> = Vec::new();
+    let mut n_classes = 0u32;
+    let mut all_reps: Vec<Vec<(u32, u32)>> = Vec::with_capacity(candidates.len());
+    let mut orbits = Vec::with_capacity(candidates.len());
+    let mut classes = Vec::with_capacity(candidates.len());
+    for candidate in candidates {
+        if !share {
+            sig_to_uid.clear();
+        }
+        // A candidate joins an existing class iff its identity signature
+        // already appears among earlier candidates' orbit functions
+        // (group orbits are equal or disjoint, so one point decides).
+        let class = match sig_to_uid.get(&candidate.to_lookup_table()) {
+            Some(&uid) if share => uid_class[uid as usize],
+            _ => {
+                let k = n_classes;
+                n_classes += 1;
+                k
+            }
+        };
+        classes.push(class as usize);
+        let mut reps: Vec<(u32, u32)> = Vec::new();
+        let orbit = if opts.prune {
+            let mut local_seen: HashSet<u32> = HashSet::new();
+            walk_orbit(candidate, npn, |index, sig| {
+                let uid = match sig_to_uid.get(sig) {
+                    Some(&uid) => uid,
+                    None => {
+                        let uid = uid_class.len() as u32;
+                        sig_to_uid.insert(sig.to_vec(), uid);
+                        uid_class.push(class);
+                        uid
+                    }
+                };
+                if local_seen.insert(uid) {
+                    reps.push((index, uid));
+                }
+            })
+        } else {
+            // Brute force keeps every orbit point as its own fresh uid;
+            // no need to materialize the transformed functions just to
+            // discard them.
+            let orbit = checked_orbit(n_in, n_out, npn).expect("orbit checked above") as usize;
+            reps.reserve(orbit);
+            for index in 0..orbit as u32 {
+                let uid = uid_class.len() as u32;
+                uid_class.push(class);
+                reps.push((index, uid));
+            }
+            orbit
+        };
+        orbits.push(orbit);
+        all_reps.push(reps);
+    }
+    let mut class_counts = vec![0usize; n_classes as usize];
+    for &k in &classes {
+        class_counts[k] += 1;
+    }
+    let class_sizes: Vec<usize> = classes.iter().map(|&k| class_counts[k]).collect();
+    let n_uids = uid_class.len();
     // The SAT-free screen runs serially up front, so `screened` counts —
     // and the surviving work list — are identical for every shard count.
+    // Screen outcomes are cached per uid: a classification is a property
+    // of the transformed function alone, so a class member inherits its
+    // owner's refutations (and confirmations) without a fresh pass, and
+    // only fresh classifications count toward `screened`.
     let mut screened = vec![0usize; candidates.len()];
     let mut best_init = vec![usize::MAX; candidates.len()];
-    let work: Vec<(u32, u32)> = if let Some(screen) = screen {
-        let out_fact: u64 = (1..=n_out as u64).product();
+    let work: Vec<(u32, u32, u32)> = if let Some(screen) = screen {
+        let mut uid_screen: Vec<Option<ScreenOutcome>> = vec![None; n_uids];
         let mut scratch = OrbitScreenScratch::new();
         let (mut unrank_tmp, mut ip, mut op) = (Vec::new(), Vec::new(), Vec::new());
         let mut work = Vec::new();
-        for (c, (reps, _)) in reps_and_orbits.iter().enumerate() {
+        for (c, reps) in all_reps.iter().enumerate() {
             scratch.reset();
-            for &index in reps {
-                unrank_orbit_index(index, n_in, n_out, &mut unrank_tmp, &mut ip, &mut op);
-                let rank = u64::from(index) / out_fact;
-                match screen.classify_orbit(&candidates[c], rank, &ip, &op, &mut scratch) {
-                    ScreenOutcome::Refuted => screened[c] += 1,
+            for &(index, uid) in reps {
+                let outcome = match uid_screen[uid as usize] {
+                    Some(cached) => cached,
+                    None => {
+                        let (in_neg, out_neg) = unrank_orbit_index(
+                            index,
+                            n_in,
+                            n_out,
+                            npn,
+                            &mut unrank_tmp,
+                            &mut ip,
+                            &mut op,
+                        );
+                        let outcome = screen.classify_orbit(
+                            &candidates[c],
+                            u64::from(index) / ip_period(n_in, n_out, npn),
+                            &ip,
+                            in_neg,
+                            &op,
+                            out_neg,
+                            &mut scratch,
+                        );
+                        uid_screen[uid as usize] = Some(outcome);
+                        if outcome != ScreenOutcome::Unknown {
+                            screened[c] += 1;
+                        }
+                        outcome
+                    }
+                };
+                match outcome {
+                    ScreenOutcome::Refuted => {}
                     ScreenOutcome::Confirmed => {
                         // Complete regime: every smaller representative
                         // was exactly refuted, so this index is the
                         // orbit-minimal witness — done with zero queries.
-                        screened[c] += 1;
                         best_init[c] = index as usize;
                         break;
                     }
-                    ScreenOutcome::Unknown => work.push((c as u32, index)),
+                    ScreenOutcome::Unknown => work.push((c as u32, index, uid)),
                 }
             }
         }
         work
     } else {
-        reps_and_orbits
+        all_reps
             .iter()
             .enumerate()
-            .flat_map(|(c, (reps, _))| reps.iter().map(move |&index| (c as u32, index)))
+            .flat_map(|(c, reps)| reps.iter().map(move |&(index, uid)| (c as u32, index, uid)))
             .collect()
     };
     AnyIoPlan {
         n_in,
         n_out,
+        npn,
         work,
+        n_uids,
+        shared: share,
         best_init,
         screened,
-        orbits: reps_and_orbits.iter().map(|(_, o)| *o).collect(),
-        uniques: reps_and_orbits.iter().map(|(r, _)| r.len()).collect(),
+        orbits,
+        uniques: all_reps.iter().map(Vec::len).collect(),
+        classes,
+        class_sizes,
+    }
+}
+
+/// How many consecutive flat orbit indices share one input permutation:
+/// the divisor extracting `ip_rank` from an index.
+fn ip_period(n_in: usize, n_out: usize, npn: bool) -> u64 {
+    let out_fact: u64 = (1..=n_out as u64).product();
+    if npn {
+        out_fact << (n_in + n_out)
+    } else {
+        out_fact
     }
 }
 
@@ -569,15 +864,21 @@ pub(crate) fn any_io_verdicts(
             let found = best[j];
             let witness = (found != usize::MAX).then(|| {
                 let (mut ip, mut op) = (Vec::new(), Vec::new());
-                unrank_orbit_index(
+                let (in_neg, out_neg) = unrank_orbit_index(
                     found as u32,
                     plan.n_in,
                     plan.n_out,
+                    plan.npn,
                     &mut unrank_tmp,
                     &mut ip,
                     &mut op,
                 );
-                (ip, op)
+                IoInterpretation {
+                    in_perm: ip,
+                    in_neg,
+                    out_perm: op,
+                    out_neg,
+                }
             });
             AnyIoVerdict {
                 plausible: found != usize::MAX,
@@ -586,6 +887,8 @@ pub(crate) fn any_io_verdicts(
                 unique: plan.uniques[j],
                 screened: plan.screened[j],
                 queries: queries[j],
+                class: plan.classes[j],
+                class_size: plan.class_sizes[j],
             }
         })
         .collect()
@@ -611,21 +914,27 @@ fn run_any_io_plan(
         .map(|&b| AtomicUsize::new(b))
         .collect();
     let queries: Vec<AtomicUsize> = candidates.iter().map(|_| AtomicUsize::new(0)).collect();
+    let resolved: Vec<AtomicU8> = (0..plan.n_uids)
+        .map(|_| AtomicU8::new(UID_UNKNOWN))
+        .collect();
     if shards <= 1 {
         any_io_stripe(
             solver,
             row_outputs,
             candidates,
             &plan.work,
+            plan.npn,
             0,
             1,
             &best,
             &queries,
+            &resolved,
         );
     } else {
         let solver_ref = &*solver;
         let work_ref = &plan.work;
-        let (best_ref, queries_ref) = (&best, &queries);
+        let npn = plan.npn;
+        let (best_ref, queries_ref, resolved_ref) = (&best, &queries, &resolved);
         std::thread::scope(|scope| {
             for w in 0..shards {
                 scope.spawn(move || {
@@ -635,10 +944,12 @@ fn run_any_io_plan(
                         row_outputs,
                         candidates,
                         work_ref,
+                        npn,
                         w,
                         shards,
                         best_ref,
                         queries_ref,
+                        resolved_ref,
                     );
                 });
             }
@@ -1089,16 +1400,69 @@ mod tests {
         let xor3 = a.xor(&b).xor(&c);
         let maj = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
         let sym = VectorFunction::new(3, vec![and3, xor3, maj]);
-        let (reps, orbit) = orbit_representatives(&sym, true);
+        let (reps, orbit) = orbit_representatives(&sym, true, false);
         assert_eq!(orbit, 36, "3! · 3!");
         assert_eq!(reps.len(), 6, "input symmetry leaves only out-perms");
-        let (unpruned, _) = orbit_representatives(&sym, false);
+        let (unpruned, _) = orbit_representatives(&sym, false, false);
         assert_eq!(unpruned.len(), 36);
         // An asymmetric bijection keeps its whole orbit.
         let f = VectorFunction::from_lookup_table(3, 3, &[1, 0, 3, 2, 5, 7, 6, 4]).unwrap();
-        let (reps, orbit) = orbit_representatives(&f, true);
+        let (reps, orbit) = orbit_representatives(&f, true, false);
         assert_eq!(orbit, 36);
         assert_eq!(reps.len(), 36);
+        // The NPN orbit squares in the polarity dimensions.
+        let (_, npn_orbit) = orbit_representatives(&f, true, true);
+        assert_eq!(npn_orbit, 36 * 8 * 8, "3!·2³·3!·2³");
+    }
+
+    #[test]
+    fn npn_walk_matches_interpretation_unranking() {
+        // The walk's in-place Gray flips and the index unranking must
+        // describe the same orbit point: re-deriving the transformed
+        // function from the unranked interpretation reproduces the
+        // walk's signature at every one of the 2304 indices.
+        let f = VectorFunction::from_lookup_table(3, 3, &[1, 0, 3, 2, 5, 7, 6, 4]).unwrap();
+        let (mut unrank_tmp, mut ip, mut op) = (Vec::new(), Vec::new(), Vec::new());
+        let mut permuted_in = VectorFunction::new(0, Vec::new());
+        let mut permuted = VectorFunction::new(0, Vec::new());
+        let mut count = 0usize;
+        let orbit = walk_orbit(&f, true, |index, sig| {
+            let (in_neg, out_neg) =
+                unrank_orbit_index(index, 3, 3, true, &mut unrank_tmp, &mut ip, &mut op);
+            apply_orbit_point(
+                &f,
+                &ip,
+                in_neg,
+                &op,
+                out_neg,
+                &mut permuted_in,
+                &mut permuted,
+            );
+            assert_eq!(permuted.to_lookup_table(), sig, "index {index}");
+            // And the public interpretation type agrees with the
+            // internal allocation-free pipeline.
+            let interp = IoInterpretation {
+                in_perm: ip.clone(),
+                in_neg,
+                out_perm: op.clone(),
+                out_neg,
+            };
+            assert_eq!(interp.apply(&f).unwrap(), permuted, "index {index}");
+            count += 1;
+        });
+        assert_eq!(orbit, 2304);
+        assert_eq!(count, 2304);
+        // Index 0 is always the identity interpretation.
+        let (in_neg, out_neg) =
+            unrank_orbit_index(0, 3, 3, true, &mut unrank_tmp, &mut ip, &mut op);
+        assert_eq!((in_neg, out_neg), (0, 0));
+        assert!(IoInterpretation {
+            in_perm: ip.clone(),
+            in_neg,
+            out_perm: op.clone(),
+            out_neg,
+        }
+        .is_identity());
     }
 
     #[test]
@@ -1132,11 +1496,17 @@ mod tests {
         assert_eq!(verdicts[0].orbit, 10_080);
         assert_eq!(
             verdicts[0].witness,
-            Some((vec![0, 1, 2, 3, 4, 5, 6], vec![0, 1]))
+            Some(IoInterpretation::from_perms(
+                vec![0, 1, 2, 3, 4, 5, 6],
+                vec![0, 1]
+            ))
         );
         // And the guard itself: factorials that overflow u32 indices.
-        assert!(checked_orbit(7, 2).is_some());
-        assert!(checked_orbit(12, 12).is_none());
+        assert!(checked_orbit(7, 2, false).is_some());
+        assert!(checked_orbit(7, 2, true).is_some(), "5.2M still fits u32");
+        assert!(checked_orbit(12, 12, false).is_none());
+        assert!(checked_orbit(6, 6, true).is_some(), "2.1B is the NPN edge");
+        assert!(checked_orbit(7, 7, true).is_none());
     }
 
     #[test]
@@ -1156,10 +1526,7 @@ mod tests {
         // interpretation, which is orbit index 0 — so it must also be
         // the reported witness.
         assert!(verdicts[0].plausible);
-        assert_eq!(
-            verdicts[0].witness,
-            Some((vec![0, 1, 2, 3], vec![0, 1, 2, 3]))
-        );
+        assert_eq!(verdicts[0].witness, Some(IoInterpretation::identity(4, 4)));
         // A scrambled copy of the true function is plausible under some
         // interpretation by construction.
         assert!(verdicts[1].plausible);
@@ -1168,10 +1535,16 @@ mod tests {
         for (f, v) in candidates.iter().zip(&verdicts) {
             assert_eq!(v.orbit, 576, "4! · 4!");
             assert!(v.unique <= v.orbit);
-            if let Some((ip, op)) = &v.witness {
-                let g = f.permute_inputs(ip).unwrap().permute_outputs(op).unwrap();
+            // Without class sharing every candidate is its own class.
+            assert_eq!(v.class_size, 1);
+            if let Some(interp) = &v.witness {
+                let g = interp.apply(f).unwrap();
                 assert!(is_plausible(&circuit, &lib, &camo, &g), "witness must hold");
             }
         }
+        assert_eq!(
+            verdicts.iter().map(|v| v.class).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 }

@@ -98,31 +98,41 @@ pub struct CamoScreen {
     n_out: usize,
 }
 
-/// Per-candidate scratch for orbit screening: the gathered candidate
-/// columns are cached per input permutation (output permutations only
-/// re-select columns), and reset between candidates.
+/// Per-candidate scratch for orbit screening: the permuted-index gather
+/// is cached per input permutation, the candidate columns per
+/// `(input permutation, input negation)` — output permutations only
+/// re-select columns and output negations are compare-time XOR masks —
+/// and everything is reset between candidates.
 pub(crate) struct OrbitScreenScratch {
-    /// `cols[i][w]`: bit `b` is `f.output(i)` evaluated at the
-    /// `in_perm`-gathered image of `vectors[64 w + b]`.
+    /// `ys[m]`: the `in_perm`-gathered image of `vectors[m]` in the
+    /// candidate's input frame (negation not yet applied).
+    ys: Vec<usize>,
+    /// `cols[i][w]`: bit `b` is `f.output(i)` evaluated at
+    /// `ys[64 w + b] ^ cur_neg`.
     cols: Vec<Vec<u64>>,
-    /// Flat orbit rank of the input permutation `cols` was built for
+    /// Flat orbit rank of the input permutation `ys` was built for
     /// (`u64::MAX` = none yet).
     cur_ip: u64,
+    /// Input negation mask `cols` was built for (`u64::MAX` = none yet).
+    cur_neg: u64,
     inv_op: Vec<usize>,
 }
 
 impl OrbitScreenScratch {
     pub(crate) fn new() -> Self {
         OrbitScreenScratch {
+            ys: Vec::new(),
             cols: Vec::new(),
             cur_ip: u64::MAX,
+            cur_neg: u64::MAX,
             inv_op: Vec::new(),
         }
     }
 
-    /// Invalidates the column cache (call between candidates).
+    /// Invalidates the caches (call between candidates).
     pub(crate) fn reset(&mut self) {
         self.cur_ip = u64::MAX;
+        self.cur_neg = u64::MAX;
     }
 }
 
@@ -195,37 +205,62 @@ impl CamoScreen {
         self.classify_against(&want)
     }
 
-    /// Screens the orbit point `(in_perm, out_perm)` of `candidate`:
-    /// equivalent to [`classify_identity`](Self::classify_identity) on
-    /// `candidate.permute_inputs(ip).permute_outputs(op)`, but served
-    /// from the cached batch by a permuted-index gather. `ip_rank` keys
-    /// the per-input-permutation column cache in `scratch`.
+    /// Screens the NPN orbit point `(in_perm, in_neg, out_perm,
+    /// out_neg)` of `candidate`: equivalent to
+    /// [`classify_identity`](Self::classify_identity) on
+    /// `candidate.negate_inputs(in_neg).permute_inputs(ip)
+    /// .permute_outputs(op).negate_outputs(out_neg)`, but served from
+    /// the cached batch. The permuted-index gather is cached per
+    /// `ip_rank`, candidate columns per `(ip_rank, in_neg)`; output
+    /// permutations re-select columns and output negations are
+    /// compare-time XOR masks, so polarity points cost no re-evaluation
+    /// of the batch.
     pub(crate) fn classify_orbit(
         &self,
         candidate: &VectorFunction,
         ip_rank: u64,
         in_perm: &[usize],
+        in_neg: u32,
         out_perm: &[usize],
+        out_neg: u32,
         scratch: &mut OrbitScreenScratch,
     ) -> ScreenOutcome {
         let wpv = self.vectors.len() / 64;
         if scratch.cur_ip != ip_rank {
             // h = f.permute_inputs(ip) means h(x) = f(y) with bit v of
-            // y equal to bit ip[v] of x — gather once per in-perm, for
-            // all outputs in one pass.
-            scratch.cols.clear();
-            scratch.cols.resize_with(self.n_out, || vec![0u64; wpv]);
-            for (m, &x) in self.vectors.iter().enumerate() {
+            // y equal to bit ip[v] of x — gather once per in-perm.
+            scratch.ys.clear();
+            scratch.ys.extend(self.vectors.iter().map(|&x| {
                 let mut y = 0usize;
                 for (v, &src) in in_perm.iter().enumerate() {
                     y |= (((x >> src) & 1) as usize) << v;
                 }
-                let e = candidate.eval(y);
+                y
+            }));
+            scratch.cur_ip = ip_rank;
+            scratch.cur_neg = u64::MAX;
+        }
+        if scratch.cur_neg != u64::from(in_neg) {
+            // The gathered y is already in the candidate's input frame,
+            // which is exactly where the (pre-permutation) negation
+            // mask lives — apply it as a plain XOR and evaluate all
+            // outputs in one pass.
+            if scratch.cols.len() == self.n_out {
+                for col in &mut scratch.cols {
+                    col.clear();
+                    col.resize(wpv, 0);
+                }
+            } else {
+                scratch.cols.clear();
+                scratch.cols.resize_with(self.n_out, || vec![0u64; wpv]);
+            }
+            for (m, &y) in scratch.ys.iter().enumerate() {
+                let e = candidate.eval(y ^ in_neg as usize);
                 for (i, col) in scratch.cols.iter_mut().enumerate() {
                     col[m / 64] |= u64::from((e >> i) & 1) << (m % 64);
                 }
             }
-            scratch.cur_ip = ip_rank;
+            scratch.cur_neg = u64::from(in_neg);
         }
         // Output permutation: output o of the permuted candidate is
         // original output inv_op[o], a pure column re-selection.
@@ -234,11 +269,15 @@ impl CamoScreen {
         for (i, &dst) in out_perm.iter().enumerate() {
             scratch.inv_op[dst] = i;
         }
+        // Output negation flips the whole column; the batch is always a
+        // whole number of fully-populated 64-bit words, so an XOR with
+        // all-ones is exact.
         let survivor = self.out_words.iter().any(|per_cfg| {
-            per_cfg
-                .iter()
-                .enumerate()
-                .all(|(o, got)| *got == scratch.cols[scratch.inv_op[o]])
+            per_cfg.iter().enumerate().all(|(o, got)| {
+                let col = &scratch.cols[scratch.inv_op[o]];
+                let flip = if out_neg >> o & 1 == 1 { !0u64 } else { 0 };
+                got.iter().zip(col).all(|(&g, &c)| g == c ^ flip)
+            })
         });
         self.outcome(survivor)
     }

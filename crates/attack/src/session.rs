@@ -9,7 +9,9 @@
 //!   [`CamoScreen`] vector batches keyed by candidate batch.
 //! * [`AnyIoJob`] — a stepped, pausable interpretation-freedom sweep: the
 //!   work list is processed in caller-sized chunks, and the complete
-//!   mutable state between chunks is three integer vectors.
+//!   mutable state between chunks is a handful of integer vectors
+//!   (position, witness bounds, query counts, and — under class sharing —
+//!   the resolved orbit-function verdicts).
 //! * [`AnyIoProgress`] — that state, exported for checkpointing and
 //!   restored bit-identically.
 //!
@@ -30,8 +32,9 @@ use mvf_sat::{encode_netlist, CircuitCnf, Solver, Var};
 
 use crate::screen::{CamoScreen, ScreenOutcome};
 use crate::{
-    any_io_verdicts, candidate_assumptions, plan_any_io, unrank_orbit_index, AnyIoOptions,
-    AnyIoPlan, AnyIoVerdict, SweepOptions, SweepVerdict,
+    any_io_verdicts, apply_orbit_point, candidate_assumptions, plan_any_io, unrank_orbit_index,
+    AnyIoOptions, AnyIoPlan, AnyIoVerdict, SweepOptions, SweepVerdict, UID_SAT, UID_UNKNOWN,
+    UID_UNSAT,
 };
 
 /// Cached screens kept per session (small: screens are per candidate
@@ -47,6 +50,10 @@ struct AnyIoCursor {
     pos: usize,
     best: Vec<usize>,
     queries: Vec<usize>,
+    /// Per-uid SAT verdict cache (the serial twin of the stripe workers'
+    /// shared atomic cache) — this is what lets class sharing skip
+    /// repeat queries across a pause/resume split too.
+    resolved: Vec<u8>,
     last_cand: u32,
 }
 
@@ -56,6 +63,7 @@ impl AnyIoCursor {
             pos: 0,
             best: plan.best_init.clone(),
             queries: vec![0; plan.best_init.len()],
+            resolved: vec![UID_UNKNOWN; plan.n_uids],
             last_cand: u32::MAX,
         }
     }
@@ -77,11 +85,21 @@ impl AnyIoCursor {
         let mut permuted = VectorFunction::new(0, Vec::new());
         let mut assumptions = Vec::new();
         while self.pos < end {
-            let (c, index) = plan.work[self.pos];
+            let (c, index, uid) = plan.work[self.pos];
             self.pos += 1;
             let cand = c as usize;
             if self.best[cand] < index as usize {
                 continue; // a smaller witness is already known
+            }
+            match self.resolved[uid as usize] {
+                UID_SAT => {
+                    // A class sibling already proved this orbit function
+                    // satisfiable; the verdict transfers without a query.
+                    self.best[cand] = self.best[cand].min(index as usize);
+                    continue;
+                }
+                UID_UNSAT => continue,
+                _ => {}
             }
             if c != self.last_cand {
                 // Saved phases are a per-candidate heuristic; do not let
@@ -92,22 +110,33 @@ impl AnyIoCursor {
                 self.last_cand = c;
             }
             let f = &candidates[cand];
-            unrank_orbit_index(
+            let (in_neg, out_neg) = unrank_orbit_index(
                 index,
                 f.n_inputs(),
                 f.n_outputs(),
+                plan.npn,
                 &mut unrank_tmp,
                 &mut in_perm,
                 &mut out_perm,
             );
-            f.permute_inputs_into(&in_perm, &mut permuted_in)
-                .expect("orbit permutation is valid");
-            permuted_in
-                .permute_outputs_into(&out_perm, &mut permuted)
-                .expect("orbit permutation is valid");
+            apply_orbit_point(
+                f,
+                &in_perm,
+                in_neg,
+                &out_perm,
+                out_neg,
+                &mut permuted_in,
+                &mut permuted,
+            );
             candidate_assumptions(row_outputs, &permuted, &mut assumptions);
             self.queries[cand] += 1;
-            if solver.solve_with(&assumptions) {
+            let sat = solver.solve_with(&assumptions);
+            if plan.shared {
+                // Without batch-wide uids the cache can never hit — skip
+                // the store so checkpoints stay free of dead weight.
+                self.resolved[uid as usize] = if sat { UID_SAT } else { UID_UNSAT };
+            }
+            if sat {
                 self.best[cand] = self.best[cand].min(index as usize);
             }
         }
@@ -130,6 +159,12 @@ pub struct AnyIoProgress {
     pub best: Vec<usize>,
     /// Per-candidate SAT queries issued so far.
     pub queries: Vec<usize>,
+    /// Resolved orbit-function verdicts `(uid, satisfiable)`, ascending
+    /// by uid — the class-sharing verdict cache. Empty whenever class
+    /// sharing is off (every uid is then visited at most once, so there
+    /// is nothing a later item could reuse) and on pre-NPN checkpoints,
+    /// which restore exactly as before.
+    pub resolved: Vec<(u32, bool)>,
 }
 
 /// A pausable interpretation-freedom sweep: the planned work list is
@@ -173,7 +208,7 @@ impl AnyIoJob {
             .screen
             .then(|| CamoScreen::build(nl, lib, camo, &candidates, opts.screen_vectors))
             .flatten();
-        let plan = plan_any_io(nl, &candidates, opts.prune, screen.as_ref());
+        let plan = plan_any_io(nl, &candidates, opts, screen.as_ref());
         let mut cnf = encode_netlist(nl, lib, camo);
         if opts.inprocess {
             cnf.freeze_interface();
@@ -240,6 +275,14 @@ impl AnyIoJob {
             pos: self.cursor.pos,
             best: self.cursor.best.clone(),
             queries: self.cursor.queries.clone(),
+            resolved: self
+                .cursor
+                .resolved
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != UID_UNKNOWN)
+                .map(|(uid, &v)| (uid as u32, v == UID_SAT))
+                .collect(),
         }
     }
 
@@ -269,6 +312,15 @@ impl AnyIoJob {
         self.cursor.pos = progress.pos;
         self.cursor.best = progress.best.clone();
         self.cursor.queries = progress.queries.clone();
+        self.cursor.resolved = vec![UID_UNKNOWN; self.plan.n_uids];
+        for &(uid, sat) in &progress.resolved {
+            let slot = self
+                .cursor
+                .resolved
+                .get_mut(uid as usize)
+                .expect("checkpoint uid is past the job's verdict cache");
+            *slot = if sat { UID_SAT } else { UID_UNSAT };
+        }
         // Force a phase reset on the first resumed item: the fresh
         // solver's phase state differs from the interrupted run's, but
         // phases are heuristics — answers, and therefore verdicts and
@@ -500,7 +552,7 @@ impl SweepSession {
             .screen
             .then(|| self.screen_for(nl, lib, camo, candidates, opts.screen_vectors))
             .flatten();
-        plan_any_io(nl, candidates, opts.prune, screen)
+        plan_any_io(nl, candidates, opts, screen)
     }
 
     /// The cached screen for this candidate batch, building (and

@@ -511,6 +511,121 @@ fn main() {
     );
     println!("any-io speedup: {any_io_speedup:>11.2}x (bit-identical verdicts + witnesses)");
 
+    // --- NPN-complete adversary: cross-candidate class sharing. --------
+    // The full NPN orbit (3!·2³·3!·2³ = 2304 points) over a
+    // duplicate-seeded batch: one NPN-implausible function plus two
+    // NPN-transformed copies — three members of one interpretation
+    // class, each refuting the same orbit-function set. With class
+    // sharing the first member pays for the class and the others resolve
+    // every representative from the shared verdict cache; verdicts and
+    // witnesses never move, serial or sharded.
+    let npn_seed = lut3(&[7, 1, 0, 2, 4, 3, 6, 5]);
+    let npn_candidates = vec![
+        npn_seed.clone(),
+        mvf_logic::IoInterpretation {
+            in_perm: vec![1, 2, 0],
+            in_neg: 0b011,
+            out_perm: vec![2, 0, 1],
+            out_neg: 0b100,
+        }
+        .apply(&npn_seed)
+        .unwrap(),
+        mvf_logic::IoInterpretation {
+            in_perm: vec![2, 0, 1],
+            in_neg: 0b110,
+            out_perm: vec![1, 2, 0],
+            out_neg: 0b001,
+        }
+        .apply(&npn_seed)
+        .unwrap(),
+    ];
+    let npn_solo_opts = mvf_attack::AnyIoOptions {
+        shards: 1,
+        npn: true,
+        ..mvf_attack::AnyIoOptions::default()
+    };
+    let npn_shared_opts = mvf_attack::AnyIoOptions {
+        class_share: true,
+        ..npn_solo_opts.clone()
+    };
+    let npn_solo = mvf_attack::plausibility_sweep_any_io_with(
+        &target3,
+        &lib,
+        &camo,
+        &npn_candidates,
+        &npn_solo_opts,
+    );
+    let npn_shared = mvf_attack::plausibility_sweep_any_io_with(
+        &target3,
+        &lib,
+        &camo,
+        &npn_candidates,
+        &npn_shared_opts,
+    );
+    let npn_sharded = mvf_attack::plausibility_sweep_any_io_with(
+        &target3,
+        &lib,
+        &camo,
+        &npn_candidates,
+        &mvf_attack::AnyIoOptions {
+            shards: any_io_shards,
+            ..npn_shared_opts.clone()
+        },
+    );
+    let npn_identical = npn_solo
+        .iter()
+        .zip(&npn_shared)
+        .zip(&npn_sharded)
+        .all(|((a, b), c)| {
+            a.plausible == b.plausible
+                && a.witness == b.witness
+                && b.plausible == c.plausible
+                && b.witness == c.witness
+        });
+    assert!(
+        npn_identical,
+        "class sharing must not change NPN verdicts or witnesses, serial or sharded"
+    );
+    let npn_cost = |vs: &[mvf_attack::AnyIoVerdict]| -> usize {
+        vs.iter().map(|v| v.queries + v.screened).sum()
+    };
+    let npn_orbit = npn_solo[0].orbit;
+    let npn_classes = npn_shared.iter().map(|v| v.class).max().unwrap_or(0) + 1;
+    let (npn_solo_cost, npn_shared_cost) = (npn_cost(&npn_solo), npn_cost(&npn_shared));
+    let npn_saved = npn_solo_cost - npn_shared_cost;
+    assert!(
+        npn_saved > 0,
+        "class sharing must save work on the duplicate-seeded batch"
+    );
+    let npn_solo_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_any_io_with(
+            black_box(&target3),
+            &lib,
+            &camo,
+            &npn_candidates,
+            &npn_solo_opts,
+        ));
+    }) / npn_candidates.len() as f64;
+    let npn_shared_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_any_io_with(
+            black_box(&target3),
+            &lib,
+            &camo,
+            &npn_candidates,
+            &npn_shared_opts,
+        ));
+    }) / npn_candidates.len() as f64;
+    let npn_speedup = npn_solo_ns / npn_shared_ns;
+    println!(
+        "npn solo   : {npn_solo_ns:>12.0} ns / candidate ({npn_orbit}-point orbit, \
+         {npn_solo_cost} screen passes + SAT queries)"
+    );
+    println!(
+        "npn shared : {npn_shared_ns:>12.0} ns / candidate ({npn_classes} class, \
+         {npn_shared_cost} screen passes + SAT queries, {npn_saved} saved)"
+    );
+    println!("npn speedup: {npn_speedup:>12.2}x (bit-identical verdicts + witnesses)");
+
     // --- SAT inprocessing: simplified vs untouched clause database. ----
     // The 3-bit any-IO orbit again, but over a *partially* camouflaged
     // target — every third gate camouflaged, standard gates in between,
@@ -993,6 +1108,19 @@ fn main() {
             "    \"speedup\": {:.2},\n",
             "    \"bit_identical\": {}\n",
             "  }},\n",
+            "  \"sweep_npn\": {{\n",
+            "    \"workload\": \"3-bit random-camouflage, NPN-complete adversary\",\n",
+            "    \"candidates\": {},\n",
+            "    \"classes\": {},\n",
+            "    \"orbit\": {},\n",
+            "    \"solo_cost\": {},\n",
+            "    \"shared_cost\": {},\n",
+            "    \"class_queries_saved\": {},\n",
+            "    \"solo_ns\": {:.0},\n",
+            "    \"shared_ns\": {:.0},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"bit_identical\": {}\n",
+            "  }},\n",
             "  \"sat_inprocess\": {{\n",
             "    \"workload\": \"3-bit mixed camouflage (every 3rd gate), interpretation freedom\",\n",
             "    \"candidates\": {},\n",
@@ -1082,6 +1210,16 @@ fn main() {
         any_io_sharded_ns,
         any_io_speedup,
         any_io_identical,
+        npn_candidates.len(),
+        npn_classes,
+        npn_orbit,
+        npn_solo_cost,
+        npn_shared_cost,
+        npn_saved,
+        npn_solo_ns,
+        npn_shared_ns,
+        npn_speedup,
+        npn_identical,
         any_io_candidates.len(),
         sat_inprocess_stats.clauses_removed,
         sat_inprocess_stats.literals_removed,

@@ -117,6 +117,8 @@ pub struct FlowBuilder {
     attack_sweep: bool,
     attack_shards: usize,
     attack_interpretation_freedom: bool,
+    attack_npn: bool,
+    attack_class_share: bool,
     attack_screen: bool,
     attack_inprocess: bool,
 }
@@ -131,6 +133,11 @@ impl Default for FlowBuilder {
             attack_sweep: false,
             attack_shards: 0,
             attack_interpretation_freedom: false,
+            // NPN completion and cross-candidate class sharing multiply
+            // the orbit by 2^(n_in + n_out); strictly audit-tier, so
+            // opt-in on top of interpretation freedom.
+            attack_npn: false,
+            attack_class_share: false,
             // The screen-then-solve funnel never changes a verdict, so
             // it is on unless an audit explicitly wants SAT-only runs.
             attack_screen: true,
@@ -245,7 +252,7 @@ impl FlowBuilder {
     /// permutation ([`mvf_attack::plausibility_sweep_any_io_sharded`],
     /// sharded per [`FlowBuilder::attack_shards`]), and the witness
     /// interpretation is attached to the report
-    /// ([`PlausibilityVerdict::witness_perm`](crate::PlausibilityVerdict)).
+    /// ([`PlausibilityVerdict::witness`](crate::PlausibilityVerdict)).
     ///
     /// Only meaningful together with [`FlowBuilder::attack_sweep`]. The
     /// orbit search costs up to `n_in! · n_out!` SAT queries per
@@ -254,6 +261,33 @@ impl FlowBuilder {
     #[must_use]
     pub fn attack_interpretation_freedom(mut self, enabled: bool) -> Self {
         self.attack_interpretation_freedom = enabled;
+        self
+    }
+
+    /// Extends the full adversary's orbit from pin permutations to the
+    /// complete NPN group: every viable function is additionally tested
+    /// under all `2^n_in · 2^n_out` input/output polarity flips
+    /// ([`mvf_attack::AnyIoOptions::npn`]), and the reported witness
+    /// carries the negation masks. Only meaningful together with
+    /// [`FlowBuilder::attack_interpretation_freedom`]; multiplies the
+    /// orbit by `2^(n_in + n_out)`, so this is an audit-tier knob.
+    #[must_use]
+    pub fn attack_npn(mut self, enabled: bool) -> Self {
+        self.attack_npn = enabled;
+        self
+    }
+
+    /// Enables cross-candidate orbit-class sharing in the full adversary
+    /// ([`mvf_attack::AnyIoOptions::class_share`]): candidates whose
+    /// orbits coincide (same NPN/P class) share one screen pass and one
+    /// SAT verdict cache, so each distinct transformed function is
+    /// queried once per batch instead of once per candidate. Verdicts
+    /// and witnesses are bit-identical with sharing off; only
+    /// [`PlausibilityVerdict::queries`](crate::PlausibilityVerdict) and
+    /// `screened` counts drop.
+    #[must_use]
+    pub fn attack_class_share(mut self, enabled: bool) -> Self {
+        self.attack_class_share = enabled;
         self
     }
 
@@ -305,6 +339,8 @@ impl FlowBuilder {
             attack_sweep: self.attack_sweep,
             attack_shards: self.attack_shards,
             attack_interpretation_freedom: self.attack_interpretation_freedom,
+            attack_npn: self.attack_npn,
+            attack_class_share: self.attack_class_share,
             attack_screen: self.attack_screen,
             attack_inprocess: self.attack_inprocess,
         }
@@ -325,6 +361,8 @@ pub struct Flow<S = Ga> {
     pub(crate) attack_sweep: bool,
     pub(crate) attack_shards: usize,
     pub(crate) attack_interpretation_freedom: bool,
+    pub(crate) attack_npn: bool,
+    pub(crate) attack_class_share: bool,
     pub(crate) attack_screen: bool,
     pub(crate) attack_inprocess: bool,
 }

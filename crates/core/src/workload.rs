@@ -17,7 +17,7 @@
 use std::fmt;
 
 use mvf_ga::{resolve_threads, SearchStrategy};
-use mvf_logic::VectorFunction;
+use mvf_logic::{IoInterpretation, VectorFunction};
 
 use crate::error::MvfError;
 use crate::flow::{Flow, FlowResult};
@@ -70,17 +70,20 @@ pub struct PlausibilityVerdict {
     /// adversary reads each wire as the logical pin it was mapped to).
     /// A correct flow yields `true` for every viable function.
     pub identity: bool,
-    /// Plausible under **some** input/output pin permutation — the
-    /// paper's full adversary. Present when the flow was built with
+    /// Plausible under **some** input/output pin interpretation — the
+    /// paper's full adversary: every pin permutation, plus every
+    /// polarity flip when the flow was built with
+    /// [`FlowBuilder::attack_npn`](crate::FlowBuilder::attack_npn).
+    /// Present when the flow was built with
     /// [`FlowBuilder::attack_interpretation_freedom`](crate::FlowBuilder::attack_interpretation_freedom);
     /// implied `true` whenever `identity` is `true` (the identity is one
     /// of the interpretations searched).
     pub any_io: Option<bool>,
     /// The witness interpretation behind a `true` `any_io` verdict: the
-    /// lexicographically smallest `(input_perm, output_perm)` pair under
-    /// which the permuted function is plausible. Deterministic for every
-    /// shard count.
-    pub witness_perm: Option<(Vec<usize>, Vec<usize>)>,
+    /// orbit-minimal [`IoInterpretation`] under which the transformed
+    /// function is plausible (negation masks are `0` unless the NPN
+    /// orbit was searched). Deterministic for every shard count.
+    pub witness: Option<IoInterpretation>,
     /// Queries the SAT-free screen settled before any solver call
     /// ([`FlowBuilder::attack_screen`](crate::FlowBuilder::attack_screen)):
     /// orbit representatives for the full adversary, `0` or `1` for the
@@ -115,28 +118,23 @@ pub struct WorkloadReport {
 }
 
 impl PlausibilityVerdict {
-    /// Folds interpretation-freedom verdicts into report verdicts, for a
-    /// circuit with `n_in` inputs and `n_out` outputs. The identity
-    /// interpretation is orbit index 0 of the any-IO search and can
-    /// never be skipped, so identity plausibility is derivable from the
-    /// witness: the witness *is* the identity pair. This is exactly the
-    /// mapping [`Flow::run_many`] applies, exposed so externally driven
-    /// sweeps (checkpointed audit jobs) produce identical reports.
-    pub fn from_any_io(
-        n_in: usize,
-        n_out: usize,
-        verdicts: Vec<mvf_attack::AnyIoVerdict>,
-    ) -> Vec<PlausibilityVerdict> {
-        let id_pair = (
-            (0..n_in).collect::<Vec<_>>(),
-            (0..n_out).collect::<Vec<_>>(),
-        );
+    /// Folds interpretation-freedom verdicts into report verdicts. The
+    /// identity interpretation is orbit index 0 of the any-IO search and
+    /// can never be skipped, so identity plausibility is derivable from
+    /// the witness: the witness *is* the identity interpretation. This
+    /// is exactly the mapping [`Flow::run_many`] applies, exposed so
+    /// externally driven sweeps (checkpointed audit jobs) produce
+    /// identical reports.
+    pub fn from_any_io(verdicts: Vec<mvf_attack::AnyIoVerdict>) -> Vec<PlausibilityVerdict> {
         verdicts
             .into_iter()
             .map(|v| PlausibilityVerdict {
-                identity: v.witness.as_ref() == Some(&id_pair),
+                identity: v
+                    .witness
+                    .as_ref()
+                    .is_some_and(IoInterpretation::is_identity),
                 any_io: Some(v.plausible),
-                witness_perm: v.witness,
+                witness: v.witness,
                 screened: v.screened,
                 queries: v.queries,
             })
@@ -152,7 +150,7 @@ impl PlausibilityVerdict {
             .map(|v| PlausibilityVerdict {
                 identity: v.plausible,
                 any_io: None,
-                witness_perm: None,
+                witness: None,
                 screened: usize::from(v.screened),
                 queries: usize::from(!v.screened),
             })
@@ -312,16 +310,14 @@ impl<S: SearchStrategy> Flow<S> {
                         &result.merged.functions,
                         &mvf_attack::AnyIoOptions {
                             shards,
+                            npn: self.attack_npn,
+                            class_share: self.attack_class_share,
                             screen: self.attack_screen,
                             inprocess: self.attack_inprocess,
                             ..mvf_attack::AnyIoOptions::default()
                         },
                     );
-                    Some(PlausibilityVerdict::from_any_io(
-                        result.mapped.netlist.inputs().len(),
-                        result.mapped.netlist.outputs().len(),
-                        any_io,
-                    ))
+                    Some(PlausibilityVerdict::from_any_io(any_io))
                 } else {
                     let identity = mvf_attack::plausibility_sweep_with(
                         &result.mapped.netlist,
@@ -432,7 +428,7 @@ mod tests {
         // Interpretation freedom is opt-in; the plain sweep leaves the
         // any-IO fields empty.
         assert!(verdicts.iter().all(|v| v.any_io.is_none()));
-        assert!(verdicts.iter().all(|v| v.witness_perm.is_none()));
+        assert!(verdicts.iter().all(|v| v.witness.is_none()));
         // The red-team pass is opt-in: off by default.
         let flow = Flow::builder()
             .ga(ga)
@@ -470,9 +466,10 @@ mod tests {
             // reported witness must then be the identity interpretation
             // (orbit index 0).
             assert_eq!(v.any_io, Some(true));
-            let (ip, op) = v.witness_perm.as_ref().expect("witness for plausible");
-            assert_eq!(ip.as_slice(), &[0, 1, 2, 3]);
-            assert_eq!(op.as_slice(), &[0, 1, 2, 3]);
+            let w = v.witness.as_ref().expect("witness for plausible");
+            assert!(w.is_identity(), "witness must be the identity: {w:?}");
+            assert_eq!(w.in_perm.as_slice(), &[0, 1, 2, 3]);
+            assert_eq!(w.out_perm.as_slice(), &[0, 1, 2, 3]);
         }
     }
 }

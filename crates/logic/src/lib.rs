@@ -45,7 +45,7 @@ mod vecfunc;
 pub use cube::{Cube, Sop};
 pub use error::LogicError;
 pub use isop::isop;
-pub use npn::{NpnClass, NpnTransform};
+pub use npn::{IoInterpretation, NegationMasks, NpnClass, NpnClasses, NpnTransform};
 pub use tt::{TruthTable, TtArena};
 pub use vecfunc::VectorFunction;
 

@@ -12,7 +12,9 @@
 //! and fast for the arities used here (≤ 4 inputs for cells and cuts:
 //! 4!·2⁴·2 = 768 transforms).
 
-use crate::TruthTable;
+use std::collections::HashMap;
+
+use crate::{LogicError, TruthTable, VectorFunction};
 
 /// A transform in the NPN group: permute inputs, negate a subset of inputs,
 /// optionally negate the output.
@@ -160,6 +162,109 @@ impl Permutations {
     }
 }
 
+/// The Gray code at rank `pos`: consecutive ranks differ in exactly one
+/// bit, so an enumeration ordered by rank can apply each step as a single
+/// in-place polarity flip. `gray_code(0) == 0` (the identity mask).
+pub fn gray_code(pos: u64) -> u64 {
+    pos ^ (pos >> 1)
+}
+
+/// The rank of a Gray-code word — the inverse of [`gray_code`].
+pub fn gray_rank(mask: u64) -> u64 {
+    let mut rank = mask;
+    let mut shifted = mask;
+    while shifted > 0 {
+        shifted >>= 1;
+        rank ^= shifted;
+    }
+    rank
+}
+
+/// A lazy enumerator of all `2^n` input/output negation masks in Gray-code
+/// order, the polarity half of an NPN orbit walk.
+///
+/// Each step reports the mask together with the single bit that changed
+/// from the previous mask, so an orbit walk can maintain a transformed
+/// function incrementally — one `flip_var`/`not` per step instead of
+/// rebuilding from scratch. The mask at position `p` is `gray_code(p)`,
+/// which keeps orbit points addressable as bare mixed-radix indices
+/// (position 0 is always the empty mask, i.e. the identity).
+///
+/// ```
+/// use mvf_logic::npn::{gray_code, NegationMasks};
+///
+/// let mut masks = NegationMasks::new(2);
+/// let mut seen = Vec::new();
+/// while let Some((mask, flipped)) = masks.next() {
+///     seen.push((mask, flipped));
+/// }
+/// assert_eq!(
+///     seen,
+///     [(0b00, None), (0b01, Some(0)), (0b11, Some(1)), (0b10, Some(0))]
+/// );
+/// assert_eq!(gray_code(2), 0b11);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NegationMasks {
+    pos: u64,
+    total: u64,
+    mask: u32,
+}
+
+impl NegationMasks {
+    /// A stream over all negation masks of `n` bits. (`n == 0` yields
+    /// exactly one empty mask.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 32, "negation masks limited to 32 bits");
+        NegationMasks {
+            pos: 0,
+            total: 1u64 << n,
+            mask: 0,
+        }
+    }
+
+    /// Rewinds the stream to the empty mask.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+        self.mask = 0;
+    }
+
+    /// Number of masks in the stream (`2^n`).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `false` — the stream always contains at least the empty mask.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Advances to the next mask; returns `(mask, flipped_bit)` where
+    /// `flipped_bit` is the single bit that changed from the previous
+    /// mask (`None` for the leading empty mask), or `None` once the
+    /// stream is exhausted.
+    #[allow(clippy::should_implement_trait)] // paired with Permutations::next
+    pub fn next(&mut self) -> Option<(u32, Option<usize>)> {
+        if self.pos == self.total {
+            return None;
+        }
+        let flipped = if self.pos == 0 {
+            None
+        } else {
+            // Gray step k-1 → k flips exactly bit trailing_zeros(k).
+            let bit = self.pos.trailing_zeros() as usize;
+            self.mask ^= 1 << bit;
+            Some(bit)
+        };
+        self.pos += 1;
+        Some((self.mask, flipped))
+    }
+}
+
 /// Generates all permutations of `0..n` (lexicographic order).
 ///
 /// Prefer [`Permutations`] when the consumer can stream: this collects
@@ -240,14 +345,20 @@ fn apply_parts(f: &TruthTable, perm: &[usize], input_neg: u32, output_neg: bool)
 /// The P canonical form (input permutation only): the lexicographically
 /// smallest table reachable by permuting inputs, with its permutation.
 ///
-/// # Panics
+/// Streams the lazy [`Permutations`] enumerator (the permutation is only
+/// materialized on an improvement) and keeps the lexicographic-first
+/// tie-break of the exhaustive scan.
 ///
-/// Panics if the function has more than 6 variables.
-pub fn p_canonical(f: &TruthTable) -> (TruthTable, Vec<usize>) {
-    assert!(
-        f.n_vars() <= 6,
-        "exhaustive P-canonicalization limited to 6 variables"
-    );
+/// # Errors
+///
+/// Returns [`LogicError::TooManyVars`] for functions of more than 6
+/// variables — exhaustive canonicalization is only intended for cut- and
+/// cell-sized functions, and an oversized cell should fail gracefully
+/// rather than stall in a `6!`-fold scan.
+pub fn p_canonical(f: &TruthTable) -> Result<(TruthTable, Vec<usize>), LogicError> {
+    if f.n_vars() > 6 {
+        return Err(LogicError::TooManyVars(f.n_vars()));
+    }
     let mut best: Option<(TruthTable, Vec<usize>)> = None;
     let mut perms = Permutations::new(f.n_vars());
     while let Some(perm) = perms.next() {
@@ -256,7 +367,7 @@ pub fn p_canonical(f: &TruthTable) -> (TruthTable, Vec<usize>) {
             best = Some((g, perm.to_vec()));
         }
     }
-    best.expect("at least the identity permutation")
+    Ok(best.expect("at least the identity permutation"))
 }
 
 /// An NPN equivalence class, keyed by its canonical truth table.
@@ -281,6 +392,209 @@ impl NpnClass {
     /// Whether `f` belongs to this class.
     pub fn contains(&self, f: &TruthTable) -> bool {
         npn_canonical(f).0 == self.canonical
+    }
+}
+
+/// An incremental registry of NPN equivalence classes: feed it functions,
+/// get back a dense class id plus the transform onto the class canon.
+///
+/// This is the batch-level complement of [`npn_canonical`]: a candidate
+/// batch full of NPN-transforms of each other collapses to a handful of
+/// classes, and downstream work (orbit walks, screens, SAT rep sets) can
+/// be done once per class instead of once per candidate. Ids are assigned
+/// in first-appearance order, so the mapping is deterministic for a fixed
+/// feed order.
+#[derive(Debug, Clone, Default)]
+pub struct NpnClasses {
+    ids: HashMap<TruthTable, usize>,
+    reps: Vec<TruthTable>,
+}
+
+impl NpnClasses {
+    /// An empty registry.
+    pub fn new() -> Self {
+        NpnClasses::default()
+    }
+
+    /// Classifies `f`: returns its class id (dense, first-appearance
+    /// order) and the transform `t` with `t.apply(f) == canonical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has more than 6 variables (see
+    /// [`npn_canonical`]).
+    pub fn classify(&mut self, f: &TruthTable) -> (usize, NpnTransform) {
+        let (canon, t) = npn_canonical(f);
+        if let Some(&id) = self.ids.get(&canon) {
+            return (id, t);
+        }
+        let id = self.reps.len();
+        self.ids.insert(canon.clone(), id);
+        self.reps.push(canon);
+        (id, t)
+    }
+
+    /// The canonical representative of class `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn representative(&self, id: usize) -> &TruthTable {
+        &self.reps[id]
+    }
+
+    /// Number of distinct classes seen so far.
+    pub fn len(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Whether no function has been classified yet.
+    pub fn is_empty(&self) -> bool {
+        self.reps.is_empty()
+    }
+}
+
+/// A point of the full NPN interpretation group acting on a
+/// [`VectorFunction`]: negate inputs, permute inputs, permute outputs,
+/// negate outputs — the complete I/O freedom the paper's adversary must
+/// grant a camouflaged block.
+///
+/// [`IoInterpretation::apply`] evaluates the pipeline
+/// `f.negate_inputs(in_neg) → permute_inputs(in_perm) →
+/// permute_outputs(out_perm) → negate_outputs(out_neg)`; `in_neg` is in
+/// the *pre-permutation* frame (bit `v` inverts `f`'s input `v`) and
+/// `out_neg` in the *post-permutation* frame (bit `j` inverts final
+/// output `j`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IoInterpretation {
+    /// Input permutation: `f`'s input `v` is driven by wire `in_perm[v]`.
+    pub in_perm: Vec<usize>,
+    /// Pre-permutation input polarity mask.
+    pub in_neg: u32,
+    /// Output permutation: `f`'s output `i` appears at `out_perm[i]`.
+    pub out_perm: Vec<usize>,
+    /// Post-permutation output polarity mask.
+    pub out_neg: u32,
+}
+
+impl IoInterpretation {
+    /// The identity interpretation for an `n_in → n_out` function.
+    pub fn identity(n_in: usize, n_out: usize) -> Self {
+        IoInterpretation {
+            in_perm: (0..n_in).collect(),
+            in_neg: 0,
+            out_perm: (0..n_out).collect(),
+            out_neg: 0,
+        }
+    }
+
+    /// A pure permutation interpretation (both polarity masks empty) —
+    /// the P subgroup the pre-NPN adversary was limited to.
+    pub fn from_perms(in_perm: Vec<usize>, out_perm: Vec<usize>) -> Self {
+        IoInterpretation {
+            in_perm,
+            in_neg: 0,
+            out_perm,
+            out_neg: 0,
+        }
+    }
+
+    /// Whether this is the identity interpretation.
+    pub fn is_identity(&self) -> bool {
+        self.in_neg == 0
+            && self.out_neg == 0
+            && self.in_perm.iter().enumerate().all(|(i, &p)| i == p)
+            && self.out_perm.iter().enumerate().all(|(i, &p)| i == p)
+    }
+
+    /// Applies the interpretation to a function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadPermutation`] if either permutation does
+    /// not match the function's arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a polarity mask has bits beyond the function's arity.
+    pub fn apply(&self, f: &VectorFunction) -> Result<VectorFunction, LogicError> {
+        let g = f
+            .negate_inputs(self.in_neg)
+            .permute_inputs(&self.in_perm)?
+            .permute_outputs(&self.out_perm)?;
+        Ok(g.negate_outputs(self.out_neg))
+    }
+
+    /// The composition "apply `self`, then `then`": for every `f`,
+    /// `then.apply(&self.apply(f)) == self.compose(then).apply(f)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two interpretations' arities disagree.
+    pub fn compose(&self, then: &IoInterpretation) -> Self {
+        let n_in = self.in_perm.len();
+        let n_out = self.out_perm.len();
+        assert_eq!(then.in_perm.len(), n_in, "input arity mismatch");
+        assert_eq!(then.out_perm.len(), n_out, "output arity mismatch");
+        let mut in_perm = vec![0; n_in];
+        let mut in_neg = self.in_neg;
+        for v in 0..n_in {
+            in_perm[v] = then.in_perm[self.in_perm[v]];
+            if then.in_neg & (1 << self.in_perm[v]) != 0 {
+                in_neg ^= 1 << v;
+            }
+        }
+        let mut inv_then_out = vec![0; n_out];
+        for (i, &p) in then.out_perm.iter().enumerate() {
+            inv_then_out[p] = i;
+        }
+        let mut out_perm = vec![0; n_out];
+        let mut out_neg = then.out_neg;
+        for i in 0..n_out {
+            out_perm[i] = then.out_perm[self.out_perm[i]];
+        }
+        for j in 0..n_out {
+            if self.out_neg & (1 << inv_then_out[j]) != 0 {
+                out_neg ^= 1 << j;
+            }
+        }
+        IoInterpretation {
+            in_perm,
+            in_neg,
+            out_perm,
+            out_neg,
+        }
+    }
+
+    /// The inverse interpretation, such that
+    /// `t.compose(&t.inverse())` is the identity.
+    pub fn inverse(&self) -> Self {
+        let n_in = self.in_perm.len();
+        let n_out = self.out_perm.len();
+        let mut in_perm = vec![0; n_in];
+        let mut in_neg = 0u32;
+        for (v, &p) in self.in_perm.iter().enumerate() {
+            in_perm[p] = v;
+            if self.in_neg & (1 << v) != 0 {
+                in_neg |= 1 << p;
+            }
+        }
+        let mut out_perm = vec![0; n_out];
+        let mut out_neg = 0u32;
+        for (i, &q) in self.out_perm.iter().enumerate() {
+            out_perm[q] = i;
+        }
+        for j in 0..n_out {
+            if self.out_neg & (1 << self.out_perm[j]) != 0 {
+                out_neg |= 1 << j;
+            }
+        }
+        IoInterpretation {
+            in_perm,
+            in_neg,
+            out_perm,
+            out_neg,
+        }
     }
 }
 
@@ -375,9 +689,101 @@ mod tests {
         // a·¬b and ¬a·b are P-equivalent...
         let f = a.and(&b.not());
         let g = a.not().and(&b);
-        assert_eq!(p_canonical(&f).0, p_canonical(&g).0);
+        assert_eq!(p_canonical(&f).unwrap().0, p_canonical(&g).unwrap().0);
         // ...but a·b is not P-equivalent to a+b.
-        assert_ne!(p_canonical(&a.and(&b)).0, p_canonical(&a.or(&b)).0);
+        assert_ne!(
+            p_canonical(&a.and(&b)).unwrap().0,
+            p_canonical(&a.or(&b)).unwrap().0
+        );
+    }
+
+    #[test]
+    fn p_canonical_rejects_oversized_cells() {
+        let f = TruthTable::zero(7);
+        assert!(matches!(p_canonical(&f), Err(LogicError::TooManyVars(7))));
+    }
+
+    #[test]
+    fn negation_masks_are_gray_coded_and_complete() {
+        for n in 0..=4usize {
+            let mut masks = NegationMasks::new(n);
+            assert_eq!(masks.len(), 1 << n);
+            let mut seen = Vec::new();
+            let mut prev: Option<u32> = None;
+            while let Some((mask, flipped)) = masks.next() {
+                match (prev, flipped) {
+                    (None, None) => assert_eq!(mask, 0),
+                    (Some(p), Some(bit)) => assert_eq!(p ^ mask, 1 << bit),
+                    other => panic!("inconsistent step {other:?}"),
+                }
+                assert_eq!(u64::from(mask), gray_code(seen.len() as u64));
+                assert_eq!(gray_rank(u64::from(mask)), seen.len() as u64);
+                prev = Some(mask);
+                seen.push(mask);
+            }
+            assert_eq!(seen.len(), 1 << n, "n = {n}");
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 1 << n, "all masks distinct");
+            assert!(masks.next().is_none());
+            masks.reset();
+            assert_eq!(masks.next(), Some((0, None)));
+        }
+    }
+
+    #[test]
+    fn io_interpretation_apply_compose_inverse() {
+        let f = VectorFunction::from_lookup_table(3, 2, &[1, 0, 3, 2, 2, 3, 1, 0]).unwrap();
+        let t = IoInterpretation {
+            in_perm: vec![2, 0, 1],
+            in_neg: 0b101,
+            out_perm: vec![1, 0],
+            out_neg: 0b10,
+        };
+        // apply == the documented pipeline.
+        let manual = f
+            .negate_inputs(0b101)
+            .permute_inputs(&[2, 0, 1])
+            .unwrap()
+            .permute_outputs(&[1, 0])
+            .unwrap()
+            .negate_outputs(0b10);
+        assert_eq!(t.apply(&f).unwrap(), manual);
+        // compose(a, b).apply == b.apply ∘ a.apply
+        let u = IoInterpretation {
+            in_perm: vec![1, 2, 0],
+            in_neg: 0b011,
+            out_perm: vec![0, 1],
+            out_neg: 0b01,
+        };
+        assert_eq!(
+            t.compose(&u).apply(&f).unwrap(),
+            u.apply(&t.apply(&f).unwrap()).unwrap()
+        );
+        // inverse undoes apply, and composes to the identity.
+        assert_eq!(t.inverse().apply(&t.apply(&f).unwrap()).unwrap(), f);
+        assert!(t.compose(&t.inverse()).is_identity());
+        assert!(t.inverse().compose(&t).is_identity());
+        assert!(IoInterpretation::identity(3, 2).is_identity());
+        assert!(!t.is_identity());
+    }
+
+    #[test]
+    fn npn_classes_assign_dense_first_appearance_ids() {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let mut classes = NpnClasses::new();
+        let (and_id, t) = classes.classify(&a.and(&b));
+        assert_eq!(and_id, 0);
+        assert_eq!(t.apply(&a.and(&b)), *classes.representative(0));
+        // NOR is NPN-equivalent to AND: same id, different transform.
+        let (nor_id, t2) = classes.classify(&a.or(&b).not());
+        assert_eq!(nor_id, 0);
+        assert_eq!(t2.apply(&a.or(&b).not()), *classes.representative(0));
+        // XOR opens a fresh class.
+        assert_eq!(classes.classify(&a.xor(&b)).0, 1);
+        assert_eq!(classes.len(), 2);
     }
 
     #[test]

@@ -543,31 +543,40 @@ impl TruthTable {
     ///
     /// Panics if `var >= n_vars`.
     pub fn flip_var(&self, var: usize) -> Self {
-        assert!(var < self.n_vars, "variable {var} out of range");
         let mut out = self.clone();
+        out.flip_var_assign(var);
+        out
+    }
+
+    /// In-place form of [`flip_var`](Self::flip_var): `f(x) ← f(x ⊕ e_var)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars`.
+    pub fn flip_var_assign(&mut self, var: usize) {
+        assert!(var < self.n_vars, "variable {var} out of range");
         if var < 6 {
             let shift = 1u32 << var;
             let mask = WORD_VAR[var];
-            for w in &mut out.words {
+            for w in &mut self.words {
                 let hi = *w & mask;
                 let lo = *w & !mask;
                 *w = (hi >> shift) | (lo << shift);
             }
             if self.n_vars < 6 {
-                out.words[0] &= Self::tail_mask(self.n_vars);
+                self.words[0] &= Self::tail_mask(self.n_vars);
             }
         } else {
             let block = 1usize << (var - 6);
-            let n_words = out.words.len();
+            let n_words = self.words.len();
             let mut i = 0;
             while i < n_words {
                 for j in 0..block {
-                    out.words.swap(i + j, i + block + j);
+                    self.words.swap(i + j, i + block + j);
                 }
                 i += 2 * block;
             }
         }
-        out
     }
 
     /// Existential quantification: `f|var=0 ∨ f|var=1`.

@@ -172,6 +172,98 @@ impl VectorFunction {
         Ok(())
     }
 
+    /// Applies input-polarity flips: the new function `g` satisfies
+    /// `g(x) = f(x ⊕ mask)` — each set bit of `mask` names an input read
+    /// through an inverter.
+    ///
+    /// Together with [`VectorFunction::permute_inputs`] this is the input
+    /// half of an NPN interpretation. The two commute up to a mask
+    /// translation: negating before permuting with mask `a` equals
+    /// permuting first and negating with `a'` where `a'` has bit
+    /// `perm[v]` set iff `a` has bit `v` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has a bit at or above `n_inputs`.
+    pub fn negate_inputs(&self, mask: u32) -> Self {
+        let mut out = self.clone();
+        out.negate_inputs_assign(mask);
+        out
+    }
+
+    /// In-place form of [`VectorFunction::negate_inputs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has a bit at or above `n_inputs`.
+    pub fn negate_inputs_assign(&mut self, mask: u32) {
+        assert!(
+            u64::from(mask) >> self.n_inputs == 0,
+            "negation mask {mask:#b} exceeds {} inputs",
+            self.n_inputs
+        );
+        let mut m = mask;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            self.negate_input_assign(v);
+            m &= m - 1;
+        }
+    }
+
+    /// Flips the polarity of a single input in place: `f(x) ← f(x ⊕ e_var)`.
+    /// One Gray-code step of an NPN orbit walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_inputs`.
+    pub fn negate_input_assign(&mut self, var: usize) {
+        for t in &mut self.outputs {
+            t.flip_var_assign(var);
+        }
+    }
+
+    /// Applies output-polarity flips: output `i` is complemented iff bit
+    /// `i` of `mask` is set. The output half of an NPN interpretation,
+    /// applied *after* any output permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has a bit at or above `n_outputs`.
+    pub fn negate_outputs(&self, mask: u32) -> Self {
+        let mut out = self.clone();
+        out.negate_outputs_assign(mask);
+        out
+    }
+
+    /// In-place form of [`VectorFunction::negate_outputs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has a bit at or above `n_outputs`.
+    pub fn negate_outputs_assign(&mut self, mask: u32) {
+        assert!(
+            (u64::from(mask)) >> self.outputs.len() == 0,
+            "negation mask {mask:#b} exceeds {} outputs",
+            self.outputs.len()
+        );
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            self.negate_output_assign(i);
+            m &= m - 1;
+        }
+    }
+
+    /// Complements a single output in place. One Gray-code step of an NPN
+    /// orbit walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_outputs`.
+    pub fn negate_output_assign(&mut self, i: usize) {
+        self.outputs[i].not_assign();
+    }
+
     /// Applies an output-pin permutation: output `i` of `self` appears at
     /// position `perm[i]` of the result.
     ///
@@ -333,6 +425,42 @@ mod tests {
             f.permute_outputs_into(&perm, &mut scratch_out).unwrap();
             assert_eq!(scratch_out, f.permute_outputs(&perm).unwrap());
         }
+    }
+
+    #[test]
+    fn negation_semantics() {
+        let f = present_sbox();
+        let g = f.negate_inputs(0b0101);
+        for m in 0..16usize {
+            assert_eq!(g.eval(m), f.eval(m ^ 0b0101));
+        }
+        let h = f.negate_outputs(0b1010);
+        for m in 0..16usize {
+            assert_eq!(h.eval(m), f.eval(m) ^ 0b1010);
+        }
+        // Gray-step forms compose to the mask forms.
+        let mut step = f.clone();
+        step.negate_input_assign(0);
+        step.negate_input_assign(2);
+        assert_eq!(step, g);
+        let mut ostep = f.clone();
+        ostep.negate_output_assign(1);
+        ostep.negate_output_assign(3);
+        assert_eq!(ostep, h);
+        // Negate-then-permute equals permute-then-negate with the mask
+        // translated through the permutation.
+        let perm = [2, 0, 3, 1];
+        let a = 0b0110u32;
+        let mut translated = 0u32;
+        for v in 0..4 {
+            if a & (1 << v) != 0 {
+                translated |= 1 << perm[v];
+            }
+        }
+        assert_eq!(
+            f.negate_inputs(a).permute_inputs(&perm).unwrap(),
+            f.permute_inputs(&perm).unwrap().negate_inputs(translated)
+        );
     }
 
     #[test]

@@ -35,8 +35,11 @@ use crate::wire::{
 
 /// The `format` tag every checkpoint file carries.
 pub const FORMAT: &str = "mvf-serve-checkpoint";
-/// The current (and only) checkpoint format version.
-pub const VERSION: u64 = 1;
+/// The current checkpoint format version. Version 2 added the sweep
+/// progress's `resolved` verdict cache (the NPN/class-sharing sweep);
+/// version-1 files are rejected rather than resumed with a silently
+/// empty cache.
+pub const VERSION: u64 = 2;
 
 /// The final Phase-II outcome carried into the sweep phase.
 #[derive(Debug, Clone)]
@@ -255,6 +258,17 @@ fn progress_value(p: &AnyIoProgress) -> Value {
             "queries".into(),
             Value::Arr(p.queries.iter().map(|&q| Value::usize(q)).collect()),
         ),
+        (
+            "resolved".into(),
+            Value::Arr(
+                p.resolved
+                    .iter()
+                    .map(|&(uid, sat)| {
+                        Value::Arr(vec![Value::usize(uid as usize), Value::Bool(sat)])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -279,10 +293,31 @@ fn progress_from(v: &Value) -> Result<AnyIoProgress, CheckpointError> {
                 .ok_or_else(|| CheckpointError::Malformed("queries entry is not an integer".into()))
         })
         .collect::<Result<Vec<_>, _>>()?;
+    let resolved = field(v, "resolved")?
+        .as_arr()
+        .ok_or_else(|| CheckpointError::Malformed("field 'resolved' is not an array".into()))?
+        .iter()
+        .map(|entry| {
+            let pair = entry.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                CheckpointError::Malformed("resolved entry is not a [uid, bool] pair".into())
+            })?;
+            let uid = pair[0]
+                .as_usize()
+                .filter(|&u| u <= u32::MAX as usize)
+                .ok_or_else(|| {
+                    CheckpointError::Malformed("resolved uid is not a 32-bit integer".into())
+                })?;
+            let sat = pair[1].as_bool().ok_or_else(|| {
+                CheckpointError::Malformed("resolved verdict is not a bool".into())
+            })?;
+            Ok((uid as u32, sat))
+        })
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
     Ok(AnyIoProgress {
         pos: usize_field(v, "pos")?,
         best,
         queries,
+        resolved,
     })
 }
 
@@ -491,6 +526,7 @@ mod tests {
                     pos: 17,
                     best: vec![usize::MAX, 4],
                     queries: vec![9, 2],
+                    resolved: vec![(0, false), (3, true), (11, false)],
                 },
             },
         };
@@ -502,6 +538,7 @@ mod tests {
         assert_eq!(progress.pos, 17);
         assert_eq!(progress.best, vec![usize::MAX, 4]);
         assert_eq!(progress.queries, vec![9, 2]);
+        assert_eq!(progress.resolved, vec![(0, false), (3, true), (11, false)]);
     }
 
     #[test]
@@ -513,7 +550,7 @@ mod tests {
             phase: CheckpointPhase::Ga(sample_state()),
         };
         let good = cp.to_json();
-        let wrong_version = good.replacen("\"version\":1", "\"version\":999", 1);
+        let wrong_version = good.replacen("\"version\":2", "\"version\":999", 1);
         assert!(matches!(
             Checkpoint::from_json(&wrong_version),
             Err(CheckpointError::Unsupported(_))

@@ -14,9 +14,10 @@
 //!
 //! The produced [`WorkloadReport`] equals what
 //! `Flow::run_many` reports for the same workload and seed with
-//! `attack_sweep + attack_interpretation_freedom + attack_shards(1)` —
-//! the crate's integration tests compare the canonical wire encodings
-//! byte for byte.
+//! `attack_sweep + attack_interpretation_freedom + attack_shards(1)`
+//! (plus `attack_npn` / `attack_class_share` when the service config
+//! sets them) — the crate's integration tests compare the canonical
+//! wire encodings byte for byte.
 
 use mvf::{
     Flow, FlowBuilder, FlowConfig, Ga, PinObjective, PlausibilityVerdict, SearchStrategy, Workload,
@@ -208,6 +209,8 @@ fn drive(
     let opts = AnyIoOptions {
         shards: 1,
         screen: cfg.attack_screen,
+        npn: cfg.attack_npn,
+        class_share: cfg.attack_class_share,
         ..AnyIoOptions::default()
     };
     let mut job = match store {
@@ -249,11 +252,7 @@ fn drive(
         }
     }
     let sat = job.sat_stats();
-    let plausibility = PlausibilityVerdict::from_any_io(
-        result.mapped.netlist.inputs().len(),
-        result.mapped.netlist.outputs().len(),
-        job.verdicts(),
-    );
+    let plausibility = PlausibilityVerdict::from_any_io(job.verdicts());
     AuditOutcome::Finished {
         report: Box::new(WorkloadReport {
             name: workload.name.clone(),

@@ -29,6 +29,8 @@
 //! | `MVF_CHECKPOINT_STEPS` | GA generations between checkpoints | 1 |
 //! | `MVF_SESSION_CACHE_MB` | session-cache byte budget, in MiB | 64 |
 //! | `MVF_GA_POP` / `MVF_GA_GENS` | GA budget per job (as in `mvf-bench`) | 8 / 5 |
+//! | `MVF_ATTACK_NPN` | `1`/`true`: sweep the full NPN orbit (polarity flips included) | off |
+//! | `MVF_ATTACK_CLASS_SHARE` | `1`/`true`: share screen/SAT verdicts across same-class candidates | off |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,6 +68,15 @@ pub struct ServeConfig {
     /// [`mvf::FlowBuilder::attack_screen`]); verdicts are bit-identical
     /// either way, only query counts change.
     pub attack_screen: bool,
+    /// Extends the sweep's orbit to the complete NPN group (polarity
+    /// flips on every pin), as [`mvf::FlowBuilder::attack_npn`]. Off by
+    /// default: the orbit grows by `2^(n_in + n_out)`.
+    pub attack_npn: bool,
+    /// Shares screen passes and SAT verdicts across candidates in the
+    /// same interpretation class, as
+    /// [`mvf::FlowBuilder::attack_class_share`]. Verdicts and witnesses
+    /// are bit-identical either way; only query counts drop.
+    pub attack_class_share: bool,
     /// When set, every checkpoint is also written (atomically) to
     /// `<dir>/<job-id>.checkpoint.json`.
     pub checkpoint_dir: Option<PathBuf>,
@@ -85,6 +96,8 @@ impl Default for ServeConfig {
             sweep_chunk: 64,
             session_cache_bytes: 64 << 20,
             attack_screen: true,
+            attack_npn: false,
+            attack_class_share: false,
             checkpoint_dir: None,
         }
     }
@@ -97,6 +110,12 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn env_bool(name: &str, default: bool) -> bool {
+    std::env::var(name)
+        .ok()
+        .map_or(default, |v| matches!(v.as_str(), "1" | "true" | "on"))
+}
+
 impl ServeConfig {
     /// The default configuration with the environment knobs applied
     /// (see the crate docs table).
@@ -106,6 +125,8 @@ impl ServeConfig {
         cfg.flow.ga.generations = env_usize("MVF_GA_GENS", cfg.flow.ga.generations);
         cfg.checkpoint_steps = env_usize("MVF_CHECKPOINT_STEPS", cfg.checkpoint_steps).max(1);
         cfg.session_cache_bytes = env_usize("MVF_SESSION_CACHE_MB", 64) << 20;
+        cfg.attack_npn = env_bool("MVF_ATTACK_NPN", cfg.attack_npn);
+        cfg.attack_class_share = env_bool("MVF_ATTACK_CLASS_SHARE", cfg.attack_class_share);
         cfg
     }
 }

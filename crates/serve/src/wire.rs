@@ -17,7 +17,7 @@ use mvf::{PlausibilityVerdict, Workload, WorkloadReport};
 use mvf_attack::AnyIoVerdict;
 use mvf_cells::{CamoLibrary, Library};
 use mvf_ga::GenStats;
-use mvf_logic::VectorFunction;
+use mvf_logic::{IoInterpretation, VectorFunction};
 use mvf_netlist::{CellRef, NetId, Netlist};
 
 use crate::json::Value;
@@ -392,20 +392,26 @@ pub fn decode_gen_stats(v: &Value) -> Result<GenStats, WireError> {
     })
 }
 
-fn encode_witness(w: &Option<(Vec<usize>, Vec<usize>)>) -> Value {
+/// `null | [[in_perm…], in_neg, [out_perm…], out_neg]` — the witness
+/// [`IoInterpretation`]. Negation masks are plain integers (`0` for
+/// permutation-only sweeps, so pre-NPN payload shapes are a strict
+/// subset).
+fn encode_witness(w: &Option<IoInterpretation>) -> Value {
     match w {
         None => Value::Null,
-        Some((ip, op)) => Value::Arr(vec![
-            Value::Arr(ip.iter().map(|&i| Value::usize(i)).collect()),
-            Value::Arr(op.iter().map(|&i| Value::usize(i)).collect()),
+        Some(interp) => Value::Arr(vec![
+            Value::Arr(interp.in_perm.iter().map(|&i| Value::usize(i)).collect()),
+            Value::usize(interp.in_neg as usize),
+            Value::Arr(interp.out_perm.iter().map(|&i| Value::usize(i)).collect()),
+            Value::usize(interp.out_neg as usize),
         ]),
     }
 }
 
-fn decode_witness(v: &Value) -> Result<Option<(Vec<usize>, Vec<usize>)>, WireError> {
+fn decode_witness(v: &Value) -> Result<Option<IoInterpretation>, WireError> {
     match v {
         Value::Null => Ok(None),
-        Value::Arr(pair) if pair.len() == 2 => {
+        Value::Arr(parts) if parts.len() == 4 => {
             let perm = |p: &Value| {
                 usize_list(
                     p.as_arr()
@@ -413,9 +419,22 @@ fn decode_witness(v: &Value) -> Result<Option<(Vec<usize>, Vec<usize>)>, WireErr
                     "witness",
                 )
             };
-            Ok(Some((perm(&pair[0])?, perm(&pair[1])?)))
+            let mask = |m: &Value, what: &str| {
+                m.as_usize()
+                    .filter(|&x| x <= u32::MAX as usize)
+                    .map(|x| x as u32)
+                    .ok_or_else(|| WireError::new(format!("witness {what} is not a 32-bit mask")))
+            };
+            Ok(Some(IoInterpretation {
+                in_perm: perm(&parts[0])?,
+                in_neg: mask(&parts[1], "input negation")?,
+                out_perm: perm(&parts[2])?,
+                out_neg: mask(&parts[3], "output negation")?,
+            }))
         }
-        _ => Err(WireError::new("witness is not null or a pair")),
+        _ => Err(WireError::new(
+            "witness is not null or a [in_perm, in_neg, out_perm, out_neg] quad",
+        )),
     }
 }
 
@@ -428,6 +447,8 @@ pub fn encode_any_io_verdict(v: &AnyIoVerdict) -> Value {
         ("unique".into(), Value::usize(v.unique)),
         ("screened".into(), Value::usize(v.screened)),
         ("queries".into(), Value::usize(v.queries)),
+        ("class".into(), Value::usize(v.class)),
+        ("class_size".into(), Value::usize(v.class_size)),
     ])
 }
 
@@ -447,6 +468,8 @@ pub fn decode_any_io_verdict(v: &Value) -> Result<AnyIoVerdict, WireError> {
         unique: usize_field(v, "unique")?,
         screened: usize_field(v, "screened")?,
         queries: usize_field(v, "queries")?,
+        class: usize_field(v, "class")?,
+        class_size: usize_field(v, "class_size")?,
     })
 }
 
@@ -455,7 +478,7 @@ pub fn encode_plausibility(v: &PlausibilityVerdict) -> Value {
     Value::Obj(vec![
         ("identity".into(), Value::Bool(v.identity)),
         ("any_io".into(), v.any_io.map_or(Value::Null, Value::Bool)),
-        ("witness".into(), encode_witness(&v.witness_perm)),
+        ("witness".into(), encode_witness(&v.witness)),
         ("screened".into(), Value::usize(v.screened)),
         ("queries".into(), Value::usize(v.queries)),
     ])
@@ -480,7 +503,7 @@ pub fn decode_plausibility(v: &Value) -> Result<PlausibilityVerdict, WireError> 
     Ok(PlausibilityVerdict {
         identity,
         any_io,
-        witness_perm: decode_witness(field(v, "witness")?)?,
+        witness: decode_witness(field(v, "witness")?)?,
         screened: usize_field(v, "screened")?,
         queries: usize_field(v, "queries")?,
     })
@@ -688,11 +711,18 @@ mod tests {
     fn verdicts_round_trip_exactly() {
         let any_io = AnyIoVerdict {
             plausible: true,
-            witness: Some((vec![2, 0, 1, 3], vec![3, 1, 0, 2])),
-            orbit: 576,
+            witness: Some(IoInterpretation {
+                in_perm: vec![2, 0, 1, 3],
+                in_neg: 0b1010,
+                out_perm: vec![3, 1, 0, 2],
+                out_neg: 0b0001,
+            }),
+            orbit: 147_456,
             unique: 144,
             screened: 140,
             queries: 3,
+            class: 2,
+            class_size: 3,
         };
         let text = encode_any_io_verdict(&any_io).to_string();
         assert_eq!(
@@ -702,7 +732,7 @@ mod tests {
         let verdict = PlausibilityVerdict {
             identity: false,
             any_io: Some(true),
-            witness_perm: Some((vec![1, 0], vec![0, 1])),
+            witness: Some(IoInterpretation::from_perms(vec![1, 0], vec![0, 1])),
             screened: 7,
             queries: 2,
         };
@@ -714,7 +744,7 @@ mod tests {
         let negative = PlausibilityVerdict {
             identity: false,
             any_io: None,
-            witness_perm: None,
+            witness: None,
             screened: 1,
             queries: 0,
         };

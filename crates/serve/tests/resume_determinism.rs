@@ -9,6 +9,7 @@
 //! field-wise equality.
 
 use mvf::{Flow, Workload};
+use mvf_logic::{IoInterpretation, VectorFunction};
 use mvf_serve::checkpoint::CheckpointPhase;
 use mvf_serve::wire::encode_report;
 use mvf_serve::{
@@ -50,6 +51,8 @@ fn uninterrupted_audit_matches_run_many() {
         .attack_sweep(true)
         .attack_interpretation_freedom(true)
         .attack_screen(cfg.attack_screen)
+        .attack_npn(cfg.attack_npn)
+        .attack_class_share(cfg.attack_class_share)
         .attack_shards(1)
         .build();
     let batch = flow.run_many(std::slice::from_ref(&w));
@@ -190,8 +193,107 @@ fn failing_workloads_report_errors_not_panics() {
         .attack_sweep(true)
         .attack_interpretation_freedom(true)
         .attack_screen(cfg.attack_screen)
+        .attack_npn(cfg.attack_npn)
+        .attack_class_share(cfg.attack_class_share)
         .attack_shards(1)
         .build();
     let batch = flow.run_many(&[w.with_seed(SEED)]);
     assert_eq!(encode(&report), encode(&batch[0]));
+}
+
+/// The NPN configuration: full orbit, cross-candidate class sharing,
+/// and a chunk size that parks checkpoint boundaries deep inside the
+/// orbit — far past its 3! · 3! = 36 pure-permutation points, so a kill
+/// there lands among negation-mask representatives and the resumed
+/// cursor must re-enter the Gray-code walk mid-block.
+fn npn_cfg() -> ServeConfig {
+    let mut cfg = tiny_cfg();
+    cfg.attack_npn = true;
+    cfg.attack_class_share = true;
+    cfg.sweep_chunk = 700;
+    cfg
+}
+
+/// Two 3-bit functions from one NPN class: the merged design keeps the
+/// audit demo-sized (2304-point orbit per candidate) while class
+/// sharing has real cross-candidate work to cache — so checkpoints
+/// carry a non-empty resolved-verdict vector.
+fn npn_workload() -> Workload {
+    let f = VectorFunction::from_lookup_table(3, 3, &[1, 0, 3, 2, 5, 7, 6, 4]).unwrap();
+    let t = IoInterpretation {
+        in_perm: vec![1, 2, 0],
+        in_neg: 0b101,
+        out_perm: vec![2, 0, 1],
+        out_neg: 0b011,
+    };
+    Workload::new("npn pair", vec![f.clone(), t.apply(&f).unwrap()])
+}
+
+#[test]
+fn npn_audit_matches_run_many() {
+    let cfg = npn_cfg();
+    let w = npn_workload().with_seed(SEED);
+    let report = audit(&cfg, &w, SEED, None);
+    let flow = Flow::builder()
+        .config(cfg.flow.clone())
+        .workload_threads(1)
+        .attack_sweep(true)
+        .attack_interpretation_freedom(true)
+        .attack_screen(cfg.attack_screen)
+        .attack_npn(cfg.attack_npn)
+        .attack_class_share(cfg.attack_class_share)
+        .attack_shards(1)
+        .build();
+    let batch = flow.run_many(std::slice::from_ref(&w));
+    assert_eq!(
+        encode(&report),
+        encode(&batch[0]),
+        "the stepped NPN audit must reproduce the batch report exactly"
+    );
+}
+
+#[test]
+fn killed_inside_a_negation_mask_block_resumes_bit_identically() {
+    let cfg = npn_cfg();
+    let w = npn_workload();
+    // Reference run, recording every boundary through its JSON
+    // serialization (resume exercises the version-2 checkpoint format,
+    // resolved-verdict cache included).
+    let mut boundaries: Vec<String> = Vec::new();
+    let reference = match run_audit(&cfg, &w, SEED, None, &mut |cp| {
+        boundaries.push(cp.to_json());
+        Control::Continue
+    }) {
+        AuditOutcome::Finished { report: r, .. } => *r,
+        AuditOutcome::Paused(_) => unreachable!(),
+    };
+    let want = encode(&reference);
+    // At least one boundary must sit mid-sweep, past every
+    // pure-permutation point, with shared verdicts already cached.
+    let mut mid_npn = 0usize;
+    for serialized in &boundaries {
+        let cp = Checkpoint::from_json(serialized).expect("boundary checkpoint parses");
+        if let CheckpointPhase::Sweep { ref progress, .. } = cp.phase {
+            assert!(progress.pos > 0, "the cursor advanced before the boundary");
+            if progress.pos > 36 {
+                mid_npn += 1;
+                assert!(
+                    !progress.resolved.is_empty(),
+                    "class sharing was on and the cursor already solved \
+                     representatives, so the checkpoint must carry their verdicts"
+                );
+            }
+        }
+        let resumed = match resume_audit(&cfg, cp, None, &mut |_| Control::Continue) {
+            AuditOutcome::Finished { report: r, .. } => *r,
+            AuditOutcome::Paused(_) => unreachable!(),
+        };
+        assert_eq!(encode(&resumed), want, "resume diverged from {serialized}");
+    }
+    assert!(
+        mid_npn >= 1,
+        "expected a checkpoint inside the negation-mask span of the orbit \
+         (got {} boundaries)",
+        boundaries.len()
+    );
 }

@@ -21,9 +21,12 @@
 //! kill/resume-safe checkpoints.
 
 use mvf::Flow;
-use mvf_attack::{plausibility_sweep, random_camouflage, AnyIoJob, AnyIoOptions};
+use mvf_attack::{
+    plausibility_sweep, plausibility_sweep_any_io_with, random_camouflage, AnyIoJob, AnyIoOptions,
+};
 use mvf_cells::{CamoLibrary, Library};
 use mvf_ga::GaConfig;
+use mvf_logic::{IoInterpretation, VectorFunction};
 use mvf_sboxes::optimal_sboxes;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -121,8 +124,102 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         v.orbit,
         v.screened
     );
-    if let Some((ip, op)) = &v.witness {
-        println!("  witness: inputs {ip:?}, outputs {op:?}");
+    if let Some(w) = &v.witness {
+        println!(
+            "  witness: inputs {:?} (neg {:#b}), outputs {:?} (neg {:#b})",
+            w.in_perm, w.in_neg, w.out_perm, w.out_neg
+        );
     }
+
+    println!("\nNPN adversary: polarity flips + cross-candidate class sharing");
+    // A 3-bit mini-target keeps the full NPN orbit (3!·2³·3!·2³ = 2304
+    // points) demo-sized. The suspect batch is one function plus two
+    // NPN-transformed copies — exactly the redundancy class sharing eats.
+    let g = VectorFunction::from_lookup_table(3, 3, &[0, 3, 5, 6, 1, 4, 7, 2])?;
+    let npn_target = random_camouflage(&g, &lib, &camo)?;
+    let t1 = IoInterpretation {
+        in_perm: vec![1, 2, 0],
+        in_neg: 0b011,
+        out_perm: vec![2, 0, 1],
+        out_neg: 0b100,
+    };
+    let t2 = IoInterpretation {
+        in_perm: vec![2, 0, 1],
+        in_neg: 0b101,
+        out_perm: vec![1, 2, 0],
+        out_neg: 0b010,
+    };
+    let batch = vec![g.clone(), t1.apply(&g)?, t2.apply(&g)?];
+    let p_opts = AnyIoOptions::default();
+    let npn_opts = AnyIoOptions {
+        npn: true,
+        ..p_opts.clone()
+    };
+    let shared_opts = AnyIoOptions {
+        class_share: true,
+        ..npn_opts.clone()
+    };
+    let solo = plausibility_sweep_any_io_with(&npn_target, &lib, &camo, &batch, &npn_opts);
+    let shared = plausibility_sweep_any_io_with(&npn_target, &lib, &camo, &batch, &shared_opts);
+    for (j, (a, b)) in solo.iter().zip(&shared).enumerate() {
+        assert_eq!(
+            (a.plausible, &a.witness),
+            (b.plausible, &b.witness),
+            "class sharing must not change verdicts"
+        );
+        println!(
+            "  suspect {j}: plausible? {} — class {} (size {}), orbit {} → {} unique",
+            if b.plausible { "yes" } else { "no" },
+            b.class,
+            b.class_size,
+            b.orbit,
+            b.unique
+        );
+    }
+    let classes = shared.iter().map(|v| v.class).max().map_or(0, |c| c + 1);
+    let cost = |vs: &[mvf_attack::AnyIoVerdict]| -> usize {
+        vs.iter().map(|v| v.queries + v.screened).sum()
+    };
+    println!(
+        "  classes found: {classes}; work (screen passes + SAT queries): \
+         {} solo → {} shared, {} saved by class sharing",
+        cost(&solo),
+        cost(&shared),
+        cost(&solo) - cost(&shared)
+    );
+    println!("\nSAT-free screening of polarity flips (XOR masks on the cached batch)");
+    // A target small enough for the screen's complete regime: every orbit
+    // point settles without a SAT call. The suspect's output columns have
+    // the wrong weights for *any* NPN transform of the hidden function,
+    // so the screen refutes its entire orbit — the negation points among
+    // them cost only an XOR against the cached evaluation batch.
+    let tiny = VectorFunction::from_lookup_table(2, 2, &[1, 2, 0, 3])?;
+    let tiny_target = random_camouflage(&tiny, &lib, &camo)?;
+    let suspect = VectorFunction::from_lookup_table(2, 2, &[0, 0, 0, 3])?;
+    let screen_npn = plausibility_sweep_any_io_with(
+        &tiny_target,
+        &lib,
+        &camo,
+        std::slice::from_ref(&suspect),
+        &npn_opts,
+    );
+    let screen_p = plausibility_sweep_any_io_with(
+        &tiny_target,
+        &lib,
+        &camo,
+        std::slice::from_ref(&suspect),
+        &p_opts,
+    );
+    println!(
+        "  suspect plausible? {} — {} of {} NPN orbit points settled SAT-free \
+         ({} SAT queries); {} are negation points beyond the {} the \
+         permutation-only screen saw",
+        if screen_npn[0].plausible { "yes" } else { "no" },
+        screen_npn[0].screened,
+        screen_npn[0].orbit,
+        screen_npn[0].queries,
+        screen_npn[0].screened.saturating_sub(screen_p[0].screened),
+        screen_p[0].screened
+    );
     Ok(())
 }

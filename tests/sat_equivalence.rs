@@ -23,6 +23,13 @@
 //! bit-identical to the `Vec<Vec<_>>` baseline, and Luby restarts must
 //! be verdict-equivalent to the geometric schedule.
 //!
+//! The NPN completion extends that corpus to the full 2304-point
+//! 3-bit orbit: the sweep must match a batched brute-force oracle
+//! built from public logic primitives — verdicts *and* witness
+//! transforms — and cross-candidate class sharing must be
+//! answer-invisible while cutting work by at least the duplication
+//! factor, for every shard count, with inprocessing on.
+//!
 //! The screen-then-solve funnel rides both corpora and two hand-built
 //! circuits whose doping-configuration product is enumerable: screening
 //! on must equal screening off *and* brute force — verdicts and
@@ -41,7 +48,7 @@ use mvf_attack::{
 };
 use mvf_cells::{CamoLibrary, Library};
 use mvf_logic::npn::all_permutations;
-use mvf_logic::VectorFunction;
+use mvf_logic::{IoInterpretation, VectorFunction};
 use mvf_sat::{Lit, Solver, Var};
 use mvf_sboxes::optimal_sboxes;
 
@@ -389,13 +396,12 @@ fn any_io_corpus() -> (
 /// pair (input-permutation major, lexicographic — the sweep's
 /// enumeration order) through fresh [`is_plausible`] encodings, and
 /// report the first satisfying pair.
-#[allow(clippy::type_complexity)]
 fn brute_force_any_io(
     nl: &mvf_netlist::Netlist,
     lib: &Library,
     camo: &CamoLibrary,
     candidate: &VectorFunction,
-) -> (bool, Option<(Vec<usize>, Vec<usize>)>) {
+) -> (bool, Option<IoInterpretation>) {
     for ip in all_permutations(candidate.n_inputs()) {
         for op in all_permutations(candidate.n_outputs()) {
             let g = candidate
@@ -404,11 +410,35 @@ fn brute_force_any_io(
                 .permute_outputs(&op)
                 .unwrap();
             if is_plausible(nl, lib, camo, &g) {
-                return (true, Some((ip, op)));
+                return (true, Some(IoInterpretation::from_perms(ip, op)));
             }
         }
     }
     (false, None)
+}
+
+/// Every NPN interpretation in the sweep's enumeration order: input
+/// permutations outermost, then input negation masks along the Gray
+/// code, then output permutations, then output negation masks (Gray
+/// again) — the flat-index layout the orbit walk commits to.
+fn npn_interpretations(n_in: usize, n_out: usize) -> Vec<IoInterpretation> {
+    let gray = |p: u32| p ^ (p >> 1);
+    let mut all = Vec::new();
+    for ip in all_permutations(n_in) {
+        for ig in 0..1u32 << n_in {
+            for op in all_permutations(n_out) {
+                for og in 0..1u32 << n_out {
+                    all.push(IoInterpretation {
+                        in_perm: ip.clone(),
+                        in_neg: gray(ig),
+                        out_perm: op.clone(),
+                        out_neg: gray(og),
+                    });
+                }
+            }
+        }
+    }
+    all
 }
 
 #[test]
@@ -439,13 +469,13 @@ fn any_io_sweep_matches_brute_force_and_every_shard_count() {
     assert!(serial[1].plausible, "true function, identity witness");
     assert_eq!(
         serial[1].witness,
-        Some((vec![0, 1, 2], vec![0, 1, 2])),
+        Some(IoInterpretation::from_perms(vec![0, 1, 2], vec![0, 1, 2])),
         "identity interpretation is orbit index 0"
     );
     assert!(!serial[3].plausible, "the identity LUT is not in the orbit");
     // Sharded sweeps: bit-identical verdicts *and* witnesses for every
     // shard count (queries may differ — early exit is cooperative).
-    let key = |vs: &[AnyIoVerdict]| -> Vec<(bool, Option<(Vec<usize>, Vec<usize>)>)> {
+    let key = |vs: &[AnyIoVerdict]| -> Vec<(bool, Option<IoInterpretation>)> {
         vs.iter()
             .map(|v| (v.plausible, v.witness.clone()))
             .collect()
@@ -507,9 +537,9 @@ fn any_io_witnesses_satisfy_their_interpretation() {
     let verdicts = plausibility_sweep_any_io_sharded(&circuit, &lib, &camo, &candidates, 2);
     let mut witnessed = 0;
     for (f, v) in candidates.iter().zip(&verdicts) {
-        if let Some((ip, op)) = &v.witness {
+        if let Some(w) = &v.witness {
             assert!(v.plausible, "witness implies plausible");
-            let g = f.permute_inputs(ip).unwrap().permute_outputs(op).unwrap();
+            let g = w.apply(f).unwrap();
             assert!(
                 is_plausible(&circuit, &lib, &camo, &g),
                 "reported witness must satisfy the identity-interpretation test"
@@ -518,6 +548,217 @@ fn any_io_witnesses_satisfy_their_interpretation() {
         }
     }
     assert!(witnessed >= 2, "the corpus has plausible candidates");
+}
+
+/// The 3-bit NPN corpus: the camouflaged netlist of one function plus
+/// candidates covering every verdict shape under the *complete* NPN
+/// group — an NPN-transformed copy of the true function (plausible with
+/// a negation-bearing witness), the true function itself (identity
+/// witness), and a function outside every realizable NPN class (full
+/// 2304-point refutation; verified against brute force below).
+fn npn_corpus() -> (
+    Library,
+    CamoLibrary,
+    mvf_netlist::Netlist,
+    Vec<VectorFunction>,
+) {
+    let lib = Library::standard();
+    let camo = CamoLibrary::from_library(&lib);
+    let lut3 = |t: &[u16; 8]| VectorFunction::from_lookup_table(3, 3, t).unwrap();
+    let f = lut3(&[1, 0, 3, 2, 5, 7, 6, 4]);
+    let circuit = random_camouflage(&f, &lib, &camo).expect("buildable");
+    let transform = IoInterpretation {
+        in_perm: vec![1, 2, 0],
+        in_neg: 0b101,
+        out_perm: vec![2, 0, 1],
+        out_neg: 0b011,
+    };
+    let candidates = vec![
+        transform.apply(&f).unwrap(),
+        f,
+        lut3(&[7, 1, 0, 2, 4, 3, 6, 5]),
+    ];
+    (lib, camo, circuit, candidates)
+}
+
+#[test]
+fn npn_sweep_matches_batched_brute_force_on_the_full_orbit() {
+    // The oracle enumerates all 3!·2³·3!·2³ = 2304 NPN interpretations
+    // with public logic primitives in the layout order the sweep commits
+    // to, materializes every transformed function, and settles them with
+    // one batched *identity* sweep per candidate — an independent code
+    // path (no orbit walk, no unranking). Verdict AND witness transform
+    // must coincide exactly: the sweep's witness is defined as the first
+    // satisfying interpretation in this order.
+    let (lib, camo, circuit, candidates) = npn_corpus();
+    let interps = npn_interpretations(3, 3);
+    assert_eq!(interps.len(), 2304, "3! · 2^3 · 3! · 2^3");
+    let opts = AnyIoOptions {
+        npn: true,
+        ..AnyIoOptions::default()
+    };
+    let serial = plausibility_sweep_any_io_with(&circuit, &lib, &camo, &candidates, &opts);
+    for (j, (f, v)) in candidates.iter().zip(&serial).enumerate() {
+        let orbit_fns: Vec<VectorFunction> = interps.iter().map(|t| t.apply(f).unwrap()).collect();
+        let oracle = plausibility_sweep(&circuit, &lib, &camo, &orbit_fns);
+        let want = oracle.iter().position(|&p| p);
+        assert_eq!(v.plausible, want.is_some(), "candidate {j}: verdict");
+        assert_eq!(
+            v.witness,
+            want.map(|i| interps[i].clone()),
+            "candidate {j}: witness transform"
+        );
+        assert_eq!(v.orbit, 2304, "candidate {j}: full NPN orbit");
+        assert!(v.unique <= v.orbit);
+        if !v.plausible {
+            assert_eq!(
+                v.queries + v.screened,
+                v.unique,
+                "candidate {j}: a refutation must cover every representative"
+            );
+        }
+    }
+    assert!(serial[0].plausible, "NPN-transformed true function");
+    assert!(serial[1].plausible, "true function");
+    assert!(
+        serial[1]
+            .witness
+            .as_ref()
+            .is_some_and(IoInterpretation::is_identity),
+        "the identity interpretation is NPN orbit index 0"
+    );
+    let w0 = serial[0].witness.as_ref().expect("plausible has a witness");
+    assert!(
+        w0.in_neg != 0 || w0.out_neg != 0,
+        "the transformed copy needs a polarity flip: {w0:?}"
+    );
+    assert!(!serial[2].plausible, "outside every realizable NPN class");
+    // Sharded sweeps: identical verdicts and witnesses for every shard
+    // count (query counts may differ — early exit is cooperative).
+    let key = |vs: &[AnyIoVerdict]| -> Vec<(bool, Option<IoInterpretation>)> {
+        vs.iter()
+            .map(|v| (v.plausible, v.witness.clone()))
+            .collect()
+    };
+    for shards in [1usize, 2, 4] {
+        let sharded = plausibility_sweep_any_io_with(
+            &circuit,
+            &lib,
+            &camo,
+            &candidates,
+            &AnyIoOptions {
+                shards,
+                ..opts.clone()
+            },
+        );
+        assert_eq!(key(&serial), key(&sharded), "shards = {shards}");
+    }
+}
+
+#[test]
+fn npn_class_sharing_never_changes_answers_and_cuts_work_by_the_class_size() {
+    // A duplicate-seeded batch: one NPN-implausible function plus two
+    // NPN-transformed copies — three members of one interpretation
+    // class, each of which would refute the same 1152 orbit functions.
+    // Class sharing must leave every verdict and witness untouched while
+    // cutting total work (SAT queries + screen passes) by at least the
+    // duplication factor: the first member pays for the class, the
+    // others resolve every representative from the shared verdict cache.
+    let (lib, camo, circuit, _) = npn_corpus();
+    let c = VectorFunction::from_lookup_table(3, 3, &[7, 1, 0, 2, 4, 3, 6, 5]).unwrap();
+    let t1 = IoInterpretation {
+        in_perm: vec![1, 2, 0],
+        in_neg: 0b011,
+        out_perm: vec![2, 0, 1],
+        out_neg: 0b100,
+    };
+    let t2 = IoInterpretation {
+        in_perm: vec![2, 0, 1],
+        in_neg: 0b110,
+        out_perm: vec![1, 2, 0],
+        out_neg: 0b001,
+    };
+    let trio = vec![c.clone(), t1.apply(&c).unwrap(), t2.apply(&c).unwrap()];
+    let npn = AnyIoOptions {
+        npn: true,
+        ..AnyIoOptions::default()
+    };
+    let solo = plausibility_sweep_any_io_with(&circuit, &lib, &camo, &trio, &npn);
+    let shared = plausibility_sweep_any_io_with(
+        &circuit,
+        &lib,
+        &camo,
+        &trio,
+        &AnyIoOptions {
+            class_share: true,
+            ..npn.clone()
+        },
+    );
+    for (j, (a, b)) in solo.iter().zip(&shared).enumerate() {
+        assert_eq!(a.plausible, b.plausible, "member {j}: verdict");
+        assert_eq!(a.witness, b.witness, "member {j}: witness");
+        assert!(!b.plausible, "member {j}: the whole class is implausible");
+        assert_eq!(a.unique, b.unique, "member {j}: dedup is share-independent");
+        // Without sharing every candidate is its own class; with it the
+        // batch collapses into one class of three.
+        assert_eq!((a.class, a.class_size), (j, 1), "member {j}: solo class");
+        assert_eq!((b.class, b.class_size), (0, 3), "member {j}: shared class");
+    }
+    // Later class members inherit the first member's refutations without
+    // issuing a single SAT query of their own.
+    assert_eq!(shared[1].queries, 0, "member 1 rides the verdict cache");
+    assert_eq!(shared[2].queries, 0, "member 2 rides the verdict cache");
+    let cost = |vs: &[AnyIoVerdict]| -> usize { vs.iter().map(|v| v.queries + v.screened).sum() };
+    let (solo_cost, shared_cost) = (cost(&solo), cost(&shared));
+    assert!(shared_cost > 0, "the class owner still pays");
+    assert!(
+        solo_cost >= 3 * shared_cost,
+        "sharing must cut work by at least the duplication factor \
+         ({solo_cost} solo vs {shared_cost} shared)"
+    );
+}
+
+#[test]
+fn npn_sharded_sweep_with_sharing_and_inprocessing_is_consistent() {
+    // Everything on at once: the full NPN orbit, cross-candidate class
+    // sharing, solver inprocessing, and 1/2/4 shards must all agree on
+    // every verdict and witness (query counts may differ under sharded
+    // sharing — cache races are benign).
+    let (lib, camo, circuit, candidates) = npn_corpus();
+    let opts = AnyIoOptions {
+        npn: true,
+        class_share: true,
+        inprocess: true,
+        ..AnyIoOptions::default()
+    };
+    let serial = plausibility_sweep_any_io_with(&circuit, &lib, &camo, &candidates, &opts);
+    // The transformed copy walks the true function's whole orbit, so the
+    // true function itself joins its class.
+    assert_eq!(
+        (serial[0].class, serial[0].class_size),
+        (0, 2),
+        "transform and original share a class"
+    );
+    assert_eq!((serial[1].class, serial[1].class_size), (0, 2));
+    assert_eq!((serial[2].class, serial[2].class_size), (1, 1));
+    let key = |vs: &[AnyIoVerdict]| -> Vec<(bool, Option<IoInterpretation>)> {
+        vs.iter()
+            .map(|v| (v.plausible, v.witness.clone()))
+            .collect()
+    };
+    for shards in [1usize, 2, 4] {
+        let sharded = plausibility_sweep_any_io_with(
+            &circuit,
+            &lib,
+            &camo,
+            &candidates,
+            &AnyIoOptions {
+                shards,
+                ..opts.clone()
+            },
+        );
+        assert_eq!(key(&serial), key(&sharded), "shards = {shards}");
+    }
 }
 
 #[test]
@@ -1011,7 +1252,7 @@ fn check_inprocess_invisible(
         },
     );
     assert_eq!(on, off, "serial any-IO sweep must not notice inprocessing");
-    let key = |vs: &[AnyIoVerdict]| -> Vec<(bool, Option<(Vec<usize>, Vec<usize>)>)> {
+    let key = |vs: &[AnyIoVerdict]| -> Vec<(bool, Option<IoInterpretation>)> {
         vs.iter()
             .map(|v| (v.plausible, v.witness.clone()))
             .collect()
@@ -1445,7 +1686,10 @@ fn sampling_screen_refutes_chaff_without_changing_verdicts() {
     );
     assert_eq!(
         von[0].witness,
-        Some((vec![0, 1, 2, 3, 4, 5, 6], vec![1, 0])),
+        Some(IoInterpretation::from_perms(
+            vec![0, 1, 2, 3, 4, 5, 6],
+            vec![1, 0]
+        )),
         "identity inputs, swapped outputs"
     );
 }
