@@ -61,10 +61,11 @@
 pub mod screen;
 pub mod session;
 
-pub use screen::{CamoScreen, DEFAULT_SCREEN_VECTORS};
+pub use screen::{CamoScreen, ConfigScreen, DEFAULT_SCREEN_VECTORS};
 use screen::{OrbitScreenScratch, ScreenOutcome};
 pub use session::{AnyIoJob, AnyIoProgress, SweepSession};
 
+pub use mvf_obfuscate::{ObfuscationSpace, SchemeKind};
 pub use mvf_sat::SimplifyStats;
 
 use std::collections::{HashMap, HashSet};
@@ -76,7 +77,7 @@ use mvf_cells::{CamoLibrary, Library};
 use mvf_logic::npn::{NegationMasks, Permutations};
 use mvf_logic::{IoInterpretation, VectorFunction};
 use mvf_netlist::{CellRef, Netlist};
-use mvf_sat::{encode_netlist, Lit, Solver, Var};
+use mvf_sat::{Lit, Solver, Var};
 
 /// Rebuilds `out` with the assumptions forcing the encoded circuit to
 /// equal `candidate` on every input row: output `o` of row `m` is pinned
@@ -611,15 +612,40 @@ pub fn plausibility_sweep_any_io_with(
     candidates: &[VectorFunction],
     opts: &AnyIoOptions,
 ) -> Vec<AnyIoVerdict> {
+    plausibility_sweep_any_io_in(
+        &ObfuscationSpace::camouflage(lib, camo),
+        nl,
+        candidates,
+        opts,
+    )
+}
+
+/// The scheme-generic interpretation-freedom sweep: identical to
+/// [`plausibility_sweep_any_io_with`] but over any [`ObfuscationSpace`]
+/// — per-cell camouflage and logic locking run through this one body.
+/// Nothing here inspects the scheme: the space supplies the
+/// configuration odometer for the screen and the selector-encoded CNF
+/// for the solver, and everything downstream is pure choice-product
+/// machinery.
+///
+/// # Panics
+///
+/// See [`plausibility_sweep_any_io`].
+pub fn plausibility_sweep_any_io_in(
+    space: &ObfuscationSpace<'_>,
+    nl: &Netlist,
+    candidates: &[VectorFunction],
+    opts: &AnyIoOptions,
+) -> Vec<AnyIoVerdict> {
     if candidates.is_empty() {
         return Vec::new();
     }
     let screen = opts
         .screen
-        .then(|| CamoScreen::build(nl, lib, camo, candidates, opts.screen_vectors))
+        .then(|| ConfigScreen::build_in(space, nl, candidates, opts.screen_vectors))
         .flatten();
     let plan = plan_any_io(nl, candidates, opts, screen.as_ref());
-    let mut cnf = encode_netlist(nl, lib, camo);
+    let mut cnf = space.encode(nl);
     if opts.inprocess {
         cnf.freeze_interface();
         cnf.solver.simplify();
@@ -1044,6 +1070,26 @@ pub fn plausibility_sweep_with(
     candidates: &[VectorFunction],
     opts: &SweepOptions,
 ) -> Vec<SweepVerdict> {
+    plausibility_sweep_in(
+        &ObfuscationSpace::camouflage(lib, camo),
+        nl,
+        candidates,
+        opts,
+    )
+}
+
+/// The scheme-generic identity-interpretation sweep: identical to
+/// [`plausibility_sweep_with`] but over any [`ObfuscationSpace`].
+///
+/// # Panics
+///
+/// Panics if any candidate's shape does not match the netlist.
+pub fn plausibility_sweep_in(
+    space: &ObfuscationSpace<'_>,
+    nl: &Netlist,
+    candidates: &[VectorFunction],
+    opts: &SweepOptions,
+) -> Vec<SweepVerdict> {
     for candidate in candidates {
         assert_eq!(
             candidate.n_inputs(),
@@ -1061,7 +1107,7 @@ pub fn plausibility_sweep_with(
     }
     let screen = opts
         .screen
-        .then(|| CamoScreen::build(nl, lib, camo, candidates, opts.screen_vectors))
+        .then(|| ConfigScreen::build_in(space, nl, candidates, opts.screen_vectors))
         .flatten();
     let mut verdicts: Vec<Option<SweepVerdict>> = vec![None; candidates.len()];
     let mut pending: Vec<usize> = Vec::new();
@@ -1087,7 +1133,7 @@ pub fn plausibility_sweep_with(
         pending.extend(0..candidates.len());
     }
     if !pending.is_empty() {
-        let mut cnf = encode_netlist(nl, lib, camo);
+        let mut cnf = space.encode(nl);
         if opts.inprocess {
             cnf.freeze_interface();
             cnf.solver.simplify();

@@ -1,17 +1,20 @@
 //! SAT-free probabilistic screening: the simulate-first half of the
 //! screen-then-solve funnel.
 //!
-//! Before any plausibility query reaches the solver, the camouflaged
+//! Before any plausibility query reaches the solver, the obfuscated
 //! netlist is evaluated **once** on a batch of input vectors with every
-//! enumerable doping configuration carried as extra word-parallel
-//! variables (the [`mvf_sim::eval_camo_netlist_vectors`] primitive). A
-//! candidate is compared against the cached per-config output words; a
-//! configuration that disagrees on any sampled vector is cleared from
-//! the candidate's surviving-config mask, and an **empty mask refutes
-//! the candidate with zero SAT calls** — soundly, because the SAT
-//! encoding's configuration space is exactly the per-cell product the
-//! screen enumerates (one independent exactly-one selector group per
-//! camouflaged cell).
+//! enumerable configuration of its [`ObfuscationSpace`] carried as
+//! extra word-parallel variables
+//! ([`ObfuscationSpace::eval_vectors`]). A candidate is compared
+//! against the cached per-config output words; a configuration that
+//! disagrees on any sampled vector is cleared from the candidate's
+//! surviving-config mask, and an **empty mask refutes the candidate
+//! with zero SAT calls** — soundly, because the SAT encoding's
+//! configuration space is exactly the per-site product the screen
+//! enumerates (one independent exactly-one selector group per
+//! obfuscated site). The screen never looks at what the sites *mean* —
+//! doping-programmable camouflage cells and key gates screen through
+//! the identical code path.
 //!
 //! Because circuit evaluation is permutation-independent, the same
 //! cached batch serves every candidate of a sweep *and* every
@@ -33,12 +36,10 @@
 //! functions) the screen stands down and the sweep is SAT-only —
 //! trivially bit-identical to screening disabled.
 
-use std::collections::HashMap;
-
 use mvf_cells::{CamoLibrary, Library};
-use mvf_logic::{TruthTable, VectorFunction, MAX_VARS};
-use mvf_netlist::{CellId, CellRef, Netlist};
-use mvf_sim::eval_camo_netlist_vectors;
+use mvf_logic::{VectorFunction, MAX_VARS};
+use mvf_netlist::Netlist;
+use mvf_obfuscate::ObfuscationSpace;
 
 /// Hard cap on the enumerable configuration product: above this the
 /// screen disables itself rather than enumerate an exponential space.
@@ -87,7 +88,10 @@ pub(crate) enum ScreenOutcome {
 }
 
 /// The cached batch evaluation shared by every comparison of one sweep.
-pub struct CamoScreen {
+/// Scheme-generic: configurations come from the sweep's
+/// [`ObfuscationSpace`], so the same screen serves camouflage and
+/// locking alike.
+pub struct ConfigScreen {
     /// `out_words[j][o][w]`: bit `b` is output `o` of the circuit under
     /// configuration `j` on input `vectors[64 w + b]`.
     out_words: Vec<Vec<Vec<u64>>>,
@@ -97,6 +101,10 @@ pub struct CamoScreen {
     complete: bool,
     n_out: usize,
 }
+
+/// The screen's historical (camouflage-era) name, kept as an alias so
+/// existing call sites and test corpora compile unchanged.
+pub type CamoScreen = ConfigScreen;
 
 /// Per-candidate scratch for orbit screening: the permuted-index gather
 /// is cached per input permutation, the candidate columns per
@@ -136,25 +144,42 @@ impl OrbitScreenScratch {
     }
 }
 
-impl CamoScreen {
-    /// Builds the screen for one sweep: enumerates the doping
-    /// configuration product (bailing to `None` past
-    /// [`MAX_SCREEN_CONFIGS`]), draws the vector batch — all minterms
-    /// when they fit (`complete`), a SplitMix64 sample seeded from the
-    /// candidate batch otherwise — and evaluates the netlist once for
-    /// every `(configuration, vector)` pair.
+impl ConfigScreen {
+    /// [`ConfigScreen::build_in`] for the camouflage scheme — the
+    /// historical signature, delegating through
+    /// [`ObfuscationSpace::camouflage`].
     pub fn build(
         nl: &Netlist,
         lib: &Library,
         camo: &CamoLibrary,
         candidates: &[VectorFunction],
         n_vectors: usize,
-    ) -> Option<CamoScreen> {
+    ) -> Option<ConfigScreen> {
+        ConfigScreen::build_in(
+            &ObfuscationSpace::camouflage(lib, camo),
+            nl,
+            candidates,
+            n_vectors,
+        )
+    }
+
+    /// Builds the screen for one sweep: enumerates the space's
+    /// configuration product (bailing to `None` past
+    /// [`MAX_SCREEN_CONFIGS`]), draws the vector batch — all minterms
+    /// when they fit (`complete`), a SplitMix64 sample seeded from the
+    /// candidate batch otherwise — and evaluates the netlist once for
+    /// every `(configuration, vector)` pair.
+    pub fn build_in(
+        space: &ObfuscationSpace<'_>,
+        nl: &Netlist,
+        candidates: &[VectorFunction],
+        n_vectors: usize,
+    ) -> Option<ConfigScreen> {
         let n_in = nl.inputs().len();
         if n_in == 0 || n_in > MAX_VARS {
             return None;
         }
-        let configs = enumerate_configs(nl, camo)?;
+        let configs = space.enumerate_configs(nl, MAX_SCREEN_CONFIGS)?;
         // Normalize the batch size to the simulator's contract: a power
         // of two with at least one full word per configuration block.
         let requested = n_vectors.next_power_of_two().clamp(64, 1usize << MAX_VARS);
@@ -174,9 +199,10 @@ impl CamoScreen {
                     .collect(),
             )
         };
-        let out_words = eval_camo_netlist_vectors(nl, lib, camo, &configs, &vectors)
+        let out_words = space
+            .eval_vectors(nl, &configs, &vectors)
             .expect("enumerated configurations are plausible by construction");
-        Some(CamoScreen {
+        Some(ConfigScreen {
             out_words,
             vectors,
             complete,
@@ -333,49 +359,6 @@ impl CamoScreen {
     }
 }
 
-/// Enumerates the full doping-configuration product of the netlist's
-/// camouflaged cells in topological cell order (an odometer over each
-/// cell's sorted plausible set), or `None` when the product exceeds
-/// [`MAX_SCREEN_CONFIGS`]. The product mirrors the SAT encoding's
-/// selector space exactly: one independent choice per camouflaged cell.
-fn enumerate_configs(nl: &Netlist, camo: &CamoLibrary) -> Option<Vec<HashMap<CellId, TruthTable>>> {
-    let mut cells: Vec<(CellId, &[TruthTable])> = Vec::new();
-    let mut product = 1usize;
-    for cid in nl.topo_cells() {
-        if let CellRef::Camo(id) = nl.cell(cid).cell {
-            let plausible = camo.cell(id).plausible();
-            product = product
-                .checked_mul(plausible.len())
-                .filter(|&p| p <= MAX_SCREEN_CONFIGS)?;
-            cells.push((cid, plausible));
-        }
-    }
-    let mut configs = Vec::with_capacity(product);
-    let mut odometer = vec![0usize; cells.len()];
-    loop {
-        configs.push(
-            cells
-                .iter()
-                .zip(&odometer)
-                .map(|(&(cid, plausible), &d)| (cid, plausible[d].clone()))
-                .collect(),
-        );
-        // Advance the least-significant digit (the last camo cell).
-        let mut pos = cells.len();
-        loop {
-            if pos == 0 {
-                return Some(configs);
-            }
-            pos -= 1;
-            odometer[pos] += 1;
-            if odometer[pos] < cells[pos].1.len() {
-                break;
-            }
-            odometer[pos] = 0;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,7 +381,8 @@ mod tests {
         let mut nl = Netlist::new("wire".to_string());
         let a = nl.add_input("a".to_string());
         nl.add_output("y".to_string(), a);
-        let configs = enumerate_configs(&nl, &camo).unwrap();
+        let space = ObfuscationSpace::camouflage(&lib, &camo);
+        let configs = space.enumerate_configs(&nl, MAX_SCREEN_CONFIGS).unwrap();
         assert_eq!(configs.len(), 1);
         assert!(configs[0].is_empty());
     }

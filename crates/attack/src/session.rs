@@ -6,7 +6,7 @@
 //! * [`SweepSession`] — one camouflaged netlist encoded **once** and kept
 //!   hot: repeated sweeps against the same circuit reuse the flat clause
 //!   arena, accumulate learnt clauses (warm starts), and share cached
-//!   [`CamoScreen`] vector batches keyed by candidate batch.
+//!   [`CamoScreen`](crate::CamoScreen) vector batches keyed by candidate batch.
 //! * [`AnyIoJob`] — a stepped, pausable interpretation-freedom sweep: the
 //!   work list is processed in caller-sized chunks, and the complete
 //!   mutable state between chunks is a handful of integer vectors
@@ -26,11 +26,12 @@
 
 use mvf_cells::{CamoLibrary, Library};
 use mvf_logic::VectorFunction;
-use mvf_netlist::fingerprint::{fingerprint_session, Fnv64};
+use mvf_netlist::fingerprint::Fnv64;
 use mvf_netlist::Netlist;
-use mvf_sat::{encode_netlist, CircuitCnf, Solver, Var};
+use mvf_obfuscate::ObfuscationSpace;
+use mvf_sat::{CircuitCnf, Solver, Var};
 
-use crate::screen::{CamoScreen, ScreenOutcome};
+use crate::screen::{ConfigScreen, ScreenOutcome};
 use crate::{
     any_io_verdicts, apply_orbit_point, candidate_assumptions, plan_any_io, unrank_orbit_index,
     AnyIoOptions, AnyIoPlan, AnyIoVerdict, SweepOptions, SweepVerdict, UID_SAT, UID_UNKNOWN,
@@ -204,12 +205,32 @@ impl AnyIoJob {
         candidates: Vec<VectorFunction>,
         opts: &AnyIoOptions,
     ) -> AnyIoJob {
+        AnyIoJob::new_in(
+            &ObfuscationSpace::camouflage(lib, camo),
+            nl,
+            candidates,
+            opts,
+        )
+    }
+
+    /// [`AnyIoJob::new`] over any [`ObfuscationSpace`] — the scheme-
+    /// generic cold start; locking audits plan their jobs through here.
+    ///
+    /// # Panics
+    ///
+    /// See [`AnyIoJob::new`].
+    pub fn new_in(
+        space: &ObfuscationSpace<'_>,
+        nl: &Netlist,
+        candidates: Vec<VectorFunction>,
+        opts: &AnyIoOptions,
+    ) -> AnyIoJob {
         let screen = opts
             .screen
-            .then(|| CamoScreen::build(nl, lib, camo, &candidates, opts.screen_vectors))
+            .then(|| ConfigScreen::build_in(space, nl, &candidates, opts.screen_vectors))
             .flatten();
         let plan = plan_any_io(nl, &candidates, opts, screen.as_ref());
-        let mut cnf = encode_netlist(nl, lib, camo);
+        let mut cnf = space.encode(nl);
         if opts.inprocess {
             cnf.freeze_interface();
             cnf.solver.simplify();
@@ -339,26 +360,35 @@ impl AnyIoJob {
     }
 }
 
-/// One camouflaged netlist kept encoded across submissions.
+/// One obfuscated netlist kept encoded across submissions.
 ///
 /// A session pins the circuit by content fingerprint
-/// ([`fingerprint_session`]), encodes it once, and serves repeated
-/// sweeps from the same solver: learnt clauses accumulate across calls
-/// (warm starts), and screen vector batches are cached per candidate
-/// batch. Warm results are identical to cold ones — including query
-/// counts — because screens are rebuilt-or-cached deterministically and
-/// SAT answers are mathematically determined.
+/// ([`ObfuscationSpace::fingerprint`] — netlist structure, both
+/// libraries' content **and the scheme tag**, so camouflage and locking
+/// audits of byte-identical netlists never share a session), encodes it
+/// once, and serves repeated sweeps from the same solver: learnt
+/// clauses accumulate across calls (warm starts), and screen vector
+/// batches are cached per candidate batch. Warm results are identical
+/// to cold ones — including query counts — because screens are
+/// rebuilt-or-cached deterministically and SAT answers are
+/// mathematically determined.
 pub struct SweepSession {
     key: u64,
     cnf: CircuitCnf,
     /// Recently used screens, most recent last, keyed by candidate
     /// batch + vector count.
-    screens: Vec<(u64, CamoScreen)>,
+    screens: Vec<(u64, ConfigScreen)>,
 }
 
 impl SweepSession {
-    /// Encodes `nl` once and fingerprints the `(netlist, library,
-    /// camouflage library)` triple as the session key.
+    /// [`SweepSession::new_in`] for the camouflage scheme — the
+    /// historical signature.
+    pub fn new(nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> SweepSession {
+        SweepSession::new_in(&ObfuscationSpace::camouflage(lib, camo), nl)
+    }
+
+    /// Encodes `nl` once and fingerprints the space's `(scheme,
+    /// netlist, libraries)` content as the session key.
     ///
     /// The encoding is interface-frozen and simplified up front
     /// (vivification + bounded variable elimination), matching the
@@ -366,12 +396,12 @@ impl SweepSession {
     /// starts served from this session (including
     /// [`SweepSession::any_io_job`] clones) are bit-identical to their
     /// cold counterparts, query counts included.
-    pub fn new(nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> SweepSession {
-        let mut cnf = encode_netlist(nl, lib, camo);
+    pub fn new_in(space: &ObfuscationSpace<'_>, nl: &Netlist) -> SweepSession {
+        let mut cnf = space.encode(nl);
         cnf.freeze_interface();
         cnf.solver.simplify();
         SweepSession {
-            key: fingerprint_session(nl, lib, camo),
+            key: space.fingerprint(nl),
             cnf,
             screens: Vec::new(),
         }
@@ -388,9 +418,16 @@ impl SweepSession {
         self.key
     }
 
-    /// Whether this session was built from exactly this circuit.
+    /// Whether this session was built from exactly this circuit under
+    /// the camouflage scheme.
     pub fn matches(&self, nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> bool {
-        self.key == fingerprint_session(nl, lib, camo)
+        self.matches_in(&ObfuscationSpace::camouflage(lib, camo), nl)
+    }
+
+    /// Whether this session was built from exactly this circuit under
+    /// exactly this space (scheme tag included).
+    pub fn matches_in(&self, space: &ObfuscationSpace<'_>, nl: &Netlist) -> bool {
+        self.key == space.fingerprint(nl)
     }
 
     /// Approximate heap footprint of the retained state (clause arena,
@@ -417,7 +454,27 @@ impl SweepSession {
         candidates: &[VectorFunction],
         opts: &SweepOptions,
     ) -> Vec<SweepVerdict> {
-        self.check(nl, lib, camo);
+        self.sweep_identity_in(
+            &ObfuscationSpace::camouflage(lib, camo),
+            nl,
+            candidates,
+            opts,
+        )
+    }
+
+    /// [`SweepSession::sweep_identity`] over any [`ObfuscationSpace`].
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepSession::sweep_identity`].
+    pub fn sweep_identity_in(
+        &mut self,
+        space: &ObfuscationSpace<'_>,
+        nl: &Netlist,
+        candidates: &[VectorFunction],
+        opts: &SweepOptions,
+    ) -> Vec<SweepVerdict> {
+        self.check(space, nl);
         for candidate in candidates {
             assert_eq!(
                 candidate.n_inputs(),
@@ -434,7 +491,7 @@ impl SweepSession {
         let mut pending: Vec<usize> = Vec::new();
         let screen = opts
             .screen
-            .then(|| self.screen_for(nl, lib, camo, candidates, opts.screen_vectors))
+            .then(|| self.screen_for(space, nl, candidates, opts.screen_vectors))
             .flatten();
         if let Some(screen) = screen {
             for (j, candidate) in candidates.iter().enumerate() {
@@ -491,11 +548,31 @@ impl SweepSession {
         candidates: &[VectorFunction],
         opts: &AnyIoOptions,
     ) -> Vec<AnyIoVerdict> {
-        self.check(nl, lib, camo);
+        self.sweep_any_io_in(
+            &ObfuscationSpace::camouflage(lib, camo),
+            nl,
+            candidates,
+            opts,
+        )
+    }
+
+    /// [`SweepSession::sweep_any_io`] over any [`ObfuscationSpace`].
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepSession::sweep_any_io`].
+    pub fn sweep_any_io_in(
+        &mut self,
+        space: &ObfuscationSpace<'_>,
+        nl: &Netlist,
+        candidates: &[VectorFunction],
+        opts: &AnyIoOptions,
+    ) -> Vec<AnyIoVerdict> {
+        self.check(space, nl);
         if candidates.is_empty() {
             return Vec::new();
         }
-        let plan = self.plan(nl, lib, camo, candidates, opts);
+        let plan = self.plan(space, nl, candidates, opts);
         let mut cursor = AnyIoCursor::new(&plan);
         cursor.step(
             &plan,
@@ -523,8 +600,28 @@ impl SweepSession {
         candidates: &[VectorFunction],
         opts: &AnyIoOptions,
     ) -> AnyIoJob {
-        self.check(nl, lib, camo);
-        let plan = self.plan(nl, lib, camo, candidates, opts);
+        self.any_io_job_in(
+            &ObfuscationSpace::camouflage(lib, camo),
+            nl,
+            candidates,
+            opts,
+        )
+    }
+
+    /// [`SweepSession::any_io_job`] over any [`ObfuscationSpace`].
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepSession::any_io_job`].
+    pub fn any_io_job_in(
+        &mut self,
+        space: &ObfuscationSpace<'_>,
+        nl: &Netlist,
+        candidates: &[VectorFunction],
+        opts: &AnyIoOptions,
+    ) -> AnyIoJob {
+        self.check(space, nl);
+        let plan = self.plan(space, nl, candidates, opts);
         AnyIoJob::from_parts(
             plan,
             candidates.to_vec(),
@@ -533,46 +630,45 @@ impl SweepSession {
         )
     }
 
-    fn check(&self, nl: &Netlist, lib: &Library, camo: &CamoLibrary) {
+    fn check(&self, space: &ObfuscationSpace<'_>, nl: &Netlist) {
         assert!(
-            self.matches(nl, lib, camo),
+            self.matches_in(space, nl),
             "circuit does not match the session fingerprint"
         );
     }
 
     fn plan(
         &mut self,
+        space: &ObfuscationSpace<'_>,
         nl: &Netlist,
-        lib: &Library,
-        camo: &CamoLibrary,
         candidates: &[VectorFunction],
         opts: &AnyIoOptions,
     ) -> AnyIoPlan {
         let screen = opts
             .screen
-            .then(|| self.screen_for(nl, lib, camo, candidates, opts.screen_vectors))
+            .then(|| self.screen_for(space, nl, candidates, opts.screen_vectors))
             .flatten();
         plan_any_io(nl, candidates, opts, screen)
     }
 
     /// The cached screen for this candidate batch, building (and
     /// evicting the least recently used entry) on a miss. Sound because
-    /// [`CamoScreen::build`] is deterministic in `(circuit, candidates,
-    /// n_vectors)` — a hit returns exactly what a rebuild would.
+    /// [`ConfigScreen::build_in`] is deterministic in `(circuit,
+    /// candidates, n_vectors)` — a hit returns exactly what a rebuild
+    /// would.
     fn screen_for(
         &mut self,
+        space: &ObfuscationSpace<'_>,
         nl: &Netlist,
-        lib: &Library,
-        camo: &CamoLibrary,
         candidates: &[VectorFunction],
         n_vectors: usize,
-    ) -> Option<&CamoScreen> {
+    ) -> Option<&ConfigScreen> {
         let key = screen_key(candidates, n_vectors);
         if let Some(i) = self.screens.iter().position(|(k, _)| *k == key) {
             let hit = self.screens.remove(i);
             self.screens.push(hit);
         } else {
-            let built = CamoScreen::build(nl, lib, camo, candidates, n_vectors)?;
+            let built = ConfigScreen::build_in(space, nl, candidates, n_vectors)?;
             self.screens.push((key, built));
             if self.screens.len() > MAX_CACHED_SCREENS {
                 self.screens.remove(0);

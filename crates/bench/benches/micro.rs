@@ -7,7 +7,9 @@
 //! interpretation-freedom sweeps (`sweep_any_io`), inprocessed
 //! (vivified + variable-eliminated) vs untouched clause databases
 //! (`sat_inprocess`), the SAT-free
-//! screen-then-solve funnel vs a SAT-only sweep (`sat_screen`), CSR vs
+//! screen-then-solve funnel vs a SAT-only sweep (`sat_screen`), the
+//! scheme-generic sweep over a key-gate-locked circuit vs brute-force
+//! key enumeration (`sweep_locking`), CSR vs
 //! nested cut enumeration (`cuts_csr`), word-parallel vs per-config
 //! camouflage validation (`camo_fitness`), and 8-wide chunked vs scalar
 //! truth-table word kernels (`tt_kernels`).
@@ -865,6 +867,159 @@ fn main() {
     );
     println!("screen speedup: {sat_screen_speedup:>10.2}x (bit-identical verdicts + witnesses)");
 
+    // --- Logic locking: the scheme-generic sweep vs key enumeration. ---
+    // The screen-demo circuit again, but as plain standard cells run
+    // through the XOR/XNOR + MUX key-gate inserter — the second
+    // obfuscation family. The same any-IO sweep flows unchanged through
+    // the `ObfuscationSpace` seam; what CI pins is correctness, never
+    // wall-clock: serial, sharded and screen-off sweeps agree verdict-
+    // and witness-exactly, the identity sweep matches a brute-force
+    // enumeration of the full key space, and every any-IO witness is
+    // realized by some key value.
+    let lock = mvf::lock_library(&lib);
+    let lock_space = mvf::ObfuscationSpace::locking(&lib, &lock);
+    let lock_plain = {
+        use mvf_netlist::{CellRef, Netlist};
+        let std_cell = |name: &str| lib.cell_by_name(name).expect("standard cell exists");
+        let mut nl = Netlist::new("lock_demo".to_string());
+        let a = nl.add_input("a".to_string());
+        let b = nl.add_input("b".to_string());
+        let c = nl.add_input("c".to_string());
+        let (_, y0) = nl.add_cell(
+            "u0".to_string(),
+            CellRef::Std(std_cell("NAND2")),
+            vec![a, b],
+        );
+        let (_, y1) = nl.add_cell("u1".to_string(), CellRef::Std(std_cell("INV")), vec![c]);
+        let (_, y2) = nl.add_cell(
+            "u2".to_string(),
+            CellRef::Std(std_cell("AND2")),
+            vec![y0, y1],
+        );
+        nl.add_output("y0".to_string(), y0);
+        nl.add_output("y1".to_string(), y1);
+        nl.add_output("y2".to_string(), y2);
+        nl
+    };
+    let locked = mvf::obfuscate::lock_netlist(
+        &lock_plain,
+        &lock,
+        &mvf::LockOptions {
+            n_xor: 2,
+            n_mux: 1,
+            ..mvf::LockOptions::default()
+        },
+    )
+    .expect("locking the demo circuit succeeds");
+    let lock_target = &locked.netlist;
+    let lock_key_bits = locked.key_bits();
+    let lock_keys = 1usize << lock_key_bits;
+    let lock_per_key: Vec<_> = (0..lock_keys)
+        .map(|k| {
+            let key: Vec<bool> = (0..lock_key_bits).map(|b| (k >> b) & 1 == 1).collect();
+            mvf::sim::eval_camo_netlist(lock_target, &lib, &lock, &locked.config_for_key(&key))
+                .expect("every key value is a valid configuration")
+        })
+        .collect();
+    // The same four candidates as the screen section: the circuit's true
+    // function (the all-transparent key), a pin-scrambled copy (witness
+    // mid-orbit), and two functions no key reaches.
+    let lock_candidates = screen_candidates.clone();
+    let lock_serial = mvf_attack::plausibility_sweep_any_io_in(
+        &lock_space,
+        lock_target,
+        &lock_candidates,
+        &mvf_attack::AnyIoOptions::default(),
+    );
+    let lock_sharded = mvf_attack::plausibility_sweep_any_io_in(
+        &lock_space,
+        lock_target,
+        &lock_candidates,
+        &mvf_attack::AnyIoOptions {
+            shards: any_io_shards,
+            ..mvf_attack::AnyIoOptions::default()
+        },
+    );
+    let lock_unscreened = mvf_attack::plausibility_sweep_any_io_in(
+        &lock_space,
+        lock_target,
+        &lock_candidates,
+        &mvf_attack::AnyIoOptions {
+            screen: false,
+            ..mvf_attack::AnyIoOptions::default()
+        },
+    );
+    let lock_identity = mvf_attack::plausibility_sweep_in(
+        &lock_space,
+        lock_target,
+        &lock_candidates,
+        &mvf_attack::SweepOptions::default(),
+    );
+    let lock_brute_ok = lock_identity
+        .iter()
+        .zip(&lock_candidates)
+        .all(|(v, cand)| v.plausible == lock_per_key.iter().any(|outs| outs == cand.outputs()));
+    let lock_witness_ok =
+        lock_serial
+            .iter()
+            .zip(&lock_candidates)
+            .all(|(v, cand)| match &v.witness {
+                Some(w) => {
+                    let transformed = w.apply(cand).expect("witness shapes match");
+                    lock_per_key
+                        .iter()
+                        .any(|outs| outs == transformed.outputs())
+                }
+                None => !v.plausible,
+            });
+    let lock_identical = lock_serial == lock_sharded
+        && lock_serial
+            .iter()
+            .zip(&lock_unscreened)
+            .all(|(a, b)| a.plausible == b.plausible && a.witness == b.witness)
+        && lock_brute_ok
+        && lock_witness_ok;
+    assert!(
+        lock_identical,
+        "locking sweeps must be shard- and screen-invariant and match key enumeration"
+    );
+    assert!(
+        lock_serial[0].plausible && lock_serial[1].plausible,
+        "the true function and its scrambled copy must stay plausible under locking"
+    );
+    assert!(
+        !lock_serial[2].plausible && !lock_serial[3].plausible,
+        "the chaff candidates must be refuted under locking"
+    );
+    let lock_serial_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_any_io_in(
+            black_box(&lock_space),
+            lock_target,
+            &lock_candidates,
+            &mvf_attack::AnyIoOptions::default(),
+        ));
+    }) / lock_candidates.len() as f64;
+    let lock_sharded_ns = time_ns(|| {
+        black_box(mvf_attack::plausibility_sweep_any_io_in(
+            black_box(&lock_space),
+            lock_target,
+            &lock_candidates,
+            &mvf_attack::AnyIoOptions {
+                shards: any_io_shards,
+                ..mvf_attack::AnyIoOptions::default()
+            },
+        ));
+    }) / lock_candidates.len() as f64;
+    let lock_speedup = lock_serial_ns / lock_sharded_ns;
+    println!(
+        "lock serial : {lock_serial_ns:>11.0} ns / candidate ({lock_key_bits}-bit key, \
+         {lock_keys} key values enumerated for the oracle)"
+    );
+    println!(
+        "lock sharded: {lock_sharded_ns:>11.0} ns / candidate ({any_io_shards} solver clones)"
+    );
+    println!("lock speedup: {lock_speedup:>11.2}x (bit-identical verdicts + witnesses)");
+
     // --- Cut enumeration: nested Vec<Vec<Cut>> vs flat CSR CutSet. -----
     let cut_graph = build_random_aig(12, 600, 0xC5_0002);
     let (k, max_cuts) = (4usize, 8usize); // the rewriting pass's budget
@@ -1146,6 +1301,17 @@ fn main() {
             "    \"speedup\": {:.2},\n",
             "    \"bit_identical\": {}\n",
             "  }},\n",
+            "  \"sweep_locking\": {{\n",
+            "    \"workload\": \"3-bit locked screen demo, interpretation freedom\",\n",
+            "    \"candidates\": {},\n",
+            "    \"key_bits\": {},\n",
+            "    \"keys\": {},\n",
+            "    \"shards\": {},\n",
+            "    \"serial_ns\": {:.0},\n",
+            "    \"sharded_ns\": {:.0},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"bit_identical\": {}\n",
+            "  }},\n",
             "  \"cuts_csr\": {{\n",
             "    \"n_inputs\": 12,\n",
             "    \"n_ands\": {},\n",
@@ -1239,6 +1405,14 @@ fn main() {
         sat_screen_on_ns,
         sat_screen_speedup,
         sat_screen_identical,
+        lock_candidates.len(),
+        lock_key_bits,
+        lock_keys,
+        any_io_shards,
+        lock_serial_ns,
+        lock_sharded_ns,
+        lock_speedup,
+        lock_identical,
         cut_graph.n_ands(),
         k,
         max_cuts,

@@ -18,6 +18,10 @@
 //! | `MVF_SERVE_ADDR` | TCP listen address of the `mvf-serve` audit service; unset = stdio | unset |
 //! | `MVF_CHECKPOINT_STEPS` | GA generations between `mvf-serve` checkpoints | 1 |
 //! | `MVF_SESSION_CACHE_MB` | `mvf-serve` session-cache byte budget, in MiB | 64 |
+//! | `MVF_SCHEME` | obfuscation family for new `mvf-serve` jobs (`camo` \| `locking`); resumed jobs keep their checkpoint's family | `camo` |
+//! | `MVF_LOCK_XOR` | XOR/XNOR key gates inserted by `mvf-serve` locking jobs | 4 |
+//! | `MVF_LOCK_MUX` | MUX key gates inserted by `mvf-serve` locking jobs | 2 |
+//! | `MVF_LOCK_SEED` | key-gate placement seed (locking is deterministic in `(netlist, seed)`) | fixed |
 //!
 //! Parallel fitness evaluation is compiled in through the `parallel`
 //! cargo feature (a default feature of this crate and of the workspace

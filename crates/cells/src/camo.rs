@@ -46,6 +46,54 @@ pub struct CamoCell {
 }
 
 impl CamoCell {
+    /// Builds a cell with an explicit plausible set, for obfuscation
+    /// families whose choice sets are not cofactor closures (e.g. a logic-
+    /// locking key gate whose plausible set is `{A, ¬A}`). The set is
+    /// deduplicated and sorted so enumeration order is deterministic, and
+    /// the permutation closure is derived for the matcher pre-filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plausible` is empty or contains a function whose arity
+    /// differs from `n_inputs`.
+    pub fn from_parts(
+        base: LibCellId,
+        kind: CellKind,
+        name: impl Into<String>,
+        n_inputs: usize,
+        area_ge: f64,
+        nominal: TruthTable,
+        plausible: Vec<TruthTable>,
+    ) -> Self {
+        assert!(!plausible.is_empty(), "plausible set must be non-empty");
+        assert!(
+            plausible.iter().all(|f| f.n_vars() == n_inputs),
+            "plausible function arity mismatch"
+        );
+        let plausible: Vec<TruthTable> = plausible
+            .into_iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut perm_closed = HashSet::new();
+        let perms = all_permutations(n_inputs);
+        for f in &plausible {
+            for p in &perms {
+                perm_closed.insert(f.permute(p).expect("valid permutation"));
+            }
+        }
+        CamoCell {
+            base,
+            kind,
+            name: name.into(),
+            n_inputs,
+            area_ge,
+            nominal,
+            plausible,
+            perm_closed,
+        }
+    }
+
     fn from_lib_cell(base: LibCellId, lib: &Library) -> Self {
         let cell = lib.cell(base);
         let nominal = cell.function().clone();
@@ -241,6 +289,12 @@ impl CamoLibrary {
                 _ => cells.push(CamoCell::from_lib_cell(id, lib)),
             }
         }
+        CamoLibrary { cells }
+    }
+
+    /// Builds a library from an explicit cell list (ids are assigned in
+    /// order), for obfuscation families with hand-constructed choice sets.
+    pub fn from_cells(cells: Vec<CamoCell>) -> Self {
         CamoLibrary { cells }
     }
 

@@ -6,8 +6,9 @@ use std::fmt;
 /// The single error type of the `mvf` crate, consolidating every failure
 /// the three-phase flow can surface: merged-circuit construction
 /// ([`mvf_merge::MergeError`]), technology mapping
-/// ([`mvf_techmap::MapError`]) and final exhaustive validation
-/// ([`mvf_sim::ValidationError`]).
+/// ([`mvf_techmap::MapError`]), key-gate insertion
+/// ([`mvf_obfuscate::LockError`], locking flows only) and final
+/// exhaustive validation ([`mvf_sim::ValidationError`]).
 ///
 /// All variants are values the lower layers produced; `MvfError`
 /// implements [`Error::source`] so callers can walk to the original
@@ -19,6 +20,8 @@ pub enum MvfError {
     Merge(mvf_merge::MergeError),
     /// Technology mapping failed (Phase II fitness or Phase III).
     Map(mvf_techmap::MapError),
+    /// Key-gate insertion failed (Phase III of a locking flow).
+    Lock(mvf_obfuscate::LockError),
     /// Final validation failed — this would be a flow bug.
     Validation(mvf_sim::ValidationError),
 }
@@ -28,6 +31,7 @@ impl fmt::Display for MvfError {
         match self {
             MvfError::Merge(e) => write!(f, "merge: {e}"),
             MvfError::Map(e) => write!(f, "map: {e}"),
+            MvfError::Lock(e) => write!(f, "lock: {e}"),
             MvfError::Validation(e) => write!(f, "validation: {e}"),
         }
     }
@@ -38,6 +42,7 @@ impl Error for MvfError {
         match self {
             MvfError::Merge(e) => Some(e),
             MvfError::Map(e) => Some(e),
+            MvfError::Lock(e) => Some(e),
             MvfError::Validation(e) => Some(e),
         }
     }
@@ -52,6 +57,12 @@ impl From<mvf_merge::MergeError> for MvfError {
 impl From<mvf_techmap::MapError> for MvfError {
     fn from(e: mvf_techmap::MapError) -> Self {
         MvfError::Map(e)
+    }
+}
+
+impl From<mvf_obfuscate::LockError> for MvfError {
+    fn from(e: mvf_obfuscate::LockError) -> Self {
+        MvfError::Lock(e)
     }
 }
 
@@ -78,6 +89,10 @@ mod tests {
         let map: MvfError = mvf_techmap::MapError::BadSubject("x".into()).into();
         assert!(map.to_string().starts_with("map:"));
         assert!(map.source().is_some());
+
+        let lock: MvfError = mvf_obfuscate::LockError::MissingKeyCell("XKEY").into();
+        assert!(lock.to_string().starts_with("lock:"));
+        assert!(lock.source().is_some());
 
         let val: MvfError = mvf_sim::ValidationError::ShapeMismatch("y".into()).into();
         assert!(val.to_string().starts_with("validation:"));

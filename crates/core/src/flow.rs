@@ -6,7 +6,11 @@ use mvf_ga::{Ga, GaConfig, GenStats, SearchOutcome, SearchStrategy};
 use mvf_logic::VectorFunction;
 use mvf_merge::{build_merged, MergedCircuit, PinAssignment};
 use mvf_netlist::subject_graph;
-use mvf_techmap::{map_standard, CamoMapOptions, CamoMappedCircuit, MapOptions};
+use mvf_obfuscate::{
+    lock_library, lock_merged_netlist, LockOptions, LockedNetlist, ObfuscationSpace, SchemeKind,
+};
+use mvf_sim::ValidationError;
+use mvf_techmap::{map_standard, CamoMapOptions, CamoMappedCircuit, CamoWitness, MapOptions};
 
 use crate::error::MvfError;
 use crate::eval::{EvalContext, PinObjective};
@@ -51,10 +55,19 @@ pub struct FlowResult {
     /// Phase-II area: GE after synthesis + standard mapping ("GA" in
     /// Table I).
     pub synthesized_area_ge: f64,
-    /// The camouflage-mapped circuit ("GA+TM" in Table I).
+    /// The obfuscated circuit ("GA+TM" in Table I): camouflage-mapped
+    /// under [`SchemeKind::Camouflage`], key-gate-locked (with an empty
+    /// doping witness) under [`SchemeKind::Locking`]. Either way the
+    /// netlist is select-free and every viable function stays plausible.
     pub mapped: CamoMappedCircuit,
     /// Its GE area.
     pub mapped_area_ge: f64,
+    /// The locking secret — sites and correct key — when the flow was
+    /// built with [`FlowBuilder::scheme`]`(SchemeKind::Locking)`; `None`
+    /// for camouflage flows. Key bits `0..n_selects` carry the select
+    /// value: [`LockedNetlist::key_for_select`]`(j)` realizes viable
+    /// function `j`.
+    pub locked: Option<LockedNetlist>,
     /// Search statistics per batch (Fig. 4b; empty for strategies
     /// without a trajectory).
     pub ga_history: Vec<GenStats>,
@@ -113,6 +126,8 @@ pub struct FlowBuilder {
     config: FlowConfig,
     lib: Option<Library>,
     camo: Option<CamoLibrary>,
+    scheme: SchemeKind,
+    lock_opts: LockOptions,
     workload_threads: usize,
     attack_sweep: bool,
     attack_shards: usize,
@@ -129,6 +144,8 @@ impl Default for FlowBuilder {
             config: FlowConfig::default(),
             lib: None,
             camo: None,
+            scheme: SchemeKind::Camouflage,
+            lock_opts: LockOptions::default(),
             workload_threads: 0,
             attack_sweep: false,
             attack_shards: 0,
@@ -211,6 +228,27 @@ impl FlowBuilder {
     #[must_use]
     pub fn camo_library(mut self, camo: CamoLibrary) -> Self {
         self.camo = Some(camo);
+        self
+    }
+
+    /// Selects the obfuscation family Phase III emits (default:
+    /// [`SchemeKind::Camouflage`], the paper's flow). Under
+    /// [`SchemeKind::Locking`] the standard-mapped merged circuit is
+    /// key-gate-locked instead of camouflage-mapped: every select input
+    /// is bound to a key bit and [`FlowBuilder::lock_options`] extra key
+    /// gates are inserted, so the multiple-viable-function property is
+    /// carried by the key rather than by doping choices.
+    #[must_use]
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Key-gate insertion options for [`SchemeKind::Locking`] flows
+    /// (ignored under camouflage).
+    #[must_use]
+    pub fn lock_options(mut self, opts: LockOptions) -> Self {
+        self.lock_opts = opts;
         self
     }
 
@@ -330,10 +368,14 @@ impl FlowBuilder {
     pub fn build_with<S: SearchStrategy>(self, strategy: S) -> Flow<S> {
         let lib = self.lib.unwrap_or_else(Library::standard);
         let camo = self.camo.unwrap_or_else(|| CamoLibrary::from_library(&lib));
+        let lock = lock_library(&lib);
         Flow {
             config: self.config,
             lib,
             camo,
+            lock,
+            scheme: self.scheme,
+            lock_opts: self.lock_opts,
             strategy,
             workload_threads: self.workload_threads,
             attack_sweep: self.attack_sweep,
@@ -356,6 +398,9 @@ pub struct Flow<S = Ga> {
     pub(crate) config: FlowConfig,
     pub(crate) lib: Library,
     pub(crate) camo: CamoLibrary,
+    pub(crate) lock: CamoLibrary,
+    pub(crate) scheme: SchemeKind,
+    pub(crate) lock_opts: LockOptions,
     pub(crate) strategy: S,
     pub(crate) workload_threads: usize,
     pub(crate) attack_sweep: bool,
@@ -397,6 +442,34 @@ impl<S> Flow<S> {
     /// The camouflaged library in use.
     pub fn camo_library(&self) -> &CamoLibrary {
         &self.camo
+    }
+
+    /// The obfuscation family Phase III emits.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// The key-gate insertion options a locking flow uses.
+    pub fn lock_options(&self) -> &LockOptions {
+        &self.lock_opts
+    }
+
+    /// The choice-set library of the active scheme: the camouflaged
+    /// library under [`SchemeKind::Camouflage`], the key-gate library
+    /// under [`SchemeKind::Locking`]. This is the library the mapped
+    /// netlist's `Camo` cell references index, and the one every
+    /// attack-layer call must be handed.
+    pub fn choice_library(&self) -> &CamoLibrary {
+        match self.scheme {
+            SchemeKind::Camouflage => &self.camo,
+            SchemeKind::Locking => &self.lock,
+        }
+    }
+
+    /// The [`ObfuscationSpace`] of this flow's outputs — the seam the
+    /// attack layer and the audit service consume.
+    pub fn obfuscation_space(&self) -> ObfuscationSpace<'_> {
+        ObfuscationSpace::with_kind(self.scheme, &self.lib, self.choice_library())
     }
 
     /// The Phase-II search strategy in use.
@@ -462,16 +535,45 @@ impl<S> Flow<S> {
         // tables, widened validation arena) through mapping *and*
         // validation.
         let mut ctx = EvalContext::new();
-        let mapped = ctx.map_camouflage(
-            &subject,
-            &self.lib,
-            &self.camo,
-            &merged.select_indices,
-            &self.config.camo_map,
-        )?;
-        let mapped_area = mapped.netlist.area_ge(&self.lib, Some(&self.camo));
+        let (mapped, locked) = match self.scheme {
+            SchemeKind::Camouflage => {
+                let mapped = ctx.map_camouflage(
+                    &subject,
+                    &self.lib,
+                    &self.camo,
+                    &merged.select_indices,
+                    &self.config.camo_map,
+                )?;
+                (mapped, None)
+            }
+            SchemeKind::Locking => {
+                // Phase III by key-gate insertion: the select inputs of
+                // the standard-mapped merged circuit become key bits, so
+                // the interface matches the camouflage path (select-free)
+                // and every viable function stays reachable under its
+                // select key.
+                let locked = lock_merged_netlist(
+                    &plain,
+                    &self.lib,
+                    &self.lock,
+                    &merged.select_indices,
+                    &self.lock_opts,
+                )?;
+                let mapped = CamoMappedCircuit {
+                    netlist: locked.netlist.clone(),
+                    witness: CamoWitness { cells: Vec::new() },
+                };
+                (mapped, Some(locked))
+            }
+        };
+        let mapped_area = mapped
+            .netlist
+            .area_ge(&self.lib, Some(self.choice_library()));
         if self.config.validate {
-            ctx.validate_mapped(&mapped, &self.lib, &self.camo, &merged.functions)?;
+            match &locked {
+                None => ctx.validate_mapped(&mapped, &self.lib, &self.camo, &merged.functions)?,
+                Some(locked) => self.validate_locked(locked, &merged.functions)?,
+            }
         }
         Ok(FlowResult {
             assignment,
@@ -479,10 +581,43 @@ impl<S> Flow<S> {
             synthesized_area_ge: synthesized_area,
             mapped,
             mapped_area_ge: mapped_area,
+            locked,
             ga_history,
             evaluations,
             failed_evaluations,
         })
+    }
+
+    /// Exhaustive locking validation (the ModelSim substitute of the
+    /// locking path): under every select key the locked circuit must
+    /// compute exactly that viable function.
+    fn validate_locked(
+        &self,
+        locked: &LockedNetlist,
+        functions: &[VectorFunction],
+    ) -> Result<(), MvfError> {
+        for (j, f) in functions.iter().enumerate() {
+            let cfg = locked.config_for_key(&locked.key_for_select(j));
+            let got = mvf_sim::eval_camo_netlist(&locked.netlist, &self.lib, &self.lock, &cfg)?;
+            if got.len() != f.outputs().len() {
+                return Err(ValidationError::ShapeMismatch(format!(
+                    "locked circuit has {} outputs, function {j} expects {}",
+                    got.len(),
+                    f.outputs().len()
+                ))
+                .into());
+            }
+            for (output, (g, want)) in got.iter().zip(f.outputs()).enumerate() {
+                if g != want {
+                    return Err(ValidationError::FunctionMismatch {
+                        function: j,
+                        output,
+                    }
+                    .into());
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -695,6 +830,42 @@ mod tests {
         assert_eq!(result.evaluations, flow.strategy().evaluation_budget());
         assert_eq!(result.failed_evaluations, 0);
         assert!(result.mapped_area_ge > 0.0);
+    }
+
+    #[test]
+    fn locking_flow_end_to_end() {
+        let funcs = optimal_sboxes()[..2].to_vec();
+        let flow = Flow::builder()
+            .ga(GaConfig {
+                population: 4,
+                generations: 1,
+                seed: 9,
+                ..GaConfig::default()
+            })
+            .scheme(SchemeKind::Locking)
+            .build();
+        assert_eq!(flow.scheme(), SchemeKind::Locking);
+        assert_eq!(flow.obfuscation_space().kind(), SchemeKind::Locking);
+        // validate defaults to true: `run` exhaustively checks every
+        // select key realizes its viable function before returning.
+        let result = flow.run(&funcs).expect("locking flow succeeds");
+        let locked = result
+            .locked
+            .as_ref()
+            .expect("locking flow carries the key");
+        assert_eq!(locked.n_selects, 1, "two functions need one select bit");
+        assert_eq!(
+            locked.key_bits(),
+            1 + flow.lock_options().n_xor + flow.lock_options().n_mux
+        );
+        // Same select-free interface as the camouflage path, but the
+        // witness is carried by the key, not by doping choices.
+        assert_eq!(result.mapped.netlist.inputs().len(), 4);
+        assert!(result.mapped.witness.cells.is_empty());
+        assert!(
+            result.mapped_area_ge > result.synthesized_area_ge,
+            "key gates add area on top of the plain mapping"
+        );
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub use workload::{PlausibilityVerdict, Workload, WorkloadReport};
 // The strategy vocabulary is part of the flow API surface.
 pub use mvf_ga::{Ga, HillClimb, Objective, RandomSearch, SearchOutcome, SearchStrategy};
 
+// The obfuscation-scheme vocabulary likewise: which family a flow emits,
+// how a locking flow is keyed, and the seam the attack layer consumes.
+pub use mvf_obfuscate::{
+    lock_library, LockError, LockGate, LockOptions, LockSite, LockedNetlist, ObfuscationSpace,
+    SchemeKind,
+};
+
 // Re-export the workspace layers under one roof for downstream users.
 pub use mvf_aig as aig;
 pub use mvf_cells as cells;
@@ -90,6 +97,7 @@ pub use mvf_ga as ga;
 pub use mvf_logic as logic;
 pub use mvf_merge as merge;
 pub use mvf_netlist as netlist;
+pub use mvf_obfuscate as obfuscate;
 pub use mvf_sboxes as sboxes;
 pub use mvf_sim as sim;
 pub use mvf_techmap as techmap;

@@ -299,14 +299,17 @@ impl<S: SearchStrategy> Flow<S> {
                 } else {
                     resolve_threads(threads)
                 };
+                // The sweep runs through the flow's obfuscation space, so
+                // camouflage and locking workloads take the identical
+                // scheme-blind path.
+                let space = self.obfuscation_space();
                 if self.attack_interpretation_freedom {
                     // One sweep (one encoding) answers both the any-IO
                     // and the identity question — see
                     // [`PlausibilityVerdict::from_any_io`].
-                    let any_io = mvf_attack::plausibility_sweep_any_io_with(
+                    let any_io = mvf_attack::plausibility_sweep_any_io_in(
+                        &space,
                         &result.mapped.netlist,
-                        &self.lib,
-                        &self.camo,
                         &result.merged.functions,
                         &mvf_attack::AnyIoOptions {
                             shards,
@@ -319,10 +322,9 @@ impl<S: SearchStrategy> Flow<S> {
                     );
                     Some(PlausibilityVerdict::from_any_io(any_io))
                 } else {
-                    let identity = mvf_attack::plausibility_sweep_with(
+                    let identity = mvf_attack::plausibility_sweep_in(
+                        &space,
                         &result.mapped.netlist,
-                        &self.lib,
-                        &self.camo,
                         &result.merged.functions,
                         &mvf_attack::SweepOptions {
                             shards,

@@ -152,6 +152,23 @@ pub fn fingerprint_session(nl: &Netlist, lib: &Library, camo: &CamoLibrary) -> u
     h.finish()
 }
 
+/// [`fingerprint_session`] additionally committed to an obfuscation
+/// scheme tag. Two schemes can share a netlist and even a choice
+/// library byte for byte, yet their sessions (solver state, screens,
+/// checkpoints) answer *different questions* — the scheme identity must
+/// therefore be part of the cache key, not inferred from content.
+pub fn fingerprint_session_scheme(
+    nl: &Netlist,
+    lib: &Library,
+    camo: &CamoLibrary,
+    scheme: &str,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(scheme);
+    h.write_u64(fingerprint_session(nl, lib, camo));
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +213,19 @@ mod tests {
             fingerprint_netlist(&nl),
             "session key is not the bare netlist hash"
         );
+    }
+
+    #[test]
+    fn scheme_tag_separates_session_keys() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let nl = tiny("n", false);
+        let base = fingerprint_session(&nl, &lib, &camo);
+        let as_camo = fingerprint_session_scheme(&nl, &lib, &camo, "camo");
+        let as_lock = fingerprint_session_scheme(&nl, &lib, &camo, "locking");
+        assert_ne!(as_camo, as_lock, "schemes must never share a session key");
+        assert_ne!(as_camo, base);
+        assert_ne!(as_lock, base);
     }
 
     #[test]

@@ -182,6 +182,83 @@ pub fn from_blif(text: &str) -> Result<BlifModel, String> {
     })
 }
 
+/// Reconstructs a [`Netlist`] from a parsed [`BlifModel`], matching
+/// each `.names` table against the standard-library cell that computes
+/// the same function over the same pin order.
+///
+/// Two deliberate normalizations, both invisible to evaluation:
+///
+/// * Single-input identity tables driving a primary output (the alias
+///   buffers [`to_blif`] emits when an output's net carries a different
+///   name) become plain output bindings, not `BUF` cells.
+/// * Camouflaged cells are not reconstructible from BLIF — the format
+///   carries only their nominal function — so a camouflaged netlist
+///   written by [`to_blif`] comes back as its nominal standard-cell
+///   circuit.
+///
+/// # Errors
+///
+/// A human-readable description of the first defect: a net used before
+/// it is driven, a net driven twice, a table no library cell computes,
+/// or an undriven primary output.
+pub fn netlist_from_blif(model: &BlifModel, lib: &Library) -> Result<Netlist, String> {
+    let mut nl = Netlist::new(&model.name);
+    let mut nets: HashMap<&str, crate::NetId> = HashMap::new();
+    for input in &model.inputs {
+        if nets.insert(input, nl.add_input(input)).is_some() {
+            return Err(format!("input '{input}' declared twice"));
+        }
+    }
+    let primary: std::collections::HashSet<&str> =
+        model.outputs.iter().map(String::as_str).collect();
+    let mut aliases: HashMap<&str, crate::NetId> = HashMap::new();
+    let identity = TruthTable::var(0, 1);
+    for (ins, out, tt) in &model.tables {
+        let resolved = ins
+            .iter()
+            .map(|n| {
+                nets.get(n.as_str())
+                    .copied()
+                    .ok_or_else(|| format!("net '{n}' used before it is driven"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // The writer's output-alias buffer: bind, don't instantiate.
+        if ins.len() == 1
+            && *tt == identity
+            && primary.contains(out.as_str())
+            && !nets.contains_key(out.as_str())
+        {
+            aliases.insert(out, resolved[0]);
+            continue;
+        }
+        let cell = lib
+            .iter()
+            .find(|(_, c)| c.n_inputs() == ins.len() && c.function() == tt)
+            .map(|(id, _)| id)
+            .ok_or_else(|| {
+                format!(
+                    "no standard cell computes the {}-input table driving '{out}'",
+                    ins.len()
+                )
+            })?;
+        let name = out.strip_suffix("_y").unwrap_or(out);
+        let (_, net) = nl.add_cell(name, CellRef::Std(cell), resolved);
+        nl.set_net_name(net, out);
+        if nets.insert(out, net).is_some() {
+            return Err(format!("net '{out}' driven twice"));
+        }
+    }
+    for name in &model.outputs {
+        let net = aliases
+            .get(name.as_str())
+            .or_else(|| nets.get(name.as_str()))
+            .copied()
+            .ok_or_else(|| format!("output '{name}' is not driven"))?;
+        nl.add_output(name, net);
+    }
+    Ok(nl)
+}
+
 /// Renders the netlist as structural Verilog (gate-level instantiations).
 pub fn to_verilog(nl: &Netlist, lib: &Library, camo: Option<&CamoLibrary>) -> String {
     let sanitize = |s: &str| s.replace(['[', ']', '.'], "_");
@@ -341,6 +418,74 @@ mod tests {
     fn blif_rejects_garbage() {
         assert!(from_blif(".model x\n.latch a b\n.end").is_err());
         assert!(from_blif(".model x\n.names a y\n11 1\n.end").is_err());
+    }
+
+    #[test]
+    fn blif_reconstruction_round_trips() {
+        let (nl, lib) = sample();
+        let text = to_blif(&nl, &lib, None);
+        let model = from_blif(&text).expect("parse back");
+        let back = netlist_from_blif(&model, &lib).expect("reconstruct");
+        assert_eq!(back.inputs().len(), 2);
+        assert_eq!(
+            back.cells().count(),
+            2,
+            "the alias buffer is a binding, not a cell"
+        );
+        assert_eq!(back.outputs().len(), 1);
+        // Re-emission is identical line for line (instance names live
+        // only in comments, which carry no structure).
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&to_blif(&back, &lib, None)), strip(&text));
+    }
+
+    #[test]
+    fn blif_reconstruction_handles_constants() {
+        let lib = Library::standard();
+        let tie1 = lib.cell_by_kind(CellKind::Tie1).unwrap();
+        let tie0 = lib.cell_by_kind(CellKind::Tie0).unwrap();
+        let mut nl = Netlist::new("c");
+        let (_, one) = nl.add_cell("t1", tie1.into(), vec![]);
+        let (_, zero) = nl.add_cell("t0", tie0.into(), vec![]);
+        nl.add_output("one", one);
+        nl.add_output("zero", zero);
+        let text = to_blif(&nl, &lib, None);
+        let back = netlist_from_blif(&from_blif(&text).unwrap(), &lib).expect("reconstruct");
+        assert_eq!(back.cells().count(), 2);
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&to_blif(&back, &lib, None)), strip(&text));
+    }
+
+    #[test]
+    fn blif_reconstruction_rejects_defects() {
+        let lib = Library::standard();
+        // A table no standard cell computes (3-input parity).
+        let parity =
+            ".model x\n.inputs a b c\n.outputs y\n.names a b c y\n100 1\n010 1\n001 1\n111 1\n.end";
+        let err = netlist_from_blif(&from_blif(parity).unwrap(), &lib).unwrap_err();
+        assert!(err.contains("no standard cell"), "{err}");
+        // A net used before it is driven.
+        let undriven = ".model x\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end";
+        let err = netlist_from_blif(&from_blif(undriven).unwrap(), &lib).unwrap_err();
+        assert!(err.contains("used before it is driven"), "{err}");
+        // An output nothing drives.
+        let dangling = ".model x\n.inputs a\n.outputs y\n.end";
+        let err = netlist_from_blif(&from_blif(dangling).unwrap(), &lib).unwrap_err();
+        assert!(err.contains("not driven"), "{err}");
+        // A net driven twice.
+        let twice = ".model x\n.inputs a b\n.outputs y\n.names a b n\n11 1\n.names a b n\n00 1\n.names n y\n1 1\n.end";
+        let err = netlist_from_blif(&from_blif(twice).unwrap(), &lib).unwrap_err();
+        assert!(err.contains("driven twice"), "{err}");
     }
 
     #[test]

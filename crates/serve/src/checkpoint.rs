@@ -24,7 +24,7 @@ use std::io::Write;
 use std::path::Path;
 
 use mvf::merge::PinAssignment;
-use mvf::Workload;
+use mvf::{SchemeKind, Workload};
 use mvf_attack::AnyIoProgress;
 use mvf_ga::{GaSearchState, GenStats};
 
@@ -37,9 +37,11 @@ use crate::wire::{
 pub const FORMAT: &str = "mvf-serve-checkpoint";
 /// The current checkpoint format version. Version 2 added the sweep
 /// progress's `resolved` verdict cache (the NPN/class-sharing sweep);
-/// version-1 files are rejected rather than resumed with a silently
-/// empty cache.
-pub const VERSION: u64 = 2;
+/// version 3 added the obfuscation `scheme` tag, so a resumed job keeps
+/// its family even if the service's `MVF_SCHEME` knob changed in
+/// between. Older files are rejected rather than resumed with guessed
+/// state.
+pub const VERSION: u64 = 3;
 
 /// The final Phase-II outcome carried into the sweep phase.
 #[derive(Debug, Clone)]
@@ -74,6 +76,10 @@ pub struct Checkpoint {
     pub workload: Workload,
     /// The resolved search seed.
     pub seed: u64,
+    /// The obfuscation family the job runs under. Resume honours this
+    /// tag, not the service's current configuration, so the continued
+    /// run is bit-identical to the uninterrupted one.
+    pub scheme: SchemeKind,
     /// Failed fitness evaluations tallied so far (resumes as the base
     /// for the continued run's own tally).
     pub failed_evaluations: usize,
@@ -341,6 +347,7 @@ impl Checkpoint {
             ("version".into(), Value::usize(VERSION as usize)),
             ("workload".into(), encode_workload(&self.workload)),
             ("seed".into(), Value::u64(self.seed)),
+            ("scheme".into(), Value::str(self.scheme.tag())),
             (
                 "failed_evaluations".into(),
                 Value::usize(self.failed_evaluations),
@@ -374,6 +381,12 @@ impl Checkpoint {
         let seed = field(v, "seed")?
             .as_u64()
             .ok_or_else(|| CheckpointError::Malformed("field 'seed' is not a u64".into()))?;
+        let scheme_tag = field(v, "scheme")?
+            .as_str()
+            .ok_or_else(|| CheckpointError::Malformed("field 'scheme' is not a string".into()))?;
+        let scheme = SchemeKind::from_tag(scheme_tag).ok_or_else(|| {
+            CheckpointError::Unsupported(format!("obfuscation scheme '{scheme_tag}'"))
+        })?;
         let failed_evaluations = usize_field(v, "failed_evaluations")?;
         let phase = match field(v, "phase")?.as_str() {
             Some("ga") => CheckpointPhase::Ga(ga_state_from(field(v, "ga")?)?),
@@ -397,6 +410,7 @@ impl Checkpoint {
         Ok(Checkpoint {
             workload,
             seed,
+            scheme,
             failed_evaluations,
             phase,
         })
@@ -481,6 +495,7 @@ mod tests {
         let cp = Checkpoint {
             workload: sample_workload(),
             seed: 0xDEAD_BEEF_DEAD_BEEF,
+            scheme: SchemeKind::Camouflage,
             failed_evaluations: 3,
             phase: CheckpointPhase::Ga(sample_state()),
         };
@@ -512,6 +527,7 @@ mod tests {
         let cp = Checkpoint {
             workload: sample_workload(),
             seed: 9,
+            scheme: SchemeKind::Locking,
             failed_evaluations: 0,
             phase: CheckpointPhase::Sweep {
                 ga: GaFinal {
@@ -546,11 +562,12 @@ mod tests {
         let cp = Checkpoint {
             workload: sample_workload(),
             seed: 1,
+            scheme: SchemeKind::Camouflage,
             failed_evaluations: 0,
             phase: CheckpointPhase::Ga(sample_state()),
         };
         let good = cp.to_json();
-        let wrong_version = good.replacen("\"version\":2", "\"version\":999", 1);
+        let wrong_version = good.replacen("\"version\":3", "\"version\":999", 1);
         assert!(matches!(
             Checkpoint::from_json(&wrong_version),
             Err(CheckpointError::Unsupported(_))
@@ -572,6 +589,7 @@ mod tests {
         let cp = Checkpoint {
             workload: sample_workload(),
             seed: 5,
+            scheme: SchemeKind::Locking,
             failed_evaluations: 0,
             phase: CheckpointPhase::Ga(sample_state()),
         };

@@ -20,8 +20,8 @@
 //! wire encodings byte for byte.
 
 use mvf::{
-    Flow, FlowBuilder, FlowConfig, Ga, PinObjective, PlausibilityVerdict, SearchStrategy, Workload,
-    WorkloadReport,
+    Flow, FlowBuilder, FlowConfig, Ga, PinObjective, PlausibilityVerdict, SchemeKind,
+    SearchStrategy, Workload, WorkloadReport,
 };
 use mvf_attack::{AnyIoJob, AnyIoOptions, SimplifyStats};
 use mvf_ga::{GaConfig, GeneticAlgorithm, ObjectiveRunner};
@@ -70,10 +70,13 @@ pub fn run_audit(
     store: Option<&mut SessionStore>,
     observer: &mut dyn FnMut(&Checkpoint) -> Control,
 ) -> AuditOutcome {
-    drive(cfg, workload, seed, 0, None, store, observer)
+    drive(cfg, workload, seed, cfg.scheme, 0, None, store, observer)
 }
 
-/// Resumes a paused job from its checkpoint. See the module docs.
+/// Resumes a paused job from its checkpoint. The checkpoint's scheme
+/// tag wins over [`ServeConfig::scheme`]: a job resumed after the
+/// service's `MVF_SCHEME` knob changed still finishes bit-identically
+/// under its original family. See the module docs.
 pub fn resume_audit(
     cfg: &ServeConfig,
     checkpoint: Checkpoint,
@@ -83,6 +86,7 @@ pub fn resume_audit(
     let Checkpoint {
         workload,
         seed,
+        scheme,
         failed_evaluations,
         phase,
     } = checkpoint;
@@ -90,6 +94,7 @@ pub fn resume_audit(
         cfg,
         &workload,
         seed,
+        scheme,
         failed_evaluations,
         Some(phase),
         store,
@@ -110,10 +115,12 @@ pub fn audit(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive(
     cfg: &ServeConfig,
     workload: &Workload,
     seed: u64,
+    scheme: SchemeKind,
     failed_base: usize,
     phase: Option<CheckpointPhase>,
     store: Option<&mut SessionStore>,
@@ -128,6 +135,8 @@ fn drive(
             ga: ga_cfg.clone(),
             ..cfg.flow.clone()
         })
+        .scheme(scheme)
+        .lock_options(cfg.lock)
         .build();
     let strategy_name = flow.strategy().name();
     let checkpoint_steps = cfg.checkpoint_steps.max(1);
@@ -159,6 +168,7 @@ fn drive(
                     let cp = Checkpoint {
                         workload: workload.clone(),
                         seed,
+                        scheme,
                         failed_evaluations: failed_base + objective.failed_evaluations(),
                         phase: CheckpointPhase::Ga(runner.state().clone()),
                     };
@@ -213,20 +223,19 @@ fn drive(
         class_share: cfg.attack_class_share,
         ..AnyIoOptions::default()
     };
+    let space = flow.obfuscation_space();
     let mut job = match store {
         Some(store) => store
-            .session(&result.mapped.netlist, flow.library(), flow.camo_library())
-            .any_io_job(
+            .session_in(&space, &result.mapped.netlist)
+            .any_io_job_in(
+                &space,
                 &result.mapped.netlist,
-                flow.library(),
-                flow.camo_library(),
                 &result.merged.functions,
                 &opts,
             ),
-        None => AnyIoJob::new(
+        None => AnyIoJob::new_in(
+            &space,
             &result.mapped.netlist,
-            flow.library(),
-            flow.camo_library(),
             result.merged.functions.clone(),
             &opts,
         ),
@@ -240,6 +249,7 @@ fn drive(
             let cp = Checkpoint {
                 workload: workload.clone(),
                 seed,
+                scheme,
                 failed_evaluations: failed_total,
                 phase: CheckpointPhase::Sweep {
                     ga: ga_final.clone(),

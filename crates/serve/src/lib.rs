@@ -31,6 +31,9 @@
 //! | `MVF_GA_POP` / `MVF_GA_GENS` | GA budget per job (as in `mvf-bench`) | 8 / 5 |
 //! | `MVF_ATTACK_NPN` | `1`/`true`: sweep the full NPN orbit (polarity flips included) | off |
 //! | `MVF_ATTACK_CLASS_SHARE` | `1`/`true`: share screen/SAT verdicts across same-class candidates | off |
+//! | `MVF_SCHEME` | obfuscation family for fresh jobs: `camo` or `locking` | `camo` |
+//! | `MVF_LOCK_XOR` / `MVF_LOCK_MUX` | key-gate counts of a locking flow | 4 / 2 |
+//! | `MVF_LOCK_SEED` | key-gate placement seed of a locking flow | fixed |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,7 +52,7 @@ pub use store::SessionStore;
 
 use std::path::PathBuf;
 
-use mvf::FlowConfig;
+use mvf::{FlowConfig, LockOptions, SchemeKind};
 
 /// Service configuration: the flow every job runs, plus the service's
 /// own pacing and budgets.
@@ -77,6 +80,14 @@ pub struct ServeConfig {
     /// [`mvf::FlowBuilder::attack_class_share`]. Verdicts and witnesses
     /// are bit-identical either way; only query counts drop.
     pub attack_class_share: bool,
+    /// The obfuscation family fresh jobs run
+    /// ([`mvf::FlowBuilder::scheme`]). Resumed jobs always keep the
+    /// scheme recorded in their checkpoint, so flipping this knob never
+    /// changes an in-flight audit.
+    pub scheme: SchemeKind,
+    /// Key-gate insertion options of a locking flow
+    /// ([`mvf::FlowBuilder::lock_options`]); ignored under camouflage.
+    pub lock: LockOptions,
     /// When set, every checkpoint is also written (atomically) to
     /// `<dir>/<job-id>.checkpoint.json`.
     pub checkpoint_dir: Option<PathBuf>,
@@ -98,6 +109,8 @@ impl Default for ServeConfig {
             attack_screen: true,
             attack_npn: false,
             attack_class_share: false,
+            scheme: SchemeKind::Camouflage,
+            lock: LockOptions::default(),
             checkpoint_dir: None,
         }
     }
@@ -127,6 +140,19 @@ impl ServeConfig {
         cfg.session_cache_bytes = env_usize("MVF_SESSION_CACHE_MB", 64) << 20;
         cfg.attack_npn = env_bool("MVF_ATTACK_NPN", cfg.attack_npn);
         cfg.attack_class_share = env_bool("MVF_ATTACK_CLASS_SHARE", cfg.attack_class_share);
+        if let Ok(tag) = std::env::var("MVF_SCHEME") {
+            if let Some(kind) = SchemeKind::from_tag(&tag) {
+                cfg.scheme = kind;
+            }
+        }
+        cfg.lock.n_xor = env_usize("MVF_LOCK_XOR", cfg.lock.n_xor);
+        cfg.lock.n_mux = env_usize("MVF_LOCK_MUX", cfg.lock.n_mux);
+        if let Some(seed) = std::env::var("MVF_LOCK_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.lock.seed = seed;
+        }
         cfg
     }
 }

@@ -25,14 +25,14 @@ use std::io::{BufRead, Write};
 use std::sync::{Arc, Condvar, Mutex};
 
 use mvf::cells::{CamoLibrary, Library};
-use mvf::{Workload, WorkloadReport};
+use mvf::{lock_library, ObfuscationSpace, SchemeKind, Workload, WorkloadReport};
 use mvf_attack::SimplifyStats;
 
 use crate::checkpoint::Checkpoint;
 use crate::job::{resume_audit, run_audit, AuditOutcome, Control};
 use crate::json::Value;
 use crate::store::SessionStore;
-use crate::wire::{decode_workload, encode_report};
+use crate::wire::{decode_workload, encode_report_in};
 use crate::ServeConfig;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +57,10 @@ impl Phase {
 struct JobEntry {
     workload: Workload,
     seed: u64,
+    /// The obfuscation family this job runs under (the checkpoint's on
+    /// resume, the service's otherwise); picks the choice library its
+    /// report's netlist is encoded against.
+    scheme: SchemeKind,
     phase: Phase,
     cancel: bool,
     /// Latest boundary snapshot (the submitted one before the job
@@ -80,6 +84,7 @@ struct Inner {
     cfg: ServeConfig,
     lib: Library,
     camo: CamoLibrary,
+    lock: CamoLibrary,
     state: Mutex<State>,
     cv: Condvar,
 }
@@ -100,10 +105,12 @@ impl AuditService {
     pub fn start(cfg: ServeConfig) -> AuditService {
         let lib = Library::standard();
         let camo = CamoLibrary::from_library(&lib);
+        let lock = lock_library(&lib);
         let inner = Arc::new(Inner {
             cfg,
             lib,
             camo,
+            lock,
             state: Mutex::new(State {
                 jobs: HashMap::new(),
                 queue: std::collections::VecDeque::new(),
@@ -248,6 +255,19 @@ fn err_response(msg: &str) -> String {
 }
 
 impl Inner {
+    /// Encodes a report under the job's scheme: the netlist's
+    /// choice-bearing cells resolve against that family's library.
+    fn report_value(&self, scheme: SchemeKind, report: &WorkloadReport) -> Value {
+        let choices = match scheme {
+            SchemeKind::Camouflage => &self.camo,
+            SchemeKind::Locking => &self.lock,
+        };
+        encode_report_in(
+            &ObfuscationSpace::with_kind(scheme, &self.lib, choices),
+            report,
+        )
+    }
+
     fn handle(&self, line: &str) -> String {
         let request = match Value::parse(line) {
             Ok(v) => v,
@@ -285,14 +305,14 @@ impl Inner {
         };
         // A submission is either a fresh workload or a checkpoint to
         // resume (which embeds its workload and seed).
-        let (workload, seed, checkpoint, resume) = match request.get("checkpoint") {
+        let (workload, seed, scheme, checkpoint, resume) = match request.get("checkpoint") {
             Some(cp) => match Checkpoint::from_value(cp) {
-                Ok(cp) => (cp.workload.clone(), cp.seed, Some(cp), true),
+                Ok(cp) => (cp.workload.clone(), cp.seed, cp.scheme, Some(cp), true),
                 Err(e) => return err_response(&format!("bad checkpoint: {e}")),
             },
             None => match request.get("workload") {
                 Some(w) => match decode_workload(w) {
-                    Ok(w) => (w, 0, None, false),
+                    Ok(w) => (w, 0, self.cfg.scheme, None, false),
                     Err(e) => return err_response(&format!("bad workload: {e}")),
                 },
                 None => return err_response("submit needs a workload or a checkpoint"),
@@ -325,6 +345,7 @@ impl Inner {
                 JobEntry {
                     workload,
                     seed,
+                    scheme,
                     phase: Phase::Queued,
                     cancel: false,
                     checkpoint,
@@ -355,10 +376,7 @@ impl Inner {
                     return ok_response(vec![
                         ("id".into(), Value::str(id)),
                         ("status".into(), Value::str(Phase::Done.name())),
-                        (
-                            "report".into(),
-                            encode_report(report, &self.lib, &self.camo),
-                        ),
+                        ("report".into(), self.report_value(entry.scheme, report)),
                     ]);
                 }
                 Phase::Cancelled => {
@@ -409,10 +427,7 @@ impl Inner {
             Some(entry) => match &entry.report {
                 Some(report) => ok_response(vec![
                     ("id".into(), Value::str(&id)),
-                    (
-                        "report".into(),
-                        encode_report(report, &self.lib, &self.camo),
-                    ),
+                    ("report".into(), self.report_value(entry.scheme, report)),
                 ]),
                 None => err_response(&format!(
                     "job '{id}' is {}, no report yet",

@@ -15,8 +15,8 @@
 //! evict on every access.
 
 use mvf::cells::{CamoLibrary, Library};
-use mvf::netlist::fingerprint::fingerprint_session;
 use mvf::netlist::Netlist;
+use mvf::ObfuscationSpace;
 use mvf_attack::SweepSession;
 
 /// A byte-budgeted LRU cache of [`SweepSession`]s keyed by circuit
@@ -54,16 +54,25 @@ impl SessionStore {
         }
     }
 
-    /// The warm session for this circuit, creating (and evicting) on a
-    /// miss. The returned session is pinned for this call: eviction to
-    /// meet the budget never removes it.
+    /// The warm camouflage session for this circuit — shorthand for
+    /// [`SessionStore::session_in`] over a camouflage space.
     pub fn session(
         &mut self,
         nl: &Netlist,
         lib: &Library,
         camo: &CamoLibrary,
     ) -> &mut SweepSession {
-        let key = fingerprint_session(nl, lib, camo);
+        self.session_in(&ObfuscationSpace::camouflage(lib, camo), nl)
+    }
+
+    /// The warm session for this circuit under this obfuscation space,
+    /// creating (and evicting) on a miss. The cache key commits to the
+    /// scheme as well as the circuit, so a camouflage session and a
+    /// locking session over the same netlist never collide. The
+    /// returned session is pinned for this call: eviction to meet the
+    /// budget never removes it.
+    pub fn session_in(&mut self, space: &ObfuscationSpace<'_>, nl: &Netlist) -> &mut SweepSession {
+        let key = space.fingerprint(nl);
         self.tick += 1;
         let tick = self.tick;
         if let Some(i) = self.entries.iter().position(|e| e.key == key) {
@@ -74,7 +83,7 @@ impl SessionStore {
         self.misses += 1;
         self.entries.push(Entry {
             key,
-            session: SweepSession::new(nl, lib, camo),
+            session: SweepSession::new_in(space, nl),
             last_used: tick,
         });
         self.shrink_to_budget(key);
@@ -174,6 +183,33 @@ mod tests {
         let kb = store.session(&b, &lib, &camo).key();
         assert_ne!(ka, kb);
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn distinct_schemes_over_one_netlist_never_share_a_session() {
+        let (lib, camo) = setup();
+        let lock = mvf::lock_library(&lib);
+        // A plain standard-cell circuit is valid under both families, so
+        // only the scheme commitment keeps their cache keys apart.
+        let nand = lib.cell_by_name("NAND2").unwrap();
+        let mut circuit = Netlist::new("plain");
+        let a = circuit.add_input("a");
+        let b = circuit.add_input("b");
+        let (_, ab) = circuit.add_cell("g0", mvf::netlist::CellRef::Std(nand), vec![a, b]);
+        circuit.add_output("y", ab);
+        let camo_space = ObfuscationSpace::camouflage(&lib, &camo);
+        let lock_space = ObfuscationSpace::locking(&lib, &lock);
+        assert_ne!(
+            camo_space.fingerprint(&circuit),
+            lock_space.fingerprint(&circuit),
+            "the session key must commit to the scheme, not just the netlist"
+        );
+        let mut store = SessionStore::new(usize::MAX);
+        store.session_in(&camo_space, &circuit);
+        store.session_in(&lock_space, &circuit);
+        assert_eq!(store.len(), 2, "one netlist, two schemes, two sessions");
+        assert_eq!(store.misses(), 2);
+        assert_eq!(store.hits(), 0);
     }
 
     #[test]

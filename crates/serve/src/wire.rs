@@ -13,7 +13,7 @@
 use std::fmt;
 
 use mvf::merge::PinAssignment;
-use mvf::{PlausibilityVerdict, Workload, WorkloadReport};
+use mvf::{ObfuscationSpace, PlausibilityVerdict, SchemeKind, Workload, WorkloadReport};
 use mvf_attack::AnyIoVerdict;
 use mvf_cells::{CamoLibrary, Library};
 use mvf_ga::GenStats;
@@ -543,6 +543,8 @@ pub struct ReportWire {
     pub seed: u64,
     /// Search strategy name.
     pub strategy: String,
+    /// The obfuscation family the report's netlist was emitted under.
+    pub scheme: SchemeKind,
     /// The stable one-line summary ([`WorkloadReport`]'s `Display`).
     pub summary: String,
     /// The successful result, if the flow succeeded.
@@ -553,10 +555,19 @@ pub struct ReportWire {
     pub plausibility: Option<Vec<PlausibilityVerdict>>,
 }
 
-/// Encodes a full workload report (the `result` response payload).
-/// Canonical: equal reports — including bit-equal floats — produce equal
-/// JSON text.
+/// Encodes a full camouflage workload report — shorthand for
+/// [`encode_report_in`] over a camouflage space.
 pub fn encode_report(r: &WorkloadReport, lib: &Library, camo: &CamoLibrary) -> Value {
+    encode_report_in(&ObfuscationSpace::camouflage(lib, camo), r)
+}
+
+/// Encodes a full workload report (the `result` response payload) under
+/// an obfuscation space: the `scheme` field names the family, and the
+/// netlist's choice-bearing cells are resolved against the space's
+/// choice library (camouflaged cells or key gates). Canonical: equal
+/// reports — including bit-equal floats — produce equal JSON text.
+pub fn encode_report_in(space: &ObfuscationSpace<'_>, r: &WorkloadReport) -> Value {
+    let (lib, camo) = (space.library(), space.choices());
     let outcome = match &r.outcome {
         Ok(res) => Value::Obj(vec![(
             "ok".into(),
@@ -588,6 +599,7 @@ pub fn encode_report(r: &WorkloadReport, lib: &Library, camo: &CamoLibrary) -> V
         ("name".into(), Value::str(&r.name)),
         ("seed".into(), Value::u64(r.seed)),
         ("strategy".into(), Value::str(r.strategy)),
+        ("scheme".into(), Value::str(space.kind().tag())),
         ("summary".into(), Value::str(r.to_string())),
         ("outcome".into(), outcome),
         (
@@ -599,7 +611,8 @@ pub fn encode_report(r: &WorkloadReport, lib: &Library, camo: &CamoLibrary) -> V
     ])
 }
 
-/// Decodes [`encode_report`] into the client-side mirror.
+/// Decodes a camouflage report — shorthand for [`decode_report_in`]
+/// over a camouflage space.
 ///
 /// # Errors
 ///
@@ -609,6 +622,28 @@ pub fn decode_report(
     lib: &Library,
     camo: &CamoLibrary,
 ) -> Result<ReportWire, WireError> {
+    decode_report_in(&ObfuscationSpace::camouflage(lib, camo), v)
+}
+
+/// Decodes [`encode_report_in`] into the client-side mirror. The
+/// report's `scheme` tag must match the space's family — resolving a
+/// locking netlist's key gates against the camouflage library (or vice
+/// versa) would only fail later with a misleading unknown-cell error.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed structure or a scheme mismatch.
+pub fn decode_report_in(space: &ObfuscationSpace<'_>, v: &Value) -> Result<ReportWire, WireError> {
+    let (lib, camo) = (space.library(), space.choices());
+    let tag = str_field(v, "scheme")?;
+    let scheme = SchemeKind::from_tag(tag)
+        .ok_or_else(|| WireError::new(format!("unknown obfuscation scheme '{tag}'")))?;
+    if scheme != space.kind() {
+        return Err(WireError::new(format!(
+            "report scheme '{tag}' does not match the decoding space '{}'",
+            space.kind().tag()
+        )));
+    }
     let outcome = field(v, "outcome")?;
     let (ok, err) = if let Some(res) = outcome.get("ok") {
         (
@@ -658,6 +693,7 @@ pub fn decode_report(
             .as_u64()
             .ok_or_else(|| WireError::new("field 'seed' is not a u64"))?,
         strategy: str_field(v, "strategy")?.to_string(),
+        scheme,
         summary: str_field(v, "summary")?.to_string(),
         ok,
         err,
@@ -705,6 +741,72 @@ mod tests {
         );
         assert_eq!(back.name(), nl.name());
         assert_eq!(back.outputs().len(), nl.outputs().len());
+    }
+
+    #[test]
+    fn netlist_round_trips_with_key_gates() {
+        let lib = Library::standard();
+        let lock = mvf::lock_library(&lib);
+        let nand = lib.cell_by_name("NAND2").unwrap();
+        let mut plain = Netlist::new("plain");
+        let a = plain.add_input("a");
+        let b = plain.add_input("b");
+        let (_, ab) = plain.add_cell("g0", CellRef::Std(nand), vec![a, b]);
+        let (_, y) = plain.add_cell("g1", CellRef::Std(nand), vec![ab, ab]);
+        plain.add_output("y", y);
+        let locked = mvf::obfuscate::lock_netlist(
+            &plain,
+            &lock,
+            &mvf::LockOptions {
+                n_xor: 2,
+                n_mux: 1,
+                ..mvf::LockOptions::default()
+            },
+        )
+        .unwrap();
+        let text = encode_netlist(&locked.netlist, &lib, &lock).to_string();
+        let back = decode_netlist(&Value::parse(&text).unwrap(), &lib, &lock).unwrap();
+        assert_eq!(
+            fingerprint_netlist(&back),
+            fingerprint_netlist(&locked.netlist),
+            "decoded key-gate structure differs"
+        );
+    }
+
+    #[test]
+    fn report_scheme_tags_are_strict() {
+        let lib = Library::standard();
+        let camo = CamoLibrary::from_library(&lib);
+        let lock = mvf::lock_library(&lib);
+        let report = WorkloadReport {
+            name: "w".into(),
+            seed: 7,
+            strategy: "ga",
+            outcome: Err(mvf::MvfError::from(mvf::LockError::MissingKeyCell("XKEY"))),
+            plausibility: None,
+        };
+        let camo_space = ObfuscationSpace::camouflage(&lib, &camo);
+        let lock_space = ObfuscationSpace::locking(&lib, &lock);
+        let as_camo = encode_report_in(&camo_space, &report);
+        let as_lock = encode_report_in(&lock_space, &report);
+        assert_eq!(
+            decode_report_in(&camo_space, &as_camo).unwrap().scheme,
+            SchemeKind::Camouflage
+        );
+        assert_eq!(
+            decode_report_in(&lock_space, &as_lock).unwrap().scheme,
+            SchemeKind::Locking
+        );
+        // Cross-decoding is rejected up front, not via an unknown-cell
+        // error deep inside the netlist decoder.
+        assert!(decode_report_in(&lock_space, &as_camo).is_err());
+        assert!(decode_report_in(&camo_space, &as_lock).is_err());
+        // The legacy pair is the camouflage space in disguise.
+        assert_eq!(
+            encode_report(&report, &lib, &camo).to_string(),
+            as_camo.to_string()
+        );
+        assert!(decode_report(&as_lock, &lib, &camo).is_err());
     }
 
     #[test]
